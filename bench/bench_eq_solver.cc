@@ -1,0 +1,132 @@
+// Ablation: cost of the entangled-query coordination search (grounding
+// excluded) as the query set grows — pairs, spoke-hubs, cycles, and the
+// number of groundings per query. Justifies the arc-consistency + component
+// decomposition design in DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include "src/eq/coordinator.h"
+
+namespace youtopia::bench {
+namespace {
+
+using eq::Coordinator;
+using eq::EntangledQuerySpec;
+using eq::EvalItem;
+using eq::Grounding;
+using eq::Term;
+
+EntangledQuerySpec PairSpec(int i, int partner, int side) {
+  EntangledQuerySpec q;
+  q.label = "q" + std::to_string(i);
+  q.head = {{"R", {Term::Const(Value::Int(i * 2 + side))}}};
+  q.post = {{"R", {Term::Const(Value::Int(partner * 2 + (1 - side)))}}};
+  return q;
+}
+
+/// n/2 disjoint pairs, g groundings per query (only one matches).
+void BM_SolvePairs(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int g = static_cast<int>(state.range(1));
+  std::vector<EntangledQuerySpec> specs;
+  specs.reserve(n);
+  for (int i = 0; i < n / 2; ++i) {
+    specs.push_back(PairSpec(i, i, 0));
+    specs.push_back(PairSpec(i, i, 1));
+  }
+  std::vector<EvalItem> items(n);
+  for (int i = 0; i < n; ++i) {
+    items[i].spec = &specs[i];
+    items[i].txn = i + 1;
+    for (int j = 0; j < g; ++j) {
+      Grounding gr;
+      if (j == 0) {
+        gr.heads = {{"R", Row({specs[i].head[0].terms[0].constant})}};
+        gr.posts = {{"R", Row({specs[i].post[0].terms[0].constant})}};
+      } else {
+        // Decoys that can never be satisfied.
+        gr.heads = {{"R", Row({Value::Int(1000000 + i * 100 + j)})}};
+        gr.posts = {{"R", Row({Value::Int(2000000 + i * 100 + j)})}};
+      }
+      items[i].groundings.push_back(std::move(gr));
+    }
+  }
+  size_t answered = 0;
+  for (auto _ : state) {
+    auto result = Coordinator::Evaluate(items, 1);
+    answered = 0;
+    for (const auto& o : result.outcomes) {
+      if (o.kind == eq::OutcomeKind::kAnswered) ++answered;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["answered"] = static_cast<double>(answered);
+}
+BENCHMARK(BM_SolvePairs)
+    ->ArgsProduct({{2, 20, 100, 200}, {1, 4, 16}})
+    ->Unit(benchmark::kMicrosecond);
+
+/// One ring of size k (single entanglement op of k members).
+void BM_SolveCycle(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  std::vector<EntangledQuerySpec> specs(k);
+  std::vector<EvalItem> items(k);
+  for (int i = 0; i < k; ++i) {
+    specs[i].head = {{"C", {Term::Const(Value::Int(i))}}};
+    specs[i].post = {{"C", {Term::Const(Value::Int((i + 1) % k))}}};
+    Grounding g;
+    g.heads = {{"C", Row({Value::Int(i)})}};
+    g.posts = {{"C", Row({Value::Int((i + 1) % k)})}};
+    items[i].spec = &specs[i];
+    items[i].txn = i + 1;
+    items[i].groundings = {g};
+  }
+  for (auto _ : state) {
+    auto result = Coordinator::Evaluate(items, 1);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SolveCycle)->DenseRange(2, 10, 2)->Unit(benchmark::kMicrosecond);
+
+/// Spoke-hub of size k: the hub's queries arrive one at a time in the run,
+/// but here we measure the joint evaluation of all 2(k-1) queries at once.
+void BM_SolveHub(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  std::vector<EntangledQuerySpec> specs;
+  std::vector<EvalItem> items;
+  for (int i = 1; i < k; ++i) {
+    EntangledQuerySpec hub_q;
+    hub_q.head = {{"C", {Term::Const(Value::Int(i)),
+                         Term::Const(Value::Str("hub"))}}};
+    hub_q.post = {{"C", {Term::Const(Value::Int(i)),
+                         Term::Const(Value::Str("spoke"))}}};
+    EntangledQuerySpec spoke_q;
+    spoke_q.head = hub_q.post;
+    spoke_q.post = hub_q.head;
+    specs.push_back(std::move(hub_q));
+    specs.push_back(std::move(spoke_q));
+  }
+  items.resize(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    Grounding g;
+    g.heads = {{specs[i].head[0].relation,
+                Row({specs[i].head[0].terms[0].constant,
+                     specs[i].head[0].terms[1].constant})}};
+    g.posts = {{specs[i].post[0].relation,
+                Row({specs[i].post[0].terms[0].constant,
+                     specs[i].post[0].terms[1].constant})}};
+    items[i].spec = &specs[i];
+    items[i].txn = i + 1;
+    items[i].groundings = {g};
+  }
+  for (auto _ : state) {
+    auto result = Coordinator::Evaluate(items, 1);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SolveHub)->DenseRange(2, 10, 2)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace youtopia::bench
+
+BENCHMARK_MAIN();

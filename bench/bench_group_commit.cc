@@ -1,0 +1,91 @@
+// Ablation: the commit-path cost of entangled group commits — per-member
+// COMMIT records plus one GROUP_COMMIT record and a single flush — versus
+// plain commits, over a real WAL file.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/txn/transaction_manager.h"
+#include "src/wal/wal_writer.h"
+
+namespace youtopia::bench {
+namespace {
+
+Schema KV() {
+  return Schema({{"k", TypeId::kInt64}, {"v", TypeId::kString}});
+}
+
+struct WalStack {
+  Database db;
+  LockManager locks;
+  WalWriter wal;
+  std::unique_ptr<TransactionManager> tm;
+  std::string path;
+
+  explicit WalStack(bool sync) {
+    path = ::std::string("/tmp/yt_bench_group_commit_") +
+           std::to_string(reinterpret_cast<uintptr_t>(this)) + ".walog";
+    WalWriter::Options wopts;
+    wopts.sync_on_flush = sync;
+    (void)wal.Open(path, wopts, /*truncate=*/true);
+    tm = std::make_unique<TransactionManager>(&db, &locks, &wal);
+    (void)tm->CreateTable("T", KV());
+  }
+  ~WalStack() {
+    (void)wal.Close();
+    std::remove(path.c_str());
+  }
+};
+
+void BM_PlainCommit(benchmark::State& state) {
+  WalStack s(/*sync=*/false);
+  int64_t k = 0;
+  for (auto _ : state) {
+    auto txn = s.tm->Begin();
+    benchmark::DoNotOptimize(
+        s.tm->Insert(txn.get(), "T", Row({Value::Int(++k), Value::Str("v")})));
+    benchmark::DoNotOptimize(s.tm->Commit(txn.get()));
+  }
+}
+BENCHMARK(BM_PlainCommit)->Unit(benchmark::kMicrosecond);
+
+void BM_GroupCommit(benchmark::State& state) {
+  size_t group_size = static_cast<size_t>(state.range(0));
+  WalStack s(/*sync=*/false);
+  int64_t k = 0;
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<Transaction>> txns;
+    std::vector<Transaction*> raw;
+    for (size_t i = 0; i < group_size; ++i) {
+      txns.push_back(s.tm->Begin());
+      raw.push_back(txns.back().get());
+      benchmark::DoNotOptimize(s.tm->Insert(
+          txns.back().get(), "T", Row({Value::Int(++k), Value::Str("v")})));
+    }
+    benchmark::DoNotOptimize(s.tm->LogEntangle(++k, raw));
+    benchmark::DoNotOptimize(s.tm->CommitGroup(raw));
+  }
+  // Report per-transaction cost for a fair comparison with BM_PlainCommit.
+  state.counters["per_txn_us"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * group_size),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_GroupCommit)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+void BM_CommitWithFsync(benchmark::State& state) {
+  WalStack s(/*sync=*/true);
+  int64_t k = 0;
+  for (auto _ : state) {
+    auto txn = s.tm->Begin();
+    benchmark::DoNotOptimize(
+        s.tm->Insert(txn.get(), "T", Row({Value::Int(++k), Value::Str("v")})));
+    benchmark::DoNotOptimize(s.tm->Commit(txn.get()));
+  }
+}
+BENCHMARK(BM_CommitWithFsync)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace youtopia::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// Ablation: SQL front-end micro-costs for the §D workload statements —
+// lexing/parsing, point selects, the three-way Social join (with pushdown),
+// DML, and entangled-query compilation + grounding.
+
+#include <benchmark/benchmark.h>
+
+#include "src/eq/compiler.h"
+#include "src/eq/grounder.h"
+#include "src/sql/session.h"
+#include "src/workload/travel_data.h"
+
+namespace youtopia::bench {
+namespace {
+
+constexpr char kSocialJoin[] =
+    "SELECT uid2 FROM Friends, User u1, User u2 "
+    "WHERE Friends.uid1=7 AND Friends.uid2=u2.uid AND u1.uid=7 "
+    "AND u1.hometown=u2.hometown LIMIT 1";
+
+constexpr char kEntangledSql[] =
+    "SELECT 7 AS @uid, 'CITY01' AS @destination INTO ANSWER Reserve "
+    "WHERE (7, 9) IN (SELECT uid1, uid2 FROM Friends, User u1, User u2 "
+    "WHERE Friends.uid1=7 AND Friends.uid2=9 AND u1.uid=7 AND u2.uid=9 "
+    "AND u1.hometown=u2.hometown) "
+    "AND (9, 'CITY01') IN ANSWER Reserve CHOOSE 1";
+
+struct SqlStack {
+  Database db;
+  LockManager locks;
+  std::unique_ptr<TransactionManager> tm;
+  workload::TravelData data;
+
+  SqlStack() {
+    tm = std::make_unique<TransactionManager>(&db, &locks, nullptr);
+    workload::TravelDataOptions opts;
+    opts.num_users = 500;
+    opts.edges_per_node = 4;
+    opts.num_cities = 6;
+    data = workload::TravelData::Build(tm.get(), opts).value();
+  }
+};
+
+void BM_ParseSelect(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::Parser::ParseStatement(kSocialJoin));
+  }
+}
+BENCHMARK(BM_ParseSelect);
+
+void BM_ParseEntangled(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::Parser::ParseStatement(kEntangledSql));
+  }
+}
+BENCHMARK(BM_ParseEntangled);
+
+void BM_PointSelect(benchmark::State& state) {
+  SqlStack s;
+  sql::Session session(s.tm.get());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        session.Execute("SELECT @uid, @hometown FROM User WHERE uid=77"));
+  }
+}
+BENCHMARK(BM_PointSelect)->Unit(benchmark::kMicrosecond);
+
+void BM_SocialThreeWayJoin(benchmark::State& state) {
+  SqlStack s;
+  sql::Session session(s.tm.get());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.Execute(kSocialJoin));
+  }
+}
+BENCHMARK(BM_SocialThreeWayJoin)->Unit(benchmark::kMicrosecond);
+
+void BM_Insert(benchmark::State& state) {
+  SqlStack s;
+  sql::Session session(s.tm.get());
+  int64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.Execute(
+        "INSERT INTO Reserve (uid, fid) VALUES (" + std::to_string(++k) +
+        ", 100)"));
+  }
+}
+BENCHMARK(BM_Insert)->Unit(benchmark::kMicrosecond);
+
+void BM_CompileEntangled(benchmark::State& state) {
+  SqlStack s;
+  auto parsed = sql::Parser::ParseStatement(kEntangledSql).value();
+  sql::VarEnv vars;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        eq::Compiler::Compile(*parsed.entangled, vars, s.db, "bench"));
+  }
+}
+BENCHMARK(BM_CompileEntangled)->Unit(benchmark::kMicrosecond);
+
+void BM_GroundEntangled(benchmark::State& state) {
+  SqlStack s;
+  auto parsed = sql::Parser::ParseStatement(kEntangledSql).value();
+  sql::VarEnv vars;
+  auto spec = eq::Compiler::Compile(*parsed.entangled, vars, s.db, "bench")
+                  .value();
+  for (auto _ : state) {
+    auto txn = s.tm->Begin();
+    benchmark::DoNotOptimize(eq::Grounder::Ground(spec, s.tm.get(),
+                                                  txn.get()));
+    (void)s.tm->Commit(txn.get());
+  }
+}
+BENCHMARK(BM_GroundEntangled)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace youtopia::bench
+
+BENCHMARK_MAIN();

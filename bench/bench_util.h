@@ -1,0 +1,59 @@
+#ifndef YOUTOPIA_BENCH_BENCH_UTIL_H_
+#define YOUTOPIA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/etxn/engine.h"
+#include "src/workload/workloads.h"
+
+namespace youtopia::bench {
+
+/// One self-contained engine stack over a fresh travel database. Rebuilt per
+/// measurement point so points are independent (the paper averages over
+/// fresh runs as well).
+struct Stack {
+  Database db;
+  LockManager locks;
+  std::unique_ptr<TransactionManager> tm;
+  workload::TravelData data;
+
+  static StatusOr<std::unique_ptr<Stack>> Create(
+      workload::TravelDataOptions opts) {
+    auto s = std::make_unique<Stack>();
+    s->tm = std::make_unique<TransactionManager>(&s->db, &s->locks, nullptr);
+    YT_ASSIGN_OR_RETURN(s->data, workload::TravelData::Build(s->tm.get(),
+                                                             opts));
+    return s;
+  }
+};
+
+/// Submits all specs (in order) and waits for completion; returns elapsed
+/// wall seconds. `batch` > 0 submits in batches of that size with a small
+/// gap so the run scheduler can group them (Fig 6(a) setup).
+inline double RunSpecs(etxn::EntangledTransactionEngine* engine,
+                       std::vector<etxn::EntangledTransactionSpec> specs) {
+  std::vector<std::shared_ptr<etxn::TxnHandle>> handles;
+  handles.reserve(specs.size());
+  Stopwatch sw(SystemClock::Default());
+  for (auto& s : specs) handles.push_back(engine->Submit(std::move(s)));
+  engine->WaitAll(handles);
+  return sw.ElapsedSeconds();
+}
+
+/// Fraction of handles that committed (sanity check for bench validity).
+inline double CommitRate(
+    const std::vector<std::shared_ptr<etxn::TxnHandle>>& handles) {
+  if (handles.empty()) return 1.0;
+  size_t ok = 0;
+  for (const auto& h : handles) {
+    if (h->done() && h->Wait().ok()) ++ok;
+  }
+  return static_cast<double>(ok) / handles.size();
+}
+
+}  // namespace youtopia::bench
+
+#endif  // YOUTOPIA_BENCH_BENCH_UTIL_H_

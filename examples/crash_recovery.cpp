@@ -1,0 +1,100 @@
+// Entanglement-aware crash recovery (paper §4): two transactions entangle
+// and write their bookings. We simulate a crash landing exactly between one
+// partner's COMMIT record and the group's GROUP_COMMIT record. Recovery
+// must roll BOTH back — a classical recovery algorithm would wrongly keep
+// the committed half, creating a durable widowed transaction.
+
+#include <cstdio>
+#include <string>
+
+#include "src/txn/transaction_manager.h"
+#include "src/wal/recovery.h"
+#include "src/wal/wal_writer.h"
+
+using namespace youtopia;
+
+namespace {
+
+Schema BookingSchema() {
+  return Schema({{"name", TypeId::kString}, {"fno", TypeId::kInt64}});
+}
+
+Status Scenario(const std::string& wal_path, bool torn_group_commit) {
+  Database db;
+  LockManager locks;
+  WalWriter wal;
+  YT_RETURN_IF_ERROR(wal.Open(wal_path, {}, /*truncate=*/true));
+  TransactionManager tm(&db, &locks, &wal);
+  YT_RETURN_IF_ERROR(tm.CreateTable("Bookings", BookingSchema()).status());
+
+  auto mickey = tm.Begin();
+  auto minnie = tm.Begin();
+  YT_RETURN_IF_ERROR(
+      tm.Insert(mickey.get(), "Bookings",
+                Row({Value::Str("Mickey"), Value::Int(122)}))
+          .status());
+  YT_RETURN_IF_ERROR(
+      tm.Insert(minnie.get(), "Bookings",
+                Row({Value::Str("Minnie"), Value::Int(122)}))
+          .status());
+  // They entangled on flight 122 (persistent ENTANGLE record).
+  YT_RETURN_IF_ERROR(tm.LogEntangle(1, {mickey.get(), minnie.get()}));
+
+  if (torn_group_commit) {
+    // Crash injection: Mickey's COMMIT record reaches the disk, the
+    // GROUP_COMMIT record does not.
+    YT_RETURN_IF_ERROR(
+        wal.AppendAndFlush(WalRecord::Commit(mickey->id())).status());
+    std::printf("  ...crash after Mickey's COMMIT, before GROUP_COMMIT\n");
+  } else {
+    YT_RETURN_IF_ERROR(tm.CommitGroup({mickey.get(), minnie.get()}));
+    std::printf("  ...group committed cleanly, then crash\n");
+  }
+  return Status::Ok();  // drop everything: the "crash"
+}
+
+Status Recover(const std::string& wal_path) {
+  YT_ASSIGN_OR_RETURN(RecoveryManager::Result r,
+                      RecoveryManager::Recover(wal_path));
+  std::printf("  recovery: %zu durably committed, %zu rolled back by the "
+              "group-commit rule, %zu discarded\n",
+              r.committed.size(), r.rolled_back.size(), r.discarded.size());
+  Table* t = r.db->GetTable("Bookings").value();
+  std::printf("  Bookings after recovery (%zu rows):\n", t->size());
+  t->Scan([](RowId, const Row& row) {
+    std::printf("    %s flight %s\n", row[0].as_string().c_str(),
+                row[1].ToString().c_str());
+    return true;
+  });
+  return Status::Ok();
+}
+
+}  // namespace
+
+int main() {
+  std::string wal_path = "/tmp/yt_example_crash.walog";
+
+  std::printf("Case 1: crash tears the group commit apart\n");
+  if (Status s = Scenario(wal_path, /*torn_group_commit=*/true); !s.ok()) {
+    std::fprintf(stderr, "failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = Recover(wal_path); !s.ok()) {
+    std::fprintf(stderr, "failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("  => neither booking survived: no durable widow.\n\n");
+
+  std::printf("Case 2: the GROUP_COMMIT record made it\n");
+  if (Status s = Scenario(wal_path, /*torn_group_commit=*/false); !s.ok()) {
+    std::fprintf(stderr, "failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = Recover(wal_path); !s.ok()) {
+    std::fprintf(stderr, "failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("  => both bookings durable: the group is atomic.\n");
+  std::remove(wal_path.c_str());
+  return 0;
+}

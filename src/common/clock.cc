@@ -1,0 +1,23 @@
+#include "src/common/clock.h"
+
+#include <thread>
+
+namespace youtopia {
+
+int64_t SystemClock::NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SystemClock::SleepMicros(int64_t micros) {
+  if (micros <= 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+SystemClock* SystemClock::Default() {
+  static SystemClock clock;
+  return &clock;
+}
+
+}  // namespace youtopia

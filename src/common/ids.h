@@ -1,0 +1,22 @@
+#ifndef YOUTOPIA_COMMON_IDS_H_
+#define YOUTOPIA_COMMON_IDS_H_
+
+#include <cstdint>
+
+namespace youtopia {
+
+/// Transaction identifier, unique per TransactionManager instance and
+/// monotonically increasing (used as age for deadlock victim selection).
+using TxnId = uint64_t;
+
+/// Identifier of one entanglement operation (the paper's E^k superscript).
+using EntanglementId = uint64_t;
+
+/// Identifier of a group-commit group (transitively entangled transactions).
+using GroupId = uint64_t;
+
+constexpr TxnId kInvalidTxnId = 0;
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_COMMON_IDS_H_

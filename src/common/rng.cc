@@ -1,0 +1,35 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace youtopia {
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> d(lo, hi);
+  return d(gen_);
+}
+
+double Rng::NextDouble() {
+  std::uniform_real_distribution<double> d(0.0, 1.0);
+  return d(gen_);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+size_t Rng::Index(size_t n) {
+  if (n == 0) return 0;
+  return static_cast<size_t>(Uniform(0, static_cast<int64_t>(n) - 1));
+}
+
+size_t Rng::Zipf(size_t n, double theta) {
+  if (n == 0) return 0;
+  // Inverse-CDF sampling over a truncated power law; cheap and adequate for
+  // workload skew (we do not need exact Zipfian moments).
+  double u = NextDouble();
+  double x = std::pow(static_cast<double>(n), 1.0 - theta);
+  double v = std::pow((x - 1.0) * u + 1.0, 1.0 / (1.0 - theta));
+  size_t idx = static_cast<size_t>(v) - 1;
+  return idx >= n ? n - 1 : idx;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,44 @@
+#ifndef YOUTOPIA_COMMON_RNG_H_
+#define YOUTOPIA_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace youtopia {
+
+/// Deterministic pseudo-random source for workload generation and property
+/// tests. All experiment shapes must be reproducible given a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi);
+  /// Uniform double in [0, 1).
+  double NextDouble();
+  /// True with probability p.
+  bool Bernoulli(double p);
+  /// Uniform index in [0, n).
+  size_t Index(size_t n);
+  /// Zipf-like heavy-tailed index in [0, n) with exponent `theta`.
+  size_t Zipf(size_t n, double theta);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      std::swap((*v)[i], (*v)[Index(i + 1)]);
+    }
+  }
+
+  std::mt19937_64& gen() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_COMMON_RNG_H_

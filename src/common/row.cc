@@ -1,0 +1,39 @@
+#include "src/common/row.h"
+
+namespace youtopia {
+
+Row Row::Concat(const Row& a, const Row& b) {
+  std::vector<Value> vals = a.vals_;
+  vals.insert(vals.end(), b.vals_.begin(), b.vals_.end());
+  return Row(std::move(vals));
+}
+
+std::string Row::ToString() const {
+  std::string s = "(";
+  for (size_t i = 0; i < vals_.size(); ++i) {
+    if (i) s += ", ";
+    s += vals_[i].ToString();
+  }
+  s += ")";
+  return s;
+}
+
+int Row::Compare(const Row& o) const {
+  size_t n = std::min(vals_.size(), o.vals_.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = vals_[i].Compare(o.vals_[i]);
+    if (c != 0) return c;
+  }
+  if (vals_.size() == o.vals_.size()) return 0;
+  return vals_.size() < o.vals_.size() ? -1 : 1;
+}
+
+size_t Row::Hash() const {
+  size_t h = 0x345678;
+  for (const Value& v : vals_) {
+    h = h * 1000003 ^ v.Hash();
+  }
+  return h ^ vals_.size();
+}
+
+}  // namespace youtopia

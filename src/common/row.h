@@ -1,0 +1,54 @@
+#ifndef YOUTOPIA_COMMON_ROW_H_
+#define YOUTOPIA_COMMON_ROW_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace youtopia {
+
+/// A tuple of values. Used both for stored rows and for answer-relation
+/// tuples; totally ordered and hashable so rows can key hash indexes and
+/// answer-tuple lookup tables.
+class Row {
+ public:
+  Row() = default;
+  explicit Row(std::vector<Value> vals) : vals_(std::move(vals)) {}
+  Row(std::initializer_list<Value> vals) : vals_(vals) {}
+
+  size_t size() const { return vals_.size(); }
+  bool empty() const { return vals_.empty(); }
+  const Value& at(size_t i) const { return vals_[i]; }
+  Value& at(size_t i) { return vals_[i]; }
+  const Value& operator[](size_t i) const { return vals_[i]; }
+  Value& operator[](size_t i) { return vals_[i]; }
+  const std::vector<Value>& values() const { return vals_; }
+
+  void Append(Value v) { vals_.push_back(std::move(v)); }
+
+  /// Concatenation of two rows (used by nested-loop joins).
+  static Row Concat(const Row& a, const Row& b);
+
+  /// "(1, 'LA', 3.5)"
+  std::string ToString() const;
+
+  int Compare(const Row& o) const;
+  bool operator==(const Row& o) const { return Compare(o) == 0; }
+  bool operator!=(const Row& o) const { return Compare(o) != 0; }
+  bool operator<(const Row& o) const { return Compare(o) < 0; }
+
+  size_t Hash() const;
+
+ private:
+  std::vector<Value> vals_;
+};
+
+struct RowHash {
+  size_t operator()(const Row& r) const { return r.Hash(); }
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_COMMON_ROW_H_

@@ -1,0 +1,41 @@
+#include "src/common/schema.h"
+
+#include "src/common/strings.h"
+
+namespace youtopia {
+
+StatusOr<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (EqualsIgnoreCase(cols_[i].name, name)) return i;
+  }
+  return Status::NotFound("no column named " + name);
+}
+
+bool Schema::HasColumn(const std::string& name) const {
+  return IndexOf(name).ok();
+}
+
+std::string Schema::ToString() const {
+  std::string s = "(";
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (i) s += ", ";
+    s += cols_[i].name;
+    s += " ";
+    s += TypeName(cols_[i].type);
+  }
+  s += ")";
+  return s;
+}
+
+bool Schema::operator==(const Schema& o) const {
+  if (cols_.size() != o.cols_.size()) return false;
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (!EqualsIgnoreCase(cols_[i].name, o.cols_[i].name) ||
+        cols_[i].type != o.cols_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,45 @@
+#ifndef YOUTOPIA_COMMON_SCHEMA_H_
+#define YOUTOPIA_COMMON_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/statusor.h"
+#include "src/common/value.h"
+
+namespace youtopia {
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  TypeId type = TypeId::kString;
+};
+
+/// An ordered list of columns describing a table or intermediate result.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> cols) : cols_(std::move(cols)) {}
+
+  size_t num_columns() const { return cols_.size(); }
+  const Column& column(size_t i) const { return cols_[i]; }
+  const std::vector<Column>& columns() const { return cols_; }
+
+  /// Index of column `name` (case-insensitive), or NotFound.
+  StatusOr<size_t> IndexOf(const std::string& name) const;
+  bool HasColumn(const std::string& name) const;
+
+  void AddColumn(Column c) { cols_.push_back(std::move(c)); }
+
+  /// "(a INT, b VARCHAR)"
+  std::string ToString() const;
+
+  bool operator==(const Schema& o) const;
+
+ private:
+  std::vector<Column> cols_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_COMMON_SCHEMA_H_

@@ -1,0 +1,58 @@
+#ifndef YOUTOPIA_COMMON_STATUSOR_H_
+#define YOUTOPIA_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace youtopia {
+
+/// Holds either a value of type T or a non-OK Status explaining why the value
+/// is absent. Accessing value() on an error StatusOr is a programming error
+/// (assert in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from error Status.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+  /// Implicit from value.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_COMMON_STATUSOR_H_

@@ -1,0 +1,27 @@
+#ifndef YOUTOPIA_COMMON_STRINGS_H_
+#define YOUTOPIA_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace youtopia {
+
+/// ASCII upper-case copy.
+std::string ToUpper(const std::string& s);
+/// ASCII lower-case copy.
+std::string ToLower(const std::string& s);
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+/// Splits on a single character, keeping empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+/// Strips leading/trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...);
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_COMMON_STRINGS_H_

@@ -1,0 +1,46 @@
+#ifndef YOUTOPIA_COMMON_THREAD_POOL_H_
+#define YOUTOPIA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace youtopia {
+
+/// Fixed-size worker pool. Used by the entangled transaction manager as its
+/// "connection pool": the number of workers models the DBMS's maximum number
+/// of concurrent connections (the paper's concurrency bound, §5.2.1).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; tasks run FIFO across workers.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_COMMON_THREAD_POOL_H_

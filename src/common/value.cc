@@ -1,0 +1,231 @@
+#include "src/common/value.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstring>
+#include <functional>
+
+#include "src/common/strings.h"
+
+namespace youtopia {
+
+const char* TypeName(TypeId t) {
+  switch (t) {
+    case TypeId::kNull: return "NULL";
+    case TypeId::kBool: return "BOOL";
+    case TypeId::kInt64: return "INT";
+    case TypeId::kDouble: return "DOUBLE";
+    case TypeId::kString: return "VARCHAR";
+  }
+  return "?";
+}
+
+StatusOr<TypeId> TypeFromName(const std::string& name) {
+  std::string u = ToUpper(name);
+  if (u == "INT" || u == "INTEGER" || u == "BIGINT") return TypeId::kInt64;
+  if (u == "DOUBLE" || u == "FLOAT" || u == "REAL") return TypeId::kDouble;
+  if (u == "VARCHAR" || u == "TEXT" || u == "STRING" || u == "CHAR") {
+    return TypeId::kString;
+  }
+  if (u == "BOOL" || u == "BOOLEAN") return TypeId::kBool;
+  return Status::InvalidArgument("unknown type name: " + name);
+}
+
+TypeId Value::type() const {
+  switch (v_.index()) {
+    case 0: return TypeId::kNull;
+    case 1: return TypeId::kBool;
+    case 2: return TypeId::kInt64;
+    case 3: return TypeId::kDouble;
+    case 4: return TypeId::kString;
+  }
+  return TypeId::kNull;
+}
+
+double Value::NumericAsDouble() const {
+  if (is_int()) return static_cast<double>(as_int());
+  return as_double();
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case TypeId::kNull: return "NULL";
+    case TypeId::kBool: return as_bool() ? "TRUE" : "FALSE";
+    case TypeId::kInt64: return std::to_string(as_int());
+    case TypeId::kDouble: {
+      char buf[32];
+      snprintf(buf, sizeof(buf), "%g", as_double());
+      return buf;
+    }
+    case TypeId::kString: return "'" + as_string() + "'";
+  }
+  return "?";
+}
+
+bool Value::Truthy() const {
+  switch (type()) {
+    case TypeId::kNull: return false;
+    case TypeId::kBool: return as_bool();
+    case TypeId::kInt64: return as_int() != 0;
+    case TypeId::kDouble: return as_double() != 0.0;
+    case TypeId::kString: return !as_string().empty();
+  }
+  return false;
+}
+
+namespace {
+int TypeRank(TypeId t) {
+  switch (t) {
+    case TypeId::kNull: return 0;
+    case TypeId::kBool: return 1;
+    case TypeId::kInt64: return 2;
+    case TypeId::kDouble: return 2;  // numerics compare cross-type
+    case TypeId::kString: return 3;
+  }
+  return 4;
+}
+}  // namespace
+
+int Value::Compare(const Value& o) const {
+  int ra = TypeRank(type()), rb = TypeRank(o.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (type()) {
+    case TypeId::kNull:
+      return 0;
+    case TypeId::kBool: {
+      bool a = as_bool(), b = o.as_bool();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case TypeId::kInt64:
+    case TypeId::kDouble: {
+      if (is_int() && o.is_int()) {
+        int64_t a = as_int(), b = o.as_int();
+        return a == b ? 0 : (a < b ? -1 : 1);
+      }
+      double a = NumericAsDouble(), b = o.NumericAsDouble();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case TypeId::kString:
+      return as_string().compare(o.as_string()) < 0
+                 ? -1
+                 : (as_string() == o.as_string() ? 0 : 1);
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case TypeId::kNull: return 0x9e3779b97f4a7c15ULL;
+    case TypeId::kBool: return as_bool() ? 2 : 1;
+    case TypeId::kInt64: return std::hash<int64_t>{}(as_int());
+    case TypeId::kDouble: {
+      double d = as_double();
+      // Hash doubles that are exact integers like the integer, so cross-type
+      // numeric equality is consistent with hashing.
+      if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+        return std::hash<int64_t>{}(static_cast<int64_t>(d));
+      }
+      return std::hash<double>{}(d);
+    }
+    case TypeId::kString: return std::hash<std::string>{}(as_string());
+  }
+  return 0;
+}
+
+StatusOr<Value> Value::Add(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (a.is_string() && b.is_string()) {
+    return Value::Str(a.as_string() + b.as_string());
+  }
+  if (!a.is_numeric() || !b.is_numeric()) {
+    return Status::InvalidArgument("'+' requires numeric or string operands");
+  }
+  if (a.is_int() && b.is_int()) return Value::Int(a.as_int() + b.as_int());
+  return Value::Double(a.NumericAsDouble() + b.NumericAsDouble());
+}
+
+StatusOr<Value> Value::Sub(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (!a.is_numeric() || !b.is_numeric()) {
+    return Status::InvalidArgument("'-' requires numeric operands");
+  }
+  if (a.is_int() && b.is_int()) return Value::Int(a.as_int() - b.as_int());
+  return Value::Double(a.NumericAsDouble() - b.NumericAsDouble());
+}
+
+StatusOr<Value> Value::Mul(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (!a.is_numeric() || !b.is_numeric()) {
+    return Status::InvalidArgument("'*' requires numeric operands");
+  }
+  if (a.is_int() && b.is_int()) return Value::Int(a.as_int() * b.as_int());
+  return Value::Double(a.NumericAsDouble() * b.NumericAsDouble());
+}
+
+StatusOr<Value> Value::Div(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (!a.is_numeric() || !b.is_numeric()) {
+    return Status::InvalidArgument("'/' requires numeric operands");
+  }
+  double denom = b.NumericAsDouble();
+  if (denom == 0.0) return Status::InvalidArgument("division by zero");
+  if (a.is_int() && b.is_int() && a.as_int() % b.as_int() == 0) {
+    return Value::Int(a.as_int() / b.as_int());
+  }
+  return Value::Double(a.NumericAsDouble() / denom);
+}
+
+StatusOr<Value> Value::CoerceTo(TypeId t) const {
+  if (is_null() || type() == t) return *this;
+  switch (t) {
+    case TypeId::kInt64:
+      if (is_double()) {
+        double d = as_double();
+        if (d == std::floor(d)) return Value::Int(static_cast<int64_t>(d));
+        return Status::InvalidArgument("non-integral double to INT");
+      }
+      if (is_string()) {
+        int64_t out = 0;
+        const std::string& s = as_string();
+        auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+        if (ec == std::errc() && p == s.data() + s.size()) {
+          return Value::Int(out);
+        }
+        return Status::InvalidArgument("cannot parse INT from " + ToString());
+      }
+      if (is_bool()) return Value::Int(as_bool() ? 1 : 0);
+      break;
+    case TypeId::kDouble:
+      if (is_int()) return Value::Double(static_cast<double>(as_int()));
+      if (is_string()) {
+        try {
+          size_t pos = 0;
+          double d = std::stod(as_string(), &pos);
+          if (pos == as_string().size()) return Value::Double(d);
+        } catch (...) {
+        }
+        return Status::InvalidArgument("cannot parse DOUBLE from " +
+                                       ToString());
+      }
+      break;
+    case TypeId::kString:
+      if (is_int()) return Value::Str(std::to_string(as_int()));
+      if (is_bool()) return Value::Str(as_bool() ? "TRUE" : "FALSE");
+      if (is_double()) {
+        char buf[32];
+        snprintf(buf, sizeof(buf), "%g", as_double());
+        return Value::Str(buf);
+      }
+      break;
+    case TypeId::kBool:
+      if (is_int()) return Value::Bool(as_int() != 0);
+      break;
+    case TypeId::kNull:
+      break;
+  }
+  return Status::InvalidArgument(std::string("cannot coerce ") +
+                                 TypeName(type()) + " to " + TypeName(t));
+}
+
+}  // namespace youtopia

@@ -1,0 +1,103 @@
+#ifndef YOUTOPIA_COMMON_VALUE_H_
+#define YOUTOPIA_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "src/common/statusor.h"
+
+namespace youtopia {
+
+/// Column / value types supported by the engine. Dates in the travel schema
+/// are stored as kInt64 day numbers or as kString, at the application's
+/// choice (the paper's examples use both styles).
+enum class TypeId : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// Name of a type, e.g. "INT".
+const char* TypeName(TypeId t);
+
+/// Parses a SQL type name (INT/BIGINT, DOUBLE/FLOAT, VARCHAR/TEXT/STRING,
+/// BOOL/BOOLEAN). Case-insensitive.
+StatusOr<TypeId> TypeFromName(const std::string& name);
+
+/// A dynamically typed SQL value. Total order: NULL < BOOL < INT/DOUBLE
+/// (numerics compare by numeric value across the two types) < STRING.
+/// Hashable and totally ordered so values can key indexes and answer
+/// relations.
+class Value {
+ public:
+  /// NULL value.
+  Value() : v_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Repr(b)); }
+  static Value Int(int64_t i) { return Value(Repr(i)); }
+  static Value Double(double d) { return Value(Repr(d)); }
+  static Value Str(std::string s) { return Value(Repr(std::move(s))); }
+
+  TypeId type() const;
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  int64_t as_int() const { return std::get<int64_t>(v_); }
+  double as_double() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+
+  /// Numeric value as double regardless of int/double representation.
+  double NumericAsDouble() const;
+
+  /// SQL-ish rendering: NULL, TRUE, 42, 3.5, 'text'.
+  std::string ToString() const;
+
+  /// Truthiness for WHERE evaluation: NULL and FALSE are false; nonzero
+  /// numerics and nonempty handling follow SQL-ish boolean coercion.
+  bool Truthy() const;
+
+  /// Three-valued total order ignoring SQL NULL semantics (used by indexes
+  /// and canonical sorting): -1, 0, +1.
+  int Compare(const Value& o) const;
+
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator!=(const Value& o) const { return Compare(o) != 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+  bool operator<=(const Value& o) const { return Compare(o) <= 0; }
+  bool operator>(const Value& o) const { return Compare(o) > 0; }
+  bool operator>=(const Value& o) const { return Compare(o) >= 0; }
+
+  size_t Hash() const;
+
+  /// Checked arithmetic on numerics; strings support + (concatenation).
+  static StatusOr<Value> Add(const Value& a, const Value& b);
+  static StatusOr<Value> Sub(const Value& a, const Value& b);
+  static StatusOr<Value> Mul(const Value& a, const Value& b);
+  static StatusOr<Value> Div(const Value& a, const Value& b);
+
+  /// Coerces this value to the given column type (int<->double, parse from
+  /// string where unambiguous). NULL coerces to any type.
+  StatusOr<Value> CoerceTo(TypeId t) const;
+
+ private:
+  using Repr = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Repr v) : v_(std::move(v)) {}
+  Repr v_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_COMMON_VALUE_H_

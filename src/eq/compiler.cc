@@ -1,0 +1,324 @@
+#include "src/eq/compiler.h"
+
+#include <unordered_map>
+
+#include "src/common/strings.h"
+
+namespace youtopia::eq {
+
+namespace {
+
+using sql::Expr;
+using sql::ExprKind;
+
+/// Union-find over variable names with constant binding on representatives.
+class Unifier {
+ public:
+  std::string Find(const std::string& v) {
+    auto it = parent_.find(v);
+    if (it == parent_.end() || it->second == v) return v;
+    std::string root = Find(it->second);
+    parent_[v] = root;
+    return root;
+  }
+
+  void Union(const std::string& a, const std::string& b) {
+    std::string ra = Find(a), rb = Find(b);
+    if (ra == rb) return;
+    // Keep the lexicographically smaller name as representative so the
+    // compilation is deterministic.
+    if (rb < ra) std::swap(ra, rb);
+    parent_[rb] = ra;
+    auto it = consts_.find(rb);
+    if (it != consts_.end()) {
+      BindConst(ra, it->second);
+      consts_.erase(rb);
+    }
+  }
+
+  void BindConst(const std::string& v, const Value& value) {
+    std::string r = Find(v);
+    auto it = consts_.find(r);
+    if (it != consts_.end()) {
+      if (it->second != value) unsat_ = true;
+      return;
+    }
+    consts_[r] = value;
+  }
+
+  /// Final resolution of a variable name into an IR term.
+  Term Resolve(const std::string& v) {
+    std::string r = Find(v);
+    auto it = consts_.find(r);
+    if (it != consts_.end()) return Term::Const(it->second);
+    return Term::Var(r);
+  }
+
+  Term ResolveTerm(const Term& t) {
+    return t.is_var ? Resolve(t.var) : t;
+  }
+
+  bool unsat() const { return unsat_; }
+
+ private:
+  std::unordered_map<std::string, std::string> parent_;
+  std::unordered_map<std::string, Value> consts_;
+  bool unsat_ = false;
+};
+
+/// Splits a conjunctive WHERE tree into conjuncts; fails on OR / NOT.
+Status FlattenConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e == nullptr) return Status::Ok();
+  if (e->kind == ExprKind::kBinary && e->op == "AND") {
+    YT_RETURN_IF_ERROR(FlattenConjuncts(e->lhs.get(), out));
+    return FlattenConjuncts(e->rhs.get(), out);
+  }
+  if (e->kind == ExprKind::kBinary && e->op == "OR") {
+    return Status::Unimplemented(
+        "OR is not supported in entangled WHERE clauses "
+        "(select-project-join restriction)");
+  }
+  if (e->kind == ExprKind::kNot) {
+    return Status::Unimplemented(
+        "NOT is not supported in entangled WHERE clauses");
+  }
+  out->push_back(e);
+  return Status::Ok();
+}
+
+Value HostVarValue(const sql::VarEnv& vars, const std::string& name) {
+  auto it = vars.find(ToLower(name));
+  return it == vars.end() ? Value::Null() : it->second;
+}
+
+/// Context for compiling the IN-subqueries: the FROM aliases with schemas.
+struct SubTable {
+  std::string alias_lower;
+  const Schema* schema;
+};
+
+std::string ColVar(const std::string& alias, const std::string& col) {
+  return ToLower(alias) + "." + ToLower(col);
+}
+
+/// Resolves a column reference inside a subquery to its canonical variable.
+StatusOr<std::string> SubColumnVar(const std::vector<SubTable>& tables,
+                                   const std::string& qualifier,
+                                   const std::string& column) {
+  for (const SubTable& t : tables) {
+    if (!qualifier.empty() && ToLower(qualifier) != t.alias_lower) continue;
+    if (t.schema->HasColumn(column)) return ColVar(t.alias_lower, column);
+  }
+  return Status::InvalidArgument("unresolved column '" + column +
+                                 "' in entangled subquery");
+}
+
+/// Turns a scalar AST node into an IR term in subquery scope.
+StatusOr<Term> SubTerm(const Expr& e, const std::vector<SubTable>& tables,
+                       const sql::VarEnv& vars, Unifier* uf) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return Term::Const(e.literal);
+    case ExprKind::kHostVar:
+      return Term::Const(HostVarValue(vars, e.var));
+    case ExprKind::kColumnRef: {
+      YT_ASSIGN_OR_RETURN(std::string v,
+                          SubColumnVar(tables, e.qualifier, e.column));
+      (void)uf;
+      return Term::Var(v);
+    }
+    default:
+      return Status::Unimplemented(
+          "only columns, literals and host variables are supported in "
+          "entangled subquery predicates");
+  }
+}
+
+/// Turns a scalar AST node into an IR term in the OUTER entangled scope
+/// (head / postconditions / top-level predicates), where bare column names
+/// are coordination variables.
+StatusOr<Term> OuterTerm(const Expr& e, const sql::VarEnv& vars) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return Term::Const(e.literal);
+    case ExprKind::kHostVar:
+      return Term::Const(HostVarValue(vars, e.var));
+    case ExprKind::kColumnRef:
+      return Term::Var(ToLower(e.column));
+    default:
+      return Status::Unimplemented(
+          "entangled select items / tuple members must be columns, literals "
+          "or host variables");
+  }
+}
+
+}  // namespace
+
+StatusOr<EntangledQuerySpec> Compiler::Compile(
+    const sql::EntangledSelectStmt& stmt, const sql::VarEnv& vars,
+    const Database& db, const std::string& label) {
+  if (stmt.answer_relations.size() != 1) {
+    return Status::Unimplemented(
+        "the SQL front-end supports exactly one ANSWER relation per "
+        "entangled query (use the IR API for multi-answer queries)");
+  }
+  EntangledQuerySpec spec;
+  spec.label = label;
+  spec.choose = stmt.choose;
+
+  Unifier uf;
+
+  // --- Head atom from the SELECT items.
+  Atom head;
+  head.relation = stmt.answer_relations[0];
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    const sql::SelectItem& item = stmt.items[i];
+    YT_ASSIGN_OR_RETURN(Term t, OuterTerm(*item.expr, vars));
+    head.terms.push_back(std::move(t));
+    if (item.alias_is_hostvar) {
+      spec.answer_bindings.push_back({0, i, ToLower(item.alias)});
+    }
+  }
+  spec.head.push_back(std::move(head));
+
+  // --- WHERE conjuncts.
+  std::vector<const Expr*> conjuncts;
+  YT_RETURN_IF_ERROR(FlattenConjuncts(stmt.where.get(), &conjuncts));
+
+  for (const Expr* c : conjuncts) {
+    switch (c->kind) {
+      case ExprKind::kInAnswer: {
+        Atom post;
+        post.relation = c->answer_relation;
+        for (const sql::ExprPtr& item : c->tuple) {
+          YT_ASSIGN_OR_RETURN(Term t, OuterTerm(*item, vars));
+          post.terms.push_back(std::move(t));
+        }
+        spec.post.push_back(std::move(post));
+        break;
+      }
+      case ExprKind::kInSubquery: {
+        const sql::SelectStmt& sub = *c->subquery;
+        if (sub.from.empty()) {
+          return Status::InvalidArgument(
+              "entangled IN subquery needs a FROM clause");
+        }
+        // Body atoms: one per subquery table, fresh variable per column.
+        std::vector<SubTable> tables;
+        for (const sql::TableRef& ref : sub.from) {
+          YT_ASSIGN_OR_RETURN(const Table* t, db.GetTableConst(ref.table));
+          tables.push_back({ToLower(ref.alias), &t->schema()});
+          Atom atom;
+          atom.relation = t->name();
+          for (const Column& col : t->schema().columns()) {
+            atom.terms.push_back(
+                Term::Var(ColVar(ref.alias, col.name)));
+          }
+          spec.body.push_back(std::move(atom));
+        }
+        // Outer tuple <-> subquery select items.
+        if (c->tuple.size() != sub.items.size()) {
+          return Status::InvalidArgument(
+              "IN tuple arity does not match subquery select arity");
+        }
+        for (size_t k = 0; k < c->tuple.size(); ++k) {
+          const Expr& sub_item = *sub.items[k].expr;
+          if (sub_item.kind != ExprKind::kColumnRef) {
+            return Status::Unimplemented(
+                "entangled subquery select items must be plain columns");
+          }
+          YT_ASSIGN_OR_RETURN(
+              std::string sub_var,
+              SubColumnVar(tables, sub_item.qualifier, sub_item.column));
+          const Expr& outer = *c->tuple[k];
+          switch (outer.kind) {
+            case ExprKind::kColumnRef:
+              uf.Union(ToLower(outer.column), sub_var);
+              break;
+            case ExprKind::kLiteral:
+              uf.BindConst(sub_var, outer.literal);
+              break;
+            case ExprKind::kHostVar:
+              uf.BindConst(sub_var, HostVarValue(vars, outer.var));
+              break;
+            default:
+              return Status::Unimplemented(
+                  "IN tuple members must be columns, literals or host "
+                  "variables");
+          }
+        }
+        // Subquery WHERE: equalities unify / bind; the rest are residual
+        // predicates.
+        std::vector<const Expr*> sub_conjs;
+        YT_RETURN_IF_ERROR(FlattenConjuncts(sub.where.get(), &sub_conjs));
+        for (const Expr* sc : sub_conjs) {
+          if (sc->kind != ExprKind::kBinary) {
+            return Status::Unimplemented(
+                "unsupported predicate in entangled subquery: " +
+                sc->ToString());
+          }
+          YT_ASSIGN_OR_RETURN(Term lhs,
+                              SubTerm(*sc->lhs, tables, vars, &uf));
+          YT_ASSIGN_OR_RETURN(Term rhs,
+                              SubTerm(*sc->rhs, tables, vars, &uf));
+          if (sc->op == "=") {
+            if (lhs.is_var && rhs.is_var) {
+              uf.Union(lhs.var, rhs.var);
+            } else if (lhs.is_var) {
+              uf.BindConst(lhs.var, rhs.constant);
+            } else if (rhs.is_var) {
+              uf.BindConst(rhs.var, lhs.constant);
+            } else if (lhs.constant != rhs.constant) {
+              spec.body_unsatisfiable = true;
+            }
+          } else {
+            spec.preds.push_back({std::move(lhs), sc->op, std::move(rhs)});
+          }
+        }
+        break;
+      }
+      case ExprKind::kBinary: {
+        // Top-level comparison over coordination variables.
+        YT_ASSIGN_OR_RETURN(Term lhs, OuterTerm(*c->lhs, vars));
+        YT_ASSIGN_OR_RETURN(Term rhs, OuterTerm(*c->rhs, vars));
+        if (c->op == "=") {
+          if (lhs.is_var && rhs.is_var) {
+            uf.Union(lhs.var, rhs.var);
+          } else if (lhs.is_var) {
+            uf.BindConst(lhs.var, rhs.constant);
+          } else if (rhs.is_var) {
+            uf.BindConst(rhs.var, lhs.constant);
+          } else if (lhs.constant != rhs.constant) {
+            spec.body_unsatisfiable = true;
+          }
+        } else {
+          spec.preds.push_back({std::move(lhs), c->op, std::move(rhs)});
+        }
+        break;
+      }
+      default:
+        return Status::Unimplemented("unsupported entangled WHERE conjunct: " +
+                                     c->ToString());
+    }
+  }
+
+  // --- Resolution pass: rewrite every term through the unifier.
+  auto resolve_atoms = [&uf](std::vector<Atom>* atoms) {
+    for (Atom& a : *atoms) {
+      for (Term& t : a.terms) t = uf.ResolveTerm(t);
+    }
+  };
+  resolve_atoms(&spec.head);
+  resolve_atoms(&spec.post);
+  resolve_atoms(&spec.body);
+  for (BodyPredicate& p : spec.preds) {
+    p.lhs = uf.ResolveTerm(p.lhs);
+    p.rhs = uf.ResolveTerm(p.rhs);
+  }
+  if (uf.unsat()) spec.body_unsatisfiable = true;
+
+  YT_RETURN_IF_ERROR(spec.Validate());
+  return spec;
+}
+
+}  // namespace youtopia::eq

@@ -1,0 +1,33 @@
+#ifndef YOUTOPIA_EQ_COMPILER_H_
+#define YOUTOPIA_EQ_COMPILER_H_
+
+#include <string>
+
+#include "src/eq/ir.h"
+#include "src/sql/ast.h"
+#include "src/sql/expr_eval.h"
+#include "src/storage/database.h"
+
+namespace youtopia::eq {
+
+/// Compiles the paper's extended-SQL entangled query into the Datalog-style
+/// IR of Appendix A. Host variables are substituted as constants at compile
+/// time (the statement runs after earlier statements bound them).
+///
+/// Supported WHERE forms (conjunctions of):
+///   * `cols IN (SELECT cols FROM T1 [, T2...] [WHERE conj])` — body atoms;
+///     subquery equality predicates unify variables / bind constants;
+///     other comparisons become residual body predicates.
+///   * `(t1, ..., tk) IN ANSWER Rel` — a postcondition atom.
+///   * `col op literal/@var/col` — residual body predicate.
+class Compiler {
+ public:
+  /// `label` names the query in diagnostics. `db` supplies table schemas.
+  static StatusOr<EntangledQuerySpec> Compile(
+      const sql::EntangledSelectStmt& stmt, const sql::VarEnv& vars,
+      const Database& db, const std::string& label);
+};
+
+}  // namespace youtopia::eq
+
+#endif  // YOUTOPIA_EQ_COMPILER_H_

@@ -1,0 +1,186 @@
+#include "src/eq/grounder.h"
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace youtopia::eq {
+
+std::string Grounding::ToString() const {
+  std::string s = "{";
+  for (size_t i = 0; i < posts.size(); ++i) {
+    if (i) s += ", ";
+    s += posts[i].first + posts[i].second.ToString();
+  }
+  s += "} ";
+  for (size_t i = 0; i < heads.size(); ++i) {
+    if (i) s += ", ";
+    s += heads[i].first + heads[i].second.ToString();
+  }
+  return s;
+}
+
+namespace {
+
+using Valuation = std::unordered_map<std::string, Value>;
+
+StatusOr<Value> TermValue(const Term& t, const Valuation& val) {
+  if (!t.is_var) return t.constant;
+  auto it = val.find(t.var);
+  if (it == val.end()) {
+    return Status::Internal("unbound variable " + t.var +
+                            " during grounding");
+  }
+  return it->second;
+}
+
+bool PredHolds(const BodyPredicate& p, const Valuation& val) {
+  auto l = TermValue(p.lhs, val);
+  auto r = TermValue(p.rhs, val);
+  if (!l.ok() || !r.ok()) return false;
+  if (l.value().is_null() || r.value().is_null()) return false;
+  int c = l.value().Compare(r.value());
+  if (p.op == "=") return c == 0;
+  if (p.op == "<>" || p.op == "!=") return c != 0;
+  if (p.op == "<") return c < 0;
+  if (p.op == "<=") return c <= 0;
+  if (p.op == ">") return c > 0;
+  if (p.op == ">=") return c >= 0;
+  return false;
+}
+
+/// True when every variable of `p` is bound in `val`.
+bool PredReady(const BodyPredicate& p, const Valuation& val) {
+  if (p.lhs.is_var && !val.count(p.lhs.var)) return false;
+  if (p.rhs.is_var && !val.count(p.rhs.var)) return false;
+  return true;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Grounding>> Grounder::Ground(const EntangledQuerySpec& q,
+                                                  TransactionManager* tm,
+                                                  Transaction* txn) {
+  return Ground(q, tm, txn, Options());
+}
+
+StatusOr<std::vector<Grounding>> Grounder::Ground(const EntangledQuerySpec& q,
+                                                  TransactionManager* tm,
+                                                  Transaction* txn,
+                                                  Options options) {
+  std::vector<Grounding> out;
+  if (q.body_unsatisfiable) return out;
+
+  // Snapshot the body relations, one filtered snapshot per atom: positions
+  // holding constants are filtered during the grounding scan, so a fully
+  // constant atom like Friends(36513, 45747) keeps at most a handful of
+  // rows. (The table S lock and the recorded R^G cover the whole relation
+  // either way.)
+  std::vector<std::vector<Row>> atom_rows(q.body.size());
+  for (size_t ai = 0; ai < q.body.size(); ++ai) {
+    const Atom& a = q.body[ai];
+    std::vector<Row>& rows = atom_rows[ai];
+    Status arity_error = Status::Ok();
+    YT_RETURN_IF_ERROR(tm->ScanForGrounding(
+        txn, a.relation, [&](RowId, const Row& row) {
+          if (row.size() != a.terms.size()) {
+            arity_error = Status::InvalidArgument(
+                "atom arity mismatch for relation " + a.relation);
+            return false;
+          }
+          for (size_t i = 0; i < a.terms.size(); ++i) {
+            if (!a.terms[i].is_var && a.terms[i].constant != row[i]) {
+              return true;  // constant mismatch: skip row
+            }
+          }
+          rows.push_back(row);
+          return true;
+        }));
+    YT_RETURN_IF_ERROR(arity_error);
+  }
+
+  std::set<std::string> seen;  // dedup on rendered grounding
+  Valuation val;
+
+  // Track which predicates have been applied at which join depth so each
+  // fires as soon as its variables are bound.
+  std::vector<bool> pred_done(q.preds.size(), false);
+
+  std::function<Status(size_t)> recurse = [&](size_t depth) -> Status {
+    if (out.size() >= options.max_groundings) return Status::Ok();
+    if (depth == q.body.size()) {
+      Grounding g;
+      for (const Atom& h : q.head) {
+        std::vector<Value> vals;
+        vals.reserve(h.terms.size());
+        for (const Term& t : h.terms) {
+          YT_ASSIGN_OR_RETURN(Value v, TermValue(t, val));
+          vals.push_back(std::move(v));
+        }
+        g.heads.emplace_back(h.relation, Row(std::move(vals)));
+      }
+      for (const Atom& c : q.post) {
+        std::vector<Value> vals;
+        vals.reserve(c.terms.size());
+        for (const Term& t : c.terms) {
+          YT_ASSIGN_OR_RETURN(Value v, TermValue(t, val));
+          vals.push_back(std::move(v));
+        }
+        g.posts.emplace_back(c.relation, Row(std::move(vals)));
+      }
+      std::string key = g.ToString();
+      if (seen.insert(std::move(key)).second) {
+        out.push_back(std::move(g));
+      }
+      return Status::Ok();
+    }
+
+    const Atom& atom = q.body[depth];
+    const std::vector<Row>& rows = atom_rows[depth];
+    for (const Row& row : rows) {
+      // Try to extend the valuation with this row.
+      std::vector<std::string> bound_here;
+      bool ok = true;
+      for (size_t i = 0; i < atom.terms.size() && ok; ++i) {
+        const Term& t = atom.terms[i];
+        if (!t.is_var) {
+          if (t.constant != row[i]) ok = false;
+        } else {
+          auto it = val.find(t.var);
+          if (it != val.end()) {
+            if (it->second != row[i]) ok = false;
+          } else {
+            val[t.var] = row[i];
+            bound_here.push_back(t.var);
+          }
+        }
+      }
+      // Apply any predicate that just became ready.
+      std::vector<size_t> preds_here;
+      if (ok) {
+        for (size_t pi = 0; pi < q.preds.size() && ok; ++pi) {
+          if (pred_done[pi] || !PredReady(q.preds[pi], val)) continue;
+          pred_done[pi] = true;
+          preds_here.push_back(pi);
+          if (!PredHolds(q.preds[pi], val)) ok = false;
+        }
+      }
+      if (ok) {
+        Status s = recurse(depth + 1);
+        if (!s.ok()) {
+          for (size_t pi : preds_here) pred_done[pi] = false;
+          for (const std::string& v : bound_here) val.erase(v);
+          return s;
+        }
+      }
+      for (size_t pi : preds_here) pred_done[pi] = false;
+      for (const std::string& v : bound_here) val.erase(v);
+    }
+    return Status::Ok();
+  };
+
+  YT_RETURN_IF_ERROR(recurse(0));
+  return out;
+}
+
+}  // namespace youtopia::eq

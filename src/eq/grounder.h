@@ -1,0 +1,52 @@
+#ifndef YOUTOPIA_EQ_GROUNDER_H_
+#define YOUTOPIA_EQ_GROUNDER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/eq/ir.h"
+#include "src/txn/transaction_manager.h"
+
+namespace youtopia::eq {
+
+/// One grounding of an entangled query (Appendix A): the head and
+/// postcondition atoms instantiated by a body valuation. Bodies are
+/// discarded after grounding, exactly as in the paper's Figure 7(b).
+struct Grounding {
+  /// (answer relation, tuple) per head atom.
+  std::vector<std::pair<std::string, Row>> heads;
+  /// (answer relation, tuple) per postcondition atom.
+  std::vector<std::pair<std::string, Row>> posts;
+
+  bool operator==(const Grounding& o) const {
+    return heads == o.heads && posts == o.posts;
+  }
+  std::string ToString() const;
+};
+
+/// Evaluates an entangled query's body over the database — the *grounding
+/// reads* R^G of the formal model. Reads go through
+/// TransactionManager::ScanForGrounding so they take the same table S locks
+/// as ordinary scans (this is what makes quasi-reads repeatable under full
+/// isolation) and are recorded as R^G by the schedule observer.
+class Grounder {
+ public:
+  struct Options {
+    size_t max_groundings = 100000;  ///< guardrail against runaway products
+  };
+
+  /// Returns the groundings in deterministic (scan) order, deduplicated.
+  /// An unsatisfiable body yields an empty list.
+  static StatusOr<std::vector<Grounding>> Ground(const EntangledQuerySpec& q,
+                                                 TransactionManager* tm,
+                                                 Transaction* txn,
+                                                 Options options);
+  static StatusOr<std::vector<Grounding>> Ground(const EntangledQuerySpec& q,
+                                                 TransactionManager* tm,
+                                                 Transaction* txn);
+};
+
+}  // namespace youtopia::eq
+
+#endif  // YOUTOPIA_EQ_GROUNDER_H_

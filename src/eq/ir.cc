@@ -1,0 +1,81 @@
+#include "src/eq/ir.h"
+
+#include <set>
+
+namespace youtopia::eq {
+
+std::string Atom::ToString() const {
+  std::string s = relation + "(";
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i) s += ", ";
+    s += terms[i].ToString();
+  }
+  return s + ")";
+}
+
+Status EntangledQuerySpec::Validate() const {
+  if (head.empty()) {
+    return Status::InvalidArgument("entangled query " + label +
+                                   " has no head atom");
+  }
+  if (choose != 1) {
+    return Status::Unimplemented("only CHOOSE 1 is supported");
+  }
+  std::set<std::string> body_vars;
+  for (const Atom& a : body) {
+    for (const Term& t : a.terms) {
+      if (t.is_var) body_vars.insert(t.var);
+    }
+  }
+  auto check_atoms = [&](const std::vector<Atom>& atoms,
+                         const char* what) -> Status {
+    for (const Atom& a : atoms) {
+      for (const Term& t : a.terms) {
+        if (t.is_var && !body_vars.count(t.var)) {
+          return Status::InvalidArgument(
+              "query " + label + ": " + what + " variable '" + t.var +
+              "' violates range restriction (not bound in body)");
+        }
+      }
+    }
+    return Status::Ok();
+  };
+  YT_RETURN_IF_ERROR(check_atoms(head, "head"));
+  YT_RETURN_IF_ERROR(check_atoms(post, "postcondition"));
+  for (const BodyPredicate& p : preds) {
+    if (p.lhs.is_var && !body_vars.count(p.lhs.var)) {
+      return Status::InvalidArgument("query " + label + ": predicate var '" +
+                                     p.lhs.var + "' not bound in body");
+    }
+    if (p.rhs.is_var && !body_vars.count(p.rhs.var)) {
+      return Status::InvalidArgument("query " + label + ": predicate var '" +
+                                     p.rhs.var + "' not bound in body");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string EntangledQuerySpec::ToString() const {
+  std::string s = "{";
+  for (size_t i = 0; i < post.size(); ++i) {
+    if (i) s += ", ";
+    s += post[i].ToString();
+  }
+  s += "} ";
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (i) s += ", ";
+    s += head[i].ToString();
+  }
+  s += " <- ";
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i) s += " & ";
+    s += body[i].ToString();
+  }
+  for (const BodyPredicate& p : preds) {
+    s += " & " + p.ToString();
+  }
+  if (body_unsatisfiable) s += " & FALSE";
+  return s;
+}
+
+}  // namespace youtopia::eq

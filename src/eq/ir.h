@@ -1,0 +1,96 @@
+#ifndef YOUTOPIA_EQ_IR_H_
+#define YOUTOPIA_EQ_IR_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/row.h"
+#include "src/common/statusor.h"
+
+namespace youtopia::eq {
+
+/// A term in an atom: a constant or a variable (Appendix A intermediate
+/// representation).
+struct Term {
+  bool is_var = false;
+  Value constant;
+  std::string var;
+
+  static Term Const(Value v) {
+    Term t;
+    t.constant = std::move(v);
+    return t;
+  }
+  static Term Var(std::string name) {
+    Term t;
+    t.is_var = true;
+    t.var = std::move(name);
+    return t;
+  }
+
+  bool operator==(const Term& o) const {
+    if (is_var != o.is_var) return false;
+    return is_var ? var == o.var : constant == o.constant;
+  }
+  std::string ToString() const {
+    return is_var ? var : constant.ToString();
+  }
+};
+
+/// A relational atom R(t1, ..., tk) over either an ANSWER relation (head /
+/// postcondition) or a database relation (body).
+struct Atom {
+  std::string relation;
+  std::vector<Term> terms;
+
+  std::string ToString() const;
+  bool operator==(const Atom& o) const {
+    return relation == o.relation && terms == o.terms;
+  }
+};
+
+/// A comparison restricting body valuations, e.g. price < 100 or x <> y.
+/// Equalities are compiled away by unification; only the residue lands here.
+struct BodyPredicate {
+  Term lhs;
+  std::string op;  ///< = <> != < <= > >=
+  Term rhs;
+
+  std::string ToString() const {
+    return lhs.ToString() + " " + op + " " + rhs.ToString();
+  }
+};
+
+/// An entangled query in the paper's intermediate representation
+/// {C} H <- B (Appendix A): heads H and postconditions C over ANSWER
+/// relations, body B a conjunctive query (atoms + residual predicates) over
+/// database relations. Range restriction: every head/postcondition variable
+/// must occur in the body.
+struct EntangledQuerySpec {
+  std::string label;  ///< diagnostics, e.g. "Mickey.flight"
+  std::vector<Atom> head;
+  std::vector<Atom> post;
+  std::vector<Atom> body;
+  std::vector<BodyPredicate> preds;
+  int64_t choose = 1;
+  bool body_unsatisfiable = false;  ///< conflicting constant constraints
+
+  /// Bindings of answer-tuple positions to host variables:
+  /// (head index, term index, variable name). `fdate AS @ArrivalDay` binds
+  /// @arrivalday to that position of the answer tuple.
+  struct AnswerBinding {
+    size_t head_index;
+    size_t term_index;
+    std::string var;
+  };
+  std::vector<AnswerBinding> answer_bindings;
+
+  /// Checks range restriction and basic well-formedness.
+  Status Validate() const;
+  std::string ToString() const;
+};
+
+}  // namespace youtopia::eq
+
+#endif  // YOUTOPIA_EQ_IR_H_

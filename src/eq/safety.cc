@@ -1,0 +1,51 @@
+#include "src/eq/safety.h"
+
+namespace youtopia::eq {
+
+bool TemplatesUnify(const Atom& a, const Atom& b) {
+  if (a.relation != b.relation) return false;
+  if (a.terms.size() != b.terms.size()) return false;
+  for (size_t i = 0; i < a.terms.size(); ++i) {
+    const Term& x = a.terms[i];
+    const Term& y = b.terms[i];
+    if (!x.is_var && !y.is_var && x.constant != y.constant) return false;
+  }
+  return true;
+}
+
+std::vector<bool> ComputeFormable(
+    const std::vector<const EntangledQuerySpec*>& queries) {
+  const size_t n = queries.size();
+  std::vector<bool> formable(n, true);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (!formable[i]) continue;
+      bool ok = true;
+      for (const Atom& post : queries[i]->post) {
+        bool provided = false;
+        for (size_t j = 0; j < n && !provided; ++j) {
+          if (j == i || !formable[j]) continue;
+          for (const Atom& head : queries[j]->head) {
+            if (TemplatesUnify(post, head)) {
+              provided = true;
+              break;
+            }
+          }
+        }
+        if (!provided) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) {
+        formable[i] = false;
+        changed = true;
+      }
+    }
+  }
+  return formable;
+}
+
+}  // namespace youtopia::eq

@@ -1,0 +1,30 @@
+#ifndef YOUTOPIA_EQ_SAFETY_H_
+#define YOUTOPIA_EQ_SAFETY_H_
+
+#include <vector>
+
+#include "src/eq/ir.h"
+
+namespace youtopia::eq {
+
+/// Template-level (database-independent) unification: two atoms unify when
+/// they name the same relation with the same arity and agree on every
+/// position where both carry constants. Variables unify with anything.
+bool TemplatesUnify(const Atom& a, const Atom& b);
+
+/// The Appendix-B "combined query formulated" test, which by the paper's own
+/// requirement must be independent of the underlying database. A query is
+/// *formable* iff every one of its postcondition atoms unifies with the head
+/// atom of some *other* formable query in the set (greatest fixpoint:
+/// start optimistic, strip queries whose posts lost all potential providers,
+/// iterate). A query with no postconditions is trivially formable.
+///
+/// Formable + evaluated-but-empty  => query success with an empty answer
+///                                    (the transaction proceeds, App. B);
+/// not formable                    => query failure (the transaction waits).
+std::vector<bool> ComputeFormable(
+    const std::vector<const EntangledQuerySpec*>& queries);
+
+}  // namespace youtopia::eq
+
+#endif  // YOUTOPIA_EQ_SAFETY_H_

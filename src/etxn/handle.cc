@@ -1,0 +1,48 @@
+#include "src/etxn/handle.h"
+
+namespace youtopia::etxn {
+
+Status TxnHandle::Wait() {
+  std::unique_lock<std::mutex> g(mu_);
+  cv_.wait(g, [this] { return done_; });
+  return result_;
+}
+
+bool TxnHandle::done() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return done_;
+}
+
+int TxnHandle::attempts() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return attempts_;
+}
+
+TxnId TxnHandle::committed_txn_id() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return committed_txn_;
+}
+
+sql::VarEnv TxnHandle::final_vars() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return final_vars_;
+}
+
+void TxnHandle::Resolve(Status s, TxnId txn, sql::VarEnv vars) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (done_) return;
+    done_ = true;
+    result_ = std::move(s);
+    committed_txn_ = txn;
+    final_vars_ = std::move(vars);
+  }
+  cv_.notify_all();
+}
+
+void TxnHandle::BumpAttempts() {
+  std::lock_guard<std::mutex> g(mu_);
+  ++attempts_;
+}
+
+}  // namespace youtopia::etxn

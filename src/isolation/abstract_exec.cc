@@ -1,0 +1,122 @@
+#include "src/isolation/abstract_exec.h"
+
+#include <set>
+
+namespace youtopia::iso {
+
+uint64_t AbstractExecution::Mix(uint64_t h, uint64_t v) {
+  uint64_t z = h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+AbstractExecution::RunResult AbstractExecution::Run(const Schedule& sched,
+                                                    const Db& initial) {
+  RunResult result;
+  Db db = initial;
+  const auto& ops = sched.ops();
+  result.read_values.assign(ops.size(), 0);
+
+  struct TxnState {
+    uint64_t fold = 0;              // reads + answers so far
+    uint64_t write_count = 0;
+    std::vector<std::pair<std::string, uint64_t>> undo;  // (obj, old value)
+    std::vector<uint64_t> rg_since_entangle;
+  };
+  std::map<TxnId, TxnState> txns;
+  // (txn, key, value) in schedule order; the final database is defined as
+  // "exactly the writes of all the committed transactions in sigma, in the
+  // order in which these writes occurred" (Appendix C.1), applied to the
+  // initial database.
+  struct WriteEvent {
+    TxnId txn;
+    std::string key;
+    uint64_t value;
+  };
+  std::vector<WriteEvent> write_log;
+  std::set<TxnId> committed;
+
+  auto db_read = [&db](const ObjectRef& o) -> uint64_t {
+    auto it = db.find(o.ToString());
+    return it == db.end() ? 0 : it->second;
+  };
+
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    switch (op.type) {
+      case OpType::kRead: {
+        uint64_t v = db_read(op.obj);
+        result.read_values[i] = v;
+        TxnState& st = txns[op.txn];
+        st.fold = Mix(st.fold, v);
+        break;
+      }
+      case OpType::kGroundingRead: {
+        uint64_t v = db_read(op.obj);
+        result.read_values[i] = v;
+        txns[op.txn].rg_since_entangle.push_back(v);
+        break;
+      }
+      case OpType::kQuasiRead:
+        // Formal device only; the information flow is carried by the
+        // entangled answer below.
+        result.read_values[i] = db_read(op.obj);
+        break;
+      case OpType::kWrite: {
+        TxnState& st = txns[op.txn];
+        std::string key = op.obj.ToString();
+        uint64_t old = db.count(key) ? db[key] : 0;
+        st.undo.emplace_back(key, old);
+        uint64_t val = Mix(Mix(Mix(1, op.txn), ++st.write_count), st.fold);
+        db[key] = val;
+        write_log.push_back({op.txn, key, val});
+        break;
+      }
+      case OpType::kEntangle: {
+        uint64_t base = Mix(2, op.eid);
+        for (TxnId m : op.members) {
+          for (uint64_t v : txns[m].rg_since_entangle) base = Mix(base, v);
+        }
+        for (TxnId m : op.members) {
+          uint64_t ans = Mix(base, m);
+          result.answers[{op.eid, m}] = ans;
+          TxnState& st = txns[m];
+          st.fold = Mix(st.fold, ans);
+          st.rg_since_entangle.clear();
+        }
+        break;
+      }
+      case OpType::kAbort: {
+        TxnState& st = txns[op.txn];
+        for (auto it = st.undo.rbegin(); it != st.undo.rend(); ++it) {
+          db[it->first] = it->second;
+        }
+        st.undo.clear();
+        break;
+      }
+      case OpType::kCommit:
+        committed.insert(op.txn);
+        break;
+    }
+  }
+  // Final database per Appendix C.1: initial state plus the committed
+  // transactions' writes in schedule order. (The physical `db` map above is
+  // only the view reads observe during the run; dirty/aborted writes never
+  // reach the final state.)
+  Db final_db = initial;
+  for (const WriteEvent& w : write_log) {
+    if (committed.count(w.txn)) final_db[w.key] = w.value;
+  }
+  for (auto it = final_db.begin(); it != final_db.end();) {
+    if (it->second == 0) {
+      it = final_db.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  result.final_db = std::move(final_db);
+  return result;
+}
+
+}  // namespace youtopia::iso

@@ -1,0 +1,43 @@
+#ifndef YOUTOPIA_ISOLATION_ABSTRACT_EXEC_H_
+#define YOUTOPIA_ISOLATION_ABSTRACT_EXEC_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/isolation/schedule.h"
+
+namespace youtopia::iso {
+
+/// Deterministic abstract interpretation of schedules, used to make
+/// Theorem 3.6 machine-checkable. Objects hold uint64 values (missing = 0).
+/// The determinism assumption of Appendix C.4 is realized literally: a
+/// transaction's n-th write stores a hash of (txn, n, every value the
+/// transaction has read so far, every entangled answer it has received so
+/// far). Entangled answers are a hash of the grounding-read values of all
+/// participants — the information flow that quasi-reads model.
+class AbstractExecution {
+ public:
+  using Db = std::map<std::string, uint64_t>;
+
+  struct RunResult {
+    Db final_db;
+    /// Recorded oracle answers Ans_k(i): (eid, txn) -> answer value.
+    std::map<std::pair<EntanglementId, TxnId>, uint64_t> answers;
+    /// Value observed by the read at each op index (0 for non-reads).
+    std::vector<uint64_t> read_values;
+  };
+
+  /// Executes the schedule as interleaved, applying undo on aborts. Pass the
+  /// raw (un-expanded) schedule; quasi-reads, if present, are ignored.
+  static RunResult Run(const Schedule& sched, const Db& initial);
+
+  /// Deterministic mixing hash (splitmix64 core).
+  static uint64_t Mix(uint64_t h, uint64_t v);
+};
+
+}  // namespace youtopia::iso
+
+#endif  // YOUTOPIA_ISOLATION_ABSTRACT_EXEC_H_

@@ -1,0 +1,38 @@
+#ifndef YOUTOPIA_ISOLATION_CHECKER_H_
+#define YOUTOPIA_ISOLATION_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/isolation/conflict_graph.h"
+#include "src/isolation/schedule.h"
+
+namespace youtopia::iso {
+
+/// Result of checking a schedule against the entangled-isolation definition
+/// (Definition C.5 = Requirements C.2 + C.3 + C.4), plus best-effort named
+/// anomaly classifications for diagnostics.
+struct IsolationReport {
+  bool entangled_isolated = false;
+
+  bool conflict_cycle = false;       ///< violates C.2
+  bool read_from_aborted = false;    ///< violates C.3
+  bool widowed_transaction = false;  ///< violates C.4
+
+  /// Human-readable findings ("widowed: E1 entangled 1 and 2; 1 aborted
+  /// while 2 committed", "unrepeatable quasi-read on Airlines by txn 3"...).
+  std::vector<std::string> findings;
+
+  std::string ToString() const;
+};
+
+/// Checks Definition C.5 on a schedule. Quasi-reads are expanded internally,
+/// so callers pass raw schedules (recorded or hand-built).
+class IsolationChecker {
+ public:
+  static IsolationReport Check(const Schedule& sched);
+};
+
+}  // namespace youtopia::iso
+
+#endif  // YOUTOPIA_ISOLATION_CHECKER_H_

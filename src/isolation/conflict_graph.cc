@@ -1,0 +1,75 @@
+#include "src/isolation/conflict_graph.h"
+
+#include <functional>
+
+namespace youtopia::iso {
+
+ConflictGraph ConflictGraph::Build(const Schedule& sched) {
+  ConflictGraph g;
+  std::set<TxnId> committed = sched.CommittedTxns();
+  g.nodes_ = committed;
+  const auto& ops = sched.ops();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const Op& a = ops[i];
+    if (!(a.is_read() || a.is_write())) continue;
+    if (!committed.count(a.txn)) continue;
+    for (size_t j = i + 1; j < ops.size(); ++j) {
+      const Op& b = ops[j];
+      if (!(b.is_read() || b.is_write())) continue;
+      if (b.txn == a.txn || !committed.count(b.txn)) continue;
+      if (!a.obj.Overlaps(b.obj)) continue;
+      if (!a.is_write() && !b.is_write()) continue;
+      g.edges_[a.txn].insert(b.txn);
+    }
+  }
+  return g;
+}
+
+bool ConflictGraph::HasEdge(TxnId from, TxnId to) const {
+  auto it = edges_.find(from);
+  return it != edges_.end() && it->second.count(to) > 0;
+}
+
+bool ConflictGraph::HasCycle() const { return !TopologicalOrder().ok(); }
+
+StatusOr<std::vector<TxnId>> ConflictGraph::TopologicalOrder() const {
+  std::map<TxnId, int> indegree;
+  for (TxnId t : nodes_) indegree[t] = 0;
+  for (const auto& [from, tos] : edges_) {
+    (void)from;
+    for (TxnId to : tos) ++indegree[to];
+  }
+  // Deterministic Kahn's algorithm: always pick the smallest ready node.
+  std::set<TxnId> ready;
+  for (const auto& [t, d] : indegree) {
+    if (d == 0) ready.insert(t);
+  }
+  std::vector<TxnId> order;
+  while (!ready.empty()) {
+    TxnId t = *ready.begin();
+    ready.erase(ready.begin());
+    order.push_back(t);
+    auto it = edges_.find(t);
+    if (it == edges_.end()) continue;
+    for (TxnId to : it->second) {
+      if (--indegree[to] == 0) ready.insert(to);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    return Status::InvalidArgument("conflict graph has a cycle");
+  }
+  return order;
+}
+
+std::string ConflictGraph::ToString() const {
+  std::string s;
+  for (const auto& [from, tos] : edges_) {
+    for (TxnId to : tos) {
+      if (!s.empty()) s += ", ";
+      s += std::to_string(from) + "->" + std::to_string(to);
+    }
+  }
+  return s.empty() ? "(no edges)" : s;
+}
+
+}  // namespace youtopia::iso

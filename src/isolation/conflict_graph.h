@@ -1,0 +1,44 @@
+#ifndef YOUTOPIA_ISOLATION_CONFLICT_GRAPH_H_
+#define YOUTOPIA_ISOLATION_CONFLICT_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/statusor.h"
+#include "src/isolation/schedule.h"
+
+namespace youtopia::iso {
+
+/// Conflict graph over the *committed* transactions of a schedule
+/// (Appendix C.2.1): nodes are transactions, an edge i -> j exists when an
+/// operation of i precedes a conflicting operation of j on an overlapping
+/// object (at least one of the two is a write). Quasi-reads and grounding
+/// reads count as reads, which is precisely how unrepeatable quasi-reads
+/// show up as cycles.
+class ConflictGraph {
+ public:
+  /// Builds the graph; `sched` should already have quasi-reads expanded
+  /// (Schedule::WithQuasiReads) for the entangled anomalies to register.
+  static ConflictGraph Build(const Schedule& sched);
+
+  const std::set<TxnId>& nodes() const { return nodes_; }
+  const std::map<TxnId, std::set<TxnId>>& edges() const { return edges_; }
+
+  bool HasEdge(TxnId from, TxnId to) const;
+  bool HasCycle() const;
+
+  /// Topological order; error when cyclic.
+  StatusOr<std::vector<TxnId>> TopologicalOrder() const;
+
+  std::string ToString() const;
+
+ private:
+  std::set<TxnId> nodes_;
+  std::map<TxnId, std::set<TxnId>> edges_;
+};
+
+}  // namespace youtopia::iso
+
+#endif  // YOUTOPIA_ISOLATION_CONFLICT_GRAPH_H_

@@ -1,0 +1,43 @@
+#include "src/isolation/op.h"
+
+#include <algorithm>
+
+namespace youtopia::iso {
+
+const char* OpTypeName(OpType t) {
+  switch (t) {
+    case OpType::kRead: return "R";
+    case OpType::kWrite: return "W";
+    case OpType::kGroundingRead: return "RG";
+    case OpType::kQuasiRead: return "RQ";
+    case OpType::kEntangle: return "E";
+    case OpType::kCommit: return "C";
+    case OpType::kAbort: return "A";
+  }
+  return "?";
+}
+
+bool Op::Involves(TxnId t) const {
+  return std::find(members.begin(), members.end(), t) != members.end();
+}
+
+std::string Op::ToString() const {
+  std::string s = OpTypeName(type);
+  if (type == OpType::kEntangle) {
+    s += std::to_string(eid);
+    s += "{";
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (i) s += ",";
+      s += std::to_string(members[i]);
+    }
+    s += "}";
+    return s;
+  }
+  s += std::to_string(txn);
+  if (is_read() || is_write()) {
+    s += "(" + obj.ToString() + ")";
+  }
+  return s;
+}
+
+}  // namespace youtopia::iso

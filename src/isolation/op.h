@@ -1,0 +1,66 @@
+#ifndef YOUTOPIA_ISOLATION_OP_H_
+#define YOUTOPIA_ISOLATION_OP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/op_observer.h"
+
+namespace youtopia::iso {
+
+/// Operation kinds of the Appendix-C schedule model: reads R, writes W,
+/// grounding reads R^G, quasi-reads R^Q (derived, modeling the information
+/// flow of entanglement), entanglement operations E^k, commits C and
+/// aborts A.
+enum class OpType {
+  kRead = 0,
+  kWrite,
+  kGroundingRead,
+  kQuasiRead,
+  kEntangle,
+  kCommit,
+  kAbort,
+};
+
+const char* OpTypeName(OpType t);
+
+/// One schedule operation. Reads/writes carry an object; entanglement ops
+/// carry an id and the participating transactions.
+struct Op {
+  OpType type = OpType::kRead;
+  TxnId txn = 0;
+  ObjectRef obj;
+  EntanglementId eid = 0;
+  std::vector<TxnId> members;
+
+  static Op R(TxnId t, ObjectRef o) { return {OpType::kRead, t, std::move(o), 0, {}}; }
+  static Op W(TxnId t, ObjectRef o) { return {OpType::kWrite, t, std::move(o), 0, {}}; }
+  static Op RG(TxnId t, ObjectRef o) {
+    return {OpType::kGroundingRead, t, std::move(o), 0, {}};
+  }
+  static Op RQ(TxnId t, ObjectRef o) {
+    return {OpType::kQuasiRead, t, std::move(o), 0, {}};
+  }
+  static Op E(EntanglementId eid, std::vector<TxnId> members) {
+    return {OpType::kEntangle, 0, {}, eid, std::move(members)};
+  }
+  static Op C(TxnId t) { return {OpType::kCommit, t, {}, 0, {}}; }
+  static Op A(TxnId t) { return {OpType::kAbort, t, {}, 0, {}}; }
+
+  bool is_read() const {
+    return type == OpType::kRead || type == OpType::kGroundingRead ||
+           type == OpType::kQuasiRead;
+  }
+  bool is_write() const { return type == OpType::kWrite; }
+
+  /// Membership test for entanglement ops.
+  bool Involves(TxnId t) const;
+
+  /// e.g. "RG1(Flights)", "E7{1,3}", "C2".
+  std::string ToString() const;
+};
+
+}  // namespace youtopia::iso
+
+#endif  // YOUTOPIA_ISOLATION_OP_H_

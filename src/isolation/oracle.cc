@@ -1,0 +1,122 @@
+#include "src/isolation/oracle.h"
+
+#include <algorithm>
+
+#include "src/isolation/conflict_graph.h"
+
+namespace youtopia::iso {
+
+OracleCheckResult OracleSerializability::CheckOrder(
+    const Schedule& sched, const AbstractExecution::Db& initial,
+    const std::vector<TxnId>& order) {
+  OracleCheckResult result;
+  result.order = order;
+
+  // Step 1: run sigma, recording the oracle and sigma's final state.
+  AbstractExecution::RunResult sigma = AbstractExecution::Run(sched, initial);
+
+  // Step 2: serial replay with the oracle.
+  AbstractExecution::Db db = initial;
+  const auto& ops = sched.ops();
+  auto db_read = [&db](const ObjectRef& o) -> uint64_t {
+    auto it = db.find(o.ToString());
+    return it == db.end() ? 0 : it->second;
+  };
+
+  result.validity_ok = true;
+  for (TxnId t : order) {
+    uint64_t fold = 0;
+    uint64_t write_count = 0;
+    std::vector<size_t> pending_rg;  // op indexes of unvalidated RG reads
+    for (size_t i = 0; i < ops.size(); ++i) {
+      const Op& op = ops[i];
+      if (op.type == OpType::kEntangle) {
+        if (!op.Involves(t)) continue;
+        // Validating reads for this oracle call (proof of Theorem 3.6).
+        for (size_t rg : pending_rg) {
+          uint64_t now = db_read(ops[rg].obj);
+          if (now != sigma.read_values[rg]) {
+            result.validity_ok = false;
+            result.reason = "validating read for " + ops[rg].ToString() +
+                            " saw a different value than sigma";
+          }
+        }
+        pending_rg.clear();
+        auto it = sigma.answers.find({op.eid, t});
+        if (it != sigma.answers.end()) {
+          fold = AbstractExecution::Mix(fold, it->second);
+        }
+        continue;
+      }
+      if (op.txn != t) continue;
+      switch (op.type) {
+        case OpType::kRead:
+          fold = AbstractExecution::Mix(fold, db_read(op.obj));
+          break;
+        case OpType::kGroundingRead:
+          pending_rg.push_back(i);
+          break;
+        case OpType::kQuasiRead:
+          break;  // formal device; not replayed
+        case OpType::kWrite: {
+          uint64_t val = AbstractExecution::Mix(
+              AbstractExecution::Mix(AbstractExecution::Mix(1, t),
+                                     ++write_count),
+              fold);
+          db[op.obj.ToString()] = val;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  for (auto it = db.begin(); it != db.end();) {
+    if (it->second == 0) {
+      it = db.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  result.final_state_ok = (db == sigma.final_db);
+  if (!result.final_state_ok && result.reason.empty()) {
+    result.reason = "serial final state differs from sigma's final state";
+  }
+  result.oracle_serializable = result.validity_ok && result.final_state_ok;
+  return result;
+}
+
+OracleCheckResult OracleSerializability::CheckTopological(
+    const Schedule& sched, const AbstractExecution::Db& db) {
+  Schedule expanded = sched.WithQuasiReads();
+  ConflictGraph graph = ConflictGraph::Build(expanded);
+  auto order = graph.TopologicalOrder();
+  if (!order.ok()) {
+    OracleCheckResult r;
+    r.reason = "conflict graph is cyclic; no topological order";
+    return r;
+  }
+  return CheckOrder(sched, db, order.value());
+}
+
+OracleCheckResult OracleSerializability::CheckAnyOrder(
+    const Schedule& sched, const AbstractExecution::Db& db, size_t max_txns) {
+  std::set<TxnId> committed = sched.CommittedTxns();
+  std::vector<TxnId> order(committed.begin(), committed.end());
+  if (order.size() > max_txns) {
+    OracleCheckResult r;
+    r.reason = "too many transactions for exhaustive order search";
+    return r;
+  }
+  std::sort(order.begin(), order.end());
+  OracleCheckResult last;
+  do {
+    last = CheckOrder(sched, db, order);
+    if (last.oracle_serializable) return last;
+  } while (std::next_permutation(order.begin(), order.end()));
+  last.reason = "no serialization order yields a valid, state-equivalent "
+                "execution";
+  return last;
+}
+
+}  // namespace youtopia::iso

@@ -1,0 +1,57 @@
+#ifndef YOUTOPIA_ISOLATION_ORACLE_H_
+#define YOUTOPIA_ISOLATION_ORACLE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/isolation/abstract_exec.h"
+#include "src/isolation/schedule.h"
+
+namespace youtopia::iso {
+
+/// Verdict of an oracle-serializability check (Definitions C.6 / C.7).
+struct OracleCheckResult {
+  bool oracle_serializable = false;
+  std::vector<TxnId> order;  ///< serialization order used (when found)
+  bool validity_ok = false;  ///< all validating reads saw the sigma values
+  bool final_state_ok = false;
+  std::string reason;
+};
+
+/// Machine-checks oracle-serializability on the abstract execution model:
+///
+/// 1. Run the schedule sigma on an initial database; record final state,
+///    every grounding read's observed value, and the per-member entangled
+///    answers Ans_k(i) (the custom oracle O_sigma of Appendix C.3.1).
+/// 2. Replay the committed transactions serially in a candidate order: plain
+///    reads hit the serial database; each oracle call O^k_i first performs
+///    the *validating reads* of the proof of Theorem 3.6 (the transaction's
+///    grounding reads re-executed against the serial database and compared
+///    with sigma's values) and then returns Ans_k(i) verbatim; writes use
+///    the same deterministic write function.
+/// 3. The schedule is oracle-serializable in that order iff all validating
+///    reads match (valid execution) and the serial final state equals
+///    sigma's final state.
+class OracleSerializability {
+ public:
+  /// Uses the topological order of the conflict graph — the order Theorem
+  /// 3.6's proof constructs. Fails fast when the graph is cyclic.
+  static OracleCheckResult CheckTopological(const Schedule& sched,
+                                            const AbstractExecution::Db& db);
+
+  /// Tries every permutation of committed transactions (<= max_txns);
+  /// succeeds if any order works. Used to demonstrate that specific broken
+  /// schedules are not oracle-serializable under *any* order.
+  static OracleCheckResult CheckAnyOrder(const Schedule& sched,
+                                         const AbstractExecution::Db& db,
+                                         size_t max_txns = 8);
+
+  /// Replays one specific order; exposed for tests.
+  static OracleCheckResult CheckOrder(const Schedule& sched,
+                                      const AbstractExecution::Db& db,
+                                      const std::vector<TxnId>& order);
+};
+
+}  // namespace youtopia::iso
+
+#endif  // YOUTOPIA_ISOLATION_ORACLE_H_

@@ -1,0 +1,51 @@
+#include "src/isolation/recorder.h"
+
+namespace youtopia::iso {
+
+void ScheduleRecorder::OnRead(TxnId txn, const ObjectRef& obj) {
+  std::lock_guard<std::mutex> g(mu_);
+  ops_.push_back(Op::R(txn, obj));
+}
+
+void ScheduleRecorder::OnWrite(TxnId txn, const ObjectRef& obj) {
+  std::lock_guard<std::mutex> g(mu_);
+  ops_.push_back(Op::W(txn, obj));
+}
+
+void ScheduleRecorder::OnGroundingRead(TxnId txn, const ObjectRef& obj) {
+  std::lock_guard<std::mutex> g(mu_);
+  ops_.push_back(Op::RG(txn, obj));
+}
+
+void ScheduleRecorder::OnEntangle(EntanglementId eid,
+                                  const std::vector<TxnId>& members) {
+  std::lock_guard<std::mutex> g(mu_);
+  ops_.push_back(Op::E(eid, members));
+}
+
+void ScheduleRecorder::OnCommit(TxnId txn) {
+  std::lock_guard<std::mutex> g(mu_);
+  ops_.push_back(Op::C(txn));
+}
+
+void ScheduleRecorder::OnAbort(TxnId txn) {
+  std::lock_guard<std::mutex> g(mu_);
+  ops_.push_back(Op::A(txn));
+}
+
+StatusOr<Schedule> ScheduleRecorder::Finish() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return Schedule::Create(ops_, /*strict=*/false);
+}
+
+size_t ScheduleRecorder::size() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return ops_.size();
+}
+
+void ScheduleRecorder::Clear() {
+  std::lock_guard<std::mutex> g(mu_);
+  ops_.clear();
+}
+
+}  // namespace youtopia::iso

@@ -1,0 +1,41 @@
+#ifndef YOUTOPIA_ISOLATION_RECORDER_H_
+#define YOUTOPIA_ISOLATION_RECORDER_H_
+
+#include <mutex>
+#include <vector>
+
+#include "src/common/op_observer.h"
+#include "src/isolation/schedule.h"
+
+namespace youtopia::iso {
+
+/// OpObserver that captures the live engine's operation stream as an
+/// Appendix-C schedule. Plug into TransactionManager::Options::observer,
+/// run a workload, then Finish() and feed the result to IsolationChecker —
+/// this is how the integration tests machine-check that real executions of
+/// the run-based engine are entangled-isolated.
+class ScheduleRecorder : public OpObserver {
+ public:
+  void OnRead(TxnId txn, const ObjectRef& obj) override;
+  void OnWrite(TxnId txn, const ObjectRef& obj) override;
+  void OnGroundingRead(TxnId txn, const ObjectRef& obj) override;
+  void OnEntangle(EntanglementId eid,
+                  const std::vector<TxnId>& members) override;
+  void OnCommit(TxnId txn) override;
+  void OnAbort(TxnId txn) override;
+
+  /// Builds the recorded schedule (lenient mode: orphan grounding reads from
+  /// empty-success evaluations downgrade to plain reads).
+  StatusOr<Schedule> Finish() const;
+
+  size_t size() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Op> ops_;
+};
+
+}  // namespace youtopia::iso
+
+#endif  // YOUTOPIA_ISOLATION_RECORDER_H_

@@ -1,0 +1,173 @@
+#include "src/isolation/schedule.h"
+
+#include <map>
+
+namespace youtopia::iso {
+
+StatusOr<Schedule> Schedule::Create(std::vector<Op> ops, bool strict) {
+  // Track per-transaction terminal ops and grounding-read windows.
+  std::map<TxnId, bool> terminated;  // txn -> saw C or A
+  std::map<TxnId, bool> in_grounding_window;
+
+  // Pass 1 (lenient prep): find grounding reads with no subsequent E/A and
+  // downgrade them to plain reads.
+  if (!strict) {
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].type != OpType::kGroundingRead) continue;
+      TxnId t = ops[i].txn;
+      bool resolved = false;
+      for (size_t j = i + 1; j < ops.size() && !resolved; ++j) {
+        const Op& o = ops[j];
+        if (o.type == OpType::kEntangle && o.Involves(t)) resolved = true;
+        if (o.type == OpType::kAbort && o.txn == t) resolved = true;
+        // A non-grounding op by t before any E/A means this grounding
+        // attempt fizzled into empty success.
+        if (o.txn == t && o.type != OpType::kGroundingRead &&
+            o.type != OpType::kEntangle) {
+          break;
+        }
+      }
+      if (!resolved) ops[i].type = OpType::kRead;
+    }
+  }
+
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    if (op.type == OpType::kEntangle) {
+      if (op.members.size() < 2) {
+        return Status::InvalidArgument(
+            "entanglement op E" + std::to_string(op.eid) +
+            " needs at least two members");
+      }
+      for (TxnId m : op.members) {
+        if (terminated.count(m) && terminated[m]) {
+          return Status::InvalidArgument(
+              "E" + std::to_string(op.eid) + " involves terminated txn " +
+              std::to_string(m));
+        }
+        in_grounding_window[m] = false;
+      }
+      continue;
+    }
+    TxnId t = op.txn;
+    if (terminated.count(t) && terminated[t]) {
+      return Status::InvalidArgument("operation " + op.ToString() +
+                                     " after txn " + std::to_string(t) +
+                                     " terminated");
+    }
+    switch (op.type) {
+      case OpType::kCommit: {
+        if (strict && in_grounding_window[t]) {
+          return Status::InvalidArgument(
+              "txn " + std::to_string(t) +
+              " commits inside a grounding window (C.1 constraint 3)");
+        }
+        terminated[t] = true;
+        break;
+      }
+      case OpType::kAbort:
+        terminated[t] = true;
+        in_grounding_window[t] = false;
+        break;
+      case OpType::kGroundingRead:
+        in_grounding_window[t] = true;
+        break;
+      case OpType::kRead:
+      case OpType::kWrite:
+      case OpType::kQuasiRead:
+        if (strict && in_grounding_window[t] &&
+            op.type != OpType::kQuasiRead) {
+          return Status::InvalidArgument(
+              op.ToString() +
+              ": only grounding reads may appear between a grounding read "
+              "and the next entangle/abort (C.1 constraint 4)");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  if (strict) {
+    for (const auto& [t, done] : in_grounding_window) {
+      if (done && !(terminated.count(t) && terminated[t])) {
+        return Status::InvalidArgument(
+            "txn " + std::to_string(t) +
+            " ends inside a grounding window with no entangle/abort "
+            "(C.1 constraint 3)");
+      }
+    }
+  }
+  return Schedule(std::move(ops));
+}
+
+std::vector<TxnId> Schedule::Txns() const {
+  std::set<TxnId> s;
+  for (const Op& op : ops_) {
+    if (op.type == OpType::kEntangle) {
+      s.insert(op.members.begin(), op.members.end());
+    } else {
+      s.insert(op.txn);
+    }
+  }
+  return std::vector<TxnId>(s.begin(), s.end());
+}
+
+std::set<TxnId> Schedule::CommittedTxns() const {
+  std::set<TxnId> s;
+  for (const Op& op : ops_) {
+    if (op.type == OpType::kCommit) s.insert(op.txn);
+  }
+  return s;
+}
+
+std::set<TxnId> Schedule::AbortedTxns() const {
+  std::set<TxnId> s;
+  for (const Op& op : ops_) {
+    if (op.type == OpType::kAbort) s.insert(op.txn);
+  }
+  return s;
+}
+
+bool Schedule::complete() const {
+  std::set<TxnId> done = CommittedTxns();
+  std::set<TxnId> aborted = AbortedTxns();
+  done.insert(aborted.begin(), aborted.end());
+  for (TxnId t : Txns()) {
+    if (!done.count(t)) return false;
+  }
+  return true;
+}
+
+Schedule Schedule::WithQuasiReads() const {
+  std::vector<Op> out;
+  out.reserve(ops_.size() * 2);
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const Op& op = ops_[i];
+    out.push_back(op);
+    if (op.type != OpType::kGroundingRead) continue;
+    // Find the next entangle/abort resolving this grounding read.
+    for (size_t j = i + 1; j < ops_.size(); ++j) {
+      const Op& o = ops_[j];
+      if (o.type == OpType::kAbort && o.txn == op.txn) break;  // no RQ
+      if (o.type == OpType::kEntangle && o.Involves(op.txn)) {
+        for (TxnId partner : o.members) {
+          if (partner == op.txn) continue;
+          out.push_back(Op::RQ(partner, op.obj));
+        }
+        break;
+      }
+    }
+  }
+  return Schedule(std::move(out));
+}
+
+std::string Schedule::ToString() const {
+  std::string s;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (i) s += " ";
+    s += ops_[i].ToString();
+  }
+  return s;
+}
+
+}  // namespace youtopia::iso

@@ -1,0 +1,59 @@
+#ifndef YOUTOPIA_ISOLATION_SCHEDULE_H_
+#define YOUTOPIA_ISOLATION_SCHEDULE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/statusor.h"
+#include "src/isolation/op.h"
+
+namespace youtopia::iso {
+
+/// A (valid) entangled-transaction schedule per Definition C.1. Validity
+/// constraints enforced by Create in strict mode:
+///   1. each transaction has at most one of {A, C} (complete schedules have
+///      exactly one — see `complete()`);
+///   2. a transaction's A/C is its last operation;
+///   3. a grounding read R^G_i is followed by an entanglement involving i or
+///      by A_i;
+///   4. between an R^G_i and that E/A, transaction i performs only more
+///      grounding reads.
+///
+/// Lenient mode (used for schedules recorded from the live engine) downgrades
+/// an R^G with no subsequent E/A to a plain read: that is exactly the
+/// empty-success case of Appendix B, where no entanglement happened and thus
+/// no information flowed beyond an ordinary read.
+class Schedule {
+ public:
+  static StatusOr<Schedule> Create(std::vector<Op> ops, bool strict = true);
+
+  const std::vector<Op>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+
+  /// All transaction ids mentioned, ascending.
+  std::vector<TxnId> Txns() const;
+  std::set<TxnId> CommittedTxns() const;
+  std::set<TxnId> AbortedTxns() const;
+
+  /// True when every mentioned transaction commits or aborts.
+  bool complete() const;
+
+  /// Returns a schedule with quasi-reads made explicit: whenever transaction
+  /// i performs a grounding read on x and subsequently entangles in E with
+  /// partners {j...}, each partner performs a simultaneous R^Q_j(x) (placed
+  /// immediately after the R^G). A grounding read followed by an abort emits
+  /// no quasi-reads (Appendix C.2.1).
+  Schedule WithQuasiReads() const;
+
+  /// "RG1(x) RQ2(x) R3(z) E1{1,2} W1(z) C1 C2 C3"
+  std::string ToString() const;
+
+ private:
+  explicit Schedule(std::vector<Op> ops) : ops_(std::move(ops)) {}
+  std::vector<Op> ops_;
+};
+
+}  // namespace youtopia::iso
+
+#endif  // YOUTOPIA_ISOLATION_SCHEDULE_H_

@@ -1,0 +1,292 @@
+#include "src/lock/lock_manager.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace youtopia {
+
+namespace {
+
+/// A request is "fully granted" when it holds the mode it asked for.
+bool FullyGranted(const LockManager* /*unused*/, bool granted, LockMode held,
+                  LockMode wanted) {
+  return granted && held == wanted;
+}
+
+}  // namespace
+
+Status LockManager::Acquire(TxnId txn, LockKey key, LockMode mode,
+                            int64_t timeout_micros) {
+  std::unique_lock<std::mutex> g(mu_);
+  KeyState& st = keys_[key];
+
+  // Find or create this transaction's request on the key.
+  Request* mine = nullptr;
+  for (Request& r : st.requests) {
+    if (r.txn == txn) {
+      mine = &r;
+      break;
+    }
+  }
+  bool was_upgrade = false;
+  if (mine != nullptr) {
+    if (mine->granted && Covers(mine->held, mode)) {
+      return Status::Ok();  // re-entrant acquire
+    }
+    LockMode joined = Join(mine->granted ? mine->held : mine->wanted, mode);
+    if (mine->granted && joined != mine->held) {
+      was_upgrade = true;
+      stats_.upgrades.fetch_add(1, std::memory_order_relaxed);
+    }
+    mine->wanted = joined;
+  } else {
+    Request r;
+    r.txn = txn;
+    r.wanted = mode;
+    r.held = mode;  // meaningful once granted
+    r.granted = false;
+    r.seq = next_seq_++;
+    st.requests.push_back(r);
+    mine = &st.requests.back();
+  }
+
+  auto find_mine = [&]() -> Request* {
+    for (Request& r : keys_[key].requests) {
+      if (r.txn == txn) return &r;
+    }
+    return nullptr;
+  };
+
+  GrantPendingLocked(key);
+  mine = find_mine();
+
+  bool waited = false;
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(
+                      timeout_micros < 0 ? int64_t{1} << 40 : timeout_micros);
+
+  while (!FullyGranted(this, mine->granted, mine->held, mine->wanted)) {
+    if (!waited) {
+      waited = true;
+      stats_.waits.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (DeadlockedLocked(txn)) {
+      stats_.deadlocks.fetch_add(1, std::memory_order_relaxed);
+      // Roll back the request: revert an upgrade, drop a fresh request.
+      if (mine->granted) {
+        mine->wanted = mine->held;
+      } else {
+        auto& reqs = keys_[key].requests;
+        reqs.erase(std::remove_if(reqs.begin(), reqs.end(),
+                                  [&](const Request& r) { return r.txn == txn; }),
+                   reqs.end());
+      }
+      GrantPendingLocked(key);
+      cv_.notify_all();
+      return Status::Aborted("deadlock detected; transaction " +
+                             std::to_string(txn) + " chosen as victim");
+    }
+    if (cv_.wait_until(g, deadline) == std::cv_status::timeout) {
+      mine = find_mine();
+      if (mine != nullptr &&
+          FullyGranted(this, mine->granted, mine->held, mine->wanted)) {
+        break;  // granted exactly at the deadline
+      }
+      stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      if (mine != nullptr) {
+        if (mine->granted) {
+          mine->wanted = mine->held;
+        } else {
+          auto& reqs = keys_[key].requests;
+          reqs.erase(
+              std::remove_if(reqs.begin(), reqs.end(),
+                             [&](const Request& r) { return r.txn == txn; }),
+              reqs.end());
+        }
+      }
+      GrantPendingLocked(key);
+      cv_.notify_all();
+      return Status::TimedOut("lock wait timeout on table " +
+                              std::to_string(key.table));
+    }
+    GrantPendingLocked(key);
+    mine = find_mine();
+    if (mine == nullptr) {
+      return Status::Internal("lock request vanished while waiting");
+    }
+  }
+
+  // Track the key for ReleaseAll (only once per key).
+  auto& keys_held = held_[txn];
+  if (std::find(keys_held.begin(), keys_held.end(), key) == keys_held.end()) {
+    keys_held.push_back(key);
+  }
+  stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
+  (void)was_upgrade;
+  return Status::Ok();
+}
+
+bool LockManager::GrantableLocked(const KeyState& st, const Request& r) const {
+  for (const Request& q : st.requests) {
+    if (q.txn == r.txn || !q.granted) continue;
+    if (!Compatible(q.held, r.wanted)) return false;
+  }
+  return true;
+}
+
+bool LockManager::GrantPendingLocked(const LockKey& key) {
+  auto it = keys_.find(key);
+  if (it == keys_.end()) return false;
+  KeyState& st = it->second;
+  bool any = false;
+
+  // Pass 1: pending upgrades (granted but wanting more) jump the queue.
+  for (Request& r : st.requests) {
+    if (r.granted && r.held != r.wanted && GrantableLocked(st, r)) {
+      r.held = r.wanted;
+      any = true;
+    }
+  }
+  // Pass 2: strict FIFO over fresh requests.
+  std::vector<Request*> pending;
+  for (Request& r : st.requests) {
+    if (!r.granted) pending.push_back(&r);
+  }
+  std::sort(pending.begin(), pending.end(),
+            [](const Request* a, const Request* b) { return a->seq < b->seq; });
+  for (Request* r : pending) {
+    if (!GrantableLocked(st, *r)) break;
+    r->granted = true;
+    r->held = r->wanted;
+    any = true;
+  }
+  if (st.requests.empty()) keys_.erase(it);
+  if (any) cv_.notify_all();
+  return any;
+}
+
+void LockManager::CollectWaitsForLocked(
+    TxnId /*txn*/, std::unordered_map<TxnId, std::set<TxnId>>* graph) const {
+  for (const auto& [key, st] : keys_) {
+    for (const Request& r : st.requests) {
+      bool r_waiting = !r.granted || r.held != r.wanted;
+      if (!r_waiting) continue;
+      for (const Request& q : st.requests) {
+        if (q.txn == r.txn) continue;
+        bool blocks = false;
+        if (q.granted && !Compatible(q.held, r.wanted)) blocks = true;
+        // Queue-order blocking: an earlier incompatible waiter also blocks.
+        if (!q.granted && q.seq < r.seq && !Compatible(q.wanted, r.wanted)) {
+          blocks = true;
+        }
+        if (blocks) (*graph)[r.txn].insert(q.txn);
+      }
+    }
+  }
+}
+
+bool LockManager::DeadlockedLocked(TxnId txn) const {
+  std::unordered_map<TxnId, std::set<TxnId>> graph;
+  CollectWaitsForLocked(txn, &graph);
+  // DFS from txn looking for a cycle back to txn.
+  std::vector<TxnId> stack;
+  std::set<TxnId> visited;
+  auto it = graph.find(txn);
+  if (it == graph.end()) return false;
+  for (TxnId n : it->second) stack.push_back(n);
+  while (!stack.empty()) {
+    TxnId cur = stack.back();
+    stack.pop_back();
+    if (cur == txn) return true;
+    if (!visited.insert(cur).second) continue;
+    auto cit = graph.find(cur);
+    if (cit == graph.end()) continue;
+    for (TxnId n : cit->second) stack.push_back(n);
+  }
+  return false;
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto hit = held_.find(txn);
+  if (hit == held_.end()) return;
+  for (const LockKey& key : hit->second) {
+    auto kit = keys_.find(key);
+    if (kit == keys_.end()) continue;
+    auto& reqs = kit->second.requests;
+    reqs.erase(std::remove_if(reqs.begin(), reqs.end(),
+                              [&](const Request& r) { return r.txn == txn; }),
+               reqs.end());
+    GrantPendingLocked(key);
+  }
+  held_.erase(hit);
+  cv_.notify_all();
+}
+
+void LockManager::ReleaseSharedLocks(TxnId txn) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto hit = held_.find(txn);
+  if (hit == held_.end()) return;
+  std::vector<LockKey> remaining;
+  for (const LockKey& key : hit->second) {
+    auto kit = keys_.find(key);
+    if (kit == keys_.end()) continue;
+    auto& reqs = kit->second.requests;
+    bool removed = false;
+    reqs.erase(std::remove_if(reqs.begin(), reqs.end(),
+                              [&](const Request& r) {
+                                if (r.txn == txn && r.granted &&
+                                    r.held == r.wanted &&
+                                    (r.held == LockMode::kS ||
+                                     r.held == LockMode::kIS)) {
+                                  removed = true;
+                                  return true;
+                                }
+                                return false;
+                              }),
+               reqs.end());
+    if (removed) {
+      GrantPendingLocked(key);
+    } else {
+      remaining.push_back(key);
+    }
+  }
+  hit->second = std::move(remaining);
+  cv_.notify_all();
+}
+
+void LockManager::ReleaseKey(TxnId txn, LockKey key) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto kit = keys_.find(key);
+  if (kit != keys_.end()) {
+    auto& reqs = kit->second.requests;
+    reqs.erase(std::remove_if(reqs.begin(), reqs.end(),
+                              [&](const Request& r) { return r.txn == txn; }),
+               reqs.end());
+    GrantPendingLocked(key);
+  }
+  auto hit = held_.find(txn);
+  if (hit != held_.end()) {
+    auto& v = hit->second;
+    v.erase(std::remove(v.begin(), v.end(), key), v.end());
+  }
+  cv_.notify_all();
+}
+
+bool LockManager::Holds(TxnId txn, LockKey key, LockMode mode) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = keys_.find(key);
+  if (it == keys_.end()) return false;
+  for (const Request& r : it->second.requests) {
+    if (r.txn == txn && r.granted && Covers(r.held, mode)) return true;
+  }
+  return false;
+}
+
+size_t LockManager::HeldCount(TxnId txn) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = held_.find(txn);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+}  // namespace youtopia

@@ -1,0 +1,45 @@
+#include "src/sql/ast.h"
+
+namespace youtopia::sql {
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kColumnRef:
+      return qualifier.empty() ? column : qualifier + "." + column;
+    case ExprKind::kHostVar:
+      return "@" + var;
+    case ExprKind::kBinary:
+      return "(" + lhs->ToString() + " " + op + " " + rhs->ToString() + ")";
+    case ExprKind::kNot:
+      return "(NOT " + lhs->ToString() + ")";
+    case ExprKind::kTuple: {
+      std::string s = "(";
+      for (size_t i = 0; i < tuple.size(); ++i) {
+        if (i) s += ", ";
+        s += tuple[i]->ToString();
+      }
+      return s + ")";
+    }
+    case ExprKind::kInSubquery: {
+      std::string s = "(";
+      for (size_t i = 0; i < tuple.size(); ++i) {
+        if (i) s += ", ";
+        s += tuple[i]->ToString();
+      }
+      return s + ") IN (SELECT ...)";
+    }
+    case ExprKind::kInAnswer: {
+      std::string s = "(";
+      for (size_t i = 0; i < tuple.size(); ++i) {
+        if (i) s += ", ";
+        s += tuple[i]->ToString();
+      }
+      return s + ") IN ANSWER " + answer_relation;
+    }
+  }
+  return "?";
+}
+
+}  // namespace youtopia::sql

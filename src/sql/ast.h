@@ -1,0 +1,143 @@
+#ifndef YOUTOPIA_SQL_AST_H_
+#define YOUTOPIA_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/schema.h"
+#include "src/common/value.h"
+
+namespace youtopia::sql {
+
+struct SelectStmt;
+
+enum class ExprKind {
+  kLiteral,     ///< constant Value
+  kColumnRef,   ///< [qualifier.]column
+  kHostVar,     ///< @name
+  kBinary,      ///< lhs op rhs (arith/compare/AND/OR)
+  kTuple,       ///< (e1, e2, ...) — only as the LHS of IN
+  kInSubquery,  ///< tuple IN (SELECT ...)
+  kInAnswer,    ///< tuple IN ANSWER relation — entangled postcondition
+  kNot,         ///< NOT child
+};
+
+/// Expression tree node. A tagged union kept flat (one struct) for
+/// simplicity; only the fields for the active kind are meaningful.
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+  Value literal;                       // kLiteral
+  std::string qualifier;               // kColumnRef (optional table alias)
+  std::string column;                  // kColumnRef
+  std::string var;                     // kHostVar
+  std::string op;                      // kBinary
+  std::unique_ptr<Expr> lhs, rhs;      // kBinary / kNot(lhs)
+  std::vector<std::unique_ptr<Expr>> tuple;  // kTuple / IN lhs items
+  std::unique_ptr<SelectStmt> subquery;      // kInSubquery
+  std::string answer_relation;               // kInAnswer
+
+  std::string ToString() const;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One SELECT output item: expression plus optional alias. When the alias is
+/// a host variable (`fdate AS @ArrivalDay`), executing the select binds the
+/// variable; for entangled queries the binding applies to the answer tuple.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;
+  bool alias_is_hostvar = false;
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  ///< defaults to table name
+};
+
+/// Classical SELECT (also used for IN-subqueries).
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;      // may be null
+  int64_t limit = -1; // -1 = unlimited
+};
+
+/// The paper's extended entangled query:
+///   SELECT items INTO ANSWER rel [, ANSWER rel]...
+///   [WHERE where_answer_condition] CHOOSE 1
+struct EntangledSelectStmt {
+  std::vector<SelectItem> items;
+  std::vector<std::string> answer_relations;
+  ExprPtr where;  // conjunction over body + ANSWER constraints
+  int64_t choose = 1;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  ///< empty = positional
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> sets;
+  ExprPtr where;
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;
+};
+
+struct CreateTableStmt {
+  std::string table;
+  Schema schema;
+};
+
+struct CreateIndexStmt {
+  std::string table;
+  std::vector<std::string> columns;
+};
+
+struct BeginStmt {
+  int64_t timeout_micros = -1;  ///< WITH TIMEOUT clause; -1 = none given
+};
+
+struct SetStmt {
+  std::string var;
+  ExprPtr value;
+};
+
+enum class StatementKind {
+  kSelect,
+  kEntangledSelect,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kCreateTable,
+  kCreateIndex,
+  kBegin,
+  kCommit,
+  kRollback,
+  kSet,
+};
+
+/// A parsed statement (tagged union).
+struct ParsedStatement {
+  StatementKind kind;
+  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<EntangledSelectStmt> entangled;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<UpdateStmt> update;
+  std::unique_ptr<DeleteStmt> del;
+  std::unique_ptr<CreateTableStmt> create_table;
+  std::unique_ptr<CreateIndexStmt> create_index;
+  std::unique_ptr<BeginStmt> begin;
+  std::unique_ptr<SetStmt> set;
+};
+
+}  // namespace youtopia::sql
+
+#endif  // YOUTOPIA_SQL_AST_H_

@@ -1,0 +1,423 @@
+#include "src/sql/executor.h"
+
+#include "src/common/strings.h"
+
+namespace youtopia::sql {
+
+std::string QueryResult::ToString() const {
+  std::string s = Join(column_names, " | ") + "\n";
+  for (const Row& r : rows) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      if (i) s += " | ";
+      s += r[i].ToString();
+    }
+    s += "\n";
+  }
+  return s;
+}
+
+StatusOr<QueryResult> Executor::Execute(const ParsedStatement& stmt,
+                                        Transaction* txn, VarEnv* vars) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return ExecuteSelect(*stmt.select, txn, vars);
+    case StatementKind::kInsert:
+      return ExecuteInsert(*stmt.insert, txn, vars);
+    case StatementKind::kUpdate:
+      return ExecuteUpdate(*stmt.update, txn, vars);
+    case StatementKind::kDelete:
+      return ExecuteDelete(*stmt.del, txn, vars);
+    case StatementKind::kSet:
+      return ExecuteSet(*stmt.set, vars);
+    case StatementKind::kCreateTable: {
+      YT_ASSIGN_OR_RETURN(Table * t,
+                          tm_->CreateTable(stmt.create_table->table,
+                                           stmt.create_table->schema));
+      (void)t;
+      return QueryResult{};
+    }
+    case StatementKind::kCreateIndex: {
+      YT_ASSIGN_OR_RETURN(Table * t,
+                          tm_->db()->GetTable(stmt.create_index->table));
+      YT_RETURN_IF_ERROR(t->CreateIndex(stmt.create_index->columns));
+      return QueryResult{};
+    }
+    case StatementKind::kEntangledSelect:
+      return Status::InvalidArgument(
+          "entangled queries must run inside the entangled transaction "
+          "engine");
+    case StatementKind::kBegin:
+    case StatementKind::kCommit:
+    case StatementKind::kRollback:
+      return Status::InvalidArgument(
+          "transaction control statements are handled by the session");
+  }
+  return Status::Internal("bad statement kind");
+}
+
+Status Executor::MaterializeSubqueries(
+    const Expr* where, Transaction* txn, VarEnv* vars,
+    std::unordered_map<const Expr*, std::unordered_set<Row, RowHash>>* out) {
+  std::vector<const Expr*> subs;
+  CollectSubqueries(where, &subs);
+  for (const Expr* node : subs) {
+    YT_ASSIGN_OR_RETURN(QueryResult res,
+                        ExecuteSelect(*node->subquery, txn, vars));
+    if (!res.rows.empty() && res.rows[0].size() != node->tuple.size()) {
+      return Status::InvalidArgument(
+          "IN subquery arity does not match tuple arity");
+    }
+    std::unordered_set<Row, RowHash> set;
+    for (Row& r : res.rows) set.insert(std::move(r));
+    (*out)[node] = std::move(set);
+  }
+  return Status::Ok();
+}
+
+StatusOr<QueryResult> Executor::ExecuteSelect(const SelectStmt& sel,
+                                              Transaction* txn, VarEnv* vars) {
+  // Pre-materialize IN (SELECT...) sets (uncorrelated subqueries).
+  std::unordered_map<const Expr*, std::unordered_set<Row, RowHash>> in_sets;
+  YT_RETURN_IF_ERROR(MaterializeSubqueries(sel.where.get(), txn, vars,
+                                           &in_sets));
+
+  // Snapshot FROM tables under table S locks.
+  struct Scanned {
+    std::string alias;
+    const Schema* schema;
+    std::vector<Row> rows;
+  };
+  std::vector<Scanned> scans;
+  scans.reserve(sel.from.size());
+  for (const TableRef& ref : sel.from) {
+    YT_ASSIGN_OR_RETURN(Table * t, tm_->db()->GetTable(ref.table));
+    Scanned s;
+    s.alias = ref.alias;
+    s.schema = &t->schema();
+    YT_RETURN_IF_ERROR(tm_->Scan(txn, ref.table,
+                                 [&s](RowId, const Row& row) {
+                                   s.rows.push_back(row);
+                                   return true;
+                                 }));
+    scans.push_back(std::move(s));
+  }
+
+  // Pre-resolve the paper-style `SELECT @uid FROM ...` auto-column items:
+  // a bare host var over a FROM table with a same-named column reads that
+  // column and binds the variable.
+  struct ItemPlan {
+    const Expr* expr;
+    std::string name;          // output column name
+    std::string bind_var;      // nonempty => bind @var from first row
+    ExprPtr replacement;       // owns a synthesized column ref, if any
+  };
+  std::vector<ItemPlan> plans;
+  plans.reserve(sel.items.size());
+  for (const SelectItem& item : sel.items) {
+    ItemPlan p;
+    p.expr = item.expr.get();
+    p.name = item.alias.empty() ? item.expr->ToString() : item.alias;
+    if (item.alias_is_hostvar) p.bind_var = ToLower(item.alias);
+    if (item.expr->kind == ExprKind::kHostVar && !scans.empty()) {
+      for (const Scanned& s : scans) {
+        if (s.schema->HasColumn(item.expr->var)) {
+          auto col = std::make_unique<Expr>();
+          col->kind = ExprKind::kColumnRef;
+          col->column = item.expr->var;
+          p.replacement = std::move(col);
+          p.expr = p.replacement.get();
+          p.bind_var = ToLower(item.expr->var);
+          p.name = "@" + item.expr->var;
+          break;
+        }
+      }
+    }
+    plans.push_back(std::move(p));
+  }
+
+  QueryResult result;
+  for (const ItemPlan& p : plans) result.column_names.push_back(p.name);
+
+  // Bind-time validation: every column reference must resolve against some
+  // FROM table, even when tables are empty (an unknown column is a query
+  // error, not an empty result).
+  std::function<Status(const Expr*)> validate_refs =
+      [&](const Expr* e) -> Status {
+    if (e == nullptr) return Status::Ok();
+    if (e->kind == ExprKind::kColumnRef) {
+      for (const Scanned& s : scans) {
+        bool qual_ok = e->qualifier.empty() ||
+                       EqualsIgnoreCase(s.alias, e->qualifier);
+        if (qual_ok && s.schema->HasColumn(e->column)) return Status::Ok();
+      }
+      return Status::NotFound(
+          "unresolved column " +
+          (e->qualifier.empty() ? e->column : e->qualifier + "." + e->column));
+    }
+    YT_RETURN_IF_ERROR(validate_refs(e->lhs.get()));
+    YT_RETURN_IF_ERROR(validate_refs(e->rhs.get()));
+    for (const ExprPtr& t : e->tuple) {
+      YT_RETURN_IF_ERROR(validate_refs(t.get()));
+    }
+    return Status::Ok();
+  };
+  for (const ItemPlan& p : plans) {
+    YT_RETURN_IF_ERROR(validate_refs(p.expr));
+  }
+  YT_RETURN_IF_ERROR(validate_refs(sel.where.get()));
+
+  // Predicate pushdown for the nested-loop join: split the WHERE into
+  // conjuncts and evaluate each at the shallowest join depth where all its
+  // column references are bound. This turns the paper's three-way §D joins
+  // from a cartesian product into an early-pruned loop.
+  std::function<void(const Expr*, std::vector<const Expr*>*)> flatten =
+      [&](const Expr* e, std::vector<const Expr*>* out) {
+        if (e == nullptr) return;
+        if (e->kind == ExprKind::kBinary && e->op == "AND") {
+          flatten(e->lhs.get(), out);
+          flatten(e->rhs.get(), out);
+          return;
+        }
+        out->push_back(e);
+      };
+  // Depth needed to evaluate an expression: max over its column refs of the
+  // first FROM table that binds them; +inf (scans.size()) when unknown.
+  std::function<size_t(const Expr*)> depth_needed = [&](const Expr* e) -> size_t {
+    if (e == nullptr) return 0;
+    size_t d = 0;
+    if (e->kind == ExprKind::kColumnRef) {
+      for (size_t t = 0; t < scans.size(); ++t) {
+        bool qual_ok = e->qualifier.empty() ||
+                       EqualsIgnoreCase(scans[t].alias, e->qualifier);
+        if (qual_ok && scans[t].schema->HasColumn(e->column)) {
+          return t + 1;
+        }
+      }
+      return scans.size();  // unknown column: defer to the deepest level
+    }
+    if (e->lhs) d = std::max(d, depth_needed(e->lhs.get()));
+    if (e->rhs) d = std::max(d, depth_needed(e->rhs.get()));
+    for (const ExprPtr& t : e->tuple) d = std::max(d, depth_needed(t.get()));
+    return d;
+  };
+  std::vector<std::vector<const Expr*>> conjuncts_at(scans.size() + 1);
+  {
+    std::vector<const Expr*> conjuncts;
+    flatten(sel.where.get(), &conjuncts);
+    for (const Expr* c : conjuncts) {
+      size_t d = std::min(depth_needed(c), scans.size());
+      conjuncts_at[d].push_back(c);
+    }
+  }
+
+  EvalEnv env;
+  env.vars = vars;
+  env.in_sets = &in_sets;
+  env.tables.resize(scans.size());
+  int64_t limit = sel.limit < 0 ? INT64_MAX : sel.limit;
+
+  std::function<Status(size_t)> recurse = [&](size_t depth) -> Status {
+    if (static_cast<int64_t>(result.rows.size()) >= limit) return Status::Ok();
+    if (depth == scans.size()) {
+      std::vector<Value> out;
+      out.reserve(plans.size());
+      for (const ItemPlan& p : plans) {
+        YT_ASSIGN_OR_RETURN(Value v, EvalScalar(*p.expr, env));
+        out.push_back(std::move(v));
+      }
+      result.rows.emplace_back(std::move(out));
+      return Status::Ok();
+    }
+    for (const Row& row : scans[depth].rows) {
+      env.tables[depth] = {scans[depth].alias, scans[depth].schema, &row};
+      bool keep = true;
+      for (const Expr* c : conjuncts_at[depth + 1]) {
+        YT_ASSIGN_OR_RETURN(bool ok, EvalPredicate(*c, env));
+        if (!ok) {
+          keep = false;
+          break;
+        }
+      }
+      if (!keep) continue;
+      YT_RETURN_IF_ERROR(recurse(depth + 1));
+      if (static_cast<int64_t>(result.rows.size()) >= limit) break;
+    }
+    return Status::Ok();
+  };
+
+  if (scans.empty()) {
+    // Expression-only select: evaluate once over the var environment.
+    if (sel.where == nullptr) {
+      std::vector<Value> out;
+      for (const ItemPlan& p : plans) {
+        YT_ASSIGN_OR_RETURN(Value v, EvalScalar(*p.expr, env));
+        out.push_back(std::move(v));
+      }
+      result.rows.emplace_back(std::move(out));
+    } else {
+      YT_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*sel.where, env));
+      if (keep) {
+        std::vector<Value> out;
+        for (const ItemPlan& p : plans) {
+          YT_ASSIGN_OR_RETURN(Value v, EvalScalar(*p.expr, env));
+          out.push_back(std::move(v));
+        }
+        result.rows.emplace_back(std::move(out));
+      }
+    }
+  } else {
+    // Depth-0 conjuncts reference no tables (pure variable/constant tests).
+    bool keep = true;
+    for (const Expr* c : conjuncts_at[0]) {
+      YT_ASSIGN_OR_RETURN(bool ok, EvalPredicate(*c, env));
+      if (!ok) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) {
+      YT_RETURN_IF_ERROR(recurse(0));
+    }
+  }
+
+  // Host-variable bindings from the first row (NULL when empty).
+  if (vars != nullptr) {
+    for (size_t i = 0; i < plans.size(); ++i) {
+      if (plans[i].bind_var.empty()) continue;
+      (*vars)[plans[i].bind_var] =
+          result.rows.empty() ? Value::Null() : result.rows[0][i];
+    }
+  }
+  return result;
+}
+
+StatusOr<QueryResult> Executor::ExecuteInsert(const InsertStmt& ins,
+                                              Transaction* txn, VarEnv* vars) {
+  YT_ASSIGN_OR_RETURN(Table * t, tm_->db()->GetTable(ins.table));
+  const Schema& schema = t->schema();
+  EvalEnv env;
+  env.vars = vars;
+  QueryResult result;
+  for (const auto& exprs : ins.rows) {
+    std::vector<Value> vals(schema.num_columns(), Value::Null());
+    if (ins.columns.empty()) {
+      if (exprs.size() != schema.num_columns()) {
+        return Status::InvalidArgument("INSERT arity mismatch for table " +
+                                       ins.table);
+      }
+      for (size_t i = 0; i < exprs.size(); ++i) {
+        YT_ASSIGN_OR_RETURN(vals[i], EvalScalar(*exprs[i], env));
+      }
+    } else {
+      if (exprs.size() != ins.columns.size()) {
+        return Status::InvalidArgument("INSERT arity mismatch for table " +
+                                       ins.table);
+      }
+      for (size_t i = 0; i < exprs.size(); ++i) {
+        YT_ASSIGN_OR_RETURN(size_t col, schema.IndexOf(ins.columns[i]));
+        YT_ASSIGN_OR_RETURN(vals[col], EvalScalar(*exprs[i], env));
+      }
+    }
+    YT_ASSIGN_OR_RETURN(RowId rid, tm_->Insert(txn, ins.table,
+                                               Row(std::move(vals))));
+    (void)rid;
+    ++result.affected;
+  }
+  return result;
+}
+
+StatusOr<QueryResult> Executor::ExecuteUpdate(const UpdateStmt& upd,
+                                              Transaction* txn, VarEnv* vars) {
+  YT_RETURN_IF_ERROR(tm_->LockTableForWrite(txn, upd.table));
+  YT_ASSIGN_OR_RETURN(Table * t, tm_->db()->GetTable(upd.table));
+  const Schema& schema = t->schema();
+
+  std::unordered_map<const Expr*, std::unordered_set<Row, RowHash>> in_sets;
+  YT_RETURN_IF_ERROR(MaterializeSubqueries(upd.where.get(), txn, vars,
+                                           &in_sets));
+
+  std::vector<std::pair<RowId, Row>> matches;
+  Status scan_status = Status::Ok();
+  t->Scan([&](RowId rid, const Row& row) {
+    EvalEnv env;
+    env.vars = vars;
+    env.in_sets = &in_sets;
+    env.tables.push_back({upd.table, &schema, &row});
+    if (upd.where != nullptr) {
+      auto keep = EvalPredicate(*upd.where, env);
+      if (!keep.ok()) {
+        scan_status = keep.status();
+        return false;
+      }
+      if (!keep.value()) return true;
+    }
+    matches.emplace_back(rid, row);
+    return true;
+  });
+  YT_RETURN_IF_ERROR(scan_status);
+
+  QueryResult result;
+  for (auto& [rid, row] : matches) {
+    Row updated = row;
+    EvalEnv env;
+    env.vars = vars;
+    env.in_sets = &in_sets;
+    env.tables.push_back({upd.table, &schema, &row});
+    for (const auto& [col, expr] : upd.sets) {
+      YT_ASSIGN_OR_RETURN(size_t i, schema.IndexOf(col));
+      YT_ASSIGN_OR_RETURN(updated[i], EvalScalar(*expr, env));
+    }
+    YT_RETURN_IF_ERROR(tm_->Update(txn, upd.table, rid, updated));
+    ++result.affected;
+  }
+  return result;
+}
+
+StatusOr<QueryResult> Executor::ExecuteDelete(const DeleteStmt& del,
+                                              Transaction* txn, VarEnv* vars) {
+  YT_RETURN_IF_ERROR(tm_->LockTableForWrite(txn, del.table));
+  YT_ASSIGN_OR_RETURN(Table * t, tm_->db()->GetTable(del.table));
+  const Schema& schema = t->schema();
+
+  std::unordered_map<const Expr*, std::unordered_set<Row, RowHash>> in_sets;
+  YT_RETURN_IF_ERROR(MaterializeSubqueries(del.where.get(), txn, vars,
+                                           &in_sets));
+
+  std::vector<RowId> matches;
+  Status scan_status = Status::Ok();
+  t->Scan([&](RowId rid, const Row& row) {
+    EvalEnv env;
+    env.vars = vars;
+    env.in_sets = &in_sets;
+    env.tables.push_back({del.table, &schema, &row});
+    if (del.where != nullptr) {
+      auto keep = EvalPredicate(*del.where, env);
+      if (!keep.ok()) {
+        scan_status = keep.status();
+        return false;
+      }
+      if (!keep.value()) return true;
+    }
+    matches.push_back(rid);
+    return true;
+  });
+  YT_RETURN_IF_ERROR(scan_status);
+
+  QueryResult result;
+  for (RowId rid : matches) {
+    YT_RETURN_IF_ERROR(tm_->Delete(txn, del.table, rid));
+    ++result.affected;
+  }
+  return result;
+}
+
+StatusOr<QueryResult> Executor::ExecuteSet(const SetStmt& set, VarEnv* vars) {
+  if (vars == nullptr) return Status::Internal("no variable environment");
+  EvalEnv env;
+  env.vars = vars;
+  YT_ASSIGN_OR_RETURN(Value v, EvalScalar(*set.value, env));
+  (*vars)[ToLower(set.var)] = std::move(v);
+  return QueryResult{};
+}
+
+}  // namespace youtopia::sql

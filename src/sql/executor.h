@@ -1,0 +1,64 @@
+#ifndef YOUTOPIA_SQL_EXECUTOR_H_
+#define YOUTOPIA_SQL_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sql/ast.h"
+#include "src/sql/expr_eval.h"
+#include "src/txn/transaction_manager.h"
+
+namespace youtopia::sql {
+
+/// Result of a statement: column names plus rows (DML reports affected rows
+/// in `affected`, no result rows).
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<Row> rows;
+  size_t affected = 0;
+
+  bool empty() const { return rows.empty(); }
+  std::string ToString() const;
+};
+
+/// Executes classical statements within a transaction: nested-loop SPJ
+/// SELECT (table S locks via the transaction manager), DML, DDL, SET.
+/// Host-variable semantics follow the paper's examples:
+///   * `expr AS @v` binds @v from the first result row;
+///   * a bare `@v` select item over a FROM table that has a column named `v`
+///     reads the column and binds @v (the §D workload style
+///     `SELECT @uid, @hometown FROM User WHERE ...`).
+/// Entangled selects and BEGIN/COMMIT/ROLLBACK are out of scope here (the
+/// entangled engine and Session own them).
+class Executor {
+ public:
+  explicit Executor(TransactionManager* tm) : tm_(tm) {}
+
+  TransactionManager* tm() const { return tm_; }
+
+  StatusOr<QueryResult> Execute(const ParsedStatement& stmt, Transaction* txn,
+                                VarEnv* vars);
+
+  StatusOr<QueryResult> ExecuteSelect(const SelectStmt& sel, Transaction* txn,
+                                      VarEnv* vars);
+
+ private:
+  StatusOr<QueryResult> ExecuteInsert(const InsertStmt& ins, Transaction* txn,
+                                      VarEnv* vars);
+  StatusOr<QueryResult> ExecuteUpdate(const UpdateStmt& upd, Transaction* txn,
+                                      VarEnv* vars);
+  StatusOr<QueryResult> ExecuteDelete(const DeleteStmt& del, Transaction* txn,
+                                      VarEnv* vars);
+  StatusOr<QueryResult> ExecuteSet(const SetStmt& set, VarEnv* vars);
+
+  /// Runs every IN (SELECT...) in `where` and materializes its row set.
+  Status MaterializeSubqueries(
+      const Expr* where, Transaction* txn, VarEnv* vars,
+      std::unordered_map<const Expr*, std::unordered_set<Row, RowHash>>* out);
+
+  TransactionManager* tm_;
+};
+
+}  // namespace youtopia::sql
+
+#endif  // YOUTOPIA_SQL_EXECUTOR_H_

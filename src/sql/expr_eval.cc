@@ -1,0 +1,118 @@
+#include "src/sql/expr_eval.h"
+
+#include "src/common/strings.h"
+
+namespace youtopia::sql {
+
+StatusOr<Value> ResolveColumn(const EvalEnv& env, const std::string& qualifier,
+                              const std::string& column) {
+  for (const TableBinding& tb : env.tables) {
+    if (!qualifier.empty() && !EqualsIgnoreCase(tb.alias, qualifier)) continue;
+    auto idx = tb.schema->IndexOf(column);
+    if (idx.ok()) return (*tb.row)[idx.value()];
+  }
+  return Status::NotFound("unresolved column " +
+                          (qualifier.empty() ? column
+                                             : qualifier + "." + column));
+}
+
+namespace {
+
+StatusOr<Value> EvalBinary(const Expr& e, const EvalEnv& env) {
+  // AND/OR get short-circuit evaluation with SQL-ish truthiness.
+  if (e.op == "AND") {
+    YT_ASSIGN_OR_RETURN(Value l, EvalScalar(*e.lhs, env));
+    if (!l.Truthy()) return Value::Bool(false);
+    YT_ASSIGN_OR_RETURN(Value r, EvalScalar(*e.rhs, env));
+    return Value::Bool(r.Truthy());
+  }
+  if (e.op == "OR") {
+    YT_ASSIGN_OR_RETURN(Value l, EvalScalar(*e.lhs, env));
+    if (l.Truthy()) return Value::Bool(true);
+    YT_ASSIGN_OR_RETURN(Value r, EvalScalar(*e.rhs, env));
+    return Value::Bool(r.Truthy());
+  }
+  YT_ASSIGN_OR_RETURN(Value l, EvalScalar(*e.lhs, env));
+  YT_ASSIGN_OR_RETURN(Value r, EvalScalar(*e.rhs, env));
+  if (e.op == "+") return Value::Add(l, r);
+  if (e.op == "-") return Value::Sub(l, r);
+  if (e.op == "*") return Value::Mul(l, r);
+  if (e.op == "/") return Value::Div(l, r);
+  if (e.op == "%") {
+    if (!l.is_int() || !r.is_int() || r.as_int() == 0) {
+      return Status::InvalidArgument("'%' requires nonzero integers");
+    }
+    return Value::Int(l.as_int() % r.as_int());
+  }
+  // Comparisons: SQL semantics — comparing with NULL yields NULL (false).
+  if (l.is_null() || r.is_null()) return Value::Null();
+  int c = l.Compare(r);
+  if (e.op == "=") return Value::Bool(c == 0);
+  if (e.op == "<>" || e.op == "!=") return Value::Bool(c != 0);
+  if (e.op == "<") return Value::Bool(c < 0);
+  if (e.op == "<=") return Value::Bool(c <= 0);
+  if (e.op == ">") return Value::Bool(c > 0);
+  if (e.op == ">=") return Value::Bool(c >= 0);
+  return Status::InvalidArgument("unknown operator " + e.op);
+}
+
+}  // namespace
+
+StatusOr<Value> EvalScalar(const Expr& e, const EvalEnv& env) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kColumnRef:
+      return ResolveColumn(env, e.qualifier, e.column);
+    case ExprKind::kHostVar: {
+      if (env.vars == nullptr) return Value::Null();
+      auto it = env.vars->find(ToLower(e.var));
+      if (it == env.vars->end()) return Value::Null();
+      return it->second;
+    }
+    case ExprKind::kBinary:
+      return EvalBinary(e, env);
+    case ExprKind::kNot: {
+      YT_ASSIGN_OR_RETURN(Value v, EvalScalar(*e.lhs, env));
+      return Value::Bool(!v.Truthy());
+    }
+    case ExprKind::kTuple:
+      return Status::InvalidArgument(
+          "tuple expression only valid as the left side of IN");
+    case ExprKind::kInSubquery: {
+      if (env.in_sets == nullptr) {
+        return Status::Internal("IN subquery set not materialized");
+      }
+      auto it = env.in_sets->find(&e);
+      if (it == env.in_sets->end()) {
+        return Status::Internal("IN subquery set missing for node");
+      }
+      std::vector<Value> vals;
+      vals.reserve(e.tuple.size());
+      for (const ExprPtr& item : e.tuple) {
+        YT_ASSIGN_OR_RETURN(Value v, EvalScalar(*item, env));
+        vals.push_back(std::move(v));
+      }
+      return Value::Bool(it->second.count(Row(std::move(vals))) > 0);
+    }
+    case ExprKind::kInAnswer:
+      return Status::InvalidArgument(
+          "IN ANSWER is only valid inside an entangled query");
+  }
+  return Status::Internal("bad expression kind");
+}
+
+StatusOr<bool> EvalPredicate(const Expr& e, const EvalEnv& env) {
+  YT_ASSIGN_OR_RETURN(Value v, EvalScalar(e, env));
+  return v.Truthy();
+}
+
+void CollectSubqueries(const Expr* e, std::vector<const Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kInSubquery) out->push_back(e);
+  CollectSubqueries(e->lhs.get(), out);
+  CollectSubqueries(e->rhs.get(), out);
+  for (const ExprPtr& t : e->tuple) CollectSubqueries(t.get(), out);
+}
+
+}  // namespace youtopia::sql

@@ -1,0 +1,53 @@
+#ifndef YOUTOPIA_SQL_EXPR_EVAL_H_
+#define YOUTOPIA_SQL_EXPR_EVAL_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/row.h"
+#include "src/common/schema.h"
+#include "src/common/statusor.h"
+#include "src/sql/ast.h"
+
+namespace youtopia::sql {
+
+/// Host-variable environment: lower-cased name -> value.
+using VarEnv = std::unordered_map<std::string, Value>;
+
+/// One table's row bound into scope during evaluation.
+struct TableBinding {
+  std::string alias;     ///< FROM alias (case-insensitive match)
+  const Schema* schema;  ///< column names
+  const Row* row;        ///< current row
+};
+
+/// Evaluation environment for one candidate joined row.
+struct EvalEnv {
+  std::vector<TableBinding> tables;
+  const VarEnv* vars = nullptr;
+  /// Materialized IN (SELECT ...) sets, keyed by the kInSubquery node.
+  const std::unordered_map<const Expr*, std::unordered_set<Row, RowHash>>*
+      in_sets = nullptr;
+};
+
+/// Resolves a column reference against the bound tables; the first match in
+/// FROM order wins when no qualifier is given.
+StatusOr<Value> ResolveColumn(const EvalEnv& env, const std::string& qualifier,
+                              const std::string& column);
+
+/// Evaluates a scalar expression. kInSubquery membership requires env.in_sets
+/// to contain the materialized set; kInAnswer is only meaningful inside the
+/// entangled evaluator and errors here.
+StatusOr<Value> EvalScalar(const Expr& e, const EvalEnv& env);
+
+/// SQL truthiness of EvalScalar.
+StatusOr<bool> EvalPredicate(const Expr& e, const EvalEnv& env);
+
+/// Collects every kInSubquery node under `e` (for pre-materialization).
+void CollectSubqueries(const Expr* e, std::vector<const Expr*>* out);
+
+}  // namespace youtopia::sql
+
+#endif  // YOUTOPIA_SQL_EXPR_EVAL_H_

@@ -1,0 +1,124 @@
+#include "src/sql/lexer.h"
+
+#include <cctype>
+
+namespace youtopia::sql {
+
+StatusOr<std::vector<Token>> Lex(const std::string& in) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = in.size();
+  while (i < n) {
+    char c = in[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && in[i + 1] == '-') {
+      while (i < n && in[i] != '\n') ++i;
+      continue;
+    }
+    Token t;
+    t.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(in[j])) ||
+                       in[j] == '_')) {
+        ++j;
+      }
+      t.kind = TokenKind::kIdent;
+      t.text = in.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_double = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(in[j])) ||
+                       in[j] == '.')) {
+        if (in[j] == '.') {
+          // Two dots => not part of this number.
+          if (is_double) break;
+          is_double = true;
+        }
+        ++j;
+      }
+      std::string num = in.substr(i, j - i);
+      t.kind = TokenKind::kNumber;
+      if (is_double) {
+        t.literal = Value::Double(std::stod(num));
+      } else {
+        t.literal = Value::Int(std::stoll(num));
+      }
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      std::string s;
+      bool closed = false;
+      while (j < n) {
+        if (in[j] == '\'') {
+          if (j + 1 < n && in[j + 1] == '\'') {
+            s.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        s.push_back(in[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(i));
+      }
+      t.kind = TokenKind::kString;
+      t.literal = Value::Str(std::move(s));
+      i = j;
+    } else if (c == '@') {
+      size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(in[j])) ||
+                       in[j] == '_')) {
+        ++j;
+      }
+      if (j == i + 1) {
+        return Status::InvalidArgument("empty host variable name at offset " +
+                                       std::to_string(i));
+      }
+      t.kind = TokenKind::kHostVar;
+      t.text = in.substr(i + 1, j - i - 1);
+      i = j;
+    } else {
+      // Multi-char operators first.
+      static const char* two_char[] = {"<=", ">=", "<>", "!=", ":="};
+      bool matched = false;
+      for (const char* op : two_char) {
+        if (c == op[0] && i + 1 < n && in[i + 1] == op[1]) {
+          t.kind = TokenKind::kSymbol;
+          t.text = op;
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        static const std::string singles = "(),;*=<>+-/.%";
+        if (singles.find(c) == std::string::npos) {
+          return Status::InvalidArgument(std::string("unexpected character '") +
+                                         c + "' at offset " +
+                                         std::to_string(i));
+        }
+        t.kind = TokenKind::kSymbol;
+        t.text = std::string(1, c);
+        ++i;
+      }
+    }
+    out.push_back(std::move(t));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace youtopia::sql

@@ -1,0 +1,35 @@
+#ifndef YOUTOPIA_SQL_LEXER_H_
+#define YOUTOPIA_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/statusor.h"
+#include "src/common/value.h"
+
+namespace youtopia::sql {
+
+enum class TokenKind {
+  kIdent,    ///< identifier or keyword (matched case-insensitively)
+  kNumber,   ///< integer or double literal
+  kString,   ///< 'single quoted'
+  kHostVar,  ///< @name
+  kSymbol,   ///< punctuation / operator, in `text`
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   ///< identifier/symbol text (original case for idents)
+  Value literal;      ///< for kNumber / kString
+  size_t offset = 0;  ///< byte offset for error messages
+};
+
+/// Tokenizes a SQL statement. Supports `--` line comments, single-quoted
+/// strings with '' escapes, @host variables, and the multi-char operators
+/// <= >= <> !=.
+StatusOr<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace youtopia::sql
+
+#endif  // YOUTOPIA_SQL_LEXER_H_

@@ -1,0 +1,654 @@
+#include "src/sql/parser.h"
+
+#include "src/common/strings.h"
+
+namespace youtopia::sql {
+
+namespace {
+
+ExprPtr MakeBinary(std::string op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->op = std::move(op);
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+/// Multiplier for BEGIN TRANSACTION WITH TIMEOUT <n> <unit>, in micros.
+StatusOr<int64_t> TimeoutUnitMicros(const std::string& unit) {
+  std::string u = ToUpper(unit);
+  if (!u.empty() && u.back() == 'S') u.pop_back();  // DAYS -> DAY
+  if (u == "MICROSECOND") return int64_t{1};
+  if (u == "MILLISECOND") return int64_t{1000};
+  if (u == "SECOND") return int64_t{1000} * 1000;
+  if (u == "MINUTE") return int64_t{60} * 1000 * 1000;
+  if (u == "HOUR") return int64_t{3600} * 1000 * 1000;
+  if (u == "DAY") return int64_t{86400} * 1000 * 1000;
+  return Status::InvalidArgument("unknown timeout unit: " + unit);
+}
+
+}  // namespace
+
+const Token& Parser::Peek(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  if (i >= toks_.size()) i = toks_.size() - 1;
+  return toks_[i];
+}
+
+const Token& Parser::Advance() {
+  const Token& t = toks_[pos_];
+  if (pos_ + 1 < toks_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::PeekIdent(const char* kw, size_t ahead) const {
+  const Token& t = Peek(ahead);
+  return t.kind == TokenKind::kIdent && EqualsIgnoreCase(t.text, kw);
+}
+
+bool Parser::MatchIdent(const char* kw) {
+  if (PeekIdent(kw)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::ExpectIdent(const char* kw) {
+  if (MatchIdent(kw)) return Status::Ok();
+  return ErrorHere(std::string("expected ") + kw);
+}
+
+bool Parser::MatchSymbol(const char* sym) {
+  const Token& t = Peek();
+  if (t.kind == TokenKind::kSymbol && t.text == sym) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::ExpectSymbol(const char* sym) {
+  if (MatchSymbol(sym)) return Status::Ok();
+  return ErrorHere(std::string("expected '") + sym + "'");
+}
+
+Status Parser::ErrorHere(const std::string& msg) const {
+  const Token& t = Peek();
+  std::string got = t.kind == TokenKind::kEnd ? "<end>" : t.text;
+  if (t.kind == TokenKind::kNumber || t.kind == TokenKind::kString) {
+    got = t.literal.ToString();
+  }
+  return Status::InvalidArgument(msg + " at offset " +
+                                 std::to_string(t.offset) + ", got '" + got +
+                                 "'");
+}
+
+StatusOr<ParsedStatement> Parser::ParseStatement(const std::string& text) {
+  YT_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(text));
+  Parser p(std::move(toks));
+  YT_ASSIGN_OR_RETURN(ParsedStatement stmt, p.ParseOne());
+  p.MatchSymbol(";");
+  if (!p.AtEnd()) return p.ErrorHere("trailing input after statement");
+  return stmt;
+}
+
+StatusOr<std::vector<ParsedStatement>> Parser::ParseScript(
+    const std::string& text) {
+  YT_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(text));
+  Parser p(std::move(toks));
+  std::vector<ParsedStatement> out;
+  while (!p.AtEnd()) {
+    if (p.MatchSymbol(";")) continue;
+    YT_ASSIGN_OR_RETURN(ParsedStatement stmt, p.ParseOne());
+    out.push_back(std::move(stmt));
+    if (!p.AtEnd()) {
+      YT_RETURN_IF_ERROR(p.ExpectSymbol(";"));
+    }
+  }
+  return out;
+}
+
+StatusOr<ParsedStatement> Parser::ParseOne() {
+  if (PeekIdent("SELECT")) return ParseSelectLike();
+  if (PeekIdent("INSERT")) return ParseInsert();
+  if (PeekIdent("UPDATE")) return ParseUpdate();
+  if (PeekIdent("DELETE")) return ParseDelete();
+  if (PeekIdent("CREATE")) return ParseCreate();
+  if (PeekIdent("BEGIN")) return ParseBegin();
+  if (PeekIdent("SET")) return ParseSet();
+  if (MatchIdent("COMMIT")) {
+    ParsedStatement s;
+    s.kind = StatementKind::kCommit;
+    return s;
+  }
+  if (MatchIdent("ROLLBACK")) {
+    ParsedStatement s;
+    s.kind = StatementKind::kRollback;
+    return s;
+  }
+  return ErrorHere("expected a statement");
+}
+
+StatusOr<std::vector<SelectItem>> Parser::ParseSelectItems() {
+  std::vector<SelectItem> items;
+  do {
+    SelectItem item;
+    YT_ASSIGN_OR_RETURN(item.expr, ParseAdditive());
+    if (MatchIdent("AS")) {
+      const Token& t = Peek();
+      if (t.kind == TokenKind::kHostVar) {
+        item.alias = t.text;
+        item.alias_is_hostvar = true;
+        Advance();
+      } else if (t.kind == TokenKind::kIdent) {
+        item.alias = t.text;
+        Advance();
+      } else {
+        return ErrorHere("expected alias after AS");
+      }
+    }
+    items.push_back(std::move(item));
+  } while (MatchSymbol(","));
+  return items;
+}
+
+StatusOr<std::vector<TableRef>> Parser::ParseFromList() {
+  std::vector<TableRef> from;
+  do {
+    const Token& t = Peek();
+    if (t.kind != TokenKind::kIdent) return ErrorHere("expected table name");
+    TableRef ref;
+    ref.table = t.text;
+    ref.alias = t.text;
+    Advance();
+    (void)MatchIdent("AS");
+    const Token& a = Peek();
+    // An alias must be a plain identifier that is not a clause keyword.
+    if (a.kind == TokenKind::kIdent && !PeekIdent("WHERE") &&
+        !PeekIdent("LIMIT") && !PeekIdent("CHOOSE") && !PeekIdent("ORDER")) {
+      ref.alias = a.text;
+      Advance();
+    }
+    from.push_back(std::move(ref));
+  } while (MatchSymbol(","));
+  return from;
+}
+
+StatusOr<ParsedStatement> Parser::ParseSelectLike() {
+  YT_RETURN_IF_ERROR(ExpectIdent("SELECT"));
+  YT_ASSIGN_OR_RETURN(std::vector<SelectItem> items, ParseSelectItems());
+
+  // INTO ANSWER => entangled query.
+  if (MatchIdent("INTO")) {
+    YT_RETURN_IF_ERROR(ExpectIdent("ANSWER"));
+    auto ent = std::make_unique<EntangledSelectStmt>();
+    ent->items = std::move(items);
+    const Token& r0 = Peek();
+    if (r0.kind != TokenKind::kIdent) {
+      return ErrorHere("expected answer relation name");
+    }
+    ent->answer_relations.push_back(r0.text);
+    Advance();
+    while (MatchSymbol(",")) {
+      YT_RETURN_IF_ERROR(ExpectIdent("ANSWER"));
+      const Token& rn = Peek();
+      if (rn.kind != TokenKind::kIdent) {
+        return ErrorHere("expected answer relation name");
+      }
+      ent->answer_relations.push_back(rn.text);
+      Advance();
+    }
+    if (MatchIdent("WHERE")) {
+      YT_ASSIGN_OR_RETURN(ent->where, ParseOr());
+    }
+    YT_RETURN_IF_ERROR(ExpectIdent("CHOOSE"));
+    const Token& n = Peek();
+    if (n.kind != TokenKind::kNumber || !n.literal.is_int()) {
+      return ErrorHere("expected integer after CHOOSE");
+    }
+    ent->choose = n.literal.as_int();
+    Advance();
+    ParsedStatement s;
+    s.kind = StatementKind::kEntangledSelect;
+    s.entangled = std::move(ent);
+    return s;
+  }
+
+  auto sel = std::make_unique<SelectStmt>();
+  sel->items = std::move(items);
+  if (MatchIdent("FROM")) {
+    YT_ASSIGN_OR_RETURN(sel->from, ParseFromList());
+  }
+  if (MatchIdent("WHERE")) {
+    YT_ASSIGN_OR_RETURN(sel->where, ParseOr());
+  }
+  if (MatchIdent("LIMIT")) {
+    const Token& n = Peek();
+    if (n.kind != TokenKind::kNumber || !n.literal.is_int()) {
+      return ErrorHere("expected integer after LIMIT");
+    }
+    sel->limit = n.literal.as_int();
+    Advance();
+  }
+  ParsedStatement s;
+  s.kind = StatementKind::kSelect;
+  s.select = std::move(sel);
+  return s;
+}
+
+StatusOr<std::unique_ptr<SelectStmt>> Parser::ParseSubquerySelect() {
+  YT_RETURN_IF_ERROR(ExpectIdent("SELECT"));
+  auto sel = std::make_unique<SelectStmt>();
+  YT_ASSIGN_OR_RETURN(sel->items, ParseSelectItems());
+  if (MatchIdent("FROM")) {
+    YT_ASSIGN_OR_RETURN(sel->from, ParseFromList());
+  }
+  if (MatchIdent("WHERE")) {
+    YT_ASSIGN_OR_RETURN(sel->where, ParseOr());
+  }
+  if (MatchIdent("LIMIT")) {
+    const Token& n = Peek();
+    if (n.kind != TokenKind::kNumber || !n.literal.is_int()) {
+      return ErrorHere("expected integer after LIMIT");
+    }
+    sel->limit = n.literal.as_int();
+    Advance();
+  }
+  return sel;
+}
+
+StatusOr<ParsedStatement> Parser::ParseInsert() {
+  YT_RETURN_IF_ERROR(ExpectIdent("INSERT"));
+  YT_RETURN_IF_ERROR(ExpectIdent("INTO"));
+  const Token& t = Peek();
+  if (t.kind != TokenKind::kIdent) return ErrorHere("expected table name");
+  auto ins = std::make_unique<InsertStmt>();
+  ins->table = t.text;
+  Advance();
+  if (MatchSymbol("(")) {
+    do {
+      const Token& c = Peek();
+      if (c.kind != TokenKind::kIdent) return ErrorHere("expected column");
+      ins->columns.push_back(c.text);
+      Advance();
+    } while (MatchSymbol(","));
+    YT_RETURN_IF_ERROR(ExpectSymbol(")"));
+  }
+  YT_RETURN_IF_ERROR(ExpectIdent("VALUES"));
+  do {
+    YT_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<ExprPtr> row;
+    do {
+      YT_ASSIGN_OR_RETURN(ExprPtr e, ParseAdditive());
+      row.push_back(std::move(e));
+    } while (MatchSymbol(","));
+    YT_RETURN_IF_ERROR(ExpectSymbol(")"));
+    ins->rows.push_back(std::move(row));
+  } while (MatchSymbol(","));
+  ParsedStatement s;
+  s.kind = StatementKind::kInsert;
+  s.insert = std::move(ins);
+  return s;
+}
+
+StatusOr<ParsedStatement> Parser::ParseUpdate() {
+  YT_RETURN_IF_ERROR(ExpectIdent("UPDATE"));
+  const Token& t = Peek();
+  if (t.kind != TokenKind::kIdent) return ErrorHere("expected table name");
+  auto upd = std::make_unique<UpdateStmt>();
+  upd->table = t.text;
+  Advance();
+  YT_RETURN_IF_ERROR(ExpectIdent("SET"));
+  do {
+    const Token& c = Peek();
+    if (c.kind != TokenKind::kIdent) return ErrorHere("expected column");
+    std::string col = c.text;
+    Advance();
+    YT_RETURN_IF_ERROR(ExpectSymbol("="));
+    YT_ASSIGN_OR_RETURN(ExprPtr e, ParseAdditive());
+    upd->sets.emplace_back(std::move(col), std::move(e));
+  } while (MatchSymbol(","));
+  if (MatchIdent("WHERE")) {
+    YT_ASSIGN_OR_RETURN(upd->where, ParseOr());
+  }
+  ParsedStatement s;
+  s.kind = StatementKind::kUpdate;
+  s.update = std::move(upd);
+  return s;
+}
+
+StatusOr<ParsedStatement> Parser::ParseDelete() {
+  YT_RETURN_IF_ERROR(ExpectIdent("DELETE"));
+  YT_RETURN_IF_ERROR(ExpectIdent("FROM"));
+  const Token& t = Peek();
+  if (t.kind != TokenKind::kIdent) return ErrorHere("expected table name");
+  auto del = std::make_unique<DeleteStmt>();
+  del->table = t.text;
+  Advance();
+  if (MatchIdent("WHERE")) {
+    YT_ASSIGN_OR_RETURN(del->where, ParseOr());
+  }
+  ParsedStatement s;
+  s.kind = StatementKind::kDelete;
+  s.del = std::move(del);
+  return s;
+}
+
+StatusOr<ParsedStatement> Parser::ParseCreate() {
+  YT_RETURN_IF_ERROR(ExpectIdent("CREATE"));
+  if (MatchIdent("INDEX")) {
+    YT_RETURN_IF_ERROR(ExpectIdent("ON"));
+    const Token& t = Peek();
+    if (t.kind != TokenKind::kIdent) return ErrorHere("expected table name");
+    auto ci = std::make_unique<CreateIndexStmt>();
+    ci->table = t.text;
+    Advance();
+    YT_RETURN_IF_ERROR(ExpectSymbol("("));
+    do {
+      const Token& c = Peek();
+      if (c.kind != TokenKind::kIdent) return ErrorHere("expected column");
+      ci->columns.push_back(c.text);
+      Advance();
+    } while (MatchSymbol(","));
+    YT_RETURN_IF_ERROR(ExpectSymbol(")"));
+    ParsedStatement s;
+    s.kind = StatementKind::kCreateIndex;
+    s.create_index = std::move(ci);
+    return s;
+  }
+  YT_RETURN_IF_ERROR(ExpectIdent("TABLE"));
+  const Token& t = Peek();
+  if (t.kind != TokenKind::kIdent) return ErrorHere("expected table name");
+  auto ct = std::make_unique<CreateTableStmt>();
+  ct->table = t.text;
+  Advance();
+  YT_RETURN_IF_ERROR(ExpectSymbol("("));
+  std::vector<Column> cols;
+  do {
+    const Token& c = Peek();
+    if (c.kind != TokenKind::kIdent) return ErrorHere("expected column name");
+    Column col;
+    col.name = c.text;
+    Advance();
+    const Token& ty = Peek();
+    if (ty.kind != TokenKind::kIdent) return ErrorHere("expected column type");
+    YT_ASSIGN_OR_RETURN(col.type, TypeFromName(ty.text));
+    Advance();
+    // Swallow optional length suffix: VARCHAR(32).
+    if (MatchSymbol("(")) {
+      while (!AtEnd() && !MatchSymbol(")")) Advance();
+    }
+    cols.push_back(std::move(col));
+  } while (MatchSymbol(","));
+  YT_RETURN_IF_ERROR(ExpectSymbol(")"));
+  ct->schema = Schema(std::move(cols));
+  ParsedStatement s;
+  s.kind = StatementKind::kCreateTable;
+  s.create_table = std::move(ct);
+  return s;
+}
+
+StatusOr<ParsedStatement> Parser::ParseBegin() {
+  YT_RETURN_IF_ERROR(ExpectIdent("BEGIN"));
+  (void)MatchIdent("TRANSACTION");
+  auto b = std::make_unique<BeginStmt>();
+  if (MatchIdent("WITH")) {
+    YT_RETURN_IF_ERROR(ExpectIdent("TIMEOUT"));
+    const Token& n = Peek();
+    if (n.kind != TokenKind::kNumber || !n.literal.is_int()) {
+      return ErrorHere("expected integer timeout");
+    }
+    int64_t amount = n.literal.as_int();
+    Advance();
+    const Token& unit = Peek();
+    if (unit.kind != TokenKind::kIdent) {
+      return ErrorHere("expected timeout unit");
+    }
+    YT_ASSIGN_OR_RETURN(int64_t mult, TimeoutUnitMicros(unit.text));
+    Advance();
+    b->timeout_micros = amount * mult;
+  }
+  ParsedStatement s;
+  s.kind = StatementKind::kBegin;
+  s.begin = std::move(b);
+  return s;
+}
+
+StatusOr<ParsedStatement> Parser::ParseSet() {
+  YT_RETURN_IF_ERROR(ExpectIdent("SET"));
+  const Token& v = Peek();
+  if (v.kind != TokenKind::kHostVar) {
+    return ErrorHere("expected @variable after SET");
+  }
+  auto set = std::make_unique<SetStmt>();
+  set->var = v.text;
+  Advance();
+  if (!MatchSymbol("=") && !MatchSymbol(":=")) {
+    return ErrorHere("expected '=' in SET");
+  }
+  YT_ASSIGN_OR_RETURN(set->value, ParseAdditive());
+  ParsedStatement s;
+  s.kind = StatementKind::kSet;
+  s.set = std::move(set);
+  return s;
+}
+
+StatusOr<ExprPtr> Parser::ParseOr() {
+  YT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+  while (MatchIdent("OR")) {
+    YT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+    lhs = MakeBinary("OR", std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+StatusOr<ExprPtr> Parser::ParseAnd() {
+  YT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseConjunct());
+  while (MatchIdent("AND")) {
+    YT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseConjunct());
+    lhs = MakeBinary("AND", std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+StatusOr<ExprPtr> Parser::ParseConjunct() {
+  if (MatchIdent("NOT")) {
+    YT_ASSIGN_OR_RETURN(ExprPtr inner, ParseConjunct());
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kNot;
+    e->lhs = std::move(inner);
+    return e;
+  }
+  YT_ASSIGN_OR_RETURN(ExprPtr first, ParseAdditive());
+
+  // The paper's bare tuple form: `fno, fdate IN (SELECT ...)`.
+  if (allow_bare_tuple_ && Peek().kind == TokenKind::kSymbol &&
+      Peek().text == "," && first->kind != ExprKind::kTuple) {
+    auto tup = std::make_unique<Expr>();
+    tup->kind = ExprKind::kTuple;
+    tup->tuple.push_back(std::move(first));
+    while (MatchSymbol(",")) {
+      YT_ASSIGN_OR_RETURN(ExprPtr e, ParseAdditive());
+      tup->tuple.push_back(std::move(e));
+    }
+    if (!PeekIdent("IN")) {
+      return ErrorHere("expected IN after bare tuple in WHERE");
+    }
+    first = std::move(tup);
+  }
+
+  if (MatchIdent("IN")) {
+    return ParseInTail(std::move(first));
+  }
+  return ParseComparisonTail(std::move(first));
+}
+
+StatusOr<ExprPtr> Parser::ParseInTail(ExprPtr lhs) {
+  // Normalize LHS to a tuple list.
+  std::vector<ExprPtr> lhs_items;
+  if (lhs->kind == ExprKind::kTuple) {
+    lhs_items = std::move(lhs->tuple);
+  } else {
+    lhs_items.push_back(std::move(lhs));
+  }
+  if (MatchIdent("ANSWER")) {
+    const Token& r = Peek();
+    if (r.kind != TokenKind::kIdent) {
+      return ErrorHere("expected answer relation name");
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kInAnswer;
+    e->tuple = std::move(lhs_items);
+    e->answer_relation = r.text;
+    Advance();
+    return e;
+  }
+  YT_RETURN_IF_ERROR(ExpectSymbol("("));
+  if (!PeekIdent("SELECT")) {
+    return ErrorHere("expected SELECT subquery after IN (");
+  }
+  YT_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sub, ParseSubquerySelect());
+  YT_RETURN_IF_ERROR(ExpectSymbol(")"));
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kInSubquery;
+  e->tuple = std::move(lhs_items);
+  e->subquery = std::move(sub);
+  return e;
+}
+
+StatusOr<ExprPtr> Parser::ParseComparisonTail(ExprPtr lhs) {
+  static const char* cmps[] = {"=", "<>", "!=", "<=", ">=", "<", ">"};
+  for (const char* op : cmps) {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == op) {
+      Advance();
+      YT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      return MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+  return lhs;
+}
+
+StatusOr<ExprPtr> Parser::ParseAdditive() {
+  YT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+  for (;;) {
+    if (Peek().kind == TokenKind::kSymbol &&
+        (Peek().text == "+" || Peek().text == "-")) {
+      std::string op = Advance().text;
+      YT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    } else {
+      return lhs;
+    }
+  }
+}
+
+StatusOr<ExprPtr> Parser::ParseMultiplicative() {
+  YT_ASSIGN_OR_RETURN(ExprPtr lhs, ParsePrimary());
+  for (;;) {
+    if (Peek().kind == TokenKind::kSymbol &&
+        (Peek().text == "*" || Peek().text == "/" || Peek().text == "%")) {
+      std::string op = Advance().text;
+      YT_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimary());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    } else {
+      return lhs;
+    }
+  }
+}
+
+StatusOr<ExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.kind) {
+    case TokenKind::kNumber:
+    case TokenKind::kString: {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kLiteral;
+      e->literal = t.literal;
+      Advance();
+      return e;
+    }
+    case TokenKind::kHostVar: {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kHostVar;
+      e->var = t.text;
+      Advance();
+      return e;
+    }
+    case TokenKind::kIdent: {
+      if (MatchIdent("NULL")) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kLiteral;
+        e->literal = Value::Null();
+        return e;
+      }
+      if (MatchIdent("TRUE")) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kLiteral;
+        e->literal = Value::Bool(true);
+        return e;
+      }
+      if (MatchIdent("FALSE")) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kLiteral;
+        e->literal = Value::Bool(false);
+        return e;
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kColumnRef;
+      e->column = t.text;
+      Advance();
+      if (MatchSymbol(".")) {
+        const Token& c = Peek();
+        if (c.kind != TokenKind::kIdent) {
+          return ErrorHere("expected column after '.'");
+        }
+        e->qualifier = e->column;
+        e->column = c.text;
+        Advance();
+      }
+      return e;
+    }
+    case TokenKind::kSymbol: {
+      if (t.text == "-") {
+        Advance();
+        YT_ASSIGN_OR_RETURN(ExprPtr inner, ParsePrimary());
+        auto zero = std::make_unique<Expr>();
+        zero->kind = ExprKind::kLiteral;
+        zero->literal = Value::Int(0);
+        return MakeBinary("-", std::move(zero), std::move(inner));
+      }
+      if (t.text == "(") {
+        Advance();
+        bool saved = allow_bare_tuple_;
+        allow_bare_tuple_ = false;
+        auto parse_parenthesized = [&]() -> StatusOr<ExprPtr> {
+          YT_ASSIGN_OR_RETURN(ExprPtr first, ParseOr());
+          if (MatchSymbol(",")) {
+            auto tup = std::make_unique<Expr>();
+            tup->kind = ExprKind::kTuple;
+            tup->tuple.push_back(std::move(first));
+            do {
+              YT_ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
+              tup->tuple.push_back(std::move(e));
+            } while (MatchSymbol(","));
+            YT_RETURN_IF_ERROR(ExpectSymbol(")"));
+            return tup;
+          }
+          YT_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return first;
+        };
+        auto result = parse_parenthesized();
+        allow_bare_tuple_ = saved;
+        return result;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return ErrorHere("expected an expression");
+}
+
+}  // namespace youtopia::sql

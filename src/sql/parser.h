@@ -1,0 +1,84 @@
+#ifndef YOUTOPIA_SQL_PARSER_H_
+#define YOUTOPIA_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/statusor.h"
+#include "src/sql/ast.h"
+#include "src/sql/lexer.h"
+
+namespace youtopia::sql {
+
+/// Recursive-descent parser for the supported SQL subset plus the paper's
+/// extensions:
+///
+///   SELECT items [INTO ANSWER rel [, ANSWER rel]...] [FROM t [, t]...]
+///     [WHERE cond] [LIMIT n] [CHOOSE n]
+///   INSERT INTO t [(cols)] VALUES (exprs) [, (exprs)]...
+///   UPDATE t SET col = expr [, ...] [WHERE cond]
+///   DELETE FROM t [WHERE cond]
+///   CREATE TABLE t (col TYPE, ...)
+///   CREATE INDEX ON t (cols)
+///   BEGIN TRANSACTION [WITH TIMEOUT n unit]
+///   COMMIT | ROLLBACK
+///   SET @var = expr
+///
+/// WHERE conditions support AND/OR/NOT, comparisons, arithmetic, and the
+/// entangled forms `(t1,...,tk) IN (SELECT ...)`, the paper's bare-list
+/// `a, b IN (SELECT ...)`, and `(t1,...,tk) IN ANSWER Rel`.
+class Parser {
+ public:
+  /// Parses exactly one statement (a trailing ';' is allowed).
+  static StatusOr<ParsedStatement> ParseStatement(const std::string& text);
+
+  /// Parses a ';'-separated script into a statement list.
+  static StatusOr<std::vector<ParsedStatement>> ParseScript(
+      const std::string& text);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const;
+  const Token& Advance();
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+  bool PeekIdent(const char* kw, size_t ahead = 0) const;
+  bool MatchIdent(const char* kw);
+  Status ExpectIdent(const char* kw);
+  bool MatchSymbol(const char* sym);
+  Status ExpectSymbol(const char* sym);
+  Status ErrorHere(const std::string& msg) const;
+
+  StatusOr<ParsedStatement> ParseOne();
+  StatusOr<ParsedStatement> ParseSelectLike();
+  StatusOr<std::unique_ptr<SelectStmt>> ParseSubquerySelect();
+  StatusOr<ParsedStatement> ParseInsert();
+  StatusOr<ParsedStatement> ParseUpdate();
+  StatusOr<ParsedStatement> ParseDelete();
+  StatusOr<ParsedStatement> ParseCreate();
+  StatusOr<ParsedStatement> ParseBegin();
+  StatusOr<ParsedStatement> ParseSet();
+
+  StatusOr<std::vector<SelectItem>> ParseSelectItems();
+  StatusOr<std::vector<TableRef>> ParseFromList();
+
+  StatusOr<ExprPtr> ParseOr();
+  StatusOr<ExprPtr> ParseAnd();
+  StatusOr<ExprPtr> ParseConjunct();
+  StatusOr<ExprPtr> ParseInTail(ExprPtr lhs_tuple);
+  StatusOr<ExprPtr> ParseComparisonTail(ExprPtr lhs);
+  StatusOr<ExprPtr> ParseAdditive();
+  StatusOr<ExprPtr> ParseMultiplicative();
+  StatusOr<ExprPtr> ParsePrimary();
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+  /// The paper's bare-list form `a, b IN (...)` is only legal at top-level
+  /// WHERE conjuncts; inside parentheses a comma means an explicit tuple.
+  bool allow_bare_tuple_ = true;
+};
+
+}  // namespace youtopia::sql
+
+#endif  // YOUTOPIA_SQL_PARSER_H_

@@ -1,0 +1,83 @@
+#include "src/sql/session.h"
+
+namespace youtopia::sql {
+
+Session::~Session() {
+  if (txn_ != nullptr && txn_->active()) {
+    (void)tm_->Abort(txn_.get());
+  }
+}
+
+StatusOr<QueryResult> Session::Execute(const std::string& text) {
+  YT_ASSIGN_OR_RETURN(ParsedStatement stmt, Parser::ParseStatement(text));
+  return ExecuteParsed(stmt);
+}
+
+StatusOr<QueryResult> Session::ExecuteScript(const std::string& text) {
+  YT_ASSIGN_OR_RETURN(std::vector<ParsedStatement> stmts,
+                      Parser::ParseScript(text));
+  QueryResult last;
+  for (const ParsedStatement& stmt : stmts) {
+    YT_ASSIGN_OR_RETURN(last, ExecuteParsed(stmt));
+  }
+  return last;
+}
+
+StatusOr<QueryResult> Session::ExecuteParsed(const ParsedStatement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kBegin: {
+      if (txn_ != nullptr) {
+        return Status::InvalidArgument("transaction already open");
+      }
+      txn_ = tm_->Begin();
+      return QueryResult{};
+    }
+    case StatementKind::kCommit: {
+      if (txn_ == nullptr) {
+        return Status::InvalidArgument("no open transaction");
+      }
+      Status s = tm_->Commit(txn_.get());
+      txn_.reset();
+      if (!s.ok()) return s;
+      return QueryResult{};
+    }
+    case StatementKind::kRollback: {
+      if (txn_ == nullptr) {
+        return Status::InvalidArgument("no open transaction");
+      }
+      Status s = tm_->Abort(txn_.get());
+      txn_.reset();
+      if (!s.ok()) return s;
+      return QueryResult{};
+    }
+    case StatementKind::kEntangledSelect:
+      return Status::InvalidArgument(
+          "entangled queries require the entangled transaction engine");
+    default:
+      break;
+  }
+
+  if (txn_ != nullptr) {
+    auto result = exec_.Execute(stmt, txn_.get(), &vars_);
+    if (!result.ok() && result.status().code() != StatusCode::kNotFound &&
+        result.status().code() != StatusCode::kInvalidArgument) {
+      // Engine-level failures (deadlock victim, lock timeout) doom the
+      // transaction; roll it back so locks are not stranded.
+      (void)tm_->Abort(txn_.get());
+      txn_.reset();
+    }
+    return result;
+  }
+
+  // Autocommit path.
+  std::unique_ptr<Transaction> txn = tm_->Begin();
+  auto result = exec_.Execute(stmt, txn.get(), &vars_);
+  if (!result.ok()) {
+    (void)tm_->Abort(txn.get());
+    return result;
+  }
+  YT_RETURN_IF_ERROR(tm_->Commit(txn.get()));
+  return result;
+}
+
+}  // namespace youtopia::sql

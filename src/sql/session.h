@@ -1,0 +1,45 @@
+#ifndef YOUTOPIA_SQL_SESSION_H_
+#define YOUTOPIA_SQL_SESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "src/sql/executor.h"
+#include "src/sql/parser.h"
+
+namespace youtopia::sql {
+
+/// A classical client session: text in, results out, with transaction
+/// control and host variables. Autocommits statements issued outside an
+/// explicit BEGIN ... COMMIT block. One session == one connection == at most
+/// one open transaction, matching the paper's MySQL setup.
+///
+/// Entangled queries are rejected here: they require the run-based engine
+/// (etxn::EntangledTransactionEngine).
+class Session {
+ public:
+  explicit Session(TransactionManager* tm) : tm_(tm), exec_(tm) {}
+  ~Session();
+
+  /// Parses and executes one statement.
+  StatusOr<QueryResult> Execute(const std::string& text);
+
+  /// Executes a ';'-separated script; returns the last statement's result.
+  StatusOr<QueryResult> ExecuteScript(const std::string& text);
+
+  VarEnv& vars() { return vars_; }
+  Transaction* current_txn() { return txn_.get(); }
+  bool in_transaction() const { return txn_ != nullptr; }
+
+ private:
+  StatusOr<QueryResult> ExecuteParsed(const ParsedStatement& stmt);
+
+  TransactionManager* tm_;
+  Executor exec_;
+  std::unique_ptr<Transaction> txn_;
+  VarEnv vars_;
+};
+
+}  // namespace youtopia::sql
+
+#endif  // YOUTOPIA_SQL_SESSION_H_

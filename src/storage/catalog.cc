@@ -1,0 +1,42 @@
+#include "src/storage/catalog.h"
+
+#include "src/common/strings.h"
+
+namespace youtopia {
+
+Status Catalog::Register(const std::string& name, TableId id) {
+  std::string key = ToLower(name);
+  if (by_name_.count(key)) {
+    return Status::AlreadyExists("table " + name + " already exists");
+  }
+  by_name_[key] = id;
+  return Status::Ok();
+}
+
+Status Catalog::Unregister(const std::string& name) {
+  if (by_name_.erase(ToLower(name)) == 0) {
+    return Status::NotFound("table " + name + " does not exist");
+  }
+  return Status::Ok();
+}
+
+StatusOr<TableId> Catalog::Lookup(const std::string& name) const {
+  auto it = by_name_.find(ToLower(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("table " + name + " does not exist");
+  }
+  return it->second;
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  return by_name_.count(ToLower(name)) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(by_name_.size());
+  for (const auto& [name, id] : by_name_) names.push_back(name);
+  return names;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,30 @@
+#ifndef YOUTOPIA_STORAGE_CATALOG_H_
+#define YOUTOPIA_STORAGE_CATALOG_H_
+
+#include <map>
+#include <string>
+
+#include "src/common/statusor.h"
+#include "src/storage/table.h"
+
+namespace youtopia {
+
+/// Case-insensitive table-name -> TableId map. Not thread-safe by itself;
+/// Database serializes DDL through its own latch.
+class Catalog {
+ public:
+  Status Register(const std::string& name, TableId id);
+  Status Unregister(const std::string& name);
+  StatusOr<TableId> Lookup(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  /// Names in deterministic (sorted) order.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, TableId> by_name_;  // lower-cased keys
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_STORAGE_CATALOG_H_

@@ -1,0 +1,53 @@
+#ifndef YOUTOPIA_STORAGE_DATABASE_H_
+#define YOUTOPIA_STORAGE_DATABASE_H_
+
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/storage/catalog.h"
+#include "src/storage/table.h"
+
+namespace youtopia {
+
+/// The database: a catalog plus the set of tables. DDL is serialized through
+/// an internal mutex; DML goes straight to the (latched) tables. The lock
+/// manager / transaction manager above provide logical isolation.
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  StatusOr<Table*> CreateTable(const std::string& name, const Schema& schema);
+  Status DropTable(const std::string& name);
+  StatusOr<Table*> GetTable(const std::string& name) const;
+  StatusOr<const Table*> GetTableConst(const std::string& name) const;
+  Table* GetTableById(TableId id) const;
+
+  std::vector<std::string> TableNames() const;
+
+  /// Deep copy of catalog + all tables (for snapshots and oracle replays).
+  std::unique_ptr<Database> Clone() const;
+
+  /// Serializes the full database (checkpoint image).
+  Status SaveTo(std::ostream* out) const;
+  /// Loads a checkpoint image produced by SaveTo.
+  static StatusOr<std::unique_ptr<Database>> LoadFrom(std::istream* in);
+
+  /// True iff both databases hold identical tables with identical contents;
+  /// used by the isolation module's final-state comparisons.
+  bool ContentEquals(const Database& other) const;
+
+ private:
+  mutable std::mutex mu_;
+  Catalog catalog_;
+  std::vector<std::unique_ptr<Table>> tables_;  // indexed by TableId
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_STORAGE_DATABASE_H_

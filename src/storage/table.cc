@@ -1,0 +1,166 @@
+#include "src/storage/table.h"
+
+#include <algorithm>
+
+namespace youtopia {
+
+StatusOr<Row> Table::CoerceToSchema(const Row& row) const {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema " +
+        schema_.ToString() + " of table " + name_);
+  }
+  std::vector<Value> vals;
+  vals.reserve(row.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    YT_ASSIGN_OR_RETURN(Value v, row[i].CoerceTo(schema_.column(i).type));
+    vals.push_back(std::move(v));
+  }
+  return Row(std::move(vals));
+}
+
+StatusOr<RowId> Table::Insert(const Row& row) {
+  YT_ASSIGN_OR_RETURN(Row coerced, CoerceToSchema(row));
+  std::unique_lock g(latch_);
+  RowId rid = next_row_id_++;
+  IndexInsertLocked(rid, coerced);
+  rows_.emplace(rid, std::move(coerced));
+  return rid;
+}
+
+Status Table::InsertWithId(RowId rid, const Row& row) {
+  YT_ASSIGN_OR_RETURN(Row coerced, CoerceToSchema(row));
+  std::unique_lock g(latch_);
+  if (rows_.count(rid)) {
+    return Status::AlreadyExists("row id " + std::to_string(rid) +
+                                 " occupied in table " + name_);
+  }
+  next_row_id_ = std::max(next_row_id_, rid + 1);
+  IndexInsertLocked(rid, coerced);
+  rows_.emplace(rid, std::move(coerced));
+  return Status::Ok();
+}
+
+StatusOr<Row> Table::Get(RowId rid) const {
+  std::shared_lock g(latch_);
+  auto it = rows_.find(rid);
+  if (it == rows_.end()) {
+    return Status::NotFound("row " + std::to_string(rid) + " in table " +
+                            name_);
+  }
+  return it->second;
+}
+
+Status Table::Update(RowId rid, const Row& row) {
+  YT_ASSIGN_OR_RETURN(Row coerced, CoerceToSchema(row));
+  std::unique_lock g(latch_);
+  auto it = rows_.find(rid);
+  if (it == rows_.end()) {
+    return Status::NotFound("row " + std::to_string(rid) + " in table " +
+                            name_);
+  }
+  IndexRemoveLocked(rid, it->second);
+  it->second = std::move(coerced);
+  IndexInsertLocked(rid, it->second);
+  return Status::Ok();
+}
+
+Status Table::Delete(RowId rid) {
+  std::unique_lock g(latch_);
+  auto it = rows_.find(rid);
+  if (it == rows_.end()) {
+    return Status::NotFound("row " + std::to_string(rid) + " in table " +
+                            name_);
+  }
+  IndexRemoveLocked(rid, it->second);
+  rows_.erase(it);
+  return Status::Ok();
+}
+
+void Table::Scan(const std::function<bool(RowId, const Row&)>& visitor) const {
+  std::shared_lock g(latch_);
+  for (const auto& [rid, row] : rows_) {
+    if (!visitor(rid, row)) break;
+  }
+}
+
+Status Table::CreateIndex(const std::vector<std::string>& column_names) {
+  std::unique_lock g(latch_);
+  HashIndex idx;
+  for (const std::string& name : column_names) {
+    YT_ASSIGN_OR_RETURN(size_t i, schema_.IndexOf(name));
+    idx.columns.push_back(i);
+  }
+  if (FindIndexLocked(idx.columns) != nullptr) {
+    return Status::AlreadyExists("index already exists on table " + name_);
+  }
+  for (const auto& [rid, row] : rows_) {
+    idx.map[ProjectKey(row, idx.columns)].push_back(rid);
+  }
+  indexes_.push_back(std::move(idx));
+  return Status::Ok();
+}
+
+StatusOr<std::vector<RowId>> Table::IndexLookup(
+    const std::vector<size_t>& columns, const Row& key) const {
+  std::shared_lock g(latch_);
+  const HashIndex* idx = FindIndexLocked(columns);
+  if (idx == nullptr) {
+    return Status::NotFound("no index on requested columns of " + name_);
+  }
+  auto it = idx->map.find(key);
+  if (it == idx->map.end()) return std::vector<RowId>{};
+  return it->second;
+}
+
+bool Table::HasIndexOn(const std::vector<size_t>& columns) const {
+  std::shared_lock g(latch_);
+  return FindIndexLocked(columns) != nullptr;
+}
+
+size_t Table::size() const {
+  std::shared_lock g(latch_);
+  return rows_.size();
+}
+
+std::unique_ptr<Table> Table::Clone() const {
+  std::shared_lock g(latch_);
+  auto copy = std::make_unique<Table>(id_, name_, schema_);
+  copy->rows_ = rows_;
+  copy->next_row_id_ = next_row_id_;
+  copy->indexes_ = indexes_;
+  return copy;
+}
+
+void Table::IndexInsertLocked(RowId rid, const Row& row) {
+  for (HashIndex& idx : indexes_) {
+    idx.map[ProjectKey(row, idx.columns)].push_back(rid);
+  }
+}
+
+void Table::IndexRemoveLocked(RowId rid, const Row& row) {
+  for (HashIndex& idx : indexes_) {
+    auto it = idx.map.find(ProjectKey(row, idx.columns));
+    if (it == idx.map.end()) continue;
+    auto& vec = it->second;
+    vec.erase(std::remove(vec.begin(), vec.end(), rid), vec.end());
+    if (vec.empty()) idx.map.erase(it);
+  }
+}
+
+const Table::HashIndex* Table::FindIndexLocked(
+    const std::vector<size_t>& columns) const {
+  for (const HashIndex& idx : indexes_) {
+    if (idx.columns == columns) return &idx;
+  }
+  return nullptr;
+}
+
+Row Table::ProjectKey(const Row& row, const std::vector<size_t>& columns) {
+  std::vector<Value> vals;
+  vals.reserve(columns.size());
+  for (size_t c : columns) vals.push_back(row[c]);
+  return Row(std::move(vals));
+}
+
+}  // namespace youtopia

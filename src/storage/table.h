@@ -1,0 +1,88 @@
+#ifndef YOUTOPIA_STORAGE_TABLE_H_
+#define YOUTOPIA_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/row.h"
+#include "src/common/schema.h"
+#include "src/common/statusor.h"
+
+namespace youtopia {
+
+using TableId = uint32_t;
+using RowId = uint64_t;
+
+/// In-memory heap table: RowId -> Row, with optional hash indexes on column
+/// subsets. Physical access is guarded by a shared_mutex *latch*; logical
+/// concurrency control (Strict 2PL) lives in the lock manager above. Scan
+/// order is RowId order, which is insertion order, so executions are
+/// deterministic.
+class Table {
+ public:
+  Table(TableId id, std::string name, Schema schema)
+      : id_(id), name_(std::move(name)), schema_(std::move(schema)) {}
+
+  TableId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Validates arity/types (with coercion) and appends the row.
+  StatusOr<RowId> Insert(const Row& row);
+
+  /// Inserts at a specific RowId (recovery redo / checkpoint load). Fails if
+  /// the id is occupied; bumps the row-id allocator past `rid`.
+  Status InsertWithId(RowId rid, const Row& row);
+
+  StatusOr<Row> Get(RowId rid) const;
+  Status Update(RowId rid, const Row& row);
+  Status Delete(RowId rid);
+
+  /// Visits rows in RowId order; the visitor returns false to stop early.
+  void Scan(const std::function<bool(RowId, const Row&)>& visitor) const;
+
+  /// Builds a hash index over the named columns (backfills existing rows).
+  Status CreateIndex(const std::vector<std::string>& column_names);
+
+  /// Returns RowIds whose projection on `columns` equals `key`, or NotFound
+  /// when no index covers exactly those columns.
+  StatusOr<std::vector<RowId>> IndexLookup(const std::vector<size_t>& columns,
+                                           const Row& key) const;
+  bool HasIndexOn(const std::vector<size_t>& columns) const;
+
+  size_t size() const;
+
+  /// Deep copy (used for database snapshots/checkpoints).
+  std::unique_ptr<Table> Clone() const;
+
+ private:
+  struct HashIndex {
+    std::vector<size_t> columns;
+    std::unordered_map<Row, std::vector<RowId>, RowHash> map;
+  };
+
+  StatusOr<Row> CoerceToSchema(const Row& row) const;
+  void IndexInsertLocked(RowId rid, const Row& row);
+  void IndexRemoveLocked(RowId rid, const Row& row);
+  const HashIndex* FindIndexLocked(const std::vector<size_t>& columns) const;
+  static Row ProjectKey(const Row& row, const std::vector<size_t>& columns);
+
+  TableId id_;
+  std::string name_;
+  Schema schema_;
+  mutable std::shared_mutex latch_;
+  std::map<RowId, Row> rows_;
+  RowId next_row_id_ = 1;
+  std::vector<HashIndex> indexes_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_STORAGE_TABLE_H_

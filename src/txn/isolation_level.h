@@ -1,0 +1,34 @@
+#ifndef YOUTOPIA_TXN_ISOLATION_LEVEL_H_
+#define YOUTOPIA_TXN_ISOLATION_LEVEL_H_
+
+namespace youtopia {
+
+/// Isolation levels (§3.3.3 / §4). Full entangled isolation is Strict 2PL
+/// with table-granular scan locks (which also makes quasi-reads repeatable:
+/// a grounding read on a table holds its S lock to commit, so the Fig. 3(b)
+/// Donald insert blocks) plus group commits at the entangled-transaction
+/// layer. The relaxed levels shorten read-lock duration, the paper's knob
+/// for trading isolation for concurrency.
+enum class IsolationLevel {
+  kFullEntangled = 0,  ///< Strict 2PL + group commit (no anomalies)
+  kSerializable,       ///< Strict 2PL, no group-commit enforcement
+  kReadCommitted,      ///< read locks released right after each read
+  kReadUncommitted,    ///< no read locks at all
+};
+
+const char* IsolationLevelName(IsolationLevel l);
+
+/// True when the level holds read locks to end of transaction.
+inline bool HoldsReadLocks(IsolationLevel l) {
+  return l == IsolationLevel::kFullEntangled ||
+         l == IsolationLevel::kSerializable;
+}
+
+/// True when the level takes read locks at all.
+inline bool TakesReadLocks(IsolationLevel l) {
+  return l != IsolationLevel::kReadUncommitted;
+}
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_TXN_ISOLATION_LEVEL_H_

@@ -1,0 +1,27 @@
+#include "src/txn/transaction.h"
+
+#include <algorithm>
+
+namespace youtopia {
+
+const char* TxnStateName(TxnState s) {
+  switch (s) {
+    case TxnState::kActive: return "ACTIVE";
+    case TxnState::kBlocked: return "BLOCKED";
+    case TxnState::kReadyToCommit: return "READY_TO_COMMIT";
+    case TxnState::kCommitted: return "COMMITTED";
+    case TxnState::kAborted: return "ABORTED";
+  }
+  return "?";
+}
+
+void Transaction::AddPartners(const std::vector<TxnId>& ps) {
+  for (TxnId p : ps) {
+    if (p == id_) continue;
+    if (std::find(partners_.begin(), partners_.end(), p) == partners_.end()) {
+      partners_.push_back(p);
+    }
+  }
+}
+
+}  // namespace youtopia

@@ -1,0 +1,84 @@
+#ifndef YOUTOPIA_TXN_TRANSACTION_H_
+#define YOUTOPIA_TXN_TRANSACTION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/row.h"
+#include "src/storage/table.h"
+#include "src/txn/isolation_level.h"
+
+namespace youtopia {
+
+/// Lifecycle states. kBlocked and kReadyToCommit exist for the entangled
+/// execution model (§4): a transaction blocks while its entangled query
+/// waits for evaluation and becomes ready-to-commit when its program ends
+/// but group-commit constraints are still pending.
+enum class TxnState {
+  kActive = 0,
+  kBlocked,
+  kReadyToCommit,
+  kCommitted,
+  kAborted,
+};
+
+const char* TxnStateName(TxnState s);
+
+/// One undo action; applied in reverse order on abort. The WAL is redo-only,
+/// so rollback of live transactions is entirely in-memory.
+struct UndoEntry {
+  enum class Kind { kInsert, kUpdate, kDelete };
+  Kind kind;
+  std::string table;
+  RowId row_id = 0;
+  Row before;  ///< pre-image for update/delete undo
+};
+
+/// A classical transaction handle. Created by TransactionManager::Begin and
+/// driven through the manager's data operations; not thread-safe (one
+/// connection drives one transaction, as in the paper's setup).
+class Transaction {
+ public:
+  Transaction(TxnId id, IsolationLevel level, int64_t lock_timeout_micros)
+      : id_(id), level_(level), lock_timeout_micros_(lock_timeout_micros) {}
+
+  TxnId id() const { return id_; }
+  IsolationLevel isolation_level() const { return level_; }
+  TxnState state() const { return state_; }
+  void set_state(TxnState s) { state_ = s; }
+  bool active() const {
+    return state_ == TxnState::kActive || state_ == TxnState::kBlocked ||
+           state_ == TxnState::kReadyToCommit;
+  }
+
+  int64_t lock_timeout_micros() const { return lock_timeout_micros_; }
+
+  /// Entanglement bookkeeping (set when the transaction receives an
+  /// entangled-query answer; drives group commit + widow prevention).
+  bool entangled() const { return entangled_; }
+  void MarkEntangled() { entangled_ = true; }
+  const std::vector<TxnId>& partners() const { return partners_; }
+  void AddPartners(const std::vector<TxnId>& ps);
+
+  std::vector<UndoEntry>& undo_log() { return undo_log_; }
+  const std::vector<UndoEntry>& undo_log() const { return undo_log_; }
+
+  /// Number of data operations performed (stats/tests).
+  size_t num_writes() const { return num_writes_; }
+  void count_write() { ++num_writes_; }
+
+ private:
+  TxnId id_;
+  IsolationLevel level_;
+  int64_t lock_timeout_micros_;
+  TxnState state_ = TxnState::kActive;
+  bool entangled_ = false;
+  std::vector<TxnId> partners_;
+  std::vector<UndoEntry> undo_log_;
+  size_t num_writes_ = 0;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_TXN_TRANSACTION_H_

@@ -1,0 +1,304 @@
+#include "src/txn/transaction_manager.h"
+
+#include <fstream>
+
+namespace youtopia {
+
+TransactionManager::TransactionManager(Database* db, LockManager* locks,
+                                       WalWriter* wal, Options options)
+    : db_(db), locks_(locks), wal_(wal), options_(options) {}
+
+TransactionManager::TransactionManager(Database* db, LockManager* locks,
+                                       WalWriter* wal)
+    : TransactionManager(db, locks, wal, Options()) {}
+
+std::unique_ptr<Transaction> TransactionManager::Begin() {
+  return Begin(options_.default_isolation);
+}
+
+std::unique_ptr<Transaction> TransactionManager::Begin(IsolationLevel level) {
+  TxnId id = next_txn_id_.fetch_add(1);
+  stats_.begins.fetch_add(1, std::memory_order_relaxed);
+  auto txn = std::make_unique<Transaction>(id, level,
+                                           options_.lock_timeout_micros);
+  if (wal_ != nullptr) {
+    (void)wal_->Append(WalRecord::Begin(id));
+  }
+  return txn;
+}
+
+StatusOr<RowId> TransactionManager::Insert(Transaction* txn,
+                                           const std::string& table,
+                                           const Row& row) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+  YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), LockKey::Table(t->id()),
+                                     LockMode::kIX,
+                                     txn->lock_timeout_micros()));
+  YT_ASSIGN_OR_RETURN(RowId rid, t->Insert(row));
+  // X on the new row: no other transaction can see it before commit anyway
+  // (it is brand new), but the lock keeps the row protocol uniform.
+  YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), LockKey::RowOf(t->id(), rid),
+                                     LockMode::kX,
+                                     txn->lock_timeout_micros()));
+  txn->undo_log().push_back(
+      {UndoEntry::Kind::kInsert, t->name(), rid, Row()});
+  txn->count_write();
+  if (wal_ != nullptr) {
+    (void)wal_->Append(WalRecord::Insert(txn->id(), t->name(), rid, row));
+  }
+  if (options_.observer != nullptr) {
+    options_.observer->OnWrite(txn->id(), {t->name(), rid});
+  }
+  return rid;
+}
+
+Status TransactionManager::AcquireReadLocks(Transaction* txn, const Table* t,
+                                            RowId rid) {
+  if (!TakesReadLocks(txn->isolation_level())) return Status::Ok();
+  YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), LockKey::Table(t->id()),
+                                     LockMode::kIS,
+                                     txn->lock_timeout_micros()));
+  return locks_->Acquire(txn->id(), LockKey::RowOf(t->id(), rid), LockMode::kS,
+                         txn->lock_timeout_micros());
+}
+
+void TransactionManager::ReleaseEarlyReadLocks(Transaction* txn,
+                                               const Table* t, RowId rid) {
+  if (txn->isolation_level() != IsolationLevel::kReadCommitted) return;
+  // Short read locks: drop the row S immediately; keep table IS (cheap,
+  // compatible with everything but table X) until commit.
+  if (!locks_->Holds(txn->id(), LockKey::RowOf(t->id(), rid), LockMode::kX)) {
+    locks_->ReleaseKey(txn->id(), LockKey::RowOf(t->id(), rid));
+  }
+}
+
+StatusOr<Row> TransactionManager::Get(Transaction* txn,
+                                      const std::string& table, RowId rid) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+  YT_RETURN_IF_ERROR(AcquireReadLocks(txn, t, rid));
+  auto row = t->Get(rid);
+  if (options_.observer != nullptr) {
+    options_.observer->OnRead(txn->id(), {t->name(), rid});
+  }
+  ReleaseEarlyReadLocks(txn, t, rid);
+  return row;
+}
+
+Status TransactionManager::Update(Transaction* txn, const std::string& table,
+                                  RowId rid, const Row& row) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+  YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), LockKey::Table(t->id()),
+                                     LockMode::kIX,
+                                     txn->lock_timeout_micros()));
+  YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), LockKey::RowOf(t->id(), rid),
+                                     LockMode::kX,
+                                     txn->lock_timeout_micros()));
+  YT_ASSIGN_OR_RETURN(Row before, t->Get(rid));
+  YT_RETURN_IF_ERROR(t->Update(rid, row));
+  txn->undo_log().push_back(
+      {UndoEntry::Kind::kUpdate, t->name(), rid, before});
+  txn->count_write();
+  if (wal_ != nullptr) {
+    (void)wal_->Append(
+        WalRecord::Update(txn->id(), t->name(), rid, before, row));
+  }
+  if (options_.observer != nullptr) {
+    options_.observer->OnWrite(txn->id(), {t->name(), rid});
+  }
+  return Status::Ok();
+}
+
+Status TransactionManager::Delete(Transaction* txn, const std::string& table,
+                                  RowId rid) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+  YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), LockKey::Table(t->id()),
+                                     LockMode::kIX,
+                                     txn->lock_timeout_micros()));
+  YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), LockKey::RowOf(t->id(), rid),
+                                     LockMode::kX,
+                                     txn->lock_timeout_micros()));
+  YT_ASSIGN_OR_RETURN(Row before, t->Get(rid));
+  YT_RETURN_IF_ERROR(t->Delete(rid));
+  txn->undo_log().push_back(
+      {UndoEntry::Kind::kDelete, t->name(), rid, before});
+  txn->count_write();
+  if (wal_ != nullptr) {
+    (void)wal_->Append(WalRecord::Delete(txn->id(), t->name(), rid, before));
+  }
+  if (options_.observer != nullptr) {
+    options_.observer->OnWrite(txn->id(), {t->name(), rid});
+  }
+  return Status::Ok();
+}
+
+Status TransactionManager::Scan(
+    Transaction* txn, const std::string& table,
+    const std::function<bool(RowId, const Row&)>& visitor) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+  if (TakesReadLocks(txn->isolation_level())) {
+    YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), LockKey::Table(t->id()),
+                                       LockMode::kS,
+                                       txn->lock_timeout_micros()));
+  }
+  t->Scan(visitor);
+  if (options_.observer != nullptr) {
+    options_.observer->OnRead(txn->id(), {t->name(), 0});
+  }
+  if (txn->isolation_level() == IsolationLevel::kReadCommitted &&
+      !locks_->Holds(txn->id(), LockKey::Table(t->id()), LockMode::kX) &&
+      !locks_->Holds(txn->id(), LockKey::Table(t->id()), LockMode::kIX)) {
+    locks_->ReleaseKey(txn->id(), LockKey::Table(t->id()));
+  }
+  return Status::Ok();
+}
+
+Status TransactionManager::LockTableForWrite(Transaction* txn,
+                                             const std::string& table) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+  return locks_->Acquire(txn->id(), LockKey::Table(t->id()), LockMode::kX,
+                         txn->lock_timeout_micros());
+}
+
+Status TransactionManager::ScanForGrounding(
+    Transaction* txn, const std::string& table,
+    const std::function<bool(RowId, const Row&)>& visitor) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+  if (TakesReadLocks(txn->isolation_level())) {
+    YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), LockKey::Table(t->id()),
+                                       LockMode::kS,
+                                       txn->lock_timeout_micros()));
+  }
+  t->Scan(visitor);
+  if (options_.observer != nullptr) {
+    options_.observer->OnGroundingRead(txn->id(), {t->name(), 0});
+  }
+  return Status::Ok();
+}
+
+Status TransactionManager::ApplyUndo(Transaction* txn) {
+  auto& log = txn->undo_log();
+  for (auto it = log.rbegin(); it != log.rend(); ++it) {
+    YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(it->table));
+    switch (it->kind) {
+      case UndoEntry::Kind::kInsert:
+        YT_RETURN_IF_ERROR(t->Delete(it->row_id));
+        break;
+      case UndoEntry::Kind::kUpdate:
+        YT_RETURN_IF_ERROR(t->Update(it->row_id, it->before));
+        break;
+      case UndoEntry::Kind::kDelete:
+        YT_RETURN_IF_ERROR(t->InsertWithId(it->row_id, it->before));
+        break;
+    }
+  }
+  log.clear();
+  return Status::Ok();
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  if (wal_ != nullptr) {
+    auto lsn = wal_->AppendAndFlush(WalRecord::Commit(txn->id()));
+    if (!lsn.ok()) return lsn.status();
+  }
+  txn->set_state(TxnState::kCommitted);
+  locks_->ReleaseAll(txn->id());
+  stats_.commits.fetch_add(1, std::memory_order_relaxed);
+  if (options_.observer != nullptr) options_.observer->OnCommit(txn->id());
+  return Status::Ok();
+}
+
+Status TransactionManager::Abort(Transaction* txn) {
+  if (txn->state() == TxnState::kAborted) return Status::Ok();
+  if (txn->state() == TxnState::kCommitted) {
+    return Status::Internal("cannot abort a committed transaction");
+  }
+  YT_RETURN_IF_ERROR(ApplyUndo(txn));
+  if (wal_ != nullptr) {
+    (void)wal_->Append(WalRecord::Abort(txn->id()));
+  }
+  txn->set_state(TxnState::kAborted);
+  locks_->ReleaseAll(txn->id());
+  stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+  if (options_.observer != nullptr) options_.observer->OnAbort(txn->id());
+  return Status::Ok();
+}
+
+Status TransactionManager::CommitGroup(
+    const std::vector<Transaction*>& members) {
+  for (Transaction* t : members) {
+    if (!t->active()) {
+      return Status::Aborted("group member " + std::to_string(t->id()) +
+                             " not active");
+    }
+  }
+  GroupId gid = next_group_id_.fetch_add(1);
+  std::vector<TxnId> ids;
+  ids.reserve(members.size());
+  for (Transaction* t : members) ids.push_back(t->id());
+  if (wal_ != nullptr) {
+    for (TxnId id : ids) {
+      (void)wal_->Append(WalRecord::Commit(id));
+    }
+    auto lsn = wal_->AppendAndFlush(WalRecord::GroupCommit(gid, ids));
+    if (!lsn.ok()) return lsn.status();
+  }
+  for (Transaction* t : members) {
+    t->set_state(TxnState::kCommitted);
+    locks_->ReleaseAll(t->id());
+    stats_.commits.fetch_add(1, std::memory_order_relaxed);
+    if (options_.observer != nullptr) options_.observer->OnCommit(t->id());
+  }
+  stats_.group_commits.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status TransactionManager::LogEntangle(
+    EntanglementId eid, const std::vector<Transaction*>& members) {
+  std::vector<TxnId> ids;
+  ids.reserve(members.size());
+  for (Transaction* t : members) ids.push_back(t->id());
+  for (Transaction* t : members) {
+    t->MarkEntangled();
+    t->AddPartners(ids);
+  }
+  if (wal_ != nullptr) {
+    auto lsn = wal_->AppendAndFlush(WalRecord::Entangle(eid, ids));
+    if (!lsn.ok()) return lsn.status();
+  }
+  if (options_.observer != nullptr) {
+    options_.observer->OnEntangle(eid, ids);
+  }
+  return Status::Ok();
+}
+
+StatusOr<Table*> TransactionManager::CreateTable(const std::string& name,
+                                                 const Schema& schema) {
+  YT_ASSIGN_OR_RETURN(Table * t, db_->CreateTable(name, schema));
+  if (wal_ != nullptr) {
+    auto lsn = wal_->AppendAndFlush(WalRecord::CreateTable(name, schema));
+    if (!lsn.ok()) return lsn.status();
+  }
+  return t;
+}
+
+Status TransactionManager::Checkpoint(const std::string& checkpoint_path) {
+  if (wal_ == nullptr) return Status::Internal("no WAL configured");
+  std::ofstream out(checkpoint_path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    return Status::Corruption("cannot open checkpoint file " +
+                              checkpoint_path);
+  }
+  YT_RETURN_IF_ERROR(db_->SaveTo(&out));
+  out.close();
+  return wal_->ResetWithCheckpoint(checkpoint_path);
+}
+
+}  // namespace youtopia

@@ -1,0 +1,118 @@
+#ifndef YOUTOPIA_TXN_TRANSACTION_MANAGER_H_
+#define YOUTOPIA_TXN_TRANSACTION_MANAGER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/op_observer.h"
+#include "src/common/statusor.h"
+#include "src/lock/lock_manager.h"
+#include "src/storage/database.h"
+#include "src/txn/transaction.h"
+#include "src/wal/wal_writer.h"
+
+namespace youtopia {
+
+/// Aggregate transaction counters (benches / tests).
+struct TxnStats {
+  std::atomic<uint64_t> begins{0};
+  std::atomic<uint64_t> commits{0};
+  std::atomic<uint64_t> aborts{0};
+  std::atomic<uint64_t> group_commits{0};
+};
+
+/// Classical ACID transaction manager over the in-memory engine:
+/// Strict 2PL through the LockManager, redo-only WAL through WalWriter
+/// (optional: pass nullptr for a volatile database), in-memory undo for live
+/// rollback. Exposes the group-commit primitive and the ENTANGLE logging hook
+/// that the entangled layer builds on.
+class TransactionManager {
+ public:
+  struct Options {
+    IsolationLevel default_isolation = IsolationLevel::kFullEntangled;
+    int64_t lock_timeout_micros = 2'000'000;  ///< 2 s default lock wait
+    OpObserver* observer = nullptr;           ///< optional schedule recorder
+  };
+
+  TransactionManager(Database* db, LockManager* locks, WalWriter* wal,
+                     Options options);
+  TransactionManager(Database* db, LockManager* locks, WalWriter* wal);
+
+  Database* db() const { return db_; }
+  LockManager* locks() const { return locks_; }
+  TxnStats& stats() { return stats_; }
+  void set_observer(OpObserver* obs) { options_.observer = obs; }
+  OpObserver* observer() const { return options_.observer; }
+
+  /// Starts a transaction at the given (or default) isolation level.
+  std::unique_ptr<Transaction> Begin();
+  std::unique_ptr<Transaction> Begin(IsolationLevel level);
+
+  // --- Data operations (acquire locks, log, maintain undo). ---
+
+  StatusOr<RowId> Insert(Transaction* txn, const std::string& table,
+                         const Row& row);
+  StatusOr<Row> Get(Transaction* txn, const std::string& table, RowId rid);
+  Status Update(Transaction* txn, const std::string& table, RowId rid,
+                const Row& row);
+  Status Delete(Transaction* txn, const std::string& table, RowId rid);
+
+  /// Full-table scan under a table S lock (serializable levels); the visitor
+  /// returns false to stop.
+  Status Scan(Transaction* txn, const std::string& table,
+              const std::function<bool(RowId, const Row&)>& visitor);
+
+  /// Takes a table-level X lock up front (UPDATE/DELETE statements lock the
+  /// whole table before scanning, avoiding S->X upgrade deadlocks between
+  /// writers).
+  Status LockTableForWrite(Transaction* txn, const std::string& table);
+
+  /// Like Scan but recorded as a *grounding* read (R^G); used by the
+  /// entangled-query grounder so the isolation recorder can derive
+  /// quasi-reads.
+  Status ScanForGrounding(Transaction* txn, const std::string& table,
+                          const std::function<bool(RowId, const Row&)>& visitor);
+
+  // --- Termination. ---
+
+  Status Commit(Transaction* txn);
+  Status Abort(Transaction* txn);
+
+  /// Atomically commits a set of entangled transactions: per-member COMMIT
+  /// records, then one GROUP_COMMIT record, then a single flush. Durability
+  /// of every member hinges on the group record (entanglement-aware
+  /// recovery).
+  Status CommitGroup(const std::vector<Transaction*>& members);
+
+  /// Logs an ENTANGLE record (and marks the members). Called by the
+  /// entangled-query evaluator when an entanglement operation succeeds.
+  Status LogEntangle(EntanglementId eid, const std::vector<Transaction*>& members);
+
+  // --- DDL (system transaction 0, autocommitted). ---
+
+  StatusOr<Table*> CreateTable(const std::string& name, const Schema& schema);
+
+  /// Writes a checkpoint image to `checkpoint_path` and truncates the WAL.
+  /// Callers must quiesce transactions first.
+  Status Checkpoint(const std::string& checkpoint_path);
+
+ private:
+  Status ApplyUndo(Transaction* txn);
+  Status AcquireReadLocks(Transaction* txn, const Table* t, RowId rid);
+  void ReleaseEarlyReadLocks(Transaction* txn, const Table* t, RowId rid);
+
+  Database* db_;
+  LockManager* locks_;
+  WalWriter* wal_;  // may be nullptr (volatile mode)
+  Options options_;
+  std::atomic<TxnId> next_txn_id_{1};
+  std::atomic<GroupId> next_group_id_{1};
+  TxnStats stats_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_TXN_TRANSACTION_MANAGER_H_

@@ -1,0 +1,73 @@
+#ifndef YOUTOPIA_WAL_LOG_RECORD_H_
+#define YOUTOPIA_WAL_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/row.h"
+#include "src/common/schema.h"
+#include "src/common/statusor.h"
+#include "src/storage/table.h"
+
+namespace youtopia {
+
+/// WAL record kinds. The log is redo-only: recovery replays the after-images
+/// of durably committed transactions; live rollback uses in-memory undo.
+/// kEntangle and kGroupCommit make coordination state persistent, which is
+/// what enables the paper's entanglement-aware recovery (§4): an entangled
+/// transaction is durable only when its group's kGroupCommit record made it
+/// to the log.
+enum class WalRecordType : uint8_t {
+  kBegin = 1,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kCommit,
+  kAbort,
+  kEntangle,       ///< members coordinated in one entanglement operation
+  kGroupCommit,    ///< all members of a group are durably committed
+  kCreateTable,    ///< DDL (system transaction, txn = 0)
+  kCheckpointRef,  ///< first record of a fresh log; points at a checkpoint
+};
+
+/// One WAL record. Unused fields are empty for a given type.
+struct WalRecord {
+  uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kBegin;
+  TxnId txn = 0;
+  std::string table;
+  RowId row_id = 0;
+  Row before;  ///< update/delete before-image (debugging / audits)
+  Row after;   ///< insert/update after-image (redo)
+  Schema schema;
+  EntanglementId eid = 0;
+  GroupId group = 0;
+  std::vector<TxnId> members;
+  std::string aux;  ///< checkpoint path for kCheckpointRef
+
+  static WalRecord Begin(TxnId txn);
+  static WalRecord Insert(TxnId txn, std::string table, RowId rid, Row after);
+  static WalRecord Update(TxnId txn, std::string table, RowId rid, Row before,
+                          Row after);
+  static WalRecord Delete(TxnId txn, std::string table, RowId rid, Row before);
+  static WalRecord Commit(TxnId txn);
+  static WalRecord Abort(TxnId txn);
+  static WalRecord Entangle(EntanglementId eid, std::vector<TxnId> members);
+  static WalRecord GroupCommit(GroupId group, std::vector<TxnId> members);
+  static WalRecord CreateTable(std::string table, Schema schema);
+  static WalRecord CheckpointRef(std::string path, uint64_t lsn_at_checkpoint);
+
+  /// Payload encoding (no framing; the writer adds length + CRC).
+  void EncodeTo(std::string* dst) const;
+  static StatusOr<WalRecord> Decode(const std::string& payload);
+
+  std::string ToString() const;
+};
+
+const char* WalRecordTypeName(WalRecordType t);
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_WAL_LOG_RECORD_H_

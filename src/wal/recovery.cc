@@ -1,0 +1,112 @@
+#include "src/wal/recovery.h"
+
+#include <fstream>
+#include <map>
+
+namespace youtopia {
+
+StatusOr<RecoveryManager::Result> RecoveryManager::Recover(
+    const std::string& wal_path) {
+  YT_ASSIGN_OR_RETURN(WalReader::Result log, WalReader::ReadAll(wal_path));
+
+  Result result;
+  result.torn_tail = log.torn_tail;
+  result.max_lsn = log.max_lsn;
+
+  // --- Load checkpoint base image if the log starts with a reference.
+  if (!log.records.empty() &&
+      log.records.front().type == WalRecordType::kCheckpointRef) {
+    std::ifstream in(log.records.front().aux, std::ios::binary);
+    if (!in.good()) {
+      return Status::Corruption("missing checkpoint file " +
+                                log.records.front().aux);
+    }
+    YT_ASSIGN_OR_RETURN(result.db, Database::LoadFrom(&in));
+  } else {
+    result.db = std::make_unique<Database>();
+  }
+
+  // --- Analysis pass.
+  std::set<TxnId> has_commit;
+  std::set<TxnId> has_abort;
+  std::set<TxnId> entangled;        // appears in any ENTANGLE record
+  std::set<TxnId> group_committed;  // appears in any GROUP_COMMIT record
+  std::set<TxnId> seen;
+  for (const WalRecord& r : log.records) {
+    if (r.txn != 0) {
+      seen.insert(r.txn);
+      result.max_txn_id = std::max(result.max_txn_id, r.txn);
+    }
+    switch (r.type) {
+      case WalRecordType::kCommit:
+        has_commit.insert(r.txn);
+        break;
+      case WalRecordType::kAbort:
+        has_abort.insert(r.txn);
+        break;
+      case WalRecordType::kEntangle:
+        for (TxnId m : r.members) {
+          entangled.insert(m);
+          seen.insert(m);
+          result.max_txn_id = std::max(result.max_txn_id, m);
+        }
+        break;
+      case WalRecordType::kGroupCommit:
+        for (TxnId m : r.members) group_committed.insert(m);
+        break;
+      default:
+        break;
+    }
+  }
+  for (TxnId t : seen) {
+    bool durable;
+    if (entangled.count(t)) {
+      durable = group_committed.count(t) > 0;
+      if (!durable && has_commit.count(t)) result.rolled_back.insert(t);
+    } else {
+      durable = has_commit.count(t) > 0;
+    }
+    if (durable) {
+      result.committed.insert(t);
+    } else if (!result.rolled_back.count(t)) {
+      result.discarded.insert(t);
+    }
+  }
+
+  // --- Redo pass: DDL always (system txn 0), DML only for winners.
+  for (const WalRecord& r : log.records) {
+    switch (r.type) {
+      case WalRecordType::kCreateTable: {
+        if (!result.db->GetTable(r.table).ok()) {
+          YT_ASSIGN_OR_RETURN(Table * t,
+                              result.db->CreateTable(r.table, r.schema));
+          (void)t;
+        }
+        break;
+      }
+      case WalRecordType::kInsert: {
+        if (!result.committed.count(r.txn)) break;
+        YT_ASSIGN_OR_RETURN(Table * t, result.db->GetTable(r.table));
+        YT_RETURN_IF_ERROR(t->InsertWithId(r.row_id, r.after));
+        break;
+      }
+      case WalRecordType::kUpdate: {
+        if (!result.committed.count(r.txn)) break;
+        YT_ASSIGN_OR_RETURN(Table * t, result.db->GetTable(r.table));
+        YT_RETURN_IF_ERROR(t->Update(r.row_id, r.after));
+        break;
+      }
+      case WalRecordType::kDelete: {
+        if (!result.committed.count(r.txn)) break;
+        YT_ASSIGN_OR_RETURN(Table * t, result.db->GetTable(r.table));
+        YT_RETURN_IF_ERROR(t->Delete(r.row_id));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace youtopia

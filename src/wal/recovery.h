@@ -1,0 +1,46 @@
+#ifndef YOUTOPIA_WAL_RECOVERY_H_
+#define YOUTOPIA_WAL_RECOVERY_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/storage/database.h"
+#include "src/wal/wal_reader.h"
+
+namespace youtopia {
+
+/// Entanglement-aware crash recovery (paper §4, "Persistence and Recovery").
+///
+/// Analysis: a classical transaction is durably committed iff its COMMIT
+/// record is in the log. An *entangled* transaction (one that appears in any
+/// ENTANGLE record) is durably committed iff a GROUP_COMMIT record naming it
+/// is in the log — a bare COMMIT is NOT enough. This implements the paper's
+/// rule: "if two transactions entangle and only one manages to commit prior
+/// to a crash, both must be rolled back during recovery."
+///
+/// Redo: rebuild the database from the checkpoint referenced by the log head
+/// (if any), then replay DDL and the after-images of durably committed
+/// transactions in LSN order. Because the log is redo-only, losers need no
+/// undo: their effects were never reapplied.
+class RecoveryManager {
+ public:
+  struct Result {
+    std::unique_ptr<Database> db;
+    std::set<TxnId> committed;       ///< durably committed transactions
+    std::set<TxnId> rolled_back;     ///< had COMMIT but lost it to the
+                                     ///< group-commit rule (widow prevention)
+    std::set<TxnId> discarded;       ///< in-flight or aborted at crash time
+    uint64_t max_lsn = 0;
+    TxnId max_txn_id = 0;
+    bool torn_tail = false;
+  };
+
+  /// Runs recovery from `wal_path`. Checkpoints are located through the
+  /// log's CheckpointRef head record.
+  static StatusOr<Result> Recover(const std::string& wal_path);
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_WAL_RECOVERY_H_

@@ -1,0 +1,47 @@
+#include "src/wal/wal_reader.h"
+
+#include <cstdio>
+
+#include "src/common/serde.h"
+
+namespace youtopia {
+
+StatusOr<WalReader::Result> WalReader::ReadAll(const std::string& path) {
+  Result result;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return result;  // no log yet: fresh database
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.append(buf, n);
+  }
+  std::fclose(f);
+
+  const char* p = data.data();
+  const char* end = p + data.size();
+  while (p < end) {
+    uint32_t len, crc;
+    if (!DecodeU32(&p, end, &len).ok() || !DecodeU32(&p, end, &crc).ok() ||
+        end - p < static_cast<ptrdiff_t>(len)) {
+      result.torn_tail = true;
+      break;
+    }
+    std::string payload(p, len);
+    p += len;
+    if (Crc32(payload) != crc) {
+      result.torn_tail = true;
+      break;
+    }
+    auto rec = WalRecord::Decode(payload);
+    if (!rec.ok()) {
+      result.torn_tail = true;
+      break;
+    }
+    result.max_lsn = std::max(result.max_lsn, rec.value().lsn);
+    result.records.push_back(std::move(rec).value());
+  }
+  return result;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,93 @@
+#include "src/wal/wal_writer.h"
+
+#include <unistd.h>
+
+#include "src/common/serde.h"
+
+namespace youtopia {
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+  }
+}
+
+Status WalWriter::Open(const std::string& path, Options options,
+                       bool truncate) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (file_ != nullptr) return Status::Internal("WAL already open");
+  file_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+  if (file_ == nullptr) {
+    return Status::Corruption("cannot open WAL file " + path);
+  }
+  path_ = path;
+  options_ = options;
+  return Status::Ok();
+}
+
+StatusOr<uint64_t> WalWriter::Append(WalRecord rec) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (file_ == nullptr) return Status::Internal("WAL not open");
+  rec.lsn = next_lsn_++;
+  std::string payload;
+  rec.EncodeTo(&payload);
+  std::string frame;
+  EncodeU32(&frame, static_cast<uint32_t>(payload.size()));
+  EncodeU32(&frame, Crc32(payload));
+  frame += payload;
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return Status::Corruption("WAL append failed");
+  }
+  return rec.lsn;
+}
+
+StatusOr<uint64_t> WalWriter::AppendAndFlush(WalRecord rec) {
+  YT_ASSIGN_OR_RETURN(uint64_t lsn, Append(std::move(rec)));
+  YT_RETURN_IF_ERROR(Flush());
+  return lsn;
+}
+
+Status WalWriter::Flush() {
+  std::lock_guard<std::mutex> g(mu_);
+  if (file_ == nullptr) return Status::Internal("WAL not open");
+  if (std::fflush(file_) != 0) return Status::Corruption("WAL flush failed");
+  if (options_.sync_on_flush) {
+    if (fsync(fileno(file_)) != 0) {
+      return Status::Corruption("WAL fsync failed");
+    }
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::Close() {
+  std::lock_guard<std::mutex> g(mu_);
+  if (file_ == nullptr) return Status::Ok();
+  std::fflush(file_);
+  if (options_.sync_on_flush) fsync(fileno(file_));
+  std::fclose(file_);
+  file_ = nullptr;
+  return Status::Ok();
+}
+
+Status WalWriter::ResetWithCheckpoint(const std::string& checkpoint_path) {
+  uint64_t lsn_snapshot;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (file_ == nullptr) return Status::Internal("WAL not open");
+    std::fflush(file_);
+    std::fclose(file_);
+    file_ = std::fopen(path_.c_str(), "wb");
+    if (file_ == nullptr) {
+      return Status::Corruption("cannot truncate WAL file " + path_);
+    }
+    lsn_snapshot = next_lsn_;
+  }
+  YT_ASSIGN_OR_RETURN(
+      uint64_t lsn,
+      Append(WalRecord::CheckpointRef(checkpoint_path, lsn_snapshot)));
+  (void)lsn;
+  return Flush();
+}
+
+}  // namespace youtopia

@@ -1,0 +1,61 @@
+#ifndef YOUTOPIA_WAL_WAL_WRITER_H_
+#define YOUTOPIA_WAL_WAL_WRITER_H_
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "src/wal/log_record.h"
+
+namespace youtopia {
+
+/// Append-only WAL file writer. Each record is framed as
+/// [u32 payload_len][u32 crc32(payload)][payload]. Appends buffer in
+/// userspace; Flush() pushes to the OS (and fsyncs when `sync_on_flush`).
+/// Thread-safe: the transaction manager appends from many connections.
+class WalWriter {
+ public:
+  struct Options {
+    bool sync_on_flush = false;  ///< fsync on every Flush (commit durability)
+  };
+
+  WalWriter() = default;
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens (creates or truncates when `truncate`) the log file.
+  Status Open(const std::string& path, Options options, bool truncate);
+  bool is_open() const { return file_ != nullptr; }
+
+  /// Assigns the next LSN, frames and buffers the record. Returns the LSN.
+  StatusOr<uint64_t> Append(WalRecord rec);
+
+  /// Appends and immediately flushes (commit path).
+  StatusOr<uint64_t> AppendAndFlush(WalRecord rec);
+
+  Status Flush();
+
+  /// Closes the file (flushes first).
+  Status Close();
+
+  /// Restart the log in `path` with a checkpoint-reference first record
+  /// (log truncation after a checkpoint).
+  Status ResetWithCheckpoint(const std::string& checkpoint_path);
+
+  uint64_t next_lsn() const { return next_lsn_; }
+  void set_next_lsn(uint64_t lsn) { next_lsn_ = lsn; }
+  const std::string& path() const { return path_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  Options options_;
+  uint64_t next_lsn_ = 1;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_WAL_WAL_WRITER_H_

@@ -1,0 +1,75 @@
+#include "src/workload/social_graph.h"
+
+#include <algorithm>
+
+namespace youtopia::workload {
+
+SocialGraph SocialGraph::PreferentialAttachment(size_t num_users,
+                                                size_t edges_per_node,
+                                                uint64_t seed) {
+  SocialGraph g;
+  if (num_users == 0) return g;
+  g.adj_.resize(num_users);
+  Rng rng(seed);
+  if (edges_per_node == 0) edges_per_node = 1;
+
+  // Degree-proportional sampling via the classic endpoint-list trick.
+  std::vector<uint32_t> endpoints;
+  size_t seed_nodes = std::min(num_users, edges_per_node + 1);
+  // Seed clique over the first few nodes.
+  for (uint32_t a = 0; a < seed_nodes; ++a) {
+    for (uint32_t b = a + 1; b < seed_nodes; ++b) {
+      g.adj_[a].push_back(b);
+      g.adj_[b].push_back(a);
+      endpoints.push_back(a);
+      endpoints.push_back(b);
+      ++g.num_edges_;
+    }
+  }
+  for (uint32_t v = static_cast<uint32_t>(seed_nodes); v < num_users; ++v) {
+    size_t added = 0;
+    size_t guard = 0;
+    while (added < edges_per_node && guard++ < edges_per_node * 20) {
+      uint32_t target = endpoints.empty()
+                            ? static_cast<uint32_t>(rng.Index(v))
+                            : endpoints[rng.Index(endpoints.size())];
+      if (target == v) continue;
+      if (std::find(g.adj_[v].begin(), g.adj_[v].end(), target) !=
+          g.adj_[v].end()) {
+        continue;
+      }
+      g.adj_[v].push_back(target);
+      g.adj_[target].push_back(v);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+      ++g.num_edges_;
+      ++added;
+    }
+  }
+  for (auto& nbrs : g.adj_) std::sort(nbrs.begin(), nbrs.end());
+  return g;
+}
+
+bool SocialGraph::AreFriends(uint32_t a, uint32_t b) const {
+  if (a >= adj_.size()) return false;
+  return std::binary_search(adj_[a].begin(), adj_[a].end(), b);
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> SocialGraph::Edges() const {
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(num_edges_);
+  for (uint32_t a = 0; a < adj_.size(); ++a) {
+    for (uint32_t b : adj_[a]) {
+      if (a < b) edges.emplace_back(a, b);
+    }
+  }
+  return edges;
+}
+
+size_t SocialGraph::MaxDegree() const {
+  size_t m = 0;
+  for (const auto& nbrs : adj_) m = std::max(m, nbrs.size());
+  return m;
+}
+
+}  // namespace youtopia::workload

@@ -1,0 +1,46 @@
+#ifndef YOUTOPIA_WORKLOAD_SOCIAL_GRAPH_H_
+#define YOUTOPIA_WORKLOAD_SOCIAL_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace youtopia::workload {
+
+/// Synthetic stand-in for the paper's Slashdot social network [1]
+/// (soc-Slashdot0902: ~82k nodes, ~948k edges, heavy-tailed degrees). The
+/// experiments only use the graph to pick coordination partners among
+/// friends, so any heavy-tailed friendship graph exercises the same code
+/// paths; we generate one by preferential attachment with a configurable
+/// size (documented substitution, see DESIGN.md).
+class SocialGraph {
+ public:
+  /// Barabasi-Albert-style generator: each new node attaches to
+  /// `edges_per_node` existing nodes chosen proportionally to degree.
+  /// Edges are undirected (mutual friendship), deterministic per seed.
+  static SocialGraph PreferentialAttachment(size_t num_users,
+                                            size_t edges_per_node,
+                                            uint64_t seed);
+
+  size_t num_users() const { return adj_.size(); }
+  size_t num_edges() const { return num_edges_; }
+  const std::vector<uint32_t>& FriendsOf(uint32_t user) const {
+    return adj_[user];
+  }
+  bool AreFriends(uint32_t a, uint32_t b) const;
+
+  /// All undirected edges (a < b), deterministic order.
+  std::vector<std::pair<uint32_t, uint32_t>> Edges() const;
+
+  /// Maximum degree (sanity checks on the heavy tail).
+  size_t MaxDegree() const;
+
+ private:
+  std::vector<std::vector<uint32_t>> adj_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace youtopia::workload
+
+#endif  // YOUTOPIA_WORKLOAD_SOCIAL_GRAPH_H_

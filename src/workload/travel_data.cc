@@ -1,0 +1,130 @@
+#include "src/workload/travel_data.h"
+
+#include "src/common/strings.h"
+
+namespace youtopia::workload {
+
+StatusOr<TravelData> TravelData::Build(TransactionManager* tm,
+                                       TravelDataOptions options) {
+  TravelData data;
+  data.graph_ = SocialGraph::PreferentialAttachment(
+      options.num_users, options.edges_per_node, options.seed);
+
+  // Cities: CITY00..CITYnn.
+  for (size_t c = 0; c < options.num_cities; ++c) {
+    data.cities_.push_back(StrFormat("CITY%02zu", c));
+  }
+
+  Rng rng(options.seed ^ 0x5eed);
+  data.hometowns_.resize(options.num_users);
+  for (size_t u = 0; u < options.num_users; ++u) {
+    data.hometowns_[u] = data.cities_[rng.Index(data.cities_.size())];
+  }
+
+  // --- Schema.
+  YT_ASSIGN_OR_RETURN(
+      Table * user_t,
+      tm->CreateTable("User", Schema({{"uid", TypeId::kInt64},
+                                      {"hometown", TypeId::kString}})));
+  YT_ASSIGN_OR_RETURN(
+      Table * friends_t,
+      tm->CreateTable("Friends", Schema({{"uid1", TypeId::kInt64},
+                                         {"uid2", TypeId::kInt64}})));
+  YT_ASSIGN_OR_RETURN(
+      Table * flight_t,
+      tm->CreateTable("Flight", Schema({{"source", TypeId::kString},
+                                        {"destination", TypeId::kString},
+                                        {"fid", TypeId::kInt64}})));
+  YT_ASSIGN_OR_RETURN(
+      Table * reserve_t,
+      tm->CreateTable("Reserve", Schema({{"uid", TypeId::kInt64},
+                                         {"fid", TypeId::kInt64}})));
+  (void)reserve_t;
+
+  // --- Data (loaded directly; setup is not part of any measurement).
+  for (size_t u = 0; u < options.num_users; ++u) {
+    YT_ASSIGN_OR_RETURN(
+        RowId rid,
+        user_t->Insert(Row({Value::Int(static_cast<int64_t>(u)),
+                            Value::Str(data.hometowns_[u])})));
+    (void)rid;
+  }
+  for (const auto& [a, b] : data.graph_.Edges()) {
+    YT_ASSIGN_OR_RETURN(RowId r1,
+                        friends_t->Insert(Row({Value::Int(a), Value::Int(b)})));
+    YT_ASSIGN_OR_RETURN(RowId r2,
+                        friends_t->Insert(Row({Value::Int(b), Value::Int(a)})));
+    (void)r1;
+    (void)r2;
+  }
+  int64_t fid = 100;
+  for (const std::string& src : data.cities_) {
+    for (const std::string& dst : data.cities_) {
+      if (src == dst) continue;
+      for (size_t k = 0; k < options.flights_per_route; ++k) {
+        YT_ASSIGN_OR_RETURN(
+            RowId rid, flight_t->Insert(Row({Value::Str(src), Value::Str(dst),
+                                             Value::Int(fid++)})));
+        (void)rid;
+      }
+    }
+  }
+
+  for (const auto& [a, b] : data.graph_.Edges()) {
+    if (data.hometowns_[a] == data.hometowns_[b]) {
+      data.same_town_pairs_.emplace_back(a, b);
+    }
+  }
+  return data;
+}
+
+Status TravelData::BuildFigure1Tables(TransactionManager* tm) {
+  // Figure 1(a) of the paper, with dates as day numbers (May 3 = 503).
+  YT_ASSIGN_OR_RETURN(
+      Table * flights,
+      tm->CreateTable("Flights", Schema({{"fno", TypeId::kInt64},
+                                         {"fdate", TypeId::kInt64},
+                                         {"dest", TypeId::kString}})));
+  YT_ASSIGN_OR_RETURN(
+      Table * airlines,
+      tm->CreateTable("Airlines", Schema({{"fno", TypeId::kInt64},
+                                          {"airline", TypeId::kString}})));
+  YT_ASSIGN_OR_RETURN(
+      Table * hotels,
+      tm->CreateTable("Hotels", Schema({{"hid", TypeId::kInt64},
+                                        {"location", TypeId::kString}})));
+  struct F {
+    int64_t fno, fdate;
+    const char* dest;
+  };
+  for (const F& f : std::initializer_list<F>{{122, 503, "LA"},
+                                             {123, 504, "LA"},
+                                             {124, 503, "LA"},
+                                             {235, 505, "Paris"}}) {
+    YT_ASSIGN_OR_RETURN(RowId rid,
+                        flights->Insert(Row({Value::Int(f.fno),
+                                             Value::Int(f.fdate),
+                                             Value::Str(f.dest)})));
+    (void)rid;
+  }
+  struct A {
+    int64_t fno;
+    const char* airline;
+  };
+  for (const A& a : std::initializer_list<A>{{122, "United"},
+                                             {123, "United"},
+                                             {124, "USAir"},
+                                             {235, "Delta"}}) {
+    YT_ASSIGN_OR_RETURN(RowId rid, airlines->Insert(Row({Value::Int(a.fno),
+                                                         Value::Str(a.airline)})));
+    (void)rid;
+  }
+  for (int64_t h : {701, 702, 703}) {
+    YT_ASSIGN_OR_RETURN(RowId rid,
+                        hotels->Insert(Row({Value::Int(h), Value::Str("LA")})));
+    (void)rid;
+  }
+  return Status::Ok();
+}
+
+}  // namespace youtopia::workload

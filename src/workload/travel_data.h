@@ -1,0 +1,58 @@
+#ifndef YOUTOPIA_WORKLOAD_TRAVEL_DATA_H_
+#define YOUTOPIA_WORKLOAD_TRAVEL_DATA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/txn/transaction_manager.h"
+#include "src/workload/social_graph.h"
+
+namespace youtopia::workload {
+
+/// Scale knobs for the §D travel database.
+struct TravelDataOptions {
+  size_t num_users = 1000;
+  size_t edges_per_node = 4;
+  size_t num_cities = 10;
+  size_t flights_per_route = 2;  ///< flights per ordered city pair
+  uint64_t seed = 42;
+};
+
+/// Builds and populates the paper's §D schema:
+///   User(uid INT, hometown VARCHAR)
+///   Friends(uid1 INT, uid2 INT)           -- both directions materialized
+///   Flight(source VARCHAR, destination VARCHAR, fid INT)
+///   Reserve(uid INT, fid INT)             -- booking target, starts empty
+/// plus the Figure 1/2 example tables when requested.
+class TravelData {
+ public:
+  static StatusOr<TravelData> Build(TransactionManager* tm,
+                                    TravelDataOptions options);
+
+  /// Creates the Figure 1 flight/airline/hotel example tables
+  /// (Flights/Airlines/Hotels) with the paper's literal rows.
+  static Status BuildFigure1Tables(TransactionManager* tm);
+
+  const SocialGraph& graph() const { return graph_; }
+  const std::vector<std::string>& cities() const { return cities_; }
+  const std::string& hometown_of(uint32_t user) const {
+    return hometowns_[user];
+  }
+  size_t num_users() const { return hometowns_.size(); }
+
+  /// Friend pairs living in the same hometown — the pairs whose §D entangled
+  /// queries can actually ground. Deterministic order.
+  const std::vector<std::pair<uint32_t, uint32_t>>& same_town_pairs() const {
+    return same_town_pairs_;
+  }
+
+ private:
+  SocialGraph graph_;
+  std::vector<std::string> cities_;
+  std::vector<std::string> hometowns_;
+  std::vector<std::pair<uint32_t, uint32_t>> same_town_pairs_;
+};
+
+}  // namespace youtopia::workload
+
+#endif  // YOUTOPIA_WORKLOAD_TRAVEL_DATA_H_

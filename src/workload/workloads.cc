@@ -1,0 +1,229 @@
+#include "src/workload/workloads.h"
+
+#include "src/common/strings.h"
+
+namespace youtopia::workload {
+
+const char* WorkloadTypeName(WorkloadType t) {
+  switch (t) {
+    case WorkloadType::kNoSocialT: return "NoSocial-T";
+    case WorkloadType::kSocialT: return "Social-T";
+    case WorkloadType::kEntangledT: return "Entangled-T";
+    case WorkloadType::kNoSocialQ: return "NoSocial-Q";
+    case WorkloadType::kSocialQ: return "Social-Q";
+    case WorkloadType::kEntangledQ: return "Entangled-Q";
+  }
+  return "?";
+}
+
+bool IsTransactional(WorkloadType t) {
+  return t == WorkloadType::kNoSocialT || t == WorkloadType::kSocialT ||
+         t == WorkloadType::kEntangledT;
+}
+
+bool IsEntangled(WorkloadType t) {
+  return t == WorkloadType::kEntangledT || t == WorkloadType::kEntangledQ;
+}
+
+StatusOr<std::pair<uint32_t, uint32_t>> WorkloadGenerator::NextStreamPair() {
+  const auto& pairs = data_->same_town_pairs();
+  if (pairs.size() <= reserved_loners_) {
+    return Status::InvalidArgument(
+        "travel data has too few same-town friend pairs for this workload");
+  }
+  size_t span = pairs.size() - reserved_loners_;
+  const auto& p = pairs[stream_cursor_++ % span];
+  return p;
+}
+
+std::string WorkloadGenerator::PickDest(const std::string& hometown) {
+  const auto& cities = data_->cities();
+  for (size_t attempts = 0; attempts < 8; ++attempts) {
+    const std::string& c = cities[rng_.Index(cities.size())];
+    if (c != hometown) return c;
+  }
+  return cities[0] != hometown ? cities[0] : cities[1];
+}
+
+StatusOr<etxn::EntangledTransactionSpec> WorkloadGenerator::BookingSpec(
+    WorkloadType type, uint32_t me, uint32_t friend_id,
+    const std::string& dest, int64_t trip, int64_t timeout_micros,
+    const std::string& name) {
+  etxn::EntangledTransactionSpec spec;
+  spec.name = name;
+  spec.transactional = IsTransactional(type);
+  spec.timeout_micros = timeout_micros;
+
+  auto add = [&spec](const std::string& text) -> Status {
+    YT_ASSIGN_OR_RETURN(etxn::Statement s, etxn::Statement::Sql(text));
+    spec.statements.push_back(std::move(s));
+    return Status::Ok();
+  };
+
+  // §D workload shapes (NoSocial / Social / Entangled).
+  YT_RETURN_IF_ERROR(add(StrFormat(
+      "SELECT @uid, @hometown FROM User WHERE uid=%u", me)));
+
+  if (type == WorkloadType::kSocialT || type == WorkloadType::kSocialQ) {
+    YT_RETURN_IF_ERROR(add(StrFormat(
+        "SELECT uid2 FROM Friends, User u1, User u2 "
+        "WHERE Friends.uid1=%u AND Friends.uid2=u2.uid AND u1.uid=%u "
+        "AND u1.hometown=u2.hometown LIMIT 1",
+        me, me)));
+  }
+
+  if (IsEntangled(type)) {
+    YT_RETURN_IF_ERROR(add(StrFormat(
+        "SELECT %u AS @uid, '%s' AS @destination, %lld INTO ANSWER Reserve "
+        "WHERE (%u, %u) IN "
+        "(SELECT uid1, uid2 FROM Friends, User u1, User u2 "
+        " WHERE Friends.uid1=%u AND Friends.uid2=%u "
+        " AND u1.uid=%u AND u2.uid=%u AND u1.hometown=u2.hometown) "
+        "AND (%u, '%s', %lld) IN ANSWER Reserve "
+        "CHOOSE 1",
+        me, dest.c_str(), static_cast<long long>(trip), me, friend_id, me,
+        friend_id, me, friend_id, friend_id, dest.c_str(),
+        static_cast<long long>(trip))));
+    YT_RETURN_IF_ERROR(add(
+        "SELECT @fid FROM Flight WHERE source=@hometown "
+        "AND destination=@destination LIMIT 1"));
+  } else {
+    YT_RETURN_IF_ERROR(add(StrFormat(
+        "SELECT @fid FROM Flight WHERE source=@hometown "
+        "AND destination='%s' LIMIT 1",
+        dest.c_str())));
+  }
+
+  YT_RETURN_IF_ERROR(
+      add("INSERT INTO Reserve (uid, fid) VALUES (@uid, @fid)"));
+  return spec;
+}
+
+StatusOr<std::vector<etxn::EntangledTransactionSpec>>
+WorkloadGenerator::Generate(WorkloadType type, size_t n,
+                            int64_t timeout_micros) {
+  std::vector<etxn::EntangledTransactionSpec> specs;
+  if (IsEntangled(type)) {
+    if (n % 2 != 0) ++n;
+    specs.reserve(n);
+    for (size_t i = 0; i < n; i += 2) {
+      YT_ASSIGN_OR_RETURN(auto pair, NextStreamPair());
+      auto [a, b] = pair;
+      std::string dest = PickDest(data_->hometown_of(a));
+      int64_t trip = next_trip_++;
+      YT_ASSIGN_OR_RETURN(
+          etxn::EntangledTransactionSpec sa,
+          BookingSpec(type, a, b, dest, trip, timeout_micros,
+                      StrFormat("%s-%zu-a", WorkloadTypeName(type), i)));
+      YT_ASSIGN_OR_RETURN(
+          etxn::EntangledTransactionSpec sb,
+          BookingSpec(type, b, a, dest, trip, timeout_micros,
+                      StrFormat("%s-%zu-b", WorkloadTypeName(type), i)));
+      specs.push_back(std::move(sa));
+      specs.push_back(std::move(sb));
+    }
+    return specs;
+  }
+  specs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t me = static_cast<uint32_t>(rng_.Index(data_->num_users()));
+    std::string dest = PickDest(data_->hometown_of(me));
+    YT_ASSIGN_OR_RETURN(
+        etxn::EntangledTransactionSpec s,
+        BookingSpec(type, me, 0, dest, next_trip_++, timeout_micros,
+                    StrFormat("%s-%zu", WorkloadTypeName(type), i)));
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+StatusOr<std::vector<etxn::EntangledTransactionSpec>>
+WorkloadGenerator::Loners(size_t p, int64_t timeout_micros) {
+  const auto& pairs = data_->same_town_pairs();
+  if (pairs.size() < p + 1) {
+    return Status::InvalidArgument(
+        "not enough same-town pairs to reserve " + std::to_string(p) +
+        " loners");
+  }
+  reserved_loners_ = p;
+  std::vector<etxn::EntangledTransactionSpec> specs;
+  specs.reserve(p);
+  for (size_t i = 0; i < p; ++i) {
+    // Tail region of the pair list, disjoint from the streaming region.
+    const auto& [a, b] = pairs[pairs.size() - 1 - i];
+    std::string dest = PickDest(data_->hometown_of(a));
+    YT_ASSIGN_OR_RETURN(etxn::EntangledTransactionSpec s,
+                        BookingSpec(WorkloadType::kEntangledT, a, b, dest,
+                                    next_trip_++, timeout_micros,
+                                    StrFormat("Loner-%zu", i)));
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+StatusOr<std::vector<etxn::EntangledTransactionSpec>>
+WorkloadGenerator::SpokeHubGroup(size_t k, size_t group_id,
+                                 int64_t timeout_micros) {
+  if (k < 2) return Status::InvalidArgument("spoke-hub needs k >= 2");
+  std::vector<etxn::EntangledTransactionSpec> specs;
+  etxn::EntangledTransactionSpec hub;
+  hub.name = StrFormat("hub-%zu", group_id);
+  hub.transactional = true;
+  hub.timeout_micros = timeout_micros;
+  for (size_t i = 1; i < k; ++i) {
+    std::string h = StrFormat("h%zu", group_id);
+    std::string s = StrFormat("s%zu_%zu", group_id, i);
+    YT_ASSIGN_OR_RETURN(
+        etxn::Statement hq,
+        etxn::Statement::Sql(StrFormat(
+            "SELECT '%s', '%s' INTO ANSWER Coord "
+            "WHERE ('%s', '%s') IN ANSWER Coord CHOOSE 1",
+            h.c_str(), s.c_str(), s.c_str(), h.c_str())));
+    hub.statements.push_back(std::move(hq));
+
+    etxn::EntangledTransactionSpec spoke;
+    spoke.name = StrFormat("spoke-%zu-%zu", group_id, i);
+    spoke.transactional = true;
+    spoke.timeout_micros = timeout_micros;
+    YT_ASSIGN_OR_RETURN(
+        etxn::Statement sq,
+        etxn::Statement::Sql(StrFormat(
+            "SELECT '%s', '%s' INTO ANSWER Coord "
+            "WHERE ('%s', '%s') IN ANSWER Coord CHOOSE 1",
+            s.c_str(), h.c_str(), h.c_str(), s.c_str())));
+    spoke.statements.push_back(std::move(sq));
+    specs.push_back(std::move(spoke));
+  }
+  specs.push_back(std::move(hub));
+  return specs;
+}
+
+StatusOr<std::vector<etxn::EntangledTransactionSpec>>
+WorkloadGenerator::CycleGroup(size_t k, size_t group_id,
+                              int64_t timeout_micros) {
+  if (k < 2) return Status::InvalidArgument("cycle needs k >= 2");
+  std::vector<etxn::EntangledTransactionSpec> specs;
+  specs.reserve(k);
+  for (size_t j = 0; j < k; ++j) {
+    etxn::EntangledTransactionSpec spec;
+    spec.name = StrFormat("cycle-%zu-%zu", group_id, j);
+    spec.transactional = true;
+    spec.timeout_micros = timeout_micros;
+    for (const char* ring : {"A", "B"}) {
+      std::string mine = StrFormat("c%s%zu_%zu", ring, group_id, j);
+      std::string next = StrFormat("c%s%zu_%zu", ring, group_id,
+                                   (j + 1) % k);
+      YT_ASSIGN_OR_RETURN(
+          etxn::Statement q,
+          etxn::Statement::Sql(StrFormat(
+              "SELECT '%s' INTO ANSWER Coord "
+              "WHERE ('%s') IN ANSWER Coord CHOOSE 1",
+              mine.c_str(), next.c_str())));
+      spec.statements.push_back(std::move(q));
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace youtopia::workload

@@ -1,0 +1,84 @@
+#ifndef YOUTOPIA_WORKLOAD_WORKLOADS_H_
+#define YOUTOPIA_WORKLOAD_WORKLOADS_H_
+
+#include <vector>
+
+#include "src/etxn/spec.h"
+#include "src/workload/travel_data.h"
+
+namespace youtopia::workload {
+
+/// The six §5.2.2 workloads: travel-booking programs as transactions (-T)
+/// or as bare statement sequences (-Q), with no social data, social lookups,
+/// or entangled coordination.
+enum class WorkloadType {
+  kNoSocialT = 0,
+  kSocialT,
+  kEntangledT,
+  kNoSocialQ,
+  kSocialQ,
+  kEntangledQ,
+};
+
+const char* WorkloadTypeName(WorkloadType t);
+bool IsTransactional(WorkloadType t);
+bool IsEntangled(WorkloadType t);
+
+/// Generates §D-faithful program specs over a TravelData instance.
+///
+/// Entangled programs are produced in matched pairs (consecutive specs
+/// coordinate with each other), reproducing the Figure 6(a) setup where
+/// every transaction finds a partner within its batch. Loners() produces
+/// partner-less entangled programs for the Figure 6(b) pending-transaction
+/// experiment; their coordination values are disjoint from the paired
+/// stream so they can never accidentally match.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const TravelData* data, uint64_t seed)
+      : data_(data), rng_(seed) {}
+
+  /// n specs of the given type (n rounded up to even for entangled types).
+  StatusOr<std::vector<etxn::EntangledTransactionSpec>> Generate(
+      WorkloadType type, size_t n, int64_t timeout_micros);
+
+  /// p entangled programs whose partners never arrive (Fig 6(b)). Call
+  /// before Generate so the pair spaces stay disjoint.
+  StatusOr<std::vector<etxn::EntangledTransactionSpec>> Loners(
+      size_t p, int64_t timeout_micros);
+
+  /// Figure 6(c) Spoke-hub structure: one hub program with k-1 entangled
+  /// queries plus k-1 single-query spoke programs (coordinating set size k).
+  StatusOr<std::vector<etxn::EntangledTransactionSpec>> SpokeHubGroup(
+      size_t k, size_t group_id, int64_t timeout_micros);
+
+  /// Figure 6(c) Cyclic structure: k programs, each with 2 entangled
+  /// queries; each query ring forms one cyclic entanglement of size k.
+  StatusOr<std::vector<etxn::EntangledTransactionSpec>> CycleGroup(
+      size_t k, size_t group_id, int64_t timeout_micros);
+
+ private:
+  /// `trip` is a per-pair nonce carried in the coordination tuple so that a
+  /// user appearing in several pairs (or a pair instance repeated across
+  /// batches) can only entangle with its intended partner — this enforces
+  /// the paper's Fig 6(a) premise that every transaction coordinates within
+  /// its own batch.
+  StatusOr<etxn::EntangledTransactionSpec> BookingSpec(
+      WorkloadType type, uint32_t me, uint32_t friend_id,
+      const std::string& dest, int64_t trip, int64_t timeout_micros,
+      const std::string& name);
+
+  /// Next same-town pair from the streaming region (excludes loner pairs).
+  StatusOr<std::pair<uint32_t, uint32_t>> NextStreamPair();
+  /// Destination different from `hometown`.
+  std::string PickDest(const std::string& hometown);
+
+  const TravelData* data_;
+  Rng rng_;
+  size_t stream_cursor_ = 0;
+  size_t reserved_loners_ = 0;
+  int64_t next_trip_ = 1;
+};
+
+}  // namespace youtopia::workload
+
+#endif  // YOUTOPIA_WORKLOAD_WORKLOADS_H_

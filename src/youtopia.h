@@ -1,0 +1,61 @@
+#ifndef YOUTOPIA_YOUTOPIA_H_
+#define YOUTOPIA_YOUTOPIA_H_
+
+/// Umbrella header for the Youtopia entangled-transactions library
+/// (reproduction of Gupta et al., "Entangled Transactions", PVLDB 4(7),
+/// 2011). Typical embedding:
+///
+///   Database db;
+///   LockManager locks;
+///   WalWriter wal;                       // optional durability
+///   (void)wal.Open("youtopia.walog", {}, /*truncate=*/false);
+///   TransactionManager tm(&db, &locks, &wal);
+///
+///   etxn::EngineOptions opts;            // connections, run frequency f...
+///   etxn::EntangledTransactionEngine engine(&tm, opts);
+///
+///   auto spec = etxn::EntangledTransactionSpec::FromScript("Mickey", R"sql(
+///     BEGIN TRANSACTION WITH TIMEOUT 2 DAYS;
+///     SELECT 'Mickey', fno, fdate AS @ArrivalDay INTO ANSWER FlightRes
+///     WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA')
+///     AND ('Minnie', fno, fdate) IN ANSWER FlightRes CHOOSE 1;
+///     INSERT INTO Bookings (name, ref) VALUES ('Mickey', @ArrivalDay);
+///     COMMIT;
+///   )sql");
+///   auto handle = engine.Submit(std::move(spec).value());
+///   Status result = handle->Wait();
+///
+/// See README.md for the architecture map and DESIGN.md for the paper
+/// correspondence.
+
+#include "src/common/clock.h"
+#include "src/common/ids.h"
+#include "src/common/row.h"
+#include "src/common/schema.h"
+#include "src/common/status.h"
+#include "src/common/statusor.h"
+#include "src/common/value.h"
+#include "src/eq/compiler.h"
+#include "src/eq/coordinator.h"
+#include "src/eq/grounder.h"
+#include "src/eq/ir.h"
+#include "src/eq/safety.h"
+#include "src/etxn/engine.h"
+#include "src/etxn/handle.h"
+#include "src/etxn/spec.h"
+#include "src/isolation/checker.h"
+#include "src/isolation/oracle.h"
+#include "src/isolation/recorder.h"
+#include "src/isolation/schedule.h"
+#include "src/lock/lock_manager.h"
+#include "src/sql/parser.h"
+#include "src/sql/session.h"
+#include "src/storage/database.h"
+#include "src/txn/transaction_manager.h"
+#include "src/wal/recovery.h"
+#include "src/wal/wal_writer.h"
+#include "src/workload/social_graph.h"
+#include "src/workload/travel_data.h"
+#include "src/workload/workloads.h"
+
+#endif  // YOUTOPIA_YOUTOPIA_H_

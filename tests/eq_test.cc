@@ -1,0 +1,438 @@
+#include <gtest/gtest.h>
+
+#include "src/eq/compiler.h"
+#include "src/eq/coordinator.h"
+#include "src/eq/grounder.h"
+#include "src/eq/safety.h"
+#include "src/sql/parser.h"
+#include "src/workload/travel_data.h"
+#include "tests/test_util.h"
+
+namespace youtopia {
+namespace {
+
+using eq::Atom;
+using eq::Compiler;
+using eq::Coordinator;
+using eq::EntangledQuerySpec;
+using eq::EvalItem;
+using eq::Grounder;
+using eq::Grounding;
+using eq::OutcomeKind;
+using eq::TemplatesUnify;
+using eq::Term;
+using testing::EngineFixture;
+
+/// Parses an entangled SQL statement and compiles it to IR.
+StatusOr<EntangledQuerySpec> CompileSql(const std::string& text,
+                                        const Database& db,
+                                        const sql::VarEnv& vars,
+                                        const std::string& label) {
+  YT_ASSIGN_OR_RETURN(sql::ParsedStatement stmt,
+                      sql::Parser::ParseStatement(text));
+  if (stmt.kind != sql::StatementKind::kEntangledSelect) {
+    return Status::InvalidArgument("not an entangled select");
+  }
+  return Compiler::Compile(*stmt.entangled, vars, db, label);
+}
+
+constexpr char kMickeyFlight[] =
+    "SELECT 'Mickey', fno, fdate INTO ANSWER Reservation "
+    "WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA') "
+    "AND ('Minnie', fno, fdate) IN ANSWER Reservation CHOOSE 1";
+
+constexpr char kMinnieFlight[] =
+    "SELECT 'Minnie', fno, fdate INTO ANSWER Reservation "
+    "WHERE fno, fdate IN (SELECT fno, fdate FROM Flights F, Airlines A "
+    " WHERE F.dest='LA' AND F.fno=A.fno AND A.airline='United') "
+    "AND ('Mickey', fno, fdate) IN ANSWER Reservation CHOOSE 1";
+
+constexpr char kDonaldFlight[] =
+    "SELECT 'Donald', fno, fdate INTO ANSWER Reservation "
+    "WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA') "
+    "AND ('Daffy', fno, fdate) IN ANSWER Reservation CHOOSE 1";
+
+class Figure1Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(workload::TravelData::BuildFigure1Tables(fix_.tm.get()));
+  }
+  EngineFixture fix_;
+};
+
+TEST_F(Figure1Test, CompileMickeyProducesFigure7Representation) {
+  ASSERT_OK_AND_ASSIGN(EntangledQuerySpec q,
+                       CompileSql(kMickeyFlight, fix_.db, {}, "Mickey"));
+  ASSERT_EQ(q.head.size(), 1u);
+  EXPECT_EQ(q.head[0].relation, "Reservation");
+  ASSERT_EQ(q.head[0].terms.size(), 3u);
+  EXPECT_FALSE(q.head[0].terms[0].is_var);
+  EXPECT_EQ(q.head[0].terms[0].constant, Value::Str("Mickey"));
+  EXPECT_TRUE(q.head[0].terms[1].is_var);
+  EXPECT_TRUE(q.head[0].terms[2].is_var);
+  ASSERT_EQ(q.post.size(), 1u);
+  EXPECT_EQ(q.post[0].terms[0].constant, Value::Str("Minnie"));
+  ASSERT_EQ(q.body.size(), 1u);
+  EXPECT_EQ(q.body[0].relation, "Flights");
+  // dest position must be the constant 'LA'.
+  EXPECT_FALSE(q.body[0].terms[2].is_var);
+  EXPECT_EQ(q.body[0].terms[2].constant, Value::Str("LA"));
+}
+
+TEST_F(Figure1Test, CompileMinnieJoinsAirlines) {
+  ASSERT_OK_AND_ASSIGN(EntangledQuerySpec q,
+                       CompileSql(kMinnieFlight, fix_.db, {}, "Minnie"));
+  ASSERT_EQ(q.body.size(), 2u);
+  EXPECT_EQ(q.body[0].relation, "Flights");
+  EXPECT_EQ(q.body[1].relation, "Airlines");
+  // F.fno and A.fno must have been unified into one variable.
+  ASSERT_TRUE(q.body[0].terms[0].is_var);
+  ASSERT_TRUE(q.body[1].terms[0].is_var);
+  EXPECT_EQ(q.body[0].terms[0].var, q.body[1].terms[0].var);
+  EXPECT_EQ(q.body[1].terms[1].constant, Value::Str("United"));
+}
+
+TEST_F(Figure1Test, GroundingsMatchFigure7b) {
+  ASSERT_OK_AND_ASSIGN(EntangledQuerySpec mickey,
+                       CompileSql(kMickeyFlight, fix_.db, {}, "Mickey"));
+  ASSERT_OK_AND_ASSIGN(EntangledQuerySpec minnie,
+                       CompileSql(kMinnieFlight, fix_.db, {}, "Minnie"));
+  auto txn = fix_.tm->Begin();
+  ASSERT_OK_AND_ASSIGN(std::vector<Grounding> gm,
+                       Grounder::Ground(mickey, fix_.tm.get(), txn.get()));
+  // Mickey grounds on flights 122, 123, 124 (Figure 7(b) rows 1-3).
+  ASSERT_EQ(gm.size(), 3u);
+  EXPECT_EQ(gm[0].heads[0].second,
+            Row({Value::Str("Mickey"), Value::Int(122), Value::Int(503)}));
+  ASSERT_OK_AND_ASSIGN(std::vector<Grounding> gn,
+                       Grounder::Ground(minnie, fix_.tm.get(), txn.get()));
+  // Minnie only grounds on the United flights 122, 123 (rows 4-5).
+  ASSERT_EQ(gn.size(), 2u);
+  EXPECT_EQ(gn[0].heads[0].second,
+            Row({Value::Str("Minnie"), Value::Int(122), Value::Int(503)}));
+  ASSERT_OK(fix_.tm->Commit(txn.get()));
+}
+
+TEST_F(Figure1Test, CoordinatorAnswersMickeyAndMinnieConsistently) {
+  ASSERT_OK_AND_ASSIGN(EntangledQuerySpec mickey,
+                       CompileSql(kMickeyFlight, fix_.db, {}, "Mickey"));
+  ASSERT_OK_AND_ASSIGN(EntangledQuerySpec minnie,
+                       CompileSql(kMinnieFlight, fix_.db, {}, "Minnie"));
+  auto txn = fix_.tm->Begin();
+  ASSERT_OK_AND_ASSIGN(std::vector<Grounding> gm,
+                       Grounder::Ground(mickey, fix_.tm.get(), txn.get()));
+  ASSERT_OK_AND_ASSIGN(std::vector<Grounding> gn,
+                       Grounder::Ground(minnie, fix_.tm.get(), txn.get()));
+  std::vector<EvalItem> items(2);
+  items[0].spec = &mickey;
+  items[0].txn = 1;
+  items[0].groundings = gm;
+  items[1].spec = &minnie;
+  items[1].txn = 2;
+  items[1].groundings = gn;
+  eq::EvalResult result = Coordinator::Evaluate(items, 1);
+
+  ASSERT_EQ(result.outcomes[0].kind, OutcomeKind::kAnswered);
+  ASSERT_EQ(result.outcomes[1].kind, OutcomeKind::kAnswered);
+  // Both answers name the same flight and date (mutual constraint
+  // satisfaction, Figure 1(b)); flight 124 (USAir) is never chosen.
+  const Row& am = result.outcomes[0].answers[0].second;
+  const Row& an = result.outcomes[1].answers[0].second;
+  EXPECT_EQ(am[1], an[1]);
+  EXPECT_EQ(am[2], an[2]);
+  EXPECT_TRUE(am[1] == Value::Int(122) || am[1] == Value::Int(123));
+  // One entanglement operation covering both queries.
+  ASSERT_EQ(result.operations.size(), 1u);
+  EXPECT_EQ(result.operations[0].second.size(), 2u);
+  EXPECT_NE(result.outcomes[0].eid, 0u);
+  EXPECT_EQ(result.outcomes[0].eid, result.outcomes[1].eid);
+  // The answer relation contains exactly the two chosen tuples.
+  ASSERT_EQ(result.answer_relations.count("Reservation"), 1u);
+  EXPECT_EQ(result.answer_relations.at("Reservation").size(), 2u);
+  ASSERT_OK(fix_.tm->Commit(txn.get()));
+}
+
+TEST_F(Figure1Test, DonaldWithoutDaffyIsNoPartner) {
+  ASSERT_OK_AND_ASSIGN(EntangledQuerySpec mickey,
+                       CompileSql(kMickeyFlight, fix_.db, {}, "Mickey"));
+  ASSERT_OK_AND_ASSIGN(EntangledQuerySpec minnie,
+                       CompileSql(kMinnieFlight, fix_.db, {}, "Minnie"));
+  ASSERT_OK_AND_ASSIGN(EntangledQuerySpec donald,
+                       CompileSql(kDonaldFlight, fix_.db, {}, "Donald"));
+  auto txn = fix_.tm->Begin();
+  std::vector<EvalItem> items(3);
+  items[0].spec = &mickey;
+  items[1].spec = &minnie;
+  items[2].spec = &donald;
+  for (auto& item : items) {
+    ASSERT_OK_AND_ASSIGN(item.groundings,
+                         Grounder::Ground(*item.spec, fix_.tm.get(),
+                                          txn.get()));
+  }
+  eq::EvalResult result = Coordinator::Evaluate(items, 1);
+  EXPECT_EQ(result.outcomes[0].kind, OutcomeKind::kAnswered);
+  EXPECT_EQ(result.outcomes[1].kind, OutcomeKind::kAnswered);
+  // Appendix B: no combined query can be formulated for Donald, so his
+  // query *fails* (he must wait) rather than succeeding with empty answer.
+  EXPECT_EQ(result.outcomes[2].kind, OutcomeKind::kNoPartner);
+  ASSERT_OK(fix_.tm->Commit(txn.get()));
+}
+
+TEST_F(Figure1Test, FormableButUnmatchedGroundingsGiveEmptySuccess) {
+  // Mickey wants Paris, Minnie wants LA: templates unify (same relation,
+  // same partner structure) but no coordinating set exists on this data.
+  ASSERT_OK_AND_ASSIGN(
+      EntangledQuerySpec mickey,
+      CompileSql("SELECT 'Mickey', fno, fdate INTO ANSWER Reservation "
+                 "WHERE fno, fdate IN (SELECT fno, fdate FROM Flights "
+                 "WHERE dest='Paris') "
+                 "AND ('Minnie', fno, fdate) IN ANSWER Reservation CHOOSE 1",
+                 fix_.db, {}, "Mickey"));
+  ASSERT_OK_AND_ASSIGN(EntangledQuerySpec minnie,
+                       CompileSql(kMinnieFlight, fix_.db, {}, "Minnie"));
+  auto txn = fix_.tm->Begin();
+  std::vector<EvalItem> items(2);
+  items[0].spec = &mickey;
+  items[1].spec = &minnie;
+  for (auto& item : items) {
+    ASSERT_OK_AND_ASSIGN(item.groundings,
+                         Grounder::Ground(*item.spec, fix_.tm.get(),
+                                          txn.get()));
+  }
+  eq::EvalResult result = Coordinator::Evaluate(items, 1);
+  EXPECT_EQ(result.outcomes[0].kind, OutcomeKind::kEmptySuccess);
+  EXPECT_EQ(result.outcomes[1].kind, OutcomeKind::kEmptySuccess);
+  EXPECT_TRUE(result.operations.empty());
+  ASSERT_OK(fix_.tm->Commit(txn.get()));
+}
+
+TEST(TemplateUnifyTest, ConstantsMustAgree) {
+  Atom a{"R", {Term::Const(Value::Str("x")), Term::Var("v")}};
+  Atom b{"R", {Term::Const(Value::Str("x")), Term::Const(Value::Int(1))}};
+  Atom c{"R", {Term::Const(Value::Str("y")), Term::Var("w")}};
+  Atom d{"S", {Term::Const(Value::Str("x")), Term::Var("v")}};
+  Atom e{"R", {Term::Const(Value::Str("x"))}};
+  EXPECT_TRUE(TemplatesUnify(a, b));
+  EXPECT_FALSE(TemplatesUnify(a, c));  // 'x' vs 'y'
+  EXPECT_FALSE(TemplatesUnify(a, d));  // different relation
+  EXPECT_FALSE(TemplatesUnify(a, e));  // different arity
+}
+
+TEST(FormableTest, PairMutualAndLonerDetected) {
+  EntangledQuerySpec qa, qb, loner;
+  qa.label = "a";
+  qa.head = {{"R", {Term::Const(Value::Str("a"))}}};
+  qa.post = {{"R", {Term::Const(Value::Str("b"))}}};
+  qb.label = "b";
+  qb.head = {{"R", {Term::Const(Value::Str("b"))}}};
+  qb.post = {{"R", {Term::Const(Value::Str("a"))}}};
+  loner.label = "loner";
+  loner.head = {{"R", {Term::Const(Value::Str("c"))}}};
+  loner.post = {{"R", {Term::Const(Value::Str("zz"))}}};
+  auto formable = eq::ComputeFormable({&qa, &qb, &loner});
+  EXPECT_TRUE(formable[0]);
+  EXPECT_TRUE(formable[1]);
+  EXPECT_FALSE(formable[2]);
+}
+
+TEST(FormableTest, ChainCollapsesWhenTailMissing) {
+  // a needs b, b needs c, c needs nobody-present: greatest fixpoint kills
+  // the whole chain except c's trivially-formable tail... c itself needs zz.
+  EntangledQuerySpec qa, qb, qc;
+  qa.head = {{"R", {Term::Const(Value::Str("a"))}}};
+  qa.post = {{"R", {Term::Const(Value::Str("b"))}}};
+  qb.head = {{"R", {Term::Const(Value::Str("b"))}}};
+  qb.post = {{"R", {Term::Const(Value::Str("c"))}}};
+  qc.head = {{"R", {Term::Const(Value::Str("c"))}}};
+  qc.post = {{"R", {Term::Const(Value::Str("zz"))}}};
+  auto formable = eq::ComputeFormable({&qa, &qb, &qc});
+  EXPECT_FALSE(formable[0]);
+  EXPECT_FALSE(formable[1]);
+  EXPECT_FALSE(formable[2]);
+}
+
+TEST(CoordinatorTest, CyclicRingEntanglesAsOneOperation) {
+  // Three queries in a ring: q_i's post is satisfied by q_{i+1}'s head.
+  std::vector<EntangledQuerySpec> specs(3);
+  std::vector<EvalItem> items(3);
+  for (int i = 0; i < 3; ++i) {
+    specs[i].label = "ring" + std::to_string(i);
+    specs[i].head = {
+        {"C", {Term::Const(Value::Int(i))}}};
+    specs[i].post = {
+        {"C", {Term::Const(Value::Int((i + 1) % 3))}}};
+    Grounding g;
+    g.heads = {{"C", Row({Value::Int(i)})}};
+    g.posts = {{"C", Row({Value::Int((i + 1) % 3)})}};
+    items[i].spec = &specs[i];
+    items[i].txn = i + 1;
+    items[i].groundings = {g};
+  }
+  eq::EvalResult result = Coordinator::Evaluate(items, 7);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(result.outcomes[i].kind, OutcomeKind::kAnswered);
+    EXPECT_EQ(result.outcomes[i].eid, 7u);
+  }
+  ASSERT_EQ(result.operations.size(), 1u);
+  EXPECT_EQ(result.operations[0].second.size(), 3u);
+}
+
+TEST(CoordinatorTest, MaximizesAnsweredQueries) {
+  // Two disjoint pairs plus one loner: both pairs answered, loner not.
+  std::vector<EntangledQuerySpec> specs(5);
+  std::vector<EvalItem> items(5);
+  auto mk = [&](int i, const std::string& me, const std::string& want) {
+    specs[i].label = me;
+    specs[i].head = {{"R", {Term::Const(Value::Str(me))}}};
+    specs[i].post = {{"R", {Term::Const(Value::Str(want))}}};
+    Grounding g;
+    g.heads = {{"R", Row({Value::Str(me)})}};
+    g.posts = {{"R", Row({Value::Str(want)})}};
+    items[i].spec = &specs[i];
+    items[i].txn = i + 1;
+    items[i].groundings = {g};
+  };
+  mk(0, "a", "b");
+  mk(1, "b", "a");
+  mk(2, "c", "d");
+  mk(3, "d", "c");
+  mk(4, "e", "nobody");
+  eq::EvalResult result = Coordinator::Evaluate(items, 1);
+  EXPECT_EQ(result.outcomes[0].kind, OutcomeKind::kAnswered);
+  EXPECT_EQ(result.outcomes[1].kind, OutcomeKind::kAnswered);
+  EXPECT_EQ(result.outcomes[2].kind, OutcomeKind::kAnswered);
+  EXPECT_EQ(result.outcomes[3].kind, OutcomeKind::kAnswered);
+  EXPECT_EQ(result.outcomes[4].kind, OutcomeKind::kNoPartner);
+  EXPECT_EQ(result.operations.size(), 2u);
+  // Distinct entanglement ids per operation.
+  EXPECT_NE(result.outcomes[0].eid, result.outcomes[2].eid);
+}
+
+TEST(CoordinatorTest, EmptyBodyQueriesCoordinate) {
+  // Pure-coordination queries (no database body), as used by the Fig 6(c)
+  // structures.
+  EntangledQuerySpec qa, qb;
+  qa.head = {{"Coord", {Term::Const(Value::Str("h")),
+                        Term::Const(Value::Str("s"))}}};
+  qa.post = {{"Coord", {Term::Const(Value::Str("s")),
+                        Term::Const(Value::Str("h"))}}};
+  qb.head = qa.post;
+  qb.post = qa.head;
+  EngineFixture fix;
+  auto txn = fix.tm->Begin();
+  std::vector<EvalItem> items(2);
+  items[0].spec = &qa;
+  items[1].spec = &qb;
+  for (auto& item : items) {
+    ASSERT_OK_AND_ASSIGN(
+        item.groundings,
+        Grounder::Ground(*item.spec, fix.tm.get(), txn.get()));
+    EXPECT_EQ(item.groundings.size(), 1u);
+  }
+  eq::EvalResult result = Coordinator::Evaluate(items, 1);
+  EXPECT_EQ(result.outcomes[0].kind, OutcomeKind::kAnswered);
+  EXPECT_EQ(result.outcomes[1].kind, OutcomeKind::kAnswered);
+  ASSERT_OK(fix.tm->Commit(txn.get()));
+}
+
+TEST(IrTest, RangeRestrictionEnforced) {
+  EntangledQuerySpec q;
+  q.label = "bad";
+  q.head = {{"R", {Term::Var("x")}}};
+  // x never appears in the body.
+  EXPECT_FALSE(q.Validate().ok());
+  q.body = {{"T", {Term::Var("x")}}};
+  EXPECT_OK(q.Validate());
+  q.post = {{"R", {Term::Var("y")}}};
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(IrTest, ChooseOtherThanOneUnsupported) {
+  EntangledQuerySpec q;
+  q.head = {{"R", {Term::Const(Value::Int(1))}}};
+  q.choose = 2;
+  EXPECT_EQ(q.Validate().code(), StatusCode::kUnimplemented);
+}
+
+TEST(GrounderTest, ResidualPredicatesFilterValuations) {
+  EngineFixture fix;
+  ASSERT_OK_AND_ASSIGN(Table * t,
+                       fix.tm->CreateTable("Nums", Schema({{"n",
+                                                            TypeId::kInt64}})));
+  for (int i = 1; i <= 10; ++i) {
+    ASSERT_OK(t->Insert(Row({Value::Int(i)})).status());
+  }
+  EntangledQuerySpec q;
+  q.label = "preds";
+  q.head = {{"R", {Term::Var("x")}}};
+  q.body = {{"Nums", {Term::Var("x")}}};
+  q.preds = {{Term::Var("x"), ">", Term::Const(Value::Int(3))},
+             {Term::Var("x"), "<=", Term::Const(Value::Int(6))}};
+  auto txn = fix.tm->Begin();
+  ASSERT_OK_AND_ASSIGN(std::vector<Grounding> g,
+                       Grounder::Ground(q, fix.tm.get(), txn.get()));
+  ASSERT_EQ(g.size(), 3u);  // 4, 5, 6
+  EXPECT_EQ(g[0].heads[0].second, Row({Value::Int(4)}));
+  EXPECT_EQ(g[2].heads[0].second, Row({Value::Int(6)}));
+  ASSERT_OK(fix.tm->Commit(txn.get()));
+}
+
+TEST(GrounderTest, UnsatisfiableBodyGroundsEmpty) {
+  EngineFixture fix;
+  EntangledQuerySpec q;
+  q.head = {{"R", {Term::Const(Value::Int(1))}}};
+  q.body_unsatisfiable = true;
+  auto txn = fix.tm->Begin();
+  ASSERT_OK_AND_ASSIGN(std::vector<Grounding> g,
+                       Grounder::Ground(q, fix.tm.get(), txn.get()));
+  EXPECT_TRUE(g.empty());
+  ASSERT_OK(fix.tm->Commit(txn.get()));
+}
+
+TEST(CompilerTest, HostVariablesSubstituteAsConstants) {
+  EngineFixture fix;
+  ASSERT_OK(workload::TravelData::BuildFigure1Tables(fix.tm.get()));
+  sql::VarEnv vars;
+  vars["arrivalday"] = Value::Int(503);
+  ASSERT_OK_AND_ASSIGN(
+      EntangledQuerySpec q,
+      CompileSql("SELECT 'Mickey', hid, @ArrivalDay INTO ANSWER HotelRes "
+                 "WHERE hid IN (SELECT hid FROM Hotels WHERE location='LA') "
+                 "AND ('Minnie', hid, @ArrivalDay) IN ANSWER HotelRes "
+                 "CHOOSE 1",
+                 fix.db, vars, "hotel"));
+  ASSERT_EQ(q.head[0].terms.size(), 3u);
+  EXPECT_EQ(q.head[0].terms[2].constant, Value::Int(503));
+  EXPECT_EQ(q.post[0].terms[2].constant, Value::Int(503));
+}
+
+TEST(CompilerTest, AnswerBindingsRecorded) {
+  EngineFixture fix;
+  ASSERT_OK(workload::TravelData::BuildFigure1Tables(fix.tm.get()));
+  ASSERT_OK_AND_ASSIGN(
+      EntangledQuerySpec q,
+      CompileSql("SELECT 'Mickey', fno, fdate AS @ArrivalDay "
+                 "INTO ANSWER FlightRes "
+                 "WHERE fno, fdate IN (SELECT fno, fdate FROM Flights "
+                 "WHERE dest='LA') "
+                 "AND ('Minnie', fno, fdate) IN ANSWER FlightRes CHOOSE 1",
+                 fix.db, {}, "flight"));
+  ASSERT_EQ(q.answer_bindings.size(), 1u);
+  EXPECT_EQ(q.answer_bindings[0].term_index, 2u);
+  EXPECT_EQ(q.answer_bindings[0].var, "arrivalday");
+}
+
+TEST(CompilerTest, RejectsOrInWhere) {
+  EngineFixture fix;
+  ASSERT_OK(workload::TravelData::BuildFigure1Tables(fix.tm.get()));
+  auto result =
+      CompileSql("SELECT 'M', fno INTO ANSWER R "
+                 "WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA') "
+                 "OR ('N', fno) IN ANSWER R CHOOSE 1",
+                 fix.db, {}, "bad");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+
+#include "src/lock/lock_manager.h"
+#include "tests/test_util.h"
+
+namespace youtopia {
+namespace {
+
+constexpr int64_t kNoWait = 0;
+constexpr int64_t kShortWait = 50'000;   // 50 ms
+constexpr int64_t kLongWait = 2'000'000;  // 2 s
+
+TEST(LockModeTest, CompatibilityMatrix) {
+  using enum LockMode;
+  // Classic matrix.
+  EXPECT_TRUE(Compatible(kIS, kIS));
+  EXPECT_TRUE(Compatible(kIS, kIX));
+  EXPECT_TRUE(Compatible(kIS, kS));
+  EXPECT_FALSE(Compatible(kIS, kX));
+  EXPECT_TRUE(Compatible(kIX, kIX));
+  EXPECT_FALSE(Compatible(kIX, kS));
+  EXPECT_FALSE(Compatible(kIX, kX));
+  EXPECT_TRUE(Compatible(kS, kS));
+  EXPECT_FALSE(Compatible(kS, kX));
+  EXPECT_FALSE(Compatible(kX, kX));
+}
+
+TEST(LockModeTest, CoversAndJoin) {
+  using enum LockMode;
+  EXPECT_TRUE(Covers(kX, kS));
+  EXPECT_TRUE(Covers(kX, kIX));
+  EXPECT_TRUE(Covers(kS, kIS));
+  EXPECT_FALSE(Covers(kS, kIX));
+  EXPECT_FALSE(Covers(kIS, kS));
+  EXPECT_EQ(Join(kS, kS), kS);
+  EXPECT_EQ(Join(kIS, kIX), kIX);
+  EXPECT_EQ(Join(kS, kIX), kX);  // SIX unsupported -> X
+  EXPECT_EQ(Join(kS, kX), kX);
+}
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  LockKey key = LockKey::Table(1);
+  ASSERT_OK(lm.Acquire(1, key, LockMode::kS, kNoWait));
+  ASSERT_OK(lm.Acquire(2, key, LockMode::kS, kNoWait));
+  EXPECT_TRUE(lm.Holds(1, key, LockMode::kS));
+  EXPECT_TRUE(lm.Holds(2, key, LockMode::kS));
+  lm.ReleaseAll(1);
+  EXPECT_FALSE(lm.Holds(1, key, LockMode::kS));
+  EXPECT_TRUE(lm.Holds(2, key, LockMode::kS));
+}
+
+TEST(LockManagerTest, ExclusiveBlocksUntilRelease) {
+  LockManager lm;
+  LockKey key = LockKey::RowOf(1, 5);
+  ASSERT_OK(lm.Acquire(1, key, LockMode::kX, kNoWait));
+  auto fut = std::async(std::launch::async, [&] {
+    return lm.Acquire(2, key, LockMode::kX, kLongWait);
+  });
+  EXPECT_EQ(fut.wait_for(std::chrono::milliseconds(30)),
+            std::future_status::timeout);
+  lm.ReleaseAll(1);
+  EXPECT_OK(fut.get());
+  EXPECT_TRUE(lm.Holds(2, key, LockMode::kX));
+}
+
+TEST(LockManagerTest, WaitTimesOut) {
+  LockManager lm;
+  LockKey key = LockKey::Table(1);
+  ASSERT_OK(lm.Acquire(1, key, LockMode::kX, kNoWait));
+  Status s = lm.Acquire(2, key, LockMode::kS, kShortWait);
+  EXPECT_EQ(s.code(), StatusCode::kTimedOut);
+  EXPECT_EQ(lm.stats().timeouts.load(), 1u);
+  // The failed request left no residue.
+  lm.ReleaseAll(1);
+  EXPECT_OK(lm.Acquire(3, key, LockMode::kX, kNoWait));
+}
+
+TEST(LockManagerTest, ReentrantAndUpgrade) {
+  LockManager lm;
+  LockKey key = LockKey::Table(1);
+  ASSERT_OK(lm.Acquire(1, key, LockMode::kS, kNoWait));
+  ASSERT_OK(lm.Acquire(1, key, LockMode::kS, kNoWait));  // re-entrant
+  ASSERT_OK(lm.Acquire(1, key, LockMode::kX, kNoWait));  // upgrade, no other
+  EXPECT_TRUE(lm.Holds(1, key, LockMode::kX));
+  EXPECT_EQ(lm.HeldCount(1), 1u);
+}
+
+TEST(LockManagerTest, UpgradeWaitsForOtherReaders) {
+  LockManager lm;
+  LockKey key = LockKey::Table(1);
+  ASSERT_OK(lm.Acquire(1, key, LockMode::kS, kNoWait));
+  ASSERT_OK(lm.Acquire(2, key, LockMode::kS, kNoWait));
+  auto fut = std::async(std::launch::async, [&] {
+    return lm.Acquire(1, key, LockMode::kX, kLongWait);
+  });
+  EXPECT_EQ(fut.wait_for(std::chrono::milliseconds(30)),
+            std::future_status::timeout);
+  lm.ReleaseAll(2);
+  EXPECT_OK(fut.get());
+  EXPECT_TRUE(lm.Holds(1, key, LockMode::kX));
+}
+
+TEST(LockManagerTest, FifoPreventsWriterStarvation) {
+  LockManager lm;
+  LockKey key = LockKey::Table(1);
+  ASSERT_OK(lm.Acquire(1, key, LockMode::kS, kNoWait));
+  // Writer queues first...
+  auto writer = std::async(std::launch::async, [&] {
+    return lm.Acquire(2, key, LockMode::kX, kLongWait);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // ...then a late reader must NOT jump ahead of the waiting writer.
+  auto reader = std::async(std::launch::async, [&] {
+    return lm.Acquire(3, key, LockMode::kS, kLongWait);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(lm.Holds(3, key, LockMode::kS));
+  lm.ReleaseAll(1);
+  EXPECT_OK(writer.get());
+  lm.ReleaseAll(2);
+  EXPECT_OK(reader.get());
+  lm.ReleaseAll(3);
+}
+
+TEST(LockManagerTest, DeadlockDetectedAndVictimAborted) {
+  LockManager lm;
+  LockKey k1 = LockKey::Table(1);
+  LockKey k2 = LockKey::Table(2);
+  ASSERT_OK(lm.Acquire(1, k1, LockMode::kX, kNoWait));
+  ASSERT_OK(lm.Acquire(2, k2, LockMode::kX, kNoWait));
+  auto fut = std::async(std::launch::async, [&] {
+    return lm.Acquire(1, k2, LockMode::kX, kLongWait);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // Txn 2 closes the cycle: someone must die with kAborted.
+  Status s2 = lm.Acquire(2, k1, LockMode::kX, kLongWait);
+  Status s1 = fut.get();
+  EXPECT_TRUE(s1.code() == StatusCode::kAborted ||
+              s2.code() == StatusCode::kAborted)
+      << "s1=" << s1.ToString() << " s2=" << s2.ToString();
+  EXPECT_GE(lm.stats().deadlocks.load(), 1u);
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, UpgradeDeadlockBetweenTwoUpgraders) {
+  // Two S holders both upgrade to X: a classic upgrade deadlock. The victim
+  // gets kAborted and — like a real transaction abort — releases all its
+  // locks, after which the survivor's upgrade is granted.
+  LockManager lm;
+  LockKey key = LockKey::Table(1);
+  ASSERT_OK(lm.Acquire(1, key, LockMode::kS, kNoWait));
+  ASSERT_OK(lm.Acquire(2, key, LockMode::kS, kNoWait));
+  auto upgrade = [&](TxnId t) {
+    Status s = lm.Acquire(t, key, LockMode::kX, kLongWait);
+    if (!s.ok()) lm.ReleaseAll(t);  // transaction abort path
+    return s;
+  };
+  auto fut = std::async(std::launch::async, [&] { return upgrade(1); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  Status s2 = upgrade(2);
+  Status s1 = fut.get();
+  // Exactly one upgrader dies, the other ends up holding X.
+  ASSERT_TRUE(s1.ok() != s2.ok())
+      << "s1=" << s1.ToString() << " s2=" << s2.ToString();
+  TxnId winner = s1.ok() ? 1 : 2;
+  EXPECT_TRUE(lm.Holds(winner, key, LockMode::kX));
+  EXPECT_GE(lm.stats().deadlocks.load(), 1u);
+  lm.ReleaseAll(winner);
+}
+
+TEST(LockManagerTest, ReleaseSharedKeepsExclusive) {
+  LockManager lm;
+  LockKey t1 = LockKey::Table(1);
+  LockKey t2 = LockKey::Table(2);
+  ASSERT_OK(lm.Acquire(1, t1, LockMode::kS, kNoWait));
+  ASSERT_OK(lm.Acquire(1, t2, LockMode::kX, kNoWait));
+  lm.ReleaseSharedLocks(1);
+  EXPECT_FALSE(lm.Holds(1, t1, LockMode::kS));
+  EXPECT_TRUE(lm.Holds(1, t2, LockMode::kX));
+}
+
+TEST(LockManagerTest, IntentionLocksAllowRowConcurrency) {
+  LockManager lm;
+  LockKey table = LockKey::Table(1);
+  // Two writers on different rows coexist under IX.
+  ASSERT_OK(lm.Acquire(1, table, LockMode::kIX, kNoWait));
+  ASSERT_OK(lm.Acquire(2, table, LockMode::kIX, kNoWait));
+  ASSERT_OK(lm.Acquire(1, LockKey::RowOf(1, 10), LockMode::kX, kNoWait));
+  ASSERT_OK(lm.Acquire(2, LockKey::RowOf(1, 11), LockMode::kX, kNoWait));
+  // A table scanner (S) must wait for the IX holders.
+  Status s = lm.Acquire(3, table, LockMode::kS, kShortWait);
+  EXPECT_EQ(s.code(), StatusCode::kTimedOut);
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+  EXPECT_OK(lm.Acquire(3, table, LockMode::kS, kNoWait));
+}
+
+TEST(LockManagerTest, ManyConcurrentDisjointAcquisitions) {
+  LockManager lm;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TxnId txn = static_cast<TxnId>(t * kPerThread + i + 1);
+        LockKey key = LockKey::RowOf(1, txn);
+        if (!lm.Acquire(txn, key, LockMode::kX, kLongWait).ok()) {
+          failures.fetch_add(1);
+        }
+        lm.ReleaseAll(txn);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(lm.stats().acquisitions.load(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace youtopia

@@ -1,0 +1,52 @@
+// Regression test for pair stranding: with per-pair trip nonces in the
+// coordination tuples, a user who appears in several same-town friend pairs
+// (or whose batch splits across runs) can only ever entangle with the
+// intended partner, so no transaction is left waiting for a partner that
+// already committed elsewhere. Without the nonce this timed out roughly one
+// trial in ten.
+
+#include <gtest/gtest.h>
+
+#include "src/etxn/engine.h"
+#include "src/workload/workloads.h"
+#include "tests/test_util.h"
+
+namespace youtopia {
+namespace {
+
+TEST(PairStrandingRegressionTest, NoTimeoutsAcrossBatchedRuns) {
+  for (int trial = 0; trial < 5; ++trial) {
+    Database db;
+    LockManager locks;
+    TransactionManager tm(&db, &locks, nullptr);
+    workload::TravelDataOptions dopts;
+    dopts.num_users = 600;
+    dopts.edges_per_node = 4;
+    dopts.num_cities = 8;
+    ASSERT_OK_AND_ASSIGN(workload::TravelData data,
+                         workload::TravelData::Build(&tm, dopts));
+    etxn::EngineOptions eopts;
+    eopts.auto_scheduler = true;
+    eopts.num_connections = 10;
+    eopts.statement_latency_micros = 50;
+    eopts.run_frequency = 50;
+    eopts.scheduler_poll_micros = 1000;
+    eopts.default_timeout_micros = 10'000'000;
+    etxn::EntangledTransactionEngine engine(&tm, eopts);
+    workload::WorkloadGenerator gen(&data, 42 + trial);
+    ASSERT_OK_AND_ASSIGN(
+        auto specs,
+        gen.Generate(workload::WorkloadType::kEntangledQ, 200, 10'000'000));
+    std::vector<std::shared_ptr<etxn::TxnHandle>> handles;
+    for (auto& s : specs) handles.push_back(engine.Submit(std::move(s)));
+    engine.WaitAll(handles);
+    for (size_t i = 0; i < handles.size(); ++i) {
+      Status s = handles[i]->Wait();
+      EXPECT_TRUE(s.ok()) << "trial " << trial << " handle " << i << ": "
+                          << s.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace youtopia

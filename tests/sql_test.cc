@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include "src/sql/lexer.h"
+#include "src/sql/parser.h"
+#include "src/sql/session.h"
+#include "tests/test_util.h"
+
+namespace youtopia {
+namespace {
+
+using sql::Lex;
+using sql::ParsedStatement;
+using sql::Parser;
+using sql::Session;
+using sql::StatementKind;
+using sql::Token;
+using sql::TokenKind;
+using testing::EngineFixture;
+
+TEST(LexerTest, TokenKinds) {
+  ASSERT_OK_AND_ASSIGN(std::vector<Token> toks,
+                       Lex("SELECT 'a''b', 42, 3.5, @v FROM t -- comment\n"
+                           "WHERE x <= 2 AND y <> 3"));
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(toks[0].text, "SELECT");
+  EXPECT_EQ(toks[1].kind, TokenKind::kString);
+  EXPECT_EQ(toks[1].literal, Value::Str("a'b"));
+  EXPECT_EQ(toks[3].literal, Value::Int(42));
+  EXPECT_EQ(toks[5].literal, Value::Double(3.5));
+  EXPECT_EQ(toks[7].kind, TokenKind::kHostVar);
+  EXPECT_EQ(toks[7].text, "v");
+  // Multi-char operators survive.
+  bool saw_le = false, saw_ne = false;
+  for (const Token& t : toks) {
+    if (t.kind == TokenKind::kSymbol && t.text == "<=") saw_le = true;
+    if (t.kind == TokenKind::kSymbol && t.text == "<>") saw_ne = true;
+  }
+  EXPECT_TRUE(saw_le);
+  EXPECT_TRUE(saw_ne);
+  EXPECT_EQ(toks.back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Lex("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Lex("SELECT @ FROM t").ok());
+  EXPECT_FALSE(Lex("SELECT a ? b").ok());
+}
+
+TEST(ParserTest, SelectWithJoinAliasesAndLimit) {
+  ASSERT_OK_AND_ASSIGN(
+      ParsedStatement s,
+      Parser::ParseStatement(
+          "SELECT u1.uid, u2.hometown AS town FROM User u1, User AS u2 "
+          "WHERE u1.uid = u2.uid AND u1.uid > 3 LIMIT 5"));
+  ASSERT_EQ(s.kind, StatementKind::kSelect);
+  EXPECT_EQ(s.select->items.size(), 2u);
+  EXPECT_EQ(s.select->items[1].alias, "town");
+  ASSERT_EQ(s.select->from.size(), 2u);
+  EXPECT_EQ(s.select->from[0].alias, "u1");
+  EXPECT_EQ(s.select->from[1].alias, "u2");
+  EXPECT_EQ(s.select->limit, 5);
+}
+
+TEST(ParserTest, BeginWithTimeoutUnits) {
+  ASSERT_OK_AND_ASSIGN(ParsedStatement d,
+                       Parser::ParseStatement(
+                           "BEGIN TRANSACTION WITH TIMEOUT 2 DAYS"));
+  EXPECT_EQ(d.begin->timeout_micros, int64_t{2} * 86400 * 1000000);
+  ASSERT_OK_AND_ASSIGN(ParsedStatement ms,
+                       Parser::ParseStatement(
+                           "BEGIN TRANSACTION WITH TIMEOUT 250 MILLISECONDS"));
+  EXPECT_EQ(ms.begin->timeout_micros, 250'000);
+  ASSERT_OK_AND_ASSIGN(ParsedStatement plain,
+                       Parser::ParseStatement("BEGIN TRANSACTION"));
+  EXPECT_EQ(plain.begin->timeout_micros, -1);
+  EXPECT_FALSE(
+      Parser::ParseStatement("BEGIN TRANSACTION WITH TIMEOUT 2 FORTNIGHTS")
+          .ok());
+}
+
+TEST(ParserTest, EntangledSelectShapes) {
+  // Parenthesized tuple LHS.
+  ASSERT_OK_AND_ASSIGN(
+      ParsedStatement a,
+      Parser::ParseStatement(
+          "SELECT 'M', fno INTO ANSWER R "
+          "WHERE (fno) IN (SELECT fno FROM F WHERE d='LA') "
+          "AND ('N', fno) IN ANSWER R CHOOSE 1"));
+  EXPECT_EQ(a.kind, StatementKind::kEntangledSelect);
+  EXPECT_EQ(a.entangled->answer_relations,
+            std::vector<std::string>{"R"});
+  EXPECT_EQ(a.entangled->choose, 1);
+  // The paper's bare-list LHS.
+  ASSERT_OK_AND_ASSIGN(
+      ParsedStatement b,
+      Parser::ParseStatement(
+          "SELECT 'M', fno, fdate INTO ANSWER R "
+          "WHERE fno, fdate IN (SELECT fno, fdate FROM F) "
+          "AND ('N', fno, fdate) IN ANSWER R CHOOSE 1"));
+  EXPECT_EQ(b.kind, StatementKind::kEntangledSelect);
+  // CHOOSE is mandatory for entangled selects.
+  EXPECT_FALSE(Parser::ParseStatement(
+                   "SELECT 'M', fno INTO ANSWER R "
+                   "WHERE ('N', fno) IN ANSWER R")
+                   .ok());
+}
+
+TEST(ParserTest, MultipleAnswerRelationsParsed) {
+  ASSERT_OK_AND_ASSIGN(
+      ParsedStatement s,
+      Parser::ParseStatement("SELECT 1 INTO ANSWER A, ANSWER B CHOOSE 1"));
+  EXPECT_EQ(s.entangled->answer_relations.size(), 2u);
+}
+
+TEST(ParserTest, ScriptSplitsOnSemicolons) {
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<ParsedStatement> stmts,
+      Parser::ParseScript("BEGIN TRANSACTION; SELECT 1; COMMIT;"));
+  ASSERT_EQ(stmts.size(), 3u);
+  EXPECT_EQ(stmts[0].kind, StatementKind::kBegin);
+  EXPECT_EQ(stmts[2].kind, StatementKind::kCommit);
+}
+
+TEST(ParserTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(Parser::ParseStatement("SELECT 1 garbage garbage").ok());
+  EXPECT_FALSE(Parser::ParseStatement("INSERT INTO t VALUES").ok());
+  EXPECT_FALSE(Parser::ParseStatement("UPDATE SET x = 1").ok());
+}
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { session_ = std::make_unique<Session>(fix_.tm.get()); }
+  EngineFixture fix_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(SessionTest, CreateInsertSelect) {
+  ASSERT_OK(session_->Execute("CREATE TABLE User (uid INT, hometown VARCHAR)")
+                .status());
+  ASSERT_OK(session_->Execute("INSERT INTO User VALUES (1, 'LA'), (2, 'NY')")
+                .status());
+  ASSERT_OK_AND_ASSIGN(
+      sql::QueryResult r,
+      session_->Execute("SELECT uid FROM User WHERE hometown='LA'"));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], Value::Int(1));
+}
+
+TEST_F(SessionTest, InsertWithColumnListAndDefaults) {
+  ASSERT_OK(session_->Execute("CREATE TABLE T (a INT, b VARCHAR, c INT)")
+                .status());
+  ASSERT_OK(session_->Execute("INSERT INTO T (c, a) VALUES (3, 1)").status());
+  ASSERT_OK_AND_ASSIGN(sql::QueryResult r,
+                       session_->Execute("SELECT a, b, c FROM T"));
+  EXPECT_EQ(r.rows[0][0], Value::Int(1));
+  EXPECT_TRUE(r.rows[0][1].is_null());
+  EXPECT_EQ(r.rows[0][2], Value::Int(3));
+}
+
+TEST_F(SessionTest, HostVariableBindingPaperStyle) {
+  ASSERT_OK(session_->Execute("CREATE TABLE User (uid INT, hometown VARCHAR)")
+                .status());
+  ASSERT_OK(session_->Execute("INSERT INTO User VALUES (36513, 'FAT')")
+                .status());
+  // §D style: bare @vars bind from same-named columns.
+  ASSERT_OK(session_->Execute(
+                    "SELECT @uid, @hometown FROM User WHERE uid=36513")
+                .status());
+  EXPECT_EQ(session_->vars().at("uid"), Value::Int(36513));
+  EXPECT_EQ(session_->vars().at("hometown"), Value::Str("FAT"));
+  // Explicit AS @var.
+  ASSERT_OK(session_->Execute(
+                    "SELECT uid AS @me FROM User WHERE hometown='FAT'")
+                .status());
+  EXPECT_EQ(session_->vars().at("me"), Value::Int(36513));
+  // Missing rows bind NULL.
+  ASSERT_OK(session_->Execute("SELECT @uid FROM User WHERE uid=999").status());
+  EXPECT_TRUE(session_->vars().at("uid").is_null());
+}
+
+TEST_F(SessionTest, SetAndArithmetic) {
+  ASSERT_OK(session_->Execute("SET @ArrivalDay = 503").status());
+  ASSERT_OK(session_->Execute("SET @StayLength = 506 - @ArrivalDay").status());
+  EXPECT_EQ(session_->vars().at("staylength"), Value::Int(3));
+  ASSERT_OK_AND_ASSIGN(sql::QueryResult r,
+                       session_->Execute("SELECT @StayLength * 2 + 1"));
+  EXPECT_EQ(r.rows[0][0], Value::Int(7));
+}
+
+TEST_F(SessionTest, UpdateAndDelete) {
+  ASSERT_OK(session_->Execute("CREATE TABLE T (k INT, v VARCHAR)").status());
+  ASSERT_OK(session_->Execute("INSERT INTO T VALUES (1,'a'),(2,'b'),(3,'c')")
+                .status());
+  ASSERT_OK_AND_ASSIGN(sql::QueryResult u,
+                       session_->Execute("UPDATE T SET v='x' WHERE k >= 2"));
+  EXPECT_EQ(u.affected, 2u);
+  ASSERT_OK_AND_ASSIGN(sql::QueryResult d,
+                       session_->Execute("DELETE FROM T WHERE k = 1"));
+  EXPECT_EQ(d.affected, 1u);
+  ASSERT_OK_AND_ASSIGN(sql::QueryResult r,
+                       session_->Execute("SELECT v FROM T WHERE k=2"));
+  EXPECT_EQ(r.rows[0][0], Value::Str("x"));
+}
+
+TEST_F(SessionTest, TransactionCommitAndRollback) {
+  ASSERT_OK(session_->Execute("CREATE TABLE T (k INT, v VARCHAR)").status());
+  ASSERT_OK(session_->Execute("BEGIN TRANSACTION").status());
+  ASSERT_OK(session_->Execute("INSERT INTO T VALUES (1, 'a')").status());
+  ASSERT_OK(session_->Execute("ROLLBACK").status());
+  EXPECT_EQ(session_->Execute("SELECT k FROM T").value().rows.size(), 0u);
+  ASSERT_OK(session_->Execute("BEGIN TRANSACTION").status());
+  ASSERT_OK(session_->Execute("INSERT INTO T VALUES (2, 'b')").status());
+  ASSERT_OK(session_->Execute("COMMIT").status());
+  EXPECT_EQ(session_->Execute("SELECT k FROM T").value().rows.size(), 1u);
+  EXPECT_FALSE(session_->Execute("COMMIT").ok());  // no open transaction
+}
+
+TEST_F(SessionTest, InSubqueryMembership) {
+  ASSERT_OK(session_->Execute("CREATE TABLE A (x INT)").status());
+  ASSERT_OK(session_->Execute("CREATE TABLE B (y INT)").status());
+  ASSERT_OK(session_->Execute("INSERT INTO A VALUES (1),(2),(3)").status());
+  ASSERT_OK(session_->Execute("INSERT INTO B VALUES (2),(3),(4)").status());
+  ASSERT_OK_AND_ASSIGN(
+      sql::QueryResult r,
+      session_->Execute("SELECT x FROM A WHERE x IN (SELECT y FROM B)"));
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0], Value::Int(2));
+}
+
+TEST_F(SessionTest, ThreeWayJoinWithPushdown) {
+  // The §D Social query shape over a small dataset.
+  ASSERT_OK(session_->Execute("CREATE TABLE User (uid INT, hometown VARCHAR)")
+                .status());
+  ASSERT_OK(session_->Execute("CREATE TABLE Friends (uid1 INT, uid2 INT)")
+                .status());
+  ASSERT_OK(session_->Execute(
+                    "INSERT INTO User VALUES (1,'LA'),(2,'LA'),(3,'NY')")
+                .status());
+  ASSERT_OK(session_->Execute("INSERT INTO Friends VALUES (1,2),(1,3)")
+                .status());
+  ASSERT_OK_AND_ASSIGN(
+      sql::QueryResult r,
+      session_->Execute(
+          "SELECT uid2 FROM Friends, User u1, User u2 "
+          "WHERE Friends.uid1=1 AND Friends.uid2=u2.uid AND u1.uid=1 "
+          "AND u1.hometown=u2.hometown LIMIT 1"));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], Value::Int(2));  // friend 3 lives in NY
+}
+
+TEST_F(SessionTest, SelectExpressionWithoutFrom) {
+  ASSERT_OK_AND_ASSIGN(sql::QueryResult r,
+                       session_->Execute("SELECT 1 + 2 * 3, 'x'"));
+  EXPECT_EQ(r.rows[0][0], Value::Int(7));
+  EXPECT_EQ(r.rows[0][1], Value::Str("x"));
+}
+
+TEST_F(SessionTest, NullComparisonsAreSqlish) {
+  ASSERT_OK(session_->Execute("CREATE TABLE T (k INT, v VARCHAR)").status());
+  ASSERT_OK(session_->Execute("INSERT INTO T VALUES (1, NULL)").status());
+  // NULL = NULL is not true.
+  ASSERT_OK_AND_ASSIGN(sql::QueryResult r,
+                       session_->Execute("SELECT k FROM T WHERE v = NULL"));
+  EXPECT_TRUE(r.rows.empty());
+}
+
+TEST_F(SessionTest, EntangledSelectRejectedOutsideEngine) {
+  auto r = session_->Execute(
+      "SELECT 'M', 1 INTO ANSWER R WHERE ('N', 1) IN ANSWER R CHOOSE 1");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(SessionTest, ErrorsSurfaceCleanly) {
+  EXPECT_FALSE(session_->Execute("SELECT x FROM NoSuchTable").ok());
+  ASSERT_OK(session_->Execute("CREATE TABLE T (k INT)").status());
+  EXPECT_FALSE(session_->Execute("SELECT nope FROM T").ok());
+  EXPECT_FALSE(session_->Execute("INSERT INTO T VALUES (1, 2)").ok());
+}
+
+}  // namespace
+}  // namespace youtopia

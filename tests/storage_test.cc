@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/storage/database.h"
+#include "tests/test_util.h"
+
+namespace youtopia {
+namespace {
+
+Schema UserSchema() {
+  return Schema({{"uid", TypeId::kInt64}, {"hometown", TypeId::kString}});
+}
+
+TEST(TableTest, InsertGetUpdateDelete) {
+  Table t(0, "User", UserSchema());
+  ASSERT_OK_AND_ASSIGN(RowId r1,
+                       t.Insert(Row({Value::Int(1), Value::Str("LA")})));
+  ASSERT_OK_AND_ASSIGN(RowId r2,
+                       t.Insert(Row({Value::Int(2), Value::Str("NY")})));
+  EXPECT_EQ(r1, 1u);
+  EXPECT_EQ(r2, 2u);
+  EXPECT_EQ(t.size(), 2u);
+  ASSERT_OK_AND_ASSIGN(Row row, t.Get(r1));
+  EXPECT_EQ(row[1], Value::Str("LA"));
+  ASSERT_OK(t.Update(r1, Row({Value::Int(1), Value::Str("SF")})));
+  EXPECT_EQ(t.Get(r1).value()[1], Value::Str("SF"));
+  ASSERT_OK(t.Delete(r1));
+  EXPECT_FALSE(t.Get(r1).ok());
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TableTest, ArityAndTypeChecking) {
+  Table t(0, "User", UserSchema());
+  EXPECT_FALSE(t.Insert(Row({Value::Int(1)})).ok());  // arity
+  // Coercible values are accepted...
+  EXPECT_OK(t.Insert(Row({Value::Str("42"), Value::Str("LA")})).status());
+  EXPECT_EQ(t.Get(1).value()[0], Value::Int(42));
+  // ...non-coercible rejected.
+  EXPECT_FALSE(t.Insert(Row({Value::Str("abc"), Value::Str("LA")})).ok());
+}
+
+TEST(TableTest, ScanIsInsertionOrderedAndStoppable) {
+  Table t(0, "User", UserSchema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(t.Insert(Row({Value::Int(i), Value::Str("c")})).status());
+  }
+  std::vector<int64_t> seen;
+  t.Scan([&](RowId, const Row& row) {
+    seen.push_back(row[0].as_int());
+    return seen.size() < 4;
+  });
+  EXPECT_EQ(seen, (std::vector<int64_t>{0, 1, 2, 3}));
+}
+
+TEST(TableTest, InsertWithIdForRecoveryBumpsAllocator) {
+  Table t(0, "User", UserSchema());
+  ASSERT_OK(t.InsertWithId(7, Row({Value::Int(7), Value::Str("LA")})));
+  EXPECT_FALSE(t.InsertWithId(7, Row({Value::Int(8), Value::Str("NY")})).ok());
+  ASSERT_OK_AND_ASSIGN(RowId next,
+                       t.Insert(Row({Value::Int(9), Value::Str("SF")})));
+  EXPECT_EQ(next, 8u);
+}
+
+TEST(TableTest, HashIndexLookupAndMaintenance) {
+  Table t(0, "User", UserSchema());
+  ASSERT_OK(t.CreateIndex({"hometown"}));
+  EXPECT_FALSE(t.CreateIndex({"hometown"}).ok());  // duplicate
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_OK(t.Insert(Row({Value::Int(i),
+                            Value::Str(i % 2 == 0 ? "LA" : "NY")}))
+                  .status());
+  }
+  ASSERT_OK_AND_ASSIGN(size_t col, t.schema().IndexOf("hometown"));
+  ASSERT_OK_AND_ASSIGN(std::vector<RowId> la,
+                       t.IndexLookup({col}, Row({Value::Str("LA")})));
+  EXPECT_EQ(la.size(), 3u);
+  // Update moves the row between buckets.
+  ASSERT_OK(t.Update(la[0], Row({Value::Int(0), Value::Str("NY")})));
+  EXPECT_EQ(t.IndexLookup({col}, Row({Value::Str("LA")})).value().size(), 2u);
+  EXPECT_EQ(t.IndexLookup({col}, Row({Value::Str("NY")})).value().size(), 4u);
+  // Delete removes from the index.
+  ASSERT_OK(t.Delete(la[1]));
+  EXPECT_EQ(t.IndexLookup({col}, Row({Value::Str("LA")})).value().size(), 1u);
+  // Missing index on other columns.
+  EXPECT_FALSE(t.IndexLookup({0}, Row({Value::Int(1)})).ok());
+}
+
+TEST(TableTest, CloneIsDeep) {
+  Table t(0, "User", UserSchema());
+  ASSERT_OK(t.Insert(Row({Value::Int(1), Value::Str("LA")})).status());
+  std::unique_ptr<Table> copy = t.Clone();
+  ASSERT_OK(t.Update(1, Row({Value::Int(1), Value::Str("NY")})));
+  EXPECT_EQ(copy->Get(1).value()[1], Value::Str("LA"));
+}
+
+TEST(DatabaseTest, CreateDropAndStableIds) {
+  Database db;
+  ASSERT_OK_AND_ASSIGN(Table * a, db.CreateTable("A", UserSchema()));
+  ASSERT_OK_AND_ASSIGN(Table * b, db.CreateTable("B", UserSchema()));
+  EXPECT_EQ(a->id(), 0u);
+  EXPECT_EQ(b->id(), 1u);
+  EXPECT_FALSE(db.CreateTable("a", UserSchema()).ok());  // case-insensitive
+  ASSERT_OK(db.DropTable("A"));
+  EXPECT_FALSE(db.GetTable("A").ok());
+  // B keeps its id after A is dropped.
+  EXPECT_EQ(db.GetTable("B").value()->id(), 1u);
+  ASSERT_OK_AND_ASSIGN(Table * c, db.CreateTable("C", UserSchema()));
+  EXPECT_EQ(c->id(), 2u);
+}
+
+TEST(DatabaseTest, ContentEqualsAndClone) {
+  Database db;
+  ASSERT_OK_AND_ASSIGN(Table * t, db.CreateTable("User", UserSchema()));
+  ASSERT_OK(t->Insert(Row({Value::Int(1), Value::Str("LA")})).status());
+  std::unique_ptr<Database> copy = db.Clone();
+  EXPECT_TRUE(db.ContentEquals(*copy));
+  ASSERT_OK(t->Insert(Row({Value::Int(2), Value::Str("NY")})).status());
+  EXPECT_FALSE(db.ContentEquals(*copy));
+}
+
+TEST(DatabaseTest, CheckpointRoundTrip) {
+  Database db;
+  ASSERT_OK_AND_ASSIGN(Table * t, db.CreateTable("User", UserSchema()));
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(t->Insert(Row({Value::Int(i), Value::Str("c" +
+                                                       std::to_string(i))}))
+                  .status());
+  }
+  std::stringstream ss;
+  ASSERT_OK(db.SaveTo(&ss));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> loaded,
+                       Database::LoadFrom(&ss));
+  EXPECT_TRUE(db.ContentEquals(*loaded));
+  // Row ids survive the round trip.
+  EXPECT_EQ(loaded->GetTable("User").value()->Get(17).value()[0],
+            Value::Int(16));
+}
+
+TEST(DatabaseTest, CorruptCheckpointRejected) {
+  Database db;
+  ASSERT_OK(db.CreateTable("User", UserSchema()).status());
+  std::stringstream ss;
+  ASSERT_OK(db.SaveTo(&ss));
+  std::string data = ss.str();
+  data[data.size() / 2] ^= 0x40;  // flip a bit
+  std::stringstream bad(data);
+  auto loaded = Database::LoadFrom(&bad);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CatalogTest, RegisterLookupUnregister) {
+  Catalog c;
+  ASSERT_OK(c.Register("Flights", 3));
+  EXPECT_EQ(c.Lookup("flights").value(), 3u);
+  EXPECT_FALSE(c.Register("FLIGHTS", 4).ok());
+  EXPECT_TRUE(c.Contains("Flights"));
+  ASSERT_OK(c.Unregister("Flights"));
+  EXPECT_FALSE(c.Contains("Flights"));
+  EXPECT_FALSE(c.Unregister("Flights").ok());
+}
+
+}  // namespace
+}  // namespace youtopia

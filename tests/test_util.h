@@ -1,0 +1,46 @@
+#ifndef YOUTOPIA_TESTS_TEST_UTIL_H_
+#define YOUTOPIA_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+
+#include "src/lock/lock_manager.h"
+#include "src/storage/database.h"
+#include "src/txn/transaction_manager.h"
+
+namespace youtopia::testing {
+
+/// In-memory engine stack (no WAL) for unit tests.
+struct EngineFixture {
+  Database db;
+  LockManager locks;
+  std::unique_ptr<TransactionManager> tm;
+
+  explicit EngineFixture(TransactionManager::Options options =
+                             TransactionManager::Options()) {
+    tm = std::make_unique<TransactionManager>(&db, &locks, nullptr, options);
+  }
+};
+
+/// Shorthand for gtest assertions on Status / StatusOr.
+#define ASSERT_OK(expr)                                          \
+  do {                                                           \
+    auto _st = (expr);                                           \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                     \
+  } while (0)
+
+#define EXPECT_OK(expr)                                          \
+  do {                                                           \
+    auto _st = (expr);                                           \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                     \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                          \
+  auto YT_CONCAT_(_sor_, __LINE__) = (expr);                     \
+  ASSERT_TRUE(YT_CONCAT_(_sor_, __LINE__).ok())                  \
+      << YT_CONCAT_(_sor_, __LINE__).status().ToString();        \
+  lhs = std::move(YT_CONCAT_(_sor_, __LINE__)).value()
+
+}  // namespace youtopia::testing
+
+#endif  // YOUTOPIA_TESTS_TEST_UTIL_H_

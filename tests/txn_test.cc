@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/wal/recovery.h"
+#include "tests/test_util.h"
+
+namespace youtopia {
+namespace {
+
+using testing::EngineFixture;
+
+Schema KV() {
+  return Schema({{"k", TypeId::kInt64}, {"v", TypeId::kString}});
+}
+
+TEST(TxnTest, CommitMakesWritesVisibleAndReleasesLocks) {
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("T", KV()).status());
+  auto t1 = fix.tm->Begin();
+  ASSERT_OK_AND_ASSIGN(RowId rid,
+                       fix.tm->Insert(t1.get(), "T",
+                                      Row({Value::Int(1), Value::Str("a")})));
+  ASSERT_OK(fix.tm->Commit(t1.get()));
+  EXPECT_EQ(t1->state(), TxnState::kCommitted);
+  EXPECT_EQ(fix.locks.HeldCount(t1->id()), 0u);
+  auto t2 = fix.tm->Begin();
+  EXPECT_EQ(fix.tm->Get(t2.get(), "T", rid).value()[1], Value::Str("a"));
+  ASSERT_OK(fix.tm->Commit(t2.get()));
+}
+
+TEST(TxnTest, AbortUndoesInsertUpdateDeleteInReverseOrder) {
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("T", KV()).status());
+  auto setup = fix.tm->Begin();
+  ASSERT_OK_AND_ASSIGN(RowId keep,
+                       fix.tm->Insert(setup.get(), "T",
+                                      Row({Value::Int(1), Value::Str("old")})));
+  ASSERT_OK_AND_ASSIGN(RowId doomed,
+                       fix.tm->Insert(setup.get(), "T",
+                                      Row({Value::Int(2), Value::Str("bye")})));
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+
+  auto t = fix.tm->Begin();
+  ASSERT_OK(fix.tm->Update(t.get(), "T", keep,
+                           Row({Value::Int(1), Value::Str("new")})));
+  ASSERT_OK(fix.tm->Delete(t.get(), "T", doomed));
+  ASSERT_OK(fix.tm->Insert(t.get(), "T",
+                           Row({Value::Int(3), Value::Str("temp")}))
+                .status());
+  ASSERT_OK(fix.tm->Abort(t.get()));
+
+  auto check = fix.tm->Begin();
+  EXPECT_EQ(fix.tm->Get(check.get(), "T", keep).value()[1],
+            Value::Str("old"));
+  EXPECT_EQ(fix.tm->Get(check.get(), "T", doomed).value()[1],
+            Value::Str("bye"));
+  Table* table = fix.db.GetTable("T").value();
+  EXPECT_EQ(table->size(), 2u);
+  ASSERT_OK(fix.tm->Commit(check.get()));
+}
+
+TEST(TxnTest, StrictTwoPhaseLockingBlocksConflictingWriter) {
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("T", KV()).status());
+  auto setup = fix.tm->Begin();
+  ASSERT_OK_AND_ASSIGN(RowId rid,
+                       fix.tm->Insert(setup.get(), "T",
+                                      Row({Value::Int(1), Value::Str("a")})));
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+
+  TransactionManager::Options short_lock;
+  short_lock.lock_timeout_micros = 30'000;
+  EngineFixture fast(short_lock);
+  (void)fast;
+
+  auto reader = fix.tm->Begin();  // kFullEntangled: holds row S to commit
+  ASSERT_OK(fix.tm->Get(reader.get(), "T", rid).status());
+  auto writer = fix.tm->Begin();
+  // Writer must block; with the default 2 s timeout this would hang, so use
+  // a thread + release.
+  std::atomic<bool> wrote{false};
+  std::thread th([&] {
+    Status s = fix.tm->Update(writer.get(), "T", rid,
+                              Row({Value::Int(1), Value::Str("b")}));
+    wrote.store(s.ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(wrote.load());
+  ASSERT_OK(fix.tm->Commit(reader.get()));
+  th.join();
+  EXPECT_TRUE(wrote.load());
+  ASSERT_OK(fix.tm->Commit(writer.get()));
+}
+
+TEST(TxnTest, ReadCommittedReleasesReadLocksEarly) {
+  TransactionManager::Options opts;
+  opts.default_isolation = IsolationLevel::kReadCommitted;
+  EngineFixture fix(opts);
+  ASSERT_OK(fix.tm->CreateTable("T", KV()).status());
+  auto setup = fix.tm->Begin(IsolationLevel::kSerializable);
+  ASSERT_OK_AND_ASSIGN(RowId rid,
+                       fix.tm->Insert(setup.get(), "T",
+                                      Row({Value::Int(1), Value::Str("a")})));
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+
+  auto reader = fix.tm->Begin(IsolationLevel::kReadCommitted);
+  ASSERT_OK(fix.tm->Get(reader.get(), "T", rid).status());
+  // Row S was dropped right after the read, so a writer proceeds while the
+  // reader is still open — the unrepeatable-read anomaly this level admits.
+  auto writer = fix.tm->Begin(IsolationLevel::kSerializable);
+  ASSERT_OK(fix.tm->Update(writer.get(), "T", rid,
+                           Row({Value::Int(1), Value::Str("b")})));
+  ASSERT_OK(fix.tm->Commit(writer.get()));
+  EXPECT_EQ(fix.tm->Get(reader.get(), "T", rid).value()[1], Value::Str("b"));
+  ASSERT_OK(fix.tm->Commit(reader.get()));
+}
+
+TEST(TxnTest, SerializableScanBlocksInsertPreventingFig3b) {
+  // Figure 3(b): Minnie's grounding read holds a table S lock, so Donald's
+  // INSERT into Airlines cannot slip in between.
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("Airlines", KV()).status());
+  auto minnie = fix.tm->Begin();
+  ASSERT_OK(fix.tm->ScanForGrounding(minnie.get(), "Airlines",
+                                     [](RowId, const Row&) { return true; }));
+  auto donald = fix.tm->Begin();
+  std::atomic<bool> inserted{false};
+  std::thread th([&] {
+    Status s = fix.tm->Insert(donald.get(), "Airlines",
+                              Row({Value::Int(125), Value::Str("United")}))
+                   .status();
+    inserted.store(s.ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(inserted.load());
+  ASSERT_OK(fix.tm->Commit(minnie.get()));
+  th.join();
+  EXPECT_TRUE(inserted.load());
+  ASSERT_OK(fix.tm->Commit(donald.get()));
+}
+
+class WalRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wal_path_ = ::testing::TempDir() + "yt_wal_" +
+                std::to_string(reinterpret_cast<uintptr_t>(this)) + ".log";
+    std::remove(wal_path_.c_str());
+  }
+  void TearDown() override { std::remove(wal_path_.c_str()); }
+
+  std::string wal_path_;
+};
+
+TEST_F(WalRecoveryTest, CommittedTransactionsSurviveCrash) {
+  {
+    Database db;
+    LockManager locks;
+    WalWriter wal;
+    ASSERT_OK(wal.Open(wal_path_, {}, /*truncate=*/true));
+    TransactionManager tm(&db, &locks, &wal);
+    ASSERT_OK(tm.CreateTable("T", KV()).status());
+    auto t1 = tm.Begin();
+    ASSERT_OK(tm.Insert(t1.get(), "T", Row({Value::Int(1), Value::Str("a")}))
+                  .status());
+    ASSERT_OK(tm.Commit(t1.get()));
+    auto t2 = tm.Begin();  // in flight at crash
+    ASSERT_OK(tm.Insert(t2.get(), "T", Row({Value::Int(2), Value::Str("b")}))
+                  .status());
+    ASSERT_OK(wal.Flush());
+    // "Crash": drop everything without committing t2.
+  }
+  ASSERT_OK_AND_ASSIGN(RecoveryManager::Result r,
+                       RecoveryManager::Recover(wal_path_));
+  EXPECT_EQ(r.committed.size(), 1u);
+  EXPECT_EQ(r.discarded.size(), 1u);
+  Table* t = r.db->GetTable("T").value();
+  EXPECT_EQ(t->size(), 1u);
+  EXPECT_EQ(t->Get(1).value()[1], Value::Str("a"));
+}
+
+TEST_F(WalRecoveryTest, EntangledCommitWithoutGroupCommitRollsBackBoth) {
+  // The §4 recovery rule: two transactions entangle; one's COMMIT record
+  // reaches the log but the GROUP_COMMIT does not -> both roll back.
+  {
+    Database db;
+    LockManager locks;
+    WalWriter wal;
+    ASSERT_OK(wal.Open(wal_path_, {}, /*truncate=*/true));
+    TransactionManager tm(&db, &locks, &wal);
+    ASSERT_OK(tm.CreateTable("T", KV()).status());
+    auto a = tm.Begin();
+    auto b = tm.Begin();
+    ASSERT_OK(tm.Insert(a.get(), "T", Row({Value::Int(1), Value::Str("a")}))
+                  .status());
+    ASSERT_OK(tm.Insert(b.get(), "T", Row({Value::Int(2), Value::Str("b")}))
+                  .status());
+    ASSERT_OK(tm.LogEntangle(1, {a.get(), b.get()}));
+    // Simulate the torn group commit: a's COMMIT record only.
+    ASSERT_OK(wal.AppendAndFlush(WalRecord::Commit(a->id())).status());
+  }
+  ASSERT_OK_AND_ASSIGN(RecoveryManager::Result r,
+                       RecoveryManager::Recover(wal_path_));
+  EXPECT_TRUE(r.committed.empty());
+  EXPECT_EQ(r.rolled_back.size(), 1u);  // a had COMMIT but lost it
+  EXPECT_EQ(r.db->GetTable("T").value()->size(), 0u);
+}
+
+TEST_F(WalRecoveryTest, GroupCommitMakesWholeGroupDurable) {
+  TxnId ida, idb;
+  {
+    Database db;
+    LockManager locks;
+    WalWriter wal;
+    ASSERT_OK(wal.Open(wal_path_, {}, /*truncate=*/true));
+    TransactionManager tm(&db, &locks, &wal);
+    ASSERT_OK(tm.CreateTable("T", KV()).status());
+    auto a = tm.Begin();
+    auto b = tm.Begin();
+    ida = a->id();
+    idb = b->id();
+    ASSERT_OK(tm.Insert(a.get(), "T", Row({Value::Int(1), Value::Str("a")}))
+                  .status());
+    ASSERT_OK(tm.Insert(b.get(), "T", Row({Value::Int(2), Value::Str("b")}))
+                  .status());
+    ASSERT_OK(tm.LogEntangle(1, {a.get(), b.get()}));
+    ASSERT_OK(tm.CommitGroup({a.get(), b.get()}));
+  }
+  ASSERT_OK_AND_ASSIGN(RecoveryManager::Result r,
+                       RecoveryManager::Recover(wal_path_));
+  EXPECT_TRUE(r.committed.count(ida));
+  EXPECT_TRUE(r.committed.count(idb));
+  EXPECT_EQ(r.db->GetTable("T").value()->size(), 2u);
+}
+
+TEST_F(WalRecoveryTest, AbortedTransactionLeavesNoTrace) {
+  {
+    Database db;
+    LockManager locks;
+    WalWriter wal;
+    ASSERT_OK(wal.Open(wal_path_, {}, /*truncate=*/true));
+    TransactionManager tm(&db, &locks, &wal);
+    ASSERT_OK(tm.CreateTable("T", KV()).status());
+    auto t = tm.Begin();
+    ASSERT_OK(tm.Insert(t.get(), "T", Row({Value::Int(1), Value::Str("x")}))
+                  .status());
+    ASSERT_OK(tm.Abort(t.get()));
+    ASSERT_OK(wal.Flush());
+  }
+  ASSERT_OK_AND_ASSIGN(RecoveryManager::Result r,
+                       RecoveryManager::Recover(wal_path_));
+  EXPECT_EQ(r.db->GetTable("T").value()->size(), 0u);
+}
+
+TEST_F(WalRecoveryTest, TornTailIsToleratedNotFatal) {
+  {
+    Database db;
+    LockManager locks;
+    WalWriter wal;
+    ASSERT_OK(wal.Open(wal_path_, {}, /*truncate=*/true));
+    TransactionManager tm(&db, &locks, &wal);
+    ASSERT_OK(tm.CreateTable("T", KV()).status());
+    auto t = tm.Begin();
+    ASSERT_OK(tm.Insert(t.get(), "T", Row({Value::Int(1), Value::Str("a")}))
+                  .status());
+    ASSERT_OK(tm.Commit(t.get()));
+  }
+  // Append garbage: a torn final record.
+  std::FILE* f = std::fopen(wal_path_.c_str(), "ab");
+  const char garbage[] = "\x20\x00\x00\x00partialrecord";
+  std::fwrite(garbage, 1, sizeof(garbage) - 1, f);
+  std::fclose(f);
+  ASSERT_OK_AND_ASSIGN(RecoveryManager::Result r,
+                       RecoveryManager::Recover(wal_path_));
+  EXPECT_TRUE(r.torn_tail);
+  EXPECT_EQ(r.db->GetTable("T").value()->size(), 1u);
+}
+
+TEST_F(WalRecoveryTest, CheckpointTruncatesLogAndRecovers) {
+  std::string ckpt = wal_path_ + ".ckpt";
+  {
+    Database db;
+    LockManager locks;
+    WalWriter wal;
+    ASSERT_OK(wal.Open(wal_path_, {}, /*truncate=*/true));
+    TransactionManager tm(&db, &locks, &wal);
+    ASSERT_OK(tm.CreateTable("T", KV()).status());
+    for (int i = 0; i < 20; ++i) {
+      auto t = tm.Begin();
+      ASSERT_OK(tm.Insert(t.get(), "T",
+                          Row({Value::Int(i), Value::Str("v")}))
+                    .status());
+      ASSERT_OK(tm.Commit(t.get()));
+    }
+    ASSERT_OK(tm.Checkpoint(ckpt));
+    // Post-checkpoint traffic.
+    auto t = tm.Begin();
+    ASSERT_OK(tm.Insert(t.get(), "T", Row({Value::Int(99), Value::Str("z")}))
+                  .status());
+    ASSERT_OK(tm.Commit(t.get()));
+  }
+  ASSERT_OK_AND_ASSIGN(RecoveryManager::Result r,
+                       RecoveryManager::Recover(wal_path_));
+  EXPECT_EQ(r.db->GetTable("T").value()->size(), 21u);
+  std::remove(ckpt.c_str());
+}
+
+TEST(WalRecordTest, EncodeDecodeRoundTripAllTypes) {
+  std::vector<WalRecord> records;
+  records.push_back(WalRecord::Begin(7));
+  records.push_back(WalRecord::Insert(7, "T", 3,
+                                      Row({Value::Int(1), Value::Str("a")})));
+  records.push_back(WalRecord::Update(7, "T", 3, Row({Value::Int(1)}),
+                                      Row({Value::Int(2)})));
+  records.push_back(WalRecord::Delete(7, "T", 3, Row({Value::Int(2)})));
+  records.push_back(WalRecord::Commit(7));
+  records.push_back(WalRecord::Abort(8));
+  records.push_back(WalRecord::Entangle(5, {7, 8, 9}));
+  records.push_back(WalRecord::GroupCommit(2, {7, 8}));
+  records.push_back(
+      WalRecord::CreateTable("T", Schema({{"k", TypeId::kInt64}})));
+  records.push_back(WalRecord::CheckpointRef("/tmp/x.ckpt", 42));
+  uint64_t lsn = 1;
+  for (WalRecord& r : records) {
+    r.lsn = lsn++;
+    std::string buf;
+    r.EncodeTo(&buf);
+    ASSERT_OK_AND_ASSIGN(WalRecord back, WalRecord::Decode(buf));
+    EXPECT_EQ(back.type, r.type);
+    EXPECT_EQ(back.lsn, r.lsn);
+    EXPECT_EQ(back.txn, r.txn);
+    EXPECT_EQ(back.table, r.table);
+    EXPECT_EQ(back.row_id, r.row_id);
+    EXPECT_EQ(back.members, r.members);
+    EXPECT_EQ(back.aux, r.aux);
+  }
+}
+
+}  // namespace
+}  // namespace youtopia

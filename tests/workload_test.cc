@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "src/etxn/engine.h"
+#include "src/workload/workloads.h"
+#include "tests/test_util.h"
+
+namespace youtopia {
+namespace {
+
+using etxn::EngineOptions;
+using etxn::EntangledTransactionEngine;
+using etxn::EntangledTransactionSpec;
+using testing::EngineFixture;
+using workload::SocialGraph;
+using workload::TravelData;
+using workload::TravelDataOptions;
+using workload::WorkloadGenerator;
+using workload::WorkloadType;
+
+TEST(SocialGraphTest, SizesAndDeterminism) {
+  SocialGraph g1 = SocialGraph::PreferentialAttachment(500, 4, 7);
+  SocialGraph g2 = SocialGraph::PreferentialAttachment(500, 4, 7);
+  EXPECT_EQ(g1.num_users(), 500u);
+  EXPECT_GT(g1.num_edges(), 1500u);
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+  EXPECT_EQ(g1.Edges(), g2.Edges());
+}
+
+TEST(SocialGraphTest, HeavyTailAndSymmetry) {
+  SocialGraph g = SocialGraph::PreferentialAttachment(2000, 4, 11);
+  // Preferential attachment: the max degree far exceeds the mean (~8).
+  EXPECT_GT(g.MaxDegree(), 40u);
+  for (const auto& [a, b] : g.Edges()) {
+    EXPECT_TRUE(g.AreFriends(a, b));
+    EXPECT_TRUE(g.AreFriends(b, a));
+  }
+}
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TravelDataOptions opts;
+    opts.num_users = 300;
+    opts.edges_per_node = 4;
+    opts.num_cities = 5;
+    ASSERT_OK_AND_ASSIGN(data_, TravelData::Build(fix_.tm.get(), opts));
+  }
+  EngineFixture fix_;
+  workload::TravelData data_;
+};
+
+TEST_F(WorkloadTest, SchemaAndDataPopulated) {
+  EXPECT_EQ(fix_.db.GetTable("User").value()->size(), 300u);
+  EXPECT_EQ(fix_.db.GetTable("Friends").value()->size(),
+            2 * data_.graph().num_edges());
+  // 5 cities, 4 destinations each, 2 flights per route.
+  EXPECT_EQ(fix_.db.GetTable("Flight").value()->size(), 5u * 4u * 2u);
+  EXPECT_EQ(fix_.db.GetTable("Reserve").value()->size(), 0u);
+  EXPECT_FALSE(data_.same_town_pairs().empty());
+  for (const auto& [a, b] : data_.same_town_pairs()) {
+    EXPECT_EQ(data_.hometown_of(a), data_.hometown_of(b));
+    EXPECT_TRUE(data_.graph().AreFriends(a, b));
+  }
+}
+
+TEST_F(WorkloadTest, SpecShapesMatchSection5) {
+  WorkloadGenerator gen(&data_, 1);
+  ASSERT_OK_AND_ASSIGN(auto nosocial,
+                       gen.Generate(WorkloadType::kNoSocialT, 4, 1000000));
+  EXPECT_EQ(nosocial.size(), 4u);
+  EXPECT_TRUE(nosocial[0].transactional);
+  EXPECT_EQ(nosocial[0].NumEntangledQueries(), 0u);
+  EXPECT_EQ(nosocial[0].statements.size(), 3u);
+
+  ASSERT_OK_AND_ASSIGN(auto social,
+                       gen.Generate(WorkloadType::kSocialQ, 4, 1000000));
+  EXPECT_FALSE(social[0].transactional);
+  EXPECT_EQ(social[0].statements.size(), 4u);  // + friend lookup
+
+  ASSERT_OK_AND_ASSIGN(auto ent,
+                       gen.Generate(WorkloadType::kEntangledT, 4, 1000000));
+  EXPECT_EQ(ent.size(), 4u);
+  EXPECT_EQ(ent[0].NumEntangledQueries(), 1u);
+}
+
+TEST_F(WorkloadTest, AllSixWorkloadsRunToCompletion) {
+  EngineOptions opts;
+  opts.auto_scheduler = false;
+  opts.num_connections = 8;
+  opts.default_timeout_micros = 5'000'000;
+  for (WorkloadType type :
+       {WorkloadType::kNoSocialT, WorkloadType::kSocialT,
+        WorkloadType::kEntangledT, WorkloadType::kNoSocialQ,
+        WorkloadType::kSocialQ, WorkloadType::kEntangledQ}) {
+    EntangledTransactionEngine engine(fix_.tm.get(), opts);
+    WorkloadGenerator gen(&data_, 99);
+    ASSERT_OK_AND_ASSIGN(auto specs, gen.Generate(type, 8, 5'000'000));
+    std::vector<std::shared_ptr<etxn::TxnHandle>> handles;
+    for (auto& s : specs) handles.push_back(engine.Submit(std::move(s)));
+    engine.WaitAll(handles);
+    for (auto& h : handles) {
+      EXPECT_OK(h->Wait());
+    }
+  }
+}
+
+TEST_F(WorkloadTest, EntangledPairsBookSameDestination) {
+  EngineOptions opts;
+  opts.auto_scheduler = false;
+  opts.num_connections = 4;
+  EntangledTransactionEngine engine(fix_.tm.get(), opts);
+  WorkloadGenerator gen(&data_, 5);
+  ASSERT_OK_AND_ASSIGN(auto specs,
+                       gen.Generate(WorkloadType::kEntangledT, 2, 5'000'000));
+  auto h1 = engine.Submit(std::move(specs[0]));
+  auto h2 = engine.Submit(std::move(specs[1]));
+  engine.RunOnce();
+  ASSERT_OK(h1->Wait());
+  ASSERT_OK(h2->Wait());
+  EXPECT_EQ(h1->final_vars().at("destination"),
+            h2->final_vars().at("destination"));
+  EXPECT_FALSE(h1->final_vars().at("fid").is_null());
+  // Both reservations landed.
+  EXPECT_EQ(fix_.db.GetTable("Reserve").value()->size(), 2u);
+}
+
+TEST_F(WorkloadTest, LonersNeverMatchTheStream) {
+  EngineOptions opts;
+  opts.auto_scheduler = false;
+  opts.num_connections = 8;
+  EntangledTransactionEngine engine(fix_.tm.get(), opts);
+  WorkloadGenerator gen(&data_, 5);
+  ASSERT_OK_AND_ASSIGN(auto loners, gen.Loners(3, 60'000'000));
+  ASSERT_OK_AND_ASSIGN(auto pairs,
+                       gen.Generate(WorkloadType::kEntangledT, 4, 5'000'000));
+  std::vector<std::shared_ptr<etxn::TxnHandle>> loner_handles, pair_handles;
+  for (auto& s : loners) loner_handles.push_back(engine.Submit(std::move(s)));
+  for (auto& s : pairs) pair_handles.push_back(engine.Submit(std::move(s)));
+  etxn::RunReport report = engine.RunOnce();
+  EXPECT_EQ(report.committed, 4u);
+  EXPECT_EQ(report.retried, 3u);
+  for (auto& h : pair_handles) EXPECT_OK(h->Wait());
+  for (auto& h : loner_handles) EXPECT_FALSE(h->done());
+}
+
+TEST_F(WorkloadTest, SpokeHubGroupCommitsTogether) {
+  EngineOptions opts;
+  opts.auto_scheduler = false;
+  opts.num_connections = 12;
+  EntangledTransactionEngine engine(fix_.tm.get(), opts);
+  WorkloadGenerator gen(&data_, 5);
+  for (size_t k : {2u, 4u, 6u}) {
+    ASSERT_OK_AND_ASSIGN(auto specs, gen.SpokeHubGroup(k, k, 10'000'000));
+    EXPECT_EQ(specs.size(), k);  // hub + k-1 spokes
+    EXPECT_EQ(specs.back().NumEntangledQueries(), k - 1);  // the hub
+    std::vector<std::shared_ptr<etxn::TxnHandle>> handles;
+    for (auto& s : specs) handles.push_back(engine.Submit(std::move(s)));
+    etxn::RunReport report = engine.RunOnce();
+    EXPECT_EQ(report.committed, k) << "k=" << k;
+    EXPECT_GE(report.eval_rounds, k - 1) << "k=" << k;
+    for (auto& h : handles) EXPECT_OK(h->Wait());
+  }
+}
+
+TEST_F(WorkloadTest, CycleGroupEntanglesAsRing) {
+  EngineOptions opts;
+  opts.auto_scheduler = false;
+  opts.num_connections = 12;
+  EntangledTransactionEngine engine(fix_.tm.get(), opts);
+  WorkloadGenerator gen(&data_, 5);
+  for (size_t k : {3u, 5u}) {
+    ASSERT_OK_AND_ASSIGN(auto specs, gen.CycleGroup(k, k, 10'000'000));
+    EXPECT_EQ(specs.size(), k);
+    std::vector<std::shared_ptr<etxn::TxnHandle>> handles;
+    for (auto& s : specs) handles.push_back(engine.Submit(std::move(s)));
+    etxn::RunReport report = engine.RunOnce();
+    EXPECT_EQ(report.committed, k) << "k=" << k;
+    // Two rings -> two entanglement operations of size k each.
+    EXPECT_EQ(report.entangle_ops, 2u) << "k=" << k;
+    for (auto& h : handles) EXPECT_OK(h->Wait());
+  }
+}
+
+TEST_F(WorkloadTest, IncompleteCycleBlocksEntirely) {
+  // Drop one member of a 4-cycle: nobody can commit (cyclic dependency).
+  EngineOptions opts;
+  opts.auto_scheduler = false;
+  opts.num_connections = 8;
+  EntangledTransactionEngine engine(fix_.tm.get(), opts);
+  WorkloadGenerator gen(&data_, 5);
+  ASSERT_OK_AND_ASSIGN(auto specs, gen.CycleGroup(4, 1, 60'000'000));
+  specs.pop_back();
+  std::vector<std::shared_ptr<etxn::TxnHandle>> handles;
+  for (auto& s : specs) handles.push_back(engine.Submit(std::move(s)));
+  etxn::RunReport report = engine.RunOnce();
+  EXPECT_EQ(report.committed, 0u);
+  EXPECT_EQ(report.retried, 3u);
+}
+
+}  // namespace
+}  // namespace youtopia
