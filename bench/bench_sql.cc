@@ -55,6 +55,7 @@ void BM_ParseEntangled(benchmark::State& state) {
 BENCHMARK(BM_ParseEntangled);
 
 void BM_PointSelect(benchmark::State& state) {
+  // User.uid is a primary key, so this runs through the hash-index path.
   SqlStack s;
   sql::Session session(s.tm.get());
   for (auto _ : state) {
@@ -63,6 +64,35 @@ void BM_PointSelect(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PointSelect)->Unit(benchmark::kMicrosecond);
+
+void BM_PointSelectScan(benchmark::State& state) {
+  // Same query over an unindexed twin of User: the access-path ablation.
+  SqlStack s;
+  sql::Session session(s.tm.get());
+  (void)session.Execute("CREATE TABLE UserScan (uid INT, hometown VARCHAR)");
+  Table* src = s.db.GetTable("User").value();
+  Table* dst = s.db.GetTable("UserScan").value();
+  src->Scan([&](RowId, const Row& row) {
+    (void)dst->Insert(row);
+    return true;
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        session.Execute("SELECT @uid, @hometown FROM UserScan WHERE uid=77"));
+  }
+}
+BENCHMARK(BM_PointSelectScan)->Unit(benchmark::kMicrosecond);
+
+void BM_PointUpdate(benchmark::State& state) {
+  // Indexed UPDATE: X locks on the key and matched row, no table X lock.
+  SqlStack s;
+  sql::Session session(s.tm.get());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        session.Execute("UPDATE User SET hometown='CITY00' WHERE uid=77"));
+  }
+}
+BENCHMARK(BM_PointUpdate)->Unit(benchmark::kMicrosecond);
 
 void BM_SocialThreeWayJoin(benchmark::State& state) {
   SqlStack s;

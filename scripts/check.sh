@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure + build + ctest, exactly as ROADMAP.md
+# specifies. With --bench-smoke, additionally runs a short bench_sql pass and
+# emits a BENCH_sql.json trajectory point in the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "${1:-}" == "--bench-smoke" ]]; then
+  ./build/bench_sql \
+    --benchmark_filter='BM_PointSelect|BM_PointSelectScan|BM_PointUpdate' \
+    --benchmark_min_time=0.1 \
+    --benchmark_out=BENCH_sql.json \
+    --benchmark_out_format=json
+  echo "wrote BENCH_sql.json"
+fi

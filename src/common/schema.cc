@@ -27,6 +27,17 @@ std::string Schema::ToString() const {
   return s;
 }
 
+Status Schema::SetPrimaryKeyByName(const std::vector<std::string>& names) {
+  std::vector<size_t> pk;
+  pk.reserve(names.size());
+  for (const std::string& n : names) {
+    YT_ASSIGN_OR_RETURN(size_t i, IndexOf(n));
+    pk.push_back(i);
+  }
+  pk_ = std::move(pk);
+  return Status::Ok();
+}
+
 bool Schema::operator==(const Schema& o) const {
   if (cols_.size() != o.cols_.size()) return false;
   for (size_t i = 0; i < cols_.size(); ++i) {

@@ -31,6 +31,13 @@ class Schema {
 
   void AddColumn(Column c) { cols_.push_back(std::move(c)); }
 
+  /// Primary-key column positions (empty = no declared key). Tables build a
+  /// unique hash index over these columns automatically.
+  const std::vector<size_t>& primary_key() const { return pk_; }
+  void set_primary_key(std::vector<size_t> cols) { pk_ = std::move(cols); }
+  /// Resolves `names` against the columns; fails on unknown names.
+  Status SetPrimaryKeyByName(const std::vector<std::string>& names);
+
   /// "(a INT, b VARCHAR)"
   std::string ToString() const;
 
@@ -38,6 +45,7 @@ class Schema {
 
  private:
   std::vector<Column> cols_;
+  std::vector<size_t> pk_;
 };
 
 }  // namespace youtopia

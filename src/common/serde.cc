@@ -57,6 +57,10 @@ void EncodeSchema(std::string* dst, const Schema& s) {
     EncodeString(dst, c.name);
     EncodeU8(dst, static_cast<uint8_t>(c.type));
   }
+  EncodeU32(dst, static_cast<uint32_t>(s.primary_key().size()));
+  for (size_t i : s.primary_key()) {
+    EncodeU32(dst, static_cast<uint32_t>(i));
+  }
 }
 
 Status DecodeU8(const char** p, const char* end, uint8_t* out) {
@@ -173,7 +177,24 @@ Status DecodeSchema(const char** p, const char* end, Schema* out) {
     c.type = static_cast<TypeId>(t);
     cols.push_back(std::move(c));
   }
-  *out = Schema(std::move(cols));
+  Schema schema(std::move(cols));
+  uint32_t num_pk;
+  YT_RETURN_IF_ERROR(DecodeU32(p, end, &num_pk));
+  if (num_pk > schema.num_columns()) {
+    return Status::Corruption("bad primary-key column count");
+  }
+  std::vector<size_t> pk;
+  pk.reserve(num_pk);
+  for (uint32_t i = 0; i < num_pk; ++i) {
+    uint32_t col;
+    YT_RETURN_IF_ERROR(DecodeU32(p, end, &col));
+    if (col >= schema.num_columns()) {
+      return Status::Corruption("primary-key column out of range");
+    }
+    pk.push_back(col);
+  }
+  schema.set_primary_key(std::move(pk));
+  *out = std::move(schema);
   return Status::Ok();
 }
 

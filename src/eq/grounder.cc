@@ -4,6 +4,8 @@
 #include <set>
 #include <unordered_map>
 
+#include "src/sql/planner.h"
+
 namespace youtopia::eq {
 
 std::string Grounding::ToString() const {
@@ -71,31 +73,50 @@ StatusOr<std::vector<Grounding>> Grounder::Ground(const EntangledQuerySpec& q,
   std::vector<Grounding> out;
   if (q.body_unsatisfiable) return out;
 
-  // Snapshot the body relations, one filtered snapshot per atom: positions
-  // holding constants are filtered during the grounding scan, so a fully
-  // constant atom like Friends(36513, 45747) keeps at most a handful of
-  // rows. (The table S lock and the recorded R^G cover the whole relation
-  // either way.)
+  // Snapshot the body relations, one filtered snapshot per atom. Constant
+  // positions in an atom body are exactly equality keys: when a hash index
+  // covers them the snapshot is an index lookup under the key's predicate
+  // lock (a fully constant atom like Friends(36513, 45747) touches only its
+  // matching rows), otherwise a grounding scan under the table S lock. The
+  // visitor filter below stays in place either way — it handles constant
+  // positions the chosen index does not cover.
   std::vector<std::vector<Row>> atom_rows(q.body.size());
   for (size_t ai = 0; ai < q.body.size(); ++ai) {
     const Atom& a = q.body[ai];
     std::vector<Row>& rows = atom_rows[ai];
     Status arity_error = Status::Ok();
-    YT_RETURN_IF_ERROR(tm->ScanForGrounding(
-        txn, a.relation, [&](RowId, const Row& row) {
-          if (row.size() != a.terms.size()) {
-            arity_error = Status::InvalidArgument(
-                "atom arity mismatch for relation " + a.relation);
-            return false;
-          }
-          for (size_t i = 0; i < a.terms.size(); ++i) {
-            if (!a.terms[i].is_var && a.terms[i].constant != row[i]) {
-              return true;  // constant mismatch: skip row
-            }
-          }
-          rows.push_back(row);
-          return true;
-        }));
+    auto visit = [&](RowId, const Row& row) {
+      if (row.size() != a.terms.size()) {
+        arity_error = Status::InvalidArgument(
+            "atom arity mismatch for relation " + a.relation);
+        return false;
+      }
+      for (size_t i = 0; i < a.terms.size(); ++i) {
+        if (!a.terms[i].is_var && a.terms[i].constant != row[i]) {
+          return true;  // constant mismatch: skip row
+        }
+      }
+      rows.push_back(row);
+      return true;
+    };
+    sql::AccessPlan plan;
+    auto table = tm->db()->GetTable(a.relation);
+    if (table.ok()) {
+      std::vector<std::pair<size_t, Value>> eqs;
+      for (size_t i = 0; i < a.terms.size(); ++i) {
+        if (!a.terms[i].is_var &&
+            i < table.value()->schema().num_columns()) {
+          eqs.emplace_back(i, a.terms[i].constant);
+        }
+      }
+      plan = sql::Planner::PlanPointLookup(*table.value(), eqs);
+    }
+    if (plan.is_index()) {
+      YT_RETURN_IF_ERROR(tm->LookupForGrounding(txn, a.relation, plan.columns,
+                                                plan.key, visit));
+    } else {
+      YT_RETURN_IF_ERROR(tm->ScanForGrounding(txn, a.relation, visit));
+    }
     YT_RETURN_IF_ERROR(arity_error);
   }
 

@@ -16,17 +16,29 @@
 
 namespace youtopia {
 
-/// Lock target: a whole table (row == kWholeTable) or a single row.
+/// Lock target: a whole table (row == kWholeTable), a single row, or an
+/// index key. Index-key locks implement equality-predicate (phantom)
+/// protection for indexed access paths: readers of `col = k` take S on the
+/// key's hash, writers inserting/removing/moving a row under key `k` take X
+/// on it, so an indexed equality read is repeatable without a table S lock.
+/// They live in a disjoint namespace carved out of the row space by setting
+/// the top bit (heap RowIds are allocated sequentially from 1 and can never
+/// reach 2^63).
 struct LockKey {
   TableId table = 0;
   RowId row = kWholeTable;
 
   static constexpr RowId kWholeTable = 0;
+  static constexpr RowId kIndexKeyBit = 1ull << 63;
 
   static LockKey Table(TableId t) { return {t, kWholeTable}; }
   static LockKey RowOf(TableId t, RowId r) { return {t, r}; }
+  static LockKey IndexKey(TableId t, uint64_t key_hash) {
+    return {t, key_hash | kIndexKeyBit};
+  }
 
   bool is_table() const { return row == kWholeTable; }
+  bool is_index_key() const { return (row & kIndexKeyBit) != 0; }
   bool operator==(const LockKey& o) const {
     return table == o.table && row == o.row;
   }

@@ -1,6 +1,7 @@
 #include "src/sql/executor.h"
 
 #include "src/common/strings.h"
+#include "src/sql/planner.h"
 
 namespace youtopia::sql {
 
@@ -37,9 +38,8 @@ StatusOr<QueryResult> Executor::Execute(const ParsedStatement& stmt,
       return QueryResult{};
     }
     case StatementKind::kCreateIndex: {
-      YT_ASSIGN_OR_RETURN(Table * t,
-                          tm_->db()->GetTable(stmt.create_index->table));
-      YT_RETURN_IF_ERROR(t->CreateIndex(stmt.create_index->columns));
+      YT_RETURN_IF_ERROR(tm_->CreateIndex(stmt.create_index->table,
+                                          stmt.create_index->columns));
       return QueryResult{};
     }
     case StatementKind::kEntangledSelect:
@@ -81,24 +81,46 @@ StatusOr<QueryResult> Executor::ExecuteSelect(const SelectStmt& sel,
   YT_RETURN_IF_ERROR(MaterializeSubqueries(sel.where.get(), txn, vars,
                                            &in_sets));
 
-  // Snapshot FROM tables under table S locks.
+  // Snapshot FROM tables through the planner: an equality conjunct covered
+  // by a hash index turns the snapshot into an index lookup under
+  // row-granular locks; everything else stays a full scan under a table S
+  // lock (which is also the phantom-safe fallback for uncovered
+  // predicates). The full WHERE is still evaluated on every candidate row,
+  // so plans only prune, never change results.
   struct Scanned {
     std::string alias;
     const Schema* schema;
     std::vector<Row> rows;
   };
-  std::vector<Scanned> scans;
-  scans.reserve(sel.from.size());
+  std::vector<TableScope> scope;
+  std::vector<Table*> tables;
+  scope.reserve(sel.from.size());
+  tables.reserve(sel.from.size());
   for (const TableRef& ref : sel.from) {
     YT_ASSIGN_OR_RETURN(Table * t, tm_->db()->GetTable(ref.table));
+    scope.push_back({ref.alias, &t->schema()});
+    tables.push_back(t);
+  }
+  std::vector<Scanned> scans;
+  scans.reserve(sel.from.size());
+  for (size_t i = 0; i < sel.from.size(); ++i) {
+    const TableRef& ref = sel.from[i];
+    Table* t = tables[i];
     Scanned s;
     s.alias = ref.alias;
     s.schema = &t->schema();
-    YT_RETURN_IF_ERROR(tm_->Scan(txn, ref.table,
-                                 [&s](RowId, const Row& row) {
-                                   s.rows.push_back(row);
-                                   return true;
-                                 }));
+    auto collect = [&s](RowId, const Row& row) {
+      s.rows.push_back(row);
+      return true;
+    };
+    YT_ASSIGN_OR_RETURN(AccessPlan plan,
+                        Planner::Plan(*t, scope, i, sel.where.get(), vars));
+    if (plan.is_index()) {
+      YT_RETURN_IF_ERROR(tm_->GetByIndex(txn, ref.table, plan.columns,
+                                         plan.key, collect));
+    } else {
+      YT_RETURN_IF_ERROR(tm_->Scan(txn, ref.table, collect));
+    }
     scans.push_back(std::move(s));
   }
 
@@ -328,33 +350,49 @@ StatusOr<QueryResult> Executor::ExecuteInsert(const InsertStmt& ins,
 
 StatusOr<QueryResult> Executor::ExecuteUpdate(const UpdateStmt& upd,
                                               Transaction* txn, VarEnv* vars) {
-  YT_RETURN_IF_ERROR(tm_->LockTableForWrite(txn, upd.table));
   YT_ASSIGN_OR_RETURN(Table * t, tm_->db()->GetTable(upd.table));
   const Schema& schema = t->schema();
+
+  // Candidate rows: X row locks through the index when an equality
+  // conjunct is covered, else the table-X fast path (whole-table lock up
+  // front avoids S->X upgrade deadlocks between scanning writers). A WHERE
+  // with IN-subqueries always takes the fast path: write locks must come
+  // BEFORE the subquery scans' S locks for the same reason, and the lock
+  // lattice has no SIX to layer row X under a same-table subquery scan.
+  std::vector<const Expr*> subqueries;
+  CollectSubqueries(upd.where.get(), &subqueries);
+  std::vector<TableScope> scope{{upd.table, &schema}};
+  YT_ASSIGN_OR_RETURN(AccessPlan plan,
+                      Planner::Plan(*t, scope, 0, upd.where.get(), vars));
+  std::vector<std::pair<RowId, Row>> candidates;
+  if (plan.is_index() && subqueries.empty()) {
+    YT_ASSIGN_OR_RETURN(
+        candidates,
+        tm_->LockRowsForWrite(txn, upd.table, plan.columns, plan.key));
+  } else {
+    YT_RETURN_IF_ERROR(tm_->LockTableForWrite(txn, upd.table));
+    t->Scan([&](RowId rid, const Row& row) {
+      candidates.emplace_back(rid, row);
+      return true;
+    });
+  }
 
   std::unordered_map<const Expr*, std::unordered_set<Row, RowHash>> in_sets;
   YT_RETURN_IF_ERROR(MaterializeSubqueries(upd.where.get(), txn, vars,
                                            &in_sets));
 
   std::vector<std::pair<RowId, Row>> matches;
-  Status scan_status = Status::Ok();
-  t->Scan([&](RowId rid, const Row& row) {
+  for (auto& [rid, row] : candidates) {
     EvalEnv env;
     env.vars = vars;
     env.in_sets = &in_sets;
     env.tables.push_back({upd.table, &schema, &row});
     if (upd.where != nullptr) {
-      auto keep = EvalPredicate(*upd.where, env);
-      if (!keep.ok()) {
-        scan_status = keep.status();
-        return false;
-      }
-      if (!keep.value()) return true;
+      YT_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*upd.where, env));
+      if (!keep) continue;
     }
-    matches.emplace_back(rid, row);
-    return true;
-  });
-  YT_RETURN_IF_ERROR(scan_status);
+    matches.emplace_back(rid, std::move(row));
+  }
 
   QueryResult result;
   for (auto& [rid, row] : matches) {
@@ -375,33 +413,44 @@ StatusOr<QueryResult> Executor::ExecuteUpdate(const UpdateStmt& upd,
 
 StatusOr<QueryResult> Executor::ExecuteDelete(const DeleteStmt& del,
                                               Transaction* txn, VarEnv* vars) {
-  YT_RETURN_IF_ERROR(tm_->LockTableForWrite(txn, del.table));
   YT_ASSIGN_OR_RETURN(Table * t, tm_->db()->GetTable(del.table));
   const Schema& schema = t->schema();
+
+  // Same lock-before-subqueries discipline as ExecuteUpdate.
+  std::vector<const Expr*> subqueries;
+  CollectSubqueries(del.where.get(), &subqueries);
+  std::vector<TableScope> scope{{del.table, &schema}};
+  YT_ASSIGN_OR_RETURN(AccessPlan plan,
+                      Planner::Plan(*t, scope, 0, del.where.get(), vars));
+  std::vector<std::pair<RowId, Row>> candidates;
+  if (plan.is_index() && subqueries.empty()) {
+    YT_ASSIGN_OR_RETURN(
+        candidates,
+        tm_->LockRowsForWrite(txn, del.table, plan.columns, plan.key));
+  } else {
+    YT_RETURN_IF_ERROR(tm_->LockTableForWrite(txn, del.table));
+    t->Scan([&](RowId rid, const Row& row) {
+      candidates.emplace_back(rid, row);
+      return true;
+    });
+  }
 
   std::unordered_map<const Expr*, std::unordered_set<Row, RowHash>> in_sets;
   YT_RETURN_IF_ERROR(MaterializeSubqueries(del.where.get(), txn, vars,
                                            &in_sets));
 
   std::vector<RowId> matches;
-  Status scan_status = Status::Ok();
-  t->Scan([&](RowId rid, const Row& row) {
+  for (const auto& [rid, row] : candidates) {
     EvalEnv env;
     env.vars = vars;
     env.in_sets = &in_sets;
     env.tables.push_back({del.table, &schema, &row});
     if (del.where != nullptr) {
-      auto keep = EvalPredicate(*del.where, env);
-      if (!keep.ok()) {
-        scan_status = keep.status();
-        return false;
-      }
-      if (!keep.value()) return true;
+      YT_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*del.where, env));
+      if (!keep) continue;
     }
     matches.push_back(rid);
-    return true;
-  });
-  YT_RETURN_IF_ERROR(scan_status);
+  }
 
   QueryResult result;
   for (RowId rid : matches) {

@@ -366,7 +366,22 @@ StatusOr<ParsedStatement> Parser::ParseCreate() {
   Advance();
   YT_RETURN_IF_ERROR(ExpectSymbol("("));
   std::vector<Column> cols;
+  std::vector<std::string> pk;
   do {
+    // Table-level PRIMARY KEY (a, b) constraint.
+    if (PeekIdent("PRIMARY")) {
+      Advance();
+      YT_RETURN_IF_ERROR(ExpectIdent("KEY"));
+      YT_RETURN_IF_ERROR(ExpectSymbol("("));
+      do {
+        const Token& k = Peek();
+        if (k.kind != TokenKind::kIdent) return ErrorHere("expected column");
+        pk.push_back(k.text);
+        Advance();
+      } while (MatchSymbol(","));
+      YT_RETURN_IF_ERROR(ExpectSymbol(")"));
+      continue;
+    }
     const Token& c = Peek();
     if (c.kind != TokenKind::kIdent) return ErrorHere("expected column name");
     Column col;
@@ -380,10 +395,18 @@ StatusOr<ParsedStatement> Parser::ParseCreate() {
     if (MatchSymbol("(")) {
       while (!AtEnd() && !MatchSymbol(")")) Advance();
     }
+    // Column-level PRIMARY KEY marker.
+    if (MatchIdent("PRIMARY")) {
+      YT_RETURN_IF_ERROR(ExpectIdent("KEY"));
+      pk.push_back(col.name);
+    }
     cols.push_back(std::move(col));
   } while (MatchSymbol(","));
   YT_RETURN_IF_ERROR(ExpectSymbol(")"));
   ct->schema = Schema(std::move(cols));
+  if (!pk.empty()) {
+    YT_RETURN_IF_ERROR(ct->schema.SetPrimaryKeyByName(pk));
+  }
   ParsedStatement s;
   s.kind = StatementKind::kCreateTable;
   s.create_table = std::move(ct);

@@ -19,7 +19,7 @@ namespace youtopia::sql {
 ///   INSERT INTO t [(cols)] VALUES (exprs) [, (exprs)]...
 ///   UPDATE t SET col = expr [, ...] [WHERE cond]
 ///   DELETE FROM t [WHERE cond]
-///   CREATE TABLE t (col TYPE, ...)
+///   CREATE TABLE t (col TYPE [PRIMARY KEY], ..., [PRIMARY KEY (cols)])
 ///   CREATE INDEX ON t (cols)
 ///   BEGIN TRANSACTION [WITH TIMEOUT n unit]
 ///   COMMIT | ROLLBACK

@@ -1,0 +1,139 @@
+#include "src/sql/planner.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace youtopia::sql {
+
+namespace {
+
+void FlattenConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kBinary && e->op == "AND") {
+    FlattenConjuncts(e->lhs.get(), out);
+    FlattenConjuncts(e->rhs.get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+/// True when `col` (a kColumnRef) binds to scope[target] under the
+/// executor's resolution rule: an explicit qualifier must match the target's
+/// alias; an unqualified name binds to the first table that has the column.
+bool BindsToTarget(const Expr& col, const std::vector<TableScope>& scope,
+                   size_t target) {
+  if (!col.qualifier.empty()) {
+    return EqualsIgnoreCase(scope[target].alias, col.qualifier) &&
+           scope[target].schema->HasColumn(col.column);
+  }
+  for (size_t i = 0; i < scope.size(); ++i) {
+    if (scope[i].schema->HasColumn(col.column)) return i == target;
+  }
+  return false;
+}
+
+/// Evaluates `e` using only the variable environment; fails when the
+/// expression touches a table column or a subquery, which is exactly the
+/// non-sargable case.
+StatusOr<Value> ConstFold(const Expr& e, const VarEnv* vars) {
+  EvalEnv env;
+  env.vars = vars;
+  return EvalScalar(e, env);
+}
+
+}  // namespace
+
+std::string AccessPlan::ToString() const {
+  if (kind == Kind::kTableScan) return "scan";
+  std::string s = "index(";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(columns[i]);
+  }
+  s += ")=" + key.ToString();
+  return s;
+}
+
+StatusOr<AccessPlan> Planner::Plan(const Table& table,
+                                   const std::vector<TableScope>& scope,
+                                   size_t target, const Expr* where,
+                                   const VarEnv* vars) {
+  if (target >= scope.size()) {
+    return Status::InvalidArgument("planner target out of scope");
+  }
+  std::vector<const Expr*> conjuncts;
+  FlattenConjuncts(where, &conjuncts);
+
+  std::vector<std::pair<size_t, Value>> eqs;
+  for (const Expr* c : conjuncts) {
+    if (c->kind != ExprKind::kBinary || c->op != "=") continue;
+    const Expr* col = c->lhs.get();
+    const Expr* val = c->rhs.get();
+    if (col->kind != ExprKind::kColumnRef) std::swap(col, val);
+    if (col->kind != ExprKind::kColumnRef) continue;
+    if (val->kind == ExprKind::kColumnRef) continue;  // join predicate
+    if (!BindsToTarget(*col, scope, target)) continue;
+    auto folded = ConstFold(*val, vars);
+    if (!folded.ok()) continue;  // references a table or subquery
+    auto pos = scope[target].schema->IndexOf(col->column);
+    if (!pos.ok()) continue;
+    eqs.emplace_back(pos.value(), std::move(folded).value());
+  }
+  return PlanPointLookup(table, eqs);
+}
+
+AccessPlan Planner::PlanPointLookup(
+    const Table& table, const std::vector<std::pair<size_t, Value>>& eqs) {
+  AccessPlan plan;
+  if (eqs.empty()) return plan;
+
+  const Schema& schema = table.schema();
+  // Coerce to column types so key hashing/equality matches stored rows;
+  // NULL keys and failed coercions are not sargable.
+  std::vector<std::pair<size_t, Value>> usable;
+  for (const auto& [col, v] : eqs) {
+    if (col >= schema.num_columns() || v.is_null()) continue;
+    auto coerced = v.CoerceTo(schema.column(col).type);
+    if (!coerced.ok()) continue;
+    bool duplicate = false;
+    for (const auto& [c, _] : usable) duplicate |= (c == col);
+    if (!duplicate) usable.emplace_back(col, std::move(coerced).value());
+  }
+  if (usable.empty()) return plan;
+
+  // Pick the widest index fully covered by the equality columns (more
+  // columns = more selective key).
+  const std::vector<std::vector<size_t>> candidates =
+      table.IndexedColumnSets();
+  const std::vector<size_t>* best = nullptr;
+  for (const auto& cols : candidates) {
+    bool covered = !cols.empty();
+    for (size_t c : cols) {
+      bool found = false;
+      for (const auto& [uc, _] : usable) found |= (uc == c);
+      covered &= found;
+    }
+    if (covered && (best == nullptr || cols.size() > best->size())) {
+      best = &cols;
+    }
+  }
+  if (best == nullptr) return plan;
+
+  plan.kind = AccessPlan::Kind::kIndexLookup;
+  plan.columns = *best;
+  std::vector<Value> key;
+  key.reserve(best->size());
+  for (size_t c : *best) {
+    for (const auto& [uc, v] : usable) {
+      if (uc == c) {
+        key.push_back(v);
+        break;
+      }
+    }
+  }
+  plan.key = Row(std::move(key));
+  return plan;
+}
+
+}  // namespace youtopia::sql

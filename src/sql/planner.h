@@ -1,0 +1,65 @@
+#ifndef YOUTOPIA_SQL_PLANNER_H_
+#define YOUTOPIA_SQL_PLANNER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sql/ast.h"
+#include "src/sql/expr_eval.h"
+#include "src/storage/table.h"
+
+namespace youtopia::sql {
+
+/// One FROM-clause entry visible while planning (alias resolution follows
+/// the executor: an unqualified column binds to the first table that has
+/// it).
+struct TableScope {
+  std::string alias;
+  const Schema* schema = nullptr;
+};
+
+/// The access path chosen for one table: a full scan, or a hash-index
+/// lookup with the key values already coerced to the indexed columns'
+/// types.
+struct AccessPlan {
+  enum class Kind { kTableScan, kIndexLookup };
+
+  Kind kind = Kind::kTableScan;
+  std::vector<size_t> columns;  ///< index columns (schema positions)
+  Row key;                      ///< lookup key, in `columns` order
+
+  bool is_index() const { return kind == Kind::kIndexLookup; }
+  std::string ToString() const;
+};
+
+/// Access-path planning: extracts sargable equality conjuncts from a WHERE
+/// clause and picks an index lookup over a full scan when a hash index
+/// covers them. The residual predicate is NOT represented here — executors
+/// re-evaluate the full WHERE on every returned row, so a plan is always
+/// safe: the index only has to return a superset of the matching rows
+/// restricted to the equality keys it covers.
+class Planner {
+ public:
+  /// Plans access for `scope[target]`. Sargable conjuncts are top-level
+  /// AND-ed `col = expr` terms whose column resolves to the target table and
+  /// whose other side evaluates to a non-NULL constant from `vars` alone
+  /// (literals, host variables, arithmetic over them). NULL keys are never
+  /// sargable (SQL equality with NULL selects nothing; the scan path's
+  /// residual predicate handles it).
+  static StatusOr<AccessPlan> Plan(const Table& table,
+                                   const std::vector<TableScope>& scope,
+                                   size_t target, const Expr* where,
+                                   const VarEnv* vars);
+
+  /// Plans from pre-extracted (column position, value) equality pairs — the
+  /// entangled-query grounder's constant atom positions are exactly this.
+  /// Values are coerced to the column types; pairs that cannot coerce (or
+  /// are NULL) are dropped, which can only demote the plan to a scan.
+  static AccessPlan PlanPointLookup(
+      const Table& table, const std::vector<std::pair<size_t, Value>>& eqs);
+};
+
+}  // namespace youtopia::sql
+
+#endif  // YOUTOPIA_SQL_PLANNER_H_

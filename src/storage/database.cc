@@ -80,6 +80,14 @@ Status Database::SaveTo(std::ostream* out) const {
     EncodeU32(&buf, t->id());
     EncodeString(&buf, t->name());
     EncodeSchema(&buf, t->schema());
+    // Secondary-index definitions (the primary-key index is rebuilt from the
+    // schema by the Table constructor).
+    std::vector<std::vector<size_t>> index_sets = t->IndexedColumnSets();
+    EncodeU32(&buf, static_cast<uint32_t>(index_sets.size()));
+    for (const auto& cols : index_sets) {
+      EncodeU32(&buf, static_cast<uint32_t>(cols.size()));
+      for (size_t c : cols) EncodeU32(&buf, static_cast<uint32_t>(c));
+    }
     EncodeU64(&buf, t->size());
     t->Scan([&buf](RowId rid, const Row& row) {
       EncodeU64(&buf, rid);
@@ -123,6 +131,18 @@ StatusOr<std::unique_ptr<Database>> Database::LoadFrom(std::istream* in) {
     YT_RETURN_IF_ERROR(DecodeU32(&p, end, &id));
     YT_RETURN_IF_ERROR(DecodeString(&p, end, &name));
     YT_RETURN_IF_ERROR(DecodeSchema(&p, end, &schema));
+    uint32_t num_indexes;
+    YT_RETURN_IF_ERROR(DecodeU32(&p, end, &num_indexes));
+    std::vector<std::vector<size_t>> index_sets(num_indexes);
+    for (uint32_t x = 0; x < num_indexes; ++x) {
+      uint32_t num_cols;
+      YT_RETURN_IF_ERROR(DecodeU32(&p, end, &num_cols));
+      for (uint32_t c = 0; c < num_cols; ++c) {
+        uint32_t col;
+        YT_RETURN_IF_ERROR(DecodeU32(&p, end, &col));
+        index_sets[x].push_back(col);
+      }
+    }
     YT_RETURN_IF_ERROR(DecodeU64(&p, end, &num_rows));
     // Recreate with stable TableIds: pad slots if needed.
     while (db->tables_.size() < id) db->tables_.push_back(nullptr);
@@ -132,6 +152,10 @@ StatusOr<std::unique_ptr<Database>> Database::LoadFrom(std::istream* in) {
     YT_RETURN_IF_ERROR(db->catalog_.Register(name, id));
     db->tables_.push_back(std::make_unique<Table>(id, name, schema));
     Table* t = db->tables_.back().get();
+    for (const auto& cols : index_sets) {
+      if (t->HasIndexOn(cols)) continue;  // PK index already rebuilt
+      YT_RETURN_IF_ERROR(t->CreateIndexByPositions(cols));
+    }
     for (uint64_t r = 0; r < num_rows; ++r) {
       uint64_t rid;
       Row row;

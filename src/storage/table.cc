@@ -4,6 +4,13 @@
 
 namespace youtopia {
 
+Table::Table(TableId id, std::string name, Schema schema)
+    : id_(id), name_(std::move(name)), schema_(std::move(schema)) {
+  if (!schema_.primary_key().empty()) {
+    (void)CreateIndexByPositions(schema_.primary_key(), /*unique=*/true);
+  }
+}
+
 StatusOr<Row> Table::CoerceToSchema(const Row& row) const {
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument(
@@ -21,10 +28,19 @@ StatusOr<Row> Table::CoerceToSchema(const Row& row) const {
 
 StatusOr<RowId> Table::Insert(const Row& row) {
   YT_ASSIGN_OR_RETURN(Row coerced, CoerceToSchema(row));
+  return InsertCoerced(std::move(coerced));
+}
+
+StatusOr<RowId> Table::InsertCoerced(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity does not match schema of " +
+                                   name_);
+  }
   std::unique_lock g(latch_);
+  YT_RETURN_IF_ERROR(CheckUniqueLocked(row, /*self=*/0));
   RowId rid = next_row_id_++;
-  IndexInsertLocked(rid, coerced);
-  rows_.emplace(rid, std::move(coerced));
+  IndexInsertLocked(rid, row);
+  rows_.emplace(rid, std::move(row));
   return rid;
 }
 
@@ -35,6 +51,7 @@ Status Table::InsertWithId(RowId rid, const Row& row) {
     return Status::AlreadyExists("row id " + std::to_string(rid) +
                                  " occupied in table " + name_);
   }
+  YT_RETURN_IF_ERROR(CheckUniqueLocked(coerced, /*self=*/0));
   next_row_id_ = std::max(next_row_id_, rid + 1);
   IndexInsertLocked(rid, coerced);
   rows_.emplace(rid, std::move(coerced));
@@ -53,14 +70,23 @@ StatusOr<Row> Table::Get(RowId rid) const {
 
 Status Table::Update(RowId rid, const Row& row) {
   YT_ASSIGN_OR_RETURN(Row coerced, CoerceToSchema(row));
+  return UpdateCoerced(rid, std::move(coerced));
+}
+
+Status Table::UpdateCoerced(RowId rid, Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity does not match schema of " +
+                                   name_);
+  }
   std::unique_lock g(latch_);
   auto it = rows_.find(rid);
   if (it == rows_.end()) {
     return Status::NotFound("row " + std::to_string(rid) + " in table " +
                             name_);
   }
+  YT_RETURN_IF_ERROR(CheckUniqueLocked(row, rid));
   IndexRemoveLocked(rid, it->second);
-  it->second = std::move(coerced);
+  it->second = std::move(row);
   IndexInsertLocked(rid, it->second);
   return Status::Ok();
 }
@@ -85,17 +111,36 @@ void Table::Scan(const std::function<bool(RowId, const Row&)>& visitor) const {
 }
 
 Status Table::CreateIndex(const std::vector<std::string>& column_names) {
-  std::unique_lock g(latch_);
-  HashIndex idx;
+  std::vector<size_t> columns;
   for (const std::string& name : column_names) {
     YT_ASSIGN_OR_RETURN(size_t i, schema_.IndexOf(name));
-    idx.columns.push_back(i);
+    columns.push_back(i);
   }
-  if (FindIndexLocked(idx.columns) != nullptr) {
+  return CreateIndexByPositions(columns);
+}
+
+Status Table::CreateIndexByPositions(const std::vector<size_t>& columns,
+                                     bool unique) {
+  std::unique_lock g(latch_);
+  for (size_t c : columns) {
+    if (c >= schema_.num_columns()) {
+      return Status::InvalidArgument("index column out of range for table " +
+                                     name_);
+    }
+  }
+  if (FindIndexLocked(columns) != nullptr) {
     return Status::AlreadyExists("index already exists on table " + name_);
   }
+  HashIndex idx;
+  idx.columns = columns;
+  idx.unique = unique;
   for (const auto& [rid, row] : rows_) {
-    idx.map[ProjectKey(row, idx.columns)].push_back(rid);
+    auto& bucket = idx.map[ProjectKey(row, idx.columns)];
+    if (unique && !bucket.empty()) {
+      return Status::AlreadyExists("duplicate key in unique index on table " +
+                                   name_);
+    }
+    bucket.push_back(rid);
   }
   indexes_.push_back(std::move(idx));
   return Status::Ok();
@@ -118,6 +163,34 @@ bool Table::HasIndexOn(const std::vector<size_t>& columns) const {
   return FindIndexLocked(columns) != nullptr;
 }
 
+std::vector<std::vector<size_t>> Table::IndexedColumnSets() const {
+  std::shared_lock g(latch_);
+  std::vector<std::vector<size_t>> out;
+  out.reserve(indexes_.size());
+  for (const HashIndex& idx : indexes_) out.push_back(idx.columns);
+  return out;
+}
+
+uint64_t Table::IndexKeyHash(const std::vector<size_t>& columns,
+                             const Row& key) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (size_t c : columns) {
+    h = (h ^ c) * 1099511628211ull;
+  }
+  h ^= key.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::vector<uint64_t> Table::IndexKeyHashesFor(const Row& row) const {
+  std::shared_lock g(latch_);
+  std::vector<uint64_t> out;
+  out.reserve(indexes_.size());
+  for (const HashIndex& idx : indexes_) {
+    out.push_back(IndexKeyHash(idx.columns, ProjectKey(row, idx.columns)));
+  }
+  return out;
+}
+
 size_t Table::size() const {
   std::shared_lock g(latch_);
   return rows_.size();
@@ -130,6 +203,21 @@ std::unique_ptr<Table> Table::Clone() const {
   copy->next_row_id_ = next_row_id_;
   copy->indexes_ = indexes_;
   return copy;
+}
+
+Status Table::CheckUniqueLocked(const Row& row, RowId self) const {
+  for (const HashIndex& idx : indexes_) {
+    if (!idx.unique) continue;
+    auto it = idx.map.find(ProjectKey(row, idx.columns));
+    if (it == idx.map.end()) continue;
+    for (RowId r : it->second) {
+      if (r != self) {
+        return Status::AlreadyExists("duplicate primary key in table " +
+                                     name_);
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 void Table::IndexInsertLocked(RowId rid, const Row& row) {

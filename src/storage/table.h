@@ -27,8 +27,10 @@ using RowId = uint64_t;
 /// deterministic.
 class Table {
  public:
-  Table(TableId id, std::string name, Schema schema)
-      : id_(id), name_(std::move(name)), schema_(std::move(schema)) {}
+  /// A schema with primary-key columns gets a unique hash index over them
+  /// automatically (also on recovery/checkpoint load, which reconstruct the
+  /// table through this constructor).
+  Table(TableId id, std::string name, Schema schema);
 
   TableId id() const { return id_; }
   const std::string& name() const { return name_; }
@@ -36,6 +38,11 @@ class Table {
 
   /// Validates arity/types (with coercion) and appends the row.
   StatusOr<RowId> Insert(const Row& row);
+  /// Insert/Update for a row that already came out of Coerce() — skips the
+  /// re-validation (the transaction manager coerces once up front to
+  /// compute index-key locks).
+  StatusOr<RowId> InsertCoerced(Row row);
+  Status UpdateCoerced(RowId rid, Row row);
 
   /// Inserts at a specific RowId (recovery redo / checkpoint load). Fails if
   /// the id is occupied; bumps the row-id allocator past `rid`.
@@ -50,12 +57,31 @@ class Table {
 
   /// Builds a hash index over the named columns (backfills existing rows).
   Status CreateIndex(const std::vector<std::string>& column_names);
+  /// Same, addressing columns by schema position. `unique` rejects duplicate
+  /// keys at build time and on later inserts/updates (primary-key indexes).
+  Status CreateIndexByPositions(const std::vector<size_t>& columns,
+                                bool unique = false);
 
   /// Returns RowIds whose projection on `columns` equals `key`, or NotFound
   /// when no index covers exactly those columns.
   StatusOr<std::vector<RowId>> IndexLookup(const std::vector<size_t>& columns,
                                            const Row& key) const;
   bool HasIndexOn(const std::vector<size_t>& columns) const;
+
+  /// Column sets of every index, in creation order (access-path planning).
+  std::vector<std::vector<size_t>> IndexedColumnSets() const;
+
+  /// Validates/coerces a row against the schema without inserting it (the
+  /// transaction manager pre-computes index-key locks from the coerced row).
+  StatusOr<Row> Coerce(const Row& row) const { return CoerceToSchema(row); }
+
+  /// Stable hash identifying (index columns, key) — the lock manager's
+  /// index-key predicate locks are keyed on this.
+  static uint64_t IndexKeyHash(const std::vector<size_t>& columns,
+                               const Row& key);
+  /// IndexKeyHash for every index of this table, projected from `row` (which
+  /// must already match the schema).
+  std::vector<uint64_t> IndexKeyHashesFor(const Row& row) const;
 
   size_t size() const;
 
@@ -65,10 +91,14 @@ class Table {
  private:
   struct HashIndex {
     std::vector<size_t> columns;
+    bool unique = false;
     std::unordered_map<Row, std::vector<RowId>, RowHash> map;
   };
 
   StatusOr<Row> CoerceToSchema(const Row& row) const;
+  /// Rejects rows that would duplicate a unique-index key (`self` excluded,
+  /// for updates). Caller holds the latch.
+  Status CheckUniqueLocked(const Row& row, RowId self) const;
   void IndexInsertLocked(RowId rid, const Row& row);
   void IndexRemoveLocked(RowId rid, const Row& row);
   const HashIndex* FindIndexLocked(const std::vector<size_t>& columns) const;

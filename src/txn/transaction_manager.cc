@@ -1,5 +1,6 @@
 #include "src/txn/transaction_manager.h"
 
+#include <algorithm>
 #include <fstream>
 
 namespace youtopia {
@@ -27,6 +28,20 @@ std::unique_ptr<Transaction> TransactionManager::Begin(IsolationLevel level) {
   return txn;
 }
 
+Status TransactionManager::AcquireIndexKeyLocks(Transaction* txn,
+                                                const Table* t,
+                                                std::vector<uint64_t> hashes) {
+  std::sort(hashes.begin(), hashes.end());
+  hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+  for (uint64_t h : hashes) {
+    YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(),
+                                       LockKey::IndexKey(t->id(), h),
+                                       LockMode::kX,
+                                       txn->lock_timeout_micros()));
+  }
+  return Status::Ok();
+}
+
 StatusOr<RowId> TransactionManager::Insert(Transaction* txn,
                                            const std::string& table,
                                            const Row& row) {
@@ -35,7 +50,13 @@ StatusOr<RowId> TransactionManager::Insert(Transaction* txn,
   YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), LockKey::Table(t->id()),
                                      LockMode::kIX,
                                      txn->lock_timeout_micros()));
-  YT_ASSIGN_OR_RETURN(RowId rid, t->Insert(row));
+  // Index-key X locks before touching the index structures: concurrent
+  // indexed equality readers of the same key hold S on the hash, so this
+  // insert cannot create a phantom under them.
+  YT_ASSIGN_OR_RETURN(Row coerced, t->Coerce(row));
+  YT_RETURN_IF_ERROR(
+      AcquireIndexKeyLocks(txn, t, t->IndexKeyHashesFor(coerced)));
+  YT_ASSIGN_OR_RETURN(RowId rid, t->InsertCoerced(std::move(coerced)));
   // X on the new row: no other transaction can see it before commit anyway
   // (it is brand new), but the lock keeps the row protocol uniform.
   YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), LockKey::RowOf(t->id(), rid),
@@ -97,7 +118,13 @@ Status TransactionManager::Update(Transaction* txn, const std::string& table,
                                      LockMode::kX,
                                      txn->lock_timeout_micros()));
   YT_ASSIGN_OR_RETURN(Row before, t->Get(rid));
-  YT_RETURN_IF_ERROR(t->Update(rid, row));
+  // The update moves this row's index entries from the old keys to the new
+  // ones; X both sides so equality readers of either key are excluded.
+  YT_ASSIGN_OR_RETURN(Row coerced, t->Coerce(row));
+  std::vector<uint64_t> hashes = t->IndexKeyHashesFor(before);
+  for (uint64_t h : t->IndexKeyHashesFor(coerced)) hashes.push_back(h);
+  YT_RETURN_IF_ERROR(AcquireIndexKeyLocks(txn, t, std::move(hashes)));
+  YT_RETURN_IF_ERROR(t->UpdateCoerced(rid, std::move(coerced)));
   txn->undo_log().push_back(
       {UndoEntry::Kind::kUpdate, t->name(), rid, before});
   txn->count_write();
@@ -122,6 +149,8 @@ Status TransactionManager::Delete(Transaction* txn, const std::string& table,
                                      LockMode::kX,
                                      txn->lock_timeout_micros()));
   YT_ASSIGN_OR_RETURN(Row before, t->Get(rid));
+  YT_RETURN_IF_ERROR(
+      AcquireIndexKeyLocks(txn, t, t->IndexKeyHashesFor(before)));
   YT_RETURN_IF_ERROR(t->Delete(rid));
   txn->undo_log().push_back(
       {UndoEntry::Kind::kDelete, t->name(), rid, before});
@@ -146,6 +175,7 @@ Status TransactionManager::Scan(
                                        txn->lock_timeout_micros()));
   }
   t->Scan(visitor);
+  stats_.table_scans.fetch_add(1, std::memory_order_relaxed);
   if (options_.observer != nullptr) {
     options_.observer->OnRead(txn->id(), {t->name(), 0});
   }
@@ -176,10 +206,112 @@ Status TransactionManager::ScanForGrounding(
                                        txn->lock_timeout_micros()));
   }
   t->Scan(visitor);
+  stats_.grounding_scans.fetch_add(1, std::memory_order_relaxed);
   if (options_.observer != nullptr) {
     options_.observer->OnGroundingRead(txn->id(), {t->name(), 0});
   }
   return Status::Ok();
+}
+
+Status TransactionManager::IndexedRead(
+    Transaction* txn, const std::string& table,
+    const std::vector<size_t>& columns, const Row& key, bool grounding,
+    const std::function<bool(RowId, const Row&)>& visitor) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+  const bool take_locks = TakesReadLocks(txn->isolation_level());
+  const LockKey key_lock =
+      LockKey::IndexKey(t->id(), Table::IndexKeyHash(columns, key));
+  if (take_locks) {
+    YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), LockKey::Table(t->id()),
+                                       LockMode::kIS,
+                                       txn->lock_timeout_micros()));
+    // S on the key hash: no writer can add/remove/move a row under this
+    // equality key until we are done (phantom protection for the predicate).
+    YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), key_lock, LockMode::kS,
+                                       txn->lock_timeout_micros()));
+  }
+  YT_ASSIGN_OR_RETURN(std::vector<RowId> rids, t->IndexLookup(columns, key));
+  std::sort(rids.begin(), rids.end());  // deterministic (scan) order
+  if (grounding && options_.observer != nullptr) {
+    // Table-granular R^G, as with scans: the grounding read logically
+    // covers the relation (quasi-read derivation stays conservative).
+    options_.observer->OnGroundingRead(txn->id(), {t->name(), 0});
+  }
+  std::vector<RowId> visited;
+  for (RowId rid : rids) {
+    if (take_locks) {
+      YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(),
+                                         LockKey::RowOf(t->id(), rid),
+                                         LockMode::kS,
+                                         txn->lock_timeout_micros()));
+    }
+    auto row = t->Get(rid);
+    if (!row.ok()) continue;  // lockless levels may race a delete
+    visited.push_back(rid);
+    if (!grounding && options_.observer != nullptr) {
+      options_.observer->OnRead(txn->id(), {t->name(), rid});
+    }
+    if (!visitor(rid, row.value())) break;
+  }
+  auto& counter = grounding ? stats_.grounding_index_lookups
+                            : stats_.index_lookups;
+  counter.fetch_add(1, std::memory_order_relaxed);
+  if (txn->isolation_level() == IsolationLevel::kReadCommitted) {
+    // Short read locks: drop the row S and key S now; keep table IS. Never
+    // drop a key lock this transaction holds in X — that protects its own
+    // earlier uncommitted write to this key.
+    for (RowId rid : visited) ReleaseEarlyReadLocks(txn, t, rid);
+    if (!locks_->Holds(txn->id(), key_lock, LockMode::kX)) {
+      locks_->ReleaseKey(txn->id(), key_lock);
+    }
+  }
+  return Status::Ok();
+}
+
+Status TransactionManager::GetByIndex(
+    Transaction* txn, const std::string& table,
+    const std::vector<size_t>& columns, const Row& key,
+    const std::function<bool(RowId, const Row&)>& visitor) {
+  return IndexedRead(txn, table, columns, key, /*grounding=*/false, visitor);
+}
+
+Status TransactionManager::LookupForGrounding(
+    Transaction* txn, const std::string& table,
+    const std::vector<size_t>& columns, const Row& key,
+    const std::function<bool(RowId, const Row&)>& visitor) {
+  return IndexedRead(txn, table, columns, key, /*grounding=*/true, visitor);
+}
+
+StatusOr<std::vector<std::pair<RowId, Row>>>
+TransactionManager::LockRowsForWrite(Transaction* txn,
+                                     const std::string& table,
+                                     const std::vector<size_t>& columns,
+                                     const Row& key) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+  YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), LockKey::Table(t->id()),
+                                     LockMode::kIX,
+                                     txn->lock_timeout_micros()));
+  // X on the key hash first: serializes with equality readers of this key
+  // and with concurrent writers inserting rows under it.
+  YT_RETURN_IF_ERROR(locks_->Acquire(
+      txn->id(), LockKey::IndexKey(t->id(), Table::IndexKeyHash(columns, key)),
+      LockMode::kX, txn->lock_timeout_micros()));
+  YT_ASSIGN_OR_RETURN(std::vector<RowId> rids, t->IndexLookup(columns, key));
+  std::sort(rids.begin(), rids.end());
+  std::vector<std::pair<RowId, Row>> out;
+  out.reserve(rids.size());
+  for (RowId rid : rids) {
+    YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(),
+                                       LockKey::RowOf(t->id(), rid),
+                                       LockMode::kX,
+                                       txn->lock_timeout_micros()));
+    YT_ASSIGN_OR_RETURN(Row row, t->Get(rid));
+    out.emplace_back(rid, std::move(row));
+  }
+  stats_.index_lookups.fetch_add(1, std::memory_order_relaxed);
+  return out;
 }
 
 Status TransactionManager::ApplyUndo(Transaction* txn) {
@@ -287,6 +419,17 @@ StatusOr<Table*> TransactionManager::CreateTable(const std::string& name,
     if (!lsn.ok()) return lsn.status();
   }
   return t;
+}
+
+Status TransactionManager::CreateIndex(
+    const std::string& table, const std::vector<std::string>& columns) {
+  YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+  YT_RETURN_IF_ERROR(t->CreateIndex(columns));
+  if (wal_ != nullptr) {
+    auto lsn = wal_->AppendAndFlush(WalRecord::CreateIndex(t->name(), columns));
+    if (!lsn.ok()) return lsn.status();
+  }
+  return Status::Ok();
 }
 
 Status TransactionManager::Checkpoint(const std::string& checkpoint_path) {

@@ -16,12 +16,19 @@
 
 namespace youtopia {
 
-/// Aggregate transaction counters (benches / tests).
+/// Aggregate transaction counters (benches / tests). The access-path
+/// counters make plan choices observable: every read routed through an
+/// index bumps index_lookups / grounding_index_lookups, every full scan
+/// bumps table_scans / grounding_scans.
 struct TxnStats {
   std::atomic<uint64_t> begins{0};
   std::atomic<uint64_t> commits{0};
   std::atomic<uint64_t> aborts{0};
   std::atomic<uint64_t> group_commits{0};
+  std::atomic<uint64_t> index_lookups{0};
+  std::atomic<uint64_t> table_scans{0};
+  std::atomic<uint64_t> grounding_index_lookups{0};
+  std::atomic<uint64_t> grounding_scans{0};
 };
 
 /// Classical ACID transaction manager over the in-memory engine:
@@ -61,9 +68,30 @@ class TransactionManager {
   Status Delete(Transaction* txn, const std::string& table, RowId rid);
 
   /// Full-table scan under a table S lock (serializable levels); the visitor
-  /// returns false to stop.
+  /// returns false to stop. The table S lock is also the phantom-protection
+  /// fallback for predicates no index covers.
   Status Scan(Transaction* txn, const std::string& table,
               const std::function<bool(RowId, const Row&)>& visitor);
+
+  /// Indexed equality read: visits the rows whose `columns` projection
+  /// equals `key` (RowId order), under row-granular locks instead of a table
+  /// S lock. At serializable levels this takes table IS + S on the index-key
+  /// hash (phantom protection for the equality predicate: any writer that
+  /// inserts, deletes, or moves a row under this key takes X on the same
+  /// hash) + S on each matched row. kReadCommitted releases the S locks at
+  /// the end of the call; kReadUncommitted takes none. `key` must be coerced
+  /// to the indexed columns' types (the planner does this).
+  Status GetByIndex(Transaction* txn, const std::string& table,
+                    const std::vector<size_t>& columns, const Row& key,
+                    const std::function<bool(RowId, const Row&)>& visitor);
+
+  /// GetByIndex for write statements: X-locks the index key and every
+  /// matched row (plus table IX) and returns the matched rows. UPDATE/DELETE
+  /// with a covering index route here instead of LockTableForWrite, so
+  /// writers on different keys no longer serialize on the table lock.
+  StatusOr<std::vector<std::pair<RowId, Row>>> LockRowsForWrite(
+      Transaction* txn, const std::string& table,
+      const std::vector<size_t>& columns, const Row& key);
 
   /// Takes a table-level X lock up front (UPDATE/DELETE statements lock the
   /// whole table before scanning, avoiding S->X upgrade deadlocks between
@@ -75,6 +103,14 @@ class TransactionManager {
   /// quasi-reads.
   Status ScanForGrounding(Transaction* txn, const std::string& table,
                           const std::function<bool(RowId, const Row&)>& visitor);
+
+  /// Indexed grounding read (constant atom positions are equality keys).
+  /// Locking mirrors GetByIndex; the schedule observer still records a
+  /// table-granular R^G, keeping the recorded schedule conservative.
+  Status LookupForGrounding(
+      Transaction* txn, const std::string& table,
+      const std::vector<size_t>& columns, const Row& key,
+      const std::function<bool(RowId, const Row&)>& visitor);
 
   // --- Termination. ---
 
@@ -93,7 +129,13 @@ class TransactionManager {
 
   // --- DDL (system transaction 0, autocommitted). ---
 
+  /// Creates the table; a schema with primary-key columns gets a unique
+  /// index over them automatically (inside the Table constructor).
   StatusOr<Table*> CreateTable(const std::string& name, const Schema& schema);
+
+  /// Builds a secondary hash index and WAL-logs it so recovery rebuilds it.
+  Status CreateIndex(const std::string& table,
+                     const std::vector<std::string>& columns);
 
   /// Writes a checkpoint image to `checkpoint_path` and truncates the WAL.
   /// Callers must quiesce transactions first.
@@ -103,6 +145,15 @@ class TransactionManager {
   Status ApplyUndo(Transaction* txn);
   Status AcquireReadLocks(Transaction* txn, const Table* t, RowId rid);
   void ReleaseEarlyReadLocks(Transaction* txn, const Table* t, RowId rid);
+  /// X-locks the index-key hashes a write touches (sorted for deterministic
+  /// acquisition order).
+  Status AcquireIndexKeyLocks(Transaction* txn, const Table* t,
+                              std::vector<uint64_t> hashes);
+  /// Shared lookup core for GetByIndex / LookupForGrounding.
+  Status IndexedRead(Transaction* txn, const std::string& table,
+                     const std::vector<size_t>& columns, const Row& key,
+                     bool grounding,
+                     const std::function<bool(RowId, const Row&)>& visitor);
 
   Database* db_;
   LockManager* locks_;

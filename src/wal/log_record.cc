@@ -17,6 +17,7 @@ const char* WalRecordTypeName(WalRecordType t) {
     case WalRecordType::kGroupCommit: return "GROUP_COMMIT";
     case WalRecordType::kCreateTable: return "CREATE_TABLE";
     case WalRecordType::kCheckpointRef: return "CHECKPOINT_REF";
+    case WalRecordType::kCreateIndex: return "CREATE_INDEX";
   }
   return "?";
 }
@@ -100,6 +101,19 @@ WalRecord WalRecord::CreateTable(std::string table, Schema schema) {
   return r;
 }
 
+WalRecord WalRecord::CreateIndex(std::string table,
+                                 const std::vector<std::string>& columns) {
+  WalRecord r;
+  r.type = WalRecordType::kCreateIndex;
+  r.table = std::move(table);
+  r.aux = Join(columns, ",");
+  return r;
+}
+
+std::vector<std::string> WalRecord::IndexColumns() const {
+  return Split(aux, ',');
+}
+
 WalRecord WalRecord::CheckpointRef(std::string path,
                                    uint64_t lsn_at_checkpoint) {
   WalRecord r;
@@ -133,7 +147,7 @@ StatusOr<WalRecord> WalRecord::Decode(const std::string& payload) {
   YT_RETURN_IF_ERROR(DecodeU64(&p, end, &r.lsn));
   YT_RETURN_IF_ERROR(DecodeU8(&p, end, &type));
   if (type < static_cast<uint8_t>(WalRecordType::kBegin) ||
-      type > static_cast<uint8_t>(WalRecordType::kCheckpointRef)) {
+      type > static_cast<uint8_t>(WalRecordType::kCreateIndex)) {
     return Status::Corruption("bad WAL record type");
   }
   r.type = static_cast<WalRecordType>(type);

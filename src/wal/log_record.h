@@ -30,6 +30,7 @@ enum class WalRecordType : uint8_t {
   kGroupCommit,    ///< all members of a group are durably committed
   kCreateTable,    ///< DDL (system transaction, txn = 0)
   kCheckpointRef,  ///< first record of a fresh log; points at a checkpoint
+  kCreateIndex,    ///< DDL: secondary index (column names in aux)
 };
 
 /// One WAL record. Unused fields are empty for a given type.
@@ -57,7 +58,12 @@ struct WalRecord {
   static WalRecord Entangle(EntanglementId eid, std::vector<TxnId> members);
   static WalRecord GroupCommit(GroupId group, std::vector<TxnId> members);
   static WalRecord CreateTable(std::string table, Schema schema);
+  static WalRecord CreateIndex(std::string table,
+                               const std::vector<std::string>& columns);
   static WalRecord CheckpointRef(std::string path, uint64_t lsn_at_checkpoint);
+
+  /// Column names of a kCreateIndex record (decoded from aux).
+  std::vector<std::string> IndexColumns() const;
 
   /// Payload encoding (no framing; the writer adds length + CRC).
   void EncodeTo(std::string* dst) const;

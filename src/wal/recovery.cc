@@ -84,6 +84,13 @@ StatusOr<RecoveryManager::Result> RecoveryManager::Recover(
         }
         break;
       }
+      case WalRecordType::kCreateIndex: {
+        YT_ASSIGN_OR_RETURN(Table * t, result.db->GetTable(r.table));
+        Status s = t->CreateIndex(r.IndexColumns());
+        // AlreadyExists: the index came back with a checkpoint image.
+        if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+        break;
+      }
       case WalRecordType::kInsert: {
         if (!result.committed.count(r.txn)) break;
         YT_ASSIGN_OR_RETURN(Table * t, result.db->GetTable(r.table));

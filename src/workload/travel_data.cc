@@ -21,20 +21,24 @@ StatusOr<TravelData> TravelData::Build(TransactionManager* tm,
     data.hometowns_[u] = data.cities_[rng.Index(data.cities_.size())];
   }
 
-  // --- Schema.
-  YT_ASSIGN_OR_RETURN(
-      Table * user_t,
-      tm->CreateTable("User", Schema({{"uid", TypeId::kInt64},
-                                      {"hometown", TypeId::kString}})));
+  // --- Schema. Point-access columns carry indexes: User.uid and Flight.fid
+  // are primary keys, Friends gets a secondary index on uid1 (adjacency
+  // probes and the §D social join's Friends.uid1 = c conjunct).
+  Schema user_schema({{"uid", TypeId::kInt64},
+                      {"hometown", TypeId::kString}});
+  user_schema.set_primary_key({0});
+  YT_ASSIGN_OR_RETURN(Table * user_t, tm->CreateTable("User", user_schema));
   YT_ASSIGN_OR_RETURN(
       Table * friends_t,
       tm->CreateTable("Friends", Schema({{"uid1", TypeId::kInt64},
                                          {"uid2", TypeId::kInt64}})));
-  YT_ASSIGN_OR_RETURN(
-      Table * flight_t,
-      tm->CreateTable("Flight", Schema({{"source", TypeId::kString},
-                                        {"destination", TypeId::kString},
-                                        {"fid", TypeId::kInt64}})));
+  YT_RETURN_IF_ERROR(tm->CreateIndex("Friends", {"uid1"}));
+  Schema flight_schema({{"source", TypeId::kString},
+                        {"destination", TypeId::kString},
+                        {"fid", TypeId::kInt64}});
+  flight_schema.set_primary_key({2});
+  YT_ASSIGN_OR_RETURN(Table * flight_t,
+                      tm->CreateTable("Flight", flight_schema));
   YT_ASSIGN_OR_RETURN(
       Table * reserve_t,
       tm->CreateTable("Reserve", Schema({{"uid", TypeId::kInt64},

@@ -113,6 +113,55 @@ TEST_F(Figure1Test, GroundingsMatchFigure7b) {
   ASSERT_OK(fix_.tm->Commit(txn.get()));
 }
 
+TEST_F(Figure1Test, ConstantAtomTermsGroundThroughIndex) {
+  // Friends-style fully/partially constant atoms over an indexed relation
+  // must ground via LookupForGrounding, with identical results to the scan
+  // path.
+  Schema fs({{"uid1", TypeId::kInt64}, {"uid2", TypeId::kInt64}});
+  fs.set_primary_key({0, 1});
+  ASSERT_OK(fix_.tm->CreateTable("Friends", fs).status());
+  auto setup = fix_.tm->Begin();
+  for (int64_t a = 1; a <= 4; ++a) {
+    for (int64_t b = a + 1; b <= 4; ++b) {
+      ASSERT_OK(fix_.tm->Insert(setup.get(), "Friends",
+                                Row({Value::Int(a), Value::Int(b)}))
+                    .status());
+    }
+  }
+  ASSERT_OK(fix_.tm->Commit(setup.get()));
+
+  EntangledQuerySpec q;
+  q.label = "friends-probe";
+  Atom body;
+  body.relation = "Friends";
+  body.terms = {Term::Const(Value::Int(2)), Term::Const(Value::Int(3))};
+  q.body.push_back(body);
+  Atom head;
+  head.relation = "R";
+  head.terms = {Term::Const(Value::Str("ok"))};
+  q.head.push_back(head);
+
+  auto txn = fix_.tm->Begin();
+  uint64_t lookups = fix_.tm->stats().grounding_index_lookups.load();
+  uint64_t scans = fix_.tm->stats().grounding_scans.load();
+  ASSERT_OK_AND_ASSIGN(std::vector<Grounding> g,
+                       Grounder::Ground(q, fix_.tm.get(), txn.get()));
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(fix_.tm->stats().grounding_index_lookups.load(), lookups + 1);
+  EXPECT_EQ(fix_.tm->stats().grounding_scans.load(), scans);
+
+  // A variable atom position demotes to a grounding scan when no index
+  // covers the remaining constants.
+  EntangledQuerySpec qv = q;
+  qv.body[0].terms = {Term::Const(Value::Int(2)), Term::Var("x")};
+  qv.head[0].terms = {Term::Var("x")};
+  ASSERT_OK_AND_ASSIGN(std::vector<Grounding> gv,
+                       Grounder::Ground(qv, fix_.tm.get(), txn.get()));
+  EXPECT_EQ(gv.size(), 2u);  // (2,3) and (2,4)
+  EXPECT_EQ(fix_.tm->stats().grounding_scans.load(), scans + 1);
+  ASSERT_OK(fix_.tm->Commit(txn.get()));
+}
+
 TEST_F(Figure1Test, CoordinatorAnswersMickeyAndMinnieConsistently) {
   ASSERT_OK_AND_ASSIGN(EntangledQuerySpec mickey,
                        CompileSql(kMickeyFlight, fix_.db, {}, "Mickey"));

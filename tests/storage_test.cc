@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <thread>
 
 #include "src/storage/database.h"
 #include "tests/test_util.h"
@@ -148,6 +150,134 @@ TEST(DatabaseTest, CorruptCheckpointRejected) {
   auto loaded = Database::LoadFrom(&bad);
   EXPECT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+Schema UserSchemaWithPk() {
+  Schema s = UserSchema();
+  s.set_primary_key({0});
+  return s;
+}
+
+TEST(TableIndexTest, PrimaryKeySchemaAutoBuildsUniqueIndex) {
+  Table t(0, "User", UserSchemaWithPk());
+  EXPECT_TRUE(t.HasIndexOn({0}));
+  ASSERT_OK_AND_ASSIGN(RowId r1,
+                       t.Insert(Row({Value::Int(1), Value::Str("LA")})));
+  ASSERT_OK_AND_ASSIGN(std::vector<RowId> hit,
+                       t.IndexLookup({0}, Row({Value::Int(1)})));
+  EXPECT_EQ(hit, std::vector<RowId>{r1});
+  // Duplicate primary key rejected on Insert, InsertWithId, and Update.
+  EXPECT_FALSE(t.Insert(Row({Value::Int(1), Value::Str("NY")})).ok());
+  EXPECT_FALSE(t.InsertWithId(9, Row({Value::Int(1), Value::Str("NY")})).ok());
+  ASSERT_OK(t.Insert(Row({Value::Int(2), Value::Str("NY")})).status());
+  EXPECT_FALSE(t.Update(r1, Row({Value::Int(2), Value::Str("LA")})).ok());
+  // Updating a row to its own key is not a violation.
+  EXPECT_OK(t.Update(r1, Row({Value::Int(1), Value::Str("SF")})));
+}
+
+TEST(TableIndexTest, MaintenanceAcrossInsertUpdateDelete) {
+  Table t(0, "User", UserSchema());
+  ASSERT_OK(t.CreateIndex({"hometown"}));
+  ASSERT_OK_AND_ASSIGN(RowId r1,
+                       t.Insert(Row({Value::Int(1), Value::Str("LA")})));
+  ASSERT_OK_AND_ASSIGN(RowId r2,
+                       t.Insert(Row({Value::Int(2), Value::Str("LA")})));
+  ASSERT_OK_AND_ASSIGN(std::vector<RowId> la,
+                       t.IndexLookup({1}, Row({Value::Str("LA")})));
+  EXPECT_EQ(la.size(), 2u);
+  // Update moves the entry to the new key.
+  ASSERT_OK(t.Update(r1, Row({Value::Int(1), Value::Str("NY")})));
+  EXPECT_EQ(t.IndexLookup({1}, Row({Value::Str("LA")})).value(),
+            std::vector<RowId>{r2});
+  EXPECT_EQ(t.IndexLookup({1}, Row({Value::Str("NY")})).value(),
+            std::vector<RowId>{r1});
+  // Delete removes it.
+  ASSERT_OK(t.Delete(r2));
+  EXPECT_TRUE(t.IndexLookup({1}, Row({Value::Str("LA")})).value().empty());
+  // Lookup keys are coerced by callers; raw typed key must match storage.
+  EXPECT_TRUE(t.HasIndexOn({1}));
+  EXPECT_FALSE(t.IndexLookup({0, 1}, Row({Value::Int(1)})).ok());
+}
+
+TEST(TableIndexTest, IndexedColumnSetsAndCloneCarryIndexes) {
+  Table t(0, "User", UserSchemaWithPk());
+  ASSERT_OK(t.CreateIndex({"hometown"}));
+  auto sets = t.IndexedColumnSets();
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0], std::vector<size_t>{0});  // PK index first
+  EXPECT_EQ(sets[1], std::vector<size_t>{1});
+  ASSERT_OK(t.Insert(Row({Value::Int(1), Value::Str("LA")})).status());
+  std::unique_ptr<Table> copy = t.Clone();
+  EXPECT_EQ(copy->IndexedColumnSets().size(), 2u);
+  EXPECT_EQ(copy->IndexLookup({1}, Row({Value::Str("LA")})).value().size(),
+            1u);
+}
+
+TEST(TableIndexTest, ConcurrentMaintenanceKeepsIndexConsistent) {
+  Table t(0, "User", UserSchemaWithPk());
+  ASSERT_OK(t.CreateIndex({"hometown"}));
+  constexpr int kThreads = 4;
+  constexpr int kKeysPerThread = 200;
+  std::atomic<bool> lookup_failed{false};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&t, &lookup_failed, w] {
+      const char* cities[] = {"LA", "NY", "SF"};
+      for (int i = 0; i < kKeysPerThread; ++i) {
+        int64_t uid = w * kKeysPerThread + i;
+        RowId rid =
+            t.Insert(Row({Value::Int(uid), Value::Str(cities[i % 3])}))
+                .value();
+        if (i % 3 == 0) {
+          (void)t.Update(rid, Row({Value::Int(uid), Value::Str("MOVED")}));
+        } else if (i % 3 == 1) {
+          (void)t.Delete(rid);
+        }
+        // Interleaved lookups must never see torn state (latch coverage).
+        if (!t.IndexLookup({0}, Row({Value::Int(uid)})).ok()) {
+          lookup_failed = true;
+        }
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  EXPECT_FALSE(lookup_failed);
+  // Final invariant: every surviving row is findable through both indexes,
+  // and every index entry points at a live row with the right key.
+  size_t checked = 0;
+  t.Scan([&](RowId rid, const Row& row) {
+    auto by_pk = t.IndexLookup({0}, Row({row[0]}));
+    EXPECT_EQ(by_pk.value(), std::vector<RowId>{rid});
+    auto by_city = t.IndexLookup({1}, Row({row[1]}));
+    bool found = false;
+    for (RowId r : by_city.value()) found |= (r == rid);
+    EXPECT_TRUE(found);
+    ++checked;
+    return true;
+  });
+  EXPECT_EQ(checked, t.size());
+  // Each thread deletes the i%3==1 iterations: ceil(kKeysPerThread/3) rows.
+  const size_t deleted_per_thread = (kKeysPerThread + 1) / 3;
+  EXPECT_EQ(t.size(),
+            static_cast<size_t>(kThreads) *
+                (kKeysPerThread - deleted_per_thread));
+}
+
+TEST(DatabaseTest, CheckpointRoundTripsIndexes) {
+  Database db;
+  ASSERT_OK_AND_ASSIGN(Table * t, db.CreateTable("User", UserSchemaWithPk()));
+  ASSERT_OK(t->CreateIndex({"hometown"}));
+  ASSERT_OK(t->Insert(Row({Value::Int(7), Value::Str("LA")})).status());
+  std::stringstream ss;
+  ASSERT_OK(db.SaveTo(&ss));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> loaded,
+                       Database::LoadFrom(&ss));
+  Table* lt = loaded->GetTable("User").value();
+  EXPECT_TRUE(lt->HasIndexOn({0}));
+  EXPECT_TRUE(lt->HasIndexOn({1}));
+  EXPECT_EQ(lt->IndexLookup({1}, Row({Value::Str("LA")})).value().size(), 1u);
+  // The reloaded PK index is still unique.
+  EXPECT_FALSE(lt->Insert(Row({Value::Int(7), Value::Str("NY")})).ok());
 }
 
 TEST(CatalogTest, RegisterLookupUnregister) {

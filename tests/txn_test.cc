@@ -141,6 +141,260 @@ TEST(TxnTest, SerializableScanBlocksInsertPreventingFig3b) {
   ASSERT_OK(fix.tm->Commit(donald.get()));
 }
 
+Schema KVWithPk() {
+  Schema s = KV();
+  s.set_primary_key({0});
+  return s;
+}
+
+TEST(TxnIndexTest, GetByIndexVisitsMatchesAndBumpsCounter) {
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("T", KVWithPk()).status());
+  auto setup = fix.tm->Begin();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(fix.tm->Insert(setup.get(), "T",
+                             Row({Value::Int(i), Value::Str("v")}))
+                  .status());
+  }
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+
+  auto txn = fix.tm->Begin();
+  uint64_t scans_before = fix.tm->stats().table_scans.load();
+  std::vector<Row> hits;
+  ASSERT_OK(fix.tm->GetByIndex(txn.get(), "T", {0}, Row({Value::Int(7)}),
+                               [&](RowId, const Row& row) {
+                                 hits.push_back(row);
+                                 return true;
+                               }));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0][0], Value::Int(7));
+  EXPECT_EQ(fix.tm->stats().index_lookups.load(), 1u);
+  EXPECT_EQ(fix.tm->stats().table_scans.load(), scans_before);
+  ASSERT_OK(fix.tm->Commit(txn.get()));
+}
+
+TEST(TxnIndexTest, RollbackRestoresIndexEntries) {
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("T", KVWithPk()).status());
+  auto setup = fix.tm->Begin();
+  ASSERT_OK_AND_ASSIGN(RowId moved,
+                       fix.tm->Insert(setup.get(), "T",
+                                      Row({Value::Int(1), Value::Str("a")})));
+  ASSERT_OK_AND_ASSIGN(RowId doomed,
+                       fix.tm->Insert(setup.get(), "T",
+                                      Row({Value::Int(2), Value::Str("b")})));
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+
+  auto t = fix.tm->Begin();
+  // Move key 1 -> 10, delete key 2, insert key 3, then roll back.
+  ASSERT_OK(fix.tm->Update(t.get(), "T", moved,
+                           Row({Value::Int(10), Value::Str("a")})));
+  ASSERT_OK(fix.tm->Delete(t.get(), "T", doomed));
+  ASSERT_OK(fix.tm->Insert(t.get(), "T",
+                           Row({Value::Int(3), Value::Str("c")}))
+                .status());
+  ASSERT_OK(fix.tm->Abort(t.get()));
+
+  // The index reflects the pre-transaction world again.
+  Table* table = fix.db.GetTable("T").value();
+  EXPECT_EQ(table->IndexLookup({0}, Row({Value::Int(1)})).value(),
+            std::vector<RowId>{moved});
+  EXPECT_EQ(table->IndexLookup({0}, Row({Value::Int(2)})).value(),
+            std::vector<RowId>{doomed});
+  EXPECT_TRUE(table->IndexLookup({0}, Row({Value::Int(10)})).value().empty());
+  EXPECT_TRUE(table->IndexLookup({0}, Row({Value::Int(3)})).value().empty());
+  // And indexed reads agree with the restored heap.
+  auto check = fix.tm->Begin();
+  size_t n = 0;
+  ASSERT_OK(fix.tm->GetByIndex(check.get(), "T", {0}, Row({Value::Int(1)}),
+                               [&](RowId, const Row& row) {
+                                 EXPECT_EQ(row[1], Value::Str("a"));
+                                 ++n;
+                                 return true;
+                               }));
+  EXPECT_EQ(n, 1u);
+  ASSERT_OK(fix.tm->Commit(check.get()));
+}
+
+TEST(TxnIndexTest, RowGranularLocksAllowWritersOnOtherKeys) {
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("T", KVWithPk()).status());
+  auto setup = fix.tm->Begin();
+  RowId r1 = fix.tm->Insert(setup.get(), "T",
+                            Row({Value::Int(1), Value::Str("a")}))
+                 .value();
+  ASSERT_OK(fix.tm->Insert(setup.get(), "T",
+                           Row({Value::Int(2), Value::Str("b")}))
+                .status());
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+
+  auto reader = fix.tm->Begin();  // serializable: row S held to commit
+  ASSERT_OK(fix.tm->GetByIndex(reader.get(), "T", {0}, Row({Value::Int(1)}),
+                               [](RowId, const Row&) { return true; }));
+  // A writer on a DIFFERENT key proceeds — with the old table S lock this
+  // update would have blocked.
+  auto writer = fix.tm->Begin();
+  Table* table = fix.db.GetTable("T").value();
+  RowId r2 = table->IndexLookup({0}, Row({Value::Int(2)})).value()[0];
+  ASSERT_OK(fix.tm->Update(writer.get(), "T", r2,
+                           Row({Value::Int(2), Value::Str("b2")})));
+  ASSERT_OK(fix.tm->Commit(writer.get()));
+  // A writer on the READ key still blocks until the reader commits.
+  auto blocked = fix.tm->Begin();
+  std::atomic<bool> wrote{false};
+  std::thread th([&] {
+    Status s = fix.tm->Update(blocked.get(), "T", r1,
+                              Row({Value::Int(1), Value::Str("a2")}));
+    wrote.store(s.ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(wrote.load());
+  ASSERT_OK(fix.tm->Commit(reader.get()));
+  th.join();
+  EXPECT_TRUE(wrote.load());
+  ASSERT_OK(fix.tm->Commit(blocked.get()));
+}
+
+TEST(TxnIndexTest, IndexKeyLockBlocksPhantomInsert) {
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("T", KVWithPk()).status());
+  auto setup = fix.tm->Begin();
+  ASSERT_OK(fix.tm->Insert(setup.get(), "T",
+                           Row({Value::Int(2), Value::Str("b")}))
+                .status());
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+
+  auto reader = fix.tm->Begin();
+  // Equality read of key 1: matches nothing, but the key's predicate lock
+  // is held, so the read is repeatable.
+  size_t n = 0;
+  ASSERT_OK(fix.tm->GetByIndex(reader.get(), "T", {0}, Row({Value::Int(1)}),
+                               [&](RowId, const Row&) {
+                                 ++n;
+                                 return true;
+                               }));
+  EXPECT_EQ(n, 0u);
+  // An insert under key 1 would be a phantom: it blocks on the key lock.
+  auto phantom = fix.tm->Begin();
+  std::atomic<bool> inserted{false};
+  std::thread th([&] {
+    Status s = fix.tm->Insert(phantom.get(), "T",
+                              Row({Value::Int(1), Value::Str("p")}))
+                   .status();
+    inserted.store(s.ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(inserted.load());
+  // An insert under an unrelated key sails through.
+  auto other = fix.tm->Begin();
+  ASSERT_OK(fix.tm->Insert(other.get(), "T",
+                           Row({Value::Int(99), Value::Str("q")}))
+                .status());
+  ASSERT_OK(fix.tm->Commit(other.get()));
+  ASSERT_OK(fix.tm->Commit(reader.get()));
+  th.join();
+  EXPECT_TRUE(inserted.load());
+  ASSERT_OK(fix.tm->Commit(phantom.get()));
+}
+
+TEST(TxnIndexTest, ReadCommittedReadKeepsOwnKeyWriteLock) {
+  // A ReadCommitted transaction that reads an index key it has itself
+  // written must not drop its X key lock during early read-lock release —
+  // otherwise another transaction could observe its uncommitted write.
+  TransactionManager::Options opts;
+  opts.lock_timeout_micros = 50'000;  // 50 ms: observe blocking quickly
+  EngineFixture fix(opts);
+  ASSERT_OK(fix.tm->CreateTable("T", KVWithPk()).status());
+  auto setup = fix.tm->Begin();
+  ASSERT_OK(fix.tm->Insert(setup.get(), "T",
+                           Row({Value::Int(1), Value::Str("a")}))
+                .status());
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+
+  auto writer = fix.tm->Begin(IsolationLevel::kReadCommitted);
+  ASSERT_OK_AND_ASSIGN(auto locked,
+                       fix.tm->LockRowsForWrite(writer.get(), "T", {0},
+                                                Row({Value::Int(1)})));
+  ASSERT_EQ(locked.size(), 1u);
+  ASSERT_OK(fix.tm->Update(writer.get(), "T", locked[0].first,
+                           Row({Value::Int(1), Value::Str("dirty")})));
+  // Same-transaction read of the written key (early release path).
+  ASSERT_OK(fix.tm->GetByIndex(writer.get(), "T", {0}, Row({Value::Int(1)}),
+                               [](RowId, const Row&) { return true; }));
+  // Another transaction's indexed read of key 1 must still block.
+  auto reader = fix.tm->Begin(IsolationLevel::kSerializable);
+  Status blocked = fix.tm->GetByIndex(reader.get(), "T", {0},
+                                      Row({Value::Int(1)}),
+                                      [](RowId, const Row&) { return true; });
+  EXPECT_FALSE(blocked.ok());
+  ASSERT_OK(fix.tm->Commit(writer.get()));
+  std::vector<Row> seen;
+  ASSERT_OK(fix.tm->GetByIndex(reader.get(), "T", {0}, Row({Value::Int(1)}),
+                               [&](RowId, const Row& row) {
+                                 seen.push_back(row);
+                                 return true;
+                               }));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0][1], Value::Str("dirty"));
+  ASSERT_OK(fix.tm->Commit(reader.get()));
+}
+
+TEST(TxnIndexTest, ConcurrentIndexedReadersAndWritersStayConsistent) {
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("T", KVWithPk()).status());
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 50;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&fix, &failures, w] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        int64_t key = w * kOpsPerThread + i;
+        auto txn = fix.tm->Begin();
+        auto rid = fix.tm->Insert(txn.get(), "T",
+                                  Row({Value::Int(key), Value::Str("v")}));
+        if (!rid.ok()) {
+          (void)fix.tm->Abort(txn.get());
+          ++failures;
+          continue;
+        }
+        if (i % 4 == 0) {
+          (void)fix.tm->Abort(txn.get());  // aborted inserts must vanish
+          continue;
+        }
+        if (fix.tm->Commit(txn.get()).ok()) {
+          auto check = fix.tm->Begin();
+          size_t found = 0;
+          Status s = fix.tm->GetByIndex(check.get(), "T", {0},
+                                        Row({Value::Int(key)}),
+                                        [&](RowId, const Row&) {
+                                          ++found;
+                                          return true;
+                                        });
+          if (!s.ok() || found != 1) ++failures;
+          (void)fix.tm->Commit(check.get());
+        }
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Aborted keys left no index entries behind.
+  Table* table = fix.db.GetTable("T").value();
+  size_t live = 0;
+  table->Scan([&](RowId rid, const Row& row) {
+    auto hit = table->IndexLookup({0}, Row({row[0]}));
+    EXPECT_EQ(hit.value(), std::vector<RowId>{rid});
+    ++live;
+    return true;
+  });
+  // Each thread aborts the i%4==0 iterations: ceil(kOpsPerThread/4) keys.
+  const size_t aborted_per_thread = (kOpsPerThread + 3) / 4;
+  EXPECT_EQ(live, static_cast<size_t>(kThreads) *
+                      (kOpsPerThread - aborted_per_thread));
+  EXPECT_EQ(table->size(), live);
+}
+
 class WalRecoveryTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -178,6 +432,30 @@ TEST_F(WalRecoveryTest, CommittedTransactionsSurviveCrash) {
   Table* t = r.db->GetTable("T").value();
   EXPECT_EQ(t->size(), 1u);
   EXPECT_EQ(t->Get(1).value()[1], Value::Str("a"));
+}
+
+TEST_F(WalRecoveryTest, IndexesSurviveCrash) {
+  {
+    Database db;
+    LockManager locks;
+    WalWriter wal;
+    ASSERT_OK(wal.Open(wal_path_, {}, /*truncate=*/true));
+    TransactionManager tm(&db, &locks, &wal);
+    ASSERT_OK(tm.CreateTable("T", KVWithPk()).status());
+    ASSERT_OK(tm.CreateIndex("T", {"v"}));
+    auto t1 = tm.Begin();
+    ASSERT_OK(tm.Insert(t1.get(), "T", Row({Value::Int(1), Value::Str("a")}))
+                  .status());
+    ASSERT_OK(tm.Commit(t1.get()));
+  }
+  ASSERT_OK_AND_ASSIGN(RecoveryManager::Result r,
+                       RecoveryManager::Recover(wal_path_));
+  Table* t = r.db->GetTable("T").value();
+  // PK index rebuilt from the schema, secondary index from its WAL record.
+  EXPECT_TRUE(t->HasIndexOn({0}));
+  EXPECT_TRUE(t->HasIndexOn({1}));
+  EXPECT_EQ(t->IndexLookup({1}, Row({Value::Str("a")})).value().size(), 1u);
+  EXPECT_FALSE(t->Insert(Row({Value::Int(1), Value::Str("dup")})).ok());
 }
 
 TEST_F(WalRecoveryTest, EntangledCommitWithoutGroupCommitRollsBackBoth) {
@@ -320,6 +598,7 @@ TEST(WalRecordTest, EncodeDecodeRoundTripAllTypes) {
   records.push_back(WalRecord::GroupCommit(2, {7, 8}));
   records.push_back(
       WalRecord::CreateTable("T", Schema({{"k", TypeId::kInt64}})));
+  records.push_back(WalRecord::CreateIndex("T", {"k", "v"}));
   records.push_back(WalRecord::CheckpointRef("/tmp/x.ckpt", 42));
   uint64_t lsn = 1;
   for (WalRecord& r : records) {
