@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "src/eq/compiler.h"
 #include "src/eq/grounder.h"
 #include "src/sql/session.h"
@@ -16,6 +19,24 @@ constexpr char kSocialJoin[] =
     "SELECT uid2 FROM Friends, User u1, User u2 "
     "WHERE Friends.uid1=7 AND Friends.uid2=u2.uid AND u1.uid=7 "
     "AND u1.hometown=u2.hometown LIMIT 1";
+
+// The full §D social join (no LIMIT): u2 is fetched by bind-driven index
+// probes keyed on Friends.uid2, or — with the executor's ablation switch
+// off — by one eager 500-row snapshot cross-filtered in memory.
+constexpr char kThreeWayJoin[] =
+    "SELECT u2.uid FROM Friends, User u1, User u2 "
+    "WHERE Friends.uid1=7 AND u1.uid=7 AND Friends.uid2=u2.uid "
+    "AND u1.hometown=u2.hometown";
+
+// Fig. 6(c)-style entangled body over variables only:
+// Friends(x,y), User(x,c), User(y,c). Both User atoms ground by per-binding
+// probes on the primary key once the Friends scan binds x and y.
+constexpr char kEntangledPairSql[] =
+    "SELECT u1, u2 INTO ANSWER Pair "
+    "WHERE u1, u2 IN (SELECT uid1, uid2 FROM Friends, User a, User b "
+    "WHERE Friends.uid1=a.uid AND Friends.uid2=b.uid "
+    "AND a.hometown=b.hometown) "
+    "AND (u2, u1) IN ANSWER Pair CHOOSE 1";
 
 constexpr char kEntangledSql[] =
     "SELECT 7 AS @uid, 'CITY01' AS @destination INTO ANSWER Reserve "
@@ -103,6 +124,32 @@ void BM_SocialThreeWayJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_SocialThreeWayJoin)->Unit(benchmark::kMicrosecond);
 
+void BM_ThreeWayJoin(benchmark::State& state) {
+  // Bind-driven probes: the inner User table is never snapshotted.
+  SqlStack s;
+  sql::Session session(s.tm.get());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.Execute(kThreeWayJoin));
+  }
+  // Per-query probe count (invariant of plan shape, not of iteration count).
+  state.counters["join_probes"] = benchmark::Counter(
+      static_cast<double>(s.tm->stats().join_probes.load()),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ThreeWayJoin)->Unit(benchmark::kMicrosecond);
+
+void BM_ThreeWayJoinSnapshot(benchmark::State& state) {
+  // The pre-probe path on identical data: eager per-table snapshots
+  // cross-filtered in the join loop (the ablation baseline).
+  SqlStack s;
+  sql::Session session(s.tm.get());
+  session.executor().set_join_probes_enabled(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.Execute(kThreeWayJoin));
+  }
+}
+BENCHMARK(BM_ThreeWayJoinSnapshot)->Unit(benchmark::kMicrosecond);
+
 void BM_Insert(benchmark::State& state) {
   SqlStack s;
   sql::Session session(s.tm.get());
@@ -127,8 +174,10 @@ void BM_CompileEntangled(benchmark::State& state) {
 BENCHMARK(BM_CompileEntangled)->Unit(benchmark::kMicrosecond);
 
 void BM_GroundEntangled(benchmark::State& state) {
+  // Grounds Friends(x,y), User(x,c), User(y,c): the Friends scan drives
+  // per-binding primary-key probes into both User atoms.
   SqlStack s;
-  auto parsed = sql::Parser::ParseStatement(kEntangledSql).value();
+  auto parsed = sql::Parser::ParseStatement(kEntangledPairSql).value();
   sql::VarEnv vars;
   auto spec = eq::Compiler::Compile(*parsed.entangled, vars, s.db, "bench")
                   .value();
@@ -138,10 +187,54 @@ void BM_GroundEntangled(benchmark::State& state) {
                                                   txn.get()));
     (void)s.tm->Commit(txn.get());
   }
+  state.counters["grounding_join_probes"] = benchmark::Counter(
+      static_cast<double>(s.tm->stats().grounding_join_probes.load()),
+      benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_GroundEntangled)->Unit(benchmark::kMicrosecond);
+
+void BM_GroundEntangledSnapshot(benchmark::State& state) {
+  // Same body with probes disabled: one full snapshot per atom,
+  // cross-filtered — O(|Friends| * |User|) valuation attempts.
+  SqlStack s;
+  auto parsed = sql::Parser::ParseStatement(kEntangledPairSql).value();
+  sql::VarEnv vars;
+  auto spec = eq::Compiler::Compile(*parsed.entangled, vars, s.db, "bench")
+                  .value();
+  eq::Grounder::Options opts;
+  opts.use_index_probes = false;
+  for (auto _ : state) {
+    auto txn = s.tm->Begin();
+    benchmark::DoNotOptimize(eq::Grounder::Ground(spec, s.tm.get(),
+                                                  txn.get(), opts));
+    (void)s.tm->Commit(txn.get());
+  }
+}
+BENCHMARK(BM_GroundEntangledSnapshot)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace youtopia::bench
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): refuses to record numbers from an
+// assert-enabled binary (scripts/check.sh greps the emitted context to make
+// the same refusal on the JSON side). The system benchmark *library* reports
+// its own build type; `youtopia_build_type` reports ours.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("youtopia_build_type", "release");
+#else
+  benchmark::AddCustomContext("youtopia_build_type", "debug");
+  if (std::getenv("YOUTOPIA_ALLOW_DEBUG_BENCH") == nullptr) {
+    std::fprintf(stderr,
+                 "bench_sql: refusing to bench an assert-enabled build; use "
+                 "-DCMAKE_BUILD_TYPE=Release (or set "
+                 "YOUTOPIA_ALLOW_DEBUG_BENCH=1 to override)\n");
+    return 1;
+  }
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

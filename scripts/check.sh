@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure + build + ctest, exactly as ROADMAP.md
-# specifies. With --bench-smoke, additionally runs a short bench_sql pass and
-# emits a BENCH_sql.json trajectory point in the repo root.
+# specifies. With --bench-smoke, additionally runs a short bench_sql pass
+# from a dedicated Release tree (build-bench) and emits a BENCH_sql.json
+# trajectory point in the repo root. Debug binaries are never benched: the
+# configuration is checked, the binary refuses to run without NDEBUG, and
+# the emitted JSON is grepped for the release marker.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -11,10 +14,24 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 if [[ "${1:-}" == "--bench-smoke" ]]; then
-  ./build/bench_sql \
-    --benchmark_filter='BM_PointSelect|BM_PointSelectScan|BM_PointUpdate' \
+  cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release \
+        -DYOUTOPIA_BUILD_TESTS=OFF -DYOUTOPIA_BUILD_EXAMPLES=OFF
+  build_type=$(grep '^CMAKE_BUILD_TYPE' build-bench/CMakeCache.txt \
+               | cut -d= -f2)
+  if [[ "${build_type}" != "Release" ]]; then
+    echo "refusing to bench: build-bench is '${build_type}', not Release" >&2
+    exit 1
+  fi
+  cmake --build build-bench -j --target bench_sql
+  ./build-bench/bench_sql \
+    --benchmark_filter='BM_PointSelect|BM_PointSelectScan|BM_PointUpdate|BM_ThreeWayJoin|BM_ThreeWayJoinSnapshot|BM_GroundEntangled|BM_GroundEntangledSnapshot' \
     --benchmark_min_time=0.1 \
     --benchmark_out=BENCH_sql.json \
     --benchmark_out_format=json
-  echo "wrote BENCH_sql.json"
+  if ! grep -q '"youtopia_build_type": "release"' BENCH_sql.json; then
+    echo "BENCH_sql.json came from a non-release binary; discarding" >&2
+    rm -f BENCH_sql.json
+    exit 1
+  fi
+  echo "wrote BENCH_sql.json (Release)"
 fi

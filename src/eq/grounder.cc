@@ -1,12 +1,28 @@
 #include "src/eq/grounder.h"
 
-#include <map>
-#include <set>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "src/sql/planner.h"
 
 namespace youtopia::eq {
+
+size_t Grounding::Hash() const {
+  size_t h = 0x9e3779b97f4a7c15ull;
+  auto mix = [&h](size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  for (const auto& [rel, row] : heads) {
+    mix(std::hash<std::string>{}(rel));
+    mix(row.Hash());
+  }
+  mix(0x517cc1b727220a95ull);  // heads/posts boundary
+  for (const auto& [rel, row] : posts) {
+    mix(std::hash<std::string>{}(rel));
+    mix(row.Hash());
+  }
+  return h;
+}
 
 std::string Grounding::ToString() const {
   std::string s = "{";
@@ -73,54 +89,136 @@ StatusOr<std::vector<Grounding>> Grounder::Ground(const EntangledQuerySpec& q,
   std::vector<Grounding> out;
   if (q.body_unsatisfiable) return out;
 
-  // Snapshot the body relations, one filtered snapshot per atom. Constant
-  // positions in an atom body are exactly equality keys: when a hash index
-  // covers them the snapshot is an index lookup under the key's predicate
-  // lock (a fully constant atom like Friends(36513, 45747) touches only its
-  // matching rows), otherwise a grounding scan under the table S lock. The
-  // visitor filter below stays in place either way — it handles constant
-  // positions the chosen index does not cover.
-  std::vector<std::vector<Row>> atom_rows(q.body.size());
+  // Access planning per body atom, in atom order (= the join order of the
+  // recursion below). Constant atom positions are plan-time equality keys;
+  // variable positions first bound by an *earlier* atom are runtime keys.
+  // When a hash index covers a key mix that includes at least one
+  // runtime-bound variable, the atom is not snapshotted at all: it is
+  // fetched lazily inside the join loop, one ProbeJoinForGrounding per
+  // distinct binding (cached per atom), under the same index-key predicate
+  // locks as constant lookups — so phantom safety carries over. Constant-
+  // only coverage keeps the eager indexed snapshot (one lookup beats
+  // per-binding probes) and everything else keeps the grounding scan under
+  // the table S lock. The filters in the fetch visitors and the recursion
+  // stay in place either way, so plans only prune, never change results.
+  struct AtomAccess {
+    std::vector<Row> rows;  ///< eager paths
+    Table* table = nullptr;
+    sql::JoinProbePlan plan;  ///< lazy path when plan.is_probe()
+    /// Valuation key per runtime-bound plan part: var_names[part.outer].
+    std::vector<std::string> var_names;
+    sql::ProbeCache cache;
+  };
+  std::vector<AtomAccess> access(q.body.size());
+  std::unordered_map<std::string, TypeId> bound_vars;  // first-binding type
   for (size_t ai = 0; ai < q.body.size(); ++ai) {
     const Atom& a = q.body[ai];
-    std::vector<Row>& rows = atom_rows[ai];
-    Status arity_error = Status::Ok();
-    auto visit = [&](RowId, const Row& row) {
-      if (row.size() != a.terms.size()) {
-        arity_error = Status::InvalidArgument(
-            "atom arity mismatch for relation " + a.relation);
-        return false;
-      }
-      for (size_t i = 0; i < a.terms.size(); ++i) {
-        if (!a.terms[i].is_var && a.terms[i].constant != row[i]) {
-          return true;  // constant mismatch: skip row
-        }
-      }
-      rows.push_back(row);
-      return true;
-    };
-    sql::AccessPlan plan;
+    AtomAccess& acc = access[ai];
     auto table = tm->db()->GetTable(a.relation);
-    if (table.ok()) {
-      std::vector<std::pair<size_t, Value>> eqs;
-      for (size_t i = 0; i < a.terms.size(); ++i) {
-        if (!a.terms[i].is_var &&
-            i < table.value()->schema().num_columns()) {
-          eqs.emplace_back(i, a.terms[i].constant);
+    if (table.ok()) acc.table = table.value();
+
+    if (acc.table != nullptr && options.use_index_probes) {
+      const Schema& schema = acc.table->schema();
+      std::vector<sql::JoinEqCandidate> eqs;
+      std::vector<std::string> var_names;
+      for (size_t i = 0; i < a.terms.size() && i < schema.num_columns();
+           ++i) {
+        sql::JoinEqCandidate cand;
+        cand.column = i;
+        if (!a.terms[i].is_var) {
+          cand.is_const = true;
+          cand.constant = a.terms[i].constant;
+        } else {
+          auto it = bound_vars.find(a.terms[i].var);
+          if (it == bound_vars.end()) continue;
+          cand.outer = var_names.size();
+          cand.bound_type = it->second;
+          var_names.push_back(a.terms[i].var);
+        }
+        eqs.push_back(std::move(cand));
+      }
+      acc.plan = sql::Planner::PlanJoinProbe(*acc.table, eqs);
+      acc.var_names = std::move(var_names);
+    }
+
+    if (!acc.plan.is_probe()) {
+      // Eager snapshot, filtered on constant positions.
+      std::vector<Row>& rows = acc.rows;
+      Status arity_error = Status::Ok();
+      auto keep = [&](const Row& row) -> StatusOr<bool> {
+        if (row.size() != a.terms.size()) {
+          return Status::InvalidArgument("atom arity mismatch for relation " +
+                                         a.relation);
+        }
+        for (size_t i = 0; i < a.terms.size(); ++i) {
+          if (!a.terms[i].is_var && a.terms[i].constant != row[i]) {
+            return false;  // constant mismatch: skip row
+          }
+        }
+        return true;
+      };
+      sql::AccessPlan plan;
+      if (acc.table != nullptr) {
+        std::vector<std::pair<size_t, Value>> eqs;
+        for (size_t i = 0; i < a.terms.size(); ++i) {
+          if (!a.terms[i].is_var && i < acc.table->schema().num_columns()) {
+            eqs.emplace_back(i, a.terms[i].constant);
+          }
+        }
+        plan = sql::Planner::PlanPointLookup(*acc.table, eqs);
+      }
+      if (plan.is_index()) {
+        YT_RETURN_IF_ERROR(tm->LookupForGrounding(
+            txn, a.relation, plan.columns, plan.key,
+            [&](RowId, Row&& row) {
+              auto k = keep(row);
+              if (!k.ok()) {
+                arity_error = k.status();
+                return false;
+              }
+              if (k.value()) rows.push_back(std::move(row));
+              return true;
+            }));
+      } else {
+        if (acc.table != nullptr) rows.reserve(acc.table->size());
+        YT_RETURN_IF_ERROR(tm->ScanForGrounding(
+            txn, a.relation, [&](RowId, const Row& row) {
+              auto k = keep(row);
+              if (!k.ok()) {
+                arity_error = k.status();
+                return false;
+              }
+              if (k.value()) rows.push_back(row);
+              return true;
+            }));
+      }
+      YT_RETURN_IF_ERROR(arity_error);
+    }
+
+    // This atom's variables are bound for the deeper atoms that follow.
+    if (acc.table != nullptr) {
+      const Schema& schema = acc.table->schema();
+      for (size_t i = 0; i < a.terms.size() && i < schema.num_columns();
+           ++i) {
+        if (a.terms[i].is_var) {
+          bound_vars.emplace(a.terms[i].var, schema.column(i).type);
         }
       }
-      plan = sql::Planner::PlanPointLookup(*table.value(), eqs);
     }
-    if (plan.is_index()) {
-      YT_RETURN_IF_ERROR(tm->LookupForGrounding(txn, a.relation, plan.columns,
-                                                plan.key, visit));
-    } else {
-      YT_RETURN_IF_ERROR(tm->ScanForGrounding(txn, a.relation, visit));
-    }
-    YT_RETURN_IF_ERROR(arity_error);
   }
 
-  std::set<std::string> seen;  // dedup on rendered grounding
+  // Dedup on hashed groundings over `out` itself (no string rendering):
+  // candidates are appended first, then popped again if already seen.
+  struct IndexHash {
+    const std::vector<Grounding>* v;
+    size_t operator()(size_t i) const { return (*v)[i].Hash(); }
+  };
+  struct IndexEq {
+    const std::vector<Grounding>* v;
+    bool operator()(size_t a, size_t b) const { return (*v)[a] == (*v)[b]; }
+  };
+  std::unordered_set<size_t, IndexHash, IndexEq> seen(
+      16, IndexHash{&out}, IndexEq{&out});
   Valuation val;
 
   // Track which predicates have been applied at which join depth so each
@@ -149,16 +247,65 @@ StatusOr<std::vector<Grounding>> Grounder::Ground(const EntangledQuerySpec& q,
         }
         g.posts.emplace_back(c.relation, Row(std::move(vals)));
       }
-      std::string key = g.ToString();
-      if (seen.insert(std::move(key)).second) {
-        out.push_back(std::move(g));
-      }
+      out.push_back(std::move(g));
+      if (!seen.insert(out.size() - 1).second) out.pop_back();
       return Status::Ok();
     }
 
     const Atom& atom = q.body[depth];
-    const std::vector<Row>& rows = atom_rows[depth];
-    for (const Row& row : rows) {
+    AtomAccess& acc = access[depth];
+    const std::vector<Row>* depth_rows = &acc.rows;
+    std::vector<Row> uncached;  // probe rows when the cache is full
+    if (acc.plan.is_probe()) {
+      // Assemble the probe key from constants and the valuation built by
+      // shallower atoms. Unlike the SQL executor (where `= NULL` is never
+      // true and a NULL binding short-circuits to zero rows), valuation
+      // unification matches NULL against NULL — and the hash index stores
+      // NULL-keyed rows — so a NULL binding probes like any other value.
+      std::vector<Value> kv;
+      kv.reserve(acc.plan.parts.size());
+      for (const sql::JoinProbePlan::KeyPart& part : acc.plan.parts) {
+        if (part.is_const) {
+          kv.push_back(part.constant);
+          continue;
+        }
+        const std::string& var = acc.var_names[part.outer];
+        auto vit = val.find(var);
+        if (vit == val.end()) {
+          return Status::Internal("probe variable " + var +
+                                  " unbound at its join depth");
+        }
+        kv.push_back(vit->second);
+      }
+      YT_ASSIGN_OR_RETURN(
+          depth_rows,
+          acc.cache.GetOrFetch(
+              Row(std::move(kv)),
+              tm->stats().grounding_join_probe_cache_hits, &uncached,
+              [&](const Row& key, std::vector<Row>* rows) -> Status {
+                Status arity_error = Status::Ok();
+                YT_RETURN_IF_ERROR(tm->ProbeJoinForGrounding(
+                    txn, acc.table, acc.plan.columns, key,
+                    [&](RowId, Row&& row) {
+                      if (row.size() != atom.terms.size()) {
+                        arity_error = Status::InvalidArgument(
+                            "atom arity mismatch for relation " +
+                            atom.relation);
+                        return false;
+                      }
+                      for (size_t i = 0; i < atom.terms.size(); ++i) {
+                        if (!atom.terms[i].is_var &&
+                            atom.terms[i].constant != row[i]) {
+                          return true;  // constant the index did not cover
+                        }
+                      }
+                      rows->push_back(std::move(row));
+                      return true;
+                    }));
+                return arity_error;
+              }));
+    }
+    for (const Row& row : *depth_rows) {
       // Try to extend the valuation with this row.
       std::vector<std::string> bound_here;
       bool ok = true;

@@ -22,6 +22,9 @@ struct Grounding {
   bool operator==(const Grounding& o) const {
     return heads == o.heads && posts == o.posts;
   }
+  /// Combined hash over relations and tuples — keys the grounder's dedup
+  /// set (no string rendering on the hot path).
+  size_t Hash() const;
   std::string ToString() const;
 };
 
@@ -34,6 +37,10 @@ class Grounder {
  public:
   struct Options {
     size_t max_groundings = 100000;  ///< guardrail against runaway products
+    /// Ablation switch for bind-driven atom probes: when false, every body
+    /// atom is snapshotted eagerly (the pre-probe behavior). Groundings are
+    /// identical either way — only the access path changes.
+    bool use_index_probes = true;
   };
 
   /// Returns the groundings in deterministic (scan) order, deduplicated.

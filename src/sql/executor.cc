@@ -81,16 +81,25 @@ StatusOr<QueryResult> Executor::ExecuteSelect(const SelectStmt& sel,
   YT_RETURN_IF_ERROR(MaterializeSubqueries(sel.where.get(), txn, vars,
                                            &in_sets));
 
-  // Snapshot FROM tables through the planner: an equality conjunct covered
-  // by a hash index turns the snapshot into an index lookup under
-  // row-granular locks; everything else stays a full scan under a table S
-  // lock (which is also the phantom-safe fallback for uncovered
-  // predicates). The full WHERE is still evaluated on every candidate row,
-  // so plans only prune, never change results.
+  // Access-path planning per FROM table. Three shapes come out:
+  //   * constant equality covered by a hash index -> eager index lookup
+  //     under row-granular locks (PR-1 path);
+  //   * join equality `inner.col = outer.col` covered by a hash index ->
+  //     bind-driven probe: no snapshot at all, the table is fetched lazily
+  //     inside the join loop, one index probe per distinct outer binding
+  //     (cached per depth). Each probe takes the same index-key predicate
+  //     locks as a point lookup, so phantom safety carries over;
+  //   * everything else -> full scan under a table S lock, the phantom-safe
+  //     fallback for uncovered predicates.
+  // The full WHERE is still evaluated on every candidate row, so plans only
+  // prune, never change results.
   struct Scanned {
     std::string alias;
     const Schema* schema;
-    std::vector<Row> rows;
+    Table* table;
+    std::vector<Row> rows;  ///< eager paths
+    JoinProbePlan probe;    ///< lazy path
+    ProbeCache probe_cache;
   };
   std::vector<TableScope> scope;
   std::vector<Table*> tables;
@@ -109,17 +118,29 @@ StatusOr<QueryResult> Executor::ExecuteSelect(const SelectStmt& sel,
     Scanned s;
     s.alias = ref.alias;
     s.schema = &t->schema();
-    auto collect = [&s](RowId, const Row& row) {
-      s.rows.push_back(row);
-      return true;
-    };
-    YT_ASSIGN_OR_RETURN(AccessPlan plan,
-                        Planner::Plan(*t, scope, i, sel.where.get(), vars));
-    if (plan.is_index()) {
-      YT_RETURN_IF_ERROR(tm_->GetByIndex(txn, ref.table, plan.columns,
-                                         plan.key, collect));
-    } else {
-      YT_RETURN_IF_ERROR(tm_->Scan(txn, ref.table, collect));
+    s.table = t;
+    if (join_probes_enabled_ && i > 0) {
+      YT_ASSIGN_OR_RETURN(
+          s.probe, Planner::PlanJoinProbe(*t, scope, i, sel.where.get(), vars));
+    }
+    if (!s.probe.is_probe()) {
+      auto collect = [&s](RowId, Row&& row) {
+        s.rows.push_back(std::move(row));
+        return true;
+      };
+      YT_ASSIGN_OR_RETURN(AccessPlan plan,
+                          Planner::Plan(*t, scope, i, sel.where.get(), vars));
+      if (plan.is_index()) {
+        YT_RETURN_IF_ERROR(tm_->GetByIndex(txn, ref.table, plan.columns,
+                                           plan.key, collect));
+      } else {
+        s.rows.reserve(t->size());
+        YT_RETURN_IF_ERROR(tm_->Scan(txn, ref.table,
+                                     [&s](RowId, const Row& row) {
+                                       s.rows.push_back(row);
+                                       return true;
+                                     }));
+      }
     }
     scans.push_back(std::move(s));
   }
@@ -250,8 +271,40 @@ StatusOr<QueryResult> Executor::ExecuteSelect(const SelectStmt& sel,
       result.rows.emplace_back(std::move(out));
       return Status::Ok();
     }
-    for (const Row& row : scans[depth].rows) {
-      env.tables[depth] = {scans[depth].alias, scans[depth].schema, &row};
+    Scanned& sc = scans[depth];
+    const std::vector<Row>* depth_rows = &sc.rows;
+    std::vector<Row> uncached;  // probe rows when the cache is full
+    if (sc.probe.is_probe()) {
+      // Assemble the probe key from plan-time constants and the outer
+      // rows already bound at shallower depths. A NULL outer value can
+      // match nothing under SQL equality, so the whole depth yields no
+      // rows for this binding.
+      std::vector<Value> kv;
+      kv.reserve(sc.probe.parts.size());
+      for (const JoinProbePlan::KeyPart& part : sc.probe.parts) {
+        if (part.is_const) {
+          kv.push_back(part.constant);
+          continue;
+        }
+        const Row* outer_row = env.tables[part.outer].row;
+        const Value& v = (*outer_row)[part.outer_column];
+        if (v.is_null()) return Status::Ok();
+        kv.push_back(v);
+      }
+      YT_ASSIGN_OR_RETURN(
+          depth_rows,
+          sc.probe_cache.GetOrFetch(
+              Row(std::move(kv)), tm_->stats().join_probe_cache_hits,
+              &uncached, [&](const Row& key, std::vector<Row>* rows) {
+                return tm_->ProbeJoin(txn, sc.table, sc.probe.columns, key,
+                                      [rows](RowId, Row&& row) {
+                                        rows->push_back(std::move(row));
+                                        return true;
+                                      });
+              }));
+    }
+    for (const Row& row : *depth_rows) {
+      env.tables[depth] = {sc.alias, sc.schema, &row};
       bool keep = true;
       for (const Expr* c : conjuncts_at[depth + 1]) {
         YT_ASSIGN_OR_RETURN(bool ok, EvalPredicate(*c, env));
@@ -371,6 +424,7 @@ StatusOr<QueryResult> Executor::ExecuteUpdate(const UpdateStmt& upd,
         tm_->LockRowsForWrite(txn, upd.table, plan.columns, plan.key));
   } else {
     YT_RETURN_IF_ERROR(tm_->LockTableForWrite(txn, upd.table));
+    candidates.reserve(t->size());
     t->Scan([&](RowId rid, const Row& row) {
       candidates.emplace_back(rid, row);
       return true;
@@ -429,6 +483,7 @@ StatusOr<QueryResult> Executor::ExecuteDelete(const DeleteStmt& del,
         tm_->LockRowsForWrite(txn, del.table, plan.columns, plan.key));
   } else {
     YT_RETURN_IF_ERROR(tm_->LockTableForWrite(txn, del.table));
+    candidates.reserve(t->size());
     t->Scan([&](RowId rid, const Row& row) {
       candidates.emplace_back(rid, row);
       return true;

@@ -36,6 +36,12 @@ class Executor {
 
   TransactionManager* tm() const { return tm_; }
 
+  /// Ablation switch for bind-driven index nested-loop joins: when off,
+  /// every FROM table is snapshotted eagerly (the pre-probe behavior).
+  /// Results must be identical either way — only the access path changes.
+  void set_join_probes_enabled(bool on) { join_probes_enabled_ = on; }
+  bool join_probes_enabled() const { return join_probes_enabled_; }
+
   StatusOr<QueryResult> Execute(const ParsedStatement& stmt, Transaction* txn,
                                 VarEnv* vars);
 
@@ -57,6 +63,7 @@ class Executor {
       std::unordered_map<const Expr*, std::unordered_set<Row, RowHash>>* out);
 
   TransactionManager* tm_;
+  bool join_probes_enabled_ = true;
 };
 
 }  // namespace youtopia::sql

@@ -18,19 +18,33 @@ void FlattenConjuncts(const Expr* e, std::vector<const Expr*>* out) {
   out->push_back(e);
 }
 
-/// True when `col` (a kColumnRef) binds to scope[target] under the
-/// executor's resolution rule: an explicit qualifier must match the target's
-/// alias; an unqualified name binds to the first table that has the column.
-bool BindsToTarget(const Expr& col, const std::vector<TableScope>& scope,
-                   size_t target) {
-  if (!col.qualifier.empty()) {
-    return EqualsIgnoreCase(scope[target].alias, col.qualifier) &&
-           scope[target].schema->HasColumn(col.column);
-  }
+/// Resolves a column reference to its (scope index, column position) under
+/// the evaluator's rule (expr_eval ResolveColumn): the FIRST table whose
+/// alias matches the qualifier (any table when unqualified) and that has
+/// the column. False when unresolved.
+bool ResolveScopeColumn(const Expr& col, const std::vector<TableScope>& scope,
+                        size_t* table_out, size_t* column_out) {
   for (size_t i = 0; i < scope.size(); ++i) {
-    if (scope[i].schema->HasColumn(col.column)) return i == target;
+    bool qual_ok = col.qualifier.empty() ||
+                   EqualsIgnoreCase(scope[i].alias, col.qualifier);
+    if (!qual_ok) continue;
+    auto pos = scope[i].schema->IndexOf(col.column);
+    if (!pos.ok()) continue;
+    *table_out = i;
+    *column_out = pos.value();
+    return true;
   }
   return false;
+}
+
+/// True when `col` (a kColumnRef) binds to scope[target] under the
+/// evaluator's resolution rule. First-match matters even for qualified
+/// refs: with duplicate aliases (FROM User, User), `User.uid` evaluates
+/// against the FIRST User, so a plan for the second must not claim it.
+bool BindsToTarget(const Expr& col, const std::vector<TableScope>& scope,
+                   size_t target) {
+  size_t table = 0, column = 0;
+  return ResolveScopeColumn(col, scope, &table, &column) && table == target;
 }
 
 /// Evaluates `e` using only the variable environment; fails when the
@@ -53,6 +67,22 @@ std::string AccessPlan::ToString() const {
   }
   s += ")=" + key.ToString();
   return s;
+}
+
+std::string JoinProbePlan::ToString() const {
+  if (kind == Kind::kSnapshot) return "snapshot";
+  std::string s = "probe(";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(columns[i]) + "=";
+    if (parts[i].is_const) {
+      s += parts[i].constant.ToString();
+    } else {
+      s += "$" + std::to_string(parts[i].outer) + "." +
+           std::to_string(parts[i].outer_column);
+    }
+  }
+  return s + ")";
 }
 
 StatusOr<AccessPlan> Planner::Plan(const Table& table,
@@ -133,6 +163,129 @@ AccessPlan Planner::PlanPointLookup(
     }
   }
   plan.key = Row(std::move(key));
+  return plan;
+}
+
+StatusOr<JoinProbePlan> Planner::PlanJoinProbe(
+    const Table& table, const std::vector<TableScope>& scope, size_t target,
+    const Expr* where, const VarEnv* vars) {
+  if (target >= scope.size()) {
+    return Status::InvalidArgument("planner target out of scope");
+  }
+  std::vector<const Expr*> conjuncts;
+  FlattenConjuncts(where, &conjuncts);
+
+  std::vector<JoinEqCandidate> eqs;
+  for (const Expr* c : conjuncts) {
+    if (c->kind != ExprKind::kBinary || c->op != "=") continue;
+    const Expr* col = c->lhs.get();
+    const Expr* val = c->rhs.get();
+    // Orient so `col` binds to the target; a join conjunct has column refs
+    // on both sides, so try both orientations.
+    if (col->kind != ExprKind::kColumnRef ||
+        !BindsToTarget(*col, scope, target)) {
+      std::swap(col, val);
+    }
+    if (col->kind != ExprKind::kColumnRef ||
+        !BindsToTarget(*col, scope, target)) {
+      continue;
+    }
+    auto pos = scope[target].schema->IndexOf(col->column);
+    if (!pos.ok()) continue;
+
+    JoinEqCandidate cand;
+    cand.column = pos.value();
+    auto folded = ConstFold(*val, vars);
+    if (folded.ok()) {
+      cand.is_const = true;
+      cand.constant = std::move(folded).value();
+    } else if (val->kind == ExprKind::kColumnRef) {
+      // Runtime-bound part: the other side must resolve to an *earlier*
+      // FROM table (already iterating when this depth probes) and carry the
+      // same column type, so the stored outer value can key the index
+      // directly without coercion.
+      size_t outer = 0, outer_col = 0;
+      if (!ResolveScopeColumn(*val, scope, &outer, &outer_col)) continue;
+      if (outer >= target) continue;
+      cand.outer = outer;
+      cand.outer_column = outer_col;
+      cand.bound_type = scope[outer].schema->column(outer_col).type;
+    } else {
+      continue;  // expression over outer columns: not probe-able
+    }
+    eqs.push_back(std::move(cand));
+  }
+  return PlanJoinProbe(table, eqs);
+}
+
+JoinProbePlan Planner::PlanJoinProbe(const Table& table,
+                                     const std::vector<JoinEqCandidate>& eqs) {
+  JoinProbePlan plan;
+  if (eqs.empty()) return plan;
+
+  const Schema& schema = table.schema();
+  // Per-column usable sources, first candidate per column wins. Constants
+  // are coerced to the column type at plan time; runtime-bound parts demand
+  // an exact type match (probe keys must hash/compare like stored rows, and
+  // there is no place to fail a coercion per binding).
+  std::vector<std::pair<size_t, JoinProbePlan::KeyPart>> usable;
+  for (const JoinEqCandidate& c : eqs) {
+    if (c.column >= schema.num_columns()) continue;
+    bool duplicate = false;
+    for (const auto& [uc, _] : usable) duplicate |= (uc == c.column);
+    if (duplicate) continue;
+    JoinProbePlan::KeyPart part;
+    if (c.is_const) {
+      if (c.constant.is_null()) continue;
+      auto coerced = c.constant.CoerceTo(schema.column(c.column).type);
+      if (!coerced.ok()) continue;
+      part.is_const = true;
+      part.constant = std::move(coerced).value();
+    } else {
+      if (c.bound_type != schema.column(c.column).type) continue;
+      part.outer = c.outer;
+      part.outer_column = c.outer_column;
+    }
+    usable.emplace_back(c.column, std::move(part));
+  }
+  if (usable.empty()) return plan;
+
+  // Widest fully covered index wins; it must use at least one runtime-bound
+  // part, otherwise the constant-only AccessPlan path already handles it
+  // with a single eager lookup.
+  const std::vector<std::vector<size_t>> candidates =
+      table.IndexedColumnSets();
+  const std::vector<size_t>* best = nullptr;
+  for (const auto& cols : candidates) {
+    bool covered = !cols.empty();
+    bool any_bound = false;
+    for (size_t col : cols) {
+      bool found = false;
+      for (const auto& [uc, part] : usable) {
+        if (uc == col) {
+          found = true;
+          any_bound |= !part.is_const;
+        }
+      }
+      covered &= found;
+    }
+    if (covered && any_bound && (best == nullptr || cols.size() > best->size())) {
+      best = &cols;
+    }
+  }
+  if (best == nullptr) return plan;
+
+  plan.kind = JoinProbePlan::Kind::kIndexProbe;
+  plan.columns = *best;
+  plan.parts.reserve(best->size());
+  for (size_t col : *best) {
+    for (const auto& [uc, part] : usable) {
+      if (uc == col) {
+        plan.parts.push_back(part);
+        break;
+      }
+    }
+  }
   return plan;
 }
 

@@ -1,7 +1,9 @@
 #ifndef YOUTOPIA_SQL_PLANNER_H_
 #define YOUTOPIA_SQL_PLANNER_H_
 
+#include <atomic>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -33,6 +35,91 @@ struct AccessPlan {
   std::string ToString() const;
 };
 
+/// Bind-driven access plan for one inner join table (or body atom): at each
+/// join depth, the probe key is assembled from plan-time constants and
+/// values bound by the *outer* side of the join, and the table is fetched
+/// lazily through a per-binding index probe instead of being snapshotted up
+/// front. `kSnapshot` means "keep the existing eager path".
+struct JoinProbePlan {
+  enum class Kind { kSnapshot, kIndexProbe };
+
+  /// One component of the probe key, parallel to `columns`.
+  struct KeyPart {
+    bool is_const = false;
+    Value constant;          ///< plan-time constant (already column-typed)
+    size_t outer = 0;        ///< SELECT: earlier FROM index; grounder: the
+                             ///< caller-supplied binding id
+    size_t outer_column = 0; ///< SELECT: column position in `outer`
+  };
+
+  Kind kind = Kind::kSnapshot;
+  std::vector<size_t> columns;  ///< index columns (schema positions)
+  std::vector<KeyPart> parts;   ///< key sources, parallel to `columns`
+
+  bool is_probe() const { return kind == Kind::kIndexProbe; }
+  std::string ToString() const;
+};
+
+/// Per-depth cache for bind-driven join probes, keyed on the bound probe
+/// key: repeated bindings neither re-probe nor re-lock. Bounded — past
+/// kMaxKeys distinct keys, fetched rows go to the caller's scratch vector
+/// and live only for the current binding (correct either way).
+class ProbeCache {
+ public:
+  static constexpr size_t kMaxKeys = 1024;
+
+  /// Cached rows for `key`, or nullptr on miss.
+  const std::vector<Row>* Find(const Row& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  /// Stores `rows` under `key` when under capacity, else parks them in
+  /// `*overflow`; either way returns a pointer valid until the next Insert
+  /// (or until `*overflow` is reused).
+  const std::vector<Row>* Insert(Row key, std::vector<Row> rows,
+                                 std::vector<Row>* overflow) {
+    if (map_.size() < kMaxKeys) {
+      return &map_.emplace(std::move(key), std::move(rows)).first->second;
+    }
+    *overflow = std::move(rows);
+    return overflow;
+  }
+
+  /// The whole per-binding protocol: cached rows for `key` (counting the
+  /// hit in `hits`), or the rows produced by `fetch(key, &rows)` — one
+  /// transaction-manager probe — inserted under the capacity bound.
+  template <typename Fetch>
+  StatusOr<const std::vector<Row>*> GetOrFetch(Row key,
+                                               std::atomic<uint64_t>& hits,
+                                               std::vector<Row>* overflow,
+                                               Fetch&& fetch) {
+    if (const std::vector<Row>* cached = Find(key)) {
+      hits.fetch_add(1, std::memory_order_relaxed);
+      return cached;
+    }
+    std::vector<Row> rows;
+    YT_RETURN_IF_ERROR(fetch(key, &rows));
+    return Insert(std::move(key), std::move(rows), overflow);
+  }
+
+ private:
+  std::unordered_map<Row, std::vector<Row>, RowHash> map_;
+};
+
+/// A candidate equality `target.column = <source>` for join-probe planning:
+/// either a plan-time constant or a value that will be bound by an earlier
+/// join level at run time (identified by a caller-defined (outer,
+/// outer_column) pair; `bound_type` is the runtime value's static type).
+struct JoinEqCandidate {
+  size_t column = 0;
+  bool is_const = false;
+  Value constant;
+  size_t outer = 0;
+  size_t outer_column = 0;
+  TypeId bound_type = TypeId::kNull;
+};
+
 /// Access-path planning: extracts sargable equality conjuncts from a WHERE
 /// clause and picks an index lookup over a full scan when a hash index
 /// covers them. The residual predicate is NOT represented here — executors
@@ -58,6 +145,25 @@ class Planner {
   /// are NULL) are dropped, which can only demote the plan to a scan.
   static AccessPlan PlanPointLookup(
       const Table& table, const std::vector<std::pair<size_t, Value>>& eqs);
+
+  /// Plans a bind-driven probe for `scope[target]` at its join depth: join
+  /// conjuncts `target.col = earlier.col` (earlier FROM table, identical
+  /// column type, so no runtime coercion is ever needed) count as key parts
+  /// alongside plan-time constants. Returns kIndexProbe only when a hash
+  /// index is fully covered AND at least one part is runtime-bound —
+  /// constant-only coverage is `Plan`'s job (one eager lookup beats
+  /// per-binding probes there).
+  static StatusOr<JoinProbePlan> PlanJoinProbe(
+      const Table& table, const std::vector<TableScope>& scope, size_t target,
+      const Expr* where, const VarEnv* vars);
+
+  /// Core join-probe planning from pre-extracted candidates (the grounder
+  /// derives them from atom terms: constants, plus variables bound by
+  /// earlier body atoms). Constants are coerced to the column types at plan
+  /// time; runtime-bound parts must match the column type exactly. Dropped
+  /// candidates can only demote the plan to kSnapshot.
+  static JoinProbePlan PlanJoinProbe(const Table& table,
+                                     const std::vector<JoinEqCandidate>& eqs);
 };
 
 }  // namespace youtopia::sql

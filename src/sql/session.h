@@ -28,6 +28,7 @@ class Session {
   StatusOr<QueryResult> ExecuteScript(const std::string& text);
 
   VarEnv& vars() { return vars_; }
+  Executor& executor() { return exec_; }
   Transaction* current_txn() { return txn_.get(); }
   bool in_transaction() const { return txn_ != nullptr; }
 

@@ -214,11 +214,11 @@ Status TransactionManager::ScanForGrounding(
 }
 
 Status TransactionManager::IndexedRead(
-    Transaction* txn, const std::string& table,
-    const std::vector<size_t>& columns, const Row& key, bool grounding,
-    const std::function<bool(RowId, const Row&)>& visitor) {
+    Transaction* txn, Table* t, const std::vector<size_t>& columns,
+    const Row& key, IndexedReadKind kind, const RowVisitor& visitor) {
   if (!txn->active()) return Status::Aborted("transaction not active");
-  YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+  const bool grounding = kind == IndexedReadKind::kGroundingLookup ||
+                         kind == IndexedReadKind::kGroundingJoinProbe;
   const bool take_locks = TakesReadLocks(txn->isolation_level());
   const LockKey key_lock =
       LockKey::IndexKey(t->id(), Table::IndexKeyHash(columns, key));
@@ -252,11 +252,24 @@ Status TransactionManager::IndexedRead(
     if (!grounding && options_.observer != nullptr) {
       options_.observer->OnRead(txn->id(), {t->name(), rid});
     }
-    if (!visitor(rid, row.value())) break;
+    // The lookup owns this copy of the row; hand it over so collectors can
+    // move instead of copying a second time.
+    if (!visitor(rid, std::move(row).value())) break;
   }
-  auto& counter = grounding ? stats_.grounding_index_lookups
-                            : stats_.index_lookups;
-  counter.fetch_add(1, std::memory_order_relaxed);
+  switch (kind) {
+    case IndexedReadKind::kLookup:
+      stats_.index_lookups.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case IndexedReadKind::kGroundingLookup:
+      stats_.grounding_index_lookups.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case IndexedReadKind::kJoinProbe:
+      stats_.join_probes.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case IndexedReadKind::kGroundingJoinProbe:
+      stats_.grounding_join_probes.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
   if (txn->isolation_level() == IsolationLevel::kReadCommitted) {
     // Short read locks: drop the row S and key S now; keep table IS. Never
     // drop a key lock this transaction holds in X — that protects its own
@@ -269,18 +282,38 @@ Status TransactionManager::IndexedRead(
   return Status::Ok();
 }
 
-Status TransactionManager::GetByIndex(
-    Transaction* txn, const std::string& table,
-    const std::vector<size_t>& columns, const Row& key,
-    const std::function<bool(RowId, const Row&)>& visitor) {
-  return IndexedRead(txn, table, columns, key, /*grounding=*/false, visitor);
+Status TransactionManager::GetByIndex(Transaction* txn,
+                                      const std::string& table,
+                                      const std::vector<size_t>& columns,
+                                      const Row& key,
+                                      const RowVisitor& visitor) {
+  YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+  return IndexedRead(txn, t, columns, key, IndexedReadKind::kLookup, visitor);
 }
 
-Status TransactionManager::LookupForGrounding(
-    Transaction* txn, const std::string& table,
-    const std::vector<size_t>& columns, const Row& key,
-    const std::function<bool(RowId, const Row&)>& visitor) {
-  return IndexedRead(txn, table, columns, key, /*grounding=*/true, visitor);
+Status TransactionManager::LookupForGrounding(Transaction* txn,
+                                              const std::string& table,
+                                              const std::vector<size_t>& columns,
+                                              const Row& key,
+                                              const RowVisitor& visitor) {
+  YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+  return IndexedRead(txn, t, columns, key, IndexedReadKind::kGroundingLookup,
+                     visitor);
+}
+
+Status TransactionManager::ProbeJoin(Transaction* txn, Table* t,
+                                     const std::vector<size_t>& columns,
+                                     const Row& key,
+                                     const RowVisitor& visitor) {
+  return IndexedRead(txn, t, columns, key, IndexedReadKind::kJoinProbe,
+                     visitor);
+}
+
+Status TransactionManager::ProbeJoinForGrounding(
+    Transaction* txn, Table* t, const std::vector<size_t>& columns,
+    const Row& key, const RowVisitor& visitor) {
+  return IndexedRead(txn, t, columns, key,
+                     IndexedReadKind::kGroundingJoinProbe, visitor);
 }
 
 StatusOr<std::vector<std::pair<RowId, Row>>>

@@ -19,7 +19,10 @@ namespace youtopia {
 /// Aggregate transaction counters (benches / tests). The access-path
 /// counters make plan choices observable: every read routed through an
 /// index bumps index_lookups / grounding_index_lookups, every full scan
-/// bumps table_scans / grounding_scans.
+/// bumps table_scans / grounding_scans, and every bind-driven join probe
+/// bumps join_probes / grounding_join_probes (with *_cache_hits counting
+/// per-binding keys the executor/grounder served from their probe caches
+/// without re-entering the transaction manager).
 struct TxnStats {
   std::atomic<uint64_t> begins{0};
   std::atomic<uint64_t> commits{0};
@@ -29,6 +32,10 @@ struct TxnStats {
   std::atomic<uint64_t> table_scans{0};
   std::atomic<uint64_t> grounding_index_lookups{0};
   std::atomic<uint64_t> grounding_scans{0};
+  std::atomic<uint64_t> join_probes{0};
+  std::atomic<uint64_t> join_probe_cache_hits{0};
+  std::atomic<uint64_t> grounding_join_probes{0};
+  std::atomic<uint64_t> grounding_join_probe_cache_hits{0};
 };
 
 /// Classical ACID transaction manager over the in-memory engine:
@@ -73,6 +80,12 @@ class TransactionManager {
   Status Scan(Transaction* txn, const std::string& table,
               const std::function<bool(RowId, const Row&)>& visitor);
 
+  /// Visitor for indexed reads. The row is handed over by value — the
+  /// lookup materializes its own copy out of the heap, so the visitor can
+  /// move it instead of copying a second time (lambdas taking
+  /// `const Row&` still bind, so both styles work at call sites).
+  using RowVisitor = std::function<bool(RowId, Row&&)>;
+
   /// Indexed equality read: visits the rows whose `columns` projection
   /// equals `key` (RowId order), under row-granular locks instead of a table
   /// S lock. At serializable levels this takes table IS + S on the index-key
@@ -83,7 +96,7 @@ class TransactionManager {
   /// to the indexed columns' types (the planner does this).
   Status GetByIndex(Transaction* txn, const std::string& table,
                     const std::vector<size_t>& columns, const Row& key,
-                    const std::function<bool(RowId, const Row&)>& visitor);
+                    const RowVisitor& visitor);
 
   /// GetByIndex for write statements: X-locks the index key and every
   /// matched row (plus table IX) and returns the matched rows. UPDATE/DELETE
@@ -110,7 +123,23 @@ class TransactionManager {
   Status LookupForGrounding(
       Transaction* txn, const std::string& table,
       const std::vector<size_t>& columns, const Row& key,
-      const std::function<bool(RowId, const Row&)>& visitor);
+      const RowVisitor& visitor);
+
+  /// Per-binding probe for bind-driven index nested-loop joins: same
+  /// locking and visiting as GetByIndex, but counted as a join_probe and
+  /// addressed by Table* so the per-binding hot path skips the catalog name
+  /// lookup. Re-entrant under locks the transaction already holds (repeat
+  /// acquisitions merge in the lock manager); callers avoid re-locking the
+  /// same key per probe by caching probe results per bound key.
+  Status ProbeJoin(Transaction* txn, Table* t,
+                   const std::vector<size_t>& columns, const Row& key,
+                   const RowVisitor& visitor);
+
+  /// ProbeJoin recorded as a grounding read (R^G) and counted as a
+  /// grounding_join_probe — the grounder's bind-driven atom fetches.
+  Status ProbeJoinForGrounding(Transaction* txn, Table* t,
+                               const std::vector<size_t>& columns,
+                               const Row& key, const RowVisitor& visitor);
 
   // --- Termination. ---
 
@@ -149,11 +178,13 @@ class TransactionManager {
   /// acquisition order).
   Status AcquireIndexKeyLocks(Transaction* txn, const Table* t,
                               std::vector<uint64_t> hashes);
-  /// Shared lookup core for GetByIndex / LookupForGrounding.
-  Status IndexedRead(Transaction* txn, const std::string& table,
+  /// How an indexed read is counted and observed.
+  enum class IndexedReadKind { kLookup, kGroundingLookup, kJoinProbe,
+                               kGroundingJoinProbe };
+  /// Shared lookup core for GetByIndex / LookupForGrounding / ProbeJoin*.
+  Status IndexedRead(Transaction* txn, Table* t,
                      const std::vector<size_t>& columns, const Row& key,
-                     bool grounding,
-                     const std::function<bool(RowId, const Row&)>& visitor);
+                     IndexedReadKind kind, const RowVisitor& visitor);
 
   Database* db_;
   LockManager* locks_;

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <random>
+#include <thread>
+
 #include "src/eq/compiler.h"
 #include "src/eq/coordinator.h"
 #include "src/eq/grounder.h"
@@ -423,6 +428,204 @@ TEST(GrounderTest, ResidualPredicatesFilterValuations) {
   ASSERT_EQ(g.size(), 3u);  // 4, 5, 6
   EXPECT_EQ(g[0].heads[0].second, Row({Value::Int(4)}));
   EXPECT_EQ(g[2].heads[0].second, Row({Value::Int(6)}));
+  ASSERT_OK(fix.tm->Commit(txn.get()));
+}
+
+/// Builds the paper-style entangled body Friends(x,y), User(x,c), User(y,c)
+/// over seeded random tables; User carries a primary key so the two User
+/// atoms are probe-eligible once x/y are bound by the Friends scan.
+class GrounderProbeTest : public ::testing::Test {
+ protected:
+  /// Short lock timeout: on a 1-cpu box the reader's table locks and the
+  /// concurrent writer otherwise stall each other for the full 2 s default
+  /// per collision; both sides already treat lock failures as a retry.
+  static TransactionManager::Options FastTimeoutOptions() {
+    TransactionManager::Options options;
+    options.lock_timeout_micros = 100'000;
+    return options;
+  }
+  GrounderProbeTest() : fix_(FastTimeoutOptions()) {}
+
+  void SetUp() override {
+    Schema user({{"uid", TypeId::kInt64}, {"hometown", TypeId::kString}});
+    user.set_primary_key({0});
+    ASSERT_OK(fix_.tm->CreateTable("User", user).status());
+    ASSERT_OK(fix_.tm
+                  ->CreateTable("Friends",
+                                Schema({{"uid1", TypeId::kInt64},
+                                        {"uid2", TypeId::kInt64}}))
+                  .status());
+    std::mt19937 rng(20260728);
+    const char* cities[] = {"LA", "NY", "SF"};
+    auto setup = fix_.tm->Begin();
+    for (int64_t uid = 0; uid < 60; ++uid) {
+      ASSERT_OK(fix_.tm
+                    ->Insert(setup.get(), "User",
+                             Row({Value::Int(uid),
+                                  Value::Str(cities[rng() % 3])}))
+                    .status());
+    }
+    for (int e = 0; e < 150; ++e) {
+      ASSERT_OK(fix_.tm
+                    ->Insert(setup.get(), "Friends",
+                             Row({Value::Int(static_cast<int64_t>(rng() % 60)),
+                                  Value::Int(static_cast<int64_t>(rng() % 60))}))
+                    .status());
+    }
+    ASSERT_OK(fix_.tm->Commit(setup.get()));
+
+    spec_.label = "pair";
+    spec_.body = {
+        {"Friends", {Term::Var("x"), Term::Var("y")}},
+        {"User", {Term::Var("x"), Term::Var("c")}},
+        {"User", {Term::Var("y"), Term::Var("c")}}};
+    spec_.head = {{"Pair", {Term::Var("x"), Term::Var("y")}}};
+    spec_.post = {{"Pair", {Term::Var("y"), Term::Var("x")}}};
+  }
+
+  static std::vector<std::string> Render(const std::vector<Grounding>& gs) {
+    std::vector<std::string> out;
+    out.reserve(gs.size());
+    for (const Grounding& g : gs) out.push_back(g.ToString());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  EngineFixture fix_;
+  EntangledQuerySpec spec_;
+};
+
+TEST_F(GrounderProbeTest, BindDrivenProbesMatchSnapshotGroundings) {
+  auto txn = fix_.tm->Begin();
+  auto& stats = fix_.tm->stats();
+  uint64_t probes = stats.grounding_join_probes.load();
+  uint64_t scans = stats.grounding_scans.load();
+  Grounder::Options probe_opts;
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Grounding> probed,
+      Grounder::Ground(spec_, fix_.tm.get(), txn.get(), probe_opts));
+  // Friends is the (all-variable) driving scan; both User atoms probe.
+  EXPECT_EQ(stats.grounding_scans.load(), scans + 1);
+  EXPECT_GT(stats.grounding_join_probes.load(), probes);
+  uint64_t probes_after = stats.grounding_join_probes.load();
+
+  Grounder::Options snap_opts;
+  snap_opts.use_index_probes = false;
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Grounding> snapped,
+      Grounder::Ground(spec_, fix_.tm.get(), txn.get(), snap_opts));
+  EXPECT_EQ(stats.grounding_join_probes.load(), probes_after);
+  EXPECT_EQ(stats.grounding_scans.load(), scans + 4);  // all three atoms scan
+
+  EXPECT_FALSE(probed.empty());
+  EXPECT_EQ(Render(probed), Render(snapped));
+  ASSERT_OK(fix_.tm->Commit(txn.get()));
+}
+
+TEST_F(GrounderProbeTest, ProbeGroundingStableUnderConcurrentWriters) {
+  // Writers keep growing both relations with uids >= 1000 while each reader
+  // round grounds the body twice — probes, then snapshots — inside one
+  // transaction. Strict 2PL pins the read set between the two, so the
+  // grounding lists must match exactly every round.
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int64_t next = 1000;
+    // Bounded growth: the snapshot grounding is O(|Friends| * |User|), so
+    // an unthrottled writer would make later rounds quadratically slower.
+    while (!stop.load() && next < 1400) {
+      ++next;
+      auto txn = fix_.tm->Begin();
+      Status s = fix_.tm
+                     ->Insert(txn.get(), "User",
+                              Row({Value::Int(next), Value::Str("LA")}))
+                     .status();
+      if (s.ok()) {
+        s = fix_.tm
+                ->Insert(txn.get(), "Friends",
+                         Row({Value::Int(next), Value::Int(next - 1)}))
+                .status();
+      }
+      if (s.ok()) {
+        (void)fix_.tm->Commit(txn.get());
+      } else {
+        (void)fix_.tm->Abort(txn.get());  // lock timeout under reader locks
+      }
+    }
+  });
+
+  Grounder::Options snap_opts;
+  snap_opts.use_index_probes = false;
+  int compared = 0;
+  for (int round = 0; round < 30 && compared < 10; ++round) {
+    auto txn = fix_.tm->Begin();
+    auto probed = Grounder::Ground(spec_, fix_.tm.get(), txn.get());
+    auto snapped =
+        Grounder::Ground(spec_, fix_.tm.get(), txn.get(), snap_opts);
+    if (!probed.ok() || !snapped.ok()) {
+      (void)fix_.tm->Abort(txn.get());  // timed out against a writer: retry
+      continue;
+    }
+    EXPECT_EQ(Render(probed.value()), Render(snapped.value()))
+        << "divergence in round " << round;
+    ASSERT_OK(fix_.tm->Commit(txn.get()));
+    ++compared;
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_GT(compared, 0) << "every round timed out; nothing was compared";
+}
+
+TEST(GrounderTest, NullBindingsProbeLikeAnyOtherValue) {
+  // Valuation unification matches NULL against NULL (unlike SQL `=`), and
+  // the hash index stores NULL-keyed rows — the probe path must agree with
+  // the snapshot path on NULL data instead of skipping the binding.
+  EngineFixture fix;
+  ASSERT_OK(fix.tm
+                ->CreateTable("FriendsN", Schema({{"uid1", TypeId::kInt64},
+                                                  {"uid2", TypeId::kInt64}}))
+                .status());
+  ASSERT_OK(fix.tm
+                ->CreateTable("UserN", Schema({{"uid", TypeId::kInt64},
+                                               {"town", TypeId::kString}}))
+                .status());
+  ASSERT_OK(fix.tm->CreateIndex("UserN", {"uid"}));
+  auto setup = fix.tm->Begin();
+  ASSERT_OK(fix.tm
+                ->Insert(setup.get(), "FriendsN",
+                         Row({Value::Int(7), Value::Null()}))
+                .status());
+  ASSERT_OK(fix.tm
+                ->Insert(setup.get(), "FriendsN",
+                         Row({Value::Int(7), Value::Int(8)}))
+                .status());
+  ASSERT_OK(fix.tm
+                ->Insert(setup.get(), "UserN",
+                         Row({Value::Null(), Value::Str("LA")}))
+                .status());
+  ASSERT_OK(fix.tm
+                ->Insert(setup.get(), "UserN",
+                         Row({Value::Int(8), Value::Str("NY")}))
+                .status());
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+
+  EntangledQuerySpec q;
+  q.label = "null-probe";
+  q.body = {{"FriendsN", {Term::Var("x"), Term::Var("y")}},
+            {"UserN", {Term::Var("y"), Term::Var("c")}}};
+  q.head = {{"R", {Term::Var("x"), Term::Var("c")}}};
+
+  auto txn = fix.tm->Begin();
+  uint64_t probes = fix.tm->stats().grounding_join_probes.load();
+  ASSERT_OK_AND_ASSIGN(std::vector<Grounding> probed,
+                       Grounder::Ground(q, fix.tm.get(), txn.get()));
+  EXPECT_GT(fix.tm->stats().grounding_join_probes.load(), probes);
+  Grounder::Options snap_opts;
+  snap_opts.use_index_probes = false;
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Grounding> snapped,
+      Grounder::Ground(q, fix.tm.get(), txn.get(), snap_opts));
+  ASSERT_EQ(probed.size(), 2u);  // the NULL edge grounds too
+  EXPECT_EQ(probed, snapped);
   ASSERT_OK(fix.tm->Commit(txn.get()));
 }
 
