@@ -5,6 +5,10 @@
 # trajectory point in the repo root. Debug binaries are never benched: the
 # configuration is checked, the binary refuses to run without NDEBUG, and
 # the emitted JSON is grepped for the release marker.
+# With --tsan, additionally builds a ThreadSanitizer tree (build-tsan) and
+# races the lock/txn/sql suites under it — the key-range lock conflict
+# paths (range reader vs point writer, FIFO queueing, deadlock cycles) are
+# all exercised by those three binaries' concurrent tests.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,25 +17,44 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
-if [[ "${1:-}" == "--bench-smoke" ]]; then
-  cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release \
-        -DYOUTOPIA_BUILD_TESTS=OFF -DYOUTOPIA_BUILD_EXAMPLES=OFF
-  build_type=$(grep '^CMAKE_BUILD_TYPE' build-bench/CMakeCache.txt \
-               | cut -d= -f2)
-  if [[ "${build_type}" != "Release" ]]; then
-    echo "refusing to bench: build-bench is '${build_type}', not Release" >&2
+for arg in "$@"; do
+  case "${arg}" in
+  --bench-smoke)
+    cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release \
+          -DYOUTOPIA_BUILD_TESTS=OFF -DYOUTOPIA_BUILD_EXAMPLES=OFF
+    build_type=$(grep '^CMAKE_BUILD_TYPE' build-bench/CMakeCache.txt \
+                 | cut -d= -f2)
+    if [[ "${build_type}" != "Release" ]]; then
+      echo "refusing to bench: build-bench is '${build_type}', not Release" >&2
+      exit 1
+    fi
+    cmake --build build-bench -j --target bench_sql
+    ./build-bench/bench_sql \
+      --benchmark_filter='BM_PointSelect|BM_PointSelectScan|BM_PointUpdate|BM_ThreeWayJoin|BM_ThreeWayJoinSnapshot|BM_GroundEntangled|BM_GroundEntangledSnapshot|BM_RangeSelect|BM_RangeSelectScan|BM_OrderByLimit|BM_OrderByLimitScan' \
+      --benchmark_min_time=0.1 \
+      --benchmark_out=BENCH_sql.json \
+      --benchmark_out_format=json
+    if ! grep -q '"youtopia_build_type": "release"' BENCH_sql.json; then
+      echo "BENCH_sql.json came from a non-release binary; discarding" >&2
+      rm -f BENCH_sql.json
+      exit 1
+    fi
+    echo "wrote BENCH_sql.json (Release)"
+    ;;
+  --tsan)
+    cmake -B build-tsan -S . -DYOUTOPIA_TSAN=ON \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DYOUTOPIA_BUILD_BENCH=OFF -DYOUTOPIA_BUILD_EXAMPLES=OFF
+    cmake --build build-tsan -j --target lock_test txn_test sql_test
+    for t in lock_test txn_test sql_test; do
+      echo "== tsan: ${t}"
+      ./build-tsan/${t}
+    done
+    echo "tsan suites passed"
+    ;;
+  *)
+    echo "unknown argument: ${arg} (expected --bench-smoke and/or --tsan)" >&2
     exit 1
-  fi
-  cmake --build build-bench -j --target bench_sql
-  ./build-bench/bench_sql \
-    --benchmark_filter='BM_PointSelect|BM_PointSelectScan|BM_PointUpdate|BM_ThreeWayJoin|BM_ThreeWayJoinSnapshot|BM_GroundEntangled|BM_GroundEntangledSnapshot' \
-    --benchmark_min_time=0.1 \
-    --benchmark_out=BENCH_sql.json \
-    --benchmark_out_format=json
-  if ! grep -q '"youtopia_build_type": "release"' BENCH_sql.json; then
-    echo "BENCH_sql.json came from a non-release binary; discarding" >&2
-    rm -f BENCH_sql.json
-    exit 1
-  fi
-  echo "wrote BENCH_sql.json (Release)"
-fi
+    ;;
+  esac
+done

@@ -32,11 +32,16 @@ class Schema {
   void AddColumn(Column c) { cols_.push_back(std::move(c)); }
 
   /// Primary-key column positions (empty = no declared key). Tables build a
-  /// unique hash index over these columns automatically.
+  /// unique index over these columns automatically — a hash index by
+  /// default, an ordered one when `pk_ordered` is set (PRIMARY KEY ...
+  /// USING ORDERED), which makes the key range-scannable.
   const std::vector<size_t>& primary_key() const { return pk_; }
   void set_primary_key(std::vector<size_t> cols) { pk_ = std::move(cols); }
   /// Resolves `names` against the columns; fails on unknown names.
   Status SetPrimaryKeyByName(const std::vector<std::string>& names);
+
+  bool pk_ordered() const { return pk_ordered_; }
+  void set_pk_ordered(bool ordered) { pk_ordered_ = ordered; }
 
   /// "(a INT, b VARCHAR)"
   std::string ToString() const;
@@ -46,6 +51,7 @@ class Schema {
  private:
   std::vector<Column> cols_;
   std::vector<size_t> pk_;
+  bool pk_ordered_ = false;
 };
 
 }  // namespace youtopia

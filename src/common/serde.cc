@@ -61,6 +61,7 @@ void EncodeSchema(std::string* dst, const Schema& s) {
   for (size_t i : s.primary_key()) {
     EncodeU32(dst, static_cast<uint32_t>(i));
   }
+  EncodeU8(dst, s.pk_ordered() ? 1 : 0);
 }
 
 Status DecodeU8(const char** p, const char* end, uint8_t* out) {
@@ -194,6 +195,9 @@ Status DecodeSchema(const char** p, const char* end, Schema* out) {
     pk.push_back(col);
   }
   schema.set_primary_key(std::move(pk));
+  uint8_t pk_ordered;
+  YT_RETURN_IF_ERROR(DecodeU8(p, end, &pk_ordered));
+  schema.set_pk_ordered(pk_ordered != 0);
   *out = std::move(schema);
   return Status::Ok();
 }

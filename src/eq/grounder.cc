@@ -117,10 +117,14 @@ StatusOr<std::vector<Grounding>> Grounder::Ground(const EntangledQuerySpec& q,
     auto table = tm->db()->GetTable(a.relation);
     if (table.ok()) acc.table = table.value();
 
-    if (acc.table != nullptr && options.use_index_probes) {
+    std::vector<sql::JoinRangeCandidate> range_cands;
+    if (acc.table != nullptr) {
       const Schema& schema = acc.table->schema();
       std::vector<sql::JoinEqCandidate> eqs;
       std::vector<std::string> var_names;
+      // Term positions whose variable is *first bound by this atom* — these
+      // are the columns a body predicate can range-constrain.
+      std::unordered_map<std::string, size_t> fresh_pos;
       for (size_t i = 0; i < a.terms.size() && i < schema.num_columns();
            ++i) {
         sql::JoinEqCandidate cand;
@@ -130,18 +134,53 @@ StatusOr<std::vector<Grounding>> Grounder::Ground(const EntangledQuerySpec& q,
           cand.constant = a.terms[i].constant;
         } else {
           auto it = bound_vars.find(a.terms[i].var);
-          if (it == bound_vars.end()) continue;
+          if (it == bound_vars.end()) {
+            fresh_pos.emplace(a.terms[i].var, i);
+            continue;
+          }
           cand.outer = var_names.size();
           cand.bound_type = it->second;
           var_names.push_back(a.terms[i].var);
         }
         eqs.push_back(std::move(cand));
       }
-      acc.plan = sql::Planner::PlanJoinProbe(*acc.table, eqs);
-      acc.var_names = std::move(var_names);
+      // Range candidates: body predicates `v OP src` where v is first bound
+      // here and src is a constant (eager interval filter below) or an
+      // earlier-bound variable — the PR-2 follow-on shape
+      // `inner.col > outer.col`, driven per binding.
+      for (const BodyPredicate& p : q.preds) {
+        std::string op = p.op;
+        const Term* target = &p.lhs;
+        const Term* source = &p.rhs;
+        if (op != "<" && op != "<=" && op != ">" && op != ">=") continue;
+        if (!(target->is_var && fresh_pos.count(target->var))) {
+          std::swap(target, source);
+          op = op == "<" ? ">" : op == "<=" ? ">=" : op == ">" ? "<" : "<=";
+        }
+        if (!(target->is_var && fresh_pos.count(target->var))) continue;
+        sql::JoinRangeCandidate cand;
+        cand.column = fresh_pos.at(target->var);
+        cand.is_lo = op == ">" || op == ">=";
+        cand.incl = op == ">=" || op == "<=";
+        if (!source->is_var) {
+          cand.is_const = true;
+          cand.constant = source->constant;
+        } else {
+          auto it = bound_vars.find(source->var);
+          if (it == bound_vars.end()) continue;  // also fresh: not a bound
+          cand.outer = var_names.size();
+          cand.bound_type = it->second;
+          var_names.push_back(source->var);
+        }
+        range_cands.push_back(std::move(cand));
+      }
+      if (options.use_index_probes) {
+        acc.plan = sql::Planner::PlanJoinProbe(*acc.table, eqs, range_cands);
+        acc.var_names = std::move(var_names);
+      }
     }
 
-    if (!acc.plan.is_probe()) {
+    if (!acc.plan.is_lazy()) {
       // Eager snapshot, filtered on constant positions.
       std::vector<Row>& rows = acc.rows;
       Status arity_error = Status::Ok();
@@ -166,11 +205,34 @@ StatusOr<std::vector<Grounding>> Grounder::Ground(const EntangledQuerySpec& q,
           }
         }
         plan = sql::Planner::PlanPointLookup(*acc.table, eqs);
+        if (!plan.is_index()) {
+          // Constant range predicates over a variable this atom binds
+          // (`Vals(y, p), y <= 60`) make an eager interval fetch under a
+          // key-range S lock instead of a grounding scan. Sound because
+          // every predicate is re-checked once its variables bind, and a
+          // NULL row value fails the predicate just as it is skipped by
+          // the bound-constrained interval.
+          plan = sql::Planner::PlanRangeLookup(*acc.table, eqs, range_cands);
+        }
       }
       if (plan.is_index()) {
         YT_RETURN_IF_ERROR(tm->LookupForGrounding(
             txn, a.relation, plan.columns, plan.key,
             [&](RowId, Row&& row) {
+              auto k = keep(row);
+              if (!k.ok()) {
+                arity_error = k.status();
+                return false;
+              }
+              if (k.value()) rows.push_back(std::move(row));
+              return true;
+            }));
+      } else if (plan.is_range()) {
+        IndexRangeSpec spec;
+        spec.columns = plan.columns;
+        spec.range = plan.range;
+        YT_RETURN_IF_ERROR(tm->GetByIndexRangeForGrounding(
+            txn, acc.table, spec, [&](RowId, Row&& row) {
               auto k = keep(row);
               if (!k.ok()) {
                 arity_error = k.status();
@@ -256,12 +318,15 @@ StatusOr<std::vector<Grounding>> Grounder::Ground(const EntangledQuerySpec& q,
     AtomAccess& acc = access[depth];
     const std::vector<Row>* depth_rows = &acc.rows;
     std::vector<Row> uncached;  // probe rows when the cache is full
-    if (acc.plan.is_probe()) {
+    if (acc.plan.is_lazy()) {
       // Assemble the probe key from constants and the valuation built by
       // shallower atoms. Unlike the SQL executor (where `= NULL` is never
       // true and a NULL binding short-circuits to zero rows), valuation
-      // unification matches NULL against NULL — and the hash index stores
-      // NULL-keyed rows — so a NULL binding probes like any other value.
+      // unification matches NULL against NULL — and the indexes store
+      // NULL-keyed rows — so a NULL binding probes like any other value on
+      // the equality positions. Range *bounds*, by contrast, come from
+      // predicates, and PredHolds is false on NULL: a NULL bound yields no
+      // rows for this binding.
       std::vector<Value> kv;
       kv.reserve(acc.plan.parts.size());
       for (const sql::JoinProbePlan::KeyPart& part : acc.plan.parts) {
@@ -277,33 +342,77 @@ StatusOr<std::vector<Grounding>> Grounder::Ground(const EntangledQuerySpec& q,
         }
         kv.push_back(vit->second);
       }
-      YT_ASSIGN_OR_RETURN(
-          depth_rows,
-          acc.cache.GetOrFetch(
-              Row(std::move(kv)),
-              tm->stats().grounding_join_probe_cache_hits, &uncached,
-              [&](const Row& key, std::vector<Row>* rows) -> Status {
-                Status arity_error = Status::Ok();
-                YT_RETURN_IF_ERROR(tm->ProbeJoinForGrounding(
-                    txn, acc.table, acc.plan.columns, key,
-                    [&](RowId, Row&& row) {
-                      if (row.size() != atom.terms.size()) {
-                        arity_error = Status::InvalidArgument(
-                            "atom arity mismatch for relation " +
-                            atom.relation);
-                        return false;
-                      }
-                      for (size_t i = 0; i < atom.terms.size(); ++i) {
-                        if (!atom.terms[i].is_var &&
-                            atom.terms[i].constant != row[i]) {
-                          return true;  // constant the index did not cover
-                        }
-                      }
-                      rows->push_back(std::move(row));
-                      return true;
-                    }));
-                return arity_error;
-              }));
+      // The fetch visitor shared by both probe kinds: arity check plus
+      // pruning on constants the index did not cover.
+      Status arity_error = Status::Ok();
+      auto make_collector = [&](std::vector<Row>* rows) {
+        return [&, rows](RowId, Row&& row) {
+          if (row.size() != atom.terms.size()) {
+            arity_error = Status::InvalidArgument(
+                "atom arity mismatch for relation " + atom.relation);
+            return false;
+          }
+          for (size_t i = 0; i < atom.terms.size(); ++i) {
+            if (!atom.terms[i].is_var && atom.terms[i].constant != row[i]) {
+              return true;  // constant the index did not cover
+            }
+          }
+          rows->push_back(std::move(row));
+          return true;
+        };
+      };
+      if (acc.plan.is_probe()) {
+        YT_ASSIGN_OR_RETURN(
+            depth_rows,
+            acc.cache.GetOrFetch(
+                Row(std::move(kv)),
+                tm->stats().grounding_join_probe_cache_hits, &uncached,
+                [&](const Row& key, std::vector<Row>* rows) -> Status {
+                  YT_RETURN_IF_ERROR(tm->ProbeJoinForGrounding(
+                      txn, acc.table, acc.plan.columns, key,
+                      make_collector(rows)));
+                  return arity_error;
+                }));
+      } else {
+        auto resolve = [&](const sql::JoinProbePlan::RangeBound& b,
+                           Value* out) -> StatusOr<bool> {
+          if (b.is_const) {
+            *out = b.constant;
+          } else {
+            const std::string& var = acc.var_names[b.outer];
+            auto vit = val.find(var);
+            if (vit == val.end()) {
+              return Status::Internal("range bound variable " + var +
+                                      " unbound at its join depth");
+            }
+            *out = vit->second;
+          }
+          return !out->is_null();
+        };
+        Value lo_v, hi_v;
+        if (acc.plan.lo.present) {
+          YT_ASSIGN_OR_RETURN(bool ok, resolve(acc.plan.lo, &lo_v));
+          if (!ok) return Status::Ok();
+        }
+        if (acc.plan.hi.present) {
+          YT_ASSIGN_OR_RETURN(bool ok, resolve(acc.plan.hi, &hi_v));
+          if (!ok) return Status::Ok();
+        }
+        // null_filter_from = parts.size(): unlike SQL, unification matches
+        // NULL on the eq prefix; only the range column filters NULLs.
+        IndexRangeSpec spec = acc.plan.MakeRangeSpec(
+            kv, lo_v, hi_v, /*null_filter_from=*/acc.plan.parts.size());
+        YT_ASSIGN_OR_RETURN(
+            depth_rows,
+            acc.cache.GetOrFetch(
+                acc.plan.MakeRangeCacheKey(std::move(kv), lo_v, hi_v),
+                tm->stats().grounding_range_probe_cache_hits, &uncached,
+                [&](const Row&, std::vector<Row>* rows) -> Status {
+                  YT_RETURN_IF_ERROR(tm->ProbeJoinRangeForGrounding(
+                      txn, acc.table, spec, make_collector(rows)));
+                  return arity_error;
+                }));
+      }
     }
     for (const Row& row : *depth_rows) {
       // Try to extend the valuation with this row.

@@ -126,6 +126,220 @@ Status LockManager::Acquire(TxnId txn, LockKey key, LockMode mode,
   return Status::Ok();
 }
 
+Status LockManager::AcquireRange(TxnId txn, RangeSpaceKey space,
+                                 const IndexRange& range, LockMode mode,
+                                 int64_t timeout_micros) {
+  std::unique_lock<std::mutex> g(mu_);
+  RangeSpaceState& st = ranges_[space];
+
+  // Identity of a range request is (txn, exact interval): repeats merge and
+  // upgrade like point locks; different intervals of the same transaction
+  // coexist (and never conflict with each other).
+  RangeRequest* mine = nullptr;
+  for (RangeRequest& r : st.requests) {
+    if (r.txn == txn && r.range == range) {
+      mine = &r;
+      break;
+    }
+  }
+  if (mine != nullptr) {
+    if (mine->granted && Covers(mine->held, mode)) {
+      return Status::Ok();  // re-entrant acquire
+    }
+    LockMode joined = Join(mine->granted ? mine->held : mine->wanted, mode);
+    if (mine->granted && joined != mine->held) {
+      stats_.upgrades.fetch_add(1, std::memory_order_relaxed);
+    }
+    mine->wanted = joined;
+  } else {
+    RangeRequest r;
+    r.txn = txn;
+    r.range = range;
+    r.wanted = mode;
+    r.held = mode;  // meaningful once granted
+    r.granted = false;
+    r.seq = next_seq_++;
+    st.requests.push_back(std::move(r));
+  }
+
+  auto find_mine = [&]() -> RangeRequest* {
+    auto it = ranges_.find(space);
+    if (it == ranges_.end()) return nullptr;
+    for (RangeRequest& r : it->second.requests) {
+      if (r.txn == txn && r.range == range) return &r;
+    }
+    return nullptr;
+  };
+  auto drop_mine = [&]() {
+    auto it = ranges_.find(space);
+    if (it == ranges_.end()) return;
+    auto& reqs = it->second.requests;
+    reqs.erase(std::remove_if(reqs.begin(), reqs.end(),
+                              [&](const RangeRequest& r) {
+                                return r.txn == txn && r.range == range;
+                              }),
+               reqs.end());
+  };
+
+  GrantPendingRangeLocked(space);
+  mine = find_mine();
+
+  bool waited = false;
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(
+                      timeout_micros < 0 ? int64_t{1} << 40 : timeout_micros);
+
+  while (!(mine->granted && mine->held == mine->wanted)) {
+    if (!waited) {
+      waited = true;
+      stats_.waits.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (DeadlockedLocked(txn)) {
+      stats_.deadlocks.fetch_add(1, std::memory_order_relaxed);
+      if (mine->granted) {
+        mine->wanted = mine->held;
+      } else {
+        drop_mine();
+      }
+      GrantPendingRangeLocked(space);
+      cv_.notify_all();
+      return Status::Aborted("deadlock detected; transaction " +
+                             std::to_string(txn) + " chosen as victim");
+    }
+    if (cv_.wait_until(g, deadline) == std::cv_status::timeout) {
+      mine = find_mine();
+      if (mine != nullptr && mine->granted && mine->held == mine->wanted) {
+        break;  // granted exactly at the deadline
+      }
+      stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      if (mine != nullptr) {
+        if (mine->granted) {
+          mine->wanted = mine->held;
+        } else {
+          drop_mine();
+        }
+      }
+      GrantPendingRangeLocked(space);
+      cv_.notify_all();
+      return Status::TimedOut("key-range lock wait timeout on table " +
+                              std::to_string(space.table));
+    }
+    GrantPendingRangeLocked(space);
+    mine = find_mine();
+    if (mine == nullptr) {
+      return Status::Internal("range lock request vanished while waiting");
+    }
+  }
+
+  auto& spaces = held_ranges_[txn];
+  if (std::find(spaces.begin(), spaces.end(), space) == spaces.end()) {
+    spaces.push_back(space);
+  }
+  stats_.range_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+bool LockManager::GrantableRangeLocked(const RangeSpaceState& st,
+                                       const RangeRequest& r) const {
+  for (const RangeRequest& q : st.requests) {
+    if (q.txn == r.txn || !q.granted) continue;
+    if (!Compatible(q.held, r.wanted) && q.range.Overlaps(r.range)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LockManager::GrantPendingRangeLocked(const RangeSpaceKey& space) {
+  auto it = ranges_.find(space);
+  if (it == ranges_.end()) return false;
+  RangeSpaceState& st = it->second;
+  bool any = false;
+
+  // Pass 1: pending upgrades jump the queue.
+  for (RangeRequest& r : st.requests) {
+    if (r.granted && r.held != r.wanted && GrantableRangeLocked(st, r)) {
+      r.held = r.wanted;
+      any = true;
+    }
+  }
+  // Pass 2: FIFO over fresh requests, but only an *overlapping* earlier
+  // incompatible waiter blocks — requests on disjoint intervals pass each
+  // other freely (the whole point of range granularity).
+  std::vector<RangeRequest*> pending;
+  for (RangeRequest& r : st.requests) {
+    if (!r.granted) pending.push_back(&r);
+  }
+  std::sort(pending.begin(), pending.end(),
+            [](const RangeRequest* a, const RangeRequest* b) {
+              return a->seq < b->seq;
+            });
+  for (size_t i = 0; i < pending.size(); ++i) {
+    RangeRequest* r = pending[i];
+    if (r->granted || !GrantableRangeLocked(st, *r)) continue;
+    bool blocked = false;
+    for (size_t j = 0; j < i && !blocked; ++j) {
+      const RangeRequest* q = pending[j];
+      blocked = !q->granted && q->txn != r->txn &&
+                !Compatible(q->wanted, r->wanted) &&
+                q->range.Overlaps(r->range);
+    }
+    if (blocked) continue;
+    r->granted = true;
+    r->held = r->wanted;
+    any = true;
+  }
+  if (st.requests.empty()) ranges_.erase(it);
+  if (any) cv_.notify_all();
+  return any;
+}
+
+void LockManager::ReleaseSharedRange(TxnId txn, RangeSpaceKey space,
+                                     const IndexRange& range) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = ranges_.find(space);
+  if (it == ranges_.end()) return;
+  auto& reqs = it->second.requests;
+  reqs.erase(std::remove_if(reqs.begin(), reqs.end(),
+                            [&](const RangeRequest& r) {
+                              return r.txn == txn && r.range == range &&
+                                     r.granted && r.held == r.wanted &&
+                                     r.held == LockMode::kS;
+                            }),
+             reqs.end());
+  GrantPendingRangeLocked(space);
+  cv_.notify_all();
+}
+
+bool LockManager::HoldsRange(TxnId txn, RangeSpaceKey space,
+                             const IndexRange& range, LockMode mode) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = ranges_.find(space);
+  if (it == ranges_.end()) return false;
+  for (const RangeRequest& r : it->second.requests) {
+    if (r.txn == txn && r.range == range && r.granted &&
+        Covers(r.held, mode)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t LockManager::HeldRangeCount(TxnId txn) const {
+  std::lock_guard<std::mutex> g(mu_);
+  size_t n = 0;
+  auto hit = held_ranges_.find(txn);
+  if (hit == held_ranges_.end()) return 0;
+  for (const RangeSpaceKey& space : hit->second) {
+    auto it = ranges_.find(space);
+    if (it == ranges_.end()) continue;
+    for (const RangeRequest& r : it->second.requests) {
+      if (r.txn == txn && r.granted) ++n;
+    }
+  }
+  return n;
+}
+
 bool LockManager::GrantableLocked(const KeyState& st, const Request& r) const {
   for (const Request& q : st.requests) {
     if (q.txn == r.txn || !q.granted) continue;
@@ -183,6 +397,23 @@ void LockManager::CollectWaitsForLocked(
       }
     }
   }
+  // Range waits: same structure, with interval overlap as the extra
+  // conflict condition (disjoint intervals never block).
+  for (const auto& [space, st] : ranges_) {
+    for (const RangeRequest& r : st.requests) {
+      bool r_waiting = !r.granted || r.held != r.wanted;
+      if (!r_waiting) continue;
+      for (const RangeRequest& q : st.requests) {
+        if (q.txn == r.txn || !q.range.Overlaps(r.range)) continue;
+        bool blocks = false;
+        if (q.granted && !Compatible(q.held, r.wanted)) blocks = true;
+        if (!q.granted && q.seq < r.seq && !Compatible(q.wanted, r.wanted)) {
+          blocks = true;
+        }
+        if (blocks) (*graph)[r.txn].insert(q.txn);
+      }
+    }
+  }
 }
 
 bool LockManager::DeadlockedLocked(TxnId txn) const {
@@ -209,49 +440,86 @@ bool LockManager::DeadlockedLocked(TxnId txn) const {
 void LockManager::ReleaseAll(TxnId txn) {
   std::lock_guard<std::mutex> g(mu_);
   auto hit = held_.find(txn);
-  if (hit == held_.end()) return;
-  for (const LockKey& key : hit->second) {
-    auto kit = keys_.find(key);
-    if (kit == keys_.end()) continue;
-    auto& reqs = kit->second.requests;
-    reqs.erase(std::remove_if(reqs.begin(), reqs.end(),
-                              [&](const Request& r) { return r.txn == txn; }),
-               reqs.end());
-    GrantPendingLocked(key);
+  if (hit != held_.end()) {
+    for (const LockKey& key : hit->second) {
+      auto kit = keys_.find(key);
+      if (kit == keys_.end()) continue;
+      auto& reqs = kit->second.requests;
+      reqs.erase(std::remove_if(reqs.begin(), reqs.end(),
+                                [&](const Request& r) { return r.txn == txn; }),
+                 reqs.end());
+      GrantPendingLocked(key);
+    }
+    held_.erase(hit);
   }
-  held_.erase(hit);
+  auto rit = held_ranges_.find(txn);
+  if (rit != held_ranges_.end()) {
+    for (const RangeSpaceKey& space : rit->second) {
+      auto sit = ranges_.find(space);
+      if (sit == ranges_.end()) continue;
+      auto& reqs = sit->second.requests;
+      reqs.erase(
+          std::remove_if(reqs.begin(), reqs.end(),
+                         [&](const RangeRequest& r) { return r.txn == txn; }),
+          reqs.end());
+      GrantPendingRangeLocked(space);
+    }
+    held_ranges_.erase(rit);
+  }
   cv_.notify_all();
 }
 
 void LockManager::ReleaseSharedLocks(TxnId txn) {
   std::lock_guard<std::mutex> g(mu_);
   auto hit = held_.find(txn);
-  if (hit == held_.end()) return;
-  std::vector<LockKey> remaining;
-  for (const LockKey& key : hit->second) {
-    auto kit = keys_.find(key);
-    if (kit == keys_.end()) continue;
-    auto& reqs = kit->second.requests;
-    bool removed = false;
-    reqs.erase(std::remove_if(reqs.begin(), reqs.end(),
-                              [&](const Request& r) {
-                                if (r.txn == txn && r.granted &&
-                                    r.held == r.wanted &&
-                                    (r.held == LockMode::kS ||
-                                     r.held == LockMode::kIS)) {
-                                  removed = true;
-                                  return true;
-                                }
-                                return false;
-                              }),
-               reqs.end());
-    if (removed) {
-      GrantPendingLocked(key);
-    } else {
-      remaining.push_back(key);
+  if (hit != held_.end()) {  // no early return: range locks release below
+    std::vector<LockKey> remaining;
+    for (const LockKey& key : hit->second) {
+      auto kit = keys_.find(key);
+      if (kit == keys_.end()) continue;
+      auto& reqs = kit->second.requests;
+      bool removed = false;
+      reqs.erase(std::remove_if(reqs.begin(), reqs.end(),
+                                [&](const Request& r) {
+                                  if (r.txn == txn && r.granted &&
+                                      r.held == r.wanted &&
+                                      (r.held == LockMode::kS ||
+                                       r.held == LockMode::kIS)) {
+                                    removed = true;
+                                    return true;
+                                  }
+                                  return false;
+                                }),
+                 reqs.end());
+      if (removed) {
+        GrantPendingLocked(key);
+      } else {
+        remaining.push_back(key);
+      }
+    }
+    hit->second = std::move(remaining);
+  }
+  auto rit = held_ranges_.find(txn);
+  if (rit != held_ranges_.end()) {
+    for (const RangeSpaceKey& space : rit->second) {
+      auto sit = ranges_.find(space);
+      if (sit == ranges_.end()) continue;
+      auto& reqs = sit->second.requests;
+      bool removed = false;
+      reqs.erase(std::remove_if(reqs.begin(), reqs.end(),
+                                [&](const RangeRequest& r) {
+                                  if (r.txn == txn && r.granted &&
+                                      r.held == r.wanted &&
+                                      r.held == LockMode::kS) {
+                                    removed = true;
+                                    return true;
+                                  }
+                                  return false;
+                                }),
+                 reqs.end());
+      if (removed) GrantPendingRangeLocked(space);
     }
   }
-  hit->second = std::move(remaining);
   cv_.notify_all();
 }
 

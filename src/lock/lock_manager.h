@@ -51,13 +51,35 @@ struct LockKeyHash {
   }
 };
 
-/// Counters exposed for the lock-manager ablation bench.
+/// Names one ordered index's key space for key-range locking: the table
+/// plus Table::IndexColumnsHash of the index's column set. Range locks in
+/// different spaces never conflict.
+struct RangeSpaceKey {
+  TableId table = 0;
+  uint64_t index_id = 0;
+
+  bool operator==(const RangeSpaceKey& o) const {
+    return table == o.table && index_id == o.index_id;
+  }
+};
+
+struct RangeSpaceKeyHash {
+  size_t operator()(const RangeSpaceKey& k) const {
+    return std::hash<uint64_t>{}((static_cast<uint64_t>(k.table) << 40) ^
+                                 k.index_id);
+  }
+};
+
+/// Counters exposed for the lock-manager ablation bench. Range locks share
+/// waits/deadlocks/timeouts with point locks; range_acquisitions counts
+/// successful key-range grants separately.
 struct LockStats {
   std::atomic<uint64_t> acquisitions{0};
   std::atomic<uint64_t> waits{0};
   std::atomic<uint64_t> deadlocks{0};
   std::atomic<uint64_t> timeouts{0};
   std::atomic<uint64_t> upgrades{0};
+  std::atomic<uint64_t> range_acquisitions{0};
 };
 
 /// Centralized Strict-2PL lock manager.
@@ -98,6 +120,35 @@ class LockManager {
   /// Number of distinct keys locked by `txn`.
   size_t HeldCount(TxnId txn) const;
 
+  // --- Key-range (gap + key) locks over ordered-index key spaces. ---
+  //
+  // A range read of a covered `<`/`<=`/`>`/`>=` predicate takes S on the
+  // interval it scans; a writer takes X on IndexRange::Point(k) for every
+  // ordered-index key it inserts, deletes, or moves. Two range locks
+  // conflict only when their modes are incompatible AND their intervals
+  // overlap, so writers outside a scanned interval never block its readers
+  // — this replaces the table-S fallback (and its phantom story) for range
+  // predicates. Range locks share the waits-for graph, deadlock detection,
+  // and timeout machinery with point locks.
+
+  /// Acquires (or upgrades, for an identical interval) `mode` on `range`
+  /// within `space` for `txn`. Same-transaction range locks never conflict.
+  Status AcquireRange(TxnId txn, RangeSpaceKey space, const IndexRange& range,
+                      LockMode mode, int64_t timeout_micros);
+
+  /// Releases `txn`'s *shared* range lock on exactly `range` (early
+  /// read-lock release under kReadCommitted); X range locks are kept.
+  void ReleaseSharedRange(TxnId txn, RangeSpaceKey space,
+                          const IndexRange& range);
+
+  /// True if `txn` holds a granted range lock on exactly `range` covering
+  /// `mode`.
+  bool HoldsRange(TxnId txn, RangeSpaceKey space, const IndexRange& range,
+                  LockMode mode) const;
+
+  /// Number of range-lock records held by `txn`.
+  size_t HeldRangeCount(TxnId txn) const;
+
   LockStats& stats() { return stats_; }
 
  private:
@@ -111,11 +162,28 @@ class LockManager {
   struct KeyState {
     std::vector<Request> requests;
   };
+  struct RangeRequest {
+    TxnId txn;
+    IndexRange range;
+    LockMode held;
+    LockMode wanted;
+    bool granted = false;
+    uint64_t seq = 0;
+  };
+  struct RangeSpaceState {
+    std::vector<RangeRequest> requests;
+  };
 
   /// Grants every grantable pending request on `key`; returns true if any
   /// grant happened. Caller holds mu_.
   bool GrantPendingLocked(const LockKey& key);
   bool GrantableLocked(const KeyState& st, const Request& r) const;
+  /// Range twins of the above: conflicts additionally require interval
+  /// overlap, and FIFO blocking only applies between overlapping waiters
+  /// (disjoint requests pass each other freely). Caller holds mu_.
+  bool GrantPendingRangeLocked(const RangeSpaceKey& space);
+  bool GrantableRangeLocked(const RangeSpaceState& st,
+                            const RangeRequest& r) const;
   /// True if a waits-for cycle through `txn` exists. Caller holds mu_.
   bool DeadlockedLocked(TxnId txn) const;
   void CollectWaitsForLocked(
@@ -125,6 +193,10 @@ class LockManager {
   std::condition_variable cv_;
   std::unordered_map<LockKey, KeyState, LockKeyHash> keys_;
   std::unordered_map<TxnId, std::vector<LockKey>> held_;
+  std::unordered_map<RangeSpaceKey, RangeSpaceState, RangeSpaceKeyHash>
+      ranges_;
+  /// Spaces a transaction holds (or waits on) range locks in, deduplicated.
+  std::unordered_map<TxnId, std::vector<RangeSpaceKey>> held_ranges_;
   uint64_t next_seq_ = 1;
   LockStats stats_;
 };

@@ -56,11 +56,18 @@ struct TableRef {
   std::string alias;  ///< defaults to table name
 };
 
+/// One ORDER BY key: expression plus direction.
+struct OrderByItem {
+  ExprPtr expr;
+  bool desc = false;
+};
+
 /// Classical SELECT (also used for IN-subqueries).
 struct SelectStmt {
   std::vector<SelectItem> items;
   std::vector<TableRef> from;
   ExprPtr where;      // may be null
+  std::vector<OrderByItem> order_by;
   int64_t limit = -1; // -1 = unlimited
 };
 
@@ -99,6 +106,8 @@ struct CreateTableStmt {
 struct CreateIndexStmt {
   std::string table;
   std::vector<std::string> columns;
+  bool unique = false;   ///< CREATE UNIQUE INDEX
+  bool ordered = false;  ///< USING ORDERED (B-tree; enables range access)
 };
 
 struct BeginStmt {

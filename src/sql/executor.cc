@@ -1,5 +1,7 @@
 #include "src/sql/executor.h"
 
+#include <algorithm>
+
 #include "src/common/strings.h"
 #include "src/sql/planner.h"
 
@@ -39,7 +41,9 @@ StatusOr<QueryResult> Executor::Execute(const ParsedStatement& stmt,
     }
     case StatementKind::kCreateIndex: {
       YT_RETURN_IF_ERROR(tm_->CreateIndex(stmt.create_index->table,
-                                          stmt.create_index->columns));
+                                          stmt.create_index->columns,
+                                          stmt.create_index->unique,
+                                          stmt.create_index->ordered));
       return QueryResult{};
     }
     case StatementKind::kEntangledSelect:
@@ -81,14 +85,18 @@ StatusOr<QueryResult> Executor::ExecuteSelect(const SelectStmt& sel,
   YT_RETURN_IF_ERROR(MaterializeSubqueries(sel.where.get(), txn, vars,
                                            &in_sets));
 
-  // Access-path planning per FROM table. Three shapes come out:
-  //   * constant equality covered by a hash index -> eager index lookup
-  //     under row-granular locks (PR-1 path);
-  //   * join equality `inner.col = outer.col` covered by a hash index ->
-  //     bind-driven probe: no snapshot at all, the table is fetched lazily
-  //     inside the join loop, one index probe per distinct outer binding
-  //     (cached per depth). Each probe takes the same index-key predicate
-  //     locks as a point lookup, so phantom safety carries over;
+  // Access-path planning per FROM table. Four shapes come out:
+  //   * constant equality covered by an index -> eager index lookup under
+  //     row-granular locks (PR-1 path);
+  //   * constant range/prefix conjuncts (and/or a served ORDER BY) covered
+  //     by an ordered index -> eager range fetch in key order, under a
+  //     key-range S lock on the scanned interval instead of a table S lock;
+  //   * join equality or inequality `inner.col OP outer.col` covered by an
+  //     index -> bind-driven probe: no snapshot at all, the table is
+  //     fetched lazily inside the join loop, one probe per distinct outer
+  //     binding (cached per depth). Equality probes take index-key
+  //     predicate locks, range probes key-range interval locks, so phantom
+  //     safety carries over;
   //   * everything else -> full scan under a table S lock, the phantom-safe
   //     fallback for uncovered predicates.
   // The full WHERE is still evaluated on every candidate row, so plans only
@@ -110,6 +118,33 @@ StatusOr<QueryResult> Executor::ExecuteSelect(const SelectStmt& sel,
     scope.push_back({ref.alias, &t->schema()});
     tables.push_back(t);
   }
+
+  // ORDER BY service: with a single FROM table and plain, uniformly
+  // directed column keys, the planner may pick an ordered index whose key
+  // order serves the sort; otherwise we sort the result set afterwards.
+  OrderSpec order_spec;
+  bool order_spec_ok = false;
+  if (!sel.order_by.empty() && sel.from.size() == 1) {
+    order_spec_ok = true;
+    order_spec.desc = sel.order_by[0].desc;
+    for (const OrderByItem& item : sel.order_by) {
+      if (item.expr->kind != ExprKind::kColumnRef ||
+          item.desc != order_spec.desc ||
+          (!item.expr->qualifier.empty() &&
+           !EqualsIgnoreCase(scope[0].alias, item.expr->qualifier))) {
+        order_spec_ok = false;
+        break;
+      }
+      auto pos = scope[0].schema->IndexOf(item.expr->column);
+      if (!pos.ok()) {
+        order_spec_ok = false;
+        break;
+      }
+      order_spec.columns.push_back(pos.value());
+    }
+  }
+  bool order_served = sel.order_by.empty();
+
   std::vector<Scanned> scans;
   scans.reserve(sel.from.size());
   for (size_t i = 0; i < sel.from.size(); ++i) {
@@ -123,16 +158,33 @@ StatusOr<QueryResult> Executor::ExecuteSelect(const SelectStmt& sel,
       YT_ASSIGN_OR_RETURN(
           s.probe, Planner::PlanJoinProbe(*t, scope, i, sel.where.get(), vars));
     }
-    if (!s.probe.is_probe()) {
+    if (!s.probe.is_lazy()) {
       auto collect = [&s](RowId, Row&& row) {
         s.rows.push_back(std::move(row));
         return true;
       };
-      YT_ASSIGN_OR_RETURN(AccessPlan plan,
-                          Planner::Plan(*t, scope, i, sel.where.get(), vars));
+      YT_ASSIGN_OR_RETURN(
+          AccessPlan plan,
+          Planner::Plan(*t, scope, i, sel.where.get(), vars,
+                        i == 0 && order_spec_ok ? &order_spec : nullptr));
       if (plan.is_index()) {
         YT_RETURN_IF_ERROR(tm_->GetByIndex(txn, ref.table, plan.columns,
                                            plan.key, collect));
+      } else if (plan.is_range()) {
+        IndexRangeSpec spec;
+        spec.columns = plan.columns;
+        spec.range = plan.range;
+        spec.reverse = plan.reverse;
+        // LIMIT pushes into the fetch only when no residual predicate can
+        // filter rows away afterwards and the fetch order is the output
+        // order (or no ORDER BY was asked).
+        if (sel.from.size() == 1 && plan.covers_where && sel.limit >= 0 &&
+            (sel.order_by.empty() || plan.ordered)) {
+          spec.limit = sel.limit;
+        }
+        YT_RETURN_IF_ERROR(tm_->GetByIndexRange(txn, ref.table, spec,
+                                                collect));
+        if (i == 0 && plan.ordered) order_served = true;
       } else {
         s.rows.reserve(t->size());
         YT_RETURN_IF_ERROR(tm_->Scan(txn, ref.table,
@@ -208,6 +260,9 @@ StatusOr<QueryResult> Executor::ExecuteSelect(const SelectStmt& sel,
     YT_RETURN_IF_ERROR(validate_refs(p.expr));
   }
   YT_RETURN_IF_ERROR(validate_refs(sel.where.get()));
+  for (const OrderByItem& item : sel.order_by) {
+    YT_RETURN_IF_ERROR(validate_refs(item.expr.get()));
+  }
 
   // Predicate pushdown for the nested-loop join: split the WHERE into
   // conjuncts and evaluate each at the shallowest join depth where all its
@@ -257,7 +312,13 @@ StatusOr<QueryResult> Executor::ExecuteSelect(const SelectStmt& sel,
   env.vars = vars;
   env.in_sets = &in_sets;
   env.tables.resize(scans.size());
-  int64_t limit = sel.limit < 0 ? INT64_MAX : sel.limit;
+  // When a sort is needed, LIMIT applies only after sorting — the recursion
+  // must see every qualifying row. A table-less select yields at most one
+  // row; nothing to sort.
+  const bool need_sort =
+      !sel.order_by.empty() && !order_served && !scans.empty();
+  int64_t limit = (sel.limit < 0 || need_sort) ? INT64_MAX : sel.limit;
+  std::vector<std::vector<Value>> order_keys;  // parallel to result.rows
 
   std::function<Status(size_t)> recurse = [&](size_t depth) -> Status {
     if (static_cast<int64_t>(result.rows.size()) >= limit) return Status::Ok();
@@ -268,16 +329,25 @@ StatusOr<QueryResult> Executor::ExecuteSelect(const SelectStmt& sel,
         YT_ASSIGN_OR_RETURN(Value v, EvalScalar(*p.expr, env));
         out.push_back(std::move(v));
       }
+      if (need_sort) {
+        std::vector<Value> key;
+        key.reserve(sel.order_by.size());
+        for (const OrderByItem& item : sel.order_by) {
+          YT_ASSIGN_OR_RETURN(Value v, EvalScalar(*item.expr, env));
+          key.push_back(std::move(v));
+        }
+        order_keys.push_back(std::move(key));
+      }
       result.rows.emplace_back(std::move(out));
       return Status::Ok();
     }
     Scanned& sc = scans[depth];
     const std::vector<Row>* depth_rows = &sc.rows;
     std::vector<Row> uncached;  // probe rows when the cache is full
-    if (sc.probe.is_probe()) {
+    if (sc.probe.is_lazy()) {
       // Assemble the probe key from plan-time constants and the outer
       // rows already bound at shallower depths. A NULL outer value can
-      // match nothing under SQL equality, so the whole depth yields no
+      // match nothing under SQL comparison, so the whole depth yields no
       // rows for this binding.
       std::vector<Value> kv;
       kv.reserve(sc.probe.parts.size());
@@ -291,17 +361,52 @@ StatusOr<QueryResult> Executor::ExecuteSelect(const SelectStmt& sel,
         if (v.is_null()) return Status::Ok();
         kv.push_back(v);
       }
-      YT_ASSIGN_OR_RETURN(
-          depth_rows,
-          sc.probe_cache.GetOrFetch(
-              Row(std::move(kv)), tm_->stats().join_probe_cache_hits,
-              &uncached, [&](const Row& key, std::vector<Row>* rows) {
-                return tm_->ProbeJoin(txn, sc.table, sc.probe.columns, key,
-                                      [rows](RowId, Row&& row) {
-                                        rows->push_back(std::move(row));
-                                        return true;
-                                      });
-              }));
+      if (sc.probe.is_probe()) {
+        YT_ASSIGN_OR_RETURN(
+            depth_rows,
+            sc.probe_cache.GetOrFetch(
+                Row(std::move(kv)), tm_->stats().join_probe_cache_hits,
+                &uncached, [&](const Row& key, std::vector<Row>* rows) {
+                  return tm_->ProbeJoin(txn, sc.table, sc.probe.columns, key,
+                                        [rows](RowId, Row&& row) {
+                                          rows->push_back(std::move(row));
+                                          return true;
+                                        });
+                }));
+      } else {
+        // Range probe: the interval's bound values come from the outer
+        // binding (or plan-time constants) per iteration.
+        auto resolve = [&](const JoinProbePlan::RangeBound& b, Value* out) {
+          if (b.is_const) {
+            *out = b.constant;
+          } else {
+            *out = (*env.tables[b.outer].row)[b.outer_column];
+          }
+          return !out->is_null();
+        };
+        Value lo_v, hi_v;
+        if (sc.probe.lo.present && !resolve(sc.probe.lo, &lo_v)) {
+          return Status::Ok();
+        }
+        if (sc.probe.hi.present && !resolve(sc.probe.hi, &hi_v)) {
+          return Status::Ok();
+        }
+        // null_filter_from 0: SQL comparisons with NULL never match.
+        IndexRangeSpec spec =
+            sc.probe.MakeRangeSpec(kv, lo_v, hi_v, /*null_filter_from=*/0);
+        YT_ASSIGN_OR_RETURN(
+            depth_rows,
+            sc.probe_cache.GetOrFetch(
+                sc.probe.MakeRangeCacheKey(std::move(kv), lo_v, hi_v),
+                tm_->stats().range_probe_cache_hits,
+                &uncached, [&](const Row&, std::vector<Row>* rows) {
+                  return tm_->ProbeJoinRange(txn, sc.table, spec,
+                                             [rows](RowId, Row&& row) {
+                                               rows->push_back(std::move(row));
+                                               return true;
+                                             });
+                }));
+      }
     }
     for (const Row& row : *depth_rows) {
       env.tables[depth] = {sc.alias, sc.schema, &row};
@@ -355,6 +460,29 @@ StatusOr<QueryResult> Executor::ExecuteSelect(const SelectStmt& sel,
     }
   }
 
+  // Sort fallback for an ORDER BY no index path served; LIMIT applies to
+  // the sorted output. Value::Compare puts NULL first ascending — the same
+  // total order an ordered index's key order yields, so both paths agree.
+  if (need_sort && !result.rows.empty()) {
+    std::vector<size_t> idx(result.rows.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+      for (size_t i = 0; i < sel.order_by.size(); ++i) {
+        int c = order_keys[a][i].Compare(order_keys[b][i]);
+        if (c != 0) return sel.order_by[i].desc ? c > 0 : c < 0;
+      }
+      return false;
+    });
+    std::vector<Row> sorted;
+    sorted.reserve(idx.size());
+    for (size_t i : idx) sorted.push_back(std::move(result.rows[i]));
+    result.rows = std::move(sorted);
+  }
+  if (sel.limit >= 0 &&
+      result.rows.size() > static_cast<size_t>(sel.limit)) {
+    result.rows.resize(static_cast<size_t>(sel.limit));
+  }
+
   // Host-variable bindings from the first row (NULL when empty).
   if (vars != nullptr) {
     for (size_t i = 0; i < plans.size(); ++i) {
@@ -406,12 +534,14 @@ StatusOr<QueryResult> Executor::ExecuteUpdate(const UpdateStmt& upd,
   YT_ASSIGN_OR_RETURN(Table * t, tm_->db()->GetTable(upd.table));
   const Schema& schema = t->schema();
 
-  // Candidate rows: X row locks through the index when an equality
-  // conjunct is covered, else the table-X fast path (whole-table lock up
-  // front avoids S->X upgrade deadlocks between scanning writers). A WHERE
-  // with IN-subqueries always takes the fast path: write locks must come
-  // BEFORE the subquery scans' S locks for the same reason, and the lock
-  // lattice has no SIX to layer row X under a same-table subquery scan.
+  // Candidate rows: X row locks up front through the index when an
+  // equality or range conjunct is covered (the key/interval is X-locked
+  // BEFORE any row is read, so no S->X upgrade can deadlock two writers
+  // scanning the same rows), else the table-X fast path (whole-table lock
+  // up front, same reasoning at table granularity). A WHERE with
+  // IN-subqueries always takes the fast path: write locks must come BEFORE
+  // the subquery scans' S locks for the same reason, and the lock lattice
+  // has no SIX to layer row X under a same-table subquery scan.
   std::vector<const Expr*> subqueries;
   CollectSubqueries(upd.where.get(), &subqueries);
   std::vector<TableScope> scope{{upd.table, &schema}};
@@ -422,6 +552,13 @@ StatusOr<QueryResult> Executor::ExecuteUpdate(const UpdateStmt& upd,
     YT_ASSIGN_OR_RETURN(
         candidates,
         tm_->LockRowsForWrite(txn, upd.table, plan.columns, plan.key));
+  } else if (plan.is_range() && !plan.range.fully_unbounded() &&
+             subqueries.empty()) {
+    IndexRangeSpec spec;
+    spec.columns = plan.columns;
+    spec.range = plan.range;
+    YT_ASSIGN_OR_RETURN(candidates,
+                        tm_->LockRowsForWriteRange(txn, upd.table, spec));
   } else {
     YT_RETURN_IF_ERROR(tm_->LockTableForWrite(txn, upd.table));
     candidates.reserve(t->size());
@@ -470,7 +607,8 @@ StatusOr<QueryResult> Executor::ExecuteDelete(const DeleteStmt& del,
   YT_ASSIGN_OR_RETURN(Table * t, tm_->db()->GetTable(del.table));
   const Schema& schema = t->schema();
 
-  // Same lock-before-subqueries discipline as ExecuteUpdate.
+  // Same lock-before-subqueries and X-before-read discipline as
+  // ExecuteUpdate, including the range-covered path.
   std::vector<const Expr*> subqueries;
   CollectSubqueries(del.where.get(), &subqueries);
   std::vector<TableScope> scope{{del.table, &schema}};
@@ -481,6 +619,13 @@ StatusOr<QueryResult> Executor::ExecuteDelete(const DeleteStmt& del,
     YT_ASSIGN_OR_RETURN(
         candidates,
         tm_->LockRowsForWrite(txn, del.table, plan.columns, plan.key));
+  } else if (plan.is_range() && !plan.range.fully_unbounded() &&
+             subqueries.empty()) {
+    IndexRangeSpec spec;
+    spec.columns = plan.columns;
+    spec.range = plan.range;
+    YT_ASSIGN_OR_RETURN(candidates,
+                        tm_->LockRowsForWriteRange(txn, del.table, spec));
   } else {
     YT_RETURN_IF_ERROR(tm_->LockTableForWrite(txn, del.table));
     candidates.reserve(t->size());

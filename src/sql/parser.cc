@@ -15,6 +15,34 @@ ExprPtr MakeBinary(std::string op, ExprPtr l, ExprPtr r) {
   return e;
 }
 
+/// Deep copy of a scalar expression (BETWEEN desugars `e BETWEEN a AND b`
+/// into `e >= a AND e <= b`, which needs `e` twice). Subquery nodes cannot
+/// appear in a BETWEEN operand, so they are not cloned.
+StatusOr<ExprPtr> CloneExpr(const Expr& e) {
+  if (e.subquery != nullptr) {
+    return Status::InvalidArgument("subquery not allowed in BETWEEN operand");
+  }
+  auto c = std::make_unique<Expr>();
+  c->kind = e.kind;
+  c->literal = e.literal;
+  c->qualifier = e.qualifier;
+  c->column = e.column;
+  c->var = e.var;
+  c->op = e.op;
+  c->answer_relation = e.answer_relation;
+  if (e.lhs != nullptr) {
+    YT_ASSIGN_OR_RETURN(c->lhs, CloneExpr(*e.lhs));
+  }
+  if (e.rhs != nullptr) {
+    YT_ASSIGN_OR_RETURN(c->rhs, CloneExpr(*e.rhs));
+  }
+  for (const ExprPtr& t : e.tuple) {
+    YT_ASSIGN_OR_RETURN(ExprPtr ct, CloneExpr(*t));
+    c->tuple.push_back(std::move(ct));
+  }
+  return c;
+}
+
 /// Multiplier for BEGIN TRANSACTION WITH TIMEOUT <n> <unit>, in micros.
 StatusOr<int64_t> TimeoutUnitMicros(const std::string& unit) {
   std::string u = ToUpper(unit);
@@ -224,6 +252,27 @@ StatusOr<ParsedStatement> Parser::ParseSelectLike() {
   if (MatchIdent("WHERE")) {
     YT_ASSIGN_OR_RETURN(sel->where, ParseOr());
   }
+  YT_RETURN_IF_ERROR(ParseOrderLimit(sel.get()));
+  ParsedStatement s;
+  s.kind = StatementKind::kSelect;
+  s.select = std::move(sel);
+  return s;
+}
+
+Status Parser::ParseOrderLimit(SelectStmt* sel) {
+  if (MatchIdent("ORDER")) {
+    YT_RETURN_IF_ERROR(ExpectIdent("BY"));
+    do {
+      OrderByItem item;
+      YT_ASSIGN_OR_RETURN(item.expr, ParseAdditive());
+      if (MatchIdent("DESC")) {
+        item.desc = true;
+      } else {
+        (void)MatchIdent("ASC");
+      }
+      sel->order_by.push_back(std::move(item));
+    } while (MatchSymbol(","));
+  }
   if (MatchIdent("LIMIT")) {
     const Token& n = Peek();
     if (n.kind != TokenKind::kNumber || !n.literal.is_int()) {
@@ -232,10 +281,7 @@ StatusOr<ParsedStatement> Parser::ParseSelectLike() {
     sel->limit = n.literal.as_int();
     Advance();
   }
-  ParsedStatement s;
-  s.kind = StatementKind::kSelect;
-  s.select = std::move(sel);
-  return s;
+  return Status::Ok();
 }
 
 StatusOr<std::unique_ptr<SelectStmt>> Parser::ParseSubquerySelect() {
@@ -248,14 +294,7 @@ StatusOr<std::unique_ptr<SelectStmt>> Parser::ParseSubquerySelect() {
   if (MatchIdent("WHERE")) {
     YT_ASSIGN_OR_RETURN(sel->where, ParseOr());
   }
-  if (MatchIdent("LIMIT")) {
-    const Token& n = Peek();
-    if (n.kind != TokenKind::kNumber || !n.literal.is_int()) {
-      return ErrorHere("expected integer after LIMIT");
-    }
-    sel->limit = n.literal.as_int();
-    Advance();
-  }
+  YT_RETURN_IF_ERROR(ParseOrderLimit(sel.get()));
   return sel;
 }
 
@@ -338,12 +377,14 @@ StatusOr<ParsedStatement> Parser::ParseDelete() {
 
 StatusOr<ParsedStatement> Parser::ParseCreate() {
   YT_RETURN_IF_ERROR(ExpectIdent("CREATE"));
+  bool unique = MatchIdent("UNIQUE");
   if (MatchIdent("INDEX")) {
     YT_RETURN_IF_ERROR(ExpectIdent("ON"));
     const Token& t = Peek();
     if (t.kind != TokenKind::kIdent) return ErrorHere("expected table name");
     auto ci = std::make_unique<CreateIndexStmt>();
     ci->table = t.text;
+    ci->unique = unique;
     Advance();
     YT_RETURN_IF_ERROR(ExpectSymbol("("));
     do {
@@ -353,11 +394,19 @@ StatusOr<ParsedStatement> Parser::ParseCreate() {
       Advance();
     } while (MatchSymbol(","));
     YT_RETURN_IF_ERROR(ExpectSymbol(")"));
+    if (MatchIdent("USING")) {
+      if (MatchIdent("ORDERED")) {
+        ci->ordered = true;
+      } else if (!MatchIdent("HASH")) {
+        return ErrorHere("expected ORDERED or HASH after USING");
+      }
+    }
     ParsedStatement s;
     s.kind = StatementKind::kCreateIndex;
     s.create_index = std::move(ci);
     return s;
   }
+  if (unique) return ErrorHere("expected INDEX after CREATE UNIQUE");
   YT_RETURN_IF_ERROR(ExpectIdent("TABLE"));
   const Token& t = Peek();
   if (t.kind != TokenKind::kIdent) return ErrorHere("expected table name");
@@ -367,8 +416,9 @@ StatusOr<ParsedStatement> Parser::ParseCreate() {
   YT_RETURN_IF_ERROR(ExpectSymbol("("));
   std::vector<Column> cols;
   std::vector<std::string> pk;
+  bool pk_ordered = false;
   do {
-    // Table-level PRIMARY KEY (a, b) constraint.
+    // Table-level PRIMARY KEY (a, b) [USING ORDERED] constraint.
     if (PeekIdent("PRIMARY")) {
       Advance();
       YT_RETURN_IF_ERROR(ExpectIdent("KEY"));
@@ -380,6 +430,13 @@ StatusOr<ParsedStatement> Parser::ParseCreate() {
         Advance();
       } while (MatchSymbol(","));
       YT_RETURN_IF_ERROR(ExpectSymbol(")"));
+      if (MatchIdent("USING")) {
+        if (MatchIdent("ORDERED")) {
+          pk_ordered = true;
+        } else if (!MatchIdent("HASH")) {
+          return ErrorHere("expected ORDERED or HASH after USING");
+        }
+      }
       continue;
     }
     const Token& c = Peek();
@@ -406,6 +463,7 @@ StatusOr<ParsedStatement> Parser::ParseCreate() {
   ct->schema = Schema(std::move(cols));
   if (!pk.empty()) {
     YT_RETURN_IF_ERROR(ct->schema.SetPrimaryKeyByName(pk));
+    ct->schema.set_pk_ordered(pk_ordered);
   }
   ParsedStatement s;
   s.kind = StatementKind::kCreateTable;
@@ -542,6 +600,17 @@ StatusOr<ExprPtr> Parser::ParseInTail(ExprPtr lhs) {
 }
 
 StatusOr<ExprPtr> Parser::ParseComparisonTail(ExprPtr lhs) {
+  if (MatchIdent("BETWEEN")) {
+    // `e BETWEEN a AND b` desugars to `e >= a AND e <= b`, so the planner's
+    // range extraction sees two ordinary sargable conjuncts.
+    YT_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+    YT_RETURN_IF_ERROR(ExpectIdent("AND"));
+    YT_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+    YT_ASSIGN_OR_RETURN(ExprPtr lhs_copy, CloneExpr(*lhs));
+    return MakeBinary(
+        "AND", MakeBinary(">=", std::move(lhs), std::move(lo)),
+        MakeBinary("<=", std::move(lhs_copy), std::move(hi)));
+  }
   static const char* cmps[] = {"=", "<>", "!=", "<=", ">=", "<", ">"};
   for (const char* op : cmps) {
     if (Peek().kind == TokenKind::kSymbol && Peek().text == op) {

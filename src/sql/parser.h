@@ -15,18 +15,20 @@ namespace youtopia::sql {
 /// extensions:
 ///
 ///   SELECT items [INTO ANSWER rel [, ANSWER rel]...] [FROM t [, t]...]
-///     [WHERE cond] [LIMIT n] [CHOOSE n]
+///     [WHERE cond] [ORDER BY expr [ASC|DESC] [, ...]] [LIMIT n] [CHOOSE n]
 ///   INSERT INTO t [(cols)] VALUES (exprs) [, (exprs)]...
 ///   UPDATE t SET col = expr [, ...] [WHERE cond]
 ///   DELETE FROM t [WHERE cond]
-///   CREATE TABLE t (col TYPE [PRIMARY KEY], ..., [PRIMARY KEY (cols)])
-///   CREATE INDEX ON t (cols)
+///   CREATE TABLE t (col TYPE [PRIMARY KEY], ...,
+///                   [PRIMARY KEY (cols) [USING ORDERED]])
+///   CREATE [UNIQUE] INDEX ON t (cols) [USING ORDERED|HASH]
 ///   BEGIN TRANSACTION [WITH TIMEOUT n unit]
 ///   COMMIT | ROLLBACK
 ///   SET @var = expr
 ///
-/// WHERE conditions support AND/OR/NOT, comparisons, arithmetic, and the
-/// entangled forms `(t1,...,tk) IN (SELECT ...)`, the paper's bare-list
+/// WHERE conditions support AND/OR/NOT, comparisons, BETWEEN (desugared to
+/// >= AND <=), arithmetic, and the entangled forms
+/// `(t1,...,tk) IN (SELECT ...)`, the paper's bare-list
 /// `a, b IN (SELECT ...)`, and `(t1,...,tk) IN ANSWER Rel`.
 class Parser {
  public:
@@ -62,6 +64,8 @@ class Parser {
 
   StatusOr<std::vector<SelectItem>> ParseSelectItems();
   StatusOr<std::vector<TableRef>> ParseFromList();
+  /// Parses the optional [ORDER BY ...] [LIMIT n] tail into `sel`.
+  Status ParseOrderLimit(SelectStmt* sel);
 
   StatusOr<ExprPtr> ParseOr();
   StatusOr<ExprPtr> ParseAnd();

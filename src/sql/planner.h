@@ -21,18 +21,36 @@ struct TableScope {
   const Schema* schema = nullptr;
 };
 
-/// The access path chosen for one table: a full scan, or a hash-index
+/// The access path chosen for one table: a full scan, an index equality
 /// lookup with the key values already coerced to the indexed columns'
-/// types.
+/// types, or an ordered-index range scan over an interval built from
+/// equality-prefix + range-suffix conjuncts (and/or an ORDER BY request).
 struct AccessPlan {
-  enum class Kind { kTableScan, kIndexLookup };
+  enum class Kind { kTableScan, kIndexLookup, kIndexRange };
 
   Kind kind = Kind::kTableScan;
-  std::vector<size_t> columns;  ///< index columns (schema positions)
-  Row key;                      ///< lookup key, in `columns` order
+  std::vector<size_t> columns;  ///< index columns (schema positions); for
+                                ///< kIndexRange the FULL index column set
+  Row key;                      ///< kIndexLookup: key, in `columns` order
+  IndexRange range;             ///< kIndexRange: scanned interval (bounds
+                                ///< may be prefix rows)
+  bool reverse = false;         ///< kIndexRange: scan descending
+  bool ordered = false;         ///< kIndexRange: output satisfies the
+                                ///< requested ORDER BY without a sort
+  bool covers_where = false;    ///< every WHERE conjunct absorbed into the
+                                ///< plan (no residual; LIMIT may push down)
 
   bool is_index() const { return kind == Kind::kIndexLookup; }
+  bool is_range() const { return kind == Kind::kIndexRange; }
   std::string ToString() const;
+};
+
+/// A requested output order, resolved to schema positions of one table:
+/// `ORDER BY <cols> [DESC]` with a uniform direction (mixed directions are
+/// never index-servable here).
+struct OrderSpec {
+  std::vector<size_t> columns;
+  bool desc = false;
 };
 
 /// Bind-driven access plan for one inner join table (or body atom): at each
@@ -41,7 +59,7 @@ struct AccessPlan {
 /// lazily through a per-binding index probe instead of being snapshotted up
 /// front. `kSnapshot` means "keep the existing eager path".
 struct JoinProbePlan {
-  enum class Kind { kSnapshot, kIndexProbe };
+  enum class Kind { kSnapshot, kIndexProbe, kIndexRangeProbe };
 
   /// One component of the probe key, parallel to `columns`.
   struct KeyPart {
@@ -52,11 +70,45 @@ struct JoinProbePlan {
     size_t outer_column = 0; ///< SELECT: column position in `outer`
   };
 
+  /// One side of a per-binding range (kIndexRangeProbe): absent, a
+  /// plan-time constant, or a value bound by the outer side of the join
+  /// (`inner.col > outer.col` makes the outer value the runtime lo bound).
+  struct RangeBound {
+    bool present = false;
+    bool incl = false;
+    bool is_const = false;
+    Value constant;
+    size_t outer = 0;
+    size_t outer_column = 0;
+  };
+
   Kind kind = Kind::kSnapshot;
-  std::vector<size_t> columns;  ///< index columns (schema positions)
-  std::vector<KeyPart> parts;   ///< key sources, parallel to `columns`
+  std::vector<size_t> columns;  ///< index columns (schema positions); for
+                                ///< kIndexRangeProbe the FULL index columns
+  std::vector<KeyPart> parts;   ///< equality key sources; for
+                                ///< kIndexRangeProbe a prefix of `columns`
+  RangeBound lo, hi;            ///< kIndexRangeProbe: bounds on
+                                ///< columns[parts.size()]
 
   bool is_probe() const { return kind == Kind::kIndexProbe; }
+  bool is_range_probe() const { return kind == Kind::kIndexRangeProbe; }
+  bool is_lazy() const { return kind != Kind::kSnapshot; }
+
+  /// Assembles the per-binding range spec for a kIndexRangeProbe from the
+  /// resolved eq-prefix values and bound values (each meaningful only when
+  /// the corresponding bound is present). `null_filter_from` is 0 for SQL
+  /// (NULL never matches any predicate) and parts.size() for the grounder
+  /// (valuation unification matches NULL on the eq prefix) — keep that
+  /// difference explicit at the call site.
+  IndexRangeSpec MakeRangeSpec(const std::vector<Value>& kv, const Value& lo_v,
+                               const Value& hi_v,
+                               size_t null_filter_from) const;
+  /// The probe-cache key for the same binding: eq prefix plus whichever
+  /// bounds exist (their presence is fixed at plan time, so the layout is
+  /// unambiguous).
+  Row MakeRangeCacheKey(std::vector<Value> kv, const Value& lo_v,
+                        const Value& hi_v) const;
+
   std::string ToString() const;
 };
 
@@ -120,6 +172,21 @@ struct JoinEqCandidate {
   TypeId bound_type = TypeId::kNull;
 };
 
+/// A candidate inequality `target.column OP <source>` for range-probe
+/// planning (OP in <, <=, >, >=, normalized so the target column is on the
+/// left): `is_lo` says the source bounds the column from below (OP is > or
+/// >=), `incl` whether the bound itself is admitted.
+struct JoinRangeCandidate {
+  size_t column = 0;
+  bool is_lo = false;
+  bool incl = false;
+  bool is_const = false;
+  Value constant;
+  size_t outer = 0;
+  size_t outer_column = 0;
+  TypeId bound_type = TypeId::kNull;
+};
+
 /// Access-path planning: extracts sargable equality conjuncts from a WHERE
 /// clause and picks an index lookup over a full scan when a hash index
 /// covers them. The residual predicate is NOT represented here — executors
@@ -131,13 +198,18 @@ class Planner {
   /// Plans access for `scope[target]`. Sargable conjuncts are top-level
   /// AND-ed `col = expr` terms whose column resolves to the target table and
   /// whose other side evaluates to a non-NULL constant from `vars` alone
-  /// (literals, host variables, arithmetic over them). NULL keys are never
-  /// sargable (SQL equality with NULL selects nothing; the scan path's
-  /// residual predicate handles it).
+  /// (literals, host variables, arithmetic over them), plus `col OP expr`
+  /// range terms (OP in <, <=, >, >=; BETWEEN arrives pre-desugared) when an
+  /// ordered index has the column right after an equality-covered prefix.
+  /// NULL keys/bounds are never sargable (SQL comparison with NULL selects
+  /// nothing; the scan path's residual predicate handles it). When `order`
+  /// is given, an ordered index whose key order serves it is preferred and
+  /// the plan's `ordered` flag reports whether the sort can be skipped.
   static StatusOr<AccessPlan> Plan(const Table& table,
                                    const std::vector<TableScope>& scope,
                                    size_t target, const Expr* where,
-                                   const VarEnv* vars);
+                                   const VarEnv* vars,
+                                   const OrderSpec* order = nullptr);
 
   /// Plans from pre-extracted (column position, value) equality pairs — the
   /// entangled-query grounder's constant atom positions are exactly this.
@@ -145,6 +217,16 @@ class Planner {
   /// are NULL) are dropped, which can only demote the plan to a scan.
   static AccessPlan PlanPointLookup(
       const Table& table, const std::vector<std::pair<size_t, Value>>& eqs);
+
+  /// Plans an eager ordered-index range fetch from equality pairs plus
+  /// *constant* range candidates (the grounder's constant atom positions
+  /// and constant body predicates over variables its atom binds:
+  /// `Vals(y, p), y <= 60`). Bounds must survive coercion exactly; dropped
+  /// candidates can only demote the plan to a scan. Runtime-bound
+  /// candidates are ignored — they are PlanJoinProbe territory.
+  static AccessPlan PlanRangeLookup(
+      const Table& table, const std::vector<std::pair<size_t, Value>>& eqs,
+      const std::vector<JoinRangeCandidate>& ranges);
 
   /// Plans a bind-driven probe for `scope[target]` at its join depth: join
   /// conjuncts `target.col = earlier.col` (earlier FROM table, identical
@@ -164,6 +246,15 @@ class Planner {
   /// candidates can only demote the plan to kSnapshot.
   static JoinProbePlan PlanJoinProbe(const Table& table,
                                      const std::vector<JoinEqCandidate>& eqs);
+
+  /// Same with inequality candidates: when no hash index is fully
+  /// equality-covered but an ordered index has an equality-covered prefix
+  /// followed by a range-candidate column, plans a kIndexRangeProbe — the
+  /// per-binding interval `inner.col > outer.col` fetch with a key-range S
+  /// lock per probe. At least one eq part or bound must be runtime-bound.
+  static JoinProbePlan PlanJoinProbe(
+      const Table& table, const std::vector<JoinEqCandidate>& eqs,
+      const std::vector<JoinRangeCandidate>& ranges);
 };
 
 }  // namespace youtopia::sql

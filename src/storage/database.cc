@@ -8,7 +8,8 @@
 namespace youtopia {
 
 namespace {
-constexpr char kCheckpointMagic[] = "YTCKPT1";
+// v2: index definitions carry unique/ordered flags.
+constexpr char kCheckpointMagic[] = "YTCKPT2";
 }  // namespace
 
 StatusOr<Table*> Database::CreateTable(const std::string& name,
@@ -80,13 +81,15 @@ Status Database::SaveTo(std::ostream* out) const {
     EncodeU32(&buf, t->id());
     EncodeString(&buf, t->name());
     EncodeSchema(&buf, t->schema());
-    // Secondary-index definitions (the primary-key index is rebuilt from the
-    // schema by the Table constructor).
-    std::vector<std::vector<size_t>> index_sets = t->IndexedColumnSets();
-    EncodeU32(&buf, static_cast<uint32_t>(index_sets.size()));
-    for (const auto& cols : index_sets) {
-      EncodeU32(&buf, static_cast<uint32_t>(cols.size()));
-      for (size_t c : cols) EncodeU32(&buf, static_cast<uint32_t>(c));
+    // Secondary-index definitions with flags (the primary-key index is
+    // rebuilt from the schema by the Table constructor and skipped on load).
+    std::vector<IndexInfo> index_infos = t->IndexInfos();
+    EncodeU32(&buf, static_cast<uint32_t>(index_infos.size()));
+    for (const IndexInfo& info : index_infos) {
+      EncodeU32(&buf, static_cast<uint32_t>(info.columns.size()));
+      for (size_t c : info.columns) EncodeU32(&buf, static_cast<uint32_t>(c));
+      EncodeU8(&buf, static_cast<uint8_t>((info.unique ? 1 : 0) |
+                                          (info.ordered ? 2 : 0)));
     }
     EncodeU64(&buf, t->size());
     t->Scan([&buf](RowId rid, const Row& row) {
@@ -133,15 +136,19 @@ StatusOr<std::unique_ptr<Database>> Database::LoadFrom(std::istream* in) {
     YT_RETURN_IF_ERROR(DecodeSchema(&p, end, &schema));
     uint32_t num_indexes;
     YT_RETURN_IF_ERROR(DecodeU32(&p, end, &num_indexes));
-    std::vector<std::vector<size_t>> index_sets(num_indexes);
+    std::vector<IndexInfo> index_infos(num_indexes);
     for (uint32_t x = 0; x < num_indexes; ++x) {
       uint32_t num_cols;
       YT_RETURN_IF_ERROR(DecodeU32(&p, end, &num_cols));
       for (uint32_t c = 0; c < num_cols; ++c) {
         uint32_t col;
         YT_RETURN_IF_ERROR(DecodeU32(&p, end, &col));
-        index_sets[x].push_back(col);
+        index_infos[x].columns.push_back(col);
       }
+      uint8_t flags;
+      YT_RETURN_IF_ERROR(DecodeU8(&p, end, &flags));
+      index_infos[x].unique = (flags & 1) != 0;
+      index_infos[x].ordered = (flags & 2) != 0;
     }
     YT_RETURN_IF_ERROR(DecodeU64(&p, end, &num_rows));
     // Recreate with stable TableIds: pad slots if needed.
@@ -152,9 +159,10 @@ StatusOr<std::unique_ptr<Database>> Database::LoadFrom(std::istream* in) {
     YT_RETURN_IF_ERROR(db->catalog_.Register(name, id));
     db->tables_.push_back(std::make_unique<Table>(id, name, schema));
     Table* t = db->tables_.back().get();
-    for (const auto& cols : index_sets) {
-      if (t->HasIndexOn(cols)) continue;  // PK index already rebuilt
-      YT_RETURN_IF_ERROR(t->CreateIndexByPositions(cols));
+    for (const IndexInfo& info : index_infos) {
+      if (t->HasIndexOn(info.columns)) continue;  // PK index already rebuilt
+      YT_RETURN_IF_ERROR(
+          t->CreateIndexByPositions(info.columns, info.unique, info.ordered));
     }
     for (uint64_t r = 0; r < num_rows; ++r) {
       uint64_t rid;

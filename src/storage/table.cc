@@ -4,10 +4,100 @@
 
 namespace youtopia {
 
+namespace {
+
+bool RowHasNullIn(const Row& key, size_t from, size_t len) {
+  for (size_t i = from; i < len && i < key.size(); ++i) {
+    if (key[i].is_null()) return true;
+  }
+  return false;
+}
+
+bool RowHasNullPrefix(const Row& key, size_t len) {
+  return RowHasNullIn(key, 0, len);
+}
+
+}  // namespace
+
+IndexRange IndexRange::Point(Row key) {
+  IndexRange r;
+  r.lo = key;
+  r.hi = std::move(key);
+  r.lo_unbounded = r.hi_unbounded = false;
+  r.lo_incl = r.hi_incl = true;
+  return r;
+}
+
+int IndexRange::ComparePrefix(const Row& key, const Row& bound) {
+  size_t n = std::min(key.size(), bound.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = key[i].Compare(bound[i]);
+    if (c != 0) return c;
+  }
+  // Only the bound's own length participates: a longer key extending the
+  // bound compares equal; a key shorter than the bound sorts below it.
+  if (key.size() >= bound.size()) return 0;
+  return -1;
+}
+
+bool IndexRange::Contains(const Row& key) const {
+  if (!lo_unbounded) {
+    int c = ComparePrefix(key, lo);
+    if (c < 0 || (c == 0 && !lo_incl)) return false;
+  }
+  if (!hi_unbounded) {
+    int c = ComparePrefix(key, hi);
+    if (c > 0 || (c == 0 && !hi_incl)) return false;
+  }
+  return true;
+}
+
+bool IndexRange::Overlaps(const IndexRange& o) const {
+  // `a` is entirely below `b` when a.hi ends before b.lo begins. On a
+  // prefix-equal boundary the *shorter* bound's inclusivity decides: the
+  // longer bound lies strictly inside the shorter one's extension set, so
+  // an inclusive shorter bound always reaches keys on the other side of it
+  // (lo=(5,3) starts inside hi=(5) inclusive's coverage of every 5-prefix
+  // key), while an exclusive shorter bound excludes that whole set.
+  auto below = [](const IndexRange& a, const IndexRange& b) {
+    if (a.hi_unbounded || b.lo_unbounded) return false;
+    size_t n = std::min(a.hi.size(), b.lo.size());
+    for (size_t i = 0; i < n; ++i) {
+      int c = a.hi[i].Compare(b.lo[i]);
+      if (c != 0) return c < 0;
+    }
+    bool touch = true;
+    if (a.hi.size() <= b.lo.size()) touch &= a.hi_incl;
+    if (b.lo.size() <= a.hi.size()) touch &= b.lo_incl;
+    return !touch;
+  };
+  return !below(*this, o) && !below(o, *this);
+}
+
+bool IndexRange::operator==(const IndexRange& o) const {
+  if (lo_unbounded != o.lo_unbounded || hi_unbounded != o.hi_unbounded) {
+    return false;
+  }
+  if (!lo_unbounded && (lo_incl != o.lo_incl || lo != o.lo)) return false;
+  if (!hi_unbounded && (hi_incl != o.hi_incl || hi != o.hi)) return false;
+  return true;
+}
+
+std::string IndexRange::ToString() const {
+  std::string s =
+      lo_unbounded ? std::string("(-inf")
+                   : std::string(lo_incl ? "[" : "(") + lo.ToString();
+  s += ", ";
+  s += hi_unbounded ? std::string("+inf)")
+                    : hi.ToString() + std::string(hi_incl ? "]" : ")");
+  return s;
+}
+
 Table::Table(TableId id, std::string name, Schema schema)
     : id_(id), name_(std::move(name)), schema_(std::move(schema)) {
   if (!schema_.primary_key().empty()) {
-    (void)CreateIndexByPositions(schema_.primary_key(), /*unique=*/true);
+    (void)CreateIndexByPositions(schema_.primary_key(), /*unique=*/true,
+                                 /*ordered=*/schema_.pk_ordered());
   }
 }
 
@@ -22,6 +112,15 @@ StatusOr<Row> Table::CoerceToSchema(const Row& row) const {
   for (size_t i = 0; i < row.size(); ++i) {
     YT_ASSIGN_OR_RETURN(Value v, row[i].CoerceTo(schema_.column(i).type));
     vals.push_back(std::move(v));
+  }
+  // SQL primary keys imply NOT NULL: without this, the UNIQUE NULL
+  // exemption would admit any number of NULL-keyed "duplicates".
+  for (size_t c : schema_.primary_key()) {
+    if (vals[c].is_null()) {
+      return Status::InvalidArgument("NULL in primary-key column " +
+                                     schema_.column(c).name + " of table " +
+                                     name_);
+    }
   }
   return Row(std::move(vals));
 }
@@ -110,17 +209,18 @@ void Table::Scan(const std::function<bool(RowId, const Row&)>& visitor) const {
   }
 }
 
-Status Table::CreateIndex(const std::vector<std::string>& column_names) {
+Status Table::CreateIndex(const std::vector<std::string>& column_names,
+                          bool unique, bool ordered) {
   std::vector<size_t> columns;
   for (const std::string& name : column_names) {
     YT_ASSIGN_OR_RETURN(size_t i, schema_.IndexOf(name));
     columns.push_back(i);
   }
-  return CreateIndexByPositions(columns);
+  return CreateIndexByPositions(columns, unique, ordered);
 }
 
 Status Table::CreateIndexByPositions(const std::vector<size_t>& columns,
-                                     bool unique) {
+                                     bool unique, bool ordered) {
   std::unique_lock g(latch_);
   for (size_t c : columns) {
     if (c >= schema_.num_columns()) {
@@ -131,12 +231,15 @@ Status Table::CreateIndexByPositions(const std::vector<size_t>& columns,
   if (FindIndexLocked(columns) != nullptr) {
     return Status::AlreadyExists("index already exists on table " + name_);
   }
-  HashIndex idx;
+  Index idx;
   idx.columns = columns;
   idx.unique = unique;
+  idx.ordered = ordered;
   for (const auto& [rid, row] : rows_) {
-    auto& bucket = idx.map[ProjectKey(row, idx.columns)];
-    if (unique && !bucket.empty()) {
+    Row key = ProjectKey(row, idx.columns);
+    auto& bucket = ordered ? idx.tree[key] : idx.hash[key];
+    // Keys containing NULL are exempt from uniqueness (SQL UNIQUE).
+    if (unique && !bucket.empty() && !RowHasNullPrefix(key, key.size())) {
       return Status::AlreadyExists("duplicate key in unique index on table " +
                                    name_);
     }
@@ -146,16 +249,113 @@ Status Table::CreateIndexByPositions(const std::vector<size_t>& columns,
   return Status::Ok();
 }
 
+const std::vector<RowId>* Table::IndexFind(const Index& idx, const Row& key) {
+  if (idx.ordered) {
+    auto it = idx.tree.find(key);
+    return it == idx.tree.end() ? nullptr : &it->second;
+  }
+  auto it = idx.hash.find(key);
+  return it == idx.hash.end() ? nullptr : &it->second;
+}
+
 StatusOr<std::vector<RowId>> Table::IndexLookup(
     const std::vector<size_t>& columns, const Row& key) const {
   std::shared_lock g(latch_);
-  const HashIndex* idx = FindIndexLocked(columns);
+  const Index* idx = FindIndexLocked(columns);
   if (idx == nullptr) {
     return Status::NotFound("no index on requested columns of " + name_);
   }
-  auto it = idx->map.find(key);
-  if (it == idx->map.end()) return std::vector<RowId>{};
-  return it->second;
+  const std::vector<RowId>* bucket = IndexFind(*idx, key);
+  if (bucket == nullptr) return std::vector<RowId>{};
+  return *bucket;
+}
+
+StatusOr<std::vector<RowId>> Table::RangeLookup(
+    const IndexRangeSpec& spec) const {
+  std::shared_lock g(latch_);
+  const Index* idx = FindIndexLocked(spec.columns);
+  if (idx == nullptr || !idx->ordered) {
+    return Status::NotFound("no ordered index on requested columns of " +
+                            name_);
+  }
+  const IndexRange& r = spec.range;
+  // NULL keys are invisible to range predicates, but only in the columns a
+  // bound actually constrains — an unconstrained trailing NULL (or a fully
+  // unbounded ORDER BY scan) still qualifies.
+  const size_t null_len =
+      std::max(r.lo_unbounded ? 0 : r.lo.size(),
+               r.hi_unbounded ? 0 : r.hi.size());
+
+  std::vector<RowId> out;
+  // Buckets are kept sorted by IndexInsertLocked, so emitting a key's rows
+  // is a plain (possibly reversed) walk: RowIds ascend on a forward scan
+  // and descend on a reverse scan (whole-result key-then-rid order, either
+  // direction).
+  auto emit_bucket = [&](const std::vector<RowId>& bucket) {
+    if (spec.reverse) {
+      out.insert(out.end(), bucket.rbegin(), bucket.rend());
+    } else {
+      out.insert(out.end(), bucket.begin(), bucket.end());
+    }
+    if (spec.limit >= 0 && out.size() >= static_cast<size_t>(spec.limit)) {
+      out.resize(static_cast<size_t>(spec.limit));
+      return true;  // limit reached
+    }
+    return false;
+  };
+
+  if (!spec.reverse) {
+    auto it = r.lo_unbounded ? idx->tree.begin() : idx->tree.lower_bound(r.lo);
+    // An exclusive (possibly prefix) lower bound excludes every key that
+    // prefix-compares equal to it.
+    if (!r.lo_unbounded && !r.lo_incl) {
+      while (it != idx->tree.end() &&
+             IndexRange::ComparePrefix(it->first, r.lo) == 0) {
+        ++it;
+      }
+    }
+    for (; it != idx->tree.end(); ++it) {
+      const Row& key = it->first;
+      if (!r.hi_unbounded) {
+        int c = IndexRange::ComparePrefix(key, r.hi);
+        if (c > 0 || (c == 0 && !r.hi_incl)) break;
+      }
+      if (RowHasNullIn(key, spec.null_filter_from, null_len)) continue;
+      if (emit_bucket(it->second)) return out;
+    }
+    return out;
+  }
+
+  // Reverse scan: walk down from just past the upper bound, so a LIMIT
+  // stops after the top keys instead of collecting the whole interval. An
+  // inclusive prefix bound admits every extension of itself, and those sort
+  // *after* upper_bound(hi) under Row order (the prefix row sorts first),
+  // so advance past them to find the true end of the interval — a walk
+  // bounded by the boundary prefix's own extensions, which are all in-range
+  // keys anyway.
+  auto end_it = idx->tree.end();
+  if (!r.hi_unbounded) {
+    if (r.hi_incl) {
+      end_it = idx->tree.upper_bound(r.hi);
+      while (end_it != idx->tree.end() &&
+             IndexRange::ComparePrefix(end_it->first, r.hi) == 0) {
+        ++end_it;
+      }
+    } else {
+      end_it = idx->tree.lower_bound(r.hi);
+    }
+  }
+  for (auto rit = std::make_reverse_iterator(end_it);
+       rit != idx->tree.rend(); ++rit) {
+    const Row& key = rit->first;
+    if (!r.lo_unbounded) {
+      int c = IndexRange::ComparePrefix(key, r.lo);
+      if (c < 0 || (c == 0 && !r.lo_incl)) break;
+    }
+    if (RowHasNullIn(key, spec.null_filter_from, null_len)) continue;
+    if (emit_bucket(rit->second)) return out;
+  }
+  return out;
 }
 
 bool Table::HasIndexOn(const std::vector<size_t>& columns) const {
@@ -167,16 +367,31 @@ std::vector<std::vector<size_t>> Table::IndexedColumnSets() const {
   std::shared_lock g(latch_);
   std::vector<std::vector<size_t>> out;
   out.reserve(indexes_.size());
-  for (const HashIndex& idx : indexes_) out.push_back(idx.columns);
+  for (const Index& idx : indexes_) out.push_back(idx.columns);
   return out;
 }
 
-uint64_t Table::IndexKeyHash(const std::vector<size_t>& columns,
-                             const Row& key) {
+std::vector<IndexInfo> Table::IndexInfos() const {
+  std::shared_lock g(latch_);
+  std::vector<IndexInfo> out;
+  out.reserve(indexes_.size());
+  for (const Index& idx : indexes_) {
+    out.push_back({idx.columns, idx.unique, idx.ordered});
+  }
+  return out;
+}
+
+uint64_t Table::IndexColumnsHash(const std::vector<size_t>& columns) {
   uint64_t h = 1469598103934665603ull;  // FNV offset basis
   for (size_t c : columns) {
     h = (h ^ c) * 1099511628211ull;
   }
+  return h;
+}
+
+uint64_t Table::IndexKeyHash(const std::vector<size_t>& columns,
+                             const Row& key) {
+  uint64_t h = IndexColumnsHash(columns);
   h ^= key.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
   return h;
 }
@@ -185,8 +400,20 @@ std::vector<uint64_t> Table::IndexKeyHashesFor(const Row& row) const {
   std::shared_lock g(latch_);
   std::vector<uint64_t> out;
   out.reserve(indexes_.size());
-  for (const HashIndex& idx : indexes_) {
+  for (const Index& idx : indexes_) {
     out.push_back(IndexKeyHash(idx.columns, ProjectKey(row, idx.columns)));
+  }
+  return out;
+}
+
+std::vector<std::pair<uint64_t, Row>> Table::OrderedIndexKeysFor(
+    const Row& row) const {
+  std::shared_lock g(latch_);
+  std::vector<std::pair<uint64_t, Row>> out;
+  for (const Index& idx : indexes_) {
+    if (!idx.ordered) continue;
+    out.emplace_back(IndexColumnsHash(idx.columns),
+                     ProjectKey(row, idx.columns));
   }
   return out;
 }
@@ -206,13 +433,16 @@ std::unique_ptr<Table> Table::Clone() const {
 }
 
 Status Table::CheckUniqueLocked(const Row& row, RowId self) const {
-  for (const HashIndex& idx : indexes_) {
+  for (const Index& idx : indexes_) {
     if (!idx.unique) continue;
-    auto it = idx.map.find(ProjectKey(row, idx.columns));
-    if (it == idx.map.end()) continue;
-    for (RowId r : it->second) {
+    Row key = ProjectKey(row, idx.columns);
+    // SQL UNIQUE: keys containing NULL never collide.
+    if (RowHasNullPrefix(key, key.size())) continue;
+    const std::vector<RowId>* bucket = IndexFind(idx, key);
+    if (bucket == nullptr) continue;
+    for (RowId r : *bucket) {
       if (r != self) {
-        return Status::AlreadyExists("duplicate primary key in table " +
+        return Status::AlreadyExists("duplicate key in unique index on table " +
                                      name_);
       }
     }
@@ -221,24 +451,39 @@ Status Table::CheckUniqueLocked(const Row& row, RowId self) const {
 }
 
 void Table::IndexInsertLocked(RowId rid, const Row& row) {
-  for (HashIndex& idx : indexes_) {
-    idx.map[ProjectKey(row, idx.columns)].push_back(rid);
+  for (Index& idx : indexes_) {
+    Row key = ProjectKey(row, idx.columns);
+    auto& bucket =
+        idx.ordered ? idx.tree[std::move(key)] : idx.hash[std::move(key)];
+    // Keep buckets RowId-sorted so range scans emit them without a per-read
+    // sort. RowIds are allocated monotonically, so this lower_bound lands at
+    // end() except for undo/recovery re-insertions.
+    bucket.insert(std::lower_bound(bucket.begin(), bucket.end(), rid), rid);
   }
 }
 
 void Table::IndexRemoveLocked(RowId rid, const Row& row) {
-  for (HashIndex& idx : indexes_) {
-    auto it = idx.map.find(ProjectKey(row, idx.columns));
-    if (it == idx.map.end()) continue;
-    auto& vec = it->second;
-    vec.erase(std::remove(vec.begin(), vec.end(), rid), vec.end());
-    if (vec.empty()) idx.map.erase(it);
+  for (Index& idx : indexes_) {
+    Row key = ProjectKey(row, idx.columns);
+    if (idx.ordered) {
+      auto it = idx.tree.find(key);
+      if (it == idx.tree.end()) continue;
+      auto& vec = it->second;
+      vec.erase(std::remove(vec.begin(), vec.end(), rid), vec.end());
+      if (vec.empty()) idx.tree.erase(it);
+    } else {
+      auto it = idx.hash.find(key);
+      if (it == idx.hash.end()) continue;
+      auto& vec = it->second;
+      vec.erase(std::remove(vec.begin(), vec.end(), rid), vec.end());
+      if (vec.empty()) idx.hash.erase(it);
+    }
   }
 }
 
-const Table::HashIndex* Table::FindIndexLocked(
+const Table::Index* Table::FindIndexLocked(
     const std::vector<size_t>& columns) const {
-  for (const HashIndex& idx : indexes_) {
+  for (const Index& idx : indexes_) {
     if (idx.columns == columns) return &idx;
   }
   return nullptr;

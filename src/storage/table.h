@@ -20,16 +20,82 @@ namespace youtopia {
 using TableId = uint32_t;
 using RowId = uint64_t;
 
-/// In-memory heap table: RowId -> Row, with optional hash indexes on column
-/// subsets. Physical access is guarded by a shared_mutex *latch*; logical
-/// concurrency control (Strict 2PL) lives in the lock manager above. Scan
-/// order is RowId order, which is insertion order, so executions are
-/// deterministic.
+/// An interval over an ordered index's key space. Bounds are rows of key
+/// values and may be *shorter* than the index key (prefix bounds): a bound
+/// compares only on its own length, so with an index on (a, b),
+/// lo = (5) inclusive admits every key whose first column is >= 5, and an
+/// exclusive prefix bound excludes every extension of itself (the SQL
+/// `a = 5 AND b > 3` shape builds lo = (5, 3) exclusive, which excludes
+/// (5, 3, *) but admits (5, 4)). An unbounded side admits everything.
+///
+/// The same struct keys the lock manager's key-range locks: a range read
+/// locks the interval it scanned, a writer locks the degenerate Point(k)
+/// interval of each ordered-index key it touches, and two locks conflict
+/// only when their intervals overlap.
+struct IndexRange {
+  Row lo, hi;
+  bool lo_unbounded = true, hi_unbounded = true;
+  bool lo_incl = true, hi_incl = true;
+
+  /// The whole key space (both sides unbounded).
+  static IndexRange All() { return IndexRange{}; }
+  /// The degenerate single-key interval [key, key].
+  static IndexRange Point(Row key);
+
+  bool fully_unbounded() const { return lo_unbounded && hi_unbounded; }
+
+  /// Compares `key` against a (possibly prefix) bound: only the bound's own
+  /// length participates, so a key extending the bound compares equal.
+  static int ComparePrefix(const Row& key, const Row& bound);
+
+  /// True when `key` lies inside the interval under prefix-bound semantics.
+  bool Contains(const Row& key) const;
+
+  /// True when some key could lie in both intervals (conservative on the
+  /// boundary: prefix bounds of different lengths are treated as touching).
+  bool Overlaps(const IndexRange& o) const;
+
+  /// Exact structural equality (bounds, flags); identifies a lock record.
+  bool operator==(const IndexRange& o) const;
+
+  std::string ToString() const;
+};
+
+/// One ordered-index range read: the index's full column set, the interval,
+/// the direction, and an optional cap on returned rows (applied after
+/// direction, so a reverse scan returns the *top* `limit` keys).
+struct IndexRangeSpec {
+  std::vector<size_t> columns;  ///< full column set of the ordered index
+  IndexRange range;
+  bool reverse = false;
+  int64_t limit = -1;  ///< -1 = unlimited
+  /// First key position whose NULL values disqualify a key (NULLs before it
+  /// pass). SQL predicates never match NULL, so statements leave this at 0
+  /// — every bound-constrained column filters; the grounder's valuation
+  /// unification *does* match NULL on its equality prefix, so its range
+  /// probes set it to the prefix length, NULL-filtering the range column
+  /// only.
+  size_t null_filter_from = 0;
+};
+
+/// Column set + flags of one index (access-path planning).
+struct IndexInfo {
+  std::vector<size_t> columns;
+  bool unique = false;
+  bool ordered = false;
+};
+
+/// In-memory heap table: RowId -> Row, with optional hash or ordered
+/// (B-tree) indexes on column subsets. Physical access is guarded by a
+/// shared_mutex *latch*; logical concurrency control (Strict 2PL) lives in
+/// the lock manager above. Scan order is RowId order, which is insertion
+/// order, so executions are deterministic.
 class Table {
  public:
-  /// A schema with primary-key columns gets a unique hash index over them
-  /// automatically (also on recovery/checkpoint load, which reconstruct the
-  /// table through this constructor).
+  /// A schema with primary-key columns gets a unique index over them
+  /// automatically (ordered when the schema says so; also on
+  /// recovery/checkpoint load, which reconstruct the table through this
+  /// constructor).
   Table(TableId id, std::string name, Schema schema);
 
   TableId id() const { return id_; }
@@ -55,21 +121,36 @@ class Table {
   /// Visits rows in RowId order; the visitor returns false to stop early.
   void Scan(const std::function<bool(RowId, const Row&)>& visitor) const;
 
-  /// Builds a hash index over the named columns (backfills existing rows).
-  Status CreateIndex(const std::vector<std::string>& column_names);
-  /// Same, addressing columns by schema position. `unique` rejects duplicate
-  /// keys at build time and on later inserts/updates (primary-key indexes).
+  /// Builds an index over the named columns (backfills existing rows).
+  /// `unique` rejects duplicate keys — except keys containing NULL, which
+  /// are exempt from uniqueness per SQL. `ordered` builds a B-tree instead
+  /// of a hash map, enabling RangeLookup.
+  Status CreateIndex(const std::vector<std::string>& column_names,
+                     bool unique = false, bool ordered = false);
+  /// Same, addressing columns by schema position.
   Status CreateIndexByPositions(const std::vector<size_t>& columns,
-                                bool unique = false);
+                                bool unique = false, bool ordered = false);
 
   /// Returns RowIds whose projection on `columns` equals `key`, or NotFound
-  /// when no index covers exactly those columns.
+  /// when no index covers exactly those columns. Works on hash and ordered
+  /// indexes alike.
   StatusOr<std::vector<RowId>> IndexLookup(const std::vector<size_t>& columns,
                                            const Row& key) const;
   bool HasIndexOn(const std::vector<size_t>& columns) const;
 
+  /// RowIds whose key projection lies in `spec.range`, in key order (then
+  /// RowId order within a key; descending keys when `spec.reverse`),
+  /// truncated to `spec.limit`. Keys with NULL in a *bound-constrained*
+  /// column are skipped (SQL comparisons with NULL select nothing) — NULLs
+  /// in columns past every bound's length still qualify, so a fully
+  /// unbounded range (ORDER BY service) returns every row. NotFound when no
+  /// *ordered* index exists on exactly `spec.columns`.
+  StatusOr<std::vector<RowId>> RangeLookup(const IndexRangeSpec& spec) const;
+
   /// Column sets of every index, in creation order (access-path planning).
   std::vector<std::vector<size_t>> IndexedColumnSets() const;
+  /// Same with the unique/ordered flags.
+  std::vector<IndexInfo> IndexInfos() const;
 
   /// Validates/coerces a row against the schema without inserting it (the
   /// transaction manager pre-computes index-key locks from the coerced row).
@@ -79,9 +160,18 @@ class Table {
   /// index-key predicate locks are keyed on this.
   static uint64_t IndexKeyHash(const std::vector<size_t>& columns,
                                const Row& key);
+  /// Stable hash identifying an index's column set — names the key-range
+  /// lock *space* of an ordered index.
+  static uint64_t IndexColumnsHash(const std::vector<size_t>& columns);
+
   /// IndexKeyHash for every index of this table, projected from `row` (which
   /// must already match the schema).
   std::vector<uint64_t> IndexKeyHashesFor(const Row& row) const;
+  /// (IndexColumnsHash, projected key) for every *ordered* index — writers
+  /// take key-range X locks on the Point() interval of each, so range
+  /// readers of an interval containing the key are excluded.
+  std::vector<std::pair<uint64_t, Row>> OrderedIndexKeysFor(
+      const Row& row) const;
 
   size_t size() const;
 
@@ -89,19 +179,24 @@ class Table {
   std::unique_ptr<Table> Clone() const;
 
  private:
-  struct HashIndex {
+  /// One secondary index: a hash map or an ordered tree over projected keys.
+  struct Index {
     std::vector<size_t> columns;
     bool unique = false;
-    std::unordered_map<Row, std::vector<RowId>, RowHash> map;
+    bool ordered = false;
+    std::unordered_map<Row, std::vector<RowId>, RowHash> hash;  // !ordered
+    std::map<Row, std::vector<RowId>> tree;                     // ordered
   };
 
   StatusOr<Row> CoerceToSchema(const Row& row) const;
   /// Rejects rows that would duplicate a unique-index key (`self` excluded,
-  /// for updates). Caller holds the latch.
+  /// for updates; keys containing NULL are exempt). Caller holds the latch.
   Status CheckUniqueLocked(const Row& row, RowId self) const;
   void IndexInsertLocked(RowId rid, const Row& row);
   void IndexRemoveLocked(RowId rid, const Row& row);
-  const HashIndex* FindIndexLocked(const std::vector<size_t>& columns) const;
+  const Index* FindIndexLocked(const std::vector<size_t>& columns) const;
+  /// RowIds under `key` in `idx`, or nullptr when absent.
+  static const std::vector<RowId>* IndexFind(const Index& idx, const Row& key);
   static Row ProjectKey(const Row& row, const std::vector<size_t>& columns);
 
   TableId id_;
@@ -110,7 +205,7 @@ class Table {
   mutable std::shared_mutex latch_;
   std::map<RowId, Row> rows_;
   RowId next_row_id_ = 1;
-  std::vector<HashIndex> indexes_;
+  std::vector<Index> indexes_;
 };
 
 }  // namespace youtopia

@@ -53,6 +53,11 @@ class Transaction {
   }
 
   int64_t lock_timeout_micros() const { return lock_timeout_micros_; }
+  /// Per-transaction override of the manager default (tests and sessions
+  /// bounding a single statement's blocking).
+  void set_lock_timeout_micros(int64_t micros) {
+    lock_timeout_micros_ = micros;
+  }
 
   /// Entanglement bookkeeping (set when the transaction receives an
   /// entangled-query answer; drives group commit + widow prevention).

@@ -42,6 +42,30 @@ Status TransactionManager::AcquireIndexKeyLocks(Transaction* txn,
   return Status::Ok();
 }
 
+Status TransactionManager::AcquireOrderedKeyLocks(
+    Transaction* txn, const Table* t,
+    std::vector<std::pair<uint64_t, Row>> keys) {
+  std::sort(keys.begin(), keys.end(),
+            [](const std::pair<uint64_t, Row>& a,
+               const std::pair<uint64_t, Row>& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second.Compare(b.second) < 0;
+            });
+  keys.erase(std::unique(keys.begin(), keys.end(),
+                         [](const std::pair<uint64_t, Row>& a,
+                            const std::pair<uint64_t, Row>& b) {
+                           return a.first == b.first && a.second == b.second;
+                         }),
+             keys.end());
+  for (auto& [index_id, key] : keys) {
+    YT_RETURN_IF_ERROR(locks_->AcquireRange(
+        txn->id(), RangeSpaceKey{t->id(), index_id},
+        IndexRange::Point(std::move(key)), LockMode::kX,
+        txn->lock_timeout_micros()));
+  }
+  return Status::Ok();
+}
+
 StatusOr<RowId> TransactionManager::Insert(Transaction* txn,
                                            const std::string& table,
                                            const Row& row) {
@@ -56,6 +80,11 @@ StatusOr<RowId> TransactionManager::Insert(Transaction* txn,
   YT_ASSIGN_OR_RETURN(Row coerced, t->Coerce(row));
   YT_RETURN_IF_ERROR(
       AcquireIndexKeyLocks(txn, t, t->IndexKeyHashesFor(coerced)));
+  // Key-range X on each ordered-index key: a range reader whose scanned
+  // interval contains this key holds S on that interval, so the insert
+  // cannot create a phantom inside it.
+  YT_RETURN_IF_ERROR(
+      AcquireOrderedKeyLocks(txn, t, t->OrderedIndexKeysFor(coerced)));
   YT_ASSIGN_OR_RETURN(RowId rid, t->InsertCoerced(std::move(coerced)));
   // X on the new row: no other transaction can see it before commit anyway
   // (it is brand new), but the lock keeps the row protocol uniform.
@@ -124,6 +153,9 @@ Status TransactionManager::Update(Transaction* txn, const std::string& table,
   std::vector<uint64_t> hashes = t->IndexKeyHashesFor(before);
   for (uint64_t h : t->IndexKeyHashesFor(coerced)) hashes.push_back(h);
   YT_RETURN_IF_ERROR(AcquireIndexKeyLocks(txn, t, std::move(hashes)));
+  std::vector<std::pair<uint64_t, Row>> okeys = t->OrderedIndexKeysFor(before);
+  for (auto& k : t->OrderedIndexKeysFor(coerced)) okeys.push_back(std::move(k));
+  YT_RETURN_IF_ERROR(AcquireOrderedKeyLocks(txn, t, std::move(okeys)));
   YT_RETURN_IF_ERROR(t->UpdateCoerced(rid, std::move(coerced)));
   txn->undo_log().push_back(
       {UndoEntry::Kind::kUpdate, t->name(), rid, before});
@@ -151,6 +183,8 @@ Status TransactionManager::Delete(Transaction* txn, const std::string& table,
   YT_ASSIGN_OR_RETURN(Row before, t->Get(rid));
   YT_RETURN_IF_ERROR(
       AcquireIndexKeyLocks(txn, t, t->IndexKeyHashesFor(before)));
+  YT_RETURN_IF_ERROR(
+      AcquireOrderedKeyLocks(txn, t, t->OrderedIndexKeysFor(before)));
   YT_RETURN_IF_ERROR(t->Delete(rid));
   txn->undo_log().push_back(
       {UndoEntry::Kind::kDelete, t->name(), rid, before});
@@ -316,6 +350,147 @@ Status TransactionManager::ProbeJoinForGrounding(
                      IndexedReadKind::kGroundingJoinProbe, visitor);
 }
 
+Status TransactionManager::IndexedRangeRead(Transaction* txn, Table* t,
+                                            const IndexRangeSpec& spec,
+                                            IndexedReadKind kind,
+                                            const RowVisitor& visitor) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  const bool grounding = kind == IndexedReadKind::kGroundingRangeLookup ||
+                         kind == IndexedReadKind::kGroundingRangeProbe;
+  const bool take_locks = TakesReadLocks(txn->isolation_level());
+  const RangeSpaceKey space{t->id(), Table::IndexColumnsHash(spec.columns)};
+  const bool whole_space = spec.range.fully_unbounded();
+  if (take_locks) {
+    if (whole_space) {
+      // A fully unbounded interval covers the whole key space; the table S
+      // lock is the cheaper equivalent (one record, no interval tests).
+      YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), LockKey::Table(t->id()),
+                                         LockMode::kS,
+                                         txn->lock_timeout_micros()));
+    } else {
+      YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), LockKey::Table(t->id()),
+                                         LockMode::kIS,
+                                         txn->lock_timeout_micros()));
+      // S on the scanned interval: no writer can insert, delete, or move a
+      // row whose key falls inside it until we are done (gap + key phantom
+      // protection for the range predicate).
+      YT_RETURN_IF_ERROR(locks_->AcquireRange(txn->id(), space, spec.range,
+                                              LockMode::kS,
+                                              txn->lock_timeout_micros()));
+    }
+  }
+  YT_ASSIGN_OR_RETURN(std::vector<RowId> rids, t->RangeLookup(spec));
+  if (grounding && options_.observer != nullptr) {
+    options_.observer->OnGroundingRead(txn->id(), {t->name(), 0});
+  }
+  std::vector<RowId> visited;
+  for (RowId rid : rids) {  // key order — preserved for ORDER BY service
+    if (take_locks) {
+      YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(),
+                                         LockKey::RowOf(t->id(), rid),
+                                         LockMode::kS,
+                                         txn->lock_timeout_micros()));
+    }
+    auto row = t->Get(rid);
+    if (!row.ok()) continue;  // lockless levels may race a delete
+    visited.push_back(rid);
+    if (!grounding && options_.observer != nullptr) {
+      options_.observer->OnRead(txn->id(), {t->name(), rid});
+    }
+    if (!visitor(rid, std::move(row).value())) break;
+  }
+  switch (kind) {
+    case IndexedReadKind::kRangeLookup:
+      stats_.range_lookups.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case IndexedReadKind::kGroundingRangeLookup:
+      stats_.grounding_range_lookups.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case IndexedReadKind::kRangeJoinProbe:
+      stats_.range_join_probes.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case IndexedReadKind::kGroundingRangeProbe:
+      stats_.grounding_range_probes.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      break;
+  }
+  if (txn->isolation_level() == IsolationLevel::kReadCommitted) {
+    for (RowId rid : visited) ReleaseEarlyReadLocks(txn, t, rid);
+    if (whole_space) {
+      if (!locks_->Holds(txn->id(), LockKey::Table(t->id()), LockMode::kX) &&
+          !locks_->Holds(txn->id(), LockKey::Table(t->id()), LockMode::kIX)) {
+        locks_->ReleaseKey(txn->id(), LockKey::Table(t->id()));
+      }
+    } else {
+      // Only the shared interval is dropped; an X range lock this
+      // transaction holds protects its own earlier writes and stays.
+      locks_->ReleaseSharedRange(txn->id(), space, spec.range);
+    }
+  }
+  return Status::Ok();
+}
+
+Status TransactionManager::GetByIndexRange(Transaction* txn,
+                                           const std::string& table,
+                                           const IndexRangeSpec& spec,
+                                           const RowVisitor& visitor) {
+  YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+  return IndexedRangeRead(txn, t, spec, IndexedReadKind::kRangeLookup,
+                          visitor);
+}
+
+Status TransactionManager::GetByIndexRangeForGrounding(
+    Transaction* txn, Table* t, const IndexRangeSpec& spec,
+    const RowVisitor& visitor) {
+  return IndexedRangeRead(txn, t, spec,
+                          IndexedReadKind::kGroundingRangeLookup, visitor);
+}
+
+Status TransactionManager::ProbeJoinRange(Transaction* txn, Table* t,
+                                          const IndexRangeSpec& spec,
+                                          const RowVisitor& visitor) {
+  return IndexedRangeRead(txn, t, spec, IndexedReadKind::kRangeJoinProbe,
+                          visitor);
+}
+
+Status TransactionManager::ProbeJoinRangeForGrounding(
+    Transaction* txn, Table* t, const IndexRangeSpec& spec,
+    const RowVisitor& visitor) {
+  return IndexedRangeRead(txn, t, spec, IndexedReadKind::kGroundingRangeProbe,
+                          visitor);
+}
+
+StatusOr<std::vector<std::pair<RowId, Row>>>
+TransactionManager::LockRowsForWriteRange(Transaction* txn,
+                                          const std::string& table,
+                                          const IndexRangeSpec& spec) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+  YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), LockKey::Table(t->id()),
+                                     LockMode::kIX,
+                                     txn->lock_timeout_micros()));
+  // X on the scanned interval first: serializes with range readers of any
+  // overlapping interval and with writers touching keys inside it. Then X
+  // row locks before any row is read — no S->X upgrade can occur later.
+  YT_RETURN_IF_ERROR(locks_->AcquireRange(
+      txn->id(), RangeSpaceKey{t->id(), Table::IndexColumnsHash(spec.columns)},
+      spec.range, LockMode::kX, txn->lock_timeout_micros()));
+  YT_ASSIGN_OR_RETURN(std::vector<RowId> rids, t->RangeLookup(spec));
+  std::vector<std::pair<RowId, Row>> out;
+  out.reserve(rids.size());
+  for (RowId rid : rids) {
+    YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(),
+                                       LockKey::RowOf(t->id(), rid),
+                                       LockMode::kX,
+                                       txn->lock_timeout_micros()));
+    YT_ASSIGN_OR_RETURN(Row row, t->Get(rid));
+    out.emplace_back(rid, std::move(row));
+  }
+  stats_.range_lookups.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
 StatusOr<std::vector<std::pair<RowId, Row>>>
 TransactionManager::LockRowsForWrite(Transaction* txn,
                                      const std::string& table,
@@ -454,12 +629,14 @@ StatusOr<Table*> TransactionManager::CreateTable(const std::string& name,
   return t;
 }
 
-Status TransactionManager::CreateIndex(
-    const std::string& table, const std::vector<std::string>& columns) {
+Status TransactionManager::CreateIndex(const std::string& table,
+                                       const std::vector<std::string>& columns,
+                                       bool unique, bool ordered) {
   YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
-  YT_RETURN_IF_ERROR(t->CreateIndex(columns));
+  YT_RETURN_IF_ERROR(t->CreateIndex(columns, unique, ordered));
   if (wal_ != nullptr) {
-    auto lsn = wal_->AppendAndFlush(WalRecord::CreateIndex(t->name(), columns));
+    auto lsn = wal_->AppendAndFlush(
+        WalRecord::CreateIndex(t->name(), columns, unique, ordered));
     if (!lsn.ok()) return lsn.status();
   }
   return Status::Ok();

@@ -36,6 +36,12 @@ struct TxnStats {
   std::atomic<uint64_t> join_probe_cache_hits{0};
   std::atomic<uint64_t> grounding_join_probes{0};
   std::atomic<uint64_t> grounding_join_probe_cache_hits{0};
+  std::atomic<uint64_t> range_lookups{0};
+  std::atomic<uint64_t> grounding_range_lookups{0};
+  std::atomic<uint64_t> range_join_probes{0};
+  std::atomic<uint64_t> range_probe_cache_hits{0};
+  std::atomic<uint64_t> grounding_range_probes{0};
+  std::atomic<uint64_t> grounding_range_probe_cache_hits{0};
 };
 
 /// Classical ACID transaction manager over the in-memory engine:
@@ -106,6 +112,45 @@ class TransactionManager {
       Transaction* txn, const std::string& table,
       const std::vector<size_t>& columns, const Row& key);
 
+  /// Indexed range read: visits rows whose projection on `spec.columns`
+  /// lies in `spec.range`, in index-key order (descending with
+  /// `spec.reverse`), under key-range granularity instead of a table S
+  /// lock. At serializable levels this takes table IS + key-range S on the
+  /// scanned interval (phantom protection: any writer inserting, deleting,
+  /// or moving a row whose ordered-index key falls inside the interval
+  /// takes key-range X on that key's point interval) + S on each matched
+  /// row. A fully unbounded range (ORDER BY service with no sargable
+  /// bound) degrades to the table S lock — it covers the whole key space
+  /// anyway. kReadCommitted releases the S locks at the end of the call.
+  Status GetByIndexRange(Transaction* txn, const std::string& table,
+                         const IndexRangeSpec& spec, const RowVisitor& visitor);
+
+  /// GetByIndexRange recorded as a grounding read (R^G) and counted as a
+  /// grounding_range_lookup — the grounder's eager range-filtered atoms.
+  Status GetByIndexRangeForGrounding(Transaction* txn, Table* t,
+                                     const IndexRangeSpec& spec,
+                                     const RowVisitor& visitor);
+
+  /// Per-binding range probe for bind-driven joins whose join predicate is
+  /// an inequality (`inner.col > outer.col`): same locking as
+  /// GetByIndexRange, counted as a range_join_probe. The key-range S lock
+  /// replaces PR 2's per-key predicate hash for these probes.
+  Status ProbeJoinRange(Transaction* txn, Table* t, const IndexRangeSpec& spec,
+                        const RowVisitor& visitor);
+
+  /// ProbeJoinRange recorded as a grounding read (R^G).
+  Status ProbeJoinRangeForGrounding(Transaction* txn, Table* t,
+                                    const IndexRangeSpec& spec,
+                                    const RowVisitor& visitor);
+
+  /// GetByIndexRange for write statements: X-locks the scanned interval and
+  /// every matched row (plus table IX) up front and returns the matched
+  /// rows. Range-covered UPDATE/DELETE route here instead of
+  /// LockTableForWrite — X row locks are taken before any read, so the
+  /// scan-then-upgrade (S->X) deadlock between range writers cannot occur.
+  StatusOr<std::vector<std::pair<RowId, Row>>> LockRowsForWriteRange(
+      Transaction* txn, const std::string& table, const IndexRangeSpec& spec);
+
   /// Takes a table-level X lock up front (UPDATE/DELETE statements lock the
   /// whole table before scanning, avoiding S->X upgrade deadlocks between
   /// writers).
@@ -162,9 +207,12 @@ class TransactionManager {
   /// index over them automatically (inside the Table constructor).
   StatusOr<Table*> CreateTable(const std::string& name, const Schema& schema);
 
-  /// Builds a secondary hash index and WAL-logs it so recovery rebuilds it.
+  /// Builds a secondary index (hash by default; `ordered` builds a B-tree
+  /// enabling range access; `unique` enforces key uniqueness, NULL keys
+  /// exempt) and WAL-logs it so recovery rebuilds it.
   Status CreateIndex(const std::string& table,
-                     const std::vector<std::string>& columns);
+                     const std::vector<std::string>& columns,
+                     bool unique = false, bool ordered = false);
 
   /// Writes a checkpoint image to `checkpoint_path` and truncates the WAL.
   /// Callers must quiesce transactions first.
@@ -178,13 +226,25 @@ class TransactionManager {
   /// acquisition order).
   Status AcquireIndexKeyLocks(Transaction* txn, const Table* t,
                               std::vector<uint64_t> hashes);
+  /// Key-range X locks on the Point() interval of every ordered-index key a
+  /// write touches (sorted for deterministic order) — this is what makes a
+  /// write conflict with concurrent range readers whose scanned interval
+  /// contains the key, and pass freely otherwise.
+  Status AcquireOrderedKeyLocks(Transaction* txn, const Table* t,
+                                std::vector<std::pair<uint64_t, Row>> keys);
   /// How an indexed read is counted and observed.
   enum class IndexedReadKind { kLookup, kGroundingLookup, kJoinProbe,
-                               kGroundingJoinProbe };
+                               kGroundingJoinProbe, kRangeLookup,
+                               kGroundingRangeLookup, kRangeJoinProbe,
+                               kGroundingRangeProbe };
   /// Shared lookup core for GetByIndex / LookupForGrounding / ProbeJoin*.
   Status IndexedRead(Transaction* txn, Table* t,
                      const std::vector<size_t>& columns, const Row& key,
                      IndexedReadKind kind, const RowVisitor& visitor);
+  /// Shared range-read core for GetByIndexRange* / ProbeJoinRange*.
+  Status IndexedRangeRead(Transaction* txn, Table* t,
+                          const IndexRangeSpec& spec, IndexedReadKind kind,
+                          const RowVisitor& visitor);
 
   Database* db_;
   LockManager* locks_;

@@ -102,16 +102,31 @@ WalRecord WalRecord::CreateTable(std::string table, Schema schema) {
 }
 
 WalRecord WalRecord::CreateIndex(std::string table,
-                                 const std::vector<std::string>& columns) {
+                                 const std::vector<std::string>& columns,
+                                 bool unique, bool ordered) {
   WalRecord r;
   r.type = WalRecordType::kCreateIndex;
   r.table = std::move(table);
   r.aux = Join(columns, ",");
+  std::vector<std::string> flags;
+  if (unique) flags.push_back("unique");
+  if (ordered) flags.push_back("ordered");
+  if (!flags.empty()) r.aux += "|" + Join(flags, ",");
   return r;
 }
 
 std::vector<std::string> WalRecord::IndexColumns() const {
-  return Split(aux, ',');
+  return Split(Split(aux, '|').front(), ',');
+}
+
+bool WalRecord::IndexUnique() const {
+  std::vector<std::string> parts = Split(aux, '|');
+  return parts.size() > 1 && parts[1].find("unique") != std::string::npos;
+}
+
+bool WalRecord::IndexOrdered() const {
+  std::vector<std::string> parts = Split(aux, '|');
+  return parts.size() > 1 && parts[1].find("ordered") != std::string::npos;
 }
 
 WalRecord WalRecord::CheckpointRef(std::string path,

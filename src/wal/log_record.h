@@ -59,11 +59,15 @@ struct WalRecord {
   static WalRecord GroupCommit(GroupId group, std::vector<TxnId> members);
   static WalRecord CreateTable(std::string table, Schema schema);
   static WalRecord CreateIndex(std::string table,
-                               const std::vector<std::string>& columns);
+                               const std::vector<std::string>& columns,
+                               bool unique = false, bool ordered = false);
   static WalRecord CheckpointRef(std::string path, uint64_t lsn_at_checkpoint);
 
-  /// Column names of a kCreateIndex record (decoded from aux).
+  /// Column names of a kCreateIndex record (decoded from aux, which holds
+  /// "col,col[|flag,flag]" with flags drawn from {unique, ordered}).
   std::vector<std::string> IndexColumns() const;
+  bool IndexUnique() const;
+  bool IndexOrdered() const;
 
   /// Payload encoding (no framing; the writer adds length + CRC).
   void EncodeTo(std::string* dst) const;

@@ -86,7 +86,8 @@ StatusOr<RecoveryManager::Result> RecoveryManager::Recover(
       }
       case WalRecordType::kCreateIndex: {
         YT_ASSIGN_OR_RETURN(Table * t, result.db->GetTable(r.table));
-        Status s = t->CreateIndex(r.IndexColumns());
+        Status s =
+            t->CreateIndex(r.IndexColumns(), r.IndexUnique(), r.IndexOrdered());
         // AlreadyExists: the index came back with a checkpoint image.
         if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
         break;

@@ -89,6 +89,11 @@ Status TravelData::BuildFigure1Tables(TransactionManager* tm) {
       tm->CreateTable("Flights", Schema({{"fno", TypeId::kInt64},
                                          {"fdate", TypeId::kInt64},
                                          {"dest", TypeId::kString}})));
+  // Date predicates over Flights are the paper's range shape ("fdate
+  // between May 3 and May 5"): an ordered index makes them sargable and
+  // key-range-lockable instead of table scans under table S locks.
+  YT_RETURN_IF_ERROR(tm->CreateIndex("Flights", {"fdate"}, /*unique=*/false,
+                                     /*ordered=*/true));
   YT_ASSIGN_OR_RETURN(
       Table * airlines,
       tm->CreateTable("Airlines", Schema({{"fno", TypeId::kInt64},

@@ -629,6 +629,96 @@ TEST(GrounderTest, NullBindingsProbeLikeAnyOtherValue) {
   ASSERT_OK(fix.tm->Commit(txn.get()));
 }
 
+TEST(GrounderTest, RangeProbesMatchSnapshotGroundings) {
+  // The ROADMAP follow-on shape: Flights(y, p) with an ordered index on its
+  // first column and the body predicate `y > x` — each outer binding of x
+  // drives a per-binding range probe `y in (x, +inf)` under a key-range S
+  // lock instead of a grounding table scan.
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("Cuts", Schema({{"x", TypeId::kInt64}}))
+                .status());
+  ASSERT_OK(fix.tm
+                ->CreateTable("Vals", Schema({{"y", TypeId::kInt64},
+                                              {"p", TypeId::kInt64}}))
+                .status());
+  ASSERT_OK(fix.tm->CreateIndex("Vals", {"y"}, /*unique=*/false,
+                                /*ordered=*/true));
+  auto setup = fix.tm->Begin();
+  for (int64_t x : {10, 50, 90}) {
+    ASSERT_OK(
+        fix.tm->Insert(setup.get(), "Cuts", Row({Value::Int(x)})).status());
+  }
+  for (int64_t y = 0; y < 100; y += 7) {
+    ASSERT_OK(fix.tm
+                  ->Insert(setup.get(), "Vals",
+                           Row({Value::Int(y), Value::Int(y * 2)}))
+                  .status());
+  }
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+
+  EntangledQuerySpec q;
+  q.label = "range-probe";
+  q.body = {{"Cuts", {Term::Var("x")}},
+            {"Vals", {Term::Var("y"), Term::Var("p")}}};
+  q.preds = {{Term::Var("y"), ">", Term::Var("x")}};
+  q.head = {{"R", {Term::Var("x"), Term::Var("y")}}};
+
+  auto txn = fix.tm->Begin();
+  auto& stats = fix.tm->stats();
+  uint64_t range_probes = stats.grounding_range_probes.load();
+  uint64_t scans = stats.grounding_scans.load();
+  ASSERT_OK_AND_ASSIGN(std::vector<Grounding> probed,
+                       Grounder::Ground(q, fix.tm.get(), txn.get()));
+  EXPECT_EQ(stats.grounding_scans.load(), scans + 1);  // only Cuts scans
+  EXPECT_EQ(stats.grounding_range_probes.load(), range_probes + 3);
+  Grounder::Options snap_opts;
+  snap_opts.use_index_probes = false;
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Grounding> snapped,
+      Grounder::Ground(q, fix.tm.get(), txn.get(), snap_opts));
+  EXPECT_FALSE(probed.empty());
+  auto render = [](const std::vector<Grounding>& gs) {
+    std::vector<std::string> out;
+    for (const Grounding& g : gs) out.push_back(g.ToString());
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(render(probed), render(snapped));
+  // A constant range predicate bounds the other side too.
+  EntangledQuerySpec q2 = {};
+  q2.label = "range-probe-2";
+  q2.body = q.body;
+  q2.preds = {{Term::Var("y"), ">", Term::Var("x")},
+              {Term::Var("y"), "<=", Term::Const(Value::Int(60))}};
+  q2.head = q.head;
+  ASSERT_OK_AND_ASSIGN(std::vector<Grounding> probed2,
+                       Grounder::Ground(q2, fix.tm.get(), txn.get()));
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Grounding> snapped2,
+      Grounder::Ground(q2, fix.tm.get(), txn.get(), snap_opts));
+  EXPECT_EQ(render(probed2), render(snapped2));
+
+  // A *constant-only* range predicate has no per-binding part, so the atom
+  // fetches eagerly — through one interval read, not a grounding scan.
+  EntangledQuerySpec q3 = {};
+  q3.label = "range-eager";
+  q3.body = {{"Vals", {Term::Var("y"), Term::Var("p")}}};
+  q3.preds = {{Term::Var("y"), ">", Term::Const(Value::Int(40))}};
+  q3.head = {{"R", {Term::Var("y"), Term::Var("p")}}};
+  uint64_t eager_ranges = stats.grounding_range_lookups.load();
+  uint64_t scans_before_eager = stats.grounding_scans.load();
+  ASSERT_OK_AND_ASSIGN(std::vector<Grounding> eager,
+                       Grounder::Ground(q3, fix.tm.get(), txn.get()));
+  EXPECT_EQ(stats.grounding_range_lookups.load(), eager_ranges + 1);
+  EXPECT_EQ(stats.grounding_scans.load(), scans_before_eager);
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Grounding> eager_snap,
+      Grounder::Ground(q3, fix.tm.get(), txn.get(), snap_opts));
+  EXPECT_EQ(eager.size(), 9u);  // y in {42, 49, ..., 98}
+  EXPECT_EQ(render(eager), render(eager_snap));
+  ASSERT_OK(fix.tm->Commit(txn.get()));
+}
+
 TEST(GrounderTest, UnsatisfiableBodyGroundsEmpty) {
   EngineFixture fix;
   EntangledQuerySpec q;

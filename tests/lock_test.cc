@@ -200,6 +200,134 @@ TEST(LockManagerTest, IntentionLocksAllowRowConcurrency) {
   EXPECT_OK(lm.Acquire(3, table, LockMode::kS, kNoWait));
 }
 
+IndexRange IntRange(int lo, int hi, bool lo_incl = true, bool hi_incl = true) {
+  IndexRange r;
+  r.lo = Row({Value::Int(lo)});
+  r.hi = Row({Value::Int(hi)});
+  r.lo_unbounded = r.hi_unbounded = false;
+  r.lo_incl = lo_incl;
+  r.hi_incl = hi_incl;
+  return r;
+}
+
+IndexRange IntPoint(int k) { return IndexRange::Point(Row({Value::Int(k)})); }
+
+TEST(RangeLockTest, DisjointIntervalsCoexistOverlappingConflict) {
+  LockManager lm;
+  RangeSpaceKey space{1, 42};
+  ASSERT_OK(lm.AcquireRange(1, space, IntRange(1, 10), LockMode::kS, kNoWait));
+  // A writer outside the scanned interval proceeds immediately...
+  ASSERT_OK(lm.AcquireRange(2, space, IntPoint(11), LockMode::kX, kNoWait));
+  // ...one inside blocks until the reader releases.
+  auto fut = std::async(std::launch::async, [&] {
+    return lm.AcquireRange(3, space, IntPoint(5), LockMode::kX, kLongWait);
+  });
+  EXPECT_EQ(fut.wait_for(std::chrono::milliseconds(30)),
+            std::future_status::timeout);
+  lm.ReleaseAll(1);
+  EXPECT_OK(fut.get());
+  EXPECT_TRUE(lm.HoldsRange(3, space, IntPoint(5), LockMode::kX));
+  // Different spaces never conflict.
+  RangeSpaceKey other{1, 43};
+  ASSERT_OK(lm.AcquireRange(4, other, IntPoint(5), LockMode::kX, kNoWait));
+}
+
+TEST(RangeLockTest, SharedRangesCoexistAndBlockWriterInside) {
+  LockManager lm;
+  RangeSpaceKey space{1, 42};
+  ASSERT_OK(lm.AcquireRange(1, space, IntRange(1, 10), LockMode::kS, kNoWait));
+  ASSERT_OK(lm.AcquireRange(2, space, IntRange(5, 20), LockMode::kS, kNoWait));
+  Status s = lm.AcquireRange(3, space, IntPoint(7), LockMode::kX, kShortWait);
+  EXPECT_EQ(s.code(), StatusCode::kTimedOut);
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+  // Boundary exclusivity: S over (1, 10] does not cover the point 1.
+  ASSERT_OK(lm.AcquireRange(5, space, IntRange(1, 10, false, true),
+                            LockMode::kS, kNoWait));
+  ASSERT_OK(lm.AcquireRange(6, space, IntPoint(1), LockMode::kX, kShortWait));
+  Status in = lm.AcquireRange(6, space, IntPoint(2), LockMode::kX, kNoWait);
+  EXPECT_EQ(in.code(), StatusCode::kTimedOut);
+}
+
+TEST(RangeLockTest, ReentrantUpgradeAndReleaseSharedRange) {
+  LockManager lm;
+  RangeSpaceKey space{2, 7};
+  ASSERT_OK(lm.AcquireRange(1, space, IntRange(1, 5), LockMode::kS, kNoWait));
+  ASSERT_OK(lm.AcquireRange(1, space, IntRange(1, 5), LockMode::kS, kNoWait));
+  ASSERT_OK(lm.AcquireRange(1, space, IntRange(1, 5), LockMode::kX, kNoWait));
+  EXPECT_TRUE(lm.HoldsRange(1, space, IntRange(1, 5), LockMode::kX));
+  EXPECT_EQ(lm.HeldRangeCount(1), 1u);
+  // Same transaction's overlapping intervals never conflict with each other.
+  ASSERT_OK(lm.AcquireRange(1, space, IntRange(2, 9), LockMode::kS, kNoWait));
+  EXPECT_EQ(lm.HeldRangeCount(1), 2u);
+  // ReleaseSharedRange drops the S interval but keeps the X one.
+  lm.ReleaseSharedRange(1, space, IntRange(2, 9));
+  EXPECT_FALSE(lm.HoldsRange(1, space, IntRange(2, 9), LockMode::kS));
+  lm.ReleaseSharedRange(1, space, IntRange(1, 5));
+  EXPECT_TRUE(lm.HoldsRange(1, space, IntRange(1, 5), LockMode::kX));
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.HeldRangeCount(1), 0u);
+  ASSERT_OK(lm.AcquireRange(2, space, IntPoint(3), LockMode::kX, kNoWait));
+}
+
+TEST(RangeLockTest, ReleaseSharedLocksCoversRangeOnlyHolders) {
+  // A transaction holding ONLY range locks (no point locks) must still have
+  // its shared intervals dropped by ReleaseSharedLocks.
+  LockManager lm;
+  RangeSpaceKey space{9, 5};
+  ASSERT_OK(lm.AcquireRange(1, space, IntRange(1, 10), LockMode::kS, kNoWait));
+  ASSERT_OK(lm.AcquireRange(1, space, IntRange(20, 30), LockMode::kX,
+                            kNoWait));
+  lm.ReleaseSharedLocks(1);
+  EXPECT_FALSE(lm.HoldsRange(1, space, IntRange(1, 10), LockMode::kS));
+  EXPECT_TRUE(lm.HoldsRange(1, space, IntRange(20, 30), LockMode::kX));
+  // A writer inside the released S interval proceeds immediately.
+  ASSERT_OK(lm.AcquireRange(2, space, IntPoint(5), LockMode::kX, kNoWait));
+}
+
+TEST(RangeLockTest, RangeDeadlockDetectedAcrossIntervals) {
+  LockManager lm;
+  RangeSpaceKey space{3, 9};
+  ASSERT_OK(lm.AcquireRange(1, space, IntRange(1, 10), LockMode::kS, kNoWait));
+  ASSERT_OK(lm.AcquireRange(2, space, IntRange(20, 30), LockMode::kS,
+                            kNoWait));
+  // 1 waits for 2's interval...
+  auto fut = std::async(std::launch::async, [&] {
+    return lm.AcquireRange(1, space, IntPoint(25), LockMode::kX, kLongWait);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // ...and 2 closing the cycle is named the victim.
+  Status s = lm.AcquireRange(2, space, IntPoint(5), LockMode::kX, kLongWait);
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  lm.ReleaseAll(2);
+  EXPECT_OK(fut.get());
+  EXPECT_GE(lm.stats().deadlocks.load(), 1u);
+}
+
+TEST(RangeLockTest, FifoOnlyBlocksOverlappingWaiters) {
+  LockManager lm;
+  RangeSpaceKey space{4, 1};
+  ASSERT_OK(lm.AcquireRange(1, space, IntRange(1, 10), LockMode::kS, kNoWait));
+  // A writer queues inside the held interval...
+  auto writer = std::async(std::launch::async, [&] {
+    return lm.AcquireRange(2, space, IntPoint(5), LockMode::kX, kLongWait);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // ...a later writer on a disjoint interval passes it freely.
+  ASSERT_OK(lm.AcquireRange(3, space, IntPoint(50), LockMode::kX, kNoWait));
+  // But a later reader overlapping the queued writer must wait behind it
+  // (anti-starvation), even though it is compatible with the holder.
+  auto reader = std::async(std::launch::async, [&] {
+    return lm.AcquireRange(4, space, IntRange(4, 6), LockMode::kS, kLongWait);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(lm.HoldsRange(4, space, IntRange(4, 6), LockMode::kS));
+  lm.ReleaseAll(1);
+  EXPECT_OK(writer.get());
+  lm.ReleaseAll(2);
+  EXPECT_OK(reader.get());
+}
+
 TEST(LockManagerTest, ManyConcurrentDisjointAcquisitions) {
   LockManager lm;
   constexpr int kThreads = 8;

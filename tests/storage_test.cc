@@ -280,6 +280,226 @@ TEST(DatabaseTest, CheckpointRoundTripsIndexes) {
   EXPECT_FALSE(lt->Insert(Row({Value::Int(7), Value::Str("NY")})).ok());
 }
 
+TEST(IndexRangeTest, ContainsWithPrefixBounds) {
+  // Full-length bounds.
+  IndexRange r;
+  r.lo = Row({Value::Int(3)});
+  r.hi = Row({Value::Int(7)});
+  r.lo_unbounded = r.hi_unbounded = false;
+  r.lo_incl = true;
+  r.hi_incl = false;
+  EXPECT_FALSE(r.Contains(Row({Value::Int(2)})));
+  EXPECT_TRUE(r.Contains(Row({Value::Int(3)})));
+  EXPECT_TRUE(r.Contains(Row({Value::Int(6)})));
+  EXPECT_FALSE(r.Contains(Row({Value::Int(7)})));
+
+  // Prefix bounds: `a = 5 AND b > 3` over an (a, b) index.
+  IndexRange p;
+  p.lo = Row({Value::Int(5), Value::Int(3)});
+  p.hi = Row({Value::Int(5)});
+  p.lo_unbounded = p.hi_unbounded = false;
+  p.lo_incl = false;
+  p.hi_incl = true;
+  EXPECT_TRUE(p.Contains(Row({Value::Int(5), Value::Int(4)})));
+  EXPECT_FALSE(p.Contains(Row({Value::Int(5), Value::Int(3)})));
+  EXPECT_FALSE(p.Contains(Row({Value::Int(5), Value::Int(2)})));
+  EXPECT_FALSE(p.Contains(Row({Value::Int(6), Value::Int(9)})));
+}
+
+TEST(IndexRangeTest, OverlapsAndPointConflicts) {
+  auto bounded = [](int lo, bool lo_incl, int hi, bool hi_incl) {
+    IndexRange r;
+    r.lo = Row({Value::Int(lo)});
+    r.hi = Row({Value::Int(hi)});
+    r.lo_unbounded = r.hi_unbounded = false;
+    r.lo_incl = lo_incl;
+    r.hi_incl = hi_incl;
+    return r;
+  };
+  EXPECT_TRUE(bounded(1, true, 5, true)
+                  .Overlaps(bounded(5, true, 9, true)));
+  EXPECT_FALSE(bounded(1, true, 5, false)
+                   .Overlaps(bounded(5, true, 9, true)));
+  EXPECT_FALSE(bounded(1, true, 5, true)
+                   .Overlaps(bounded(5, false, 9, true)));
+  EXPECT_FALSE(bounded(1, true, 4, true)
+                   .Overlaps(bounded(5, true, 9, true)));
+  EXPECT_TRUE(IndexRange::All().Overlaps(bounded(5, true, 9, true)));
+  // A point inside / outside an interval (the writer-vs-range-reader case).
+  EXPECT_TRUE(
+      bounded(1, true, 5, true).Overlaps(IndexRange::Point(Row({Value::Int(3)}))));
+  EXPECT_FALSE(
+      bounded(1, true, 5, true).Overlaps(IndexRange::Point(Row({Value::Int(6)}))));
+  // Point under a prefix interval: hi=(5) inclusive admits (5, anything).
+  IndexRange prefix;
+  prefix.lo = Row({Value::Int(5), Value::Int(3)});
+  prefix.hi = Row({Value::Int(5)});
+  prefix.lo_unbounded = prefix.hi_unbounded = false;
+  prefix.lo_incl = false;
+  prefix.hi_incl = true;
+  EXPECT_TRUE(prefix.Overlaps(
+      IndexRange::Point(Row({Value::Int(5), Value::Int(7)}))));
+  EXPECT_FALSE(prefix.Overlaps(
+      IndexRange::Point(Row({Value::Int(5), Value::Int(3)}))));
+  EXPECT_FALSE(prefix.Overlaps(
+      IndexRange::Point(Row({Value::Int(5), Value::Int(1)}))));
+  EXPECT_FALSE(prefix.Overlaps(
+      IndexRange::Point(Row({Value::Int(6), Value::Int(0)}))));
+}
+
+TEST(OrderedIndexTest, RangeLookupBoundsDirectionAndLimit) {
+  Table t(0, "Nums", Schema({{"a", TypeId::kInt64}, {"b", TypeId::kInt64}}));
+  ASSERT_OK(t.CreateIndexByPositions({0, 1}, /*unique=*/false,
+                                     /*ordered=*/true));
+  // Insert out of key order so index order != RowId order.
+  for (int64_t a : {5, 3, 9, 5, 1}) {
+    for (int64_t b : {2, 8}) {
+      ASSERT_OK(t.Insert(Row({Value::Int(a), Value::Int(b)})).status());
+    }
+  }
+  IndexRangeSpec spec;
+  spec.columns = {0, 1};
+  spec.range.lo = Row({Value::Int(3)});
+  spec.range.hi = Row({Value::Int(5)});
+  spec.range.lo_unbounded = spec.range.hi_unbounded = false;
+  ASSERT_OK_AND_ASSIGN(std::vector<RowId> rids, t.RangeLookup(spec));
+  // a=3 (2 rows) + a=5 (4 rows: two inserts x two b's), in key order.
+  ASSERT_EQ(rids.size(), 6u);
+  std::vector<Row> rows;
+  for (RowId r : rids) rows.push_back(t.Get(r).value());
+  EXPECT_EQ(rows.front()[0], Value::Int(3));
+  EXPECT_EQ(rows.back()[0], Value::Int(5));
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i - 1].Compare(rows[i]), 0) << "not in key order at " << i;
+  }
+  // Reverse + limit returns the TOP of the interval, descending.
+  spec.reverse = true;
+  spec.limit = 2;
+  ASSERT_OK_AND_ASSIGN(std::vector<RowId> top, t.RangeLookup(spec));
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(t.Get(top[0]).value(), Row({Value::Int(5), Value::Int(8)}));
+  // Reverse over a prefix-inclusive upper bound: hi=(5) admits every
+  // (5, *) extension, and the reverse walk must start above all of them.
+  IndexRangeSpec rev;
+  rev.columns = {0, 1};
+  rev.range.hi = Row({Value::Int(5)});
+  rev.range.hi_unbounded = false;
+  rev.reverse = true;
+  rev.limit = 3;
+  ASSERT_OK_AND_ASSIGN(std::vector<RowId> rtop, t.RangeLookup(rev));
+  ASSERT_EQ(rtop.size(), 3u);
+  EXPECT_EQ(t.Get(rtop[0]).value(), Row({Value::Int(5), Value::Int(8)}));
+  EXPECT_EQ(t.Get(rtop[2]).value(), Row({Value::Int(5), Value::Int(2)}));
+  // Exclusive prefix lower bound skips every a=3 extension.
+  IndexRangeSpec excl;
+  excl.columns = {0, 1};
+  excl.range.lo = Row({Value::Int(3)});
+  excl.range.lo_unbounded = false;
+  excl.range.lo_incl = false;
+  excl.range.hi = Row({Value::Int(5)});
+  excl.range.hi_unbounded = false;
+  ASSERT_OK_AND_ASSIGN(std::vector<RowId> after3, t.RangeLookup(excl));
+  EXPECT_EQ(after3.size(), 4u);  // only the a=5 rows
+  // No ordered index on (b): NotFound, even though no index exists at all.
+  IndexRangeSpec missing;
+  missing.columns = {1};
+  EXPECT_FALSE(t.RangeLookup(missing).ok());
+}
+
+TEST(TableTest, NullPrimaryKeyRejected) {
+  // PK = UNIQUE + NOT NULL: the UNIQUE NULL exemption must not admit
+  // NULL-keyed "duplicate" primary keys — NULL PKs are rejected outright.
+  Schema s({{"k", TypeId::kInt64}, {"v", TypeId::kString}});
+  s.set_primary_key({0});
+  Table t(0, "T", s);
+  EXPECT_FALSE(t.Insert(Row({Value::Null(), Value::Str("a")})).ok());
+  ASSERT_OK_AND_ASSIGN(RowId rid,
+                       t.Insert(Row({Value::Int(1), Value::Str("a")})));
+  EXPECT_FALSE(t.Update(rid, Row({Value::Null(), Value::Str("a")})).ok());
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(OrderedIndexTest, NullKeysSkippedByBoundsAndUniqueness) {
+  Table t(0, "N", Schema({{"v", TypeId::kInt64}}));
+  ASSERT_OK(t.CreateIndexByPositions({0}, /*unique=*/true, /*ordered=*/true));
+  ASSERT_OK(t.Insert(Row({Value::Int(1)})).status());
+  ASSERT_OK(t.Insert(Row({Value::Null()})).status());
+  // SQL UNIQUE: NULL keys never collide; non-NULL duplicates do.
+  ASSERT_OK(t.Insert(Row({Value::Null()})).status());
+  EXPECT_FALSE(t.Insert(Row({Value::Int(1)})).ok());
+  // `v < 5` must not return the NULL rows (comparison with NULL is unknown).
+  IndexRangeSpec spec;
+  spec.columns = {0};
+  spec.range.hi = Row({Value::Int(5)});
+  spec.range.hi_unbounded = false;
+  ASSERT_OK_AND_ASSIGN(std::vector<RowId> rids, t.RangeLookup(spec));
+  ASSERT_EQ(rids.size(), 1u);
+  EXPECT_EQ(t.Get(rids[0]).value(), Row({Value::Int(1)}));
+  // A fully unbounded scan (ORDER BY service) still returns every row,
+  // NULLs first.
+  IndexRangeSpec all;
+  all.columns = {0};
+  ASSERT_OK_AND_ASSIGN(std::vector<RowId> every, t.RangeLookup(all));
+  EXPECT_EQ(every.size(), 3u);
+  EXPECT_TRUE(t.Get(every[0]).value()[0].is_null());
+}
+
+TEST(OrderedIndexTest, MaintenanceCloneAndEqualityLookup) {
+  Table t(0, "N", Schema({{"v", TypeId::kInt64}}));
+  ASSERT_OK(t.CreateIndexByPositions({0}, false, /*ordered=*/true));
+  ASSERT_OK_AND_ASSIGN(RowId r1, t.Insert(Row({Value::Int(10)})));
+  ASSERT_OK_AND_ASSIGN(RowId r2, t.Insert(Row({Value::Int(20)})));
+  (void)r2;
+  // Equality lookups work against the tree.
+  EXPECT_EQ(t.IndexLookup({0}, Row({Value::Int(10)})).value().size(), 1u);
+  // Updates move tree entries.
+  ASSERT_OK(t.Update(r1, Row({Value::Int(30)})));
+  EXPECT_TRUE(t.IndexLookup({0}, Row({Value::Int(10)})).value().empty());
+  IndexRangeSpec spec;
+  spec.columns = {0};
+  spec.range.lo = Row({Value::Int(25)});
+  spec.range.lo_unbounded = false;
+  EXPECT_EQ(t.RangeLookup(spec).value().size(), 1u);
+  // Clone carries the ordered index and its flags.
+  std::unique_ptr<Table> copy = t.Clone();
+  std::vector<IndexInfo> infos = copy->IndexInfos();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_TRUE(infos[0].ordered);
+  EXPECT_EQ(copy->RangeLookup(spec).value().size(), 1u);
+  // Deletes shrink the tree.
+  ASSERT_OK(t.Delete(r1));
+  EXPECT_TRUE(t.RangeLookup(spec).value().empty());
+}
+
+TEST(DatabaseTest, CheckpointRoundTripsOrderedAndUniqueFlags) {
+  Database db;
+  Schema s({{"k", TypeId::kInt64}, {"v", TypeId::kInt64}});
+  s.set_primary_key({0});
+  s.set_pk_ordered(true);
+  ASSERT_OK_AND_ASSIGN(Table * t, db.CreateTable("T", s));
+  ASSERT_OK(t->CreateIndexByPositions({1}, /*unique=*/true, /*ordered=*/true));
+  ASSERT_OK(t->Insert(Row({Value::Int(1), Value::Int(10)})).status());
+  ASSERT_OK(t->Insert(Row({Value::Int(2), Value::Int(20)})).status());
+  std::stringstream ss;
+  ASSERT_OK(db.SaveTo(&ss));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> loaded,
+                       Database::LoadFrom(&ss));
+  Table* lt = loaded->GetTable("T").value();
+  std::vector<IndexInfo> infos = lt->IndexInfos();
+  ASSERT_EQ(infos.size(), 2u);
+  EXPECT_TRUE(infos[0].ordered);  // PK index, ordered via the schema flag
+  EXPECT_TRUE(infos[0].unique);
+  EXPECT_TRUE(infos[1].ordered);
+  EXPECT_TRUE(infos[1].unique);
+  // Range access works on the reloaded PK index; uniqueness still enforced.
+  IndexRangeSpec spec;
+  spec.columns = {0};
+  spec.range.lo = Row({Value::Int(2)});
+  spec.range.lo_unbounded = false;
+  EXPECT_EQ(lt->RangeLookup(spec).value().size(), 1u);
+  EXPECT_FALSE(lt->Insert(Row({Value::Int(3), Value::Int(20)})).ok());
+}
+
 TEST(CatalogTest, RegisterLookupUnregister) {
   Catalog c;
   ASSERT_OK(c.Register("Flights", 3));

@@ -297,6 +297,150 @@ TEST(TxnIndexTest, IndexKeyLockBlocksPhantomInsert) {
   ASSERT_OK(fix.tm->Commit(phantom.get()));
 }
 
+/// KV with an ordered PK index on k, so range reads and key-range locks
+/// engage.
+Schema KVOrderedPk() {
+  Schema s({{"k", TypeId::kInt64}, {"v", TypeId::kString}});
+  s.set_primary_key({0});
+  s.set_pk_ordered(true);
+  return s;
+}
+
+IndexRangeSpec IntRangeSpec(int lo, int hi) {
+  IndexRangeSpec spec;
+  spec.columns = {0};
+  spec.range.lo = Row({Value::Int(lo)});
+  spec.range.hi = Row({Value::Int(hi)});
+  spec.range.lo_unbounded = spec.range.hi_unbounded = false;
+  return spec;
+}
+
+TEST(TxnRangeTest, GetByIndexRangeVisitsKeyOrderAndCounts) {
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("T", KVOrderedPk()).status());
+  auto setup = fix.tm->Begin();
+  for (int64_t k : {5, 1, 9, 3, 7}) {
+    ASSERT_OK(fix.tm->Insert(setup.get(), "T",
+                             Row({Value::Int(k), Value::Str("v")}))
+                  .status());
+  }
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+
+  auto txn = fix.tm->Begin();
+  uint64_t ranges = fix.tm->stats().range_lookups.load();
+  uint64_t scans = fix.tm->stats().table_scans.load();
+  std::vector<int64_t> seen;
+  ASSERT_OK(fix.tm->GetByIndexRange(txn.get(), "T", IntRangeSpec(3, 7),
+                                    [&](RowId, Row&& row) {
+                                      seen.push_back(row[0].as_int());
+                                      return true;
+                                    }));
+  EXPECT_EQ(seen, (std::vector<int64_t>{3, 5, 7}));
+  EXPECT_EQ(fix.tm->stats().range_lookups.load(), ranges + 1);
+  EXPECT_EQ(fix.tm->stats().table_scans.load(), scans);
+  ASSERT_OK(fix.tm->Commit(txn.get()));
+}
+
+TEST(TxnRangeTest, KeyRangeLockBlocksInRangePhantomOnly) {
+  // The satellite phantom test: a concurrent INSERT into a locked key range
+  // must block; one just outside must not.
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("T", KVOrderedPk()).status());
+  auto setup = fix.tm->Begin();
+  ASSERT_OK(fix.tm->Insert(setup.get(), "T",
+                           Row({Value::Int(10), Value::Str("a")}))
+                .status());
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+
+  auto reader = fix.tm->Begin(IsolationLevel::kSerializable);
+  size_t n = 0;
+  ASSERT_OK(fix.tm->GetByIndexRange(reader.get(), "T", IntRangeSpec(10, 20),
+                                    [&](RowId, Row&&) {
+                                      ++n;
+                                      return true;
+                                    }));
+  EXPECT_EQ(n, 1u);
+  // k=15 falls inside the scanned interval: inserting it now would be a
+  // phantom, so it blocks on the key-range lock.
+  auto phantom = fix.tm->Begin();
+  std::atomic<bool> inserted{false};
+  std::thread th([&] {
+    Status s = fix.tm->Insert(phantom.get(), "T",
+                              Row({Value::Int(15), Value::Str("p")}))
+                   .status();
+    inserted.store(s.ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(inserted.load());
+  // k=21 is just outside: no conflict, no waiting.
+  auto outside = fix.tm->Begin();
+  ASSERT_OK(fix.tm->Insert(outside.get(), "T",
+                           Row({Value::Int(21), Value::Str("q")}))
+                .status());
+  ASSERT_OK(fix.tm->Commit(outside.get()));
+  EXPECT_FALSE(inserted.load());
+  ASSERT_OK(fix.tm->Commit(reader.get()));
+  th.join();
+  EXPECT_TRUE(inserted.load());
+  ASSERT_OK(fix.tm->Commit(phantom.get()));
+}
+
+TEST(TxnRangeTest, RangeReadRepeatsAfterOutOfRangeCommit) {
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("T", KVOrderedPk()).status());
+  auto reader = fix.tm->Begin(IsolationLevel::kSerializable);
+  auto count = [&](int lo, int hi) {
+    size_t n = 0;
+    EXPECT_OK(fix.tm->GetByIndexRange(reader.get(), "T", IntRangeSpec(lo, hi),
+                                      [&](RowId, Row&&) {
+                                        ++n;
+                                        return true;
+                                      }));
+    return n;
+  };
+  EXPECT_EQ(count(10, 20), 0u);
+  auto writer = fix.tm->Begin();
+  ASSERT_OK(fix.tm->Insert(writer.get(), "T",
+                           Row({Value::Int(30), Value::Str("x")}))
+                .status());
+  ASSERT_OK(fix.tm->Commit(writer.get()));
+  // The scanned interval is still phantom-free.
+  EXPECT_EQ(count(10, 20), 0u);
+  ASSERT_OK(fix.tm->Commit(reader.get()));
+}
+
+TEST(TxnRangeTest, LockRowsForWriteRangeTakesXUpFront) {
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("T", KVOrderedPk()).status());
+  auto setup = fix.tm->Begin();
+  for (int64_t k : {1, 2, 3, 4}) {
+    ASSERT_OK(fix.tm->Insert(setup.get(), "T",
+                             Row({Value::Int(k), Value::Str("v")}))
+                  .status());
+  }
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+
+  auto writer = fix.tm->Begin();
+  ASSERT_OK_AND_ASSIGN(
+      auto rows, fix.tm->LockRowsForWriteRange(writer.get(), "T",
+                                               IntRangeSpec(2, 3)));
+  ASSERT_EQ(rows.size(), 2u);
+  // Another writer on a disjoint range proceeds...
+  auto other = fix.tm->Begin();
+  ASSERT_OK(fix.tm->LockRowsForWriteRange(other.get(), "T",
+                                          IntRangeSpec(4, 9))
+                .status());
+  ASSERT_OK(fix.tm->Commit(other.get()));
+  // ...but a range reader overlapping the X interval blocks.
+  auto reader = fix.tm->Begin(IsolationLevel::kSerializable);
+  reader->set_lock_timeout_micros(50'000);
+  Status s = fix.tm->GetByIndexRange(reader.get(), "T", IntRangeSpec(3, 5),
+                                     [](RowId, Row&&) { return true; });
+  EXPECT_EQ(s.code(), StatusCode::kTimedOut);
+  ASSERT_OK(fix.tm->Abort(reader.get()));
+  ASSERT_OK(fix.tm->Commit(writer.get()));
+}
+
 TEST(TxnIndexTest, ReadCommittedReadKeepsOwnKeyWriteLock) {
   // A ReadCommitted transaction that reads an index key it has itself
   // written must not drop its X key lock during early read-lock release —
@@ -456,6 +600,45 @@ TEST_F(WalRecoveryTest, IndexesSurviveCrash) {
   EXPECT_TRUE(t->HasIndexOn({1}));
   EXPECT_EQ(t->IndexLookup({1}, Row({Value::Str("a")})).value().size(), 1u);
   EXPECT_FALSE(t->Insert(Row({Value::Int(1), Value::Str("dup")})).ok());
+}
+
+TEST_F(WalRecoveryTest, OrderedAndUniqueIndexFlagsSurviveCrash) {
+  {
+    Database db;
+    LockManager locks;
+    WalWriter wal;
+    ASSERT_OK(wal.Open(wal_path_, {}, /*truncate=*/true));
+    TransactionManager tm(&db, &locks, &wal);
+    ASSERT_OK(tm.CreateTable("T", KVOrderedPk()).status());
+    ASSERT_OK(tm.CreateIndex("T", {"v"}, /*unique=*/true, /*ordered=*/true));
+    auto t1 = tm.Begin();
+    for (int64_t k : {3, 1, 2}) {
+      ASSERT_OK(tm.Insert(t1.get(), "T",
+                          Row({Value::Int(k),
+                               Value::Str("v" + std::to_string(k))}))
+                    .status());
+    }
+    ASSERT_OK(tm.Commit(t1.get()));
+  }
+  ASSERT_OK_AND_ASSIGN(RecoveryManager::Result r,
+                       RecoveryManager::Recover(wal_path_));
+  Table* t = r.db->GetTable("T").value();
+  std::vector<IndexInfo> infos = t->IndexInfos();
+  ASSERT_EQ(infos.size(), 2u);
+  EXPECT_TRUE(infos[0].ordered);  // PK: USING ORDERED came through the
+  EXPECT_TRUE(infos[0].unique);   // schema in the CREATE_TABLE record
+  EXPECT_TRUE(infos[1].ordered);  // secondary: flags from the aux encoding
+  EXPECT_TRUE(infos[1].unique);
+  // Range access works on the recovered PK tree, in key order.
+  ASSERT_OK_AND_ASSIGN(std::vector<RowId> rids,
+                       t->RangeLookup(IntRangeSpec(1, 2)));
+  std::vector<int64_t> keys;
+  for (RowId rid : rids) {
+    keys.push_back(t->Get(rid).value()[0].as_int());
+  }
+  EXPECT_EQ(keys, (std::vector<int64_t>{1, 2}));
+  // The recovered secondary is still unique.
+  EXPECT_FALSE(t->Insert(Row({Value::Int(9), Value::Str("v1")})).ok());
 }
 
 TEST_F(WalRecoveryTest, EntangledCommitWithoutGroupCommitRollsBackBoth) {
