@@ -60,6 +60,13 @@ void BM_Fig6a(benchmark::State& state) {
     state.counters["txn_per_s"] = kTxns / secs;
     state.counters["committed"] =
         static_cast<double>(engine.stats().committed.load());
+    // Scan sharing across concurrent connections (grounding scans of the
+    // social tables are the scan-heavy part of these curves).
+    const TxnStats& tstats = stack.value()->tm->stats();
+    state.counters["shared_scan_leads"] =
+        static_cast<double>(tstats.shared_scan_leads.load());
+    state.counters["shared_scan_attaches"] =
+        static_cast<double>(tstats.shared_scan_attaches.load());
     state.ResumeTiming();
   }
 }
@@ -88,6 +95,11 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   youtopia::bench::RegisterAll();
+#ifdef NDEBUG
+  benchmark::AddCustomContext("youtopia_build_type", "release");
+#else
+  benchmark::AddCustomContext("youtopia_build_type", "debug");
+#endif
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   std::printf(

@@ -227,6 +227,100 @@ void BM_OrderByLimitScan(benchmark::State& state) {
 }
 BENCHMARK(BM_OrderByLimitScan)->Unit(benchmark::kMicrosecond);
 
+/// Shared-vs-private scan ablation: 8 threads repeatedly full-scan the same
+/// heap. With sharing on, concurrent scans attach to one circular heap walk
+/// (one std::map traversal + one batch materialization, N cheap consumers);
+/// with sharing off every thread re-walks the heap privately. Aggregate
+/// throughput with sharing on should be well above the private baseline —
+/// this is the scan-heavy regime of the fig. 6(a) concurrency curves.
+struct ConcurrentScanStack {
+  Database db;
+  LockManager locks;
+  std::unique_ptr<TransactionManager> tm;
+  Table* table = nullptr;
+  static constexpr int kRows = 16384;
+
+  explicit ConcurrentScanStack(bool shared_scans) {
+    TransactionManager::Options opts;
+    opts.enable_shared_scans = shared_scans;
+    tm = std::make_unique<TransactionManager>(&db, &locks, nullptr, opts);
+    Schema schema({{"a", TypeId::kInt64},
+                   {"b", TypeId::kInt64},
+                   {"c", TypeId::kInt64}});
+    table = tm->CreateTable("Wide", schema).value();
+    for (int i = 0; i < kRows; ++i) {
+      (void)table->Insert(
+          Row({Value::Int(i), Value::Int(i * 7), Value::Int(i % 97)}));
+    }
+  }
+};
+
+std::unique_ptr<ConcurrentScanStack> g_scan_stack;  // NOLINT
+
+void ConcurrentScanBody(benchmark::State& state, bool shared_scans) {
+  if (state.thread_index() == 0) {
+    g_scan_stack = std::make_unique<ConcurrentScanStack>(shared_scans);
+  }
+  // Threads synchronize at the loop barrier, so non-zero threads only touch
+  // the stack inside the loop.
+  for (auto _ : state) {
+    ConcurrentScanStack& s = *g_scan_stack;
+    auto txn = s.tm->Begin(IsolationLevel::kSerializable);
+    auto cursor = s.tm->OpenCursor(txn.get(), s.table,
+                                   AccessPlan::TableScan(),
+                                   ReadOrigin::kStatement);
+    if (!cursor.ok()) {
+      state.SkipWithError(cursor.status().ToString().c_str());
+      return;
+    }
+    size_t rows = 0;
+    int64_t sum = 0;
+    RowId rid = 0;
+    const Row* row = nullptr;
+    while (true) {
+      auto more = cursor.value()->NextRef(&rid, &row);
+      if (!more.ok()) {
+        state.SkipWithError(more.status().ToString().c_str());
+        return;
+      }
+      if (!more.value()) break;
+      ++rows;
+      sum += (*row)[0].as_int();
+    }
+    benchmark::DoNotOptimize(sum);
+    cursor.value().reset();
+    (void)s.tm->Commit(txn.get());
+    if (rows != static_cast<size_t>(ConcurrentScanStack::kRows)) {
+      state.SkipWithError("scan returned wrong row count");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * ConcurrentScanStack::kRows);
+  if (state.thread_index() == 0) {
+    state.counters["shared_leads"] = static_cast<double>(
+        g_scan_stack->tm->stats().shared_scan_leads.load());
+    state.counters["shared_attaches"] = static_cast<double>(
+        g_scan_stack->tm->stats().shared_scan_attaches.load());
+    g_scan_stack.reset();
+  }
+}
+
+void BM_ConcurrentScans(benchmark::State& state) {
+  ConcurrentScanBody(state, /*shared_scans=*/true);
+}
+BENCHMARK(BM_ConcurrentScans)
+    ->Threads(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ConcurrentScansPrivate(benchmark::State& state) {
+  ConcurrentScanBody(state, /*shared_scans=*/false);
+}
+BENCHMARK(BM_ConcurrentScansPrivate)
+    ->Threads(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_Insert(benchmark::State& state) {
   SqlStack s;
   sql::Session session(s.tm.get());

@@ -1,21 +1,36 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure + build + ctest, exactly as ROADMAP.md
-# specifies. With --bench-smoke, additionally runs a short bench_sql pass
-# from a dedicated Release tree (build-bench) and emits a BENCH_sql.json
-# trajectory point in the repo root. Debug binaries are never benched: the
-# configuration is checked, the binary refuses to run without NDEBUG, and
-# the emitted JSON is grepped for the release marker.
+# specifies. Every suite runs under a ctest per-test timeout (set in
+# CMakeLists.txt) so a hung test — e.g. a wedged shared-scan consumer —
+# fails fast instead of stalling the whole run; on failure this script
+# names the suites that timed out.
+# With --bench-smoke, additionally runs a short bench_sql pass plus a
+# fig6a concurrency point from a dedicated Release tree (build-bench) and
+# emits BENCH_sql.json / BENCH_fig6a.json trajectory points in the repo
+# root. Debug binaries are never benched: the configuration is checked,
+# bench_sql refuses to run without NDEBUG, and the emitted JSON is grepped
+# for the release marker.
 # With --tsan, additionally builds a ThreadSanitizer tree (build-tsan) and
 # races the lock/txn/sql suites under it — the key-range lock conflict
-# paths (range reader vs point writer, FIFO queueing, deadlock cycles) are
-# all exercised by those three binaries' concurrent tests.
+# paths and the shared-scan attach/produce/wrap machinery (SharedScanTest
+# differential + threaded tests) are all exercised by those three binaries'
+# concurrent tests.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 cmake -B build -S .
 cmake --build build -j
-(cd build && ctest --output-on-failure -j)
+ctest_log=$(mktemp)
+if ! (cd build && ctest --output-on-failure -j 2>&1 | tee "${ctest_log}"); then
+  if grep -q 'Timeout' "${ctest_log}"; then
+    echo "== suites that timed out:" >&2
+    grep -E '\*\*\*Timeout' "${ctest_log}" >&2
+  fi
+  rm -f "${ctest_log}"
+  exit 1
+fi
+rm -f "${ctest_log}"
 
 for arg in "$@"; do
   case "${arg}" in
@@ -28,9 +43,9 @@ for arg in "$@"; do
       echo "refusing to bench: build-bench is '${build_type}', not Release" >&2
       exit 1
     fi
-    cmake --build build-bench -j --target bench_sql
+    cmake --build build-bench -j --target bench_sql bench_fig6a_concurrency
     ./build-bench/bench_sql \
-      --benchmark_filter='BM_PointSelect|BM_PointSelectScan|BM_PointUpdate|BM_ThreeWayJoin|BM_ThreeWayJoinSnapshot|BM_GroundEntangled|BM_GroundEntangledSnapshot|BM_RangeSelect|BM_RangeSelectScan|BM_OrderByLimit|BM_OrderByLimitScan' \
+      --benchmark_filter='BM_PointSelect|BM_PointSelectScan|BM_PointUpdate|BM_ThreeWayJoin|BM_ThreeWayJoinSnapshot|BM_GroundEntangled|BM_GroundEntangledSnapshot|BM_RangeSelect|BM_RangeSelectScan|BM_OrderByLimit|BM_OrderByLimitScan|BM_ConcurrentScans' \
       --benchmark_min_time=0.1 \
       --benchmark_out=BENCH_sql.json \
       --benchmark_out_format=json
@@ -40,6 +55,19 @@ for arg in "$@"; do
       exit 1
     fi
     echo "wrote BENCH_sql.json (Release)"
+    # One fig6a point per workload extreme: many connections hammering the
+    # same tables — the regime scan sharing is for (watch the
+    # shared_scan_attaches counter).
+    ./build-bench/bench_fig6a_concurrency \
+      --benchmark_filter='Fig6a/(NoSocial-T|Entangled-Q)/conns:50' \
+      --benchmark_out=BENCH_fig6a.json \
+      --benchmark_out_format=json
+    if ! grep -q '"youtopia_build_type": "release"' BENCH_fig6a.json; then
+      echo "BENCH_fig6a.json came from a non-release binary; discarding" >&2
+      rm -f BENCH_fig6a.json
+      exit 1
+    fi
+    echo "wrote BENCH_fig6a.json (Release)"
     ;;
   --tsan)
     cmake -B build-tsan -S . -DYOUTOPIA_TSAN=ON \

@@ -94,8 +94,8 @@ StatusOr<std::vector<Grounding>> Grounder::Ground(const EntangledQuerySpec& q,
   // variable positions first bound by an *earlier* atom are runtime keys.
   // When a hash index covers a key mix that includes at least one
   // runtime-bound variable, the atom is not snapshotted at all: it is
-  // fetched lazily inside the join loop, one ProbeJoinForGrounding per
-  // distinct binding (cached per atom), under the same index-key predicate
+  // fetched lazily inside the join loop, one kGroundingJoin probe cursor
+  // per distinct binding (cached per atom), under the same index-key predicate
   // locks as constant lookups — so phantom safety carries over. Constant-
   // only coverage keeps the eager indexed snapshot (one lookup beats
   // per-binding probes) and everything else keeps the grounding scan under
@@ -215,44 +215,40 @@ StatusOr<std::vector<Grounding>> Grounder::Ground(const EntangledQuerySpec& q,
           plan = sql::Planner::PlanRangeLookup(*acc.table, eqs, range_cands);
         }
       }
-      if (plan.is_index()) {
-        YT_RETURN_IF_ERROR(tm->LookupForGrounding(
-            txn, a.relation, plan.columns, plan.key,
-            [&](RowId, Row&& row) {
-              auto k = keep(row);
-              if (!k.ok()) {
-                arity_error = k.status();
-                return false;
-              }
-              if (k.value()) rows.push_back(std::move(row));
-              return true;
-            }));
-      } else if (plan.is_range()) {
-        IndexRangeSpec spec;
-        spec.columns = plan.columns;
-        spec.range = plan.range;
-        YT_RETURN_IF_ERROR(tm->GetByIndexRangeForGrounding(
-            txn, acc.table, spec, [&](RowId, Row&& row) {
-              auto k = keep(row);
-              if (!k.ok()) {
-                arity_error = k.status();
-                return false;
-              }
-              if (k.value()) rows.push_back(std::move(row));
-              return true;
-            }));
+      if (plan.is_index() || plan.is_range()) {
+        // Eager indexed/interval fetch as a grounding read (R^G), via the
+        // same cursor seam as every other access path.
+        plan.limit = -1;  // grounding never caps the fetch
+        YT_ASSIGN_OR_RETURN(auto cursor,
+                            tm->OpenCursor(txn, acc.table, std::move(plan),
+                                           ReadOrigin::kGrounding));
+        YT_RETURN_IF_ERROR(cursor->Drain([&](RowId, Row&& row) {
+          auto k = keep(row);
+          if (!k.ok()) {
+            arity_error = k.status();
+            return false;
+          }
+          if (k.value()) rows.push_back(std::move(row));
+          return true;
+        }));
       } else {
         if (acc.table != nullptr) rows.reserve(acc.table->size());
-        YT_RETURN_IF_ERROR(tm->ScanForGrounding(
-            txn, a.relation, [&](RowId, const Row& row) {
-              auto k = keep(row);
-              if (!k.ok()) {
-                arity_error = k.status();
-                return false;
-              }
-              if (k.value()) rows.push_back(row);
-              return true;
-            }));
+        // Name-based open: a missing relation surfaces as NotFound here.
+        // The borrowing drain visits the heap zero-copy, so atoms with
+        // constant filters copy only the rows they keep.
+        YT_ASSIGN_OR_RETURN(auto cursor,
+                            tm->OpenCursor(txn, a.relation,
+                                           AccessPlan::TableScan(),
+                                           ReadOrigin::kGrounding));
+        YT_RETURN_IF_ERROR(cursor->DrainRef([&](RowId, const Row& row) {
+          auto k = keep(row);
+          if (!k.ok()) {
+            arity_error = k.status();
+            return false;
+          }
+          if (k.value()) rows.push_back(row);
+          return true;
+        }));
       }
       YT_RETURN_IF_ERROR(arity_error);
     }
@@ -368,9 +364,12 @@ StatusOr<std::vector<Grounding>> Grounder::Ground(const EntangledQuerySpec& q,
                 Row(std::move(kv)),
                 tm->stats().grounding_join_probe_cache_hits, &uncached,
                 [&](const Row& key, std::vector<Row>* rows) -> Status {
-                  YT_RETURN_IF_ERROR(tm->ProbeJoinForGrounding(
-                      txn, acc.table, acc.plan.columns, key,
-                      make_collector(rows)));
+                  YT_ASSIGN_OR_RETURN(
+                      auto cursor,
+                      tm->OpenCursor(txn, acc.table,
+                                     AccessPlan::Lookup(acc.plan.columns, key),
+                                     ReadOrigin::kGroundingJoin));
+                  YT_RETURN_IF_ERROR(cursor->Drain(make_collector(rows)));
                   return arity_error;
                 }));
       } else {
@@ -408,8 +407,11 @@ StatusOr<std::vector<Grounding>> Grounder::Ground(const EntangledQuerySpec& q,
                 acc.plan.MakeRangeCacheKey(std::move(kv), lo_v, hi_v),
                 tm->stats().grounding_range_probe_cache_hits, &uncached,
                 [&](const Row&, std::vector<Row>* rows) -> Status {
-                  YT_RETURN_IF_ERROR(tm->ProbeJoinRangeForGrounding(
-                      txn, acc.table, spec, make_collector(rows)));
+                  YT_ASSIGN_OR_RETURN(
+                      auto cursor,
+                      tm->OpenCursor(txn, acc.table, AccessPlan::Range(spec),
+                                     ReadOrigin::kGroundingJoin));
+                  YT_RETURN_IF_ERROR(cursor->Drain(make_collector(rows)));
                   return arity_error;
                 }));
       }

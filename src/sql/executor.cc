@@ -159,40 +159,31 @@ StatusOr<QueryResult> Executor::ExecuteSelect(const SelectStmt& sel,
           s.probe, Planner::PlanJoinProbe(*t, scope, i, sel.where.get(), vars));
     }
     if (!s.probe.is_lazy()) {
-      auto collect = [&s](RowId, Row&& row) {
-        s.rows.push_back(std::move(row));
-        return true;
-      };
       YT_ASSIGN_OR_RETURN(
           AccessPlan plan,
           Planner::Plan(*t, scope, i, sel.where.get(), vars,
                         i == 0 && order_spec_ok ? &order_spec : nullptr));
-      if (plan.is_index()) {
-        YT_RETURN_IF_ERROR(tm_->GetByIndex(txn, ref.table, plan.columns,
-                                           plan.key, collect));
-      } else if (plan.is_range()) {
-        IndexRangeSpec spec;
-        spec.columns = plan.columns;
-        spec.range = plan.range;
-        spec.reverse = plan.reverse;
+      if (plan.is_range()) {
         // LIMIT pushes into the fetch only when no residual predicate can
         // filter rows away afterwards and the fetch order is the output
         // order (or no ORDER BY was asked).
         if (sel.from.size() == 1 && plan.covers_where && sel.limit >= 0 &&
             (sel.order_by.empty() || plan.ordered)) {
-          spec.limit = sel.limit;
+          plan.limit = sel.limit;
         }
-        YT_RETURN_IF_ERROR(tm_->GetByIndexRange(txn, ref.table, spec,
-                                                collect));
         if (i == 0 && plan.ordered) order_served = true;
-      } else {
+      } else if (plan.is_scan()) {
         s.rows.reserve(t->size());
-        YT_RETURN_IF_ERROR(tm_->Scan(txn, ref.table,
-                                     [&s](RowId, const Row& row) {
-                                       s.rows.push_back(row);
-                                       return true;
-                                     }));
       }
+      // One cursor per eager table: the transaction manager interprets the
+      // plan under the right locks; rows come back by move.
+      YT_ASSIGN_OR_RETURN(auto cursor,
+                          tm_->OpenCursor(txn, t, std::move(plan),
+                                          ReadOrigin::kStatement));
+      YT_RETURN_IF_ERROR(cursor->Drain([&s](RowId, Row&& row) {
+        s.rows.push_back(std::move(row));
+        return true;
+      }));
     }
     scans.push_back(std::move(s));
   }
@@ -367,11 +358,15 @@ StatusOr<QueryResult> Executor::ExecuteSelect(const SelectStmt& sel,
             sc.probe_cache.GetOrFetch(
                 Row(std::move(kv)), tm_->stats().join_probe_cache_hits,
                 &uncached, [&](const Row& key, std::vector<Row>* rows) {
-                  return tm_->ProbeJoin(txn, sc.table, sc.probe.columns, key,
-                                        [rows](RowId, Row&& row) {
-                                          rows->push_back(std::move(row));
-                                          return true;
-                                        });
+                  auto cursor = tm_->OpenCursor(
+                      txn, sc.table,
+                      AccessPlan::Lookup(sc.probe.columns, key),
+                      ReadOrigin::kJoin);
+                  if (!cursor.ok()) return cursor.status();
+                  return cursor.value()->Drain([rows](RowId, Row&& row) {
+                    rows->push_back(std::move(row));
+                    return true;
+                  });
                 }));
       } else {
         // Range probe: the interval's bound values come from the outer
@@ -400,11 +395,14 @@ StatusOr<QueryResult> Executor::ExecuteSelect(const SelectStmt& sel,
                 sc.probe.MakeRangeCacheKey(std::move(kv), lo_v, hi_v),
                 tm_->stats().range_probe_cache_hits,
                 &uncached, [&](const Row&, std::vector<Row>* rows) {
-                  return tm_->ProbeJoinRange(txn, sc.table, spec,
-                                             [rows](RowId, Row&& row) {
-                                               rows->push_back(std::move(row));
-                                               return true;
-                                             });
+                  auto cursor = tm_->OpenCursor(txn, sc.table,
+                                                AccessPlan::Range(spec),
+                                                ReadOrigin::kJoin);
+                  if (!cursor.ok()) return cursor.status();
+                  return cursor.value()->Drain([rows](RowId, Row&& row) {
+                    rows->push_back(std::move(row));
+                    return true;
+                  });
                 }));
       }
     }

@@ -239,21 +239,6 @@ AccessPlan BestRangePlan(const Table& table, const std::vector<bool>& has_eq,
 
 }  // namespace
 
-std::string AccessPlan::ToString() const {
-  if (kind == Kind::kTableScan) return "scan";
-  std::string s = kind == Kind::kIndexLookup ? "index(" : "range(";
-  for (size_t i = 0; i < columns.size(); ++i) {
-    if (i) s += ",";
-    s += std::to_string(columns[i]);
-  }
-  if (kind == Kind::kIndexLookup) return s + ")=" + key.ToString();
-  s += ")=" + range.ToString();
-  if (reverse) s += " desc";
-  if (ordered) s += " ordered";
-  if (covers_where) s += " covered";
-  return s;
-}
-
 IndexRangeSpec JoinProbePlan::MakeRangeSpec(const std::vector<Value>& kv,
                                             const Value& lo_v,
                                             const Value& hi_v,

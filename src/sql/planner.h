@@ -9,6 +9,7 @@
 
 #include "src/sql/ast.h"
 #include "src/sql/expr_eval.h"
+#include "src/storage/cursor.h"
 #include "src/storage/table.h"
 
 namespace youtopia::sql {
@@ -21,29 +22,11 @@ struct TableScope {
   const Schema* schema = nullptr;
 };
 
-/// The access path chosen for one table: a full scan, an index equality
-/// lookup with the key values already coerced to the indexed columns'
-/// types, or an ordered-index range scan over an interval built from
-/// equality-prefix + range-suffix conjuncts (and/or an ORDER BY request).
-struct AccessPlan {
-  enum class Kind { kTableScan, kIndexLookup, kIndexRange };
-
-  Kind kind = Kind::kTableScan;
-  std::vector<size_t> columns;  ///< index columns (schema positions); for
-                                ///< kIndexRange the FULL index column set
-  Row key;                      ///< kIndexLookup: key, in `columns` order
-  IndexRange range;             ///< kIndexRange: scanned interval (bounds
-                                ///< may be prefix rows)
-  bool reverse = false;         ///< kIndexRange: scan descending
-  bool ordered = false;         ///< kIndexRange: output satisfies the
-                                ///< requested ORDER BY without a sort
-  bool covers_where = false;    ///< every WHERE conjunct absorbed into the
-                                ///< plan (no residual; LIMIT may push down)
-
-  bool is_index() const { return kind == Kind::kIndexLookup; }
-  bool is_range() const { return kind == Kind::kIndexRange; }
-  std::string ToString() const;
-};
+// The access path chosen for one table is the engine-wide AccessPlan
+// (src/storage/cursor.h): planners emit it, TransactionManager::OpenCursor
+// interprets it. The using-declaration keeps `sql::AccessPlan` spelling
+// valid at call sites outside this namespace.
+using ::youtopia::AccessPlan;
 
 /// A requested output order, resolved to schema positions of one table:
 /// `ORDER BY <cols> [DESC]` with a uniform direction (mixed directions are

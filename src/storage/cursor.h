@@ -1,0 +1,89 @@
+#ifndef YOUTOPIA_STORAGE_CURSOR_H_
+#define YOUTOPIA_STORAGE_CURSOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/statusor.h"
+#include "src/storage/table.h"
+
+namespace youtopia {
+
+/// The access path chosen for one table read: a full heap scan, an index
+/// equality lookup with the key values already coerced to the indexed
+/// columns' types, or an ordered-index range scan over an interval built
+/// from equality-prefix + range-suffix conjuncts (and/or an ORDER BY
+/// request). This is the contract between planners (sql::Planner, the
+/// grounder's atom planning) and the transaction manager: a planner emits an
+/// AccessPlan, TransactionManager::OpenCursor interprets it and hands back a
+/// TableCursor under the right locks. Plans only prune, never change
+/// results — consumers re-evaluate their full predicate on every row.
+struct AccessPlan {
+  enum class Kind { kTableScan, kIndexLookup, kIndexRange };
+
+  Kind kind = Kind::kTableScan;
+  std::vector<size_t> columns;  ///< index columns (schema positions); for
+                                ///< kIndexRange the FULL index column set
+  Row key;                      ///< kIndexLookup: key, in `columns` order
+  IndexRange range;             ///< kIndexRange: scanned interval (bounds
+                                ///< may be prefix rows)
+  bool reverse = false;         ///< kIndexRange: scan descending
+  int64_t limit = -1;           ///< kIndexRange: row cap (-1 = unlimited)
+  size_t null_filter_from = 0;  ///< kIndexRange: IndexRangeSpec semantics
+
+  // Planner annotations the transaction manager ignores:
+  bool ordered = false;         ///< kIndexRange: output satisfies the
+                                ///< requested ORDER BY without a sort
+  bool covers_where = false;    ///< every WHERE conjunct absorbed into the
+                                ///< plan (no residual; LIMIT may push down)
+
+  bool is_scan() const { return kind == Kind::kTableScan; }
+  bool is_index() const { return kind == Kind::kIndexLookup; }
+  bool is_range() const { return kind == Kind::kIndexRange; }
+
+  static AccessPlan TableScan() { return AccessPlan{}; }
+  static AccessPlan Lookup(std::vector<size_t> columns, Row key);
+  static AccessPlan Range(IndexRangeSpec spec);
+
+  /// The storage-level range spec of a kIndexRange plan.
+  IndexRangeSpec ToRangeSpec() const;
+
+  std::string ToString() const;
+};
+
+/// Pull-based cursor over one table read — every read access path (heap
+/// scan, shared scan, hash lookup, range lookup) produces one. Row locks
+/// are acquired as rows are pulled, so lock acquisition can fail mid-read:
+/// Next returns a Status for that, or false/true for end/row. Destroying a
+/// cursor closes it (detaches from a shared scan, performs the isolation
+/// level's early lock release); a consumer that stops early just drops the
+/// cursor.
+class TableCursor {
+ public:
+  virtual ~TableCursor() = default;
+
+  /// Pulls the next row as a borrowed view: `*row` stays valid until the
+  /// next pull or the cursor's destruction. Returns false at end.
+  virtual StatusOr<bool> NextRef(RowId* rid, const Row** row) = 0;
+
+  /// Pulls the next row into `*row` by move when the cursor owns its buffer
+  /// (private scans, index fetches) and by copy when the buffer is shared
+  /// (shared-scan followers). Returns false at end.
+  virtual StatusOr<bool> Next(RowId* rid, Row* row);
+
+  /// Drains the cursor through a move-taking visitor (returns false to
+  /// stop early).
+  Status Drain(const std::function<bool(RowId, Row&&)>& visitor);
+
+  /// Drains the cursor through a borrowing visitor (returns false to stop
+  /// early). Virtual so a cursor can skip intermediate buffering for
+  /// visit-only consumers (a fresh private heap scan drains zero-copy,
+  /// straight off the heap — selective filters then copy only what they
+  /// keep).
+  virtual Status DrainRef(const std::function<bool(RowId, const Row&)>& visitor);
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_STORAGE_CURSOR_H_

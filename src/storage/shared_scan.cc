@@ -1,0 +1,67 @@
+#include "src/storage/shared_scan.h"
+
+namespace youtopia {
+
+SharedScan::SharedScan(const Table* table, uint64_t epoch)
+    : table_(table), epoch_(epoch) {
+  // The heap cannot grow while the scan is live (every consumer holds
+  // table S), so reserving for the current size guarantees production
+  // never reallocates — which is what lets readers index published
+  // batches without the mutex.
+  batches_.reserve(table->size() / kBatchRows + 2);
+}
+
+const SharedScan::Batch* SharedScan::GetBatch(size_t i) {
+  if (i < published_.load(std::memory_order_acquire)) {
+    return batches_[i].get();
+  }
+  std::lock_guard<std::mutex> g(mu_);
+  while (batches_.size() <= i && !exhausted_) {
+    auto batch = std::make_unique<Batch>();
+    RowId next = table_->ScanChunk(next_from_, kBatchRows, &batch->rows);
+    if (batch->rows.empty()) {
+      exhausted_ = true;
+      break;
+    }
+    next_from_ = next;
+    if (next == 0) exhausted_ = true;
+    batches_.push_back(std::move(batch));
+    published_.store(batches_.size(), std::memory_order_release);
+  }
+  return i < batches_.size() ? batches_[i].get() : nullptr;
+}
+
+SharedScanManager::Ticket SharedScanManager::Join(const Table* table) {
+  std::lock_guard<std::mutex> g(mu_);
+  Ticket t;
+  // A registered entry always has >= 1 consumer (Leave erases at 0), so a
+  // live scan is attachable iff its epoch still matches.
+  auto it = active_.find(table->id());
+  if (it != active_.end() &&
+      it->second.scan->epoch() == table->write_epoch()) {
+    ++it->second.consumers;
+    t.scan = it->second.scan;
+    t.start_batch = t.scan->AttachIndex();
+    t.attached = true;
+    t.registered = true;
+    return t;
+  }
+  t.scan = std::make_shared<SharedScan>(table, table->write_epoch());
+  if (it == active_.end()) {
+    active_.emplace(table->id(), Entry{t.scan, 1});
+    t.registered = true;
+  }
+  // else: the slot is held by an epoch-incompatible live scan (defensive —
+  // the lock protocol should prevent this); lead privately, unregistered.
+  return t;
+}
+
+void SharedScanManager::Leave(const Ticket& ticket) {
+  if (!ticket.registered) return;
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = active_.find(ticket.scan->table()->id());
+  if (it == active_.end() || it->second.scan != ticket.scan) return;
+  if (--it->second.consumers == 0) active_.erase(it);
+}
+
+}  // namespace youtopia

@@ -1,0 +1,112 @@
+#ifndef YOUTOPIA_STORAGE_SHARED_SCAN_H_
+#define YOUTOPIA_STORAGE_SHARED_SCAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/table.h"
+
+namespace youtopia {
+
+/// One in-flight circular heap scan of one table, shared by N consumers.
+///
+/// The *leader* (first consumer) only registers the scan and walks the
+/// heap privately — an uncontended scan pays nothing for sharing. Batch
+/// production starts with the first *attached* consumer: the heap is then
+/// read once more, in RowId order, chunked into batches that stay alive
+/// for the scan's lifetime, and whichever attached consumer needs a batch
+/// that has not been produced yet produces it (so progress never depends
+/// on one designated thread — there is no barrier that can hang). A
+/// consumer that attaches mid-scan starts at the current production
+/// watermark, consumes to the end, and wraps around to the batches
+/// produced before it attached (circular-scan style); since batches cover
+/// disjoint ascending RowId ranges, any start offset yields exactly one
+/// full pass over the heap.
+///
+/// Consistency contract: every consumer must hold the table S lock for its
+/// whole attach..detach window. Attach windows of live consumers overlap
+/// (SharedScanManager only admits attaches while a consumer is still
+/// inside), so some consumer's S lock covers every moment of production and
+/// no writer (all writers take table IX) can change the heap mid-scan —
+/// which is what makes the shared batches equal to what each consumer's
+/// private scan would have read.
+class SharedScan {
+ public:
+  /// Rows are produced in chunks of this many per batch.
+  static constexpr size_t kBatchRows = 256;
+
+  struct Batch {
+    std::vector<std::pair<RowId, Row>> rows;
+  };
+
+  SharedScan(const Table* table, uint64_t epoch);
+
+  const Table* table() const { return table_; }
+  /// Table write epoch captured at registration — the attach barrier:
+  /// a consumer only shares a scan whose epoch matches the epoch it
+  /// observes under its own table S lock.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Batch `i`, producing it (and its predecessors) from the heap when not
+  /// yet published; nullptr once the heap is exhausted before batch `i`.
+  const Batch* GetBatch(size_t i);
+
+  /// The batch index the next attacher starts its cycle at (the current
+  /// production watermark).
+  size_t AttachIndex() const {
+    return published_.load(std::memory_order_acquire);
+  }
+
+ private:
+  const Table* table_;
+  const uint64_t epoch_;
+  std::mutex mu_;  ///< serializes producers; readers go lock-free
+  /// Pre-reserved so production never reallocates: published batches are
+  /// read without the mutex, fenced by `published_`.
+  std::vector<std::unique_ptr<Batch>> batches_;
+  std::atomic<size_t> published_{0};
+  RowId next_from_ = 1;  ///< heap RowIds are allocated from 1
+  bool exhausted_ = false;
+};
+
+/// Registry of in-flight shared scans, one slot per table. The first
+/// consumer of a table *leads* (registers a fresh scan); later consumers
+/// *attach* while the scan is live and epoch-compatible. A scan dies with
+/// its last consumer — batches never outlive the continuous table-S window
+/// that makes them valid, so a scanner arriving after a write gap always
+/// leads a fresh scan.
+class SharedScanManager {
+ public:
+  struct Ticket {
+    std::shared_ptr<SharedScan> scan;
+    size_t start_batch = 0;   ///< first batch of this consumer's cycle
+    bool attached = false;    ///< false: this consumer leads (registers the
+                              ///< scan but walks the heap privately)
+    bool registered = false;  ///< scan is (was) in the registry
+  };
+
+  /// Joins the in-flight scan of `table` (attach) or registers a new one
+  /// led by the caller. The caller must already hold the table S lock —
+  /// that lock is what freezes `table->write_epoch()` across the window.
+  Ticket Join(const Table* table);
+
+  /// Detaches a consumer; the last one out unregisters the scan.
+  void Leave(const Ticket& ticket);
+
+ private:
+  struct Entry {
+    std::shared_ptr<SharedScan> scan;
+    size_t consumers = 0;
+  };
+
+  std::mutex mu_;
+  std::unordered_map<TableId, Entry> active_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_STORAGE_SHARED_SCAN_H_

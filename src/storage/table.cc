@@ -140,6 +140,7 @@ StatusOr<RowId> Table::InsertCoerced(Row row) {
   RowId rid = next_row_id_++;
   IndexInsertLocked(rid, row);
   rows_.emplace(rid, std::move(row));
+  write_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return rid;
 }
 
@@ -154,6 +155,7 @@ Status Table::InsertWithId(RowId rid, const Row& row) {
   next_row_id_ = std::max(next_row_id_, rid + 1);
   IndexInsertLocked(rid, coerced);
   rows_.emplace(rid, std::move(coerced));
+  write_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::Ok();
 }
 
@@ -187,6 +189,7 @@ Status Table::UpdateCoerced(RowId rid, Row row) {
   IndexRemoveLocked(rid, it->second);
   it->second = std::move(row);
   IndexInsertLocked(rid, it->second);
+  write_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::Ok();
 }
 
@@ -199,6 +202,7 @@ Status Table::Delete(RowId rid) {
   }
   IndexRemoveLocked(rid, it->second);
   rows_.erase(it);
+  write_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::Ok();
 }
 
@@ -207,6 +211,19 @@ void Table::Scan(const std::function<bool(RowId, const Row&)>& visitor) const {
   for (const auto& [rid, row] : rows_) {
     if (!visitor(rid, row)) break;
   }
+}
+
+RowId Table::ScanChunk(RowId from, size_t max_rows,
+                       std::vector<std::pair<RowId, Row>>* out) const {
+  out->clear();
+  out->reserve(max_rows);
+  std::shared_lock g(latch_);
+  auto it = rows_.lower_bound(from);
+  while (it != rows_.end() && out->size() < max_rows) {
+    out->emplace_back(it->first, it->second);
+    ++it;
+  }
+  return it == rows_.end() ? 0 : it->first;
 }
 
 Status Table::CreateIndex(const std::vector<std::string>& column_names,

@@ -1,9 +1,11 @@
 #ifndef YOUTOPIA_STORAGE_TABLE_H_
 #define YOUTOPIA_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <utility>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -121,6 +123,21 @@ class Table {
   /// Visits rows in RowId order; the visitor returns false to stop early.
   void Scan(const std::function<bool(RowId, const Row&)>& visitor) const;
 
+  /// Copies up to `max_rows` rows with RowId >= `from` into `*out` (cleared
+  /// and reserved first), in RowId order. Returns the RowId to resume from,
+  /// or 0 when the heap past `from` is exhausted. Chunked scans hold the
+  /// latch per chunk, not per table — cursors pull through this.
+  RowId ScanChunk(RowId from, size_t max_rows,
+                  std::vector<std::pair<RowId, Row>>* out) const;
+
+  /// Monotonic counter bumped by every row mutation (insert/update/delete).
+  /// A shared scan captures it at registration; attachers compare it under
+  /// their own table S lock, so a scan from before any write is never
+  /// shared across the write (the shared-scan attach barrier).
+  uint64_t write_epoch() const {
+    return write_epoch_.load(std::memory_order_acquire);
+  }
+
   /// Builds an index over the named columns (backfills existing rows).
   /// `unique` rejects duplicate keys — except keys containing NULL, which
   /// are exempt from uniqueness per SQL. `ordered` builds a B-tree instead
@@ -206,6 +223,7 @@ class Table {
   std::map<RowId, Row> rows_;
   RowId next_row_id_ = 1;
   std::vector<Index> indexes_;
+  std::atomic<uint64_t> write_epoch_{0};
 };
 
 }  // namespace youtopia

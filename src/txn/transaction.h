@@ -73,11 +73,22 @@ class Transaction {
   size_t num_writes() const { return num_writes_; }
   void count_write() { ++num_writes_; }
 
+  /// Open read cursors of this transaction (transactions are
+  /// single-threaded, so plain bookkeeping suffices). A closing cursor may
+  /// perform kReadCommitted early lock release only when it is the last
+  /// one open — shared locks are merged per (txn, key), so releasing while
+  /// a sibling cursor is still open could strip a table/row S lock that
+  /// sibling depends on.
+  void cursor_opened() { ++open_cursors_; }
+  /// Returns the count after closing.
+  int cursor_closed() { return --open_cursors_; }
+
  private:
   TxnId id_;
   IsolationLevel level_;
   int64_t lock_timeout_micros_;
   TxnState state_ = TxnState::kActive;
+  int open_cursors_ = 0;
   bool entangled_ = false;
   std::vector<TxnId> partners_;
   std::vector<UndoEntry> undo_log_;

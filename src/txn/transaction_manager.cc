@@ -5,6 +5,281 @@
 
 namespace youtopia {
 
+namespace {
+
+bool IsGroundingOrigin(ReadOrigin origin) {
+  return origin == ReadOrigin::kGrounding ||
+         origin == ReadOrigin::kGroundingJoin;
+}
+
+/// The kReadCommitted early-release rule, shared by every cursor type:
+/// drop the shared lock on `key` unless this transaction holds it in a
+/// write mode (X; for table keys also IX) — those protect the
+/// transaction's own uncommitted writes and must survive to commit.
+void ReleaseUnlessWriteHeld(LockManager* locks, TxnId txn, LockKey key) {
+  if (locks->Holds(txn, key, LockMode::kX)) return;
+  if (key.is_table() && locks->Holds(txn, key, LockMode::kIX)) return;
+  locks->ReleaseKey(txn, key);
+}
+
+/// Heap-scan cursor: either a private chunked walk of the heap or a
+/// consumer of a shared circular scan. A *leader* registers the scan so
+/// concurrent scanners can find it, but walks the heap privately — batch
+/// materialization only starts with the first *attached* consumer, so an
+/// uncontended scan pays nothing for sharing. All consumers hold their own
+/// table S lock (acquired by OpenCursor) for the cursor's lifetime; closing
+/// detaches from the shared scan *before* any early lock release, so shared
+/// batches never outlive the continuous table-S window that makes them
+/// valid.
+class ScanCursor : public TableCursor {
+ public:
+  static constexpr size_t kChunkRows = SharedScan::kBatchRows;
+
+  ScanCursor(LockManager* locks, Transaction* txn, const Table* table,
+             SharedScanManager* manager, SharedScanManager::Ticket ticket,
+             bool release_table_on_close)
+      : locks_(locks),
+        txn_(txn),
+        table_(table),
+        manager_(manager),
+        ticket_(std::move(ticket)),
+        release_table_on_close_(release_table_on_close) {
+    txn_->cursor_opened();
+    if (ticket_.attached) {
+      cur_batch_ = ticket_.start_batch;
+    } else {
+      buf_.reserve(kChunkRows);
+    }
+  }
+
+  ~ScanCursor() override {
+    if (ticket_.scan != nullptr) manager_->Leave(ticket_);
+    // Early release only when this is the transaction's last open cursor:
+    // S locks merge per (txn, key), so dropping the table S here could
+    // strip it from under a sibling cursor still scanning this table.
+    if (txn_->cursor_closed() == 0 && release_table_on_close_ &&
+        txn_->isolation_level() == IsolationLevel::kReadCommitted) {
+      ReleaseUnlessWriteHeld(locks_, txn_->id(),
+                             LockKey::Table(table_->id()));
+    }
+  }
+
+  /// Visit-only drain: a fresh private scan skips chunk materialization
+  /// and walks the heap directly under the latch (the pre-cursor
+  /// Table::Scan semantics — selective consumers copy only what they
+  /// keep). Attached or already-started cursors use the generic pull loop.
+  Status DrainRef(
+      const std::function<bool(RowId, const Row&)>& visitor) override {
+    if (!ticket_.attached && !started_ && !done_) {
+      done_ = true;
+      table_->Scan(visitor);
+      return Status::Ok();
+    }
+    return TableCursor::DrainRef(visitor);
+  }
+
+  StatusOr<bool> NextRef(RowId* rid, const Row** row) override {
+    started_ = true;
+    if (ticket_.attached) {
+      while (batch_ == nullptr || pos_ >= batch_->rows.size()) {
+        if (!AdvanceSharedBatch()) return false;
+      }
+      *rid = batch_->rows[pos_].first;
+      *row = &batch_->rows[pos_].second;
+      ++pos_;
+      return true;
+    }
+    if (!RefillPrivate()) return false;
+    *rid = buf_[pos_].first;
+    *row = &buf_[pos_].second;
+    ++pos_;
+    return true;
+  }
+
+  StatusOr<bool> Next(RowId* rid, Row* row) override {
+    // Private chunks are owned by this cursor: hand rows over by move.
+    // Shared batches are read by many consumers: fall back to the copying
+    // base implementation.
+    started_ = true;
+    if (ticket_.attached) return TableCursor::Next(rid, row);
+    if (!RefillPrivate()) return false;
+    *rid = buf_[pos_].first;
+    *row = std::move(buf_[pos_].second);
+    ++pos_;
+    return true;
+  }
+
+ private:
+  /// Moves to the next shared batch of this consumer's cycle:
+  /// start_batch..end, then wrap to 0..start_batch-1.
+  bool AdvanceSharedBatch() {
+    while (true) {
+      if (!wrapped_) {
+        const SharedScan::Batch* b = ticket_.scan->GetBatch(cur_batch_);
+        if (b != nullptr) {
+          batch_ = b;
+          pos_ = 0;
+          ++cur_batch_;
+          return true;
+        }
+        total_ = cur_batch_;
+        wrapped_ = true;
+        cur_batch_ = 0;
+        continue;
+      }
+      if (cur_batch_ >= std::min(ticket_.start_batch, total_)) return false;
+      batch_ = ticket_.scan->GetBatch(cur_batch_);  // published: non-null
+      pos_ = 0;
+      ++cur_batch_;
+      return true;
+    }
+  }
+
+  /// Ensures buf_[pos_] is the next unreturned private row.
+  bool RefillPrivate() {
+    if (pos_ < buf_.size()) return true;
+    if (done_) return false;
+    RowId next = table_->ScanChunk(next_from_, kChunkRows, &buf_);
+    pos_ = 0;
+    if (buf_.empty()) {
+      done_ = true;
+      return false;
+    }
+    next_from_ = next;
+    if (next == 0) done_ = true;
+    return true;
+  }
+
+  LockManager* locks_;
+  Transaction* txn_;
+  const Table* table_;
+  SharedScanManager* manager_;
+  SharedScanManager::Ticket ticket_;
+  bool release_table_on_close_;
+  // Shared-mode state.
+  const SharedScan::Batch* batch_ = nullptr;
+  size_t cur_batch_ = 0;
+  size_t total_ = 0;
+  bool wrapped_ = false;
+  // Private-mode state.
+  std::vector<std::pair<RowId, Row>> buf_;
+  RowId next_from_ = 1;
+  bool done_ = false;
+  bool started_ = false;
+  // Position within the current batch / chunk.
+  size_t pos_ = 0;
+};
+
+/// Cursor over a RowId list fetched at open time (hash lookup or ordered
+/// range lookup). Row S locks are taken as rows are pulled; closing
+/// performs the read-committed early release of everything the cursor
+/// locked.
+class FetchedRowsCursor : public TableCursor {
+ public:
+  /// What to release (besides visited row locks) on a read-committed close.
+  enum class Release { kIndexKey, kRange, kTableS };
+
+  FetchedRowsCursor(LockManager* locks, Transaction* txn, Table* table,
+                    OpObserver* observer, bool take_locks, bool observe_rows,
+                    std::vector<RowId> rids, Release release,
+                    LockKey key_lock, RangeSpaceKey space, IndexRange range)
+      : locks_(locks),
+        txn_(txn),
+        table_(table),
+        observer_(observer),
+        take_locks_(take_locks),
+        observe_rows_(observe_rows),
+        rids_(std::move(rids)),
+        release_(release),
+        key_lock_(key_lock),
+        space_(space),
+        range_(std::move(range)) {
+    txn_->cursor_opened();
+    visited_.reserve(rids_.size());
+  }
+
+  ~FetchedRowsCursor() override {
+    // Last-open-cursor gate: see ~ScanCursor.
+    if (txn_->cursor_closed() != 0 || !take_locks_ ||
+        txn_->isolation_level() != IsolationLevel::kReadCommitted) {
+      return;
+    }
+    // Short read locks: drop the row S and predicate S now; keep table IS.
+    // Never drop a lock this transaction holds in X — that protects its own
+    // earlier uncommitted writes.
+    for (RowId rid : visited_) {
+      ReleaseUnlessWriteHeld(locks_, txn_->id(),
+                             LockKey::RowOf(table_->id(), rid));
+    }
+    switch (release_) {
+      case Release::kIndexKey:
+        ReleaseUnlessWriteHeld(locks_, txn_->id(), key_lock_);
+        break;
+      case Release::kRange:
+        locks_->ReleaseSharedRange(txn_->id(), space_, range_);
+        break;
+      case Release::kTableS:
+        ReleaseUnlessWriteHeld(locks_, txn_->id(),
+                               LockKey::Table(table_->id()));
+        break;
+    }
+  }
+
+  StatusOr<bool> NextRef(RowId* rid, const Row** row) override {
+    YT_ASSIGN_OR_RETURN(bool more, Advance(rid));
+    if (!more) return false;
+    *row = &current_;
+    return true;
+  }
+
+  StatusOr<bool> Next(RowId* rid, Row* row) override {
+    YT_ASSIGN_OR_RETURN(bool more, Advance(rid));
+    if (!more) return false;
+    *row = std::move(current_);
+    return true;
+  }
+
+ private:
+  StatusOr<bool> Advance(RowId* out_rid) {
+    while (idx_ < rids_.size()) {
+      RowId rid = rids_[idx_++];
+      if (take_locks_) {
+        YT_RETURN_IF_ERROR(locks_->Acquire(txn_->id(),
+                                           LockKey::RowOf(table_->id(), rid),
+                                           LockMode::kS,
+                                           txn_->lock_timeout_micros()));
+      }
+      auto row = table_->Get(rid);
+      if (!row.ok()) continue;  // lockless levels may race a delete
+      visited_.push_back(rid);
+      if (observe_rows_ && observer_ != nullptr) {
+        observer_->OnRead(txn_->id(), {table_->name(), rid});
+      }
+      current_ = std::move(row).value();
+      *out_rid = rid;
+      return true;
+    }
+    return false;
+  }
+
+  LockManager* locks_;
+  Transaction* txn_;
+  Table* table_;
+  OpObserver* observer_;
+  bool take_locks_;
+  bool observe_rows_;
+  std::vector<RowId> rids_;
+  Release release_;
+  LockKey key_lock_;
+  RangeSpaceKey space_;
+  IndexRange range_;
+  size_t idx_ = 0;
+  std::vector<RowId> visited_;
+  Row current_;
+};
+
+}  // namespace
+
 TransactionManager::TransactionManager(Database* db, LockManager* locks,
                                        WalWriter* wal, Options options)
     : db_(db), locks_(locks), wal_(wal), options_(options) {}
@@ -198,166 +473,130 @@ Status TransactionManager::Delete(Transaction* txn, const std::string& table,
   return Status::Ok();
 }
 
-Status TransactionManager::Scan(
-    Transaction* txn, const std::string& table,
-    const std::function<bool(RowId, const Row&)>& visitor) {
-  if (!txn->active()) return Status::Aborted("transaction not active");
-  YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
-  if (TakesReadLocks(txn->isolation_level())) {
-    YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), LockKey::Table(t->id()),
-                                       LockMode::kS,
-                                       txn->lock_timeout_micros()));
+void TransactionManager::CountRead(const AccessPlan& plan, ReadOrigin origin) {
+  switch (plan.kind) {
+    case AccessPlan::Kind::kTableScan:
+      if (IsGroundingOrigin(origin)) {
+        stats_.grounding_scans.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        stats_.table_scans.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    case AccessPlan::Kind::kIndexLookup:
+      switch (origin) {
+        case ReadOrigin::kStatement:
+          stats_.index_lookups.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case ReadOrigin::kGrounding:
+          stats_.grounding_index_lookups.fetch_add(1,
+                                                   std::memory_order_relaxed);
+          break;
+        case ReadOrigin::kJoin:
+          stats_.join_probes.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case ReadOrigin::kGroundingJoin:
+          stats_.grounding_join_probes.fetch_add(1,
+                                                 std::memory_order_relaxed);
+          break;
+      }
+      break;
+    case AccessPlan::Kind::kIndexRange:
+      switch (origin) {
+        case ReadOrigin::kStatement:
+          stats_.range_lookups.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case ReadOrigin::kGrounding:
+          stats_.grounding_range_lookups.fetch_add(1,
+                                                   std::memory_order_relaxed);
+          break;
+        case ReadOrigin::kJoin:
+          stats_.range_join_probes.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case ReadOrigin::kGroundingJoin:
+          stats_.grounding_range_probes.fetch_add(1,
+                                                  std::memory_order_relaxed);
+          break;
+      }
+      break;
   }
-  t->Scan(visitor);
-  stats_.table_scans.fetch_add(1, std::memory_order_relaxed);
-  if (options_.observer != nullptr) {
-    options_.observer->OnRead(txn->id(), {t->name(), 0});
-  }
-  if (txn->isolation_level() == IsolationLevel::kReadCommitted &&
-      !locks_->Holds(txn->id(), LockKey::Table(t->id()), LockMode::kX) &&
-      !locks_->Holds(txn->id(), LockKey::Table(t->id()), LockMode::kIX)) {
-    locks_->ReleaseKey(txn->id(), LockKey::Table(t->id()));
-  }
-  return Status::Ok();
 }
 
-Status TransactionManager::LockTableForWrite(Transaction* txn,
-                                             const std::string& table) {
-  if (!txn->active()) return Status::Aborted("transaction not active");
+StatusOr<std::unique_ptr<TableCursor>> TransactionManager::OpenCursor(
+    Transaction* txn, const std::string& table, AccessPlan plan,
+    ReadOrigin origin) {
   YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
-  return locks_->Acquire(txn->id(), LockKey::Table(t->id()), LockMode::kX,
-                         txn->lock_timeout_micros());
+  return OpenCursor(txn, t, std::move(plan), origin);
 }
 
-Status TransactionManager::ScanForGrounding(
-    Transaction* txn, const std::string& table,
-    const std::function<bool(RowId, const Row&)>& visitor) {
+StatusOr<std::unique_ptr<TableCursor>> TransactionManager::OpenCursor(
+    Transaction* txn, Table* t, AccessPlan plan, ReadOrigin origin) {
   if (!txn->active()) return Status::Aborted("transaction not active");
-  YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
-  if (TakesReadLocks(txn->isolation_level())) {
-    YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), LockKey::Table(t->id()),
-                                       LockMode::kS,
-                                       txn->lock_timeout_micros()));
-  }
-  t->Scan(visitor);
-  stats_.grounding_scans.fetch_add(1, std::memory_order_relaxed);
-  if (options_.observer != nullptr) {
-    options_.observer->OnGroundingRead(txn->id(), {t->name(), 0});
-  }
-  return Status::Ok();
-}
-
-Status TransactionManager::IndexedRead(
-    Transaction* txn, Table* t, const std::vector<size_t>& columns,
-    const Row& key, IndexedReadKind kind, const RowVisitor& visitor) {
-  if (!txn->active()) return Status::Aborted("transaction not active");
-  const bool grounding = kind == IndexedReadKind::kGroundingLookup ||
-                         kind == IndexedReadKind::kGroundingJoinProbe;
+  const bool grounding = IsGroundingOrigin(origin);
   const bool take_locks = TakesReadLocks(txn->isolation_level());
-  const LockKey key_lock =
-      LockKey::IndexKey(t->id(), Table::IndexKeyHash(columns, key));
-  if (take_locks) {
-    YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), LockKey::Table(t->id()),
-                                       LockMode::kIS,
-                                       txn->lock_timeout_micros()));
-    // S on the key hash: no writer can add/remove/move a row under this
-    // equality key until we are done (phantom protection for the predicate).
-    YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), key_lock, LockMode::kS,
-                                       txn->lock_timeout_micros()));
-  }
-  YT_ASSIGN_OR_RETURN(std::vector<RowId> rids, t->IndexLookup(columns, key));
-  std::sort(rids.begin(), rids.end());  // deterministic (scan) order
-  if (grounding && options_.observer != nullptr) {
-    // Table-granular R^G, as with scans: the grounding read logically
-    // covers the relation (quasi-read derivation stays conservative).
-    options_.observer->OnGroundingRead(txn->id(), {t->name(), 0});
-  }
-  std::vector<RowId> visited;
-  for (RowId rid : rids) {
+
+  if (plan.is_scan()) {
     if (take_locks) {
-      YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(),
-                                         LockKey::RowOf(t->id(), rid),
+      YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), LockKey::Table(t->id()),
                                          LockMode::kS,
                                          txn->lock_timeout_micros()));
     }
-    auto row = t->Get(rid);
-    if (!row.ok()) continue;  // lockless levels may race a delete
-    visited.push_back(rid);
-    if (!grounding && options_.observer != nullptr) {
-      options_.observer->OnRead(txn->id(), {t->name(), rid});
+    CountRead(plan, origin);
+    if (options_.observer != nullptr) {
+      if (grounding) {
+        options_.observer->OnGroundingRead(txn->id(), {t->name(), 0});
+      } else {
+        options_.observer->OnRead(txn->id(), {t->name(), 0});
+      }
     }
-    // The lookup owns this copy of the row; hand it over so collectors can
-    // move instead of copying a second time.
-    if (!visitor(rid, std::move(row).value())) break;
-  }
-  switch (kind) {
-    case IndexedReadKind::kLookup:
-      stats_.index_lookups.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case IndexedReadKind::kGroundingLookup:
-      stats_.grounding_index_lookups.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case IndexedReadKind::kJoinProbe:
-      stats_.join_probes.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case IndexedReadKind::kGroundingJoinProbe:
-      stats_.grounding_join_probes.fetch_add(1, std::memory_order_relaxed);
-      break;
-  }
-  if (txn->isolation_level() == IsolationLevel::kReadCommitted) {
-    // Short read locks: drop the row S and key S now; keep table IS. Never
-    // drop a key lock this transaction holds in X — that protects its own
-    // earlier uncommitted write to this key.
-    for (RowId rid : visited) ReleaseEarlyReadLocks(txn, t, rid);
-    if (!locks_->Holds(txn->id(), key_lock, LockMode::kX)) {
-      locks_->ReleaseKey(txn->id(), key_lock);
+    // Sharing requires the table S lock (just taken above): the continuous
+    // S window across all consumers is what freezes the heap mid-scan.
+    SharedScanManager::Ticket ticket;
+    if (take_locks && options_.enable_shared_scans) {
+      ticket = shared_scans_.Join(t);
+      if (ticket.attached) {
+        stats_.shared_scan_attaches.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        stats_.shared_scan_leads.fetch_add(1, std::memory_order_relaxed);
+      }
     }
+    // Grounding scans keep the table S lock even at kReadCommitted
+    // (quasi-read repeatability); statement scans drop it at close.
+    return std::unique_ptr<TableCursor>(
+        new ScanCursor(locks_, txn, t, &shared_scans_, std::move(ticket),
+                       /*release_table_on_close=*/take_locks && !grounding));
   }
-  return Status::Ok();
-}
 
-Status TransactionManager::GetByIndex(Transaction* txn,
-                                      const std::string& table,
-                                      const std::vector<size_t>& columns,
-                                      const Row& key,
-                                      const RowVisitor& visitor) {
-  YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
-  return IndexedRead(txn, t, columns, key, IndexedReadKind::kLookup, visitor);
-}
+  if (plan.is_index()) {
+    const LockKey key_lock =
+        LockKey::IndexKey(t->id(), Table::IndexKeyHash(plan.columns, plan.key));
+    if (take_locks) {
+      YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), LockKey::Table(t->id()),
+                                         LockMode::kIS,
+                                         txn->lock_timeout_micros()));
+      // S on the key hash: no writer can add/remove/move a row under this
+      // equality key while the cursor lives (phantom protection for the
+      // equality predicate).
+      YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), key_lock, LockMode::kS,
+                                         txn->lock_timeout_micros()));
+    }
+    YT_ASSIGN_OR_RETURN(std::vector<RowId> rids,
+                        t->IndexLookup(plan.columns, plan.key));
+    std::sort(rids.begin(), rids.end());  // deterministic (scan) order
+    CountRead(plan, origin);
+    if (grounding && options_.observer != nullptr) {
+      // Table-granular R^G, as with scans: the grounding read logically
+      // covers the relation (quasi-read derivation stays conservative).
+      options_.observer->OnGroundingRead(txn->id(), {t->name(), 0});
+    }
+    return std::unique_ptr<TableCursor>(new FetchedRowsCursor(
+        locks_, txn, t, options_.observer, take_locks,
+        /*observe_rows=*/!grounding, std::move(rids),
+        FetchedRowsCursor::Release::kIndexKey, key_lock, RangeSpaceKey{},
+        IndexRange()));
+  }
 
-Status TransactionManager::LookupForGrounding(Transaction* txn,
-                                              const std::string& table,
-                                              const std::vector<size_t>& columns,
-                                              const Row& key,
-                                              const RowVisitor& visitor) {
-  YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
-  return IndexedRead(txn, t, columns, key, IndexedReadKind::kGroundingLookup,
-                     visitor);
-}
-
-Status TransactionManager::ProbeJoin(Transaction* txn, Table* t,
-                                     const std::vector<size_t>& columns,
-                                     const Row& key,
-                                     const RowVisitor& visitor) {
-  return IndexedRead(txn, t, columns, key, IndexedReadKind::kJoinProbe,
-                     visitor);
-}
-
-Status TransactionManager::ProbeJoinForGrounding(
-    Transaction* txn, Table* t, const std::vector<size_t>& columns,
-    const Row& key, const RowVisitor& visitor) {
-  return IndexedRead(txn, t, columns, key,
-                     IndexedReadKind::kGroundingJoinProbe, visitor);
-}
-
-Status TransactionManager::IndexedRangeRead(Transaction* txn, Table* t,
-                                            const IndexRangeSpec& spec,
-                                            IndexedReadKind kind,
-                                            const RowVisitor& visitor) {
-  if (!txn->active()) return Status::Aborted("transaction not active");
-  const bool grounding = kind == IndexedReadKind::kGroundingRangeLookup ||
-                         kind == IndexedReadKind::kGroundingRangeProbe;
-  const bool take_locks = TakesReadLocks(txn->isolation_level());
+  // kIndexRange.
+  IndexRangeSpec spec = plan.ToRangeSpec();
   const RangeSpaceKey space{t->id(), Table::IndexColumnsHash(spec.columns)};
   const bool whole_space = spec.range.fully_unbounded();
   if (take_locks) {
@@ -372,93 +611,71 @@ Status TransactionManager::IndexedRangeRead(Transaction* txn, Table* t,
                                          LockMode::kIS,
                                          txn->lock_timeout_micros()));
       // S on the scanned interval: no writer can insert, delete, or move a
-      // row whose key falls inside it until we are done (gap + key phantom
-      // protection for the range predicate).
+      // row whose key falls inside it while the cursor lives (gap + key
+      // phantom protection for the range predicate).
       YT_RETURN_IF_ERROR(locks_->AcquireRange(txn->id(), space, spec.range,
                                               LockMode::kS,
                                               txn->lock_timeout_micros()));
     }
   }
   YT_ASSIGN_OR_RETURN(std::vector<RowId> rids, t->RangeLookup(spec));
+  CountRead(plan, origin);
   if (grounding && options_.observer != nullptr) {
     options_.observer->OnGroundingRead(txn->id(), {t->name(), 0});
   }
-  std::vector<RowId> visited;
-  for (RowId rid : rids) {  // key order — preserved for ORDER BY service
-    if (take_locks) {
-      YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(),
-                                         LockKey::RowOf(t->id(), rid),
-                                         LockMode::kS,
-                                         txn->lock_timeout_micros()));
-    }
-    auto row = t->Get(rid);
-    if (!row.ok()) continue;  // lockless levels may race a delete
-    visited.push_back(rid);
-    if (!grounding && options_.observer != nullptr) {
-      options_.observer->OnRead(txn->id(), {t->name(), rid});
-    }
-    if (!visitor(rid, std::move(row).value())) break;
-  }
-  switch (kind) {
-    case IndexedReadKind::kRangeLookup:
-      stats_.range_lookups.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case IndexedReadKind::kGroundingRangeLookup:
-      stats_.grounding_range_lookups.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case IndexedReadKind::kRangeJoinProbe:
-      stats_.range_join_probes.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case IndexedReadKind::kGroundingRangeProbe:
-      stats_.grounding_range_probes.fetch_add(1, std::memory_order_relaxed);
-      break;
-    default:
-      break;
-  }
-  if (txn->isolation_level() == IsolationLevel::kReadCommitted) {
-    for (RowId rid : visited) ReleaseEarlyReadLocks(txn, t, rid);
-    if (whole_space) {
-      if (!locks_->Holds(txn->id(), LockKey::Table(t->id()), LockMode::kX) &&
-          !locks_->Holds(txn->id(), LockKey::Table(t->id()), LockMode::kIX)) {
-        locks_->ReleaseKey(txn->id(), LockKey::Table(t->id()));
-      }
-    } else {
-      // Only the shared interval is dropped; an X range lock this
-      // transaction holds protects its own earlier writes and stays.
-      locks_->ReleaseSharedRange(txn->id(), space, spec.range);
-    }
-  }
-  return Status::Ok();
+  return std::unique_ptr<TableCursor>(new FetchedRowsCursor(
+      locks_, txn, t, options_.observer, take_locks,
+      /*observe_rows=*/!grounding, std::move(rids),
+      whole_space ? FetchedRowsCursor::Release::kTableS
+                  : FetchedRowsCursor::Release::kRange,
+      LockKey::Table(t->id()), space, std::move(spec.range)));
+}
+
+Status TransactionManager::Scan(
+    Transaction* txn, const std::string& table,
+    const std::function<bool(RowId, const Row&)>& visitor) {
+  YT_ASSIGN_OR_RETURN(auto cursor,
+                      OpenCursor(txn, table, AccessPlan::TableScan(),
+                                 ReadOrigin::kStatement));
+  return cursor->DrainRef(visitor);
+}
+
+Status TransactionManager::LockTableForWrite(Transaction* txn,
+                                             const std::string& table) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+  return locks_->Acquire(txn->id(), LockKey::Table(t->id()), LockMode::kX,
+                         txn->lock_timeout_micros());
+}
+
+Status TransactionManager::ScanForGrounding(
+    Transaction* txn, const std::string& table,
+    const std::function<bool(RowId, const Row&)>& visitor) {
+  YT_ASSIGN_OR_RETURN(auto cursor,
+                      OpenCursor(txn, table, AccessPlan::TableScan(),
+                                 ReadOrigin::kGrounding));
+  return cursor->DrainRef(visitor);
+}
+
+Status TransactionManager::GetByIndex(Transaction* txn,
+                                      const std::string& table,
+                                      const std::vector<size_t>& columns,
+                                      const Row& key,
+                                      const RowVisitor& visitor) {
+  YT_ASSIGN_OR_RETURN(auto cursor,
+                      OpenCursor(txn, table, AccessPlan::Lookup(columns, key),
+                                 ReadOrigin::kStatement));
+  return cursor->Drain(visitor);
 }
 
 Status TransactionManager::GetByIndexRange(Transaction* txn,
                                            const std::string& table,
                                            const IndexRangeSpec& spec,
                                            const RowVisitor& visitor) {
-  YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
-  return IndexedRangeRead(txn, t, spec, IndexedReadKind::kRangeLookup,
-                          visitor);
-}
-
-Status TransactionManager::GetByIndexRangeForGrounding(
-    Transaction* txn, Table* t, const IndexRangeSpec& spec,
-    const RowVisitor& visitor) {
-  return IndexedRangeRead(txn, t, spec,
-                          IndexedReadKind::kGroundingRangeLookup, visitor);
-}
-
-Status TransactionManager::ProbeJoinRange(Transaction* txn, Table* t,
-                                          const IndexRangeSpec& spec,
-                                          const RowVisitor& visitor) {
-  return IndexedRangeRead(txn, t, spec, IndexedReadKind::kRangeJoinProbe,
-                          visitor);
-}
-
-Status TransactionManager::ProbeJoinRangeForGrounding(
-    Transaction* txn, Table* t, const IndexRangeSpec& spec,
-    const RowVisitor& visitor) {
-  return IndexedRangeRead(txn, t, spec, IndexedReadKind::kGroundingRangeProbe,
-                          visitor);
+  YT_ASSIGN_OR_RETURN(auto cursor,
+                      OpenCursor(txn, table, AccessPlan::Range(spec),
+                                 ReadOrigin::kStatement));
+  return cursor->Drain(visitor);
 }
 
 StatusOr<std::vector<std::pair<RowId, Row>>>

@@ -10,7 +10,9 @@
 #include "src/common/op_observer.h"
 #include "src/common/statusor.h"
 #include "src/lock/lock_manager.h"
+#include "src/storage/cursor.h"
 #include "src/storage/database.h"
+#include "src/storage/shared_scan.h"
 #include "src/txn/transaction.h"
 #include "src/wal/wal_writer.h"
 
@@ -22,7 +24,9 @@ namespace youtopia {
 /// bumps table_scans / grounding_scans, and every bind-driven join probe
 /// bumps join_probes / grounding_join_probes (with *_cache_hits counting
 /// per-binding keys the executor/grounder served from their probe caches
-/// without re-entering the transaction manager).
+/// without re-entering the transaction manager). shared_scan_leads /
+/// shared_scan_attaches make scan sharing observable: every heap-scan
+/// cursor either leads a fresh shared scan or attaches to an in-flight one.
 struct TxnStats {
   std::atomic<uint64_t> begins{0};
   std::atomic<uint64_t> commits{0};
@@ -42,7 +46,17 @@ struct TxnStats {
   std::atomic<uint64_t> range_probe_cache_hits{0};
   std::atomic<uint64_t> grounding_range_probes{0};
   std::atomic<uint64_t> grounding_range_probe_cache_hits{0};
+  std::atomic<uint64_t> shared_scan_leads{0};
+  std::atomic<uint64_t> shared_scan_attaches{0};
 };
+
+/// How a read is counted and recorded by the schedule observer — the one
+/// axis that used to distinguish the `*ForGrounding` twins. kStatement and
+/// kJoin record ordinary reads (R); kGrounding and kGroundingJoin record
+/// grounding reads (R^G, table-granular, keeping the recorded schedule
+/// conservative). The join origins additionally count as per-binding
+/// probes instead of statement lookups.
+enum class ReadOrigin { kStatement, kGrounding, kJoin, kGroundingJoin };
 
 /// Classical ACID transaction manager over the in-memory engine:
 /// Strict 2PL through the LockManager, redo-only WAL through WalWriter
@@ -55,6 +69,10 @@ class TransactionManager {
     IsolationLevel default_isolation = IsolationLevel::kFullEntangled;
     int64_t lock_timeout_micros = 2'000'000;  ///< 2 s default lock wait
     OpObserver* observer = nullptr;           ///< optional schedule recorder
+    /// Concurrent heap scans of the same table share one circular scan
+    /// (one heap walk, many consumers). Off = every scan walks privately
+    /// (the ablation baseline).
+    bool enable_shared_scans = true;
   };
 
   TransactionManager(Database* db, LockManager* locks, WalWriter* wal,
@@ -66,6 +84,9 @@ class TransactionManager {
   TxnStats& stats() { return stats_; }
   void set_observer(OpObserver* obs) { options_.observer = obs; }
   OpObserver* observer() const { return options_.observer; }
+  /// Ablation switch for scan sharing (benches / differential tests).
+  void set_shared_scans_enabled(bool on) { options_.enable_shared_scans = on; }
+  bool shared_scans_enabled() const { return options_.enable_shared_scans; }
 
   /// Starts a transaction at the given (or default) isolation level.
   std::unique_ptr<Transaction> Begin();
@@ -80,26 +101,51 @@ class TransactionManager {
                 const Row& row);
   Status Delete(Transaction* txn, const std::string& table, RowId rid);
 
+  // --- The unified read path. ---
+
+  /// Opens a pull cursor for `plan` over `t` — the one seam every read
+  /// access path goes through. Lock protocol by plan kind:
+  ///   * kTableScan: table S (the phantom-protection fallback for
+  ///     predicates no index covers). When scan sharing is enabled and the
+  ///     level takes read locks, the cursor attaches to a compatible
+  ///     in-flight shared scan of the same table (circular: late joiners
+  ///     start mid-heap and wrap) or leads a fresh one — every consumer
+  ///     still holds its own table S lock, so results are identical to a
+  ///     private walk.
+  ///   * kIndexLookup: table IS + S on the index-key hash (equality-
+  ///     predicate phantom protection) + S on each row as it is pulled.
+  ///   * kIndexRange: table IS + key-range S on the scanned interval
+  ///     (gap + key phantom protection) + S on each row as it is pulled; a
+  ///     fully unbounded interval degrades to the table S lock.
+  /// kReadCommitted releases the shared locks when the cursor closes
+  /// (grounding-origin heap scans keep the table S — quasi-read
+  /// repeatability); kReadUncommitted takes no read locks. `origin` picks
+  /// the stats counter and whether rows are recorded as R or R^G. The
+  /// cursor must not outlive the transaction or the manager.
+  StatusOr<std::unique_ptr<TableCursor>> OpenCursor(Transaction* txn, Table* t,
+                                                    AccessPlan plan,
+                                                    ReadOrigin origin);
+  StatusOr<std::unique_ptr<TableCursor>> OpenCursor(Transaction* txn,
+                                                    const std::string& table,
+                                                    AccessPlan plan,
+                                                    ReadOrigin origin);
+
+  // --- Convenience wrappers over OpenCursor (drain-through-visitor). ---
+
   /// Full-table scan under a table S lock (serializable levels); the visitor
-  /// returns false to stop. The table S lock is also the phantom-protection
-  /// fallback for predicates no index covers.
+  /// returns false to stop.
   Status Scan(Transaction* txn, const std::string& table,
               const std::function<bool(RowId, const Row&)>& visitor);
 
   /// Visitor for indexed reads. The row is handed over by value — the
-  /// lookup materializes its own copy out of the heap, so the visitor can
-  /// move it instead of copying a second time (lambdas taking
-  /// `const Row&` still bind, so both styles work at call sites).
+  /// cursor materializes its own copy, so the visitor can move it instead
+  /// of copying a second time (lambdas taking `const Row&` still bind, so
+  /// both styles work at call sites).
   using RowVisitor = std::function<bool(RowId, Row&&)>;
 
   /// Indexed equality read: visits the rows whose `columns` projection
-  /// equals `key` (RowId order), under row-granular locks instead of a table
-  /// S lock. At serializable levels this takes table IS + S on the index-key
-  /// hash (phantom protection for the equality predicate: any writer that
-  /// inserts, deletes, or moves a row under this key takes X on the same
-  /// hash) + S on each matched row. kReadCommitted releases the S locks at
-  /// the end of the call; kReadUncommitted takes none. `key` must be coerced
-  /// to the indexed columns' types (the planner does this).
+  /// equals `key` (RowId order). `key` must be coerced to the indexed
+  /// columns' types (the planner does this).
   Status GetByIndex(Transaction* txn, const std::string& table,
                     const std::vector<size_t>& columns, const Row& key,
                     const RowVisitor& visitor);
@@ -114,34 +160,9 @@ class TransactionManager {
 
   /// Indexed range read: visits rows whose projection on `spec.columns`
   /// lies in `spec.range`, in index-key order (descending with
-  /// `spec.reverse`), under key-range granularity instead of a table S
-  /// lock. At serializable levels this takes table IS + key-range S on the
-  /// scanned interval (phantom protection: any writer inserting, deleting,
-  /// or moving a row whose ordered-index key falls inside the interval
-  /// takes key-range X on that key's point interval) + S on each matched
-  /// row. A fully unbounded range (ORDER BY service with no sargable
-  /// bound) degrades to the table S lock — it covers the whole key space
-  /// anyway. kReadCommitted releases the S locks at the end of the call.
+  /// `spec.reverse`).
   Status GetByIndexRange(Transaction* txn, const std::string& table,
                          const IndexRangeSpec& spec, const RowVisitor& visitor);
-
-  /// GetByIndexRange recorded as a grounding read (R^G) and counted as a
-  /// grounding_range_lookup — the grounder's eager range-filtered atoms.
-  Status GetByIndexRangeForGrounding(Transaction* txn, Table* t,
-                                     const IndexRangeSpec& spec,
-                                     const RowVisitor& visitor);
-
-  /// Per-binding range probe for bind-driven joins whose join predicate is
-  /// an inequality (`inner.col > outer.col`): same locking as
-  /// GetByIndexRange, counted as a range_join_probe. The key-range S lock
-  /// replaces PR 2's per-key predicate hash for these probes.
-  Status ProbeJoinRange(Transaction* txn, Table* t, const IndexRangeSpec& spec,
-                        const RowVisitor& visitor);
-
-  /// ProbeJoinRange recorded as a grounding read (R^G).
-  Status ProbeJoinRangeForGrounding(Transaction* txn, Table* t,
-                                    const IndexRangeSpec& spec,
-                                    const RowVisitor& visitor);
 
   /// GetByIndexRange for write statements: X-locks the scanned interval and
   /// every matched row (plus table IX) up front and returns the matched
@@ -161,30 +182,6 @@ class TransactionManager {
   /// quasi-reads.
   Status ScanForGrounding(Transaction* txn, const std::string& table,
                           const std::function<bool(RowId, const Row&)>& visitor);
-
-  /// Indexed grounding read (constant atom positions are equality keys).
-  /// Locking mirrors GetByIndex; the schedule observer still records a
-  /// table-granular R^G, keeping the recorded schedule conservative.
-  Status LookupForGrounding(
-      Transaction* txn, const std::string& table,
-      const std::vector<size_t>& columns, const Row& key,
-      const RowVisitor& visitor);
-
-  /// Per-binding probe for bind-driven index nested-loop joins: same
-  /// locking and visiting as GetByIndex, but counted as a join_probe and
-  /// addressed by Table* so the per-binding hot path skips the catalog name
-  /// lookup. Re-entrant under locks the transaction already holds (repeat
-  /// acquisitions merge in the lock manager); callers avoid re-locking the
-  /// same key per probe by caching probe results per bound key.
-  Status ProbeJoin(Transaction* txn, Table* t,
-                   const std::vector<size_t>& columns, const Row& key,
-                   const RowVisitor& visitor);
-
-  /// ProbeJoin recorded as a grounding read (R^G) and counted as a
-  /// grounding_join_probe — the grounder's bind-driven atom fetches.
-  Status ProbeJoinForGrounding(Transaction* txn, Table* t,
-                               const std::vector<size_t>& columns,
-                               const Row& key, const RowVisitor& visitor);
 
   // --- Termination. ---
 
@@ -232,19 +229,8 @@ class TransactionManager {
   /// contains the key, and pass freely otherwise.
   Status AcquireOrderedKeyLocks(Transaction* txn, const Table* t,
                                 std::vector<std::pair<uint64_t, Row>> keys);
-  /// How an indexed read is counted and observed.
-  enum class IndexedReadKind { kLookup, kGroundingLookup, kJoinProbe,
-                               kGroundingJoinProbe, kRangeLookup,
-                               kGroundingRangeLookup, kRangeJoinProbe,
-                               kGroundingRangeProbe };
-  /// Shared lookup core for GetByIndex / LookupForGrounding / ProbeJoin*.
-  Status IndexedRead(Transaction* txn, Table* t,
-                     const std::vector<size_t>& columns, const Row& key,
-                     IndexedReadKind kind, const RowVisitor& visitor);
-  /// Shared range-read core for GetByIndexRange* / ProbeJoinRange*.
-  Status IndexedRangeRead(Transaction* txn, Table* t,
-                          const IndexRangeSpec& spec, IndexedReadKind kind,
-                          const RowVisitor& visitor);
+  /// Bumps the (plan kind, origin) cell of the access-path counters.
+  void CountRead(const AccessPlan& plan, ReadOrigin origin);
 
   Database* db_;
   LockManager* locks_;
@@ -253,6 +239,7 @@ class TransactionManager {
   std::atomic<TxnId> next_txn_id_{1};
   std::atomic<GroupId> next_group_id_{1};
   TxnStats stats_;
+  SharedScanManager shared_scans_;
 };
 
 }  // namespace youtopia

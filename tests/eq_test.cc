@@ -120,7 +120,7 @@ TEST_F(Figure1Test, GroundingsMatchFigure7b) {
 
 TEST_F(Figure1Test, ConstantAtomTermsGroundThroughIndex) {
   // Friends-style fully/partially constant atoms over an indexed relation
-  // must ground via LookupForGrounding, with identical results to the scan
+  // must ground via an indexed grounding cursor, with identical results to the scan
   // path.
   Schema fs({{"uid1", TypeId::kInt64}, {"uid2", TypeId::kInt64}});
   fs.set_primary_key({0, 1});

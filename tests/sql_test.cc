@@ -1107,5 +1107,40 @@ TEST_F(RangeSessionTest, RangeJoinProbesMatchSnapshotJoin) {
   EXPECT_GT(fix_.tm->stats().range_probe_cache_hits.load(), hits);
 }
 
+TEST(SqlSharedScanTest, ConcurrentSelectsShareScansAndAgree) {
+  EngineFixture fix;
+  Session setup(fix.tm.get());
+  ASSERT_OK(setup.Execute("CREATE TABLE Big (k INT, v VARCHAR)").status());
+  constexpr int kRows = 600;
+  for (int i = 0; i < kRows; ++i) {
+    ASSERT_OK(setup.Execute("INSERT INTO Big VALUES (" + std::to_string(i) +
+                            ", 'v')")
+                  .status());
+  }
+
+  // Unindexed predicate => every SELECT full-scans Big; concurrent scans
+  // share one heap walk, and results are identical to the private path.
+  constexpr int kThreads = 3;
+  constexpr int kIters = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      Session session(fix.tm.get());
+      for (int i = 0; i < kIters; ++i) {
+        auto res = session.Execute("SELECT k FROM Big WHERE v = 'v'");
+        if (!res.ok() || res.value().rows.size() != kRows) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Every scan cursor either led or attached — the split is racy, the sum
+  // is not.
+  EXPECT_EQ(fix.tm->stats().shared_scan_leads.load() +
+                fix.tm->stats().shared_scan_attaches.load(),
+            fix.tm->stats().table_scans.load());
+}
+
 }  // namespace
 }  // namespace youtopia

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <latch>
 
 #include "src/wal/recovery.h"
 #include "tests/test_util.h"
@@ -797,6 +799,372 @@ TEST(WalRecordTest, EncodeDecodeRoundTripAllTypes) {
     EXPECT_EQ(back.members, r.members);
     EXPECT_EQ(back.aux, r.aux);
   }
+}
+
+// --- Shared scans: cursor attach/lead protocol, circular wrap, and the
+// --- differential guarantee (shared results == private results).
+
+using RowSet = std::vector<std::pair<RowId, Row>>;
+
+RowSet HeapSnapshot(Table* t) {
+  RowSet out;
+  t->Scan([&](RowId rid, const Row& row) {
+    out.emplace_back(rid, row);
+    return true;
+  });
+  return out;
+}
+
+RowSet DrainCursor(TableCursor* cursor) {
+  RowSet out;
+  EXPECT_OK(cursor->Drain([&](RowId rid, Row&& row) {
+    out.emplace_back(rid, std::move(row));
+    return true;
+  }));
+  return out;
+}
+
+RowSet Sorted(RowSet rows) {
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return rows;
+}
+
+TEST(SharedScanTest, ConcurrentCursorsProduceOneLeadAndNMinusOneAttaches) {
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("T", KV()).status());
+  auto setup = fix.tm->Begin();
+  for (int i = 0; i < 700; ++i) {
+    ASSERT_OK(fix.tm->Insert(setup.get(), "T",
+                             Row({Value::Int(i), Value::Str("v")}))
+                  .status());
+  }
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+  Table* table = fix.db.GetTable("T").value();
+  const RowSet reference = HeapSnapshot(table);
+
+  // N concurrently *open* scan cursors: the first leads, the rest attach.
+  // Table S locks are mutually compatible, so nothing blocks and the
+  // lead/attach split is deterministic.
+  constexpr size_t kCursors = 4;
+  std::vector<std::unique_ptr<Transaction>> txns;
+  std::vector<std::unique_ptr<TableCursor>> cursors;
+  for (size_t i = 0; i < kCursors; ++i) {
+    txns.push_back(fix.tm->Begin());
+    ASSERT_OK_AND_ASSIGN(auto cursor,
+                         fix.tm->OpenCursor(txns.back().get(), table,
+                                            AccessPlan::TableScan(),
+                                            ReadOrigin::kStatement));
+    cursors.push_back(std::move(cursor));
+  }
+  EXPECT_EQ(fix.tm->stats().shared_scan_leads.load(), 1u);
+  EXPECT_EQ(fix.tm->stats().shared_scan_attaches.load(), kCursors - 1);
+
+  for (size_t i = 0; i < kCursors; ++i) {
+    EXPECT_EQ(Sorted(DrainCursor(cursors[i].get())), reference)
+        << "cursor " << i;
+  }
+  cursors.clear();
+  for (auto& txn : txns) ASSERT_OK(fix.tm->Commit(txn.get()));
+
+  // The scan died with its last consumer: a later scan leads afresh.
+  auto again = fix.tm->Begin();
+  ASSERT_OK_AND_ASSIGN(auto cursor,
+                       fix.tm->OpenCursor(again.get(), table,
+                                          AccessPlan::TableScan(),
+                                          ReadOrigin::kStatement));
+  EXPECT_EQ(Sorted(DrainCursor(cursor.get())), reference);
+  cursor.reset();
+  ASSERT_OK(fix.tm->Commit(again.get()));
+  EXPECT_EQ(fix.tm->stats().shared_scan_leads.load(), 2u);
+  EXPECT_EQ(fix.tm->stats().shared_scan_attaches.load(), kCursors - 1);
+}
+
+TEST(SharedScanTest, LateJoinerStartsMidHeapAndWraps) {
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("T", KV()).status());
+  auto setup = fix.tm->Begin();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_OK(fix.tm->Insert(setup.get(), "T",
+                             Row({Value::Int(i), Value::Str("v")}))
+                  .status());
+  }
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+  Table* table = fix.db.GetTable("T").value();
+  const RowSet reference = HeapSnapshot(table);
+
+  // The leader registers the scan but walks privately (an uncontended scan
+  // pays nothing for sharing); production starts with the first attached
+  // follower.
+  auto leader_txn = fix.tm->Begin();
+  ASSERT_OK_AND_ASSIGN(auto leader,
+                       fix.tm->OpenCursor(leader_txn.get(), table,
+                                          AccessPlan::TableScan(),
+                                          ReadOrigin::kStatement));
+  auto f1_txn = fix.tm->Begin();
+  ASSERT_OK_AND_ASSIGN(auto follower1,
+                       fix.tm->OpenCursor(f1_txn.get(), table,
+                                          AccessPlan::TableScan(),
+                                          ReadOrigin::kStatement));
+  // Pull the first follower past two full batches into the third (600 rows
+  // with 256-row batches => production watermark at batch 3).
+  RowSet f1_rows;
+  RowId rid = 0;
+  const Row* row = nullptr;
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_OK_AND_ASSIGN(bool more, follower1->NextRef(&rid, &row));
+    ASSERT_TRUE(more);
+    f1_rows.emplace_back(rid, *row);
+  }
+  EXPECT_EQ(f1_rows.front().first, 1u);  // attached at watermark 0
+
+  auto f2_txn = fix.tm->Begin();
+  ASSERT_OK_AND_ASSIGN(auto follower2,
+                       fix.tm->OpenCursor(f2_txn.get(), table,
+                                          AccessPlan::TableScan(),
+                                          ReadOrigin::kStatement));
+  EXPECT_EQ(fix.tm->stats().shared_scan_attaches.load(), 2u);
+  RowSet f2_rows = DrainCursor(follower2.get());
+  ASSERT_EQ(f2_rows.size(), reference.size());
+  // Circular semantics: the late joiner starts at the production watermark
+  // (3 * 256 rows => RowId 769), runs to the end of the heap, and wraps.
+  EXPECT_EQ(f2_rows.front().first, 769u);
+  EXPECT_EQ(f2_rows.back().first, 768u);
+  EXPECT_EQ(Sorted(std::move(f2_rows)), reference);
+
+  ASSERT_OK(follower1->Drain([&](RowId r, Row&& v) {
+    f1_rows.emplace_back(r, std::move(v));
+    return true;
+  }));
+  EXPECT_EQ(Sorted(std::move(f1_rows)), reference);
+  EXPECT_EQ(Sorted(DrainCursor(leader.get())), reference);
+  leader.reset();
+  follower1.reset();
+  follower2.reset();
+  ASSERT_OK(fix.tm->Commit(leader_txn.get()));
+  ASSERT_OK(fix.tm->Commit(f1_txn.get()));
+  ASSERT_OK(fix.tm->Commit(f2_txn.get()));
+}
+
+TEST(SharedScanTest, ReadUncommittedAndDisabledSharingScanPrivately) {
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("T", KV()).status());
+  auto setup = fix.tm->Begin();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(fix.tm->Insert(setup.get(), "T",
+                             Row({Value::Int(i), Value::Str("v")}))
+                  .status());
+  }
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+  Table* table = fix.db.GetTable("T").value();
+  const RowSet reference = HeapSnapshot(table);
+
+  // kReadUncommitted takes no table S lock, so it must never attach to (or
+  // lead) a shared scan — the S window is what makes batches valid.
+  auto ru = fix.tm->Begin(IsolationLevel::kReadUncommitted);
+  ASSERT_OK_AND_ASSIGN(auto ru_cursor,
+                       fix.tm->OpenCursor(ru.get(), table,
+                                          AccessPlan::TableScan(),
+                                          ReadOrigin::kStatement));
+  EXPECT_EQ(Sorted(DrainCursor(ru_cursor.get())), reference);
+  ru_cursor.reset();
+  ASSERT_OK(fix.tm->Commit(ru.get()));
+  EXPECT_EQ(fix.tm->stats().shared_scan_leads.load(), 0u);
+  EXPECT_EQ(fix.tm->stats().shared_scan_attaches.load(), 0u);
+
+  // The ablation switch: sharing off, identical results, no counters.
+  fix.tm->set_shared_scans_enabled(false);
+  auto txn = fix.tm->Begin();
+  ASSERT_OK_AND_ASSIGN(auto cursor,
+                       fix.tm->OpenCursor(txn.get(), table,
+                                          AccessPlan::TableScan(),
+                                          ReadOrigin::kStatement));
+  EXPECT_EQ(Sorted(DrainCursor(cursor.get())), reference);
+  cursor.reset();
+  ASSERT_OK(fix.tm->Commit(txn.get()));
+  EXPECT_EQ(fix.tm->stats().shared_scan_leads.load(), 0u);
+  EXPECT_EQ(fix.tm->stats().shared_scan_attaches.load(), 0u);
+}
+
+TEST(SharedScanTest, ThreadedScansOneLeadRestAttach) {
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("T", KV()).status());
+  auto setup = fix.tm->Begin();
+  for (int i = 0; i < 800; ++i) {
+    ASSERT_OK(fix.tm->Insert(setup.get(), "T",
+                             Row({Value::Int(i), Value::Str("v")}))
+                  .status());
+  }
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+  Table* table = fix.db.GetTable("T").value();
+  const RowSet reference = HeapSnapshot(table);
+
+  // All threads open their cursor before any drains (latch barrier): the
+  // scan is live from the first open until the last close, so exactly one
+  // thread leads and the rest attach — even across threads.
+  constexpr int kThreads = 4;
+  std::latch all_open(kThreads);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      auto txn = fix.tm->Begin();
+      auto cursor = fix.tm->OpenCursor(txn.get(), table,
+                                       AccessPlan::TableScan(),
+                                       ReadOrigin::kStatement);
+      if (!cursor.ok()) {
+        ++mismatches;
+        all_open.count_down();
+        return;
+      }
+      all_open.arrive_and_wait();
+      if (Sorted(DrainCursor(cursor.value().get())) != reference) {
+        ++mismatches;
+      }
+      cursor.value().reset();
+      if (!fix.tm->Commit(txn.get()).ok()) ++mismatches;
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(fix.tm->stats().shared_scan_leads.load(), 1u);
+  EXPECT_EQ(fix.tm->stats().shared_scan_attaches.load(),
+            static_cast<uint64_t>(kThreads - 1));
+}
+
+TEST(SharedScanTest, ClosingSiblingCursorKeepsReadCommittedLocks) {
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("T", KV()).status());
+  auto setup = fix.tm->Begin();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(fix.tm->Insert(setup.get(), "T",
+                             Row({Value::Int(i), Value::Str("v")}))
+                  .status());
+  }
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+  Table* table = fix.db.GetTable("T").value();
+  const RowSet reference = HeapSnapshot(table);
+
+  // kReadCommitted: a cursor's close performs early lock release — but S
+  // locks merge per (txn, key), so closing one cursor must not strip the
+  // table S an overlapping sibling cursor of the same transaction still
+  // scans under.
+  auto txn = fix.tm->Begin(IsolationLevel::kReadCommitted);
+  ASSERT_OK_AND_ASSIGN(auto c1,
+                       fix.tm->OpenCursor(txn.get(), table,
+                                          AccessPlan::TableScan(),
+                                          ReadOrigin::kStatement));
+  {
+    ASSERT_OK_AND_ASSIGN(auto c2,
+                         fix.tm->OpenCursor(txn.get(), table,
+                                            AccessPlan::TableScan(),
+                                            ReadOrigin::kStatement));
+    EXPECT_EQ(Sorted(DrainCursor(c2.get())), reference);
+  }  // c2 closes while c1 is still open
+  EXPECT_TRUE(fix.locks.Holds(txn->id(), LockKey::Table(table->id()),
+                              LockMode::kS));
+  EXPECT_EQ(Sorted(DrainCursor(c1.get())), reference);
+  c1.reset();  // last cursor out: now the early release happens
+  EXPECT_FALSE(fix.locks.Holds(txn->id(), LockKey::Table(table->id()),
+                               LockMode::kS));
+  ASSERT_OK(fix.tm->Commit(txn.get()));
+}
+
+TEST(SharedScanTest, DifferentialUnderConcurrentWritersAndMixedIsolation) {
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("T", KV()).status());
+  auto setup = fix.tm->Begin();
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_OK(fix.tm->Insert(setup.get(), "T",
+                             Row({Value::Int(i), Value::Str("base")}))
+                  .status());
+  }
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+  Table* table = fix.db.GetTable("T").value();
+
+  constexpr int kWriters = 2;
+  constexpr int kWriterTxns = 40;
+  constexpr int kReaders = 3;
+  constexpr int kReaderIters = 20;
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      std::vector<RowId> mine;
+      for (int i = 0; i < kWriterTxns && !stop.load(); ++i) {
+        auto txn = fix.tm->Begin(IsolationLevel::kSerializable);
+        int64_t key = 1000 + w * kWriterTxns + i;
+        auto rid = fix.tm->Insert(txn.get(), "T",
+                                  Row({Value::Int(key), Value::Str("w")}));
+        bool ok = rid.ok();
+        if (ok && !mine.empty() && i % 3 == 0) {
+          ok = fix.tm
+                   ->Update(txn.get(), "T", mine[mine.size() / 2],
+                            Row({Value::Int(key), Value::Str("upd")}))
+                   .ok();
+        }
+        if (ok && mine.size() > 4 && i % 5 == 0) {
+          ok = fix.tm->Delete(txn.get(), "T", mine.front()).ok();
+          if (ok) mine.erase(mine.begin());
+        }
+        if (!ok || i % 7 == 0) {
+          if (!fix.tm->Abort(txn.get()).ok()) ++failures;
+          continue;
+        }
+        if (fix.tm->Commit(txn.get()).ok()) {
+          mine.push_back(rid.value());
+        }
+      }
+    });
+  }
+
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      constexpr IsolationLevel kLevels[] = {
+          IsolationLevel::kFullEntangled, IsolationLevel::kSerializable,
+          IsolationLevel::kReadCommitted, IsolationLevel::kReadUncommitted};
+      for (int i = 0; i < kReaderIters; ++i) {
+        IsolationLevel level = kLevels[(r + i) % 4];
+        auto txn = fix.tm->Begin(level);
+        RowSet shared;
+        Status s = fix.tm->Scan(txn.get(), "T",
+                                [&](RowId rid, const Row& row) {
+                                  shared.emplace_back(rid, row);
+                                  return true;
+                                });
+        if (!s.ok()) {
+          ++failures;
+          (void)fix.tm->Abort(txn.get());
+          continue;
+        }
+        // Internal consistency at every level: schema-shaped rows, and the
+        // circular visit order — ascending RowIds with at most one wrap
+        // point (an attached follower starts mid-heap and wraps once).
+        size_t wraps = 0;
+        for (size_t j = 0; j < shared.size(); ++j) {
+          if (shared[j].second.size() != 2) {
+            ++failures;
+            break;
+          }
+          if (j > 0 && shared[j].first <= shared[j - 1].first) ++wraps;
+        }
+        if (wraps > 1) ++failures;
+        if (HoldsReadLocks(level)) {
+          // The table S lock is still held: a private walk of the heap is
+          // the private-scan result under the same serialization point and
+          // must match the (possibly shared) cursor scan as a set.
+          if (Sorted(std::move(shared)) != HeapSnapshot(table)) ++failures;
+        }
+        if (!fix.tm->Commit(txn.get()).ok()) ++failures;
+      }
+    });
+  }
+
+  for (auto& th : threads) th.join();
+  stop.store(true);
+  EXPECT_EQ(failures.load(), 0);
 }
 
 }  // namespace
