@@ -7,6 +7,7 @@
 
 #include "src/common/clock.h"
 #include "src/etxn/engine.h"
+#include "src/txn/transaction_manager.h"
 #include "src/workload/workloads.h"
 
 namespace youtopia::bench {

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "src/etxn/engine.h"
+#include "src/txn/transaction_manager.h"
 #include "src/workload/workloads.h"
 
 using namespace youtopia;

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "src/etxn/engine.h"
+#include "src/txn/transaction_manager.h"
 #include "src/workload/travel_data.h"
 
 using namespace youtopia;

@@ -11,10 +11,10 @@
 # bench_sql refuses to run without NDEBUG, and the emitted JSON is grepped
 # for the release marker.
 # With --tsan, additionally builds a ThreadSanitizer tree (build-tsan) and
-# races the lock/txn/sql suites under it — the key-range lock conflict
-# paths and the shared-scan attach/produce/wrap machinery (SharedScanTest
-# differential + threaded tests) are all exercised by those three binaries'
-# concurrent tests.
+# races the lock/txn/sql/shard suites under it — the key-range lock
+# conflict paths, the shared-scan attach/produce/wrap machinery, and the
+# shard router's parallel fanout drains + concurrent-writer differential
+# are all exercised by those binaries' concurrent tests.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -45,7 +45,7 @@ for arg in "$@"; do
     fi
     cmake --build build-bench -j --target bench_sql bench_fig6a_concurrency
     ./build-bench/bench_sql \
-      --benchmark_filter='BM_PointSelect|BM_PointSelectScan|BM_PointUpdate|BM_ThreeWayJoin|BM_ThreeWayJoinSnapshot|BM_GroundEntangled|BM_GroundEntangledSnapshot|BM_RangeSelect|BM_RangeSelectScan|BM_OrderByLimit|BM_OrderByLimitScan|BM_ConcurrentScans' \
+      --benchmark_filter='BM_PointSelect|BM_PointSelectScan|BM_PointUpdate|BM_ThreeWayJoin|BM_ThreeWayJoinSnapshot|BM_GroundEntangled|BM_GroundEntangledSnapshot|BM_RangeSelect|BM_RangeSelectScan|BM_OrderByLimit|BM_OrderByLimitScan|BM_ConcurrentScans|BM_ShardedPointSelect|BM_ShardedScan|BM_ShardedScanFanout' \
       --benchmark_min_time=0.1 \
       --benchmark_out=BENCH_sql.json \
       --benchmark_out_format=json
@@ -73,8 +73,8 @@ for arg in "$@"; do
     cmake -B build-tsan -S . -DYOUTOPIA_TSAN=ON \
           -DCMAKE_BUILD_TYPE=RelWithDebInfo \
           -DYOUTOPIA_BUILD_BENCH=OFF -DYOUTOPIA_BUILD_EXAMPLES=OFF
-    cmake --build build-tsan -j --target lock_test txn_test sql_test
-    for t in lock_test txn_test sql_test; do
+    cmake --build build-tsan -j --target lock_test txn_test sql_test shard_test
+    for t in lock_test txn_test sql_test shard_test; do
       echo "== tsan: ${t}"
       ./build-tsan/${t}
     done

@@ -77,13 +77,13 @@ bool PredReady(const BodyPredicate& p, const Valuation& val) {
 }  // namespace
 
 StatusOr<std::vector<Grounding>> Grounder::Ground(const EntangledQuerySpec& q,
-                                                  TransactionManager* tm,
+                                                  TxnEngine* tm,
                                                   Transaction* txn) {
   return Ground(q, tm, txn, Options());
 }
 
 StatusOr<std::vector<Grounding>> Grounder::Ground(const EntangledQuerySpec& q,
-                                                  TransactionManager* tm,
+                                                  TxnEngine* tm,
                                                   Transaction* txn,
                                                   Options options) {
   std::vector<Grounding> out;

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "src/eq/ir.h"
-#include "src/txn/transaction_manager.h"
+#include "src/txn/txn_engine.h"
 
 namespace youtopia::eq {
 
@@ -29,10 +29,12 @@ struct Grounding {
 };
 
 /// Evaluates an entangled query's body over the database — the *grounding
-/// reads* R^G of the formal model. Reads go through
-/// TransactionManager::ScanForGrounding so they take the same table S locks
-/// as ordinary scans (this is what makes quasi-reads repeatable under full
-/// isolation) and are recorded as R^G by the schedule observer.
+/// reads* R^G of the formal model. Reads go through the engine's
+/// grounding-origin cursors so they take the same table S locks as ordinary
+/// scans (this is what makes quasi-reads repeatable under full isolation)
+/// and are recorded as R^G by the schedule observer. Against a sharded
+/// engine the same cursors fan out per atom — point-covered atoms probe
+/// exactly the owning shard.
 class Grounder {
  public:
   struct Options {
@@ -46,11 +48,11 @@ class Grounder {
   /// Returns the groundings in deterministic (scan) order, deduplicated.
   /// An unsatisfiable body yields an empty list.
   static StatusOr<std::vector<Grounding>> Ground(const EntangledQuerySpec& q,
-                                                 TransactionManager* tm,
+                                                 TxnEngine* tm,
                                                  Transaction* txn,
                                                  Options options);
   static StatusOr<std::vector<Grounding>> Ground(const EntangledQuerySpec& q,
-                                                 TransactionManager* tm,
+                                                 TxnEngine* tm,
                                                  Transaction* txn);
 };
 

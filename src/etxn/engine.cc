@@ -5,7 +5,7 @@
 
 namespace youtopia::etxn {
 
-EntangledTransactionEngine::EntangledTransactionEngine(TransactionManager* tm,
+EntangledTransactionEngine::EntangledTransactionEngine(TxnEngine* tm,
                                                        EngineOptions options)
     : tm_(tm),
       options_(options),

@@ -17,7 +17,7 @@
 #include "src/eq/grounder.h"
 #include "src/etxn/handle.h"
 #include "src/etxn/spec.h"
-#include "src/txn/transaction_manager.h"
+#include "src/txn/txn_engine.h"
 
 namespace youtopia::etxn {
 
@@ -79,7 +79,7 @@ struct EngineStats {
 ///    resolve kTimedOut.
 class EntangledTransactionEngine {
  public:
-  EntangledTransactionEngine(TransactionManager* tm, EngineOptions options);
+  EntangledTransactionEngine(TxnEngine* tm, EngineOptions options);
   ~EntangledTransactionEngine();
 
   EntangledTransactionEngine(const EntangledTransactionEngine&) = delete;
@@ -99,7 +99,7 @@ class EntangledTransactionEngine {
 
   size_t dormant_count() const;
   EngineStats& stats() { return stats_; }
-  TransactionManager* tm() const { return tm_; }
+  TxnEngine* tm() const { return tm_; }
 
  private:
   struct PoolEntry {
@@ -161,7 +161,7 @@ class EntangledTransactionEngine {
   void SleepLatency();
   int64_t Now() const { return clock_->NowMicros(); }
 
-  TransactionManager* tm_;
+  TxnEngine* tm_;
   EngineOptions options_;
   Clock* clock_;
   sql::Executor executor_;

@@ -1,0 +1,55 @@
+#include "src/shard/merged_cursor.h"
+
+namespace youtopia::shard {
+
+int MergedCursor::CompareKeys(const Row& a, const Row& b) const {
+  for (size_t c : key_columns_) {
+    int cmp = a[c].Compare(b[c]);
+    if (cmp != 0) return reverse_ ? -cmp : cmp;
+  }
+  return 0;
+}
+
+int MergedCursor::Advance() {
+  if (limit_ >= 0 && emitted_ >= limit_) return -1;
+  int best = -1;
+  for (size_t s = 0; s < sources_.size(); ++s) {
+    if (sources_[s].pos >= sources_[s].rows.size()) continue;
+    if (best < 0) {
+      best = static_cast<int>(s);
+      // Unordered mode concatenates: the first non-empty source wins.
+      if (!ordered_) break;
+      continue;
+    }
+    const Row& cand = sources_[s].rows[sources_[s].pos].second;
+    const Row& cur =
+        sources_[static_cast<size_t>(best)]
+            .rows[sources_[static_cast<size_t>(best)].pos]
+            .second;
+    if (CompareKeys(cand, cur) < 0) best = static_cast<int>(s);
+  }
+  if (best >= 0) ++emitted_;
+  return best;
+}
+
+StatusOr<bool> MergedCursor::NextRef(RowId* rid, const Row** row) {
+  int s = Advance();
+  if (s < 0) return false;
+  Source& src = sources_[static_cast<size_t>(s)];
+  *rid = src.rows[src.pos].first;
+  *row = &src.rows[src.pos].second;
+  ++src.pos;
+  return true;
+}
+
+StatusOr<bool> MergedCursor::Next(RowId* rid, Row* row) {
+  int s = Advance();
+  if (s < 0) return false;
+  Source& src = sources_[static_cast<size_t>(s)];
+  *rid = src.rows[src.pos].first;
+  *row = std::move(src.rows[src.pos].second);
+  ++src.pos;
+  return true;
+}
+
+}  // namespace youtopia::shard

@@ -1,0 +1,898 @@
+#include "src/shard/router.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <thread>
+
+#include "src/common/strings.h"
+#include "src/shard/merged_cursor.h"
+#include "src/wal/recovery.h"
+#include "src/wal/wal_reader.h"
+
+namespace youtopia::shard {
+
+namespace {
+
+/// Streams a single routed shard's cursor, tagging every RowId with the
+/// owning shard so Update/Delete by RowId can route back. DrainRef/Drain
+/// go through NextRef/Next (the base implementations), so tags are never
+/// skipped.
+class TaggingCursor : public TableCursor {
+ public:
+  TaggingCursor(std::unique_ptr<TableCursor> inner, size_t shard)
+      : inner_(std::move(inner)), shard_(shard) {}
+
+  StatusOr<bool> NextRef(RowId* rid, const Row** row) override {
+    YT_ASSIGN_OR_RETURN(bool more, inner_->NextRef(rid, row));
+    if (!more) return false;
+    *rid = Router::TagRid(shard_, *rid);
+    return true;
+  }
+
+  StatusOr<bool> Next(RowId* rid, Row* row) override {
+    YT_ASSIGN_OR_RETURN(bool more, inner_->Next(rid, row));
+    if (!more) return false;
+    *rid = Router::TagRid(shard_, *rid);
+    return true;
+  }
+
+ private:
+  std::unique_ptr<TableCursor> inner_;
+  size_t shard_;
+};
+
+std::string PartitionAux(const std::vector<size_t>& pcols) {
+  if (pcols.empty()) return "broadcast";
+  std::string s = "p:";
+  for (size_t i = 0; i < pcols.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(pcols[i]);
+  }
+  return s;
+}
+
+std::vector<size_t> ParsePartitionAux(const std::string& aux) {
+  std::vector<size_t> pcols;
+  if (aux.rfind("p:", 0) != 0) return pcols;  // "broadcast" or unknown
+  for (const std::string& part : Split(aux.substr(2), ',')) {
+    pcols.push_back(static_cast<size_t>(std::stoull(part)));
+  }
+  return pcols;
+}
+
+}  // namespace
+
+Router::Router(Options options)
+    : options_(std::move(options)), map_(options_.num_shards) {}
+
+Router::~Router() = default;
+
+std::string Router::shard_wal_path(size_t shard) const {
+  return options_.dir + "/shard" + std::to_string(shard) + "/wal.log";
+}
+
+std::string Router::coord_wal_path() const {
+  return options_.dir + "/coord.wal";
+}
+
+StatusOr<std::unique_ptr<Router>> Router::Open(Options options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  std::unique_ptr<Router> r(new Router(std::move(options)));
+  const bool durable = !r->options_.dir.empty();
+  WalWriter::Options wo;
+  wo.sync_on_flush = r->options_.sync_on_flush;
+  r->shards_.resize(r->options_.num_shards);
+  for (size_t s = 0; s < r->shards_.size(); ++s) {
+    Shard& sh = r->shards_[s];
+    sh.db = std::make_unique<Database>();
+    sh.locks = std::make_unique<LockManager>();
+    if (durable) {
+      std::error_code ec;
+      std::filesystem::create_directories(
+          r->options_.dir + "/shard" + std::to_string(s), ec);
+      if (ec) {
+        return Status::Corruption("cannot create shard directory under " +
+                                  r->options_.dir);
+      }
+      sh.wal = std::make_unique<WalWriter>();
+      YT_RETURN_IF_ERROR(sh.wal->Open(r->shard_wal_path(s), wo,
+                                      /*truncate=*/true));
+    }
+    TransactionManager::Options to;
+    to.default_isolation = r->options_.default_isolation;
+    to.lock_timeout_micros = r->options_.lock_timeout_micros;
+    sh.tm = std::make_unique<TransactionManager>(sh.db.get(), sh.locks.get(),
+                                                 sh.wal.get(), to);
+  }
+  if (durable) {
+    r->coord_wal_ = std::make_unique<WalWriter>();
+    YT_RETURN_IF_ERROR(r->coord_wal_->Open(r->coord_wal_path(), wo,
+                                           /*truncate=*/true));
+  }
+  return r;
+}
+
+StatusOr<std::unique_ptr<Router>> Router::Recover(Options options,
+                                                  RecoveryReport* report) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("recovery requires a WAL directory");
+  }
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  std::unique_ptr<Router> r(new Router(std::move(options)));
+  WalWriter::Options wo;
+  wo.sync_on_flush = r->options_.sync_on_flush;
+
+  // --- The coordinator's log: commit decisions + table partitionings.
+  std::set<GroupId> decided;
+  std::vector<WalRecord> table_records;
+  GroupId max_gtid = 0;
+  YT_ASSIGN_OR_RETURN(WalReader::Result coord,
+                      WalReader::ReadAll(r->coord_wal_path()));
+  for (const WalRecord& rec : coord.records) {
+    switch (rec.type) {
+      case WalRecordType::kCommitDecision:
+        decided.insert(rec.group);
+        max_gtid = std::max(max_gtid, rec.group);
+        break;
+      case WalRecordType::kCreateTable:
+        table_records.push_back(rec);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // --- Per-shard replay with the decisions resolving in-doubt branches.
+  RecoveryManager::Options ropts;
+  ropts.committed_gtids = &decided;
+  r->shards_.resize(r->options_.num_shards);
+  for (size_t s = 0; s < r->shards_.size(); ++s) {
+    YT_ASSIGN_OR_RETURN(RecoveryManager::Result res,
+                        RecoveryManager::Recover(r->shard_wal_path(s), ropts));
+    if (report != nullptr) {
+      report->in_doubt_branches += res.in_doubt.size();
+      for (TxnId t : res.in_doubt) {
+        if (res.committed.count(t)) {
+          ++report->in_doubt_committed;
+        } else {
+          ++report->in_doubt_aborted;
+        }
+      }
+    }
+    Shard& sh = r->shards_[s];
+    sh.db = std::move(res.db);
+    sh.locks = std::make_unique<LockManager>();
+    sh.wal = std::make_unique<WalWriter>();
+    YT_RETURN_IF_ERROR(sh.wal->Open(r->shard_wal_path(s), wo,
+                                    /*truncate=*/false));
+    sh.wal->set_next_lsn(res.max_lsn + 1);
+    TransactionManager::Options to;
+    to.default_isolation = r->options_.default_isolation;
+    to.lock_timeout_micros = r->options_.lock_timeout_micros;
+    sh.tm = std::make_unique<TransactionManager>(sh.db.get(), sh.locks.get(),
+                                                 sh.wal.get(), to);
+    sh.tm->set_next_txn_id(res.max_txn_id + 1);
+    max_gtid = std::max(max_gtid, res.max_gtid);
+  }
+
+  // --- Rebuild the shard map from the coordinator's DDL records.
+  for (const WalRecord& rec : table_records) {
+    r->map_.SetPartitioning(rec.table, ParsePartitionAux(rec.aux));
+  }
+
+  r->coord_wal_ = std::make_unique<WalWriter>();
+  YT_RETURN_IF_ERROR(r->coord_wal_->Open(r->coord_wal_path(), wo,
+                                         /*truncate=*/false));
+  r->coord_wal_->set_next_lsn(coord.max_lsn + 1);
+  // Never reuse a gtid: a presumed-aborted prepare must not be revived by
+  // a later decision under the same id.
+  r->next_txn_id_.store(max_gtid + 1);
+  if (report != nullptr) report->decided_commits = std::move(decided);
+  return r;
+}
+
+// --- Transaction bookkeeping. -------------------------------------------
+
+std::unique_ptr<Transaction> Router::Begin() {
+  return Begin(options_.default_isolation);
+}
+
+std::unique_ptr<Transaction> Router::Begin(IsolationLevel level) {
+  TxnId id = next_txn_id_.fetch_add(1);
+  stats_.begins.fetch_add(1, std::memory_order_relaxed);
+  auto txn = std::make_unique<Transaction>(id, level,
+                                           options_.lock_timeout_micros);
+  auto dt = std::make_unique<Dtxn>();
+  dt->level = level;
+  dt->branches.resize(shards_.size());
+  std::lock_guard<std::mutex> g(mu_);
+  dtxns_[id] = std::move(dt);
+  return txn;
+}
+
+StatusOr<Router::Dtxn*> Router::FindDtxn(const Transaction* txn) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = dtxns_.find(txn->id());
+  if (it == dtxns_.end()) {
+    return Status::Internal("transaction " + std::to_string(txn->id()) +
+                            " is not managed by this router");
+  }
+  return it->second.get();
+}
+
+void Router::EraseDtxn(TxnId id) {
+  std::lock_guard<std::mutex> g(mu_);
+  dtxns_.erase(id);
+}
+
+Transaction* Router::EnlistBranch(Dtxn* dt, const Transaction* txn,
+                                  size_t shard) {
+  std::unique_ptr<Transaction>& b = dt->branches[shard];
+  if (b == nullptr) {
+    b = shards_[shard].tm->Begin(dt->level);
+    b->set_lock_timeout_micros(txn->lock_timeout_micros());
+  }
+  return b.get();
+}
+
+StatusOr<Table*> Router::CatalogTable(const std::string& table) const {
+  return db()->GetTable(table);
+}
+
+StatusOr<std::pair<size_t, RowId>> Router::ResolveRid(RowId rid) const {
+  if (!RidTagged(rid)) {
+    return Status::InvalidArgument("partitioned RowId lacks a shard tag");
+  }
+  size_t s = RidShard(rid);
+  if (s >= shards_.size()) {
+    return Status::InvalidArgument("RowId shard tag out of range");
+  }
+  return std::make_pair(s, LocalRid(rid));
+}
+
+template <typename PerShard>
+StatusOr<std::vector<std::pair<RowId, Row>>> Router::CollectForWrite(
+    Dtxn* dt, const Transaction* txn, size_t lo, size_t hi,
+    PerShard&& per_shard) {
+  std::vector<std::pair<RowId, Row>> out;
+  for (size_t s = lo; s < hi; ++s) {
+    Transaction* b = EnlistBranch(dt, txn, s);
+    YT_ASSIGN_OR_RETURN(auto rows, per_shard(s, b));
+    out.reserve(out.size() + rows.size());
+    for (auto& [rid, row] : rows) {
+      out.emplace_back(TagRid(s, rid), std::move(row));
+    }
+  }
+  return out;
+}
+
+// --- Data operations. ----------------------------------------------------
+
+StatusOr<RowId> Router::Insert(Transaction* txn, const std::string& table,
+                               const Row& row) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  YT_ASSIGN_OR_RETURN(Table * cat, CatalogTable(table));
+  YT_ASSIGN_OR_RETURN(Row coerced, cat->Coerce(row));
+  YT_ASSIGN_OR_RETURN(Dtxn * dt, FindDtxn(txn));
+  const std::string& name = cat->name();
+  if (map_.IsBroadcast(name)) {
+    // Replica writers serialize on the primary replica's table X lock, so
+    // every replica applies broadcast writes in the same order — which is
+    // what keeps the replicas' RowId assignment aligned.
+    Transaction* b0 = EnlistBranch(dt, txn, 0);
+    YT_RETURN_IF_ERROR(shards_[0].tm->LockTableForWrite(b0, name));
+    RowId rid = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      Transaction* b = EnlistBranch(dt, txn, s);
+      auto r = shards_[s].tm->Insert(b, name, coerced);
+      if (!r.ok()) {
+        // Some replicas already applied: only Abort can restore them.
+        if (s > 0) dt->abort_only = true;
+        return r.status();
+      }
+      if (s == 0) {
+        rid = r.value();
+      } else if (r.value() != rid) {
+        dt->abort_only = true;
+        return Status::Internal("broadcast replicas diverged on " + name);
+      }
+    }
+    txn->count_write();
+    return rid;
+  }
+  size_t s = map_.ShardOfRow(name, coerced);
+  Transaction* b = EnlistBranch(dt, txn, s);
+  YT_ASSIGN_OR_RETURN(RowId rid, shards_[s].tm->Insert(b, name, coerced));
+  txn->count_write();
+  return TagRid(s, rid);
+}
+
+StatusOr<Row> Router::Get(Transaction* txn, const std::string& table,
+                          RowId rid) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  YT_ASSIGN_OR_RETURN(Table * cat, CatalogTable(table));
+  YT_ASSIGN_OR_RETURN(Dtxn * dt, FindDtxn(txn));
+  const std::string& name = cat->name();
+  if (map_.IsBroadcast(name)) {
+    return shards_[0].tm->Get(EnlistBranch(dt, txn, 0), name, rid);
+  }
+  YT_ASSIGN_OR_RETURN(auto loc, ResolveRid(rid));
+  return shards_[loc.first].tm->Get(EnlistBranch(dt, txn, loc.first), name,
+                                    loc.second);
+}
+
+Status Router::Update(Transaction* txn, const std::string& table, RowId rid,
+                      const Row& row) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  YT_ASSIGN_OR_RETURN(Table * cat, CatalogTable(table));
+  YT_ASSIGN_OR_RETURN(Dtxn * dt, FindDtxn(txn));
+  const std::string& name = cat->name();
+  if (map_.IsBroadcast(name)) {
+    Transaction* b0 = EnlistBranch(dt, txn, 0);
+    YT_RETURN_IF_ERROR(shards_[0].tm->LockTableForWrite(b0, name));
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      Transaction* b = EnlistBranch(dt, txn, s);
+      Status st = shards_[s].tm->Update(b, name, rid, row);
+      if (!st.ok()) {
+        if (s > 0) dt->abort_only = true;
+        return st;
+      }
+    }
+    txn->count_write();
+    return Status::Ok();
+  }
+  YT_ASSIGN_OR_RETURN(auto loc, ResolveRid(rid));
+  // A partition-key change that re-routes the row would strand it on a
+  // shard routing can no longer find; migration (delete + reinsert) is a
+  // follow-on, so reject it here. Key changes that hash to the same
+  // shard stay findable and are allowed.
+  YT_ASSIGN_OR_RETURN(Row coerced, cat->Coerce(row));
+  if (map_.ShardOfRow(name, coerced) != loc.first) {
+    return Status::Unimplemented(
+        "UPDATE moves a row across shards (partition key changed); "
+        "delete and reinsert instead");
+  }
+  YT_RETURN_IF_ERROR(shards_[loc.first].tm->Update(
+      EnlistBranch(dt, txn, loc.first), name, loc.second, row));
+  txn->count_write();
+  return Status::Ok();
+}
+
+Status Router::Delete(Transaction* txn, const std::string& table, RowId rid) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  YT_ASSIGN_OR_RETURN(Table * cat, CatalogTable(table));
+  YT_ASSIGN_OR_RETURN(Dtxn * dt, FindDtxn(txn));
+  const std::string& name = cat->name();
+  if (map_.IsBroadcast(name)) {
+    Transaction* b0 = EnlistBranch(dt, txn, 0);
+    YT_RETURN_IF_ERROR(shards_[0].tm->LockTableForWrite(b0, name));
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      Transaction* b = EnlistBranch(dt, txn, s);
+      Status st = shards_[s].tm->Delete(b, name, rid);
+      if (!st.ok()) {
+        if (s > 0) dt->abort_only = true;
+        return st;
+      }
+    }
+    txn->count_write();
+    return Status::Ok();
+  }
+  YT_ASSIGN_OR_RETURN(auto loc, ResolveRid(rid));
+  YT_RETURN_IF_ERROR(shards_[loc.first].tm->Delete(
+      EnlistBranch(dt, txn, loc.first), name, loc.second));
+  txn->count_write();
+  return Status::Ok();
+}
+
+Status Router::Load(const std::string& table, const Row& row) {
+  YT_ASSIGN_OR_RETURN(Table * cat, CatalogTable(table));
+  YT_ASSIGN_OR_RETURN(Row coerced, cat->Coerce(row));
+  const std::string& name = cat->name();
+  if (map_.IsBroadcast(name)) {
+    RowId rid = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      YT_ASSIGN_OR_RETURN(Table * t, shards_[s].db->GetTable(name));
+      YT_ASSIGN_OR_RETURN(RowId r, t->InsertCoerced(Row(coerced)));
+      if (s == 0) {
+        rid = r;
+      } else if (r != rid) {
+        return Status::Internal("broadcast replicas diverged on " + name);
+      }
+    }
+    return Status::Ok();
+  }
+  size_t s = map_.ShardOfRow(name, coerced);
+  YT_ASSIGN_OR_RETURN(Table * t, shards_[s].db->GetTable(name));
+  return t->InsertCoerced(std::move(coerced)).status();
+}
+
+// --- The read path. -------------------------------------------------------
+
+StatusOr<std::unique_ptr<TableCursor>> Router::OpenCursor(Transaction* txn,
+                                                          Table* t,
+                                                          AccessPlan plan,
+                                                          ReadOrigin origin) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  YT_ASSIGN_OR_RETURN(Dtxn * dt, FindDtxn(txn));
+  const std::string& name = t->name();
+  if (map_.IsBroadcast(name)) {
+    // Broadcast replicas are read on shard 0 = the catalog database, so
+    // `t` is already the right table. RowIds stay untagged (identical on
+    // every replica).
+    Transaction* b = EnlistBranch(dt, txn, 0);
+    return shards_[0].tm->OpenCursor(b, t, std::move(plan), origin);
+  }
+  size_t s = map_.RouteRead(name, plan);
+  if (s != ShardMap::kAllShards) {
+    stats_.shard_routed_lookups.fetch_add(1, std::memory_order_relaxed);
+    Transaction* b = EnlistBranch(dt, txn, s);
+    YT_ASSIGN_OR_RETURN(Table * st, shards_[s].db->GetTable(name));
+    YT_ASSIGN_OR_RETURN(auto cursor,
+                        shards_[s].tm->OpenCursor(b, st, std::move(plan),
+                                                  origin));
+    return std::unique_ptr<TableCursor>(
+        new TaggingCursor(std::move(cursor), s));
+  }
+  stats_.fanout_cursors.fetch_add(1, std::memory_order_relaxed);
+  return OpenFanout(txn, dt, name, plan, origin);
+}
+
+StatusOr<std::unique_ptr<TableCursor>> Router::OpenFanout(
+    const Transaction* txn, Dtxn* dt, const std::string& table,
+    const AccessPlan& plan, ReadOrigin origin) {
+  const size_t n = shards_.size();
+  // Enlist + open in shard order on the calling thread: lock acquisition
+  // order across shards is deterministic for readers.
+  std::vector<std::unique_ptr<TableCursor>> cursors(n);
+  for (size_t s = 0; s < n; ++s) {
+    Transaction* b = EnlistBranch(dt, txn, s);
+    YT_ASSIGN_OR_RETURN(Table * st, shards_[s].db->GetTable(table));
+    YT_ASSIGN_OR_RETURN(cursors[s],
+                        shards_[s].tm->OpenCursor(b, st, plan, origin));
+  }
+  // Drain every shard's cursor into its source buffer, one thread per
+  // shard: the heap walks (and per-row lock acquisitions) of different
+  // shards proceed in parallel. Each thread touches exactly one branch
+  // transaction, so branch state stays single-threaded. Fresh threads
+  // (not a pool) are deliberate: drains can block on lock waits for up to
+  // the lock timeout, and a bounded pool whose workers are all parked in
+  // lock waits would stall every other fanout behind them.
+  std::vector<MergedCursor::Source> sources(n);
+  if (plan.is_scan()) {
+    for (size_t s = 0; s < n; ++s) {
+      auto t = shards_[s].db->GetTable(table);
+      if (t.ok()) sources[s].rows.reserve(t.value()->size());
+    }
+  }
+  std::vector<Status> drained(n, Status::Ok());
+  auto drain = [&](size_t s) {
+    std::vector<std::pair<RowId, Row>>& rows = sources[s].rows;
+    drained[s] = cursors[s]->Drain([&rows, s](RowId rid, Row&& row) {
+      rows.emplace_back(TagRid(s, rid), std::move(row));
+      return true;
+    });
+    cursors[s].reset();  // close (isolation-level early release) here
+  };
+  if (options_.parallel_fanout && n > 1) {
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (size_t s = 0; s < n; ++s) threads.emplace_back(drain, s);
+    for (std::thread& th : threads) th.join();
+  } else {
+    for (size_t s = 0; s < n; ++s) drain(s);
+  }
+  for (const Status& st : drained) {
+    if (!st.ok()) return st;
+  }
+  // Ranges merge back in index-key order (ORDER-BY pushdown stays sorted
+  // across shards); scans and fanned-out lookups concatenate.
+  return std::unique_ptr<TableCursor>(
+      new MergedCursor(std::move(sources), plan.columns, plan.reverse,
+                       plan.limit, /*ordered=*/plan.is_range()));
+}
+
+// --- Write-statement candidate acquisition. ------------------------------
+
+StatusOr<std::vector<std::pair<RowId, Row>>> Router::LockRowsForWrite(
+    Transaction* txn, const std::string& table,
+    const std::vector<size_t>& columns, const Row& key) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  YT_ASSIGN_OR_RETURN(Table * cat, CatalogTable(table));
+  YT_ASSIGN_OR_RETURN(Dtxn * dt, FindDtxn(txn));
+  const std::string& name = cat->name();
+  if (map_.IsBroadcast(name)) {
+    Transaction* b0 = EnlistBranch(dt, txn, 0);
+    YT_RETURN_IF_ERROR(shards_[0].tm->LockTableForWrite(b0, name));
+    return shards_[0].tm->LockRowsForWrite(b0, name, columns, key);
+  }
+  size_t s = map_.RouteLookup(name, columns, key);
+  const size_t lo = (s == ShardMap::kAllShards) ? 0 : s;
+  const size_t hi = (s == ShardMap::kAllShards) ? shards_.size() : s + 1;
+  return CollectForWrite(dt, txn, lo, hi, [&](size_t i, Transaction* b) {
+    return shards_[i].tm->LockRowsForWrite(b, name, columns, key);
+  });
+}
+
+StatusOr<std::vector<std::pair<RowId, Row>>> Router::LockRowsForWriteRange(
+    Transaction* txn, const std::string& table, const IndexRangeSpec& spec) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  YT_ASSIGN_OR_RETURN(Table * cat, CatalogTable(table));
+  YT_ASSIGN_OR_RETURN(Dtxn * dt, FindDtxn(txn));
+  const std::string& name = cat->name();
+  if (map_.IsBroadcast(name)) {
+    Transaction* b0 = EnlistBranch(dt, txn, 0);
+    YT_RETURN_IF_ERROR(shards_[0].tm->LockTableForWrite(b0, name));
+    return shards_[0].tm->LockRowsForWriteRange(b0, name, spec);
+  }
+  // An equality prefix that pins every partition column routes the write
+  // range to one shard (same rule as reads); open ranges fan out.
+  size_t pinned = map_.RouteRead(name, AccessPlan::Range(spec));
+  const size_t lo = (pinned == ShardMap::kAllShards) ? 0 : pinned;
+  const size_t hi = (pinned == ShardMap::kAllShards) ? shards_.size()
+                                                     : pinned + 1;
+  return CollectForWrite(dt, txn, lo, hi, [&](size_t s, Transaction* b) {
+    return shards_[s].tm->LockRowsForWriteRange(b, name, spec);
+  });
+}
+
+Status Router::LockTableForWrite(Transaction* txn, const std::string& table) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  YT_ASSIGN_OR_RETURN(Table * cat, CatalogTable(table));
+  YT_ASSIGN_OR_RETURN(Dtxn * dt, FindDtxn(txn));
+  const std::string& name = cat->name();
+  if (map_.IsBroadcast(name)) {
+    return shards_[0].tm->LockTableForWrite(EnlistBranch(dt, txn, 0), name);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    YT_RETURN_IF_ERROR(
+        shards_[s].tm->LockTableForWrite(EnlistBranch(dt, txn, s), name));
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::pair<RowId, Row>>>
+Router::LockTableAndCollectForWrite(Transaction* txn,
+                                    const std::string& table) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  YT_ASSIGN_OR_RETURN(Table * cat, CatalogTable(table));
+  YT_ASSIGN_OR_RETURN(Dtxn * dt, FindDtxn(txn));
+  const std::string& name = cat->name();
+  if (map_.IsBroadcast(name)) {
+    return shards_[0].tm->LockTableAndCollectForWrite(EnlistBranch(dt, txn, 0),
+                                                      name);
+  }
+  return CollectForWrite(dt, txn, 0, shards_.size(),
+                         [&](size_t s, Transaction* b) {
+                           return shards_[s].tm->LockTableAndCollectForWrite(
+                               b, name);
+                         });
+}
+
+// --- Termination. ---------------------------------------------------------
+
+void Router::SplitBranches(
+    Dtxn* dt, std::vector<std::pair<size_t, Transaction*>>* writers,
+    std::vector<std::pair<size_t, Transaction*>>* readers) {
+  for (size_t s = 0; s < dt->branches.size(); ++s) {
+    Transaction* b = dt->branches[s].get();
+    if (b == nullptr) continue;
+    (b->num_writes() > 0 ? writers : readers)->emplace_back(s, b);
+  }
+}
+
+Status Router::SimulatedCrash(const char* where, bool* crashed) {
+  *crashed = true;
+  crash_point_.store(CrashPoint::kNone, std::memory_order_relaxed);
+  return Status::Internal(std::string("simulated crash ") + where);
+}
+
+void Router::AbortBranches(Dtxn* dt) {
+  for (size_t s = 0; s < dt->branches.size(); ++s) {
+    Transaction* b = dt->branches[s].get();
+    if (b != nullptr && b->active()) (void)shards_[s].tm->Abort(b);
+  }
+}
+
+Status Router::TwoPhaseCommit(
+    GroupId gtid,
+    const std::vector<std::pair<size_t, Transaction*>>& writers,
+    const std::vector<std::pair<size_t, Transaction*>>& readers,
+    bool* crashed) {
+  // The one crash point (if any) armed for this commit attempt.
+  const CrashPoint cp = crash_point_.load(std::memory_order_relaxed);
+  // Phase 1: every write branch force-writes PREPARE (its buffered redo
+  // records flush with it) and votes yes by returning Ok.
+  if (cp == CrashPoint::kBeforePrepare) {
+    return SimulatedCrash("before prepare", crashed);
+  }
+  size_t prepared = 0;
+  for (const auto& [s, b] : writers) {
+    YT_RETURN_IF_ERROR(shards_[s].tm->Prepare(b, gtid));
+    if (++prepared == 1 && cp == CrashPoint::kAfterFirstPrepare) {
+      return SimulatedCrash("after first prepare", crashed);
+    }
+  }
+  if (cp == CrashPoint::kAfterAllPrepares) {
+    return SimulatedCrash("after prepares, before decision", crashed);
+  }
+  // The commit point: the decision is durable in the coordinator's log.
+  if (coord_wal_ != nullptr) {
+    auto lsn = coord_wal_->AppendAndFlush(WalRecord::CommitDecision(0, gtid));
+    if (!lsn.ok()) return lsn.status();
+  }
+  if (cp == CrashPoint::kAfterDecision) {
+    return SimulatedCrash("after decision", crashed);
+  }
+  // Read-only branches never voted; release them with a local commit.
+  for (const auto& [s, b] : readers) {
+    (void)shards_[s].tm->Commit(b);
+  }
+  // Phase 2: tell every participant. Failures past the commit point are
+  // ignored — recovery resolves from the decision log.
+  size_t told = 0;
+  for (const auto& [s, b] : writers) {
+    (void)shards_[s].tm->CommitPrepared(b, gtid);
+    if (++told == 1 && cp == CrashPoint::kAfterFirstShardDecision) {
+      return SimulatedCrash("after first shard decision", crashed);
+    }
+  }
+  return Status::Ok();
+}
+
+Status Router::Commit(Transaction* txn) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  YT_ASSIGN_OR_RETURN(Dtxn * dt, FindDtxn(txn));
+  if (dt->abort_only) {
+    return Status::Aborted(
+        "transaction must abort: a broadcast write applied to only some "
+        "replicas");
+  }
+  std::vector<std::pair<size_t, Transaction*>> writers, readers;
+  SplitBranches(dt, &writers, &readers);
+  if (writers.size() <= 1) {
+    // The one-phase fast path: at most one shard holds writes, so its
+    // local commit record alone decides the transaction — no prepare
+    // round, no decision log entry (asserted via stats().prepares).
+    for (const auto& [s, b] : readers) {
+      YT_RETURN_IF_ERROR(shards_[s].tm->Commit(b));
+    }
+    for (const auto& [s, b] : writers) {
+      YT_RETURN_IF_ERROR(shards_[s].tm->Commit(b));
+    }
+    stats_.single_shard_txns.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.two_phase_commits.fetch_add(1, std::memory_order_relaxed);
+    bool crashed = false;
+    Status st = TwoPhaseCommit(txn->id(), writers, readers, &crashed);
+    if (!st.ok()) {
+      if (crashed) return st;  // leave state exactly as a crash would
+      AbortBranches(dt);
+      txn->set_state(TxnState::kAborted);
+      EraseDtxn(txn->id());
+      stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+      return st;
+    }
+  }
+  txn->set_state(TxnState::kCommitted);
+  EraseDtxn(txn->id());
+  stats_.commits.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status Router::Abort(Transaction* txn) {
+  if (txn->state() == TxnState::kAborted) return Status::Ok();
+  if (txn->state() == TxnState::kCommitted) {
+    return Status::Internal("cannot abort a committed transaction");
+  }
+  YT_ASSIGN_OR_RETURN(Dtxn * dt, FindDtxn(txn));
+  AbortBranches(dt);
+  txn->set_state(TxnState::kAborted);
+  EraseDtxn(txn->id());
+  stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status Router::CommitGroup(const std::vector<Transaction*>& members) {
+  if (members.empty()) return Status::Ok();
+  for (Transaction* t : members) {
+    if (!t->active()) {
+      return Status::Aborted("group member " + std::to_string(t->id()) +
+                             " not active");
+    }
+  }
+  std::vector<Dtxn*> dts;
+  dts.reserve(members.size());
+  std::vector<std::pair<size_t, Transaction*>> writers, readers;
+  for (Transaction* t : members) {
+    YT_ASSIGN_OR_RETURN(Dtxn * dt, FindDtxn(t));
+    if (dt->abort_only) {
+      return Status::Aborted(
+          "group member " + std::to_string(t->id()) +
+          " must abort: a broadcast write applied to only some replicas");
+    }
+    dts.push_back(dt);
+    SplitBranches(dt, &writers, &readers);
+  }
+  std::set<size_t> write_shards;
+  for (const auto& [s, b] : writers) write_shards.insert(s);
+
+  auto abort_all = [&](const Status& why) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      AbortBranches(dts[i]);
+      members[i]->set_state(TxnState::kAborted);
+      EraseDtxn(members[i]->id());
+      stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+    }
+    return why;
+  };
+
+  if (write_shards.size() <= 1) {
+    // Every member's writes land on one shard (or none): the group commits
+    // through that shard's ENTANGLE + GROUP_COMMIT machinery — atomic via
+    // the group record, no prepare round.
+    if (!writers.empty()) {
+      size_t s = *write_shards.begin();
+      std::vector<Transaction*> branches;
+      branches.reserve(writers.size());
+      for (const auto& [ws, b] : writers) branches.push_back(b);
+      if (branches.size() == 1) {
+        Status st = shards_[s].tm->Commit(branches[0]);
+        if (!st.ok()) return abort_all(st);
+      } else {
+        EntanglementId eid = next_txn_id_.fetch_add(1);
+        Status st = shards_[s].tm->LogEntangle(eid, branches);
+        if (st.ok()) st = shards_[s].tm->CommitGroup(branches);
+        if (!st.ok()) return abort_all(st);
+      }
+    }
+    for (const auto& [s, b] : readers) {
+      (void)shards_[s].tm->Commit(b);
+    }
+    stats_.single_shard_txns.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Cross-shard group: one 2PC instance covers every member's write
+    // branches under a single gtid — one decision record commits or aborts
+    // the whole entangled group.
+    stats_.two_phase_commits.fetch_add(1, std::memory_order_relaxed);
+    GroupId gtid = next_txn_id_.fetch_add(1);
+    bool crashed = false;
+    Status st = TwoPhaseCommit(gtid, writers, readers, &crashed);
+    if (!st.ok()) {
+      if (crashed) return st;
+      return abort_all(st);
+    }
+  }
+  for (Transaction* t : members) {
+    t->set_state(TxnState::kCommitted);
+    EraseDtxn(t->id());
+    stats_.commits.fetch_add(1, std::memory_order_relaxed);
+  }
+  stats_.group_commits.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status Router::LogEntangle(EntanglementId eid,
+                           const std::vector<Transaction*>& members) {
+  std::vector<TxnId> ids;
+  ids.reserve(members.size());
+  for (Transaction* t : members) ids.push_back(t->id());
+  for (Transaction* t : members) {
+    t->MarkEntangled();
+    t->AddPartners(ids);
+  }
+  // Durable narration only: commit-time atomicity of the group comes from
+  // the single-shard ENTANGLE+GROUP_COMMIT path or the 2PC decision record,
+  // both written by CommitGroup.
+  if (coord_wal_ != nullptr) {
+    auto lsn = coord_wal_->AppendAndFlush(WalRecord::Entangle(eid, ids));
+    if (!lsn.ok()) return lsn.status();
+  }
+  return Status::Ok();
+}
+
+// --- DDL. -----------------------------------------------------------------
+
+Status Router::SetPartitioning(const std::string& table,
+                               const std::vector<std::string>& columns) {
+  if (db()->GetTable(table).ok()) {
+    return Status::InvalidArgument(
+        "partitioning must be set before CREATE TABLE " + table);
+  }
+  std::lock_guard<std::mutex> g(mu_);
+  overrides_[ToLower(table)] = columns;
+  return Status::Ok();
+}
+
+StatusOr<Table*> Router::CreateTable(const std::string& name,
+                                     const Schema& schema) {
+  std::vector<size_t> pcols;
+  bool overridden = false;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = overrides_.find(ToLower(name));
+    if (it != overrides_.end()) {
+      overridden = true;
+      for (const std::string& cn : it->second) {
+        YT_ASSIGN_OR_RETURN(size_t pos, schema.IndexOf(cn));
+        pcols.push_back(pos);
+      }
+    } else {
+      // Default rule: partition by primary-key hash; keyless tables are
+      // broadcast.
+      pcols = schema.primary_key();
+    }
+  }
+  // The auto-built primary-key unique index is per shard: it enforces
+  // global uniqueness only when equal keys co-locate, i.e. the partition
+  // columns are a subset of the key.
+  if (!pcols.empty() && !schema.primary_key().empty()) {
+    for (size_t p : pcols) {
+      if (std::find(schema.primary_key().begin(), schema.primary_key().end(),
+                    p) == schema.primary_key().end()) {
+        return Status::InvalidArgument(
+            "partition columns of a keyed table must be a subset of its "
+            "primary key (per-shard PK uniqueness would not be global)");
+      }
+    }
+  }
+  // Validation passed: the override is consumed by this CREATE. (A failed
+  // CREATE above keeps it, so a corrected retry still partitions as
+  // requested.)
+  if (overridden) {
+    std::lock_guard<std::mutex> g(mu_);
+    overrides_.erase(ToLower(name));
+  }
+  Table* cat = nullptr;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    YT_ASSIGN_OR_RETURN(Table * t, shards_[s].tm->CreateTable(name, schema));
+    if (s == 0) cat = t;
+  }
+  map_.SetPartitioning(cat->name(), pcols);
+  if (coord_wal_ != nullptr) {
+    WalRecord rec = WalRecord::CreateTable(cat->name(), schema);
+    rec.aux = PartitionAux(pcols);
+    auto lsn = coord_wal_->AppendAndFlush(std::move(rec));
+    if (!lsn.ok()) return lsn.status();
+  }
+  return cat;
+}
+
+Status Router::CreateIndex(const std::string& table,
+                           const std::vector<std::string>& columns,
+                           bool unique, bool ordered) {
+  // Per-shard indexes can only enforce uniqueness globally when equal
+  // keys are guaranteed to land on the same shard — i.e. the partition
+  // columns are a subset of the index columns. Broadcast tables hold one
+  // logical copy (every replica sees every row), so any unique index
+  // works there.
+  if (unique) {
+    YT_ASSIGN_OR_RETURN(Table * cat, CatalogTable(table));
+    if (!map_.IsBroadcast(cat->name())) {
+      std::vector<size_t> positions;
+      positions.reserve(columns.size());
+      for (const std::string& cn : columns) {
+        YT_ASSIGN_OR_RETURN(size_t pos, cat->schema().IndexOf(cn));
+        positions.push_back(pos);
+      }
+      for (size_t p : map_.PartitionColumns(cat->name())) {
+        if (std::find(positions.begin(), positions.end(), p) ==
+            positions.end()) {
+          return Status::InvalidArgument(
+              "unique index on a partitioned table must cover the "
+              "partition columns (uniqueness is enforced per shard)");
+        }
+      }
+    }
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    YT_RETURN_IF_ERROR(
+        shards_[s].tm->CreateIndex(table, columns, unique, ordered));
+  }
+  return Status::Ok();
+}
+
+}  // namespace youtopia::shard

@@ -1,0 +1,98 @@
+#include "src/shard/shard_map.h"
+
+#include <algorithm>
+
+namespace youtopia::shard {
+
+void ShardMap::SetPartitioning(const std::string& table,
+                               std::vector<size_t> columns) {
+  std::unique_lock lock(mu_);
+  tables_[table] = std::move(columns);
+}
+
+bool ShardMap::Knows(const std::string& table) const {
+  std::shared_lock lock(mu_);
+  return tables_.count(table) > 0;
+}
+
+bool ShardMap::IsBroadcast(const std::string& table) const {
+  std::shared_lock lock(mu_);
+  auto it = tables_.find(table);
+  return it == tables_.end() || it->second.empty();
+}
+
+std::vector<size_t> ShardMap::PartitionColumns(const std::string& table) const {
+  std::shared_lock lock(mu_);
+  auto it = tables_.find(table);
+  return it == tables_.end() ? std::vector<size_t>() : it->second;
+}
+
+size_t ShardMap::ShardOfKey(const Row& partition_values) const {
+  return partition_values.Hash() % num_shards_;
+}
+
+size_t ShardMap::ShardOfRow(const std::string& table, const Row& row) const {
+  std::vector<size_t> pcols = PartitionColumns(table);
+  if (pcols.empty()) return 0;
+  std::vector<Value> vals;
+  vals.reserve(pcols.size());
+  for (size_t c : pcols) vals.push_back(row[c]);
+  return ShardOfKey(Row(std::move(vals)));
+}
+
+size_t ShardMap::RouteLookup(const std::string& table,
+                             const std::vector<size_t>& columns,
+                             const Row& key) const {
+  std::vector<size_t> pcols = PartitionColumns(table);
+  if (pcols.empty()) return 0;
+  // The lookup pins `columns[i] = key[i]` for every i; a single shard is
+  // determined iff every partition column is among them.
+  std::vector<Value> vals;
+  vals.reserve(pcols.size());
+  for (size_t p : pcols) {
+    auto it = std::find(columns.begin(), columns.end(), p);
+    if (it == columns.end()) return kAllShards;
+    vals.push_back(key[static_cast<size_t>(it - columns.begin())]);
+  }
+  return ShardOfKey(Row(std::move(vals)));
+}
+
+size_t ShardMap::RouteRead(const std::string& table,
+                           const AccessPlan& plan) const {
+  std::vector<size_t> pcols = PartitionColumns(table);
+  if (pcols.empty()) return 0;
+  switch (plan.kind) {
+    case AccessPlan::Kind::kTableScan:
+      return kAllShards;
+    case AccessPlan::Kind::kIndexLookup:
+      return RouteLookup(table, plan.columns, plan.key);
+    case AccessPlan::Kind::kIndexRange: {
+      // A range pins a column only on its inclusive equality prefix:
+      // lo[i] == hi[i] with both bounds present. Partition columns wholly
+      // inside that prefix route to one shard; anything else fans out.
+      if (plan.range.lo_unbounded || plan.range.hi_unbounded ||
+          !plan.range.lo_incl || !plan.range.hi_incl) {
+        return kAllShards;
+      }
+      size_t eq_prefix = 0;
+      size_t common = std::min(plan.range.lo.size(), plan.range.hi.size());
+      while (eq_prefix < common &&
+             plan.range.lo[eq_prefix] == plan.range.hi[eq_prefix]) {
+        ++eq_prefix;
+      }
+      std::vector<Value> vals;
+      vals.reserve(pcols.size());
+      for (size_t p : pcols) {
+        auto it = std::find(plan.columns.begin(), plan.columns.end(), p);
+        if (it == plan.columns.end()) return kAllShards;
+        size_t pos = static_cast<size_t>(it - plan.columns.begin());
+        if (pos >= eq_prefix) return kAllShards;
+        vals.push_back(plan.range.lo[pos]);
+      }
+      return ShardOfKey(Row(std::move(vals)));
+    }
+  }
+  return kAllShards;
+}
+
+}  // namespace youtopia::shard

@@ -558,12 +558,11 @@ StatusOr<QueryResult> Executor::ExecuteUpdate(const UpdateStmt& upd,
     YT_ASSIGN_OR_RETURN(candidates,
                         tm_->LockRowsForWriteRange(txn, upd.table, spec));
   } else {
-    YT_RETURN_IF_ERROR(tm_->LockTableForWrite(txn, upd.table));
-    candidates.reserve(t->size());
-    t->Scan([&](RowId rid, const Row& row) {
-      candidates.emplace_back(rid, row);
-      return true;
-    });
+    // Table X + full collection through the engine (a partitioned engine
+    // locks and collects on every shard — the catalog table's heap is not
+    // the whole relation there).
+    YT_ASSIGN_OR_RETURN(candidates,
+                        tm_->LockTableAndCollectForWrite(txn, upd.table));
   }
 
   std::unordered_map<const Expr*, std::unordered_set<Row, RowHash>> in_sets;
@@ -625,12 +624,9 @@ StatusOr<QueryResult> Executor::ExecuteDelete(const DeleteStmt& del,
     YT_ASSIGN_OR_RETURN(candidates,
                         tm_->LockRowsForWriteRange(txn, del.table, spec));
   } else {
-    YT_RETURN_IF_ERROR(tm_->LockTableForWrite(txn, del.table));
-    candidates.reserve(t->size());
-    t->Scan([&](RowId rid, const Row& row) {
-      candidates.emplace_back(rid, row);
-      return true;
-    });
+    // Same engine-level fallback as ExecuteUpdate.
+    YT_ASSIGN_OR_RETURN(candidates,
+                        tm_->LockTableAndCollectForWrite(txn, del.table));
   }
 
   std::unordered_map<const Expr*, std::unordered_set<Row, RowHash>> in_sets;

@@ -6,7 +6,7 @@
 
 #include "src/sql/ast.h"
 #include "src/sql/expr_eval.h"
-#include "src/txn/transaction_manager.h"
+#include "src/txn/txn_engine.h"
 
 namespace youtopia::sql {
 
@@ -32,9 +32,9 @@ struct QueryResult {
 /// entangled engine and Session own them).
 class Executor {
  public:
-  explicit Executor(TransactionManager* tm) : tm_(tm) {}
+  explicit Executor(TxnEngine* tm) : tm_(tm) {}
 
-  TransactionManager* tm() const { return tm_; }
+  TxnEngine* tm() const { return tm_; }
 
   /// Ablation switch for bind-driven index nested-loop joins: when off,
   /// every FROM table is snapshotted eagerly (the pre-probe behavior).
@@ -62,7 +62,7 @@ class Executor {
       const Expr* where, Transaction* txn, VarEnv* vars,
       std::unordered_map<const Expr*, std::unordered_set<Row, RowHash>>* out);
 
-  TransactionManager* tm_;
+  TxnEngine* tm_;
   bool join_probes_enabled_ = true;
 };
 

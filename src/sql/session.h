@@ -18,7 +18,7 @@ namespace youtopia::sql {
 /// (etxn::EntangledTransactionEngine).
 class Session {
  public:
-  explicit Session(TransactionManager* tm) : tm_(tm), exec_(tm) {}
+  explicit Session(TxnEngine* tm) : tm_(tm), exec_(tm) {}
   ~Session();
 
   /// Parses and executes one statement.
@@ -35,7 +35,7 @@ class Session {
  private:
   StatusOr<QueryResult> ExecuteParsed(const ParsedStatement& stmt);
 
-  TransactionManager* tm_;
+  TxnEngine* tm_;
   Executor exec_;
   std::unique_ptr<Transaction> txn_;
   VarEnv vars_;

@@ -74,13 +74,23 @@ class TableCursor {
 
   /// Drains the cursor through a move-taking visitor (returns false to
   /// stop early).
+  ///
+  /// Exhaustion contract (all cursor types, including merged shard
+  /// cursors, which are built on it): once a cursor has reported
+  /// end-of-rows — through pulls or a drain that ran to completion —
+  /// every further Next/NextRef returns false and every further
+  /// Drain/DrainRef visits nothing and returns Ok. A drain whose
+  /// *visitor* stopped early leaves the cursor mid-stream on pull-based
+  /// cursors but may have consumed the remainder on zero-copy fast paths
+  /// — callers must not resume a drain they cut short; drop the cursor
+  /// instead.
   Status Drain(const std::function<bool(RowId, Row&&)>& visitor);
 
   /// Drains the cursor through a borrowing visitor (returns false to stop
-  /// early). Virtual so a cursor can skip intermediate buffering for
-  /// visit-only consumers (a fresh private heap scan drains zero-copy,
-  /// straight off the heap — selective filters then copy only what they
-  /// keep).
+  /// early; same exhaustion contract as Drain). Virtual so a cursor can
+  /// skip intermediate buffering for visit-only consumers (a fresh private
+  /// heap scan drains zero-copy, straight off the heap — selective filters
+  /// then copy only what they keep).
   virtual Status DrainRef(const std::function<bool(RowId, const Row&)>& visitor);
 };
 

@@ -522,13 +522,6 @@ void TransactionManager::CountRead(const AccessPlan& plan, ReadOrigin origin) {
 }
 
 StatusOr<std::unique_ptr<TableCursor>> TransactionManager::OpenCursor(
-    Transaction* txn, const std::string& table, AccessPlan plan,
-    ReadOrigin origin) {
-  YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
-  return OpenCursor(txn, t, std::move(plan), origin);
-}
-
-StatusOr<std::unique_ptr<TableCursor>> TransactionManager::OpenCursor(
     Transaction* txn, Table* t, AccessPlan plan, ReadOrigin origin) {
   if (!txn->active()) return Status::Aborted("transaction not active");
   const bool grounding = IsGroundingOrigin(origin);
@@ -631,15 +624,6 @@ StatusOr<std::unique_ptr<TableCursor>> TransactionManager::OpenCursor(
       LockKey::Table(t->id()), space, std::move(spec.range)));
 }
 
-Status TransactionManager::Scan(
-    Transaction* txn, const std::string& table,
-    const std::function<bool(RowId, const Row&)>& visitor) {
-  YT_ASSIGN_OR_RETURN(auto cursor,
-                      OpenCursor(txn, table, AccessPlan::TableScan(),
-                                 ReadOrigin::kStatement));
-  return cursor->DrainRef(visitor);
-}
-
 Status TransactionManager::LockTableForWrite(Transaction* txn,
                                              const std::string& table) {
   if (!txn->active()) return Status::Aborted("transaction not active");
@@ -648,34 +632,23 @@ Status TransactionManager::LockTableForWrite(Transaction* txn,
                          txn->lock_timeout_micros());
 }
 
-Status TransactionManager::ScanForGrounding(
-    Transaction* txn, const std::string& table,
-    const std::function<bool(RowId, const Row&)>& visitor) {
-  YT_ASSIGN_OR_RETURN(auto cursor,
-                      OpenCursor(txn, table, AccessPlan::TableScan(),
-                                 ReadOrigin::kGrounding));
-  return cursor->DrainRef(visitor);
+StatusOr<std::vector<std::pair<RowId, Row>>>
+TransactionManager::LockTableAndCollectForWrite(Transaction* txn,
+                                                const std::string& table) {
+  YT_RETURN_IF_ERROR(LockTableForWrite(txn, table));
+  YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+  std::vector<std::pair<RowId, Row>> out;
+  out.reserve(t->size());
+  t->Scan([&](RowId rid, const Row& row) {
+    out.emplace_back(rid, row);
+    return true;
+  });
+  return out;
 }
 
-Status TransactionManager::GetByIndex(Transaction* txn,
-                                      const std::string& table,
-                                      const std::vector<size_t>& columns,
-                                      const Row& key,
-                                      const RowVisitor& visitor) {
-  YT_ASSIGN_OR_RETURN(auto cursor,
-                      OpenCursor(txn, table, AccessPlan::Lookup(columns, key),
-                                 ReadOrigin::kStatement));
-  return cursor->Drain(visitor);
-}
-
-Status TransactionManager::GetByIndexRange(Transaction* txn,
-                                           const std::string& table,
-                                           const IndexRangeSpec& spec,
-                                           const RowVisitor& visitor) {
-  YT_ASSIGN_OR_RETURN(auto cursor,
-                      OpenCursor(txn, table, AccessPlan::Range(spec),
-                                 ReadOrigin::kStatement));
-  return cursor->Drain(visitor);
+Status TransactionManager::Load(const std::string& table, const Row& row) {
+  YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+  return t->Insert(row).status();
 }
 
 StatusOr<std::vector<std::pair<RowId, Row>>>
@@ -785,6 +758,35 @@ Status TransactionManager::Abort(Transaction* txn) {
   locks_->ReleaseAll(txn->id());
   stats_.aborts.fetch_add(1, std::memory_order_relaxed);
   if (options_.observer != nullptr) options_.observer->OnAbort(txn->id());
+  return Status::Ok();
+}
+
+Status TransactionManager::Prepare(Transaction* txn, GroupId gtid) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  if (wal_ != nullptr) {
+    // Force-write: the yes-vote is durable (and with it, this
+    // transaction's buffered redo records) before the coordinator may
+    // decide commit.
+    auto lsn = wal_->AppendAndFlush(WalRecord::Prepare(txn->id(), gtid));
+    if (!lsn.ok()) return lsn.status();
+  }
+  txn->set_state(TxnState::kReadyToCommit);
+  stats_.prepares.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status TransactionManager::CommitPrepared(Transaction* txn, GroupId gtid) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  if (wal_ != nullptr) {
+    // No flush: the commit decision is already durable in the
+    // coordinator's log; recovery resolves an in-doubt PREPARE from there
+    // when this record did not make it out.
+    (void)wal_->Append(WalRecord::CommitDecision(txn->id(), gtid));
+  }
+  txn->set_state(TxnState::kCommitted);
+  locks_->ReleaseAll(txn->id());
+  stats_.commits.fetch_add(1, std::memory_order_relaxed);
+  if (options_.observer != nullptr) options_.observer->OnCommit(txn->id());
   return Status::Ok();
 }
 

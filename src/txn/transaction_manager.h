@@ -14,56 +14,20 @@
 #include "src/storage/database.h"
 #include "src/storage/shared_scan.h"
 #include "src/txn/transaction.h"
+#include "src/txn/txn_engine.h"
 #include "src/wal/wal_writer.h"
 
 namespace youtopia {
-
-/// Aggregate transaction counters (benches / tests). The access-path
-/// counters make plan choices observable: every read routed through an
-/// index bumps index_lookups / grounding_index_lookups, every full scan
-/// bumps table_scans / grounding_scans, and every bind-driven join probe
-/// bumps join_probes / grounding_join_probes (with *_cache_hits counting
-/// per-binding keys the executor/grounder served from their probe caches
-/// without re-entering the transaction manager). shared_scan_leads /
-/// shared_scan_attaches make scan sharing observable: every heap-scan
-/// cursor either leads a fresh shared scan or attaches to an in-flight one.
-struct TxnStats {
-  std::atomic<uint64_t> begins{0};
-  std::atomic<uint64_t> commits{0};
-  std::atomic<uint64_t> aborts{0};
-  std::atomic<uint64_t> group_commits{0};
-  std::atomic<uint64_t> index_lookups{0};
-  std::atomic<uint64_t> table_scans{0};
-  std::atomic<uint64_t> grounding_index_lookups{0};
-  std::atomic<uint64_t> grounding_scans{0};
-  std::atomic<uint64_t> join_probes{0};
-  std::atomic<uint64_t> join_probe_cache_hits{0};
-  std::atomic<uint64_t> grounding_join_probes{0};
-  std::atomic<uint64_t> grounding_join_probe_cache_hits{0};
-  std::atomic<uint64_t> range_lookups{0};
-  std::atomic<uint64_t> grounding_range_lookups{0};
-  std::atomic<uint64_t> range_join_probes{0};
-  std::atomic<uint64_t> range_probe_cache_hits{0};
-  std::atomic<uint64_t> grounding_range_probes{0};
-  std::atomic<uint64_t> grounding_range_probe_cache_hits{0};
-  std::atomic<uint64_t> shared_scan_leads{0};
-  std::atomic<uint64_t> shared_scan_attaches{0};
-};
-
-/// How a read is counted and recorded by the schedule observer — the one
-/// axis that used to distinguish the `*ForGrounding` twins. kStatement and
-/// kJoin record ordinary reads (R); kGrounding and kGroundingJoin record
-/// grounding reads (R^G, table-granular, keeping the recorded schedule
-/// conservative). The join origins additionally count as per-binding
-/// probes instead of statement lookups.
-enum class ReadOrigin { kStatement, kGrounding, kJoin, kGroundingJoin };
 
 /// Classical ACID transaction manager over the in-memory engine:
 /// Strict 2PL through the LockManager, redo-only WAL through WalWriter
 /// (optional: pass nullptr for a volatile database), in-memory undo for live
 /// rollback. Exposes the group-commit primitive and the ENTANGLE logging hook
-/// that the entangled layer builds on.
-class TransactionManager {
+/// that the entangled layer builds on. Implements the TxnEngine seam the
+/// executor/grounder consume — shard::Router runs one of these per shard and
+/// adds the Prepare/CommitPrepared participant protocol below for
+/// cross-shard two-phase commit.
+class TransactionManager : public TxnEngine {
  public:
   struct Options {
     IsolationLevel default_isolation = IsolationLevel::kFullEntangled;
@@ -79,27 +43,33 @@ class TransactionManager {
                      Options options);
   TransactionManager(Database* db, LockManager* locks, WalWriter* wal);
 
-  Database* db() const { return db_; }
+  Database* db() const override { return db_; }
   LockManager* locks() const { return locks_; }
-  TxnStats& stats() { return stats_; }
+  TxnStats& stats() override { return stats_; }
   void set_observer(OpObserver* obs) { options_.observer = obs; }
   OpObserver* observer() const { return options_.observer; }
   /// Ablation switch for scan sharing (benches / differential tests).
   void set_shared_scans_enabled(bool on) { options_.enable_shared_scans = on; }
   bool shared_scans_enabled() const { return options_.enable_shared_scans; }
+  /// Bumps the transaction-id allocator past recovered ids (reopen after
+  /// crash recovery).
+  void set_next_txn_id(TxnId next) { next_txn_id_.store(next); }
 
   /// Starts a transaction at the given (or default) isolation level.
-  std::unique_ptr<Transaction> Begin();
-  std::unique_ptr<Transaction> Begin(IsolationLevel level);
+  std::unique_ptr<Transaction> Begin() override;
+  std::unique_ptr<Transaction> Begin(IsolationLevel level) override;
 
   // --- Data operations (acquire locks, log, maintain undo). ---
 
   StatusOr<RowId> Insert(Transaction* txn, const std::string& table,
-                         const Row& row);
-  StatusOr<Row> Get(Transaction* txn, const std::string& table, RowId rid);
+                         const Row& row) override;
+  StatusOr<Row> Get(Transaction* txn, const std::string& table,
+                    RowId rid) override;
   Status Update(Transaction* txn, const std::string& table, RowId rid,
-                const Row& row);
-  Status Delete(Transaction* txn, const std::string& table, RowId rid);
+                const Row& row) override;
+  Status Delete(Transaction* txn, const std::string& table,
+                RowId rid) override;
+  Status Load(const std::string& table, const Row& row) override;
 
   // --- The unified read path. ---
 
@@ -122,33 +92,10 @@ class TransactionManager {
   /// repeatability); kReadUncommitted takes no read locks. `origin` picks
   /// the stats counter and whether rows are recorded as R or R^G. The
   /// cursor must not outlive the transaction or the manager.
+  using TxnEngine::OpenCursor;
   StatusOr<std::unique_ptr<TableCursor>> OpenCursor(Transaction* txn, Table* t,
                                                     AccessPlan plan,
-                                                    ReadOrigin origin);
-  StatusOr<std::unique_ptr<TableCursor>> OpenCursor(Transaction* txn,
-                                                    const std::string& table,
-                                                    AccessPlan plan,
-                                                    ReadOrigin origin);
-
-  // --- Convenience wrappers over OpenCursor (drain-through-visitor). ---
-
-  /// Full-table scan under a table S lock (serializable levels); the visitor
-  /// returns false to stop.
-  Status Scan(Transaction* txn, const std::string& table,
-              const std::function<bool(RowId, const Row&)>& visitor);
-
-  /// Visitor for indexed reads. The row is handed over by value — the
-  /// cursor materializes its own copy, so the visitor can move it instead
-  /// of copying a second time (lambdas taking `const Row&` still bind, so
-  /// both styles work at call sites).
-  using RowVisitor = std::function<bool(RowId, Row&&)>;
-
-  /// Indexed equality read: visits the rows whose `columns` projection
-  /// equals `key` (RowId order). `key` must be coerced to the indexed
-  /// columns' types (the planner does this).
-  Status GetByIndex(Transaction* txn, const std::string& table,
-                    const std::vector<size_t>& columns, const Row& key,
-                    const RowVisitor& visitor);
+                                                    ReadOrigin origin) override;
 
   /// GetByIndex for write statements: X-locks the index key and every
   /// matched row (plus table IX) and returns the matched rows. UPDATE/DELETE
@@ -156,13 +103,7 @@ class TransactionManager {
   /// writers on different keys no longer serialize on the table lock.
   StatusOr<std::vector<std::pair<RowId, Row>>> LockRowsForWrite(
       Transaction* txn, const std::string& table,
-      const std::vector<size_t>& columns, const Row& key);
-
-  /// Indexed range read: visits rows whose projection on `spec.columns`
-  /// lies in `spec.range`, in index-key order (descending with
-  /// `spec.reverse`).
-  Status GetByIndexRange(Transaction* txn, const std::string& table,
-                         const IndexRangeSpec& spec, const RowVisitor& visitor);
+      const std::vector<size_t>& columns, const Row& key) override;
 
   /// GetByIndexRange for write statements: X-locks the scanned interval and
   /// every matched row (plus table IX) up front and returns the matched
@@ -170,46 +111,66 @@ class TransactionManager {
   /// LockTableForWrite — X row locks are taken before any read, so the
   /// scan-then-upgrade (S->X) deadlock between range writers cannot occur.
   StatusOr<std::vector<std::pair<RowId, Row>>> LockRowsForWriteRange(
-      Transaction* txn, const std::string& table, const IndexRangeSpec& spec);
+      Transaction* txn, const std::string& table,
+      const IndexRangeSpec& spec) override;
 
   /// Takes a table-level X lock up front (UPDATE/DELETE statements lock the
   /// whole table before scanning, avoiding S->X upgrade deadlocks between
   /// writers).
-  Status LockTableForWrite(Transaction* txn, const std::string& table);
+  Status LockTableForWrite(Transaction* txn,
+                           const std::string& table) override;
 
-  /// Like Scan but recorded as a *grounding* read (R^G); used by the
-  /// entangled-query grounder so the isolation recorder can derive
-  /// quasi-reads.
-  Status ScanForGrounding(Transaction* txn, const std::string& table,
-                          const std::function<bool(RowId, const Row&)>& visitor);
+  /// LockTableForWrite plus a collection of the whole heap — the
+  /// uncovered-predicate write fallback behind one call so partitioned
+  /// engines can fan it out.
+  StatusOr<std::vector<std::pair<RowId, Row>>> LockTableAndCollectForWrite(
+      Transaction* txn, const std::string& table) override;
 
   // --- Termination. ---
 
-  Status Commit(Transaction* txn);
-  Status Abort(Transaction* txn);
+  Status Commit(Transaction* txn) override;
+  Status Abort(Transaction* txn) override;
 
   /// Atomically commits a set of entangled transactions: per-member COMMIT
   /// records, then one GROUP_COMMIT record, then a single flush. Durability
   /// of every member hinges on the group record (entanglement-aware
   /// recovery).
-  Status CommitGroup(const std::vector<Transaction*>& members);
+  Status CommitGroup(const std::vector<Transaction*>& members) override;
 
   /// Logs an ENTANGLE record (and marks the members). Called by the
   /// entangled-query evaluator when an entanglement operation succeeds.
-  Status LogEntangle(EntanglementId eid, const std::vector<Transaction*>& members);
+  Status LogEntangle(EntanglementId eid,
+                     const std::vector<Transaction*>& members) override;
+
+  // --- Two-phase-commit participant protocol (driven by shard::Router). ---
+
+  /// Phase 1: makes the transaction's writes durable and votes yes by
+  /// force-writing a PREPARE record carrying the coordinator's global
+  /// transaction id. The transaction keeps every lock and moves to
+  /// kReadyToCommit; its outcome now belongs to the coordinator — after a
+  /// crash, recovery finds the PREPARE and resolves the transaction from
+  /// the coordinator's decision log instead of presuming abort.
+  Status Prepare(Transaction* txn, GroupId gtid);
+
+  /// Phase 2 (commit): appends the shard-local COMMIT_DECISION record
+  /// (unflushed — the decision is already durable in the coordinator's
+  /// log; the local record just lets recovery resolve without consulting
+  /// it) and releases locks. Abort-after-prepare is plain Abort().
+  Status CommitPrepared(Transaction* txn, GroupId gtid);
 
   // --- DDL (system transaction 0, autocommitted). ---
 
   /// Creates the table; a schema with primary-key columns gets a unique
   /// index over them automatically (inside the Table constructor).
-  StatusOr<Table*> CreateTable(const std::string& name, const Schema& schema);
+  StatusOr<Table*> CreateTable(const std::string& name,
+                               const Schema& schema) override;
 
   /// Builds a secondary index (hash by default; `ordered` builds a B-tree
   /// enabling range access; `unique` enforces key uniqueness, NULL keys
   /// exempt) and WAL-logs it so recovery rebuilds it.
   Status CreateIndex(const std::string& table,
                      const std::vector<std::string>& columns,
-                     bool unique = false, bool ordered = false);
+                     bool unique = false, bool ordered = false) override;
 
   /// Writes a checkpoint image to `checkpoint_path` and truncates the WAL.
   /// Callers must quiesce transactions first.

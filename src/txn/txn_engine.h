@@ -1,0 +1,236 @@
+#ifndef YOUTOPIA_TXN_TXN_ENGINE_H_
+#define YOUTOPIA_TXN_TXN_ENGINE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/statusor.h"
+#include "src/storage/cursor.h"
+#include "src/storage/database.h"
+#include "src/txn/transaction.h"
+
+namespace youtopia {
+
+/// Aggregate transaction counters (benches / tests). The access-path
+/// counters make plan choices observable: every read routed through an
+/// index bumps index_lookups / grounding_index_lookups, every full scan
+/// bumps table_scans / grounding_scans, and every bind-driven join probe
+/// bumps join_probes / grounding_join_probes (with *_cache_hits counting
+/// per-binding keys the executor/grounder served from their probe caches
+/// without re-entering the transaction manager). shared_scan_leads /
+/// shared_scan_attaches make scan sharing observable: every heap-scan
+/// cursor either leads a fresh shared scan or attaches to an in-flight one.
+/// The shard counters make routing and commit protocol choices observable:
+/// a shard::Router bumps shard_routed_lookups for every plan pinned to one
+/// shard, fanout_cursors for every plan fanned out across all shards, and
+/// exactly one of single_shard_txns / two_phase_commits per commit
+/// operation; `prepares` counts kPrepare WAL records written by a
+/// participant transaction manager (zero on the one-phase fast path).
+struct TxnStats {
+  std::atomic<uint64_t> begins{0};
+  std::atomic<uint64_t> commits{0};
+  std::atomic<uint64_t> aborts{0};
+  std::atomic<uint64_t> group_commits{0};
+  std::atomic<uint64_t> index_lookups{0};
+  std::atomic<uint64_t> table_scans{0};
+  std::atomic<uint64_t> grounding_index_lookups{0};
+  std::atomic<uint64_t> grounding_scans{0};
+  std::atomic<uint64_t> join_probes{0};
+  std::atomic<uint64_t> join_probe_cache_hits{0};
+  std::atomic<uint64_t> grounding_join_probes{0};
+  std::atomic<uint64_t> grounding_join_probe_cache_hits{0};
+  std::atomic<uint64_t> range_lookups{0};
+  std::atomic<uint64_t> grounding_range_lookups{0};
+  std::atomic<uint64_t> range_join_probes{0};
+  std::atomic<uint64_t> range_probe_cache_hits{0};
+  std::atomic<uint64_t> grounding_range_probes{0};
+  std::atomic<uint64_t> grounding_range_probe_cache_hits{0};
+  std::atomic<uint64_t> shared_scan_leads{0};
+  std::atomic<uint64_t> shared_scan_attaches{0};
+  std::atomic<uint64_t> single_shard_txns{0};
+  std::atomic<uint64_t> two_phase_commits{0};
+  std::atomic<uint64_t> fanout_cursors{0};
+  std::atomic<uint64_t> shard_routed_lookups{0};
+  std::atomic<uint64_t> prepares{0};
+};
+
+/// How a read is counted and recorded by the schedule observer — the one
+/// axis that used to distinguish the `*ForGrounding` twins. kStatement and
+/// kJoin record ordinary reads (R); kGrounding and kGroundingJoin record
+/// grounding reads (R^G, table-granular, keeping the recorded schedule
+/// conservative). The join origins additionally count as per-binding
+/// probes instead of statement lookups.
+enum class ReadOrigin { kStatement, kGrounding, kJoin, kGroundingJoin };
+
+/// The transactional engine seam the SQL executor, the entangled-query
+/// grounder, and the entangled transaction engine are written against.
+/// Two implementations exist:
+///   * TransactionManager — the single-node engine (one Database, one
+///     LockManager, one WAL);
+///   * shard::Router — the hash-partitioned engine, which routes the same
+///     vocabulary across N per-shard TransactionManagers and runs
+///     two-phase commit when a transaction wrote on more than one shard.
+/// `db()` is the *catalog view*: every table's schema and index set is
+/// visible there, and the Table pointers it hands out are valid arguments
+/// to OpenCursor — but partitioned implementations do NOT keep every row in
+/// it, so reads must go through the engine, never through Table::Scan
+/// directly.
+class TxnEngine {
+ public:
+  virtual ~TxnEngine() = default;
+
+  virtual Database* db() const = 0;
+  virtual TxnStats& stats() = 0;
+
+  virtual std::unique_ptr<Transaction> Begin() = 0;
+  virtual std::unique_ptr<Transaction> Begin(IsolationLevel level) = 0;
+
+  // --- Data operations. ---
+
+  virtual StatusOr<RowId> Insert(Transaction* txn, const std::string& table,
+                                 const Row& row) = 0;
+  virtual StatusOr<Row> Get(Transaction* txn, const std::string& table,
+                            RowId rid) = 0;
+  virtual Status Update(Transaction* txn, const std::string& table, RowId rid,
+                        const Row& row) = 0;
+  virtual Status Delete(Transaction* txn, const std::string& table,
+                        RowId rid) = 0;
+
+  /// Direct (non-transactional, unlocked, unlogged) row load for workload
+  /// builders — setup is never part of a measurement. Partitioned engines
+  /// route the row to its owning shard(s).
+  virtual Status Load(const std::string& table, const Row& row) = 0;
+
+  // --- The unified read path. ---
+
+  /// Opens a pull cursor for `plan` over `t` — the one seam every read
+  /// access path goes through. `t` must come from this engine's `db()`
+  /// catalog view. See TransactionManager::OpenCursor for the lock
+  /// protocol; shard::Router additionally routes the plan to one shard or
+  /// fans it out across all of them behind a MergedCursor.
+  virtual StatusOr<std::unique_ptr<TableCursor>> OpenCursor(
+      Transaction* txn, Table* t, AccessPlan plan, ReadOrigin origin) = 0;
+
+  /// Name-addressed convenience overload (resolves through `db()`).
+  StatusOr<std::unique_ptr<TableCursor>> OpenCursor(Transaction* txn,
+                                                    const std::string& table,
+                                                    AccessPlan plan,
+                                                    ReadOrigin origin) {
+    YT_ASSIGN_OR_RETURN(Table * t, db()->GetTable(table));
+    return OpenCursor(txn, t, std::move(plan), origin);
+  }
+
+  // --- Write-statement candidate acquisition (X locks before reads). ---
+
+  /// Indexed equality candidates for a write statement: X-locks the index
+  /// key and every matched row (plus table IX) and returns the matched
+  /// rows.
+  virtual StatusOr<std::vector<std::pair<RowId, Row>>> LockRowsForWrite(
+      Transaction* txn, const std::string& table,
+      const std::vector<size_t>& columns, const Row& key) = 0;
+
+  /// Range candidates for a write statement: X-locks the scanned interval
+  /// and every matched row (plus table IX) up front and returns the matched
+  /// rows.
+  virtual StatusOr<std::vector<std::pair<RowId, Row>>> LockRowsForWriteRange(
+      Transaction* txn, const std::string& table,
+      const IndexRangeSpec& spec) = 0;
+
+  /// Takes a table-level X lock up front (UPDATE/DELETE statements lock the
+  /// whole table before scanning, avoiding S->X upgrade deadlocks between
+  /// writers).
+  virtual Status LockTableForWrite(Transaction* txn,
+                                   const std::string& table) = 0;
+
+  /// The uncovered-predicate write fallback: table X lock(s) up front, then
+  /// every row of the table — the one way a write statement may see the
+  /// whole heap (partitioned engines collect across all shards).
+  virtual StatusOr<std::vector<std::pair<RowId, Row>>>
+  LockTableAndCollectForWrite(Transaction* txn, const std::string& table) = 0;
+
+  // --- Termination. ---
+
+  virtual Status Commit(Transaction* txn) = 0;
+  virtual Status Abort(Transaction* txn) = 0;
+
+  /// Atomically commits a set of entangled transactions (durability of
+  /// every member hinges on one record: GROUP_COMMIT on a single node, the
+  /// coordinator's commit decision under cross-shard 2PC).
+  virtual Status CommitGroup(const std::vector<Transaction*>& members) = 0;
+
+  /// Logs an ENTANGLE record (and marks the members). Called by the
+  /// entangled-query evaluator when an entanglement operation succeeds.
+  virtual Status LogEntangle(EntanglementId eid,
+                             const std::vector<Transaction*>& members) = 0;
+
+  // --- DDL (system transaction 0, autocommitted). ---
+
+  virtual StatusOr<Table*> CreateTable(const std::string& name,
+                                       const Schema& schema) = 0;
+  virtual Status CreateIndex(const std::string& table,
+                             const std::vector<std::string>& columns,
+                             bool unique = false, bool ordered = false) = 0;
+
+  // --- Convenience wrappers over OpenCursor (drain-through-visitor). ---
+
+  /// Visitor for indexed reads. The row is handed over by value — the
+  /// cursor materializes its own copy, so the visitor can move it instead
+  /// of copying a second time (lambdas taking `const Row&` still bind, so
+  /// both styles work at call sites).
+  using RowVisitor = std::function<bool(RowId, Row&&)>;
+
+  /// Full-table scan under a table S lock (serializable levels); the
+  /// visitor returns false to stop.
+  Status Scan(Transaction* txn, const std::string& table,
+              const std::function<bool(RowId, const Row&)>& visitor) {
+    YT_ASSIGN_OR_RETURN(auto cursor,
+                        OpenCursor(txn, table, AccessPlan::TableScan(),
+                                   ReadOrigin::kStatement));
+    return cursor->DrainRef(visitor);
+  }
+
+  /// Like Scan but recorded as a *grounding* read (R^G); used by the
+  /// entangled-query grounder so the isolation recorder can derive
+  /// quasi-reads.
+  Status ScanForGrounding(
+      Transaction* txn, const std::string& table,
+      const std::function<bool(RowId, const Row&)>& visitor) {
+    YT_ASSIGN_OR_RETURN(auto cursor,
+                        OpenCursor(txn, table, AccessPlan::TableScan(),
+                                   ReadOrigin::kGrounding));
+    return cursor->DrainRef(visitor);
+  }
+
+  /// Indexed equality read: visits the rows whose `columns` projection
+  /// equals `key` (RowId order). `key` must be coerced to the indexed
+  /// columns' types (the planner does this).
+  Status GetByIndex(Transaction* txn, const std::string& table,
+                    const std::vector<size_t>& columns, const Row& key,
+                    const RowVisitor& visitor) {
+    YT_ASSIGN_OR_RETURN(auto cursor,
+                        OpenCursor(txn, table, AccessPlan::Lookup(columns, key),
+                                   ReadOrigin::kStatement));
+    return cursor->Drain(visitor);
+  }
+
+  /// Indexed range read: visits rows whose projection on `spec.columns`
+  /// lies in `spec.range`, in index-key order (descending with
+  /// `spec.reverse`).
+  Status GetByIndexRange(Transaction* txn, const std::string& table,
+                         const IndexRangeSpec& spec,
+                         const RowVisitor& visitor) {
+    YT_ASSIGN_OR_RETURN(auto cursor,
+                        OpenCursor(txn, table, AccessPlan::Range(spec),
+                                   ReadOrigin::kStatement));
+    return cursor->Drain(visitor);
+  }
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_TXN_TXN_ENGINE_H_

@@ -18,6 +18,8 @@ const char* WalRecordTypeName(WalRecordType t) {
     case WalRecordType::kCreateTable: return "CREATE_TABLE";
     case WalRecordType::kCheckpointRef: return "CHECKPOINT_REF";
     case WalRecordType::kCreateIndex: return "CREATE_INDEX";
+    case WalRecordType::kPrepare: return "PREPARE";
+    case WalRecordType::kCommitDecision: return "COMMIT_DECISION";
   }
   return "?";
 }
@@ -93,6 +95,22 @@ WalRecord WalRecord::GroupCommit(GroupId group, std::vector<TxnId> members) {
   return r;
 }
 
+WalRecord WalRecord::Prepare(TxnId txn, GroupId gtid) {
+  WalRecord r;
+  r.type = WalRecordType::kPrepare;
+  r.txn = txn;
+  r.group = gtid;
+  return r;
+}
+
+WalRecord WalRecord::CommitDecision(TxnId txn, GroupId gtid) {
+  WalRecord r;
+  r.type = WalRecordType::kCommitDecision;
+  r.txn = txn;
+  r.group = gtid;
+  return r;
+}
+
 WalRecord WalRecord::CreateTable(std::string table, Schema schema) {
   WalRecord r;
   r.type = WalRecordType::kCreateTable;
@@ -162,7 +180,7 @@ StatusOr<WalRecord> WalRecord::Decode(const std::string& payload) {
   YT_RETURN_IF_ERROR(DecodeU64(&p, end, &r.lsn));
   YT_RETURN_IF_ERROR(DecodeU8(&p, end, &type));
   if (type < static_cast<uint8_t>(WalRecordType::kBegin) ||
-      type > static_cast<uint8_t>(WalRecordType::kCreateIndex)) {
+      type > static_cast<uint8_t>(WalRecordType::kCommitDecision)) {
     return Status::Corruption("bad WAL record type");
   }
   r.type = static_cast<WalRecordType>(type);

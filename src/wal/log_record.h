@@ -19,6 +19,14 @@ namespace youtopia {
 /// what enables the paper's entanglement-aware recovery (§4): an entangled
 /// transaction is durable only when its group's kGroupCommit record made it
 /// to the log.
+///
+/// kPrepare and kCommitDecision are the two-phase-commit records of the
+/// sharded engine. A participant shard force-writes kPrepare(txn, gtid) to
+/// vote yes; from then on the transaction is *in doubt* after a crash — its
+/// outcome is the coordinator's, resolved from the coordinator log's
+/// kCommitDecision(gtid) (present = commit, absent = presumed abort).
+/// Phase 2 appends a shard-local kCommitDecision(txn, gtid) so a shard that
+/// got the decision can also resolve on its own.
 enum class WalRecordType : uint8_t {
   kBegin = 1,
   kInsert,
@@ -26,11 +34,15 @@ enum class WalRecordType : uint8_t {
   kDelete,
   kCommit,
   kAbort,
-  kEntangle,       ///< members coordinated in one entanglement operation
-  kGroupCommit,    ///< all members of a group are durably committed
-  kCreateTable,    ///< DDL (system transaction, txn = 0)
-  kCheckpointRef,  ///< first record of a fresh log; points at a checkpoint
-  kCreateIndex,    ///< DDL: secondary index (column names in aux)
+  kEntangle,        ///< members coordinated in one entanglement operation
+  kGroupCommit,     ///< all members of a group are durably committed
+  kCreateTable,     ///< DDL (system transaction, txn = 0)
+  kCheckpointRef,   ///< first record of a fresh log; points at a checkpoint
+  kCreateIndex,     ///< DDL: secondary index (column names in aux)
+  kPrepare,         ///< 2PC vote: writes durable, outcome in doubt (group =
+                    ///< the coordinator's global transaction id)
+  kCommitDecision,  ///< 2PC decision for `group`; txn = 0 in the
+                    ///< coordinator log, the branch id on a shard
 };
 
 /// One WAL record. Unused fields are empty for a given type.
@@ -57,6 +69,8 @@ struct WalRecord {
   static WalRecord Abort(TxnId txn);
   static WalRecord Entangle(EntanglementId eid, std::vector<TxnId> members);
   static WalRecord GroupCommit(GroupId group, std::vector<TxnId> members);
+  static WalRecord Prepare(TxnId txn, GroupId gtid);
+  static WalRecord CommitDecision(TxnId txn, GroupId gtid);
   static WalRecord CreateTable(std::string table, Schema schema);
   static WalRecord CreateIndex(std::string table,
                                const std::vector<std::string>& columns,

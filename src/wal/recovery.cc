@@ -7,6 +7,11 @@ namespace youtopia {
 
 StatusOr<RecoveryManager::Result> RecoveryManager::Recover(
     const std::string& wal_path) {
+  return Recover(wal_path, Options());
+}
+
+StatusOr<RecoveryManager::Result> RecoveryManager::Recover(
+    const std::string& wal_path, const Options& options) {
   YT_ASSIGN_OR_RETURN(WalReader::Result log, WalReader::ReadAll(wal_path));
 
   Result result;
@@ -31,6 +36,7 @@ StatusOr<RecoveryManager::Result> RecoveryManager::Recover(
   std::set<TxnId> has_abort;
   std::set<TxnId> entangled;        // appears in any ENTANGLE record
   std::set<TxnId> group_committed;  // appears in any GROUP_COMMIT record
+  std::map<TxnId, GroupId> prepared;  // 2PC yes-vote -> coordinator gtid
   std::set<TxnId> seen;
   for (const WalRecord& r : log.records) {
     if (r.txn != 0) {
@@ -40,6 +46,15 @@ StatusOr<RecoveryManager::Result> RecoveryManager::Recover(
     switch (r.type) {
       case WalRecordType::kCommit:
         has_commit.insert(r.txn);
+        break;
+      case WalRecordType::kCommitDecision:
+        // Shard-local phase-2 record: resolves the branch like a COMMIT.
+        if (r.txn != 0) has_commit.insert(r.txn);
+        result.max_gtid = std::max(result.max_gtid, r.group);
+        break;
+      case WalRecordType::kPrepare:
+        prepared.emplace(r.txn, r.group);
+        result.max_gtid = std::max(result.max_gtid, r.group);
         break;
       case WalRecordType::kAbort:
         has_abort.insert(r.txn);
@@ -56,6 +71,17 @@ StatusOr<RecoveryManager::Result> RecoveryManager::Recover(
         break;
       default:
         break;
+    }
+  }
+  // Resolve in-doubt transactions: prepared, no local terminal record.
+  // The coordinator's decision log is the authority; absence of a commit
+  // decision there means presumed abort.
+  for (const auto& [t, gtid] : prepared) {
+    if (has_commit.count(t) || has_abort.count(t)) continue;
+    result.in_doubt.insert(t);
+    if (options.committed_gtids != nullptr &&
+        options.committed_gtids->count(gtid)) {
+      has_commit.insert(t);
     }
   }
   for (TxnId t : seen) {

@@ -19,26 +19,49 @@ namespace youtopia {
 /// rule: "if two transactions entangle and only one manages to commit prior
 /// to a crash, both must be rolled back during recovery."
 ///
+/// A transaction with a PREPARE record but no local COMMIT / ABORT /
+/// COMMIT_DECISION is *in doubt*: it voted yes in a two-phase commit and
+/// its outcome belongs to the coordinator. It commits iff its global
+/// transaction id appears in `Options::committed_gtids` (the decisions
+/// read from the coordinator's log) and is presumed aborted otherwise —
+/// the classical presumed-abort rule; shard::Router::Recover wires the
+/// coordinator log through here.
+///
 /// Redo: rebuild the database from the checkpoint referenced by the log head
 /// (if any), then replay DDL and the after-images of durably committed
 /// transactions in LSN order. Because the log is redo-only, losers need no
 /// undo: their effects were never reapplied.
 class RecoveryManager {
  public:
+  struct Options {
+    /// Commit decisions known from the coordinator's log; nullptr means
+    /// no external decisions (every in-doubt transaction aborts).
+    const std::set<GroupId>* committed_gtids = nullptr;
+  };
+
   struct Result {
     std::unique_ptr<Database> db;
     std::set<TxnId> committed;       ///< durably committed transactions
     std::set<TxnId> rolled_back;     ///< had COMMIT but lost it to the
                                      ///< group-commit rule (widow prevention)
     std::set<TxnId> discarded;       ///< in-flight or aborted at crash time
+    std::set<TxnId> in_doubt;        ///< prepared, resolved only through the
+                                     ///< coordinator's decisions (members of
+                                     ///< committed or discarded too)
     uint64_t max_lsn = 0;
     TxnId max_txn_id = 0;
+    /// Highest 2PC global transaction id seen in PREPARE / COMMIT_DECISION
+    /// records — the coordinator must allocate above this after recovery
+    /// so a presumed-aborted gtid can never be reused (and later decided).
+    GroupId max_gtid = 0;
     bool torn_tail = false;
   };
 
   /// Runs recovery from `wal_path`. Checkpoints are located through the
   /// log's CheckpointRef head record.
   static StatusOr<Result> Recover(const std::string& wal_path);
+  static StatusOr<Result> Recover(const std::string& wal_path,
+                                  const Options& options);
 };
 
 }  // namespace youtopia

@@ -4,7 +4,7 @@
 
 namespace youtopia::workload {
 
-StatusOr<TravelData> TravelData::Build(TransactionManager* tm,
+StatusOr<TravelData> TravelData::Build(TxnEngine* tm,
                                        TravelDataOptions options) {
   TravelData data;
   data.graph_ = SocialGraph::PreferentialAttachment(
@@ -23,53 +23,48 @@ StatusOr<TravelData> TravelData::Build(TransactionManager* tm,
 
   // --- Schema. Point-access columns carry indexes: User.uid and Flight.fid
   // are primary keys, Friends gets a secondary index on uid1 (adjacency
-  // probes and the §D social join's Friends.uid1 = c conjunct).
+  // probes and the §D social join's Friends.uid1 = c conjunct). Under a
+  // sharded engine the primary keys double as partition keys.
   Schema user_schema({{"uid", TypeId::kInt64},
                       {"hometown", TypeId::kString}});
   user_schema.set_primary_key({0});
-  YT_ASSIGN_OR_RETURN(Table * user_t, tm->CreateTable("User", user_schema));
-  YT_ASSIGN_OR_RETURN(
-      Table * friends_t,
+  YT_RETURN_IF_ERROR(tm->CreateTable("User", user_schema).status());
+  YT_RETURN_IF_ERROR(
       tm->CreateTable("Friends", Schema({{"uid1", TypeId::kInt64},
-                                         {"uid2", TypeId::kInt64}})));
+                                         {"uid2", TypeId::kInt64}}))
+          .status());
   YT_RETURN_IF_ERROR(tm->CreateIndex("Friends", {"uid1"}));
   Schema flight_schema({{"source", TypeId::kString},
                         {"destination", TypeId::kString},
                         {"fid", TypeId::kInt64}});
   flight_schema.set_primary_key({2});
-  YT_ASSIGN_OR_RETURN(Table * flight_t,
-                      tm->CreateTable("Flight", flight_schema));
-  YT_ASSIGN_OR_RETURN(
-      Table * reserve_t,
+  YT_RETURN_IF_ERROR(tm->CreateTable("Flight", flight_schema).status());
+  YT_RETURN_IF_ERROR(
       tm->CreateTable("Reserve", Schema({{"uid", TypeId::kInt64},
-                                         {"fid", TypeId::kInt64}})));
-  (void)reserve_t;
+                                         {"fid", TypeId::kInt64}}))
+          .status());
 
-  // --- Data (loaded directly; setup is not part of any measurement).
+  // --- Data (loaded directly through the engine; setup is not part of any
+  // measurement, and a partitioned engine routes each row to its shard).
   for (size_t u = 0; u < options.num_users; ++u) {
-    YT_ASSIGN_OR_RETURN(
-        RowId rid,
-        user_t->Insert(Row({Value::Int(static_cast<int64_t>(u)),
-                            Value::Str(data.hometowns_[u])})));
-    (void)rid;
+    YT_RETURN_IF_ERROR(
+        tm->Load("User", Row({Value::Int(static_cast<int64_t>(u)),
+                              Value::Str(data.hometowns_[u])})));
   }
   for (const auto& [a, b] : data.graph_.Edges()) {
-    YT_ASSIGN_OR_RETURN(RowId r1,
-                        friends_t->Insert(Row({Value::Int(a), Value::Int(b)})));
-    YT_ASSIGN_OR_RETURN(RowId r2,
-                        friends_t->Insert(Row({Value::Int(b), Value::Int(a)})));
-    (void)r1;
-    (void)r2;
+    YT_RETURN_IF_ERROR(
+        tm->Load("Friends", Row({Value::Int(a), Value::Int(b)})));
+    YT_RETURN_IF_ERROR(
+        tm->Load("Friends", Row({Value::Int(b), Value::Int(a)})));
   }
   int64_t fid = 100;
   for (const std::string& src : data.cities_) {
     for (const std::string& dst : data.cities_) {
       if (src == dst) continue;
       for (size_t k = 0; k < options.flights_per_route; ++k) {
-        YT_ASSIGN_OR_RETURN(
-            RowId rid, flight_t->Insert(Row({Value::Str(src), Value::Str(dst),
-                                             Value::Int(fid++)})));
-        (void)rid;
+        YT_RETURN_IF_ERROR(
+            tm->Load("Flight", Row({Value::Str(src), Value::Str(dst),
+                                    Value::Int(fid++)})));
       }
     }
   }
@@ -82,26 +77,26 @@ StatusOr<TravelData> TravelData::Build(TransactionManager* tm,
   return data;
 }
 
-Status TravelData::BuildFigure1Tables(TransactionManager* tm) {
+Status TravelData::BuildFigure1Tables(TxnEngine* tm) {
   // Figure 1(a) of the paper, with dates as day numbers (May 3 = 503).
-  YT_ASSIGN_OR_RETURN(
-      Table * flights,
+  YT_RETURN_IF_ERROR(
       tm->CreateTable("Flights", Schema({{"fno", TypeId::kInt64},
                                          {"fdate", TypeId::kInt64},
-                                         {"dest", TypeId::kString}})));
+                                         {"dest", TypeId::kString}}))
+          .status());
   // Date predicates over Flights are the paper's range shape ("fdate
   // between May 3 and May 5"): an ordered index makes them sargable and
   // key-range-lockable instead of table scans under table S locks.
   YT_RETURN_IF_ERROR(tm->CreateIndex("Flights", {"fdate"}, /*unique=*/false,
                                      /*ordered=*/true));
-  YT_ASSIGN_OR_RETURN(
-      Table * airlines,
+  YT_RETURN_IF_ERROR(
       tm->CreateTable("Airlines", Schema({{"fno", TypeId::kInt64},
-                                          {"airline", TypeId::kString}})));
-  YT_ASSIGN_OR_RETURN(
-      Table * hotels,
+                                          {"airline", TypeId::kString}}))
+          .status());
+  YT_RETURN_IF_ERROR(
       tm->CreateTable("Hotels", Schema({{"hid", TypeId::kInt64},
-                                        {"location", TypeId::kString}})));
+                                        {"location", TypeId::kString}}))
+          .status());
   struct F {
     int64_t fno, fdate;
     const char* dest;
@@ -110,11 +105,9 @@ Status TravelData::BuildFigure1Tables(TransactionManager* tm) {
                                              {123, 504, "LA"},
                                              {124, 503, "LA"},
                                              {235, 505, "Paris"}}) {
-    YT_ASSIGN_OR_RETURN(RowId rid,
-                        flights->Insert(Row({Value::Int(f.fno),
-                                             Value::Int(f.fdate),
-                                             Value::Str(f.dest)})));
-    (void)rid;
+    YT_RETURN_IF_ERROR(
+        tm->Load("Flights", Row({Value::Int(f.fno), Value::Int(f.fdate),
+                                 Value::Str(f.dest)})));
   }
   struct A {
     int64_t fno;
@@ -124,14 +117,12 @@ Status TravelData::BuildFigure1Tables(TransactionManager* tm) {
                                              {123, "United"},
                                              {124, "USAir"},
                                              {235, "Delta"}}) {
-    YT_ASSIGN_OR_RETURN(RowId rid, airlines->Insert(Row({Value::Int(a.fno),
-                                                         Value::Str(a.airline)})));
-    (void)rid;
+    YT_RETURN_IF_ERROR(
+        tm->Load("Airlines", Row({Value::Int(a.fno), Value::Str(a.airline)})));
   }
   for (int64_t h : {701, 702, 703}) {
-    YT_ASSIGN_OR_RETURN(RowId rid,
-                        hotels->Insert(Row({Value::Int(h), Value::Str("LA")})));
-    (void)rid;
+    YT_RETURN_IF_ERROR(
+        tm->Load("Hotels", Row({Value::Int(h), Value::Str("LA")})));
   }
   return Status::Ok();
 }

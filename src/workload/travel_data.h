@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "src/txn/transaction_manager.h"
+#include "src/txn/txn_engine.h"
 #include "src/workload/social_graph.h"
 
 namespace youtopia::workload {
@@ -26,12 +26,12 @@ struct TravelDataOptions {
 /// plus the Figure 1/2 example tables when requested.
 class TravelData {
  public:
-  static StatusOr<TravelData> Build(TransactionManager* tm,
+  static StatusOr<TravelData> Build(TxnEngine* tm,
                                     TravelDataOptions options);
 
   /// Creates the Figure 1 flight/airline/hotel example tables
   /// (Flights/Airlines/Hotels) with the paper's literal rows.
-  static Status BuildFigure1Tables(TransactionManager* tm);
+  static Status BuildFigure1Tables(TxnEngine* tm);
 
   const SocialGraph& graph() const { return graph_; }
   const std::vector<std::string>& cities() const { return cities_; }

@@ -1167,5 +1167,113 @@ TEST(SharedScanTest, DifferentialUnderConcurrentWritersAndMixedIsolation) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+// --- The drain-exhaustion contract (cursor.h): draining a cursor to
+// completion exhausts it; a second drain (or further pulls) must visit
+// nothing and return Ok — never UB. The sharded MergedCursor materializes
+// through full drains and depends on this.
+
+TEST(CursorDrainTest, ScanCursorSecondDrainIsEmpty) {
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("T", KV()).status());
+  auto setup = fix.tm->Begin();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_OK(fix.tm->Insert(setup.get(), "T",
+                             Row({Value::Int(i), Value::Str("x")}))
+                  .status());
+  }
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+
+  auto txn = fix.tm->Begin();
+  // Zero-copy DrainRef fast path first.
+  ASSERT_OK_AND_ASSIGN(auto c1,
+                       fix.tm->OpenCursor(txn.get(), "T",
+                                          AccessPlan::TableScan(),
+                                          ReadOrigin::kStatement));
+  size_t first = 0, second = 0;
+  ASSERT_OK(c1->DrainRef([&](RowId, const Row&) {
+    ++first;
+    return true;
+  }));
+  ASSERT_OK(c1->DrainRef([&](RowId, const Row&) {
+    ++second;
+    return true;
+  }));
+  EXPECT_EQ(first, 8u);
+  EXPECT_EQ(second, 0u);
+  RowId rid = 0;
+  Row row;
+  EXPECT_FALSE(c1->Next(&rid, &row).value());
+
+  // Pull-then-drain: the generic loop hits the same contract.
+  ASSERT_OK_AND_ASSIGN(auto c2,
+                       fix.tm->OpenCursor(txn.get(), "T",
+                                          AccessPlan::TableScan(),
+                                          ReadOrigin::kStatement));
+  ASSERT_TRUE(c2->Next(&rid, &row).value());
+  size_t rest = 0;
+  ASSERT_OK(c2->Drain([&](RowId, Row&&) {
+    ++rest;
+    return true;
+  }));
+  EXPECT_EQ(rest, 7u);
+  ASSERT_OK(c2->Drain([&](RowId, Row&&) {
+    ++rest;
+    return true;
+  }));
+  EXPECT_EQ(rest, 7u);
+  EXPECT_FALSE(c2->Next(&rid, &row).value());
+  ASSERT_OK(fix.tm->Commit(txn.get()));
+}
+
+TEST(CursorDrainTest, IndexAndRangeCursorsSecondDrainIsEmpty) {
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("T", KVOrderedPk()).status());
+  auto setup = fix.tm->Begin();
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_OK(fix.tm->Insert(setup.get(), "T",
+                             Row({Value::Int(i), Value::Str("x")}))
+                  .status());
+  }
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+
+  auto txn = fix.tm->Begin();
+  ASSERT_OK_AND_ASSIGN(
+      auto lookup,
+      fix.tm->OpenCursor(txn.get(), "T",
+                         AccessPlan::Lookup({0}, Row({Value::Int(3)})),
+                         ReadOrigin::kStatement));
+  size_t hits = 0;
+  ASSERT_OK(lookup->Drain([&](RowId, Row&&) {
+    ++hits;
+    return true;
+  }));
+  EXPECT_EQ(hits, 1u);
+  ASSERT_OK(lookup->Drain([&](RowId, Row&&) {
+    ++hits;
+    return true;
+  }));
+  EXPECT_EQ(hits, 1u);
+
+  ASSERT_OK_AND_ASSIGN(auto range,
+                       fix.tm->OpenCursor(txn.get(), "T",
+                                          AccessPlan::Range(IntRangeSpec(1, 4)),
+                                          ReadOrigin::kStatement));
+  size_t first = 0, second = 0;
+  ASSERT_OK(range->DrainRef([&](RowId, const Row&) {
+    ++first;
+    return true;
+  }));
+  ASSERT_OK(range->DrainRef([&](RowId, const Row&) {
+    ++second;
+    return true;
+  }));
+  EXPECT_EQ(first, 4u);
+  EXPECT_EQ(second, 0u);
+  RowId rid = 0;
+  Row row;
+  EXPECT_FALSE(range->Next(&rid, &row).value());
+  ASSERT_OK(fix.tm->Commit(txn.get()));
+}
+
 }  // namespace
 }  // namespace youtopia
