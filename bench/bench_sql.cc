@@ -380,6 +380,26 @@ void BM_ShardedScan(benchmark::State& state) {
 }
 BENCHMARK(BM_ShardedScan)->Unit(benchmark::kMicrosecond);
 
+/// A 32k-row partitioned table for the fanout/aggregate scaling benches:
+/// Wide(id PK, a = id*7, b = id%97 — 97 groups).
+constexpr int64_t kWideRows = 32768;
+
+std::unique_ptr<shard::Router> MakeWideRouter(size_t num_shards) {
+  shard::Router::Options opts;
+  opts.num_shards = num_shards;
+  auto router = shard::Router::Open(opts).value();
+  Schema schema({{"id", TypeId::kInt64},
+                 {"a", TypeId::kInt64},
+                 {"b", TypeId::kInt64}});
+  schema.set_primary_key({0});
+  (void)router->CreateTable("Wide", schema).value();
+  for (int64_t i = 0; i < kWideRows; ++i) {
+    (void)router->Load("Wide", Row({Value::Int(i), Value::Int(i * 7),
+                                    Value::Int(i % 97)}));
+  }
+  return router;
+}
+
 void BM_ShardedScanFanout(benchmark::State& state) {
   // Fanout scaling: one full scan of a 32k-row partitioned table at 1, 2,
   // and 4 shards. The per-shard heap walks run on one thread per shard, so
@@ -388,19 +408,8 @@ void BM_ShardedScanFanout(benchmark::State& state) {
   // column still shows the serving thread's share dropping with shard
   // count (the drains moved off it).
   const size_t num_shards = static_cast<size_t>(state.range(0));
-  shard::Router::Options opts;
-  opts.num_shards = num_shards;
-  auto router = shard::Router::Open(opts).value();
-  Schema schema({{"id", TypeId::kInt64},
-                 {"a", TypeId::kInt64},
-                 {"b", TypeId::kInt64}});
-  schema.set_primary_key({0});
-  constexpr int64_t kRows = 32768;
-  (void)router->CreateTable("Wide", schema).value();
-  for (int64_t i = 0; i < kRows; ++i) {
-    (void)router->Load("Wide", Row({Value::Int(i), Value::Int(i * 7),
-                                    Value::Int(i % 97)}));
-  }
+  auto router = MakeWideRouter(num_shards);
+  constexpr int64_t kRows = kWideRows;
   for (auto _ : state) {
     auto txn = router->Begin(IsolationLevel::kSerializable);
     auto cursor = router->OpenCursor(txn.get(), "Wide",
@@ -431,6 +440,104 @@ void BM_ShardedScanFanout(benchmark::State& state) {
       benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_ShardedScanFanout)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ShardedScanBatchSweep(benchmark::State& state) {
+  // Consumer-side pacing sweep over the 4-shard fanout scan: max_rows = 1
+  // is the scalar row-at-a-time pull loop (one virtual call per row);
+  // larger targets move whole merged chunks across the cursor seam per
+  // call, so per-row cost falls as the batch grows.
+  const size_t batch = static_cast<size_t>(state.range(0));
+  auto router = MakeWideRouter(4);
+  for (auto _ : state) {
+    auto txn = router->Begin(IsolationLevel::kSerializable);
+    auto cursor = router->OpenCursor(txn.get(), "Wide",
+                                     AccessPlan::TableScan(),
+                                     ReadOrigin::kStatement);
+    if (!cursor.ok()) {
+      state.SkipWithError(cursor.status().ToString().c_str());
+      return;
+    }
+    int64_t rows = 0, sum = 0;
+    if (batch <= 1) {
+      RowId rid = 0;
+      Row row;
+      while (cursor.value()->Next(&rid, &row).value()) {
+        ++rows;
+        sum += row[1].as_int();
+      }
+    } else {
+      RowBatch rb;
+      while (cursor.value()->NextBatch(&rb, batch).value()) {
+        rows += static_cast<int64_t>(rb.size());
+        for (const auto& [rid, row] : rb.rows) sum += row[1].as_int();
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+    cursor.value().reset();
+    (void)router->Commit(txn.get());
+    if (rows != kWideRows) {
+      state.SkipWithError("sharded batch scan returned wrong row count");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kWideRows);
+}
+BENCHMARK(BM_ShardedScanBatchSweep)
+    ->Arg(1)
+    ->Arg(32)
+    ->Arg(256)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void GroupByAggregateBody(benchmark::State& state, bool pushdown) {
+  // One GROUP BY over the 32k-row partitioned table (97 groups, four
+  // aggregate columns), through the full SQL path. With pushdown each
+  // shard folds its partition inside its own drain thread and only 97
+  // partial states per shard reach the coordinator; the row-shipping
+  // ablation drags all 32k rows through the merged fan-out cursor and
+  // folds centrally.
+  const size_t num_shards = static_cast<size_t>(state.range(0));
+  auto router = MakeWideRouter(num_shards);
+  router->set_aggregate_pushdown_enabled(pushdown);
+  sql::Session session(router.get());
+  for (auto _ : state) {
+    auto res = session.Execute(
+        "SELECT b, COUNT(*), SUM(a), MIN(a), MAX(a) FROM Wide GROUP BY b");
+    if (!res.ok()) {
+      state.SkipWithError(res.status().ToString().c_str());
+      return;
+    }
+    if (res.value().rows.size() != 97u) {
+      state.SkipWithError("aggregate returned wrong group count");
+      return;
+    }
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(state.iterations() * kWideRows);
+  state.counters["aggregate_pushdowns"] = benchmark::Counter(
+      static_cast<double>(router->stats().aggregate_pushdowns.load()),
+      benchmark::Counter::kAvgIterations);
+}
+
+void BM_GroupByAggregate(benchmark::State& state) {
+  GroupByAggregateBody(state, /*pushdown=*/true);
+}
+BENCHMARK(BM_GroupByAggregate)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GroupByAggregateRowShip(benchmark::State& state) {
+  GroupByAggregateBody(state, /*pushdown=*/false);
+}
+BENCHMARK(BM_GroupByAggregateRowShip)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

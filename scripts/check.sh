@@ -44,8 +44,12 @@ for arg in "$@"; do
       exit 1
     fi
     cmake --build build-bench -j --target bench_sql bench_fig6a_concurrency
+    # Keep the committed baseline around for the regression diff below.
+    bench_baseline=$(mktemp)
+    git show HEAD:BENCH_sql.json > "${bench_baseline}" 2>/dev/null || \
+      : > "${bench_baseline}"
     ./build-bench/bench_sql \
-      --benchmark_filter='BM_PointSelect|BM_PointSelectScan|BM_PointUpdate|BM_ThreeWayJoin|BM_ThreeWayJoinSnapshot|BM_GroundEntangled|BM_GroundEntangledSnapshot|BM_RangeSelect|BM_RangeSelectScan|BM_OrderByLimit|BM_OrderByLimitScan|BM_ConcurrentScans|BM_ShardedPointSelect|BM_ShardedScan|BM_ShardedScanFanout' \
+      --benchmark_filter='BM_PointSelect|BM_PointSelectScan|BM_PointUpdate|BM_ThreeWayJoin|BM_ThreeWayJoinSnapshot|BM_GroundEntangled|BM_GroundEntangledSnapshot|BM_RangeSelect|BM_RangeSelectScan|BM_OrderByLimit|BM_OrderByLimitScan|BM_ConcurrentScans|BM_ShardedPointSelect|BM_ShardedScan|BM_ShardedScanFanout|BM_ShardedScanBatchSweep|BM_GroupByAggregate' \
       --benchmark_min_time=0.1 \
       --benchmark_out=BENCH_sql.json \
       --benchmark_out_format=json
@@ -55,6 +59,44 @@ for arg in "$@"; do
       exit 1
     fi
     echo "wrote BENCH_sql.json (Release)"
+    # Diff the fresh run against the committed trajectory point: a table of
+    # real-time ratios, warning (not failing — smoke boxes are noisy) on
+    # anything that got more than 1.3x slower.
+    python3 - "${bench_baseline}" BENCH_sql.json <<'PYEOF'
+import json, sys
+
+def times(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError):
+        return {}
+    return {b["name"]: b["real_time"] for b in doc.get("benchmarks", [])
+            if b.get("run_type") == "iteration"}
+
+old, new = times(sys.argv[1]), times(sys.argv[2])
+common = [n for n in new if n in old]
+if not common:
+    print("no committed BENCH_sql.json baseline; skipping regression diff")
+    sys.exit(0)
+width = max(len(n) for n in common)
+print(f"== bench regression table (vs committed BENCH_sql.json)")
+print(f"{'benchmark':<{width}}  {'old_us':>10}  {'new_us':>10}  {'ratio':>6}")
+regressed = []
+for name in common:
+    ratio = new[name] / old[name] if old[name] > 0 else float("inf")
+    flag = "  <-- WARN >1.3x" if ratio > 1.3 else ""
+    print(f"{name:<{width}}  {old[name]:>10.1f}  {new[name]:>10.1f}"
+          f"  {ratio:>6.2f}{flag}")
+    if ratio > 1.3:
+        regressed.append(name)
+for name in sorted(set(new) - set(old)):
+    print(f"{name:<{width}}  {'-':>10}  {new[name]:>10.1f}    new")
+if regressed:
+    print(f"WARNING: {len(regressed)} benchmark(s) regressed >1.3x: "
+          + ", ".join(regressed))
+PYEOF
+    rm -f "${bench_baseline}"
     # One fig6a point per workload extreme: many connections hammering the
     # same tables — the regime scan sharing is for (watch the
     # shared_scan_attaches counter).

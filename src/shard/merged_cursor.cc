@@ -1,5 +1,8 @@
 #include "src/shard/merged_cursor.h"
 
+#include <algorithm>
+#include <iterator>
+
 namespace youtopia::shard {
 
 int MergedCursor::CompareKeys(const Row& a, const Row& b) const {
@@ -40,6 +43,61 @@ StatusOr<bool> MergedCursor::NextRef(RowId* rid, const Row** row) {
   *row = &src.rows[src.pos].second;
   ++src.pos;
   return true;
+}
+
+StatusOr<bool> MergedCursor::NextBatch(RowBatch* batch, size_t max_rows) {
+  batch->clear();
+  if (max_rows == 0) max_rows = 1;
+  if (!ordered_) {
+    for (Source& src : sources_) {
+      if (src.pos >= src.rows.size()) continue;
+      size_t left = src.rows.size() - src.pos;
+      if (limit_ >= 0) {
+        int64_t lim_left = limit_ - emitted_;
+        if (lim_left <= 0) break;
+        left = std::min(left, static_cast<size_t>(lim_left));
+      }
+      if (batch->rows.empty() && src.pos == 0 && left == src.rows.size()) {
+        // Whole untouched source: hand the buffer over by swap (max_rows
+        // is a pacing target, not a cap).
+        batch->rows.swap(src.rows);
+        src.rows.clear();
+        src.pos = 0;
+        emitted_ += static_cast<int64_t>(batch->rows.size());
+        return true;
+      }
+      size_t take = std::min(left, max_rows - batch->rows.size());
+      if (take == 0) break;
+      batch->reserve(batch->rows.size() + take);
+      std::move(src.rows.begin() + static_cast<int64_t>(src.pos),
+                src.rows.begin() + static_cast<int64_t>(src.pos + take),
+                std::back_inserter(batch->rows));
+      src.pos += take;
+      emitted_ += static_cast<int64_t>(take);
+      if (batch->rows.size() >= max_rows) break;
+    }
+    return !batch->rows.empty();
+  }
+  batch->reserve(max_rows);
+  while (batch->rows.size() < max_rows) {
+    int s = Advance();
+    if (s < 0) break;
+    Source& src = sources_[static_cast<size_t>(s)];
+    batch->rows.emplace_back(src.rows[src.pos].first,
+                             std::move(src.rows[src.pos].second));
+    ++src.pos;
+  }
+  return !batch->rows.empty();
+}
+
+size_t MergedCursor::size_hint() const {
+  size_t left = 0;
+  for (const Source& src : sources_) left += src.rows.size() - src.pos;
+  if (limit_ >= 0) {
+    int64_t lim_left = limit_ - emitted_;
+    left = std::min(left, static_cast<size_t>(std::max<int64_t>(0, lim_left)));
+  }
+  return left;
 }
 
 StatusOr<bool> MergedCursor::Next(RowId* rid, Row* row) {

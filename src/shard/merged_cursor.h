@@ -46,6 +46,14 @@ class MergedCursor : public TableCursor {
   StatusOr<bool> NextRef(RowId* rid, const Row** row) override;
   StatusOr<bool> Next(RowId* rid, Row* row) override;
 
+  /// Batched pull. Unordered mode hands an untouched source buffer over by
+  /// swap (zero row moves for the common whole-shard case) and otherwise
+  /// bulk-moves source remainders; ordered mode runs the k-way merge loop
+  /// once per batch instead of once per row.
+  StatusOr<bool> NextBatch(RowBatch* batch, size_t max_rows) override;
+
+  size_t size_hint() const override;
+
  private:
   /// Advances to the next row; returns its source index or -1 at end.
   int Advance();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <iterator>
 #include <thread>
 
 #include "src/common/strings.h"
@@ -35,6 +36,17 @@ class TaggingCursor : public TableCursor {
     *rid = Router::TagRid(shard_, *rid);
     return true;
   }
+
+  /// Batched pull: the inner cursor's chunks flow through untouched except
+  /// for an in-place RowId tag per element.
+  StatusOr<bool> NextBatch(RowBatch* batch, size_t max_rows) override {
+    YT_ASSIGN_OR_RETURN(bool more, inner_->NextBatch(batch, max_rows));
+    if (!more) return false;
+    for (auto& [rid, row] : batch->rows) rid = Router::TagRid(shard_, rid);
+    return true;
+  }
+
+  size_t size_hint() const override { return inner_->size_hint(); }
 
  private:
   std::unique_ptr<TableCursor> inner_;
@@ -470,11 +482,28 @@ StatusOr<std::unique_ptr<TableCursor>> Router::OpenFanout(
   }
   std::vector<Status> drained(n, Status::Ok());
   auto drain = [&](size_t s) {
+    // Batched pull: a private heap scan hands whole chunks over by swap,
+    // so the per-row cost here is one tag write plus one pair move — no
+    // per-row virtual call or visitor indirection.
     std::vector<std::pair<RowId, Row>>& rows = sources[s].rows;
-    drained[s] = cursors[s]->Drain([&rows, s](RowId rid, Row&& row) {
-      rows.emplace_back(TagRid(s, rid), std::move(row));
-      return true;
-    });
+    RowBatch batch;
+    while (true) {
+      StatusOr<bool> more = cursors[s]->NextBatch(&batch);
+      if (!more.ok()) {
+        drained[s] = more.status();
+        break;
+      }
+      if (!more.value()) break;
+      for (auto& [rid, row] : batch.rows) rid = TagRid(s, rid);
+      if (rows.empty() && rows.capacity() < batch.rows.size()) {
+        rows.swap(batch.rows);
+        batch.clear();
+        continue;
+      }
+      rows.insert(rows.end(),
+                  std::make_move_iterator(batch.rows.begin()),
+                  std::make_move_iterator(batch.rows.end()));
+    }
     cursors[s].reset();  // close (isolation-level early release) here
   };
   if (options_.parallel_fanout && n > 1) {
@@ -493,6 +522,84 @@ StatusOr<std::unique_ptr<TableCursor>> Router::OpenFanout(
   return std::unique_ptr<TableCursor>(
       new MergedCursor(std::move(sources), plan.columns, plan.reverse,
                        plan.limit, /*ordered=*/plan.is_range()));
+}
+
+StatusOr<AggregateGroups> Router::AggregateTable(Transaction* txn, Table* t,
+                                                 AccessPlan plan,
+                                                 const AggregateSpec& spec,
+                                                 ReadOrigin origin) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  YT_ASSIGN_OR_RETURN(Dtxn * dt, FindDtxn(txn));
+  const std::string& name = t->name();
+  if (map_.IsBroadcast(name)) {
+    // One replica holds every row: fold locally on shard 0.
+    Transaction* b = EnlistBranch(dt, txn, 0);
+    return shards_[0].tm->AggregateTable(b, t, std::move(plan), spec, origin);
+  }
+  size_t pinned = map_.RouteRead(name, plan);
+  if (pinned != ShardMap::kAllShards) {
+    stats_.shard_routed_lookups.fetch_add(1, std::memory_order_relaxed);
+    Transaction* b = EnlistBranch(dt, txn, pinned);
+    YT_ASSIGN_OR_RETURN(Table * st, shards_[pinned].db->GetTable(name));
+    return shards_[pinned].tm->AggregateTable(b, st, std::move(plan), spec,
+                                              origin);
+  }
+  if (!aggregate_pushdown_.load(std::memory_order_relaxed)) {
+    // Ablation: ship every row to the coordinator and fold there (the base
+    // fold's OpenCursor fans out through OpenFanout).
+    return TxnEngine::AggregateTable(txn, t, std::move(plan), spec, origin);
+  }
+  stats_.aggregate_pushdowns.fetch_add(1, std::memory_order_relaxed);
+  stats_.fanout_cursors.fetch_add(1, std::memory_order_relaxed);
+  const size_t n = shards_.size();
+  // Enlist + open in shard order on the calling thread, exactly like
+  // OpenFanout: deterministic lock acquisition order for readers.
+  std::vector<std::unique_ptr<TableCursor>> cursors(n);
+  for (size_t s = 0; s < n; ++s) {
+    Transaction* b = EnlistBranch(dt, txn, s);
+    YT_ASSIGN_OR_RETURN(Table * st, shards_[s].db->GetTable(name));
+    YT_ASSIGN_OR_RETURN(cursors[s],
+                        shards_[s].tm->OpenCursor(b, st, plan, origin));
+  }
+  // The pushdown: each drain thread folds its shard's rows into a private
+  // Aggregator as it pulls them, so rows die inside the thread and only
+  // the per-shard group states travel to the coordinator. Fresh threads
+  // for the same reason as OpenFanout (drains can park on lock waits).
+  std::vector<Aggregator> partials;
+  partials.reserve(n);
+  for (size_t s = 0; s < n; ++s) partials.emplace_back(spec);
+  std::vector<Status> drained(n, Status::Ok());
+  auto drain = [&](size_t s) {
+    RowBatch batch;
+    while (true) {
+      StatusOr<bool> more = cursors[s]->NextBatch(&batch);
+      if (!more.ok()) {
+        drained[s] = more.status();
+        break;
+      }
+      if (!more.value()) break;
+      for (const auto& [rid, row] : batch.rows) partials[s].Accumulate(row);
+    }
+    cursors[s].reset();  // close (isolation-level early release) here
+  };
+  if (options_.parallel_fanout && n > 1) {
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (size_t s = 0; s < n; ++s) threads.emplace_back(drain, s);
+    for (std::thread& th : threads) th.join();
+  } else {
+    for (size_t s = 0; s < n; ++s) drain(s);
+  }
+  for (const Status& st : drained) {
+    if (!st.ok()) return st;
+  }
+  Aggregator merged(spec);
+  for (size_t s = 0; s < n; ++s) {
+    YT_RETURN_IF_ERROR(partials[s].Finish());
+    merged.Merge(partials[s].TakeGroups());
+  }
+  YT_RETURN_IF_ERROR(merged.Finish());
+  return merged.TakeGroups();
 }
 
 // --- Write-statement candidate acquisition. ------------------------------

@@ -121,6 +121,25 @@ class Router : public TxnEngine {
   StatusOr<std::unique_ptr<TableCursor>> OpenCursor(
       Transaction* txn, Table* t, AccessPlan plan, ReadOrigin origin) override;
 
+  /// Distributed aggregation with partial-state pushdown: a fanned-out
+  /// plan folds `spec` inside each shard's drain thread and merges the
+  /// per-shard group states at the coordinator, so the bytes crossing the
+  /// shard boundary scale with the number of groups, not the number of
+  /// rows. Pinned/broadcast plans fold on their one shard. With pushdown
+  /// disabled (ablation) falls back to the base row-shipping fold over a
+  /// fanned-out cursor.
+  using TxnEngine::AggregateTable;
+  StatusOr<AggregateGroups> AggregateTable(Transaction* txn, Table* t,
+                                           AccessPlan plan,
+                                           const AggregateSpec& spec,
+                                           ReadOrigin origin) override;
+
+  /// Ablation: route fanned-out aggregates through the row-shipping base
+  /// fold instead of per-shard partials (benches measure the difference).
+  void set_aggregate_pushdown_enabled(bool on) {
+    aggregate_pushdown_.store(on, std::memory_order_relaxed);
+  }
+
   StatusOr<std::vector<std::pair<RowId, Row>>> LockRowsForWrite(
       Transaction* txn, const std::string& table,
       const std::vector<size_t>& columns, const Row& key) override;
@@ -264,6 +283,9 @@ class Router : public TxnEngine {
 
   std::atomic<TxnId> next_txn_id_{1};
   TxnStats stats_;
+  /// Fanned-out aggregates fold per-shard partials when true (default);
+  /// false = row-shipping ablation.
+  std::atomic<bool> aggregate_pushdown_{true};
   /// Test-only crash injection (atomic: armed from a test thread, read by
   /// committing threads; whether THIS commit crashed is tracked per
   /// attempt, not here).

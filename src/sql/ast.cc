@@ -14,6 +14,8 @@ std::string Expr::ToString() const {
       return "(" + lhs->ToString() + " " + op + " " + rhs->ToString() + ")";
     case ExprKind::kNot:
       return "(NOT " + lhs->ToString() + ")";
+    case ExprKind::kAggregate:
+      return op + "(" + (lhs ? lhs->ToString() : "*") + ")";
     case ExprKind::kTuple: {
       std::string s = "(";
       for (size_t i = 0; i < tuple.size(); ++i) {

@@ -21,6 +21,8 @@ enum class ExprKind {
   kInSubquery,  ///< tuple IN (SELECT ...)
   kInAnswer,    ///< tuple IN ANSWER relation — entangled postcondition
   kNot,         ///< NOT child
+  kAggregate,   ///< COUNT/SUM/MIN/MAX/AVG(arg) — op holds the upper-cased
+                ///< function name, lhs the argument (null = COUNT(*))
 };
 
 /// Expression tree node. A tagged union kept flat (one struct) for
@@ -67,6 +69,7 @@ struct SelectStmt {
   std::vector<SelectItem> items;
   std::vector<TableRef> from;
   ExprPtr where;      // may be null
+  std::vector<ExprPtr> group_by;  // GROUP BY keys (column refs)
   std::vector<OrderByItem> order_by;
   int64_t limit = -1; // -1 = unlimited
 };

@@ -59,6 +59,29 @@ StatusOr<QueryResult> Executor::Execute(const ParsedStatement& stmt,
   return Status::Internal("bad statement kind");
 }
 
+Status Executor::DrainRows(TableCursor* cursor, std::vector<Row>* rows) {
+  if (batch_size_ <= 1) {
+    // Row-at-a-time ablation: the scalar pull loop (NextBatch's swap paths
+    // may exceed any max_rows, so this is the only true size-1 drain).
+    RowId rid;
+    Row row;
+    while (true) {
+      YT_ASSIGN_OR_RETURN(bool more, cursor->Next(&rid, &row));
+      if (!more) return Status::Ok();
+      rows->push_back(std::move(row));
+    }
+  }
+  if (size_t hint = cursor->size_hint(); hint > 0) {
+    rows->reserve(rows->size() + hint);
+  }
+  RowBatch batch;
+  while (true) {
+    YT_ASSIGN_OR_RETURN(bool more, cursor->NextBatch(&batch, batch_size_));
+    if (!more) return Status::Ok();
+    for (auto& [rid, row] : batch.rows) rows->push_back(std::move(row));
+  }
+}
+
 Status Executor::MaterializeSubqueries(
     const Expr* where, Transaction* txn, VarEnv* vars,
     std::unordered_map<const Expr*, std::unordered_set<Row, RowHash>>* out) {
@@ -80,6 +103,14 @@ Status Executor::MaterializeSubqueries(
 
 StatusOr<QueryResult> Executor::ExecuteSelect(const SelectStmt& sel,
                                               Transaction* txn, VarEnv* vars) {
+  // GROUP BY or any aggregate select item routes to the aggregate path
+  // (which also rejects half-aggregate queries with a plan-time error).
+  bool has_aggregate = !sel.group_by.empty();
+  for (const SelectItem& item : sel.items) {
+    has_aggregate = has_aggregate || ContainsAggregate(item.expr.get());
+  }
+  if (has_aggregate) return ExecuteSelectAggregate(sel, txn, vars);
+
   // Pre-materialize IN (SELECT...) sets (uncorrelated subqueries).
   std::unordered_map<const Expr*, std::unordered_set<Row, RowHash>> in_sets;
   YT_RETURN_IF_ERROR(MaterializeSubqueries(sel.where.get(), txn, vars,
@@ -172,18 +203,15 @@ StatusOr<QueryResult> Executor::ExecuteSelect(const SelectStmt& sel,
           plan.limit = sel.limit;
         }
         if (i == 0 && plan.ordered) order_served = true;
-      } else if (plan.is_scan()) {
-        s.rows.reserve(t->size());
       }
       // One cursor per eager table: the transaction manager interprets the
-      // plan under the right locks; rows come back by move.
+      // plan under the right locks; rows come back by batch (the cursor's
+      // size hint pre-sizes the cache, so a heap scan lands as a handful
+      // of chunk moves instead of per-row push_backs).
       YT_ASSIGN_OR_RETURN(auto cursor,
                           tm_->OpenCursor(txn, t, std::move(plan),
                                           ReadOrigin::kStatement));
-      YT_RETURN_IF_ERROR(cursor->Drain([&s](RowId, Row&& row) {
-        s.rows.push_back(std::move(row));
-        return true;
-      }));
+      YT_RETURN_IF_ERROR(DrainRows(cursor.get(), &s.rows));
     }
     scans.push_back(std::move(s));
   }
@@ -363,10 +391,7 @@ StatusOr<QueryResult> Executor::ExecuteSelect(const SelectStmt& sel,
                       AccessPlan::Lookup(sc.probe.columns, key),
                       ReadOrigin::kJoin);
                   if (!cursor.ok()) return cursor.status();
-                  return cursor.value()->Drain([rows](RowId, Row&& row) {
-                    rows->push_back(std::move(row));
-                    return true;
-                  });
+                  return DrainRows(cursor.value().get(), rows);
                 }));
       } else {
         // Range probe: the interval's bound values come from the outer
@@ -399,10 +424,7 @@ StatusOr<QueryResult> Executor::ExecuteSelect(const SelectStmt& sel,
                                                 AccessPlan::Range(spec),
                                                 ReadOrigin::kJoin);
                   if (!cursor.ok()) return cursor.status();
-                  return cursor.value()->Drain([rows](RowId, Row&& row) {
-                    rows->push_back(std::move(row));
-                    return true;
-                  });
+                  return DrainRows(cursor.value().get(), rows);
                 }));
       }
     }
@@ -486,6 +508,156 @@ StatusOr<QueryResult> Executor::ExecuteSelect(const SelectStmt& sel,
     for (size_t i = 0; i < plans.size(); ++i) {
       if (plans[i].bind_var.empty()) continue;
       (*vars)[plans[i].bind_var] =
+          result.rows.empty() ? Value::Null() : result.rows[0][i];
+    }
+  }
+  return result;
+}
+
+StatusOr<QueryResult> Executor::ExecuteSelectAggregate(const SelectStmt& sel,
+                                                       Transaction* txn,
+                                                       VarEnv* vars) {
+  if (sel.from.size() != 1) {
+    return Status::InvalidArgument(
+        "aggregate queries require exactly one FROM table");
+  }
+  YT_ASSIGN_OR_RETURN(Table * t, tm_->db()->GetTable(sel.from[0].table));
+  std::vector<TableScope> scope{{sel.from[0].alias, &t->schema()}};
+  YT_ASSIGN_OR_RETURN(AggregateQueryPlan plan,
+                      Planner::PlanAggregate(*t, scope, sel, vars));
+
+  AggregateGroups groups;
+  if (plan.pushable) {
+    // The WHERE compiled completely into engine-level filters: the fold
+    // runs inside the engine — per-shard partials on a sharded one, so
+    // only group states cross the shard boundary.
+    YT_ASSIGN_OR_RETURN(groups,
+                        tm_->AggregateTable(txn, t, std::move(plan.access),
+                                            plan.spec,
+                                            ReadOrigin::kStatement));
+  } else {
+    // Residual WHERE (IN-subqueries, OR trees, column-vs-column...): drain
+    // the planned cursor here and fold under the full predicate. The spec
+    // carries no filters on this path — the predicate below is the filter.
+    std::unordered_map<const Expr*, std::unordered_set<Row, RowHash>> in_sets;
+    YT_RETURN_IF_ERROR(MaterializeSubqueries(sel.where.get(), txn, vars,
+                                             &in_sets));
+    EvalEnv env;
+    env.vars = vars;
+    env.in_sets = &in_sets;
+    env.tables.resize(1);
+    Aggregator agg(plan.spec);
+    YT_ASSIGN_OR_RETURN(auto cursor,
+                        tm_->OpenCursor(txn, t, std::move(plan.access),
+                                        ReadOrigin::kStatement));
+    auto fold = [&](const Row& row) -> Status {
+      env.tables[0] = {scope[0].alias, scope[0].schema, &row};
+      if (sel.where != nullptr) {
+        YT_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*sel.where, env));
+        if (!keep) return Status::Ok();
+      }
+      agg.Accumulate(row);
+      return Status::Ok();
+    };
+    if (batch_size_ <= 1) {
+      RowId rid;
+      Row row;
+      while (true) {
+        YT_ASSIGN_OR_RETURN(bool more, cursor->Next(&rid, &row));
+        if (!more) break;
+        YT_RETURN_IF_ERROR(fold(row));
+      }
+    } else {
+      RowBatch batch;
+      while (true) {
+        YT_ASSIGN_OR_RETURN(bool more, cursor->NextBatch(&batch, batch_size_));
+        if (!more) break;
+        for (const auto& [rid, row] : batch.rows) {
+          YT_RETURN_IF_ERROR(fold(row));
+        }
+      }
+    }
+    YT_RETURN_IF_ERROR(agg.Finish());
+    groups = agg.TakeGroups();
+  }
+
+  // SQL empty-input semantics: a global aggregate still answers one row
+  // (COUNT 0, SUM/MIN/MAX/AVG NULL); GROUP BY over nothing answers none.
+  if (plan.spec.group_by.empty() && groups.empty()) {
+    groups.emplace(Row(), Aggregator::EmptyStates(plan.spec));
+  }
+
+  // Deterministic output: groups in key order (Row::Compare's total order,
+  // NULL first — matching the engine's canonical sort).
+  std::vector<std::pair<Row, std::vector<AggState>>> in_order;
+  in_order.reserve(groups.size());
+  for (auto& [key, states] : groups) {
+    in_order.emplace_back(key, std::move(states));
+  }
+  std::sort(in_order.begin(), in_order.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.Compare(b.first) < 0;
+            });
+
+  QueryResult result;
+  for (const SelectItem& item : sel.items) {
+    result.column_names.push_back(
+        item.alias.empty() ? item.expr->ToString() : item.alias);
+  }
+  for (auto& [key, states] : in_order) {
+    std::vector<Value> out;
+    out.reserve(plan.outputs.size());
+    for (const AggregateQueryPlan::Output& o : plan.outputs) {
+      out.push_back(o.is_agg ? Aggregator::Finalize(
+                                   plan.spec.aggs[o.index].func,
+                                   states[o.index])
+                             : key[o.index]);
+    }
+    result.rows.emplace_back(std::move(out));
+  }
+
+  // ORDER BY must name a select item (by alias or by spelling): grouped
+  // output has no other columns to sort on.
+  if (!sel.order_by.empty()) {
+    std::vector<std::pair<size_t, bool>> sort_keys;
+    for (const OrderByItem& item : sel.order_by) {
+      const std::string want = item.expr->ToString();
+      size_t found = sel.items.size();
+      for (size_t i = 0; i < sel.items.size() && found == sel.items.size();
+           ++i) {
+        if (EqualsIgnoreCase(sel.items[i].expr->ToString(), want) ||
+            (!sel.items[i].alias.empty() &&
+             EqualsIgnoreCase(sel.items[i].alias, want))) {
+          found = i;
+        }
+      }
+      if (found == sel.items.size()) {
+        return Status::InvalidArgument(
+            "ORDER BY in an aggregate query must name a select item: " +
+            want);
+      }
+      sort_keys.emplace_back(found, item.desc);
+    }
+    std::stable_sort(result.rows.begin(), result.rows.end(),
+                     [&](const Row& a, const Row& b) {
+                       for (const auto& [i, desc] : sort_keys) {
+                         int c = a[i].Compare(b[i]);
+                         if (c != 0) return desc ? c > 0 : c < 0;
+                       }
+                       return false;
+                     });
+  }
+  if (sel.limit >= 0 &&
+      result.rows.size() > static_cast<size_t>(sel.limit)) {
+    result.rows.resize(static_cast<size_t>(sel.limit));
+  }
+
+  // Host-variable bindings from the first row (NULL when empty), matching
+  // the scalar select path.
+  if (vars != nullptr) {
+    for (size_t i = 0; i < sel.items.size(); ++i) {
+      if (!sel.items[i].alias_is_hostvar) continue;
+      (*vars)[ToLower(sel.items[i].alias)] =
           result.rows.empty() ? Value::Null() : result.rows[0][i];
     }
   }

@@ -42,6 +42,13 @@ class Executor {
   void set_join_probes_enabled(bool on) { join_probes_enabled_ = on; }
   bool join_probes_enabled() const { return join_probes_enabled_; }
 
+  /// Batch pacing for cursor drains; <= 1 switches to the row-at-a-time
+  /// Next() loop (differential-test ablation — NextBatch's swap paths may
+  /// legitimately exceed any max_rows, so true row-at-a-time needs the
+  /// scalar entry point). Results must be identical at any size.
+  void set_batch_size(size_t n) { batch_size_ = n; }
+  size_t batch_size() const { return batch_size_; }
+
   StatusOr<QueryResult> Execute(const ParsedStatement& stmt, Transaction* txn,
                                 VarEnv* vars);
 
@@ -49,6 +56,18 @@ class Executor {
                                       VarEnv* vars);
 
  private:
+  /// The GROUP BY / aggregate SELECT path: compiles the query to an
+  /// engine-level AggregateSpec, folds through TxnEngine::AggregateTable
+  /// when the WHERE pushes down completely (per-shard partials on a
+  /// Router), else drains a cursor and folds locally under the full WHERE.
+  StatusOr<QueryResult> ExecuteSelectAggregate(const SelectStmt& sel,
+                                               Transaction* txn, VarEnv* vars);
+
+  /// Drains `cursor` into `rows`, appending. Batched (reusing one RowBatch
+  /// and reserving from the cursor's size hint) unless batch_size_ <= 1,
+  /// which runs the scalar Next() loop instead.
+  Status DrainRows(TableCursor* cursor, std::vector<Row>* rows);
+
   StatusOr<QueryResult> ExecuteInsert(const InsertStmt& ins, Transaction* txn,
                                       VarEnv* vars);
   StatusOr<QueryResult> ExecuteUpdate(const UpdateStmt& upd, Transaction* txn,
@@ -64,6 +83,7 @@ class Executor {
 
   TxnEngine* tm_;
   bool join_probes_enabled_ = true;
+  size_t batch_size_ = RowBatch::kDefaultRows;
 };
 
 }  // namespace youtopia::sql

@@ -98,6 +98,10 @@ StatusOr<Value> EvalScalar(const Expr& e, const EvalEnv& env) {
     case ExprKind::kInAnswer:
       return Status::InvalidArgument(
           "IN ANSWER is only valid inside an entangled query");
+    case ExprKind::kAggregate:
+      return Status::InvalidArgument(
+          "aggregate " + e.op +
+          "() is only valid as a SELECT item of an aggregate query");
   }
   return Status::Internal("bad expression kind");
 }

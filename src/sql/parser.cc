@@ -195,7 +195,8 @@ StatusOr<std::vector<TableRef>> Parser::ParseFromList() {
     const Token& a = Peek();
     // An alias must be a plain identifier that is not a clause keyword.
     if (a.kind == TokenKind::kIdent && !PeekIdent("WHERE") &&
-        !PeekIdent("LIMIT") && !PeekIdent("CHOOSE") && !PeekIdent("ORDER")) {
+        !PeekIdent("LIMIT") && !PeekIdent("CHOOSE") && !PeekIdent("ORDER") &&
+        !PeekIdent("GROUP")) {
       ref.alias = a.text;
       Advance();
     }
@@ -260,6 +261,13 @@ StatusOr<ParsedStatement> Parser::ParseSelectLike() {
 }
 
 Status Parser::ParseOrderLimit(SelectStmt* sel) {
+  if (MatchIdent("GROUP")) {
+    YT_RETURN_IF_ERROR(ExpectIdent("BY"));
+    do {
+      YT_ASSIGN_OR_RETURN(ExprPtr key, ParseAdditive());
+      sel->group_by.push_back(std::move(key));
+    } while (MatchSymbol(","));
+  }
   if (MatchIdent("ORDER")) {
     YT_RETURN_IF_ERROR(ExpectIdent("BY"));
     do {
@@ -686,6 +694,29 @@ StatusOr<ExprPtr> Parser::ParsePrimary() {
         e->kind = ExprKind::kLiteral;
         e->literal = Value::Bool(false);
         return e;
+      }
+      // Aggregate call: COUNT/SUM/MIN/MAX/AVG followed by '('. Plain
+      // identifiers with those names stay column refs (no paren follows).
+      static const char* agg_names[] = {"COUNT", "SUM", "MIN", "MAX", "AVG"};
+      for (const char* fn : agg_names) {
+        if (EqualsIgnoreCase(t.text, fn) &&
+            Peek(1).kind == TokenKind::kSymbol && Peek(1).text == "(") {
+          Advance();  // function name
+          Advance();  // '('
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kAggregate;
+          e->op = fn;
+          if (Peek().kind == TokenKind::kSymbol && Peek().text == "*") {
+            if (!EqualsIgnoreCase(fn, "COUNT")) {
+              return ErrorHere("'*' argument is only valid in COUNT(*)");
+            }
+            Advance();
+          } else {
+            YT_ASSIGN_OR_RETURN(e->lhs, ParseAdditive());
+          }
+          YT_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return e;
+        }
       }
       auto e = std::make_unique<Expr>();
       e->kind = ExprKind::kColumnRef;

@@ -239,6 +239,18 @@ AccessPlan BestRangePlan(const Table& table, const std::vector<bool>& has_eq,
 
 }  // namespace
 
+bool ContainsAggregate(const Expr* e) {
+  if (e == nullptr) return false;
+  if (e->kind == ExprKind::kAggregate) return true;
+  if (ContainsAggregate(e->lhs.get()) || ContainsAggregate(e->rhs.get())) {
+    return true;
+  }
+  for (const ExprPtr& t : e->tuple) {
+    if (ContainsAggregate(t.get())) return true;
+  }
+  return false;
+}
+
 IndexRangeSpec JoinProbePlan::MakeRangeSpec(const std::vector<Value>& kv,
                                             const Value& lo_v,
                                             const Value& hi_v,
@@ -391,6 +403,161 @@ StatusOr<AccessPlan> Planner::Plan(const Table& table,
   }
   chosen.covers_where = covers;
   return chosen;
+}
+
+StatusOr<AggregateQueryPlan> Planner::PlanAggregate(
+    const Table& table, const std::vector<TableScope>& scope,
+    const SelectStmt& sel, const VarEnv* vars) {
+  if (scope.size() != 1) {
+    return Status::InvalidArgument(
+        "aggregate queries support exactly one FROM table");
+  }
+  const Schema& schema = table.schema();
+  if (ContainsAggregate(sel.where.get())) {
+    return Status::InvalidArgument("aggregates are not allowed in WHERE");
+  }
+
+  AggregateQueryPlan out;
+
+  // GROUP BY keys: plain columns of the table. NULL groups like a value
+  // downstream (Row equality treats NULL == NULL).
+  for (const ExprPtr& key : sel.group_by) {
+    if (key->kind != ExprKind::kColumnRef) {
+      return Status::InvalidArgument("GROUP BY supports plain columns, got " +
+                                     key->ToString());
+    }
+    size_t t = 0, c = 0;
+    if (!ResolveScopeColumn(*key, scope, &t, &c)) {
+      return Status::NotFound("unresolved GROUP BY column " + key->ToString());
+    }
+    out.spec.group_by.push_back(c);
+  }
+
+  // Select items: a bare aggregate call or a grouped column — anything
+  // else has no single value per group, so it is a plan-time error.
+  for (const SelectItem& item : sel.items) {
+    const Expr* e = item.expr.get();
+    if (e->kind == ExprKind::kAggregate) {
+      AggSpec a;
+      if (e->lhs == nullptr) {
+        a.func = AggFunc::kCountStar;
+      } else {
+        if (e->lhs->kind != ExprKind::kColumnRef) {
+          return Status::InvalidArgument(
+              "aggregate argument must be a plain column: " + e->ToString());
+        }
+        size_t t = 0, c = 0;
+        if (!ResolveScopeColumn(*e->lhs, scope, &t, &c)) {
+          return Status::NotFound("unresolved column in " + e->ToString());
+        }
+        a.column = c;
+        if (e->op == "COUNT") {
+          a.func = AggFunc::kCount;
+        } else if (e->op == "SUM") {
+          a.func = AggFunc::kSum;
+        } else if (e->op == "MIN") {
+          a.func = AggFunc::kMin;
+        } else if (e->op == "MAX") {
+          a.func = AggFunc::kMax;
+        } else if (e->op == "AVG") {
+          a.func = AggFunc::kAvg;
+        } else {
+          return Status::InvalidArgument("unknown aggregate " + e->op);
+        }
+        if ((a.func == AggFunc::kSum || a.func == AggFunc::kAvg) &&
+            schema.column(c).type != TypeId::kInt64 &&
+            schema.column(c).type != TypeId::kDouble) {
+          return Status::InvalidArgument(
+              e->op + "(" + e->lhs->column + ") requires a numeric column, " +
+              e->lhs->column + " is " + TypeName(schema.column(c).type));
+        }
+      }
+      out.outputs.push_back({true, out.spec.aggs.size()});
+      out.spec.aggs.push_back(a);
+      continue;
+    }
+    if (e->kind == ExprKind::kColumnRef) {
+      size_t t = 0, c = 0;
+      if (!ResolveScopeColumn(*e, scope, &t, &c)) {
+        return Status::NotFound("unresolved column " + e->ToString());
+      }
+      bool grouped = false;
+      for (size_t g = 0; g < out.spec.group_by.size() && !grouped; ++g) {
+        if (out.spec.group_by[g] == c) {
+          out.outputs.push_back({false, g});
+          grouped = true;
+        }
+      }
+      if (!grouped) {
+        return Status::InvalidArgument(
+            "column " + e->ToString() +
+            " must appear in GROUP BY or inside an aggregate");
+      }
+      continue;
+    }
+    return Status::InvalidArgument(
+        "select item " + e->ToString() +
+        " must be an aggregate or a grouped column in an aggregate query");
+  }
+
+  // The access plan prunes like any read (an indexed equality/range WHERE
+  // narrows what the fold sees); consumers still apply the full predicate.
+  YT_ASSIGN_OR_RETURN(out.access, Plan(table, scope, 0, sel.where.get(), vars));
+
+  // Pushable when EVERY top-level conjunct compiles to `col OP constant`
+  // with engine-level ColumnFilter semantics (which mirror EvalBinary:
+  // Value::Compare, NULL on either side fails the filter). One residual
+  // conjunct keeps the whole WHERE at the executor — filters would
+  // double-prune correctly, but the executor must re-check everything
+  // anyway, so we keep the fold spec clean.
+  out.pushable = true;
+  std::vector<const Expr*> conjuncts;
+  FlattenConjuncts(sel.where.get(), &conjuncts);
+  for (const Expr* c : conjuncts) {
+    ColumnFilter f;
+    bool compiled = false;
+    if (c->kind == ExprKind::kBinary) {
+      const Expr* col = c->lhs.get();
+      const Expr* val = c->rhs.get();
+      std::string op = c->op;
+      if (col->kind != ExprKind::kColumnRef) {
+        std::swap(col, val);
+        op = FlipOp(op);
+      }
+      if (col->kind == ExprKind::kColumnRef &&
+          val->kind != ExprKind::kColumnRef) {
+        size_t t = 0, pos = 0;
+        auto folded = ConstFold(*val, vars);
+        if (ResolveScopeColumn(*col, scope, &t, &pos) && folded.ok()) {
+          f.column = pos;
+          f.value = std::move(folded).value();
+          if (op == "=") {
+            f.op = ColumnFilter::Op::kEq;
+          } else if (op == "<>" || op == "!=") {
+            f.op = ColumnFilter::Op::kNe;
+          } else if (op == "<") {
+            f.op = ColumnFilter::Op::kLt;
+          } else if (op == "<=") {
+            f.op = ColumnFilter::Op::kLe;
+          } else if (op == ">") {
+            f.op = ColumnFilter::Op::kGt;
+          } else if (op == ">=") {
+            f.op = ColumnFilter::Op::kGe;
+          } else {
+            op.clear();  // arithmetic/AND residue: not a filter
+          }
+          compiled = !op.empty();
+        }
+      }
+    }
+    if (!compiled) {
+      out.pushable = false;
+      out.spec.filters.clear();
+      break;
+    }
+    out.spec.filters.push_back(std::move(f));
+  }
+  return out;
 }
 
 AccessPlan Planner::PlanPointLookup(

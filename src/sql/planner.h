@@ -9,6 +9,7 @@
 
 #include "src/sql/ast.h"
 #include "src/sql/expr_eval.h"
+#include "src/storage/aggregate.h"
 #include "src/storage/cursor.h"
 #include "src/storage/table.h"
 
@@ -170,6 +171,30 @@ struct JoinRangeCandidate {
   TypeId bound_type = TypeId::kNull;
 };
 
+/// True when the expression tree contains a COUNT/SUM/MIN/MAX/AVG node —
+/// the executor's routing test for the aggregate SELECT path.
+bool ContainsAggregate(const Expr* e);
+
+/// A compiled single-table aggregate query: the access path, the
+/// engine-level AggregateSpec it folds, and the select-item layout.
+/// `pushable` reports whether the WHERE compiled completely into
+/// `spec.filters` — only then may the fold run inside the engine
+/// (shard-side on a Router); otherwise the executor evaluates the full
+/// WHERE per row and folds with the filter-less spec.
+struct AggregateQueryPlan {
+  AccessPlan access;
+  AggregateSpec spec;
+  bool pushable = false;
+
+  /// One SELECT item: an aggregate (index into spec.aggs) or a grouped
+  /// column (index into spec.group_by).
+  struct Output {
+    bool is_agg = false;
+    size_t index = 0;
+  };
+  std::vector<Output> outputs;
+};
+
 /// Access-path planning: extracts sargable equality conjuncts from a WHERE
 /// clause and picks an index lookup over a full scan when a hash index
 /// covers them. The residual predicate is NOT represented here — executors
@@ -193,6 +218,18 @@ class Planner {
                                    size_t target, const Expr* where,
                                    const VarEnv* vars,
                                    const OrderSpec* order = nullptr);
+
+  /// Compiles a single-table aggregate SELECT (`scope` must have exactly
+  /// one entry, the FROM table). Plan-time validation with clear errors:
+  /// every select item must be a bare aggregate call or a GROUP BY column;
+  /// aggregate arguments and GROUP BY keys must be plain columns of the
+  /// table; SUM/AVG require a numeric column; WHERE must be
+  /// aggregate-free. The access plan prunes like any read; WHERE conjuncts
+  /// of the shape `col OP constant` compile into engine-level
+  /// ColumnFilters (all of them => `pushable`).
+  static StatusOr<AggregateQueryPlan> PlanAggregate(
+      const Table& table, const std::vector<TableScope>& scope,
+      const SelectStmt& sel, const VarEnv* vars);
 
   /// Plans from pre-extracted (column position, value) equality pairs — the
   /// entangled-query grounder's constant atom positions are exactly this.

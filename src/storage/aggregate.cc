@@ -1,0 +1,207 @@
+#include "src/storage/aggregate.h"
+
+#include <utility>
+
+namespace youtopia {
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+    case AggFunc::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+bool ColumnFilter::Matches(const Row& row) const {
+  const Value& v = row[column];
+  // SQL comparison against NULL yields NULL, which is falsy as a filter.
+  if (v.is_null() || value.is_null()) return false;
+  int cmp = v.Compare(value);
+  switch (op) {
+    case Op::kEq:
+      return cmp == 0;
+    case Op::kNe:
+      return cmp != 0;
+    case Op::kLt:
+      return cmp < 0;
+    case Op::kLe:
+      return cmp <= 0;
+    case Op::kGt:
+      return cmp > 0;
+    case Op::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+std::string AggregateSpec::ToString() const {
+  std::string out = "agg{";
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += AggFuncName(aggs[i].func);
+    out += '(';
+    out += aggs[i].func == AggFunc::kCountStar ? "*"
+                                               : "#" + std::to_string(aggs[i].column);
+    out += ')';
+  }
+  if (!group_by.empty()) {
+    out += " group by ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "#" + std::to_string(group_by[i]);
+    }
+  }
+  if (!filters.empty()) out += " +" + std::to_string(filters.size()) + " filters";
+  out += '}';
+  return out;
+}
+
+Aggregator::Aggregator(AggregateSpec spec) : spec_(std::move(spec)) {
+  key_scratch_.reserve(spec_.group_by.size());
+}
+
+namespace {
+
+/// Folds one input value into `state` for `func`. NULL inputs never
+/// contribute (except kCountStar, which never reads the value).
+Status FoldValue(AggFunc func, const Value& v, AggState* state) {
+  switch (func) {
+    case AggFunc::kCountStar:
+      ++state->count;
+      return Status::Ok();
+    case AggFunc::kCount:
+      if (!v.is_null()) ++state->count;
+      return Status::Ok();
+    case AggFunc::kSum: {
+      if (v.is_null()) return Status::Ok();
+      if (state->acc.is_null()) {
+        state->acc = v;
+        return Status::Ok();
+      }
+      YT_ASSIGN_OR_RETURN(state->acc, Value::Add(state->acc, v));
+      return Status::Ok();
+    }
+    case AggFunc::kMin:
+      if (!v.is_null() && (state->acc.is_null() || v.Compare(state->acc) < 0)) {
+        state->acc = v;
+      }
+      return Status::Ok();
+    case AggFunc::kMax:
+      if (!v.is_null() && (state->acc.is_null() || v.Compare(state->acc) > 0)) {
+        state->acc = v;
+      }
+      return Status::Ok();
+    case AggFunc::kAvg: {
+      if (v.is_null()) return Status::Ok();
+      ++state->count;
+      if (state->acc.is_null()) {
+        state->acc = v;
+        return Status::Ok();
+      }
+      YT_ASSIGN_OR_RETURN(state->acc, Value::Add(state->acc, v));
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unknown aggregate function");
+}
+
+/// Folds another partial's state into `into` — the shard-merge step.
+/// Count-like merges add counts; value accumulators re-fold the partial
+/// accumulator as if it were one input (sums add, MIN/MAX compare), which
+/// is exact because each of these folds is associative and commutative.
+Status MergeState(AggFunc func, AggState&& from, AggState* into) {
+  switch (func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      into->count += from.count;
+      return Status::Ok();
+    case AggFunc::kSum:
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return FoldValue(func, from.acc, into);
+    case AggFunc::kAvg: {
+      into->count += from.count;
+      if (from.acc.is_null()) return Status::Ok();
+      if (into->acc.is_null()) {
+        into->acc = std::move(from.acc);
+        return Status::Ok();
+      }
+      YT_ASSIGN_OR_RETURN(into->acc, Value::Add(into->acc, from.acc));
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unknown aggregate function");
+}
+
+}  // namespace
+
+void Aggregator::Accumulate(const Row& row) {
+  for (const ColumnFilter& f : spec_.filters) {
+    if (!f.Matches(row)) return;
+  }
+  key_scratch_.clear();
+  for (size_t c : spec_.group_by) key_scratch_.push_back(row[c]);
+  auto it = groups_.find(Row(key_scratch_));
+  if (it == groups_.end()) {
+    it = groups_
+             .emplace(Row(key_scratch_),
+                      std::vector<AggState>(spec_.aggs.size()))
+             .first;
+  }
+  for (size_t i = 0; i < spec_.aggs.size(); ++i) {
+    const AggSpec& a = spec_.aggs[i];
+    const Value& v = a.func == AggFunc::kCountStar ? it->second[i].acc
+                                                   : row[a.column];
+    Status st = FoldValue(a.func, v, &it->second[i]);
+    if (!st.ok() && error_.ok()) error_ = st;
+  }
+}
+
+void Aggregator::Merge(AggregateGroups partial) {
+  for (auto& [key, states] : partial) {
+    auto it = groups_.find(key);
+    if (it == groups_.end()) {
+      groups_.emplace(key, std::move(states));
+      continue;
+    }
+    for (size_t i = 0; i < spec_.aggs.size(); ++i) {
+      Status st =
+          MergeState(spec_.aggs[i].func, std::move(states[i]), &it->second[i]);
+      if (!st.ok() && error_.ok()) error_ = st;
+    }
+  }
+}
+
+Value Aggregator::Finalize(AggFunc func, const AggState& state) {
+  switch (func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return Value::Int(state.count);
+    case AggFunc::kSum:
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return state.acc;
+    case AggFunc::kAvg:
+      if (state.count == 0) return Value::Null();
+      return Value::Double(state.acc.NumericAsDouble() /
+                           static_cast<double>(state.count));
+  }
+  return Value::Null();
+}
+
+std::vector<AggState> Aggregator::EmptyStates(const AggregateSpec& spec) {
+  // Default AggState (NULL accumulator, zero count) finalizes to exactly
+  // the SQL empty-input answers: COUNT -> 0, SUM/MIN/MAX/AVG -> NULL.
+  return std::vector<AggState>(spec.aggs.size());
+}
+
+}  // namespace youtopia

@@ -1,0 +1,130 @@
+#ifndef YOUTOPIA_STORAGE_AGGREGATE_H_
+#define YOUTOPIA_STORAGE_AGGREGATE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/row.h"
+#include "src/common/statusor.h"
+#include "src/common/value.h"
+
+namespace youtopia {
+
+/// Aggregate functions the engine can fold. COUNT comes in two flavors
+/// because their NULL semantics differ: kCountStar counts rows, kCount
+/// counts non-NULL values of its column.
+enum class AggFunc : uint8_t {
+  kCountStar,
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+};
+
+const char* AggFuncName(AggFunc f);
+
+/// One aggregate to compute: the function plus the schema position of its
+/// argument column (ignored for kCountStar).
+struct AggSpec {
+  AggFunc func = AggFunc::kCountStar;
+  size_t column = 0;
+};
+
+/// One pushable filter `row[column] OP value`, evaluated with SQL
+/// comparison semantics: a NULL on either side fails the filter (mirroring
+/// the executor's three-valued comparison, where NULL is falsy). The value
+/// is stored as folded — Value::Compare's cross-type numeric ordering makes
+/// coercion unnecessary, exactly as in expression evaluation.
+struct ColumnFilter {
+  enum class Op : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+  size_t column = 0;
+  Op op = Op::kEq;
+  Value value;
+
+  bool Matches(const Row& row) const;
+};
+
+/// A complete aggregation request over one table read: the grouping
+/// columns (schema positions; empty = one global group), the aggregates,
+/// and an AND-ed filter list. This is the engine-level vocabulary —
+/// sql::Planner compiles a GROUP BY query down to it, and engines fold it
+/// either locally or as per-shard partials (shard::Router). Living next to
+/// AccessPlan keeps it expressible below the SQL layer, which is what lets
+/// a sharded engine run the fold inside its per-shard drain threads.
+struct AggregateSpec {
+  std::vector<size_t> group_by;
+  std::vector<AggSpec> aggs;
+  std::vector<ColumnFilter> filters;
+
+  std::string ToString() const;
+};
+
+/// Mergeable partial state of one aggregate within one group. The fields'
+/// meaning depends on the function:
+///   * kCountStar / kCount: `count` rows / non-NULL values seen;
+///   * kSum:  `acc` is the running sum (NULL until a non-NULL input);
+///   * kMin / kMax: `acc` is the best non-NULL value so far (NULL = none);
+///   * kAvg:  `acc` is the running sum, `count` the non-NULL input count —
+///     the classical sum+count decomposition, merged by adding both and
+///     divided only at finalize, so partial AVGs compose exactly.
+struct AggState {
+  Value acc;
+  int64_t count = 0;
+};
+
+/// Group key -> one AggState per AggSpec. The partial-aggregation unit that
+/// crosses the shard boundary: each shard produces one map, the coordinator
+/// merges them.
+using AggregateGroups =
+    std::unordered_map<Row, std::vector<AggState>, RowHash>;
+
+/// Streaming hash aggregator: feed rows (Accumulate) or already-folded
+/// partials (Merge), then take the groups. Grouping keys NULLs like values
+/// — Row equality treats NULL == NULL, so NULL forms its own group, per
+/// SQL GROUP BY. Not thread-safe; parallel folds use one Aggregator each
+/// and merge.
+class Aggregator {
+ public:
+  explicit Aggregator(AggregateSpec spec);
+
+  const AggregateSpec& spec() const { return spec_; }
+
+  /// Folds one row: applies the filters, forms the group key, updates
+  /// every aggregate's state. No per-row Status — the only runtime
+  /// failure mode (SUM/AVG over a non-numeric value, which plan-time
+  /// column typing normally excludes) is latched and reported by
+  /// Finish().
+  void Accumulate(const Row& row);
+
+  /// Merges another aggregator's groups (same spec) into this one.
+  void Merge(AggregateGroups partial);
+
+  /// First accumulation error, Ok when clean. Check before using groups.
+  Status Finish() const { return error_; }
+
+  AggregateGroups TakeGroups() { return std::move(groups_); }
+
+  /// The final SQL value of one aggregate: COUNT -> 0-based int, SUM/MIN/
+  /// MAX -> the accumulated value (NULL over no non-NULL input), AVG ->
+  /// sum/count as double (NULL over no non-NULL input).
+  static Value Finalize(AggFunc func, const AggState& state);
+
+  /// The states an empty input produces — what a global aggregate (no
+  /// GROUP BY) over zero rows finalizes from: COUNT(*) = 0, SUM = NULL...
+  static std::vector<AggState> EmptyStates(const AggregateSpec& spec);
+
+ private:
+  AggregateSpec spec_;
+  AggregateGroups groups_;
+  Status error_ = Status::Ok();
+  std::vector<Value> key_scratch_;
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_STORAGE_AGGREGATE_H_

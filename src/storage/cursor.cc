@@ -54,13 +54,28 @@ StatusOr<bool> TableCursor::Next(RowId* rid, Row* row) {
   return true;
 }
 
-Status TableCursor::Drain(const std::function<bool(RowId, Row&&)>& visitor) {
+StatusOr<bool> TableCursor::NextBatch(RowBatch* batch, size_t max_rows) {
+  batch->clear();
+  if (max_rows == 0) max_rows = 1;
+  batch->reserve(max_rows);
   RowId rid = 0;
   Row row;
-  while (true) {
+  while (batch->rows.size() < max_rows) {
     YT_ASSIGN_OR_RETURN(bool more, Next(&rid, &row));
+    if (!more) break;
+    batch->rows.emplace_back(rid, std::move(row));
+  }
+  return !batch->rows.empty();
+}
+
+Status TableCursor::Drain(const std::function<bool(RowId, Row&&)>& visitor) {
+  RowBatch batch;
+  while (true) {
+    YT_ASSIGN_OR_RETURN(bool more, NextBatch(&batch));
     if (!more) return Status::Ok();
-    if (!visitor(rid, std::move(row))) return Status::Ok();
+    for (auto& [rid, row] : batch.rows) {
+      if (!visitor(rid, std::move(row))) return Status::Ok();
+    }
   }
 }
 

@@ -52,6 +52,28 @@ struct AccessPlan {
   std::string ToString() const;
 };
 
+/// A batch of rows pulled through the cursor seam in one virtual call.
+/// Column-agnostic: rows keep their Row shape, so any cursor type can fill
+/// one. The (RowId, Row) pair layout deliberately matches every internal
+/// materialization buffer in the engine (heap-scan chunks, shared-scan
+/// batches, merged fan-out sources), which lets native NextBatch overrides
+/// hand whole chunks over by swap/move instead of element-wise push_back.
+/// Consumers move rows out and reuse the batch object across pulls — the
+/// vector's capacity then ping-pongs between producer and consumer with no
+/// steady-state allocation.
+struct RowBatch {
+  /// Default pull target, matching SharedScan's production chunking so a
+  /// batched pull maps 1:1 onto one materialized chunk.
+  static constexpr size_t kDefaultRows = 256;
+
+  std::vector<std::pair<RowId, Row>> rows;
+
+  size_t size() const { return rows.size(); }
+  bool empty() const { return rows.empty(); }
+  void clear() { rows.clear(); }
+  void reserve(size_t n) { rows.reserve(n); }
+};
+
 /// Pull-based cursor over one table read — every read access path (heap
 /// scan, shared scan, hash lookup, range lookup) produces one. Row locks
 /// are acquired as rows are pulled, so lock acquisition can fail mid-read:
@@ -72,8 +94,27 @@ class TableCursor {
   /// (shared-scan followers). Returns false at end.
   virtual StatusOr<bool> Next(RowId* rid, Row* row);
 
+  /// Pulls the next batch of rows into `*batch` (cleared first), by move
+  /// where the cursor owns its buffer and by copy where it is shared —
+  /// the batched form of Next. Returns false only at end, with the batch
+  /// left empty; a true return carries at least one row. `max_rows` is a
+  /// pacing target, not a hard cap: a cursor that can hand over a whole
+  /// already-materialized chunk by swap may exceed it rather than split
+  /// the chunk. The base implementation is a row-looping fallback over
+  /// Next; heap-scan, shared-scan, fetched-row, shard-merge, and
+  /// shard-tagging cursors override it natively so chunks cross the seam
+  /// without per-row virtual calls.
+  virtual StatusOr<bool> NextBatch(RowBatch* batch,
+                                   size_t max_rows = RowBatch::kDefaultRows);
+
+  /// Approximate number of rows left to pull (0 = unknown). A sizing hint
+  /// for result-vector reserves, never a contract: filters and concurrent
+  /// activity can make the real count smaller or larger.
+  virtual size_t size_hint() const { return 0; }
+
   /// Drains the cursor through a move-taking visitor (returns false to
-  /// stop early).
+  /// stop early). Rides NextBatch, so native batch overrides amortize the
+  /// per-row virtual call here too.
   ///
   /// Exhaustion contract (all cursor types, including merged shard
   /// cursors, which are built on it): once a cursor has reported
@@ -81,16 +122,17 @@ class TableCursor {
   /// every further Next/NextRef returns false and every further
   /// Drain/DrainRef visits nothing and returns Ok. A drain whose
   /// *visitor* stopped early leaves the cursor mid-stream on pull-based
-  /// cursors but may have consumed the remainder on zero-copy fast paths
-  /// — callers must not resume a drain they cut short; drop the cursor
-  /// instead.
+  /// cursors but may have consumed the remainder on batched or zero-copy
+  /// fast paths — callers must not resume a drain they cut short; drop
+  /// the cursor instead.
   Status Drain(const std::function<bool(RowId, Row&&)>& visitor);
 
   /// Drains the cursor through a borrowing visitor (returns false to stop
   /// early; same exhaustion contract as Drain). Virtual so a cursor can
   /// skip intermediate buffering for visit-only consumers (a fresh private
   /// heap scan drains zero-copy, straight off the heap — selective filters
-  /// then copy only what they keep).
+  /// then copy only what they keep). Stays on the borrowing NextRef loop:
+  /// batching here would force copies on cursors that only lend views.
   virtual Status DrainRef(const std::function<bool(RowId, const Row&)>& visitor);
 };
 

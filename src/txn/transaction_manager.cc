@@ -34,6 +34,9 @@ void ReleaseUnlessWriteHeld(LockManager* locks, TxnId txn, LockKey key) {
 class ScanCursor : public TableCursor {
  public:
   static constexpr size_t kChunkRows = SharedScan::kBatchRows;
+  // One batched pull == one materialized chunk: the swap fast path below
+  // leans on the default pull target matching the chunk size.
+  static_assert(kChunkRows == RowBatch::kDefaultRows);
 
   ScanCursor(LockManager* locks, Transaction* txn, const Table* table,
              SharedScanManager* manager, SharedScanManager::Ticket ticket,
@@ -108,6 +111,49 @@ class ScanCursor : public TableCursor {
     ++pos_;
     return true;
   }
+
+  /// Batched pull. Private mode hands a whole heap chunk over by swap —
+  /// the chunk buffer and the caller's batch then ping-pong, so a full
+  /// scan costs one virtual call and zero row copies per 256 rows.
+  /// Shared mode bulk-copies out of the shared batch (many consumers read
+  /// it, so rows cannot move).
+  StatusOr<bool> NextBatch(RowBatch* batch, size_t max_rows) override {
+    started_ = true;
+    batch->clear();
+    if (max_rows == 0) max_rows = 1;
+    if (ticket_.attached) {
+      while (batch->rows.size() < max_rows) {
+        if (batch_ == nullptr || pos_ >= batch_->rows.size()) {
+          if (!AdvanceSharedBatch()) break;
+          continue;
+        }
+        size_t take = std::min(max_rows - batch->rows.size(),
+                               batch_->rows.size() - pos_);
+        batch->rows.insert(batch->rows.end(), batch_->rows.begin() + pos_,
+                           batch_->rows.begin() + pos_ + take);
+        pos_ += take;
+      }
+      return !batch->rows.empty();
+    }
+    if (!RefillPrivate()) return false;
+    if (pos_ == 0) {
+      // Whole chunk (chunks are kChunkRows-sized, i.e. the default pull
+      // target; a smaller max_rows still takes the chunk wholesale — the
+      // target is pacing, not a cap).
+      batch->rows.swap(buf_);
+      buf_.clear();  // keep the swapped-in capacity for the next ScanChunk
+    } else {
+      size_t take = buf_.size() - pos_;
+      batch->reserve(take);
+      std::move(buf_.begin() + pos_, buf_.end(),
+                std::back_inserter(batch->rows));
+      buf_.clear();
+      pos_ = 0;
+    }
+    return true;
+  }
+
+  size_t size_hint() const override { return table_->size(); }
 
  private:
   /// Moves to the next shared batch of this consumer's cycle:
@@ -238,6 +284,24 @@ class FetchedRowsCursor : public TableCursor {
     *row = std::move(current_);
     return true;
   }
+
+  /// Batched pull: one virtual call per batch, but the per-row S lock
+  /// acquisition (and deleted-row skip) stays inside the loop — batching
+  /// never changes the lock protocol.
+  StatusOr<bool> NextBatch(RowBatch* batch, size_t max_rows) override {
+    batch->clear();
+    if (max_rows == 0) max_rows = 1;
+    batch->reserve(std::min(max_rows, rids_.size() - idx_));
+    RowId rid = 0;
+    while (batch->rows.size() < max_rows) {
+      YT_ASSIGN_OR_RETURN(bool more, Advance(&rid));
+      if (!more) break;
+      batch->rows.emplace_back(rid, std::move(current_));
+    }
+    return !batch->rows.empty();
+  }
+
+  size_t size_hint() const override { return rids_.size() - idx_; }
 
  private:
   StatusOr<bool> Advance(RowId* out_rid) {

@@ -1,0 +1,25 @@
+#include "src/txn/txn_engine.h"
+
+namespace youtopia {
+
+StatusOr<AggregateGroups> TxnEngine::AggregateTable(Transaction* txn, Table* t,
+                                                    AccessPlan plan,
+                                                    const AggregateSpec& spec,
+                                                    ReadOrigin origin) {
+  // The generic fold: one cursor, one aggregator, batch-at-a-time. On a
+  // sharded engine this is the *row-shipping* path — OpenCursor fans out
+  // and every surviving row crosses the shard boundary before folding.
+  YT_ASSIGN_OR_RETURN(auto cursor,
+                      OpenCursor(txn, t, std::move(plan), origin));
+  Aggregator agg(spec);
+  RowBatch batch;
+  while (true) {
+    YT_ASSIGN_OR_RETURN(bool more, cursor->NextBatch(&batch));
+    if (!more) break;
+    for (const auto& [rid, row] : batch.rows) agg.Accumulate(row);
+  }
+  YT_RETURN_IF_ERROR(agg.Finish());
+  return agg.TakeGroups();
+}
+
+}  // namespace youtopia

@@ -10,6 +10,7 @@
 
 #include "src/common/ids.h"
 #include "src/common/statusor.h"
+#include "src/storage/aggregate.h"
 #include "src/storage/cursor.h"
 #include "src/storage/database.h"
 #include "src/txn/transaction.h"
@@ -57,6 +58,10 @@ struct TxnStats {
   std::atomic<uint64_t> fanout_cursors{0};
   std::atomic<uint64_t> shard_routed_lookups{0};
   std::atomic<uint64_t> prepares{0};
+  /// AggregateTable calls a sharded engine answered by folding partial
+  /// states inside the per-shard drain threads instead of shipping rows to
+  /// the coordinator.
+  std::atomic<uint64_t> aggregate_pushdowns{0};
 };
 
 /// How a read is counted and recorded by the schedule observer — the one
@@ -123,6 +128,30 @@ class TxnEngine {
                                                     ReadOrigin origin) {
     YT_ASSIGN_OR_RETURN(Table * t, db()->GetTable(table));
     return OpenCursor(txn, t, std::move(plan), origin);
+  }
+
+  // --- Aggregation over one read. ---
+
+  /// Folds `spec` over the rows `plan` selects from `t` and returns the
+  /// merged group states (finalize with Aggregator::Finalize). Takes the
+  /// same locks as OpenCursor(plan) — an aggregate read is a read. The
+  /// base implementation drains a cursor batch-at-a-time through one
+  /// Aggregator; shard::Router overrides it to fold per-shard partials
+  /// inside the fan-out drain threads and merge them at the coordinator,
+  /// so only group states — not rows — cross the shard boundary.
+  virtual StatusOr<AggregateGroups> AggregateTable(Transaction* txn, Table* t,
+                                                   AccessPlan plan,
+                                                   const AggregateSpec& spec,
+                                                   ReadOrigin origin);
+
+  /// Name-addressed convenience overload (resolves through `db()`).
+  StatusOr<AggregateGroups> AggregateTable(Transaction* txn,
+                                           const std::string& table,
+                                           AccessPlan plan,
+                                           const AggregateSpec& spec,
+                                           ReadOrigin origin) {
+    YT_ASSIGN_OR_RETURN(Table * t, db()->GetTable(table));
+    return AggregateTable(txn, t, std::move(plan), spec, origin);
   }
 
   // --- Write-statement candidate acquisition (X locks before reads). ---

@@ -1275,5 +1275,156 @@ TEST(CursorDrainTest, IndexAndRangeCursorsSecondDrainIsEmpty) {
   ASSERT_OK(fix.tm->Commit(txn.get()));
 }
 
+// --- NextBatch: the batched pull must agree exactly with the scalar pull
+// on every cursor type, at any pacing, and honor the batch contract (a
+// true return carries rows; exhaustion is false + empty, repeatably).
+
+RowSet BatchDrain(TableCursor* cursor, size_t max_rows) {
+  RowSet out;
+  RowBatch batch;
+  while (true) {
+    StatusOr<bool> more = cursor->NextBatch(&batch, max_rows);
+    EXPECT_OK(more.status());
+    if (!more.ok() || !more.value()) {
+      EXPECT_TRUE(batch.empty());
+      break;
+    }
+    EXPECT_FALSE(batch.empty());  // true carries at least one row
+    for (auto& [rid, row] : batch.rows) out.emplace_back(rid, std::move(row));
+  }
+  return out;
+}
+
+TEST(BatchCursorTest, HeapScanBatchesMatchScalarPulls) {
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("T", KV()).status());
+  auto setup = fix.tm->Begin();
+  for (int i = 0; i < 700; ++i) {
+    ASSERT_OK(fix.tm->Insert(setup.get(), "T",
+                             Row({Value::Int(i), Value::Str("v")}))
+                  .status());
+  }
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+  Table* table = fix.db.GetTable("T").value();
+  const RowSet reference = HeapSnapshot(table);
+
+  auto txn = fix.tm->Begin();
+  ASSERT_OK_AND_ASSIGN(auto cursor,
+                       fix.tm->OpenCursor(txn.get(), table,
+                                          AccessPlan::TableScan(),
+                                          ReadOrigin::kStatement));
+  EXPECT_EQ(cursor->size_hint(), reference.size());
+  RowSet batched = BatchDrain(cursor.get(), RowBatch::kDefaultRows);
+  EXPECT_EQ(Sorted(std::move(batched)), reference);
+  // Exhaustion is stable across further batched pulls.
+  RowBatch again;
+  EXPECT_FALSE(cursor->NextBatch(&again).value());
+  EXPECT_TRUE(again.empty());
+  cursor.reset();
+  ASSERT_OK(fix.tm->Commit(txn.get()));
+}
+
+TEST(BatchCursorTest, MaxRowsIsAPacingTargetNotACap) {
+  // Tiny max_rows: a cursor holding an already-materialized chunk may hand
+  // it over whole rather than split it, so per-batch sizes can exceed the
+  // target — only the union is contractual.
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("T", KV()).status());
+  auto setup = fix.tm->Begin();
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_OK(fix.tm->Insert(setup.get(), "T",
+                             Row({Value::Int(i), Value::Str("v")}))
+                  .status());
+  }
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+  Table* table = fix.db.GetTable("T").value();
+  const RowSet reference = HeapSnapshot(table);
+
+  for (size_t max_rows : {size_t{1}, size_t{7}, size_t{1000}}) {
+    auto txn = fix.tm->Begin();
+    ASSERT_OK_AND_ASSIGN(auto cursor,
+                         fix.tm->OpenCursor(txn.get(), table,
+                                            AccessPlan::TableScan(),
+                                            ReadOrigin::kStatement));
+    EXPECT_EQ(Sorted(BatchDrain(cursor.get(), max_rows)), reference)
+        << "max_rows=" << max_rows;
+    cursor.reset();
+    ASSERT_OK(fix.tm->Commit(txn.get()));
+  }
+}
+
+TEST(BatchCursorTest, SharedScanFollowersBatchIdentically) {
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("T", KV()).status());
+  auto setup = fix.tm->Begin();
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_OK(fix.tm->Insert(setup.get(), "T",
+                             Row({Value::Int(i), Value::Str("v")}))
+                  .status());
+  }
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+  Table* table = fix.db.GetTable("T").value();
+  const RowSet reference = HeapSnapshot(table);
+
+  // Two concurrently open scans: one leads, one attaches; the follower's
+  // batches come off the shared chunks (bulk copy), the leader's off its
+  // private buffer (swap) — both must reproduce the heap exactly.
+  auto t1 = fix.tm->Begin();
+  auto t2 = fix.tm->Begin();
+  ASSERT_OK_AND_ASSIGN(auto lead,
+                       fix.tm->OpenCursor(t1.get(), table,
+                                          AccessPlan::TableScan(),
+                                          ReadOrigin::kStatement));
+  ASSERT_OK_AND_ASSIGN(auto follow,
+                       fix.tm->OpenCursor(t2.get(), table,
+                                          AccessPlan::TableScan(),
+                                          ReadOrigin::kStatement));
+  EXPECT_EQ(fix.tm->stats().shared_scan_leads.load(), 1u);
+  EXPECT_EQ(fix.tm->stats().shared_scan_attaches.load(), 1u);
+  EXPECT_EQ(Sorted(BatchDrain(follow.get(), RowBatch::kDefaultRows)),
+            reference);
+  EXPECT_EQ(Sorted(BatchDrain(lead.get(), RowBatch::kDefaultRows)), reference);
+  lead.reset();
+  follow.reset();
+  ASSERT_OK(fix.tm->Commit(t1.get()));
+  ASSERT_OK(fix.tm->Commit(t2.get()));
+}
+
+TEST(BatchCursorTest, FetchedRowCursorsBatchWithSizeHints) {
+  EngineFixture fix;
+  ASSERT_OK(fix.tm->CreateTable("T", KVOrderedPk()).status());
+  auto setup = fix.tm->Begin();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(fix.tm->Insert(setup.get(), "T",
+                             Row({Value::Int(i), Value::Str("x")}))
+                  .status());
+  }
+  ASSERT_OK(fix.tm->Commit(setup.get()));
+
+  auto txn = fix.tm->Begin();
+  ASSERT_OK_AND_ASSIGN(
+      auto lookup,
+      fix.tm->OpenCursor(txn.get(), "T",
+                         AccessPlan::Lookup({0}, Row({Value::Int(7)})),
+                         ReadOrigin::kStatement));
+  EXPECT_EQ(lookup->size_hint(), 1u);
+  RowSet hit = BatchDrain(lookup.get(), RowBatch::kDefaultRows);
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_EQ(hit[0].second[0], Value::Int(7));
+
+  ASSERT_OK_AND_ASSIGN(
+      auto range,
+      fix.tm->OpenCursor(txn.get(), "T",
+                         AccessPlan::Range(IntRangeSpec(5, 14)),
+                         ReadOrigin::kStatement));
+  EXPECT_EQ(range->size_hint(), 10u);
+  RowSet ranged = BatchDrain(range.get(), 4);
+  ASSERT_EQ(ranged.size(), 10u);
+  for (size_t i = 0; i < ranged.size(); ++i) {
+    EXPECT_EQ(ranged[i].second[0], Value::Int(static_cast<int64_t>(i) + 5));
+  }
+  ASSERT_OK(fix.tm->Commit(txn.get()));
+}
+
 }  // namespace
 }  // namespace youtopia
