@@ -21,9 +21,18 @@ constexpr size_t kTxns = 600;               // paper: 10,000
 constexpr int64_t kLatencyMicros = 500;     // simulated client<->DBMS trip
 constexpr size_t kBatch = 100;              // arrivals per run (all matched)
 
+// Third arg: read-path ablation. 0 runs the generated specs as-is (their
+// default kFullEntangled level, where MVCC snapshot reads are inert); 1
+// re-levels every spec to kReadCommitted with snapshot reads ON (scans
+// serve a versioned cut, no S locks); 2 is the same at snapshot reads OFF
+// (scans back under shared locks). The 1-vs-2 gap is the fig. 6(a) delta
+// attributable to readers never blocking writers.
+enum class ReadMode : long { kDefault = 0, kSnapRead = 1, kLockRead = 2 };
+
 void BM_Fig6a(benchmark::State& state) {
   auto type = static_cast<workload::WorkloadType>(state.range(0));
   size_t connections = static_cast<size_t>(state.range(1));
+  auto read_mode = static_cast<ReadMode>(state.range(2));
 
   for (auto _ : state) {
     state.PauseTiming();
@@ -53,6 +62,13 @@ void BM_Fig6a(benchmark::State& state) {
       state.SkipWithError(specs.status().ToString().c_str());
       return;
     }
+    if (read_mode != ReadMode::kDefault) {
+      stack.value()->tm->set_mvcc_reads_enabled(read_mode ==
+                                                ReadMode::kSnapRead);
+      for (auto& sp : specs.value()) {
+        sp.isolation = IsolationLevel::kReadCommitted;
+      }
+    }
     state.ResumeTiming();
     double secs = RunSpecs(&engine, std::move(specs).value());
     state.PauseTiming();
@@ -67,6 +83,8 @@ void BM_Fig6a(benchmark::State& state) {
         static_cast<double>(tstats.shared_scan_leads.load());
     state.counters["shared_scan_attaches"] =
         static_cast<double>(tstats.shared_scan_attaches.load());
+    state.counters["snapshot_reads"] =
+        static_cast<double>(tstats.snapshot_reads.load());
     state.ResumeTiming();
   }
 }
@@ -82,11 +100,25 @@ void RegisterAll() {
                          workload::WorkloadTypeName(type) + "/conns:" +
                          std::to_string(conns);
       benchmark::RegisterBenchmark(name.c_str(), BM_Fig6a)
-          ->Args({static_cast<long>(type), conns})
+          ->Args({static_cast<long>(type), conns,
+                  static_cast<long>(ReadMode::kDefault)})
           ->Iterations(1)
           ->Unit(benchmark::kMillisecond)
           ->UseRealTime();
     }
+  }
+  // Read-path ablation points: NoSocial-T at 50 connections with its specs
+  // re-leveled to kReadCommitted, snapshot reads on vs off.
+  for (ReadMode mode : {ReadMode::kSnapRead, ReadMode::kLockRead}) {
+    std::string name =
+        std::string("Fig6a/NoSocial-T-") +
+        (mode == ReadMode::kSnapRead ? "SnapRead" : "LockRead") + "/conns:50";
+    benchmark::RegisterBenchmark(name.c_str(), BM_Fig6a)
+        ->Args({static_cast<long>(WorkloadType::kNoSocialT), 50,
+                static_cast<long>(mode)})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
   }
 }
 

@@ -9,15 +9,34 @@
 # emits BENCH_sql.json / BENCH_fig6a.json trajectory points in the repo
 # root. Debug binaries are never benched: the configuration is checked,
 # bench_sql refuses to run without NDEBUG, and the emitted JSON is grepped
-# for the release marker.
+# for the release marker. Adding --bench-strict turns the regression diff
+# into a gate: any benchmark more than 1.5x slower than the committed
+# baseline fails the script (1.3x stays a warning — smoke boxes are noisy).
 # With --tsan, additionally builds a ThreadSanitizer tree (build-tsan) and
-# races the lock/txn/sql/shard suites under it — the key-range lock
-# conflict paths, the shared-scan attach/produce/wrap machinery, and the
-# shard router's parallel fanout drains + concurrent-writer differential
-# are all exercised by those binaries' concurrent tests.
+# races the lock/txn/sql/shard/mvcc suites under it — the key-range lock
+# conflict paths, the shared-scan attach/produce/wrap machinery, the shard
+# router's parallel fanout drains + concurrent-writer differential, and the
+# MVCC snapshot-vs-writer races are all exercised by those binaries'
+# concurrent tests.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+bench_smoke=0
+bench_strict=0
+tsan=0
+for arg in "$@"; do
+  case "${arg}" in
+  --bench-smoke) bench_smoke=1 ;;
+  --bench-strict) bench_smoke=1; bench_strict=1 ;;
+  --tsan) tsan=1 ;;
+  *)
+    echo "unknown argument: ${arg}" \
+         "(expected --bench-smoke, --bench-strict, and/or --tsan)" >&2
+    exit 1
+    ;;
+  esac
+done
 
 cmake -B build -S .
 cmake --build build -j
@@ -32,37 +51,35 @@ if ! (cd build && ctest --output-on-failure -j 2>&1 | tee "${ctest_log}"); then
 fi
 rm -f "${ctest_log}"
 
-for arg in "$@"; do
-  case "${arg}" in
-  --bench-smoke)
-    cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release \
-          -DYOUTOPIA_BUILD_TESTS=OFF -DYOUTOPIA_BUILD_EXAMPLES=OFF
-    build_type=$(grep '^CMAKE_BUILD_TYPE' build-bench/CMakeCache.txt \
-                 | cut -d= -f2)
-    if [[ "${build_type}" != "Release" ]]; then
-      echo "refusing to bench: build-bench is '${build_type}', not Release" >&2
-      exit 1
-    fi
-    cmake --build build-bench -j --target bench_sql bench_fig6a_concurrency
-    # Keep the committed baseline around for the regression diff below.
-    bench_baseline=$(mktemp)
-    git show HEAD:BENCH_sql.json > "${bench_baseline}" 2>/dev/null || \
-      : > "${bench_baseline}"
-    ./build-bench/bench_sql \
-      --benchmark_filter='BM_PointSelect|BM_PointSelectScan|BM_PointUpdate|BM_ThreeWayJoin|BM_ThreeWayJoinSnapshot|BM_GroundEntangled|BM_GroundEntangledSnapshot|BM_RangeSelect|BM_RangeSelectScan|BM_OrderByLimit|BM_OrderByLimitScan|BM_ConcurrentScans|BM_ShardedPointSelect|BM_ShardedScan|BM_ShardedScanFanout|BM_ShardedScanBatchSweep|BM_GroupByAggregate' \
-      --benchmark_min_time=0.1 \
-      --benchmark_out=BENCH_sql.json \
-      --benchmark_out_format=json
-    if ! grep -q '"youtopia_build_type": "release"' BENCH_sql.json; then
-      echo "BENCH_sql.json came from a non-release binary; discarding" >&2
-      rm -f BENCH_sql.json
-      exit 1
-    fi
-    echo "wrote BENCH_sql.json (Release)"
-    # Diff the fresh run against the committed trajectory point: a table of
-    # real-time ratios, warning (not failing — smoke boxes are noisy) on
-    # anything that got more than 1.3x slower.
-    python3 - "${bench_baseline}" BENCH_sql.json <<'PYEOF'
+if [[ "${bench_smoke}" == 1 ]]; then
+  cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release \
+        -DYOUTOPIA_BUILD_TESTS=OFF -DYOUTOPIA_BUILD_EXAMPLES=OFF
+  build_type=$(grep '^CMAKE_BUILD_TYPE' build-bench/CMakeCache.txt \
+               | cut -d= -f2)
+  if [[ "${build_type}" != "Release" ]]; then
+    echo "refusing to bench: build-bench is '${build_type}', not Release" >&2
+    exit 1
+  fi
+  cmake --build build-bench -j --target bench_sql bench_fig6a_concurrency
+  # Keep the committed baseline around for the regression diff below.
+  bench_baseline=$(mktemp)
+  git show HEAD:BENCH_sql.json > "${bench_baseline}" 2>/dev/null || \
+    : > "${bench_baseline}"
+  ./build-bench/bench_sql \
+    --benchmark_filter='BM_PointSelect|BM_PointSelectScan|BM_PointUpdate|BM_ThreeWayJoin|BM_ThreeWayJoinSnapshot|BM_GroundEntangled|BM_GroundEntangledSnapshot|BM_RangeSelect|BM_RangeSelectScan|BM_OrderByLimit|BM_OrderByLimitScan|BM_ConcurrentScans|BM_ShardedPointSelect|BM_ShardedScan|BM_ShardedScanFanout|BM_ShardedScanBatchSweep|BM_GroupByAggregate|BM_ReadMostlyMixed|BM_SnapshotScanUnderWriters' \
+    --benchmark_min_time=0.1 \
+    --benchmark_out=BENCH_sql.json \
+    --benchmark_out_format=json
+  if ! grep -q '"youtopia_build_type": "release"' BENCH_sql.json; then
+    echo "BENCH_sql.json came from a non-release binary; discarding" >&2
+    rm -f BENCH_sql.json
+    exit 1
+  fi
+  echo "wrote BENCH_sql.json (Release)"
+  # Diff the fresh run against the committed trajectory point: a table of
+  # real-time ratios, warning on anything more than 1.3x slower. Under
+  # --bench-strict, >1.5x fails the script.
+  python3 - "${bench_baseline}" BENCH_sql.json "${bench_strict}" <<'PYEOF'
 import json, sys
 
 def times(path):
@@ -75,6 +92,7 @@ def times(path):
             if b.get("run_type") == "iteration"}
 
 old, new = times(sys.argv[1]), times(sys.argv[2])
+strict = sys.argv[3] == "1"
 common = [n for n in new if n in old]
 if not common:
     print("no committed BENCH_sql.json baseline; skipping regression diff")
@@ -83,48 +101,56 @@ width = max(len(n) for n in common)
 print(f"== bench regression table (vs committed BENCH_sql.json)")
 print(f"{'benchmark':<{width}}  {'old_us':>10}  {'new_us':>10}  {'ratio':>6}")
 regressed = []
+failed = []
 for name in common:
     ratio = new[name] / old[name] if old[name] > 0 else float("inf")
-    flag = "  <-- WARN >1.3x" if ratio > 1.3 else ""
+    flag = ""
+    if ratio > 1.5:
+        flag = "  <-- FAIL >1.5x" if strict else "  <-- WARN >1.5x"
+    elif ratio > 1.3:
+        flag = "  <-- WARN >1.3x"
     print(f"{name:<{width}}  {old[name]:>10.1f}  {new[name]:>10.1f}"
           f"  {ratio:>6.2f}{flag}")
     if ratio > 1.3:
         regressed.append(name)
+    if ratio > 1.5:
+        failed.append(name)
 for name in sorted(set(new) - set(old)):
     print(f"{name:<{width}}  {'-':>10}  {new[name]:>10.1f}    new")
 if regressed:
     print(f"WARNING: {len(regressed)} benchmark(s) regressed >1.3x: "
           + ", ".join(regressed))
+if strict and failed:
+    print(f"FAIL (--bench-strict): {len(failed)} benchmark(s) regressed "
+          f">1.5x: " + ", ".join(failed))
+    sys.exit(1)
 PYEOF
-    rm -f "${bench_baseline}"
-    # One fig6a point per workload extreme: many connections hammering the
-    # same tables — the regime scan sharing is for (watch the
-    # shared_scan_attaches counter).
-    ./build-bench/bench_fig6a_concurrency \
-      --benchmark_filter='Fig6a/(NoSocial-T|Entangled-Q)/conns:50' \
-      --benchmark_out=BENCH_fig6a.json \
-      --benchmark_out_format=json
-    if ! grep -q '"youtopia_build_type": "release"' BENCH_fig6a.json; then
-      echo "BENCH_fig6a.json came from a non-release binary; discarding" >&2
-      rm -f BENCH_fig6a.json
-      exit 1
-    fi
-    echo "wrote BENCH_fig6a.json (Release)"
-    ;;
-  --tsan)
-    cmake -B build-tsan -S . -DYOUTOPIA_TSAN=ON \
-          -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-          -DYOUTOPIA_BUILD_BENCH=OFF -DYOUTOPIA_BUILD_EXAMPLES=OFF
-    cmake --build build-tsan -j --target lock_test txn_test sql_test shard_test
-    for t in lock_test txn_test sql_test shard_test; do
-      echo "== tsan: ${t}"
-      ./build-tsan/${t}
-    done
-    echo "tsan suites passed"
-    ;;
-  *)
-    echo "unknown argument: ${arg} (expected --bench-smoke and/or --tsan)" >&2
+  rm -f "${bench_baseline}"
+  # One fig6a point per workload extreme: many connections hammering the
+  # same tables — the regime scan sharing is for (watch the
+  # shared_scan_attaches counter) — plus the MVCC read-path ablation pair
+  # (NoSocial-T re-leveled to kReadCommitted, snapshot reads on vs off).
+  ./build-bench/bench_fig6a_concurrency \
+    --benchmark_filter='Fig6a/(NoSocial-T|Entangled-Q|NoSocial-T-SnapRead|NoSocial-T-LockRead)/conns:50' \
+    --benchmark_out=BENCH_fig6a.json \
+    --benchmark_out_format=json
+  if ! grep -q '"youtopia_build_type": "release"' BENCH_fig6a.json; then
+    echo "BENCH_fig6a.json came from a non-release binary; discarding" >&2
+    rm -f BENCH_fig6a.json
     exit 1
-    ;;
-  esac
-done
+  fi
+  echo "wrote BENCH_fig6a.json (Release)"
+fi
+
+if [[ "${tsan}" == 1 ]]; then
+  cmake -B build-tsan -S . -DYOUTOPIA_TSAN=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DYOUTOPIA_BUILD_BENCH=OFF -DYOUTOPIA_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j \
+        --target lock_test txn_test sql_test shard_test mvcc_test
+  for t in lock_test txn_test sql_test shard_test mvcc_test; do
+    echo "== tsan: ${t}"
+    ./build-tsan/${t}
+  done
+  echo "tsan suites passed"
+fi

@@ -53,6 +53,36 @@ class TaggingCursor : public TableCursor {
   size_t shard_;
 };
 
+/// Keeps the coordinator transaction's open-cursor count honest across
+/// router cursors: a kReadCommitted coordinator must not advance its
+/// snapshot while a statement's outer cursor is still being consumed (its
+/// join probes read the same cut), which RefreshCoordinatorSnapshot
+/// enforces via open_cursors(). Applied only under snapshot reads — the
+/// locking path's lifetimes belong to the branch cursors.
+class CoordCursor : public TableCursor {
+ public:
+  CoordCursor(std::unique_ptr<TableCursor> inner, Transaction* coord)
+      : inner_(std::move(inner)), coord_(coord) {
+    coord_->cursor_opened();
+  }
+  ~CoordCursor() override { coord_->cursor_closed(); }
+
+  StatusOr<bool> NextRef(RowId* rid, const Row** row) override {
+    return inner_->NextRef(rid, row);
+  }
+  StatusOr<bool> Next(RowId* rid, Row* row) override {
+    return inner_->Next(rid, row);
+  }
+  StatusOr<bool> NextBatch(RowBatch* batch, size_t max_rows) override {
+    return inner_->NextBatch(batch, max_rows);
+  }
+  size_t size_hint() const override { return inner_->size_hint(); }
+
+ private:
+  std::unique_ptr<TableCursor> inner_;
+  Transaction* coord_;
+};
+
 std::string PartitionAux(const std::vector<size_t>& pcols) {
   if (pcols.empty()) return "broadcast";
   std::string s = "p:";
@@ -75,7 +105,10 @@ std::vector<size_t> ParsePartitionAux(const std::string& aux) {
 }  // namespace
 
 Router::Router(Options options)
-    : options_(std::move(options)), map_(options_.num_shards) {}
+    : options_(std::move(options)),
+      clock_(std::make_unique<VersionClock>()),
+      snapshots_(std::make_unique<SnapshotRegistry>()),
+      map_(options_.num_shards) {}
 
 Router::~Router() = default;
 
@@ -115,6 +148,8 @@ StatusOr<std::unique_ptr<Router>> Router::Open(Options options) {
     TransactionManager::Options to;
     to.default_isolation = r->options_.default_isolation;
     to.lock_timeout_micros = r->options_.lock_timeout_micros;
+    to.clock = r->clock_.get();
+    to.snapshots = r->snapshots_.get();
     sh.tm = std::make_unique<TransactionManager>(sh.db.get(), sh.locks.get(),
                                                  sh.wal.get(), to);
   }
@@ -185,6 +220,8 @@ StatusOr<std::unique_ptr<Router>> Router::Recover(Options options,
     TransactionManager::Options to;
     to.default_isolation = r->options_.default_isolation;
     to.lock_timeout_micros = r->options_.lock_timeout_micros;
+    to.clock = r->clock_.get();
+    to.snapshots = r->snapshots_.get();
     sh.tm = std::make_unique<TransactionManager>(sh.db.get(), sh.locks.get(),
                                                  sh.wal.get(), to);
     sh.tm->set_next_txn_id(res.max_txn_id + 1);
@@ -218,12 +255,53 @@ std::unique_ptr<Transaction> Router::Begin(IsolationLevel level) {
   stats_.begins.fetch_add(1, std::memory_order_relaxed);
   auto txn = std::make_unique<Transaction>(id, level,
                                            options_.lock_timeout_micros);
+  // kSnapshot pins one engine-wide cut for the whole transaction; every
+  // branch it later enlists adopts this timestamp, so a cross-shard scan
+  // reads the same point in commit order on every shard.
+  if (mvcc_reads_.load(std::memory_order_relaxed) &&
+      level == IsolationLevel::kSnapshot) {
+    uint64_t ts = clock_->ReadTs();
+    txn->set_read_ts(ts);
+    snapshots_->Register(ts);
+    txn->set_snapshot_registered(true);
+  }
   auto dt = std::make_unique<Dtxn>();
   dt->level = level;
   dt->branches.resize(shards_.size());
   std::lock_guard<std::mutex> g(mu_);
   dtxns_[id] = std::move(dt);
   return txn;
+}
+
+void Router::set_mvcc_reads_enabled(bool on) {
+  mvcc_reads_.store(on, std::memory_order_relaxed);
+  for (Shard& sh : shards_) sh.tm->set_mvcc_reads_enabled(on);
+}
+
+void Router::RefreshCoordinatorSnapshot(Transaction* txn, bool grounding) {
+  if (!SnapshotReadsActive(txn)) return;
+  if (txn->isolation_level() == IsolationLevel::kSnapshot &&
+      txn->snapshot_registered()) {
+    return;  // pinned at Begin for the whole transaction
+  }
+  // Same statement-boundary rule as the local manager: a join's probe
+  // cursors and a grounding's later atoms keep the cut the statement
+  // started on.
+  if (txn->read_ts() != 0 && (txn->open_cursors() > 0 || grounding)) return;
+  uint64_t ts = clock_->ReadTs();
+  if (txn->snapshot_registered()) {
+    snapshots_->Update(txn->read_ts(), ts);
+  } else {
+    snapshots_->Register(ts);
+    txn->set_snapshot_registered(true);
+  }
+  txn->set_read_ts(ts);
+}
+
+void Router::ReleaseCoordinatorSnapshot(Transaction* txn) {
+  if (!txn->snapshot_registered()) return;
+  snapshots_->Unregister(txn->read_ts());
+  txn->set_snapshot_registered(false);
 }
 
 StatusOr<Router::Dtxn*> Router::FindDtxn(const Transaction* txn) {
@@ -247,6 +325,13 @@ Transaction* Router::EnlistBranch(Dtxn* dt, const Transaction* txn,
   if (b == nullptr) {
     b = shards_[shard].tm->Begin(dt->level);
     b->set_lock_timeout_micros(txn->lock_timeout_micros());
+  }
+  // Re-sync the coordinator's cut on every touch: a branch enlisted by an
+  // earlier statement (or by a write, before the coordinator ever took a
+  // snapshot) must not keep a stale timestamp once the coordinator has
+  // refreshed. Adopted branches never self-refresh.
+  if (SnapshotReadsActive(txn) && b->read_ts() != txn->read_ts()) {
+    shards_[shard].tm->AdoptSnapshot(b.get(), txn->read_ts());
   }
   return b.get();
 }
@@ -328,6 +413,10 @@ StatusOr<Row> Router::Get(Transaction* txn, const std::string& table,
   if (!txn->active()) return Status::Aborted("transaction not active");
   YT_ASSIGN_OR_RETURN(Table * cat, CatalogTable(table));
   YT_ASSIGN_OR_RETURN(Dtxn * dt, FindDtxn(txn));
+  RefreshCoordinatorSnapshot(txn, /*grounding=*/false);
+  if (SnapshotReadsActive(txn)) {
+    stats_.snapshot_reads.fetch_add(1, std::memory_order_relaxed);
+  }
   const std::string& name = cat->name();
   if (map_.IsBroadcast(name)) {
     return shards_[0].tm->Get(EnlistBranch(dt, txn, 0), name, rid);
@@ -430,13 +519,28 @@ StatusOr<std::unique_ptr<TableCursor>> Router::OpenCursor(Transaction* txn,
                                                           ReadOrigin origin) {
   if (!txn->active()) return Status::Aborted("transaction not active");
   YT_ASSIGN_OR_RETURN(Dtxn * dt, FindDtxn(txn));
+  const bool grounding = origin == ReadOrigin::kGrounding ||
+                         origin == ReadOrigin::kGroundingJoin;
+  RefreshCoordinatorSnapshot(txn, grounding);
+  const bool track = SnapshotReadsActive(txn);
+  if (track) {
+    stats_.snapshot_reads.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto tracked = [&](std::unique_ptr<TableCursor> c)
+      -> std::unique_ptr<TableCursor> {
+    if (!track) return c;
+    return std::unique_ptr<TableCursor>(new CoordCursor(std::move(c), txn));
+  };
   const std::string& name = t->name();
   if (map_.IsBroadcast(name)) {
     // Broadcast replicas are read on shard 0 = the catalog database, so
     // `t` is already the right table. RowIds stay untagged (identical on
     // every replica).
     Transaction* b = EnlistBranch(dt, txn, 0);
-    return shards_[0].tm->OpenCursor(b, t, std::move(plan), origin);
+    YT_ASSIGN_OR_RETURN(auto cursor,
+                        shards_[0].tm->OpenCursor(b, t, std::move(plan),
+                                                  origin));
+    return tracked(std::move(cursor));
   }
   size_t s = map_.RouteRead(name, plan);
   if (s != ShardMap::kAllShards) {
@@ -446,11 +550,12 @@ StatusOr<std::unique_ptr<TableCursor>> Router::OpenCursor(Transaction* txn,
     YT_ASSIGN_OR_RETURN(auto cursor,
                         shards_[s].tm->OpenCursor(b, st, std::move(plan),
                                                   origin));
-    return std::unique_ptr<TableCursor>(
-        new TaggingCursor(std::move(cursor), s));
+    return tracked(std::unique_ptr<TableCursor>(
+        new TaggingCursor(std::move(cursor), s)));
   }
   stats_.fanout_cursors.fetch_add(1, std::memory_order_relaxed);
-  return OpenFanout(txn, dt, name, plan, origin);
+  YT_ASSIGN_OR_RETURN(auto merged, OpenFanout(txn, dt, name, plan, origin));
+  return tracked(std::move(merged));
 }
 
 StatusOr<std::unique_ptr<TableCursor>> Router::OpenFanout(
@@ -530,6 +635,11 @@ StatusOr<AggregateGroups> Router::AggregateTable(Transaction* txn, Table* t,
                                                  ReadOrigin origin) {
   if (!txn->active()) return Status::Aborted("transaction not active");
   YT_ASSIGN_OR_RETURN(Dtxn * dt, FindDtxn(txn));
+  RefreshCoordinatorSnapshot(txn, origin == ReadOrigin::kGrounding ||
+                                      origin == ReadOrigin::kGroundingJoin);
+  if (SnapshotReadsActive(txn)) {
+    stats_.snapshot_reads.fetch_add(1, std::memory_order_relaxed);
+  }
   const std::string& name = t->name();
   if (map_.IsBroadcast(name)) {
     // One replica holds every row: fold locally on shard 0.
@@ -734,6 +844,18 @@ Status Router::TwoPhaseCommit(
   if (cp == CrashPoint::kAfterDecision) {
     return SimulatedCrash("after decision", crashed);
   }
+  // One commit timestamp for every write branch, stamped and published
+  // before any participant commits: a distributed transaction becomes
+  // visible to snapshot readers atomically, never shard by shard as
+  // phase 2 reaches each participant.
+  if (!writers.empty()) {
+    std::lock_guard<std::mutex> g(clock_->commit_mutex());
+    uint64_t ts = clock_->AllocateCommitTs();
+    for (const auto& [s, b] : writers) {
+      shards_[s].tm->StampWritesAt(b, ts);
+    }
+    clock_->Publish(ts);
+  }
   // Read-only branches never voted; release them with a local commit.
   for (const auto& [s, b] : readers) {
     (void)shards_[s].tm->Commit(b);
@@ -779,12 +901,14 @@ Status Router::Commit(Transaction* txn) {
       if (crashed) return st;  // leave state exactly as a crash would
       AbortBranches(dt);
       txn->set_state(TxnState::kAborted);
+      ReleaseCoordinatorSnapshot(txn);
       EraseDtxn(txn->id());
       stats_.aborts.fetch_add(1, std::memory_order_relaxed);
       return st;
     }
   }
   txn->set_state(TxnState::kCommitted);
+  ReleaseCoordinatorSnapshot(txn);
   EraseDtxn(txn->id());
   stats_.commits.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
@@ -798,6 +922,7 @@ Status Router::Abort(Transaction* txn) {
   YT_ASSIGN_OR_RETURN(Dtxn * dt, FindDtxn(txn));
   AbortBranches(dt);
   txn->set_state(TxnState::kAborted);
+  ReleaseCoordinatorSnapshot(txn);
   EraseDtxn(txn->id());
   stats_.aborts.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
@@ -831,6 +956,7 @@ Status Router::CommitGroup(const std::vector<Transaction*>& members) {
     for (size_t i = 0; i < members.size(); ++i) {
       AbortBranches(dts[i]);
       members[i]->set_state(TxnState::kAborted);
+      ReleaseCoordinatorSnapshot(members[i]);
       EraseDtxn(members[i]->id());
       stats_.aborts.fetch_add(1, std::memory_order_relaxed);
     }
@@ -875,6 +1001,7 @@ Status Router::CommitGroup(const std::vector<Transaction*>& members) {
   }
   for (Transaction* t : members) {
     t->set_state(TxnState::kCommitted);
+    ReleaseCoordinatorSnapshot(t);
     EraseDtxn(t->id());
     stats_.commits.fetch_add(1, std::memory_order_relaxed);
   }

@@ -12,6 +12,7 @@
 
 #include "src/lock/lock_manager.h"
 #include "src/shard/shard_map.h"
+#include "src/storage/mvcc.h"
 #include "src/txn/transaction_manager.h"
 #include "src/txn/txn_engine.h"
 #include "src/wal/wal_writer.h"
@@ -140,6 +141,20 @@ class Router : public TxnEngine {
     aggregate_pushdown_.store(on, std::memory_order_relaxed);
   }
 
+  /// MVCC ablation: toggles snapshot reads on the coordinator and on every
+  /// shard manager at once, so a cross-shard read either uses one
+  /// timestamped cut per shard (on) or the classical locking path (off).
+  void set_mvcc_reads_enabled(bool on) override;
+  bool mvcc_reads_enabled() const override {
+    return mvcc_reads_.load(std::memory_order_relaxed);
+  }
+
+  /// The engine-wide commit clock and snapshot registry shared by every
+  /// shard: commits on any shard advance one clock, so a coordinator
+  /// timestamp names the same cut everywhere (tests / GC inspection).
+  VersionClock* clock() { return clock_.get(); }
+  SnapshotRegistry* snapshots() { return snapshots_.get(); }
+
   StatusOr<std::vector<std::pair<RowId, Row>>> LockRowsForWrite(
       Transaction* txn, const std::string& table,
       const std::vector<size_t>& columns, const Row& key) override;
@@ -234,8 +249,24 @@ class Router : public TxnEngine {
   StatusOr<Dtxn*> FindDtxn(const Transaction* txn);
   void EraseDtxn(TxnId id);
   /// The branch of `dt` on `shard`, enlisting (shard-level Begin) on first
-  /// touch.
+  /// touch. Under snapshot reads the branch adopts the coordinator's
+  /// current timestamp (re-synced on every touch), so all branches of one
+  /// statement read the same cut — and a branch's first-updater-wins check
+  /// runs against the coordinator's snapshot, not its own enlist time.
   Transaction* EnlistBranch(Dtxn* dt, const Transaction* txn, size_t shard);
+  /// True when this transaction's reads go through the versioned heap.
+  bool SnapshotReadsActive(const Transaction* txn) const {
+    return mvcc_reads_.load(std::memory_order_relaxed) &&
+           UsesSnapshotReads(txn->isolation_level());
+  }
+  /// Coordinator-side mirror of TransactionManager::MaybeRefreshSnapshot:
+  /// advances a kReadCommitted coordinator's cut at statement boundaries
+  /// (kSnapshot keeps its Begin-time pin; mid-statement and grounding
+  /// refreshes are suppressed) and keeps the registry pin current so GC
+  /// never prunes under an open coordinator snapshot.
+  void RefreshCoordinatorSnapshot(Transaction* txn, bool grounding);
+  /// Drops the coordinator's registry pin (terminal paths).
+  void ReleaseCoordinatorSnapshot(Transaction* txn);
   /// Resolves `table` to its canonical catalog entry.
   StatusOr<Table*> CatalogTable(const std::string& table) const;
   /// Splits a distributed transaction's branches into writers and readers.
@@ -272,6 +303,11 @@ class Router : public TxnEngine {
                                                     ReadOrigin origin);
 
   Options options_;
+  /// Shared across shards (constructed before them, destroyed after): one
+  /// commit clock and one snapshot registry give cross-shard statements a
+  /// single consistent cut and GC a global horizon.
+  std::unique_ptr<VersionClock> clock_;
+  std::unique_ptr<SnapshotRegistry> snapshots_;
   std::vector<Shard> shards_;
   std::unique_ptr<WalWriter> coord_wal_;  // null in volatile mode
   ShardMap map_;
@@ -286,6 +322,9 @@ class Router : public TxnEngine {
   /// Fanned-out aggregates fold per-shard partials when true (default);
   /// false = row-shipping ablation.
   std::atomic<bool> aggregate_pushdown_{true};
+  /// Versioned snapshot reads when true (default); false = locking-read
+  /// ablation (mirrored into every shard manager).
+  std::atomic<bool> mvcc_reads_{true};
   /// Test-only crash injection (atomic: armed from a test thread, read by
   /// committing threads; whether THIS commit crashed is tracked per
   /// attempt, not here).

@@ -70,6 +70,7 @@ struct SelectStmt {
   std::vector<TableRef> from;
   ExprPtr where;      // may be null
   std::vector<ExprPtr> group_by;  // GROUP BY keys (column refs)
+  ExprPtr having;     // HAVING predicate over groups (may be null)
   std::vector<OrderByItem> order_by;
   int64_t limit = -1; // -1 = unlimited
 };

@@ -103,9 +103,10 @@ Status Executor::MaterializeSubqueries(
 
 StatusOr<QueryResult> Executor::ExecuteSelect(const SelectStmt& sel,
                                               Transaction* txn, VarEnv* vars) {
-  // GROUP BY or any aggregate select item routes to the aggregate path
-  // (which also rejects half-aggregate queries with a plan-time error).
-  bool has_aggregate = !sel.group_by.empty();
+  // GROUP BY, HAVING, or any aggregate select item routes to the aggregate
+  // path (which also rejects half-aggregate queries with a plan-time
+  // error).
+  bool has_aggregate = !sel.group_by.empty() || sel.having != nullptr;
   for (const SelectItem& item : sel.items) {
     has_aggregate = has_aggregate || ContainsAggregate(item.expr.get());
   }
@@ -598,6 +599,50 @@ StatusOr<QueryResult> Executor::ExecuteSelectAggregate(const SelectStmt& sel,
             [](const auto& a, const auto& b) {
               return a.first.Compare(b.first) < 0;
             });
+
+  // HAVING: the planner rewrote it against the synthetic post-grouping row
+  // (group keys as "__group<g>", finalized aggregates as "__agg<i>") —
+  // evaluate it per group and drop the groups it rejects.
+  if (plan.having != nullptr) {
+    std::vector<Column> hcols;
+    for (size_t g = 0; g < plan.spec.group_by.size(); ++g) {
+      hcols.push_back({"__group" + std::to_string(g),
+                       t->schema().column(plan.spec.group_by[g]).type});
+    }
+    for (size_t i = 0; i < plan.spec.aggs.size(); ++i) {
+      const AggSpec& a = plan.spec.aggs[i];
+      TypeId ty = TypeId::kInt64;
+      if (a.func == AggFunc::kAvg) {
+        ty = TypeId::kDouble;
+      } else if (a.func == AggFunc::kSum || a.func == AggFunc::kMin ||
+                 a.func == AggFunc::kMax) {
+        ty = t->schema().column(a.column).type;
+      }
+      hcols.push_back({"__agg" + std::to_string(i), ty});
+    }
+    Schema hschema(std::move(hcols));
+    EvalEnv henv;
+    henv.vars = vars;
+    henv.tables.resize(1);
+    std::vector<std::pair<Row, std::vector<AggState>>> kept;
+    kept.reserve(in_order.size());
+    for (auto& entry : in_order) {
+      std::vector<Value> synth;
+      synth.reserve(entry.first.size() + plan.spec.aggs.size());
+      for (size_t g = 0; g < entry.first.size(); ++g) {
+        synth.push_back(entry.first[g]);
+      }
+      for (size_t i = 0; i < plan.spec.aggs.size(); ++i) {
+        synth.push_back(Aggregator::Finalize(plan.spec.aggs[i].func,
+                                             entry.second[i]));
+      }
+      Row hrow{std::move(synth)};
+      henv.tables[0] = {"", &hschema, &hrow};
+      YT_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*plan.having, henv));
+      if (keep) kept.push_back(std::move(entry));
+    }
+    in_order = std::move(kept);
+  }
 
   QueryResult result;
   for (const SelectItem& item : sel.items) {

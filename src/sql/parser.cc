@@ -196,7 +196,7 @@ StatusOr<std::vector<TableRef>> Parser::ParseFromList() {
     // An alias must be a plain identifier that is not a clause keyword.
     if (a.kind == TokenKind::kIdent && !PeekIdent("WHERE") &&
         !PeekIdent("LIMIT") && !PeekIdent("CHOOSE") && !PeekIdent("ORDER") &&
-        !PeekIdent("GROUP")) {
+        !PeekIdent("GROUP") && !PeekIdent("HAVING")) {
       ref.alias = a.text;
       Advance();
     }
@@ -267,6 +267,12 @@ Status Parser::ParseOrderLimit(SelectStmt* sel) {
       YT_ASSIGN_OR_RETURN(ExprPtr key, ParseAdditive());
       sel->group_by.push_back(std::move(key));
     } while (MatchSymbol(","));
+  }
+  if (MatchIdent("HAVING")) {
+    if (sel->group_by.empty()) {
+      return ErrorHere("HAVING requires GROUP BY");
+    }
+    YT_ASSIGN_OR_RETURN(sel->having, ParseOr());
   }
   if (MatchIdent("ORDER")) {
     YT_RETURN_IF_ERROR(ExpectIdent("BY"));

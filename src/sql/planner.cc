@@ -237,6 +237,113 @@ AccessPlan BestRangePlan(const Table& table, const std::vector<bool>& has_eq,
   return best;
 }
 
+/// Compiles one COUNT/SUM/MIN/MAX/AVG call into an engine AggSpec with
+/// plan-time validation (plain-column argument, numeric SUM/AVG) — shared
+/// by the select-item loop and the HAVING rewriter.
+StatusOr<AggSpec> CompileAggregateCall(const Expr& e, const Schema& schema,
+                                       const std::vector<TableScope>& scope) {
+  AggSpec a;
+  if (e.lhs == nullptr) {
+    a.func = AggFunc::kCountStar;
+    return a;
+  }
+  if (e.lhs->kind != ExprKind::kColumnRef) {
+    return Status::InvalidArgument(
+        "aggregate argument must be a plain column: " + e.ToString());
+  }
+  size_t t = 0, c = 0;
+  if (!ResolveScopeColumn(*e.lhs, scope, &t, &c)) {
+    return Status::NotFound("unresolved column in " + e.ToString());
+  }
+  a.column = c;
+  if (e.op == "COUNT") {
+    a.func = AggFunc::kCount;
+  } else if (e.op == "SUM") {
+    a.func = AggFunc::kSum;
+  } else if (e.op == "MIN") {
+    a.func = AggFunc::kMin;
+  } else if (e.op == "MAX") {
+    a.func = AggFunc::kMax;
+  } else if (e.op == "AVG") {
+    a.func = AggFunc::kAvg;
+  } else {
+    return Status::InvalidArgument("unknown aggregate " + e.op);
+  }
+  if ((a.func == AggFunc::kSum || a.func == AggFunc::kAvg) &&
+      schema.column(c).type != TypeId::kInt64 &&
+      schema.column(c).type != TypeId::kDouble) {
+    return Status::InvalidArgument(
+        e.op + "(" + e.lhs->column + ") requires a numeric column, " +
+        e.lhs->column + " is " + TypeName(schema.column(c).type));
+  }
+  return a;
+}
+
+/// Rewrites a HAVING subtree against the synthetic post-grouping row:
+/// aggregate calls dedup/append into `spec->aggs` and become "__agg<i>"
+/// column refs, grouped columns become "__group<g>". Anything without a
+/// single value per group (ungrouped columns, tuples, subqueries) is a
+/// plan-time error.
+StatusOr<ExprPtr> CompileHaving(const Expr& e, const Schema& schema,
+                                const std::vector<TableScope>& scope,
+                                AggregateSpec* spec) {
+  auto out = std::make_unique<Expr>();
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      out->kind = ExprKind::kLiteral;
+      out->literal = e.literal;
+      return out;
+    case ExprKind::kHostVar:
+      out->kind = ExprKind::kHostVar;
+      out->var = e.var;
+      return out;
+    case ExprKind::kAggregate: {
+      YT_ASSIGN_OR_RETURN(AggSpec a, CompileAggregateCall(e, schema, scope));
+      size_t i = 0;
+      while (i < spec->aggs.size() &&
+             !(spec->aggs[i].func == a.func &&
+               spec->aggs[i].column == a.column)) {
+        ++i;
+      }
+      if (i == spec->aggs.size()) spec->aggs.push_back(a);
+      out->kind = ExprKind::kColumnRef;
+      out->column = "__agg" + std::to_string(i);
+      return out;
+    }
+    case ExprKind::kColumnRef: {
+      size_t t = 0, c = 0;
+      if (!ResolveScopeColumn(e, scope, &t, &c)) {
+        return Status::NotFound("unresolved HAVING column " + e.ToString());
+      }
+      for (size_t g = 0; g < spec->group_by.size(); ++g) {
+        if (spec->group_by[g] == c) {
+          out->kind = ExprKind::kColumnRef;
+          out->column = "__group" + std::to_string(g);
+          return out;
+        }
+      }
+      return Status::InvalidArgument(
+          "HAVING column " + e.ToString() +
+          " must appear in GROUP BY or inside an aggregate");
+    }
+    case ExprKind::kBinary: {
+      out->kind = ExprKind::kBinary;
+      out->op = e.op;
+      YT_ASSIGN_OR_RETURN(out->lhs, CompileHaving(*e.lhs, schema, scope, spec));
+      YT_ASSIGN_OR_RETURN(out->rhs, CompileHaving(*e.rhs, schema, scope, spec));
+      return out;
+    }
+    case ExprKind::kNot: {
+      out->kind = ExprKind::kNot;
+      YT_ASSIGN_OR_RETURN(out->lhs, CompileHaving(*e.lhs, schema, scope, spec));
+      return out;
+    }
+    default:
+      return Status::InvalidArgument("HAVING does not support " +
+                                     e.ToString());
+  }
+}
+
 }  // namespace
 
 bool ContainsAggregate(const Expr* e) {
@@ -438,40 +545,7 @@ StatusOr<AggregateQueryPlan> Planner::PlanAggregate(
   for (const SelectItem& item : sel.items) {
     const Expr* e = item.expr.get();
     if (e->kind == ExprKind::kAggregate) {
-      AggSpec a;
-      if (e->lhs == nullptr) {
-        a.func = AggFunc::kCountStar;
-      } else {
-        if (e->lhs->kind != ExprKind::kColumnRef) {
-          return Status::InvalidArgument(
-              "aggregate argument must be a plain column: " + e->ToString());
-        }
-        size_t t = 0, c = 0;
-        if (!ResolveScopeColumn(*e->lhs, scope, &t, &c)) {
-          return Status::NotFound("unresolved column in " + e->ToString());
-        }
-        a.column = c;
-        if (e->op == "COUNT") {
-          a.func = AggFunc::kCount;
-        } else if (e->op == "SUM") {
-          a.func = AggFunc::kSum;
-        } else if (e->op == "MIN") {
-          a.func = AggFunc::kMin;
-        } else if (e->op == "MAX") {
-          a.func = AggFunc::kMax;
-        } else if (e->op == "AVG") {
-          a.func = AggFunc::kAvg;
-        } else {
-          return Status::InvalidArgument("unknown aggregate " + e->op);
-        }
-        if ((a.func == AggFunc::kSum || a.func == AggFunc::kAvg) &&
-            schema.column(c).type != TypeId::kInt64 &&
-            schema.column(c).type != TypeId::kDouble) {
-          return Status::InvalidArgument(
-              e->op + "(" + e->lhs->column + ") requires a numeric column, " +
-              e->lhs->column + " is " + TypeName(schema.column(c).type));
-        }
-      }
+      YT_ASSIGN_OR_RETURN(AggSpec a, CompileAggregateCall(*e, schema, scope));
       out.outputs.push_back({true, out.spec.aggs.size()});
       out.spec.aggs.push_back(a);
       continue;
@@ -498,6 +572,15 @@ StatusOr<AggregateQueryPlan> Planner::PlanAggregate(
     return Status::InvalidArgument(
         "select item " + e->ToString() +
         " must be an aggregate or a grouped column in an aggregate query");
+  }
+
+  // HAVING filters whole groups: rewrite it against the synthetic
+  // post-grouping row, folding any aggregates it mentions alongside the
+  // select items (the fold itself — and its shard pushdown — is unchanged;
+  // extra HAVING-only aggregates just ride in spec.aggs).
+  if (sel.having != nullptr) {
+    YT_ASSIGN_OR_RETURN(out.having,
+                        CompileHaving(*sel.having, schema, scope, &out.spec));
   }
 
   // The access plan prunes like any read (an indexed equality/range WHERE

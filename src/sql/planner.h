@@ -193,6 +193,13 @@ struct AggregateQueryPlan {
     size_t index = 0;
   };
   std::vector<Output> outputs;
+
+  /// HAVING predicate rewritten against the synthetic post-grouping row
+  /// ("__group<g>" columns then "__agg<i>" columns): aggregates it
+  /// mentions are folded alongside the select items (deduplicated into
+  /// spec.aggs), and the executor filters whole groups with it before
+  /// producing output rows. Null = no HAVING.
+  ExprPtr having;
 };
 
 /// Access-path planning: extracts sargable equality conjuncts from a WHERE

@@ -1,0 +1,110 @@
+#ifndef YOUTOPIA_STORAGE_MVCC_H_
+#define YOUTOPIA_STORAGE_MVCC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "src/common/ids.h"
+
+namespace youtopia {
+
+/// Engine-wide commit clock for the versioned read path. Timestamps are
+/// logical: `ReadTs` returns the newest *published* commit timestamp, and a
+/// snapshot reader at ts sees exactly the versions whose commit timestamp is
+/// <= ts.
+///
+/// Commit-publish protocol: a committing transaction holds `commit_mutex`
+/// across [AllocateCommitTs, stamp every written row, Publish], so a
+/// timestamp is only ever published after every row carrying it is stamped.
+/// A reader's snapshot (`ReadTs`, an acquire load of the last release-
+/// published ts) therefore always names a cut where every commit <= ts is
+/// fully stamped and every commit > ts is entirely invisible — readers never
+/// observe a half-stamped commit. One clock is shared by every shard of a
+/// sharded engine, so a cross-shard statement reads one cut.
+class VersionClock {
+ public:
+  /// Newest published commit timestamp — the snapshot a new reader takes.
+  uint64_t ReadTs() const {
+    return last_published_.load(std::memory_order_acquire);
+  }
+
+  /// Serializes the [allocate, stamp, publish] commit window.
+  std::mutex& commit_mutex() { return commit_mu_; }
+
+  /// Next commit timestamp. Caller must hold commit_mutex.
+  uint64_t AllocateCommitTs() {
+    return last_published_.load(std::memory_order_relaxed) + 1;
+  }
+
+  /// Makes `ts` (and every row stamped with it) visible to new snapshots.
+  /// Caller must hold commit_mutex.
+  void Publish(uint64_t ts) {
+    last_published_.store(ts, std::memory_order_release);
+  }
+
+ private:
+  std::mutex commit_mu_;
+  std::atomic<uint64_t> last_published_{0};
+};
+
+/// A snapshot reader's view: versions with begin_ts <= `ts` are visible,
+/// plus everything written by `self` (a transaction always sees its own
+/// uncommitted writes).
+struct ReadView {
+  uint64_t ts = 0;
+  TxnId self = 0;
+};
+
+/// The set of snapshot timestamps currently pinned by live transactions.
+/// Version-chain GC prunes only versions no live snapshot can reach, so the
+/// oldest registered timestamp is the GC horizon. Shared across shards
+/// alongside the clock.
+class SnapshotRegistry {
+ public:
+  void Register(uint64_t ts) {
+    std::lock_guard<std::mutex> g(mu_);
+    ++active_[ts];
+  }
+
+  void Unregister(uint64_t ts) {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = active_.find(ts);
+    if (it == active_.end()) return;
+    if (--it->second == 0) active_.erase(it);
+  }
+
+  /// Re-pins a live transaction's snapshot (kReadCommitted refreshes its
+  /// snapshot per statement).
+  void Update(uint64_t old_ts, uint64_t new_ts) {
+    if (old_ts == new_ts) return;
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = active_.find(old_ts);
+    if (it != active_.end() && --it->second == 0) active_.erase(it);
+    ++active_[new_ts];
+  }
+
+  /// The GC horizon: the oldest pinned snapshot, or `fallback` (callers
+  /// pass the clock's current ReadTs) when no snapshot is live.
+  uint64_t OldestOr(uint64_t fallback) const {
+    std::lock_guard<std::mutex> g(mu_);
+    if (active_.empty()) return fallback;
+    return active_.begin()->first;
+  }
+
+  size_t live_count() const {
+    std::lock_guard<std::mutex> g(mu_);
+    size_t n = 0;
+    for (const auto& [ts, count] : active_) n += count;
+    return n;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<uint64_t, size_t> active_;  ///< ts -> number of pins
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_STORAGE_MVCC_H_

@@ -125,6 +125,33 @@ StatusOr<Row> Table::CoerceToSchema(const Row& row) const {
   return Row(std::move(vals));
 }
 
+const Row* Table::VisibleVersion(const VersionedRow& vr, const ReadView& view) {
+  // A transaction always sees its own uncommitted write.
+  if (vr.writer != 0) {
+    if (vr.writer == view.self) return vr.deleted ? nullptr : &vr.latest;
+  } else if (vr.begin_ts <= view.ts) {
+    // Committed latest, within the snapshot.
+    return vr.deleted ? nullptr : &vr.latest;
+  }
+  // Latest is invisible (foreign uncommitted write, or committed past the
+  // snapshot): walk the newest-first chain for the first version at or
+  // below the snapshot.
+  for (const RowVersion& v : vr.history) {
+    if (v.begin_ts <= view.ts) return v.deleted ? nullptr : &v.data;
+  }
+  return nullptr;
+}
+
+bool Table::AnyVersionCarriesKey(const VersionedRow& vr,
+                                 const std::vector<size_t>& columns,
+                                 const Row& key) {
+  if (!vr.deleted && ProjectKey(vr.latest, columns) == key) return true;
+  for (const RowVersion& v : vr.history) {
+    if (!v.deleted && ProjectKey(v.data, columns) == key) return true;
+  }
+  return false;
+}
+
 StatusOr<RowId> Table::Insert(const Row& row) {
   YT_ASSIGN_OR_RETURN(Row coerced, CoerceToSchema(row));
   return InsertCoerced(std::move(coerced));
@@ -139,7 +166,28 @@ StatusOr<RowId> Table::InsertCoerced(Row row) {
   YT_RETURN_IF_ERROR(CheckUniqueLocked(row, /*self=*/0));
   RowId rid = next_row_id_++;
   IndexInsertLocked(rid, row);
-  rows_.emplace(rid, std::move(row));
+  VersionedRow vr;
+  vr.latest = std::move(row);
+  rows_.emplace(rid, std::move(vr));
+  ++live_rows_;
+  write_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return rid;
+}
+
+StatusOr<RowId> Table::InsertVersioned(Row coerced, TxnId writer) {
+  if (coerced.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity does not match schema of " +
+                                   name_);
+  }
+  std::unique_lock g(latch_);
+  YT_RETURN_IF_ERROR(CheckUniqueLocked(coerced, /*self=*/0));
+  RowId rid = next_row_id_++;
+  IndexInsertLocked(rid, coerced);
+  VersionedRow vr;
+  vr.latest = std::move(coerced);
+  vr.writer = writer;
+  rows_.emplace(rid, std::move(vr));
+  ++live_rows_;
   write_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return rid;
 }
@@ -147,14 +195,22 @@ StatusOr<RowId> Table::InsertCoerced(Row row) {
 Status Table::InsertWithId(RowId rid, const Row& row) {
   YT_ASSIGN_OR_RETURN(Row coerced, CoerceToSchema(row));
   std::unique_lock g(latch_);
-  if (rows_.count(rid)) {
-    return Status::AlreadyExists("row id " + std::to_string(rid) +
-                                 " occupied in table " + name_);
+  auto it = rows_.find(rid);
+  if (it != rows_.end()) {
+    if (!it->second.deleted || it->second.writer != 0) {
+      return Status::AlreadyExists("row id " + std::to_string(rid) +
+                                   " occupied in table " + name_);
+    }
+    // Committed tombstone: replace in place (recovery-style resurrect).
+    EraseEntryLocked(it);
   }
   YT_RETURN_IF_ERROR(CheckUniqueLocked(coerced, /*self=*/0));
   next_row_id_ = std::max(next_row_id_, rid + 1);
   IndexInsertLocked(rid, coerced);
-  rows_.emplace(rid, std::move(coerced));
+  VersionedRow vr;
+  vr.latest = std::move(coerced);
+  rows_.emplace(rid, std::move(vr));
+  ++live_rows_;
   write_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::Ok();
 }
@@ -162,11 +218,21 @@ Status Table::InsertWithId(RowId rid, const Row& row) {
 StatusOr<Row> Table::Get(RowId rid) const {
   std::shared_lock g(latch_);
   auto it = rows_.find(rid);
-  if (it == rows_.end()) {
+  if (it == rows_.end() || it->second.deleted) {
     return Status::NotFound("row " + std::to_string(rid) + " in table " +
                             name_);
   }
-  return it->second;
+  return it->second.latest;
+}
+
+StatusOr<Row> Table::GetVersioned(RowId rid, const ReadView& view) const {
+  std::shared_lock g(latch_);
+  auto it = rows_.find(rid);
+  if (it != rows_.end()) {
+    const Row* v = VisibleVersion(it->second, view);
+    if (v != nullptr) return *v;
+  }
+  return Status::NotFound("row " + std::to_string(rid) + " in table " + name_);
 }
 
 Status Table::Update(RowId rid, const Row& row) {
@@ -181,14 +247,53 @@ Status Table::UpdateCoerced(RowId rid, Row row) {
   }
   std::unique_lock g(latch_);
   auto it = rows_.find(rid);
-  if (it == rows_.end()) {
+  if (it == rows_.end() || it->second.deleted) {
     return Status::NotFound("row " + std::to_string(rid) + " in table " +
                             name_);
   }
   YT_RETURN_IF_ERROR(CheckUniqueLocked(row, rid));
-  IndexRemoveLocked(rid, it->second);
-  it->second = std::move(row);
-  IndexInsertLocked(rid, it->second);
+  VersionedRow& vr = it->second;
+  Row old = std::move(vr.latest);
+  vr.latest = std::move(row);
+  vr.writer = 0;
+  IndexInsertLocked(rid, vr.latest);
+  ScrubKeysLocked(rid, old);
+  write_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::Ok();
+}
+
+Status Table::UpdateVersioned(RowId rid, Row coerced, TxnId writer,
+                              bool* pushed) {
+  *pushed = false;
+  if (coerced.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity does not match schema of " +
+                                   name_);
+  }
+  std::unique_lock g(latch_);
+  auto it = rows_.find(rid);
+  if (it == rows_.end() || it->second.deleted) {
+    return Status::NotFound("row " + std::to_string(rid) + " in table " +
+                            name_);
+  }
+  YT_RETURN_IF_ERROR(CheckUniqueLocked(coerced, rid));
+  VersionedRow& vr = it->second;
+  if (vr.writer == writer) {
+    // Re-write by the owning transaction: overwrite the uncommitted
+    // version in place (intermediate states are never visible to anyone).
+    Row old = std::move(vr.latest);
+    vr.latest = std::move(coerced);
+    IndexInsertLocked(rid, vr.latest);
+    ScrubKeysLocked(rid, old);
+  } else {
+    // First write to a committed row: push the committed version onto the
+    // chain so snapshot readers keep seeing it. Its index keys stay.
+    vr.history.insert(vr.history.begin(),
+                      RowVersion{vr.begin_ts, false, std::move(vr.latest)});
+    vr.latest = std::move(coerced);
+    vr.writer = writer;
+    IndexInsertLocked(rid, vr.latest);
+    *pushed = true;
+  }
   write_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::Ok();
 }
@@ -196,20 +301,137 @@ Status Table::UpdateCoerced(RowId rid, Row row) {
 Status Table::Delete(RowId rid) {
   std::unique_lock g(latch_);
   auto it = rows_.find(rid);
-  if (it == rows_.end()) {
+  if (it == rows_.end() || it->second.deleted) {
     return Status::NotFound("row " + std::to_string(rid) + " in table " +
                             name_);
   }
-  IndexRemoveLocked(rid, it->second);
-  rows_.erase(it);
+  EraseEntryLocked(it);
   write_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::Ok();
 }
 
+Status Table::DeleteVersioned(RowId rid, TxnId writer, bool* pushed) {
+  *pushed = false;
+  std::unique_lock g(latch_);
+  auto it = rows_.find(rid);
+  if (it == rows_.end() || it->second.deleted) {
+    return Status::NotFound("row " + std::to_string(rid) + " in table " +
+                            name_);
+  }
+  VersionedRow& vr = it->second;
+  if (vr.writer != writer) {
+    // First write to a committed row: preserve it for older snapshots.
+    vr.history.insert(vr.history.begin(),
+                      RowVersion{vr.begin_ts, false, vr.latest});
+    vr.writer = writer;
+    *pushed = true;
+  }
+  // The tombstone keeps the old data in `latest` so rollback and key
+  // scrubbing know what it carried; `deleted` hides it from every reader.
+  vr.deleted = true;
+  --live_rows_;
+  write_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::Ok();
+}
+
+void Table::StampCommit(RowId rid, TxnId writer, uint64_t ts) {
+  std::unique_lock g(latch_);
+  auto it = rows_.find(rid);
+  if (it == rows_.end()) return;
+  VersionedRow& vr = it->second;
+  if (vr.writer != writer) return;  // already stamped (redundant undo entry)
+  vr.begin_ts = ts;
+  vr.writer = 0;
+}
+
+void Table::RollbackInsert(RowId rid, TxnId writer) {
+  std::unique_lock g(latch_);
+  auto it = rows_.find(rid);
+  if (it == rows_.end()) return;
+  VersionedRow& vr = it->second;
+  if (vr.writer != writer || !vr.history.empty()) return;
+  EraseEntryLocked(it);
+  write_epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Table::RollbackWrite(RowId rid, TxnId writer) {
+  std::unique_lock g(latch_);
+  auto it = rows_.find(rid);
+  if (it == rows_.end()) return;
+  VersionedRow& vr = it->second;
+  // The undo log is processed in reverse, so the *first* rollback touching
+  // this row restores the committed version and clears `writer`; later
+  // entries for the same row (earlier writes of the same transaction) then
+  // no-op on the writer mismatch. An insert-then-update row has an empty
+  // chain here and is erased by its kInsert undo entry instead.
+  if (vr.writer != writer || vr.history.empty()) return;
+  bool was_live = !vr.deleted;
+  Row discarded = std::move(vr.latest);
+  RowVersion& top = vr.history.front();
+  vr.latest = std::move(top.data);
+  vr.deleted = top.deleted;
+  vr.begin_ts = top.begin_ts;
+  vr.writer = 0;
+  vr.history.erase(vr.history.begin());
+  if (was_live && vr.deleted) --live_rows_;
+  if (!was_live && !vr.deleted) ++live_rows_;
+  IndexInsertLocked(rid, vr.latest);
+  ScrubKeysLocked(rid, discarded);
+  write_epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+uint64_t Table::LatestBeginTs(RowId rid) const {
+  std::shared_lock g(latch_);
+  auto it = rows_.find(rid);
+  if (it == rows_.end() || it->second.writer != 0) return 0;
+  return it->second.begin_ts;
+}
+
+size_t Table::PruneVersions(uint64_t oldest_snapshot) {
+  std::unique_lock g(latch_);
+  size_t pruned = 0;
+  for (auto it = rows_.begin(); it != rows_.end();) {
+    VersionedRow& vr = it->second;
+    // Find the newest version visible at the horizon; everything older is
+    // unreachable by any live or future snapshot. When the latest version
+    // itself is committed at-or-below the horizon, the whole chain goes.
+    size_t keep_from = 0;  // first history index to drop
+    if (vr.writer != 0 || vr.begin_ts > oldest_snapshot) {
+      while (keep_from < vr.history.size() &&
+             vr.history[keep_from].begin_ts > oldest_snapshot) {
+        ++keep_from;
+      }
+      // Keep the horizon version itself (the one a snapshot at exactly the
+      // horizon reads).
+      if (keep_from < vr.history.size()) ++keep_from;
+    }
+    if (keep_from < vr.history.size()) {
+      std::vector<RowVersion> dropped(vr.history.begin() + keep_from,
+                                      vr.history.end());
+      vr.history.resize(keep_from);
+      pruned += dropped.size();
+      for (RowVersion& v : dropped) {
+        if (!v.deleted) ScrubKeysLocked(it->first, v.data);
+      }
+    }
+    // A committed tombstone with no remaining chain is dead weight: no
+    // snapshot at-or-above the horizon can see any version of it.
+    if (vr.deleted && vr.writer == 0 && vr.begin_ts <= oldest_snapshot &&
+        vr.history.empty()) {
+      ++pruned;
+      EraseEntryLocked(it++);
+      continue;
+    }
+    ++it;
+  }
+  return pruned;
+}
+
 void Table::Scan(const std::function<bool(RowId, const Row&)>& visitor) const {
   std::shared_lock g(latch_);
-  for (const auto& [rid, row] : rows_) {
-    if (!visitor(rid, row)) break;
+  for (const auto& [rid, vr] : rows_) {
+    if (vr.deleted) continue;
+    if (!visitor(rid, vr.latest)) break;
   }
 }
 
@@ -220,7 +442,22 @@ RowId Table::ScanChunk(RowId from, size_t max_rows,
   std::shared_lock g(latch_);
   auto it = rows_.lower_bound(from);
   while (it != rows_.end() && out->size() < max_rows) {
-    out->emplace_back(it->first, it->second);
+    if (!it->second.deleted) out->emplace_back(it->first, it->second.latest);
+    ++it;
+  }
+  return it == rows_.end() ? 0 : it->first;
+}
+
+RowId Table::ScanChunkVersioned(const ReadView& view, RowId from,
+                                size_t max_rows,
+                                std::vector<std::pair<RowId, Row>>* out) const {
+  out->clear();
+  out->reserve(max_rows);
+  std::shared_lock g(latch_);
+  auto it = rows_.lower_bound(from);
+  while (it != rows_.end() && out->size() < max_rows) {
+    const Row* v = VisibleVersion(it->second, view);
+    if (v != nullptr) out->emplace_back(it->first, *v);
     ++it;
   }
   return it == rows_.end() ? 0 : it->first;
@@ -252,15 +489,30 @@ Status Table::CreateIndexByPositions(const std::vector<size_t>& columns,
   idx.columns = columns;
   idx.unique = unique;
   idx.ordered = ordered;
-  for (const auto& [rid, row] : rows_) {
-    Row key = ProjectKey(row, idx.columns);
-    auto& bucket = ordered ? idx.tree[key] : idx.hash[key];
-    // Keys containing NULL are exempt from uniqueness (SQL UNIQUE).
-    if (unique && !bucket.empty() && !RowHasNullPrefix(key, key.size())) {
-      return Status::AlreadyExists("duplicate key in unique index on table " +
-                                   name_);
+  // Backfill from every version of every row, so snapshot readers at older
+  // timestamps can still probe the new index. Uniqueness only considers
+  // live latest versions.
+  for (const auto& [rid, vr] : rows_) {
+    std::vector<Row> keys;
+    if (!vr.deleted) keys.push_back(ProjectKey(vr.latest, idx.columns));
+    for (const RowVersion& v : vr.history) {
+      if (!v.deleted) keys.push_back(ProjectKey(v.data, idx.columns));
     }
-    bucket.push_back(rid);
+    bool first = true;
+    for (Row& key : keys) {
+      auto& bucket = ordered ? idx.tree[key] : idx.hash[key];
+      // Keys containing NULL are exempt from uniqueness (SQL UNIQUE).
+      if (unique && first && !vr.deleted && !bucket.empty() &&
+          !RowHasNullPrefix(key, key.size())) {
+        return Status::AlreadyExists(
+            "duplicate key in unique index on table " + name_);
+      }
+      if (std::find(bucket.begin(), bucket.end(), rid) == bucket.end()) {
+        bucket.insert(std::lower_bound(bucket.begin(), bucket.end(), rid),
+                      rid);
+      }
+      first = false;
+    }
   }
   indexes_.push_back(std::move(idx));
   return Status::Ok();
@@ -284,63 +536,75 @@ StatusOr<std::vector<RowId>> Table::IndexLookup(
   }
   const std::vector<RowId>* bucket = IndexFind(*idx, key);
   if (bucket == nullptr) return std::vector<RowId>{};
-  return *bucket;
+  // Buckets may carry stale entries (older versions' keys): confirm the
+  // latest version still projects the key and is live.
+  std::vector<RowId> out;
+  out.reserve(bucket->size());
+  for (RowId rid : *bucket) {
+    auto it = rows_.find(rid);
+    if (it == rows_.end() || it->second.deleted) continue;
+    if (ProjectKey(it->second.latest, columns) == key) out.push_back(rid);
+  }
+  return out;
 }
 
-StatusOr<std::vector<RowId>> Table::RangeLookup(
-    const IndexRangeSpec& spec) const {
+StatusOr<std::vector<std::pair<RowId, Row>>> Table::IndexLookupVersioned(
+    const std::vector<size_t>& columns, const Row& key,
+    const ReadView& view) const {
   std::shared_lock g(latch_);
-  const Index* idx = FindIndexLocked(spec.columns);
-  if (idx == nullptr || !idx->ordered) {
-    return Status::NotFound("no ordered index on requested columns of " +
-                            name_);
+  const Index* idx = FindIndexLocked(columns);
+  if (idx == nullptr) {
+    return Status::NotFound("no index on requested columns of " + name_);
   }
+  std::vector<std::pair<RowId, Row>> out;
+  const std::vector<RowId>* bucket = IndexFind(*idx, key);
+  if (bucket == nullptr) return out;
+  for (RowId rid : *bucket) {
+    auto it = rows_.find(rid);
+    if (it == rows_.end()) continue;
+    const Row* v = VisibleVersion(it->second, view);
+    if (v != nullptr && ProjectKey(*v, columns) == key) {
+      out.emplace_back(rid, *v);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared shape of the two range-lookup walks: visits in-range keys in
+/// direction order, NULL-filters bound-constrained columns, and lets the
+/// caller emit a bucket's rows (returning true to stop at a limit).
+template <typename Tree, typename EmitBucket>
+void WalkRange(const Tree& tree, const IndexRangeSpec& spec,
+               const EmitBucket& emit_bucket) {
   const IndexRange& r = spec.range;
   // NULL keys are invisible to range predicates, but only in the columns a
   // bound actually constrains — an unconstrained trailing NULL (or a fully
   // unbounded ORDER BY scan) still qualifies.
-  const size_t null_len =
-      std::max(r.lo_unbounded ? 0 : r.lo.size(),
-               r.hi_unbounded ? 0 : r.hi.size());
-
-  std::vector<RowId> out;
-  // Buckets are kept sorted by IndexInsertLocked, so emitting a key's rows
-  // is a plain (possibly reversed) walk: RowIds ascend on a forward scan
-  // and descend on a reverse scan (whole-result key-then-rid order, either
-  // direction).
-  auto emit_bucket = [&](const std::vector<RowId>& bucket) {
-    if (spec.reverse) {
-      out.insert(out.end(), bucket.rbegin(), bucket.rend());
-    } else {
-      out.insert(out.end(), bucket.begin(), bucket.end());
-    }
-    if (spec.limit >= 0 && out.size() >= static_cast<size_t>(spec.limit)) {
-      out.resize(static_cast<size_t>(spec.limit));
-      return true;  // limit reached
-    }
-    return false;
-  };
+  const size_t null_len = std::max(r.lo_unbounded ? 0 : r.lo.size(),
+                                   r.hi_unbounded ? 0 : r.hi.size());
 
   if (!spec.reverse) {
-    auto it = r.lo_unbounded ? idx->tree.begin() : idx->tree.lower_bound(r.lo);
+    auto it = r.lo_unbounded ? tree.begin() : tree.lower_bound(r.lo);
     // An exclusive (possibly prefix) lower bound excludes every key that
     // prefix-compares equal to it.
     if (!r.lo_unbounded && !r.lo_incl) {
-      while (it != idx->tree.end() &&
+      while (it != tree.end() &&
              IndexRange::ComparePrefix(it->first, r.lo) == 0) {
         ++it;
       }
     }
-    for (; it != idx->tree.end(); ++it) {
+    for (; it != tree.end(); ++it) {
       const Row& key = it->first;
       if (!r.hi_unbounded) {
         int c = IndexRange::ComparePrefix(key, r.hi);
         if (c > 0 || (c == 0 && !r.hi_incl)) break;
       }
       if (RowHasNullIn(key, spec.null_filter_from, null_len)) continue;
-      if (emit_bucket(it->second)) return out;
+      if (emit_bucket(key, it->second)) return;
     }
-    return out;
+    return;
   }
 
   // Reverse scan: walk down from just past the upper bound, so a LIMIT
@@ -350,28 +614,99 @@ StatusOr<std::vector<RowId>> Table::RangeLookup(
   // so advance past them to find the true end of the interval — a walk
   // bounded by the boundary prefix's own extensions, which are all in-range
   // keys anyway.
-  auto end_it = idx->tree.end();
+  auto end_it = tree.end();
   if (!r.hi_unbounded) {
     if (r.hi_incl) {
-      end_it = idx->tree.upper_bound(r.hi);
-      while (end_it != idx->tree.end() &&
+      end_it = tree.upper_bound(r.hi);
+      while (end_it != tree.end() &&
              IndexRange::ComparePrefix(end_it->first, r.hi) == 0) {
         ++end_it;
       }
     } else {
-      end_it = idx->tree.lower_bound(r.hi);
+      end_it = tree.lower_bound(r.hi);
     }
   }
-  for (auto rit = std::make_reverse_iterator(end_it);
-       rit != idx->tree.rend(); ++rit) {
+  for (auto rit = std::make_reverse_iterator(end_it); rit != tree.rend();
+       ++rit) {
     const Row& key = rit->first;
     if (!r.lo_unbounded) {
       int c = IndexRange::ComparePrefix(key, r.lo);
       if (c < 0 || (c == 0 && !r.lo_incl)) break;
     }
     if (RowHasNullIn(key, spec.null_filter_from, null_len)) continue;
-    if (emit_bucket(rit->second)) return out;
+    if (emit_bucket(key, rit->second)) return;
   }
+}
+
+}  // namespace
+
+StatusOr<std::vector<RowId>> Table::RangeLookup(
+    const IndexRangeSpec& spec) const {
+  std::shared_lock g(latch_);
+  const Index* idx = FindIndexLocked(spec.columns);
+  if (idx == nullptr || !idx->ordered) {
+    return Status::NotFound("no ordered index on requested columns of " +
+                            name_);
+  }
+  std::vector<RowId> out;
+  // Buckets are kept RowId-sorted, so emitting a key's rows is a plain
+  // (possibly reversed) walk: RowIds ascend on a forward scan and descend
+  // on a reverse scan (whole-result key-then-rid order, either direction).
+  // Stale entries (older versions' keys) are filtered against the latest
+  // version before counting toward the limit.
+  auto emit_bucket = [&](const Row& key, const std::vector<RowId>& bucket) {
+    auto emit_one = [&](RowId rid) {
+      auto it = rows_.find(rid);
+      if (it == rows_.end() || it->second.deleted) return false;
+      if (ProjectKey(it->second.latest, spec.columns) != key) return false;
+      out.push_back(rid);
+      return spec.limit >= 0 && out.size() >= static_cast<size_t>(spec.limit);
+    };
+    if (spec.reverse) {
+      for (auto rit = bucket.rbegin(); rit != bucket.rend(); ++rit) {
+        if (emit_one(*rit)) return true;
+      }
+    } else {
+      for (RowId rid : bucket) {
+        if (emit_one(rid)) return true;
+      }
+    }
+    return false;
+  };
+  WalkRange(idx->tree, spec, emit_bucket);
+  return out;
+}
+
+StatusOr<std::vector<std::pair<RowId, Row>>> Table::RangeLookupVersioned(
+    const IndexRangeSpec& spec, const ReadView& view) const {
+  std::shared_lock g(latch_);
+  const Index* idx = FindIndexLocked(spec.columns);
+  if (idx == nullptr || !idx->ordered) {
+    return Status::NotFound("no ordered index on requested columns of " +
+                            name_);
+  }
+  std::vector<std::pair<RowId, Row>> out;
+  auto emit_bucket = [&](const Row& key, const std::vector<RowId>& bucket) {
+    auto emit_one = [&](RowId rid) {
+      auto it = rows_.find(rid);
+      if (it == rows_.end()) return false;
+      const Row* v = VisibleVersion(it->second, view);
+      if (v == nullptr || ProjectKey(*v, spec.columns) != key) return false;
+      out.emplace_back(rid, *v);
+      return spec.limit >= 0 && out.size() >= static_cast<size_t>(spec.limit);
+    };
+    if (spec.reverse) {
+      for (auto rit = bucket.rbegin(); rit != bucket.rend(); ++rit) {
+        if (emit_one(*rit)) return true;
+      }
+    } else {
+      for (RowId rid : bucket) {
+        if (emit_one(rid)) return true;
+      }
+    }
+    return false;
+  };
+  WalkRange(idx->tree, spec, emit_bucket);
   return out;
 }
 
@@ -437,7 +772,14 @@ std::vector<std::pair<uint64_t, Row>> Table::OrderedIndexKeysFor(
 
 size_t Table::size() const {
   std::shared_lock g(latch_);
-  return rows_.size();
+  return live_rows_;
+}
+
+size_t Table::version_count() const {
+  std::shared_lock g(latch_);
+  size_t n = 0;
+  for (const auto& [rid, vr] : rows_) n += 1 + vr.history.size();
+  return n;
 }
 
 std::unique_ptr<Table> Table::Clone() const {
@@ -445,6 +787,7 @@ std::unique_ptr<Table> Table::Clone() const {
   auto copy = std::make_unique<Table>(id_, name_, schema_);
   copy->rows_ = rows_;
   copy->next_row_id_ = next_row_id_;
+  copy->live_rows_ = live_rows_;
   copy->indexes_ = indexes_;
   return copy;
 }
@@ -458,10 +801,14 @@ Status Table::CheckUniqueLocked(const Row& row, RowId self) const {
     const std::vector<RowId>* bucket = IndexFind(idx, key);
     if (bucket == nullptr) continue;
     for (RowId r : *bucket) {
-      if (r != self) {
-        return Status::AlreadyExists("duplicate key in unique index on table " +
-                                     name_);
-      }
+      if (r == self) continue;
+      // Only a *live latest* version that still projects the key collides;
+      // stale bucket entries from superseded versions don't.
+      auto it = rows_.find(r);
+      if (it == rows_.end() || it->second.deleted) continue;
+      if (ProjectKey(it->second.latest, idx.columns) != key) continue;
+      return Status::AlreadyExists("duplicate key in unique index on table " +
+                                   name_);
     }
   }
   return Status::Ok();
@@ -474,8 +821,10 @@ void Table::IndexInsertLocked(RowId rid, const Row& row) {
         idx.ordered ? idx.tree[std::move(key)] : idx.hash[std::move(key)];
     // Keep buckets RowId-sorted so range scans emit them without a per-read
     // sort. RowIds are allocated monotonically, so this lower_bound lands at
-    // end() except for undo/recovery re-insertions.
-    bucket.insert(std::lower_bound(bucket.begin(), bucket.end(), rid), rid);
+    // end() except for undo/recovery re-insertions. An older version may
+    // already carry the same key (no-change update): dedup.
+    auto pos = std::lower_bound(bucket.begin(), bucket.end(), rid);
+    if (pos == bucket.end() || *pos != rid) bucket.insert(pos, rid);
   }
 }
 
@@ -496,6 +845,41 @@ void Table::IndexRemoveLocked(RowId rid, const Row& row) {
       if (vec.empty()) idx.hash.erase(it);
     }
   }
+}
+
+void Table::ScrubKeysLocked(RowId rid, const Row& old_data) {
+  auto it = rows_.find(rid);
+  for (Index& idx : indexes_) {
+    Row key = ProjectKey(old_data, idx.columns);
+    if (it != rows_.end() &&
+        AnyVersionCarriesKey(it->second, idx.columns, key)) {
+      continue;  // some remaining version still needs the entry
+    }
+    if (idx.ordered) {
+      auto kit = idx.tree.find(key);
+      if (kit == idx.tree.end()) continue;
+      auto& vec = kit->second;
+      vec.erase(std::remove(vec.begin(), vec.end(), rid), vec.end());
+      if (vec.empty()) idx.tree.erase(kit);
+    } else {
+      auto kit = idx.hash.find(key);
+      if (kit == idx.hash.end()) continue;
+      auto& vec = kit->second;
+      vec.erase(std::remove(vec.begin(), vec.end(), rid), vec.end());
+      if (vec.empty()) idx.hash.erase(kit);
+    }
+  }
+}
+
+void Table::EraseEntryLocked(std::map<RowId, VersionedRow>::iterator it) {
+  RowId rid = it->first;
+  VersionedRow vr = std::move(it->second);
+  bool was_live = !vr.deleted;
+  rows_.erase(it);
+  // With the entry gone, every key any version carried is unreferenced.
+  IndexRemoveLocked(rid, vr.latest);
+  for (const RowVersion& v : vr.history) IndexRemoveLocked(rid, v.data);
+  if (was_live) --live_rows_;
 }
 
 const Table::Index* Table::FindIndexLocked(

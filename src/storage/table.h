@@ -13,9 +13,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/ids.h"
 #include "src/common/row.h"
 #include "src/common/schema.h"
 #include "src/common/statusor.h"
+#include "src/storage/mvcc.h"
 
 namespace youtopia {
 
@@ -87,11 +89,25 @@ struct IndexInfo {
   bool ordered = false;
 };
 
-/// In-memory heap table: RowId -> Row, with optional hash or ordered
-/// (B-tree) indexes on column subsets. Physical access is guarded by a
-/// shared_mutex *latch*; logical concurrency control (Strict 2PL) lives in
-/// the lock manager above. Scan order is RowId order, which is insertion
-/// order, so executions are deterministic.
+/// In-memory versioned heap table: RowId -> version chain, with optional
+/// hash or ordered (B-tree) indexes on column subsets. Each entry holds the
+/// *latest* version in place plus a newest-first chain of committed
+/// overwritten versions, each stamped with the commit timestamp that
+/// created it — snapshot readers (`*Versioned` accessors, taking a
+/// `ReadView`) pick the visible version latch-only, never touching the lock
+/// manager, while the legacy accessors keep the pre-MVCC in-place
+/// semantics for 2PL-locked paths and recovery. Physical access is guarded
+/// by a shared_mutex *latch*; logical concurrency control lives above (2PL
+/// for writes and locking reads, the commit clock for snapshot reads).
+/// Scan order is RowId order, which is insertion order, so executions are
+/// deterministic.
+///
+/// Index maintenance under versioning is additive: a versioned update adds
+/// the new key but keeps the old one (an older version still carries it),
+/// so every index probe re-checks that the version it returns actually
+/// projects the probed key. Stale entries are scrubbed when the last
+/// version carrying the key disappears (rollback, same-writer overwrite,
+/// GC prune, physical erase).
 class Table {
  public:
   /// A schema with primary-key columns gets a unique index over them
@@ -113,12 +129,74 @@ class Table {
   Status UpdateCoerced(RowId rid, Row row);
 
   /// Inserts at a specific RowId (recovery redo / checkpoint load). Fails if
-  /// the id is occupied; bumps the row-id allocator past `rid`.
+  /// the id is occupied by a live row; a committed tombstone at `rid` is
+  /// replaced in place. Bumps the row-id allocator past `rid`.
   Status InsertWithId(RowId rid, const Row& row);
 
   StatusOr<Row> Get(RowId rid) const;
   Status Update(RowId rid, const Row& row);
   Status Delete(RowId rid);
+
+  // --- Versioned mutation path (transaction manager writes) ---
+  //
+  // These keep the heap's version chains correct across commit and abort:
+  // the first write a transaction makes to a committed row pushes the
+  // committed version onto the chain (`*pushed` reports it, for
+  // versions_created accounting); re-writes by the same transaction
+  // overwrite in place. `StampCommit` runs inside the commit clock's
+  // publish window and stamps the row with its commit timestamp;
+  // `RollbackWrite`/`RollbackInsert` restore the pre-transaction state on
+  // abort (processed through the undo log in reverse, so the first
+  // rollback of a row restores the committed version and later entries for
+  // the same row no-op).
+
+  /// Appends an uncommitted row owned by `writer`.
+  StatusOr<RowId> InsertVersioned(Row coerced, TxnId writer);
+  /// Overwrites `rid` with an uncommitted version owned by `writer`.
+  Status UpdateVersioned(RowId rid, Row coerced, TxnId writer, bool* pushed);
+  /// Marks `rid` deleted (tombstone) by `writer`; the row stays readable to
+  /// older snapshots.
+  Status DeleteVersioned(RowId rid, TxnId writer, bool* pushed);
+  /// Stamps `writer`'s uncommitted version of `rid` with commit timestamp
+  /// `ts` and releases ownership. No-op unless `writer` owns the latest
+  /// version (idempotent across redundant undo-log entries).
+  void StampCommit(RowId rid, TxnId writer, uint64_t ts);
+  /// Abort path for an inserted row: erases the entry outright.
+  void RollbackInsert(RowId rid, TxnId writer);
+  /// Abort path for an update/delete: pops the newest committed version
+  /// back into place. No-op unless `writer` owns the latest version.
+  void RollbackWrite(RowId rid, TxnId writer);
+
+  // --- Snapshot read path (no locks, latch-only) ---
+
+  /// The version of `rid` visible to `view`, or NotFound (absent, not yet
+  /// visible, or deleted at the snapshot).
+  StatusOr<Row> GetVersioned(RowId rid, const ReadView& view) const;
+  /// Chunked snapshot scan: copies up to `max_rows` visible rows with
+  /// RowId >= `from` into `*out`, returns the RowId to resume from (0 when
+  /// exhausted).
+  RowId ScanChunkVersioned(const ReadView& view, RowId from, size_t max_rows,
+                           std::vector<std::pair<RowId, Row>>* out) const;
+  /// Index point probe at a snapshot: (rid, visible row) pairs whose
+  /// *visible version* projects `key` (stale entries filtered out).
+  StatusOr<std::vector<std::pair<RowId, Row>>> IndexLookupVersioned(
+      const std::vector<size_t>& columns, const Row& key,
+      const ReadView& view) const;
+  /// Ordered-index range read at a snapshot, key order then RowId order.
+  StatusOr<std::vector<std::pair<RowId, Row>>> RangeLookupVersioned(
+      const IndexRangeSpec& spec, const ReadView& view) const;
+
+  /// Commit timestamp of the newest committed version of `rid` (0 when the
+  /// row is absent or the latest version is uncommitted — the caller holds
+  /// the row X lock, so an uncommitted latest is its own). First-updater-
+  /// wins checks compare this against the writer's snapshot.
+  uint64_t LatestBeginTs(RowId rid) const;
+
+  /// Drops every committed version unreachable from any snapshot >=
+  /// `oldest_snapshot` (keeps the newest version at-or-below the horizon;
+  /// fully-superseded committed tombstones are erased outright). Returns
+  /// the number of versions pruned.
+  size_t PruneVersions(uint64_t oldest_snapshot);
 
   /// Visits rows in RowId order; the visitor returns false to stop early.
   void Scan(const std::function<bool(RowId, const Row&)>& visitor) const;
@@ -148,9 +226,9 @@ class Table {
   Status CreateIndexByPositions(const std::vector<size_t>& columns,
                                 bool unique = false, bool ordered = false);
 
-  /// Returns RowIds whose projection on `columns` equals `key`, or NotFound
-  /// when no index covers exactly those columns. Works on hash and ordered
-  /// indexes alike.
+  /// Returns RowIds whose *latest* version is live and projects `key` on
+  /// `columns`, or NotFound when no index covers exactly those columns.
+  /// Works on hash and ordered indexes alike.
   StatusOr<std::vector<RowId>> IndexLookup(const std::vector<size_t>& columns,
                                            const Row& key) const;
   bool HasIndexOn(const std::vector<size_t>& columns) const;
@@ -190,12 +268,36 @@ class Table {
   std::vector<std::pair<uint64_t, Row>> OrderedIndexKeysFor(
       const Row& row) const;
 
+  /// Number of live rows (latest version not a tombstone).
   size_t size() const;
+
+  /// Total stored versions across all chains (latest + history), for GC
+  /// observability and tests.
+  size_t version_count() const;
 
   /// Deep copy (used for database snapshots/checkpoints).
   std::unique_ptr<Table> Clone() const;
 
  private:
+  /// One committed, superseded version in a chain.
+  struct RowVersion {
+    uint64_t begin_ts = 0;  ///< commit timestamp that created this version
+    bool deleted = false;   ///< tombstone (the version is a delete)
+    Row data;
+  };
+
+  /// One heap entry: the latest version in place + newest-first history of
+  /// committed versions it superseded. `writer` != 0 marks the latest
+  /// version uncommitted (owned by that transaction); `begin_ts` is only
+  /// meaningful once `writer` == 0.
+  struct VersionedRow {
+    Row latest;
+    bool deleted = false;
+    uint64_t begin_ts = 0;
+    TxnId writer = 0;
+    std::vector<RowVersion> history;
+  };
+
   /// One secondary index: a hash map or an ordered tree over projected keys.
   struct Index {
     std::vector<size_t> columns;
@@ -206,11 +308,25 @@ class Table {
   };
 
   StatusOr<Row> CoerceToSchema(const Row& row) const;
-  /// Rejects rows that would duplicate a unique-index key (`self` excluded,
-  /// for updates; keys containing NULL are exempt). Caller holds the latch.
+  /// Rejects rows that would duplicate a unique-index key among *live
+  /// latest* versions (`self` excluded, for updates; keys containing NULL
+  /// are exempt). Caller holds the latch.
   Status CheckUniqueLocked(const Row& row, RowId self) const;
   void IndexInsertLocked(RowId rid, const Row& row);
   void IndexRemoveLocked(RowId rid, const Row& row);
+  /// Removes (key, rid) entries projected from `old_data` for every index
+  /// key no remaining version of `rid` still carries. Call *after* the
+  /// version holding `old_data` has been discarded.
+  void ScrubKeysLocked(RowId rid, const Row& old_data);
+  /// True when some non-deleted version of `vr` projects `key` on `columns`.
+  static bool AnyVersionCarriesKey(const VersionedRow& vr,
+                                   const std::vector<size_t>& columns,
+                                   const Row& key);
+  /// The version of `vr` visible to `view`, or nullptr (tombstone/none).
+  static const Row* VisibleVersion(const VersionedRow& vr,
+                                   const ReadView& view);
+  /// Physically erases an entry and every index key its versions carry.
+  void EraseEntryLocked(std::map<RowId, VersionedRow>::iterator it);
   const Index* FindIndexLocked(const std::vector<size_t>& columns) const;
   /// RowIds under `key` in `idx`, or nullptr when absent.
   static const std::vector<RowId>* IndexFind(const Index& idx, const Row& key);
@@ -220,8 +336,9 @@ class Table {
   std::string name_;
   Schema schema_;
   mutable std::shared_mutex latch_;
-  std::map<RowId, Row> rows_;
+  std::map<RowId, VersionedRow> rows_;
   RowId next_row_id_ = 1;
+  size_t live_rows_ = 0;  ///< entries whose latest version is not a tombstone
   std::vector<Index> indexes_;
   std::atomic<uint64_t> write_epoch_{0};
 };

@@ -14,6 +14,10 @@ enum class IsolationLevel {
   kSerializable,       ///< Strict 2PL, no group-commit enforcement
   kReadCommitted,      ///< read locks released right after each read
   kReadUncommitted,    ///< no read locks at all
+  /// Snapshot isolation: every read of the transaction runs against the one
+  /// snapshot taken at Begin (versioned heap, no read locks); writes keep
+  /// 2PL X locks with a first-updater-wins check against the snapshot.
+  kSnapshot,
 };
 
 const char* IsolationLevelName(IsolationLevel l);
@@ -24,9 +28,28 @@ inline bool HoldsReadLocks(IsolationLevel l) {
          l == IsolationLevel::kSerializable;
 }
 
-/// True when the level takes read locks at all.
+/// True when the level takes read locks at all. kSnapshot stays true: it is
+/// the *fallback* behavior when MVCC reads are ablated away
+/// (set_mvcc_reads_enabled(false)), where snapshot transactions degrade to
+/// read-committed-style locking reads.
 inline bool TakesReadLocks(IsolationLevel l) {
   return l != IsolationLevel::kReadUncommitted;
+}
+
+/// True when a locking read's S locks are dropped as soon as the statement
+/// (cursor) finishes instead of being held to commit.
+inline bool ReleasesReadLocksEarly(IsolationLevel l) {
+  return l == IsolationLevel::kReadCommitted || l == IsolationLevel::kSnapshot;
+}
+
+/// True when the level reads through the versioned heap (no read locks,
+/// never blocking writers) whenever the engine has MVCC reads enabled.
+/// kReadCommitted reads a fresh snapshot per statement; kSnapshot pins one
+/// snapshot for the whole transaction. The stricter levels keep 2PL reads
+/// (their guarantees depend on blocking), and kReadUncommitted already
+/// reads lock-free.
+inline bool UsesSnapshotReads(IsolationLevel l) {
+  return l == IsolationLevel::kReadCommitted || l == IsolationLevel::kSnapshot;
 }
 
 }  // namespace youtopia

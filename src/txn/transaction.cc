@@ -15,6 +15,17 @@ const char* TxnStateName(TxnState s) {
   return "?";
 }
 
+const char* IsolationLevelName(IsolationLevel l) {
+  switch (l) {
+    case IsolationLevel::kFullEntangled: return "FULL_ENTANGLED";
+    case IsolationLevel::kSerializable: return "SERIALIZABLE";
+    case IsolationLevel::kReadCommitted: return "READ_COMMITTED";
+    case IsolationLevel::kReadUncommitted: return "READ_UNCOMMITTED";
+    case IsolationLevel::kSnapshot: return "SNAPSHOT";
+  }
+  return "?";
+}
+
 void Transaction::AddPartners(const std::vector<TxnId>& ps) {
   for (TxnId p : ps) {
     if (p == id_) continue;

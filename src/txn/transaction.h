@@ -73,6 +73,26 @@ class Transaction {
   size_t num_writes() const { return num_writes_; }
   void count_write() { ++num_writes_; }
 
+  /// Snapshot timestamp for versioned reads. 0 means "no snapshot yet";
+  /// kReadCommitted transactions get a fresh one per statement while
+  /// kSnapshot pins the Begin-time one. When the snapshot was adopted from
+  /// a distributed coordinator (`external`), per-statement refresh is
+  /// suppressed so every branch of a cross-shard statement reads one cut.
+  uint64_t read_ts() const { return read_ts_; }
+  void set_read_ts(uint64_t ts) { read_ts_ = ts; }
+  bool external_read_ts() const { return external_read_ts_; }
+  void set_external_read_ts(bool v) { external_read_ts_ = v; }
+  /// Whether this transaction currently pins `read_ts` in the snapshot
+  /// registry (so Commit/Abort know to unregister it exactly once).
+  bool snapshot_registered() const { return snapshot_registered_; }
+  void set_snapshot_registered(bool v) { snapshot_registered_ = v; }
+  /// Whether this transaction's writes already carry their commit timestamp
+  /// (a 2PC coordinator stamps every branch of a distributed commit with
+  /// one timestamp before phase 2; the branch's own commit must not stamp
+  /// again with a fresh one).
+  bool commit_stamped() const { return commit_stamped_; }
+  void set_commit_stamped(bool v) { commit_stamped_ = v; }
+
   /// Open read cursors of this transaction (transactions are
   /// single-threaded, so plain bookkeeping suffices). A closing cursor may
   /// perform kReadCommitted early lock release only when it is the last
@@ -82,12 +102,20 @@ class Transaction {
   void cursor_opened() { ++open_cursors_; }
   /// Returns the count after closing.
   int cursor_closed() { return --open_cursors_; }
+  /// Currently open cursors — nonzero means a statement is mid-flight, so
+  /// kReadCommitted snapshot refresh must wait (a join's probe cursors read
+  /// the same cut as their outer scan).
+  int open_cursors() const { return open_cursors_; }
 
  private:
   TxnId id_;
   IsolationLevel level_;
   int64_t lock_timeout_micros_;
   TxnState state_ = TxnState::kActive;
+  uint64_t read_ts_ = 0;
+  bool external_read_ts_ = false;
+  bool snapshot_registered_ = false;
+  bool commit_stamped_ = false;
   int open_cursors_ = 0;
   bool entangled_ = false;
   std::vector<TxnId> partners_;

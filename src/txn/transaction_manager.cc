@@ -61,7 +61,7 @@ class ScanCursor : public TableCursor {
     // S locks merge per (txn, key), so dropping the table S here could
     // strip it from under a sibling cursor still scanning this table.
     if (txn_->cursor_closed() == 0 && release_table_on_close_ &&
-        txn_->isolation_level() == IsolationLevel::kReadCommitted) {
+        ReleasesReadLocksEarly(txn_->isolation_level())) {
       ReleaseUnlessWriteHeld(locks_, txn_->id(),
                              LockKey::Table(table_->id()));
     }
@@ -247,7 +247,7 @@ class FetchedRowsCursor : public TableCursor {
   ~FetchedRowsCursor() override {
     // Last-open-cursor gate: see ~ScanCursor.
     if (txn_->cursor_closed() != 0 || !take_locks_ ||
-        txn_->isolation_level() != IsolationLevel::kReadCommitted) {
+        !ReleasesReadLocksEarly(txn_->isolation_level())) {
       return;
     }
     // Short read locks: drop the row S and predicate S now; keep table IS.
@@ -342,11 +342,205 @@ class FetchedRowsCursor : public TableCursor {
   Row current_;
 };
 
+/// Snapshot heap-scan cursor: a private chunked walk over the versioned
+/// heap at one ReadView. Takes no locks, never attaches to shared scans
+/// (those exist to amortize work under a table-S freeze this cursor does
+/// not impose), and closing releases nothing — readers neither block nor
+/// are blocked by writers.
+class SnapshotScanCursor : public TableCursor {
+ public:
+  static constexpr size_t kChunkRows = SharedScan::kBatchRows;
+
+  SnapshotScanCursor(Transaction* txn, const Table* table, ReadView view)
+      : txn_(txn), table_(table), view_(view) {
+    txn_->cursor_opened();
+    buf_.reserve(kChunkRows);
+  }
+
+  ~SnapshotScanCursor() override { txn_->cursor_closed(); }
+
+  Status DrainRef(
+      const std::function<bool(RowId, const Row&)>& visitor) override {
+    if (started_) return TableCursor::DrainRef(visitor);
+    started_ = done_ = true;
+    // Fresh cursor: chunked walk without the pull-loop round trips.
+    std::vector<std::pair<RowId, Row>> chunk;
+    RowId from = 1;
+    while (true) {
+      RowId next = table_->ScanChunkVersioned(view_, from, kChunkRows, &chunk);
+      for (auto& [rid, row] : chunk) {
+        if (!visitor(rid, row)) return Status::Ok();
+      }
+      if (next == 0) return Status::Ok();
+      from = next;
+    }
+  }
+
+  StatusOr<bool> NextRef(RowId* rid, const Row** row) override {
+    started_ = true;
+    if (!Refill()) return false;
+    *rid = buf_[pos_].first;
+    *row = &buf_[pos_].second;
+    ++pos_;
+    return true;
+  }
+
+  StatusOr<bool> Next(RowId* rid, Row* row) override {
+    started_ = true;
+    if (!Refill()) return false;
+    *rid = buf_[pos_].first;
+    *row = std::move(buf_[pos_].second);
+    ++pos_;
+    return true;
+  }
+
+  /// Batched pull: whole chunks move by swap, as in the private ScanCursor
+  /// fast path.
+  StatusOr<bool> NextBatch(RowBatch* batch, size_t max_rows) override {
+    started_ = true;
+    batch->clear();
+    if (max_rows == 0) max_rows = 1;
+    if (!Refill()) return false;
+    if (pos_ == 0) {
+      batch->rows.swap(buf_);
+      buf_.clear();
+    } else {
+      size_t take = buf_.size() - pos_;
+      batch->reserve(take);
+      std::move(buf_.begin() + pos_, buf_.end(),
+                std::back_inserter(batch->rows));
+      buf_.clear();
+      pos_ = 0;
+    }
+    return true;
+  }
+
+  size_t size_hint() const override { return table_->size(); }
+
+ private:
+  bool Refill() {
+    if (pos_ < buf_.size()) return true;
+    if (done_) return false;
+    RowId next = table_->ScanChunkVersioned(view_, next_from_, kChunkRows,
+                                            &buf_);
+    pos_ = 0;
+    // A chunk may come back empty while the heap continues (all entries in
+    // the window invisible at this snapshot): keep pulling.
+    while (buf_.empty() && next != 0) {
+      next = table_->ScanChunkVersioned(view_, next, kChunkRows, &buf_);
+    }
+    if (buf_.empty()) {
+      done_ = true;
+      return false;
+    }
+    next_from_ = next;
+    if (next == 0) done_ = true;
+    return true;
+  }
+
+  Transaction* txn_;
+  const Table* table_;
+  ReadView view_;
+  std::vector<std::pair<RowId, Row>> buf_;
+  RowId next_from_ = 1;
+  size_t pos_ = 0;
+  bool done_ = false;
+  bool started_ = false;
+};
+
+/// Cursor over (RowId, Row) pairs materialized at open time by a versioned
+/// index/range probe. Lock-free by construction; rows are handed out by
+/// move (the cursor owns its copies). Per-row schedule observation happens
+/// as rows are pulled, mirroring the locking FetchedRowsCursor.
+class MaterializedRowsCursor : public TableCursor {
+ public:
+  MaterializedRowsCursor(Transaction* txn, const Table* table,
+                         OpObserver* observer, bool observe_rows,
+                         std::vector<std::pair<RowId, Row>> rows)
+      : txn_(txn),
+        table_(table),
+        observer_(observer),
+        observe_rows_(observe_rows),
+        rows_(std::move(rows)) {
+    txn_->cursor_opened();
+  }
+
+  ~MaterializedRowsCursor() override { txn_->cursor_closed(); }
+
+  StatusOr<bool> NextRef(RowId* rid, const Row** row) override {
+    if (idx_ >= rows_.size()) return false;
+    Observe(rows_[idx_].first);
+    *rid = rows_[idx_].first;
+    *row = &rows_[idx_].second;
+    ++idx_;
+    return true;
+  }
+
+  StatusOr<bool> Next(RowId* rid, Row* row) override {
+    if (idx_ >= rows_.size()) return false;
+    Observe(rows_[idx_].first);
+    *rid = rows_[idx_].first;
+    *row = std::move(rows_[idx_].second);
+    ++idx_;
+    return true;
+  }
+
+  StatusOr<bool> NextBatch(RowBatch* batch, size_t max_rows) override {
+    batch->clear();
+    if (max_rows == 0) max_rows = 1;
+    if (idx_ >= rows_.size()) return false;
+    if (idx_ == 0 && rows_.size() <= max_rows) {
+      for (const auto& [rid, row] : rows_) Observe(rid);
+      batch->rows.swap(rows_);
+      idx_ = 0;
+      rows_.clear();
+      return true;
+    }
+    size_t take = std::min(max_rows, rows_.size() - idx_);
+    batch->reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      Observe(rows_[idx_].first);
+      batch->rows.push_back(std::move(rows_[idx_]));
+      ++idx_;
+    }
+    return true;
+  }
+
+  size_t size_hint() const override { return rows_.size() - idx_; }
+
+ private:
+  void Observe(RowId rid) {
+    if (observe_rows_ && observer_ != nullptr) {
+      observer_->OnRead(txn_->id(), {table_->name(), rid});
+    }
+  }
+
+  Transaction* txn_;
+  const Table* table_;
+  OpObserver* observer_;
+  bool observe_rows_;
+  std::vector<std::pair<RowId, Row>> rows_;
+  size_t idx_ = 0;
+};
+
 }  // namespace
 
 TransactionManager::TransactionManager(Database* db, LockManager* locks,
                                        WalWriter* wal, Options options)
-    : db_(db), locks_(locks), wal_(wal), options_(options) {}
+    : db_(db), locks_(locks), wal_(wal), options_(options) {
+  if (options_.clock != nullptr) {
+    clock_ = options_.clock;
+  } else {
+    owned_clock_ = std::make_unique<VersionClock>();
+    clock_ = owned_clock_.get();
+  }
+  if (options_.snapshots != nullptr) {
+    snapshots_ = options_.snapshots;
+  } else {
+    owned_snapshots_ = std::make_unique<SnapshotRegistry>();
+    snapshots_ = owned_snapshots_.get();
+  }
+}
 
 TransactionManager::TransactionManager(Database* db, LockManager* locks,
                                        WalWriter* wal)
@@ -364,7 +558,88 @@ std::unique_ptr<Transaction> TransactionManager::Begin(IsolationLevel level) {
   if (wal_ != nullptr) {
     (void)wal_->Append(WalRecord::Begin(id));
   }
+  // kSnapshot pins its one snapshot for the whole transaction right here;
+  // kReadCommitted acquires a fresh cut lazily at each statement instead.
+  if (options_.enable_mvcc_reads &&
+      level == IsolationLevel::kSnapshot) {
+    uint64_t ts = clock_->ReadTs();
+    txn->set_read_ts(ts);
+    snapshots_->Register(ts);
+    txn->set_snapshot_registered(true);
+  }
   return txn;
+}
+
+void TransactionManager::AdoptSnapshot(Transaction* txn, uint64_t ts) {
+  if (txn->snapshot_registered()) {
+    snapshots_->Unregister(txn->read_ts());
+    txn->set_snapshot_registered(false);
+  }
+  txn->set_read_ts(ts);
+  txn->set_external_read_ts(true);
+}
+
+void TransactionManager::MaybeRefreshSnapshot(Transaction* txn,
+                                              bool grounding) {
+  if (txn->external_read_ts()) return;  // coordinator owns the snapshot
+  if (txn->isolation_level() == IsolationLevel::kSnapshot &&
+      txn->snapshot_registered()) {
+    return;  // pinned at Begin for the whole transaction
+  }
+  // kReadCommitted: refresh per statement only — never mid-statement (a
+  // join's probe cursors must read the same cut as their outer scan), and
+  // grounding reads after the first keep the cut the grounding started on
+  // (every body atom of an entangled query reads one consistent state).
+  if (txn->read_ts() != 0 && (txn->open_cursors() > 0 || grounding)) return;
+  uint64_t ts = clock_->ReadTs();
+  if (txn->snapshot_registered()) {
+    snapshots_->Update(txn->read_ts(), ts);
+  } else {
+    snapshots_->Register(ts);
+    txn->set_snapshot_registered(true);
+  }
+  txn->set_read_ts(ts);
+}
+
+void TransactionManager::StampWrites(Transaction* txn) {
+  if (txn->undo_log().empty() || txn->commit_stamped()) return;
+  // The [allocate, stamp, publish] window: the timestamp becomes readable
+  // only after every row carrying it is stamped, so no snapshot ever sees
+  // half a commit. Row X locks are still held here (released after).
+  std::lock_guard<std::mutex> g(clock_->commit_mutex());
+  uint64_t ts = clock_->AllocateCommitTs();
+  for (const UndoEntry& e : txn->undo_log()) {
+    auto t = db_->GetTable(e.table);
+    if (t.ok()) t.value()->StampCommit(e.row_id, txn->id(), ts);
+  }
+  clock_->Publish(ts);
+}
+
+void TransactionManager::StampWritesAt(Transaction* txn, uint64_t ts) {
+  for (const UndoEntry& e : txn->undo_log()) {
+    auto t = db_->GetTable(e.table);
+    if (t.ok()) t.value()->StampCommit(e.row_id, txn->id(), ts);
+  }
+  txn->set_commit_stamped(true);
+}
+
+void TransactionManager::ReleaseSnapshot(Transaction* txn) {
+  if (!txn->snapshot_registered()) return;
+  snapshots_->Unregister(txn->read_ts());
+  txn->set_snapshot_registered(false);
+}
+
+size_t TransactionManager::GcVersions() {
+  uint64_t horizon = snapshots_->OldestOr(clock_->ReadTs());
+  size_t pruned = 0;
+  for (const std::string& name : db_->TableNames()) {
+    auto t = db_->GetTable(name);
+    if (t.ok()) pruned += t.value()->PruneVersions(horizon);
+  }
+  if (pruned > 0) {
+    stats_.versions_pruned.fetch_add(pruned, std::memory_order_relaxed);
+  }
+  return pruned;
 }
 
 Status TransactionManager::AcquireIndexKeyLocks(Transaction* txn,
@@ -424,7 +699,8 @@ StatusOr<RowId> TransactionManager::Insert(Transaction* txn,
   // cannot create a phantom inside it.
   YT_RETURN_IF_ERROR(
       AcquireOrderedKeyLocks(txn, t, t->OrderedIndexKeysFor(coerced)));
-  YT_ASSIGN_OR_RETURN(RowId rid, t->InsertCoerced(std::move(coerced)));
+  YT_ASSIGN_OR_RETURN(RowId rid,
+                      t->InsertVersioned(std::move(coerced), txn->id()));
   // X on the new row: no other transaction can see it before commit anyway
   // (it is brand new), but the lock keeps the row protocol uniform.
   YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), LockKey::RowOf(t->id(), rid),
@@ -454,7 +730,7 @@ Status TransactionManager::AcquireReadLocks(Transaction* txn, const Table* t,
 
 void TransactionManager::ReleaseEarlyReadLocks(Transaction* txn,
                                                const Table* t, RowId rid) {
-  if (txn->isolation_level() != IsolationLevel::kReadCommitted) return;
+  if (!ReleasesReadLocksEarly(txn->isolation_level())) return;
   // Short read locks: drop the row S immediately; keep table IS (cheap,
   // compatible with everything but table X) until commit.
   if (!locks_->Holds(txn->id(), LockKey::RowOf(t->id(), rid), LockMode::kX)) {
@@ -466,6 +742,15 @@ StatusOr<Row> TransactionManager::Get(Transaction* txn,
                                       const std::string& table, RowId rid) {
   if (!txn->active()) return Status::Aborted("transaction not active");
   YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(table));
+  if (SnapshotReadsActive(txn)) {
+    MaybeRefreshSnapshot(txn, /*grounding=*/false);
+    stats_.snapshot_reads.fetch_add(1, std::memory_order_relaxed);
+    auto row = t->GetVersioned(rid, ReadView{txn->read_ts(), txn->id()});
+    if (options_.observer != nullptr) {
+      options_.observer->OnRead(txn->id(), {t->name(), rid});
+    }
+    return row;
+  }
   YT_RETURN_IF_ERROR(AcquireReadLocks(txn, t, rid));
   auto row = t->Get(rid);
   if (options_.observer != nullptr) {
@@ -485,6 +770,16 @@ Status TransactionManager::Update(Transaction* txn, const std::string& table,
   YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), LockKey::RowOf(t->id(), rid),
                                      LockMode::kX,
                                      txn->lock_timeout_micros()));
+  // First-updater-wins: a snapshot transaction may not overwrite a version
+  // committed after its snapshot (lost-update prevention — the X lock above
+  // means any conflicting writer has already committed and stamped).
+  if (options_.enable_mvcc_reads &&
+      txn->isolation_level() == IsolationLevel::kSnapshot &&
+      t->LatestBeginTs(rid) > txn->read_ts()) {
+    return Status::Aborted("write-write conflict: row " + std::to_string(rid) +
+                           " of " + t->name() +
+                           " was updated after this snapshot");
+  }
   YT_ASSIGN_OR_RETURN(Row before, t->Get(rid));
   // The update moves this row's index entries from the old keys to the new
   // ones; X both sides so equality readers of either key are excluded.
@@ -495,7 +790,12 @@ Status TransactionManager::Update(Transaction* txn, const std::string& table,
   std::vector<std::pair<uint64_t, Row>> okeys = t->OrderedIndexKeysFor(before);
   for (auto& k : t->OrderedIndexKeysFor(coerced)) okeys.push_back(std::move(k));
   YT_RETURN_IF_ERROR(AcquireOrderedKeyLocks(txn, t, std::move(okeys)));
-  YT_RETURN_IF_ERROR(t->UpdateCoerced(rid, std::move(coerced)));
+  bool pushed = false;
+  YT_RETURN_IF_ERROR(
+      t->UpdateVersioned(rid, std::move(coerced), txn->id(), &pushed));
+  if (pushed) {
+    stats_.versions_created.fetch_add(1, std::memory_order_relaxed);
+  }
   txn->undo_log().push_back(
       {UndoEntry::Kind::kUpdate, t->name(), rid, before});
   txn->count_write();
@@ -519,12 +819,24 @@ Status TransactionManager::Delete(Transaction* txn, const std::string& table,
   YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(), LockKey::RowOf(t->id(), rid),
                                      LockMode::kX,
                                      txn->lock_timeout_micros()));
+  // First-updater-wins, as in Update.
+  if (options_.enable_mvcc_reads &&
+      txn->isolation_level() == IsolationLevel::kSnapshot &&
+      t->LatestBeginTs(rid) > txn->read_ts()) {
+    return Status::Aborted("write-write conflict: row " + std::to_string(rid) +
+                           " of " + t->name() +
+                           " was updated after this snapshot");
+  }
   YT_ASSIGN_OR_RETURN(Row before, t->Get(rid));
   YT_RETURN_IF_ERROR(
       AcquireIndexKeyLocks(txn, t, t->IndexKeyHashesFor(before)));
   YT_RETURN_IF_ERROR(
       AcquireOrderedKeyLocks(txn, t, t->OrderedIndexKeysFor(before)));
-  YT_RETURN_IF_ERROR(t->Delete(rid));
+  bool pushed = false;
+  YT_RETURN_IF_ERROR(t->DeleteVersioned(rid, txn->id(), &pushed));
+  if (pushed) {
+    stats_.versions_created.fetch_add(1, std::memory_order_relaxed);
+  }
   txn->undo_log().push_back(
       {UndoEntry::Kind::kDelete, t->name(), rid, before});
   txn->count_write();
@@ -589,6 +901,52 @@ StatusOr<std::unique_ptr<TableCursor>> TransactionManager::OpenCursor(
     Transaction* txn, Table* t, AccessPlan plan, ReadOrigin origin) {
   if (!txn->active()) return Status::Aborted("transaction not active");
   const bool grounding = IsGroundingOrigin(origin);
+
+  // The snapshot read path: pick the visible version at the transaction's
+  // ReadView instead of locking current state. Zero lock-manager traffic —
+  // scans, index probes, range reads, join probes, and grounding all run
+  // here when the level reads snapshots and MVCC is enabled.
+  if (SnapshotReadsActive(txn)) {
+    MaybeRefreshSnapshot(txn, grounding);
+    const ReadView view{txn->read_ts(), txn->id()};
+    CountRead(plan, origin);
+    stats_.snapshot_reads.fetch_add(1, std::memory_order_relaxed);
+
+    if (plan.is_scan()) {
+      if (options_.observer != nullptr) {
+        if (grounding) {
+          options_.observer->OnGroundingRead(txn->id(), {t->name(), 0});
+        } else {
+          options_.observer->OnRead(txn->id(), {t->name(), 0});
+        }
+      }
+      return std::unique_ptr<TableCursor>(
+          new SnapshotScanCursor(txn, t, view));
+    }
+
+    std::vector<std::pair<RowId, Row>> rows;
+    if (plan.is_index()) {
+      YT_ASSIGN_OR_RETURN(rows,
+                          t->IndexLookupVersioned(plan.columns, plan.key,
+                                                  view));
+      // Deterministic (scan) order, as on the locking path.
+      std::sort(rows.begin(), rows.end(),
+                [](const std::pair<RowId, Row>& a,
+                   const std::pair<RowId, Row>& b) { return a.first < b.first; });
+    } else {
+      YT_ASSIGN_OR_RETURN(rows,
+                          t->RangeLookupVersioned(plan.ToRangeSpec(), view));
+    }
+    if (grounding && options_.observer != nullptr) {
+      // Table-granular R^G, as with scans (quasi-read derivation stays
+      // conservative).
+      options_.observer->OnGroundingRead(txn->id(), {t->name(), 0});
+    }
+    return std::unique_ptr<TableCursor>(new MaterializedRowsCursor(
+        txn, t, options_.observer, /*observe_rows=*/!grounding,
+        std::move(rows)));
+  }
+
   const bool take_locks = TakesReadLocks(txn->isolation_level());
 
   if (plan.is_scan()) {
@@ -777,18 +1135,19 @@ TransactionManager::LockRowsForWrite(Transaction* txn,
 }
 
 Status TransactionManager::ApplyUndo(Transaction* txn) {
+  // Reverse order: the first rollback touching a row pops the committed
+  // version back into place; later entries for the same row no-op (the
+  // table checks version ownership). Inserted rows are erased outright.
   auto& log = txn->undo_log();
   for (auto it = log.rbegin(); it != log.rend(); ++it) {
     YT_ASSIGN_OR_RETURN(Table * t, db_->GetTable(it->table));
     switch (it->kind) {
       case UndoEntry::Kind::kInsert:
-        YT_RETURN_IF_ERROR(t->Delete(it->row_id));
+        t->RollbackInsert(it->row_id, txn->id());
         break;
       case UndoEntry::Kind::kUpdate:
-        YT_RETURN_IF_ERROR(t->Update(it->row_id, it->before));
-        break;
       case UndoEntry::Kind::kDelete:
-        YT_RETURN_IF_ERROR(t->InsertWithId(it->row_id, it->before));
+        t->RollbackWrite(it->row_id, txn->id());
         break;
     }
   }
@@ -802,10 +1161,18 @@ Status TransactionManager::Commit(Transaction* txn) {
     auto lsn = wal_->AppendAndFlush(WalRecord::Commit(txn->id()));
     if (!lsn.ok()) return lsn.status();
   }
+  // Stamp while the row X locks are still held; only then release.
+  StampWrites(txn);
   txn->set_state(TxnState::kCommitted);
+  ReleaseSnapshot(txn);
   locks_->ReleaseAll(txn->id());
   stats_.commits.fetch_add(1, std::memory_order_relaxed);
   if (options_.observer != nullptr) options_.observer->OnCommit(txn->id());
+  if (commits_since_gc_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+      kGcCommitInterval) {
+    commits_since_gc_.store(0, std::memory_order_relaxed);
+    (void)GcVersions();
+  }
   return Status::Ok();
 }
 
@@ -819,6 +1186,7 @@ Status TransactionManager::Abort(Transaction* txn) {
     (void)wal_->Append(WalRecord::Abort(txn->id()));
   }
   txn->set_state(TxnState::kAborted);
+  ReleaseSnapshot(txn);
   locks_->ReleaseAll(txn->id());
   stats_.aborts.fetch_add(1, std::memory_order_relaxed);
   if (options_.observer != nullptr) options_.observer->OnAbort(txn->id());
@@ -847,7 +1215,9 @@ Status TransactionManager::CommitPrepared(Transaction* txn, GroupId gtid) {
     // when this record did not make it out.
     (void)wal_->Append(WalRecord::CommitDecision(txn->id(), gtid));
   }
+  StampWrites(txn);
   txn->set_state(TxnState::kCommitted);
+  ReleaseSnapshot(txn);
   locks_->ReleaseAll(txn->id());
   stats_.commits.fetch_add(1, std::memory_order_relaxed);
   if (options_.observer != nullptr) options_.observer->OnCommit(txn->id());
@@ -873,8 +1243,24 @@ Status TransactionManager::CommitGroup(
     auto lsn = wal_->AppendAndFlush(WalRecord::GroupCommit(gid, ids));
     if (!lsn.ok()) return lsn.status();
   }
+  // One commit timestamp for the whole group: an entangled commit is
+  // atomic, so no snapshot may see only part of it.
+  bool any_writes = false;
+  for (Transaction* t : members) any_writes |= !t->undo_log().empty();
+  if (any_writes) {
+    std::lock_guard<std::mutex> g(clock_->commit_mutex());
+    uint64_t ts = clock_->AllocateCommitTs();
+    for (Transaction* txn : members) {
+      for (const UndoEntry& e : txn->undo_log()) {
+        auto t = db_->GetTable(e.table);
+        if (t.ok()) t.value()->StampCommit(e.row_id, txn->id(), ts);
+      }
+    }
+    clock_->Publish(ts);
+  }
   for (Transaction* t : members) {
     t->set_state(TxnState::kCommitted);
+    ReleaseSnapshot(t);
     locks_->ReleaseAll(t->id());
     stats_.commits.fetch_add(1, std::memory_order_relaxed);
     if (options_.observer != nullptr) options_.observer->OnCommit(t->id());

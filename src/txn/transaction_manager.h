@@ -12,6 +12,7 @@
 #include "src/lock/lock_manager.h"
 #include "src/storage/cursor.h"
 #include "src/storage/database.h"
+#include "src/storage/mvcc.h"
 #include "src/storage/shared_scan.h"
 #include "src/txn/transaction.h"
 #include "src/txn/txn_engine.h"
@@ -37,6 +38,15 @@ class TransactionManager : public TxnEngine {
     /// (one heap walk, many consumers). Off = every scan walks privately
     /// (the ablation baseline).
     bool enable_shared_scans = true;
+    /// Snapshot-read levels (kReadCommitted, kSnapshot) read the versioned
+    /// heap with zero locks. Off = they fall back to locking reads (the
+    /// MVCC ablation baseline). Writes maintain version chains either way.
+    bool enable_mvcc_reads = true;
+    /// Commit clock / live-snapshot set for versioned reads. Null = the
+    /// manager owns private ones; shard::Router passes one shared pair to
+    /// every shard so a cross-shard statement reads one cut.
+    VersionClock* clock = nullptr;
+    SnapshotRegistry* snapshots = nullptr;
   };
 
   TransactionManager(Database* db, LockManager* locks, WalWriter* wal,
@@ -51,6 +61,16 @@ class TransactionManager : public TxnEngine {
   /// Ablation switch for scan sharing (benches / differential tests).
   void set_shared_scans_enabled(bool on) { options_.enable_shared_scans = on; }
   bool shared_scans_enabled() const { return options_.enable_shared_scans; }
+  /// Ablation switch for the versioned read path (benches / differential
+  /// tests): off makes snapshot-read levels take locks again.
+  void set_mvcc_reads_enabled(bool enabled) override {
+    options_.enable_mvcc_reads = enabled;
+  }
+  bool mvcc_reads_enabled() const override {
+    return options_.enable_mvcc_reads;
+  }
+  VersionClock* clock() const { return clock_; }
+  SnapshotRegistry* snapshots() const { return snapshots_; }
   /// Bumps the transaction-id allocator past recovered ids (reopen after
   /// crash recovery).
   void set_next_txn_id(TxnId next) { next_txn_id_.store(next); }
@@ -176,8 +196,51 @@ class TransactionManager : public TxnEngine {
   /// Callers must quiesce transactions first.
   Status Checkpoint(const std::string& checkpoint_path);
 
+  // --- MVCC snapshot management. ---
+
+  /// Stamps `txn`'s writes with an externally allocated commit timestamp —
+  /// the atomic-visibility seam of cross-shard 2PC: the coordinator holds
+  /// the shared clock's commit mutex, stamps every prepared write branch
+  /// with one timestamp, then publishes it, so no snapshot ever sees a
+  /// distributed commit half-applied. The branch's later CommitPrepared
+  /// sees `commit_stamped` and skips its own stamping.
+  void StampWritesAt(Transaction* txn, uint64_t ts);
+
+  /// Pins a coordinator-chosen snapshot timestamp on a (branch) transaction
+  /// so every shard of a cross-shard statement reads the same cut. The
+  /// coordinator holds the registry pin; the branch only carries the
+  /// timestamp and never refreshes it per statement.
+  void AdoptSnapshot(Transaction* txn, uint64_t ts);
+
+  /// Prunes version chains across all tables down to the oldest live
+  /// snapshot (or the current clock reading when none is live). Runs
+  /// automatically every `kGcCommitInterval` commits; public for tests and
+  /// idle-time maintenance. Returns versions pruned (also accumulated into
+  /// stats().versions_pruned).
+  size_t GcVersions();
+
+  static constexpr uint64_t kGcCommitInterval = 64;
+
  private:
   Status ApplyUndo(Transaction* txn);
+  /// True when this transaction's reads are served from the versioned heap.
+  bool SnapshotReadsActive(const Transaction* txn) const {
+    return options_.enable_mvcc_reads &&
+           UsesSnapshotReads(txn->isolation_level());
+  }
+  /// Ensures the transaction has the snapshot its next read should use:
+  /// kSnapshot keeps the Begin-time one; kReadCommitted takes a fresh cut
+  /// per statement (suppressed mid-statement — open cursors — and for
+  /// grounding reads after the first, which all share one cut; suppressed
+  /// entirely for adopted coordinator snapshots).
+  void MaybeRefreshSnapshot(Transaction* txn, bool grounding);
+  /// Stamps every row this transaction wrote with one freshly allocated
+  /// commit timestamp and publishes it (the [allocate, stamp, publish]
+  /// window under the clock's commit mutex). No-op for read-only
+  /// transactions.
+  void StampWrites(Transaction* txn);
+  /// Drops the transaction's registry pin, if it holds one.
+  void ReleaseSnapshot(Transaction* txn);
   Status AcquireReadLocks(Transaction* txn, const Table* t, RowId rid);
   void ReleaseEarlyReadLocks(Transaction* txn, const Table* t, RowId rid);
   /// X-locks the index-key hashes a write touches (sorted for deterministic
@@ -201,6 +264,12 @@ class TransactionManager : public TxnEngine {
   std::atomic<GroupId> next_group_id_{1};
   TxnStats stats_;
   SharedScanManager shared_scans_;
+  // Commit clock + live-snapshot set: shared (Options) or privately owned.
+  std::unique_ptr<VersionClock> owned_clock_;
+  std::unique_ptr<SnapshotRegistry> owned_snapshots_;
+  VersionClock* clock_;
+  SnapshotRegistry* snapshots_;
+  std::atomic<uint64_t> commits_since_gc_{0};
 };
 
 }  // namespace youtopia

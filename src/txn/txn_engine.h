@@ -62,6 +62,13 @@ struct TxnStats {
   /// states inside the per-shard drain threads instead of shipping rows to
   /// the coordinator.
   std::atomic<uint64_t> aggregate_pushdowns{0};
+  /// MVCC observability: committed versions pushed onto chains by
+  /// first-writes, versions dropped by GC, and reads served from the
+  /// versioned heap without taking any lock (one count per snapshot-served
+  /// cursor/get).
+  std::atomic<uint64_t> versions_created{0};
+  std::atomic<uint64_t> versions_pruned{0};
+  std::atomic<uint64_t> snapshot_reads{0};
 };
 
 /// How a read is counted and recorded by the schedule observer — the one
@@ -94,6 +101,14 @@ class TxnEngine {
 
   virtual std::unique_ptr<Transaction> Begin() = 0;
   virtual std::unique_ptr<Transaction> Begin(IsolationLevel level) = 0;
+
+  /// Ablation switch for the versioned read path: when disabled, the
+  /// snapshot-read levels (kReadCommitted, kSnapshot) fall back to locking
+  /// reads and behave exactly as before MVCC. Writes always maintain
+  /// version chains either way. Partitioned engines fan the switch out to
+  /// every shard.
+  virtual void set_mvcc_reads_enabled(bool enabled) = 0;
+  virtual bool mvcc_reads_enabled() const = 0;
 
   // --- Data operations. ---
 

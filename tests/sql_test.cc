@@ -1250,6 +1250,68 @@ TEST_F(AggregateSessionTest, GroupByWithWhereOrderByAndLimit) {
   EXPECT_EQ(r.rows[1][0], Value::Str("g3"));
 }
 
+TEST_F(AggregateSessionTest, HavingFiltersGroups) {
+  ASSERT_OK(session_->Execute("INSERT INTO S VALUES ('a', 1), ('a', 2), "
+                              "('b', 10), ('c', 3), ('c', 4), ('c', 5)")
+                .status());
+  // HAVING over a select-list aggregate.
+  ASSERT_OK_AND_ASSIGN(
+      sql::QueryResult r,
+      session_->Execute(
+          "SELECT g, COUNT(*) FROM S GROUP BY g HAVING COUNT(*) > 1"));
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0], Value::Str("a"));
+  EXPECT_EQ(r.rows[0][1], Value::Int(2));
+  EXPECT_EQ(r.rows[1][0], Value::Str("c"));
+  EXPECT_EQ(r.rows[1][1], Value::Int(3));
+
+  // HAVING over an aggregate that is NOT in the select list (it rides in
+  // the fold spec without appearing in the output), plus a grouped column
+  // and a conjunction.
+  ASSERT_OK_AND_ASSIGN(
+      r, session_->Execute("SELECT g FROM S GROUP BY g "
+                           "HAVING SUM(v) >= 10 AND g <> 'b'"));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], Value::Str("c"));
+
+  // HAVING composes with WHERE (row filter first), ORDER BY, and LIMIT
+  // (both applied after the group filter).
+  ASSERT_OK_AND_ASSIGN(
+      r, session_->Execute("SELECT g, SUM(v) AS s FROM S WHERE v < 5 "
+                           "GROUP BY g HAVING COUNT(*) >= 1 "
+                           "ORDER BY s DESC LIMIT 2"));
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0], Value::Str("c"));
+  EXPECT_EQ(r.rows[0][1], Value::Int(7));
+  EXPECT_EQ(r.rows[1][0], Value::Str("a"));
+  EXPECT_EQ(r.rows[1][1], Value::Int(3));
+
+  // A HAVING that rejects every group yields zero rows (no global-group
+  // resurrection: that rule is for aggregate queries without GROUP BY).
+  ASSERT_OK_AND_ASSIGN(
+      r, session_->Execute(
+             "SELECT g FROM S GROUP BY g HAVING COUNT(*) > 100"));
+  EXPECT_EQ(r.rows.size(), 0u);
+}
+
+TEST_F(AggregateSessionTest, HavingRejectionsHaveClearErrors) {
+  ASSERT_OK(session_->Execute("INSERT INTO S VALUES ('a', 1)").status());
+  // HAVING requires GROUP BY (parse-time).
+  EXPECT_FALSE(
+      Parser::ParseStatement("SELECT COUNT(*) FROM S HAVING COUNT(*) > 0")
+          .ok());
+  // Ungrouped plain column in HAVING.
+  ExpectPlanError("SELECT g, COUNT(*) FROM S GROUP BY g HAVING v > 1",
+                  "must appear in GROUP BY");
+  // Subqueries are not supported in HAVING.
+  ExpectPlanError(
+      "SELECT g FROM S GROUP BY g HAVING g IN (SELECT g FROM S)",
+      "HAVING does not support");
+  // Aggregate arguments are validated in HAVING exactly as in the select
+  // list.
+  ExpectPlanError("SELECT g FROM S GROUP BY g HAVING SUM(g) > 1", "numeric");
+}
+
 TEST_F(AggregateSessionTest, PlanTimeRejectionsHaveClearErrors) {
   ASSERT_OK(session_->Execute("INSERT INTO S VALUES ('a', 1)").status());
   // Non-grouped plain column in an aggregate query.

@@ -1045,10 +1045,11 @@ TEST(SharedScanTest, ClosingSiblingCursorKeepsReadCommittedLocks) {
   Table* table = fix.db.GetTable("T").value();
   const RowSet reference = HeapSnapshot(table);
 
-  // kReadCommitted: a cursor's close performs early lock release — but S
-  // locks merge per (txn, key), so closing one cursor must not strip the
-  // table S an overlapping sibling cursor of the same transaction still
-  // scans under.
+  // kReadCommitted on the locking path (snapshot reads disabled): a
+  // cursor's close performs early lock release — but S locks merge per
+  // (txn, key), so closing one cursor must not strip the table S an
+  // overlapping sibling cursor of the same transaction still scans under.
+  fix.tm->set_mvcc_reads_enabled(false);
   auto txn = fix.tm->Begin(IsolationLevel::kReadCommitted);
   ASSERT_OK_AND_ASSIGN(auto c1,
                        fix.tm->OpenCursor(txn.get(), table,
