@@ -13,11 +13,15 @@
 # into a gate: any benchmark more than 1.5x slower than the committed
 # baseline fails the script (1.3x stays a warning — smoke boxes are noisy).
 # With --tsan, additionally builds a ThreadSanitizer tree (build-tsan) and
-# races the lock/txn/sql/shard/mvcc suites under it — the key-range lock
-# conflict paths, the shared-scan attach/produce/wrap machinery, the shard
-# router's parallel fanout drains + concurrent-writer differential, and the
-# MVCC snapshot-vs-writer races are all exercised by those binaries'
-# concurrent tests.
+# races the lock/txn/sql/shard/mvcc/torture suites under it — the key-range
+# lock conflict paths, the shared-scan attach/produce/wrap machinery, the
+# shard router's parallel fanout drains + concurrent-writer differential,
+# the MVCC snapshot-vs-writer races, and the fault-injected crash-recover
+# cycles are all exercised by those binaries' concurrent tests.
+# With --torture, runs the long crash-recover torture gate: >= 50 seeded
+# randomized kill/recover cycles under a wall-clock budget. The seed is
+# printed on entry and repeated on failure; --torture-seed N reruns a
+# reported seed bit-exactly.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,17 +29,28 @@ cd "$(dirname "$0")/.."
 bench_smoke=0
 bench_strict=0
 tsan=0
-for arg in "$@"; do
-  case "${arg}" in
+torture=0
+# Default torture seed: wall clock, so every unpinned gate run explores a
+# fresh schedule. Printed either way — failures are always reproducible.
+torture_seed=$(date +%s)
+while [[ $# -gt 0 ]]; do
+  case "$1" in
   --bench-smoke) bench_smoke=1 ;;
   --bench-strict) bench_smoke=1; bench_strict=1 ;;
   --tsan) tsan=1 ;;
+  --torture) torture=1 ;;
+  --torture-seed)
+    torture=1
+    torture_seed="$2"
+    shift
+    ;;
   *)
-    echo "unknown argument: ${arg}" \
-         "(expected --bench-smoke, --bench-strict, and/or --tsan)" >&2
+    echo "unknown argument: $1 (expected --bench-smoke, --bench-strict," \
+         "--tsan, --torture, and/or --torture-seed N)" >&2
     exit 1
     ;;
   esac
+  shift
 done
 
 cmake -B build -S .
@@ -147,10 +162,31 @@ if [[ "${tsan}" == 1 ]]; then
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DYOUTOPIA_BUILD_BENCH=OFF -DYOUTOPIA_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j \
-        --target lock_test txn_test sql_test shard_test mvcc_test
+        --target lock_test txn_test sql_test shard_test mvcc_test torture_test
   for t in lock_test txn_test sql_test shard_test mvcc_test; do
     echo "== tsan: ${t}"
     ./build-tsan/${t}
   done
+  # A short torture slice under tsan: enough cycles to race the fault
+  # probes, the crash latch, and recovery against the worker threads.
+  echo "== tsan: torture_test (short slice)"
+  YT_TORTURE_SEED="${torture_seed}" YT_TORTURE_CYCLES=8 \
+    ./build-tsan/torture_test
   echo "tsan suites passed"
+fi
+
+if [[ "${torture}" == 1 ]]; then
+  echo "== torture gate: seed=${torture_seed}" \
+       "(rerun: scripts/check.sh --torture-seed ${torture_seed})"
+  if ! YT_TORTURE_SEED="${torture_seed}" \
+       YT_TORTURE_CYCLES=50 \
+       YT_TORTURE_THREADS=4 \
+       YT_TORTURE_TXNS=80 \
+       YT_TORTURE_BUDGET_S=600 \
+       ./build/torture_test --gtest_filter='TortureTest.*'; then
+    echo "TORTURE FAILED — reproduce with:" \
+         "scripts/check.sh --torture-seed ${torture_seed}" >&2
+    exit 1
+  fi
+  echo "torture gate passed (seed=${torture_seed})"
 fi

@@ -1,0 +1,122 @@
+#include "src/common/fault.h"
+
+#include <algorithm>
+
+namespace youtopia {
+
+FaultInjector* FaultInjector::Global() {
+  static FaultInjector* instance = new FaultInjector();
+  return instance;
+}
+
+void FaultInjector::Arm(const std::string& site, SiteConfig config) {
+  std::lock_guard<std::mutex> g(mu_);
+  sites_[site] = SiteState{config, 0, 0};
+  armed_.store(sites_.size(), std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> g(mu_);
+  sites_.erase(site);
+  armed_.store(sites_.size(), std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> g(mu_);
+  sites_.clear();
+  armed_.store(0, std::memory_order_relaxed);
+  crashed_.store(false, std::memory_order_release);
+  crash_site_.clear();
+}
+
+void FaultInjector::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> g(mu_);
+  rng_.seed(seed);
+}
+
+bool FaultInjector::ShouldFire(SiteState* st) {
+  ++st->hits;
+  const SiteConfig& c = st->config;
+  if (c.shots >= 0 && st->fires >= static_cast<uint64_t>(c.shots)) {
+    return false;  // exhausted: keeps counting hits, stops firing
+  }
+  bool fire;
+  if (c.nth > 0) {
+    fire = st->hits == c.nth;
+  } else {
+    fire = c.probability >= 1.0 ||
+           std::uniform_real_distribution<double>(0.0, 1.0)(rng_) <
+               c.probability;
+  }
+  if (fire) ++st->fires;
+  return fire;
+}
+
+void FaultInjector::LatchCrash(const std::string& site) {
+  if (crash_site_.empty()) crash_site_ = site;  // first crash wins
+  crashed_.store(true, std::memory_order_release);
+}
+
+Status FaultInjector::Hit(const char* site) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return Status::Ok();
+  SiteState& st = it->second;
+  if (st.config.action == Action::kShortWrite) {
+    ++st.hits;  // short-write sites only fire through TornWriteLen
+    return Status::Ok();
+  }
+  if (!ShouldFire(&st)) return Status::Ok();
+  if (st.config.action == Action::kCrash) {
+    LatchCrash(site);
+    return Status::Internal(std::string("simulated crash at ") + site);
+  }
+  return Status(st.config.code,
+                std::string("injected fault at ") + site);
+}
+
+size_t FaultInjector::TornWriteLen(const char* site, size_t frame_len) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || frame_len < 2) return frame_len;
+  SiteState& st = it->second;
+  if (st.config.action != Action::kShortWrite) return frame_len;
+  if (!ShouldFire(&st)) return frame_len;
+  size_t keep = st.config.keep_bytes;
+  if (keep == kRandomTear) {
+    keep = std::uniform_int_distribution<size_t>(1, frame_len - 1)(rng_);
+  }
+  keep = std::clamp<size_t>(keep, 1, frame_len - 1);
+  LatchCrash(site);
+  return keep;
+}
+
+void FaultInjector::ForceCrash(const std::string& why) {
+  std::lock_guard<std::mutex> g(mu_);
+  LatchCrash(why);
+}
+
+std::string FaultInjector::crash_site() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return crash_site_;
+}
+
+void FaultInjector::ClearCrash() {
+  std::lock_guard<std::mutex> g(mu_);
+  crashed_.store(false, std::memory_order_release);
+  crash_site_.clear();
+}
+
+uint64_t FaultInjector::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjector::FireCount(const std::string& site) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+}  // namespace youtopia

@@ -1,0 +1,146 @@
+#ifndef YOUTOPIA_COMMON_FAULT_H_
+#define YOUTOPIA_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/status.h"
+
+namespace youtopia {
+
+/// Process-wide fault-injection registry — the engine's one switchboard for
+/// simulated I/O failures, process crashes, and torn writes.
+///
+/// The engine's durability and commit paths probe *named sites* (dotted
+/// `<layer>.<operation>` strings: "wal.append", "wal.flush",
+/// "wal.append.torn", "2pc.before_prepare" ... "2pc.after_shard_decision",
+/// "txn.phase2.append", "recovery.redo", "lock.acquire"). A test arms a
+/// site with a trigger policy and an action; unarmed sites cost one relaxed
+/// atomic load (`enabled()`), so production paths keep their speed.
+///
+/// Trigger policies (per armed site, evaluated per hit):
+///   * nth-hit: fire exactly on the nth probe since arming (1-based) — the
+///     seeded-schedule knob: a torture run picks nth from its RNG to land a
+///     crash at a reproducible but arbitrary point of the schedule.
+///   * probability: fire each hit with probability p (when nth == 0), drawn
+///     from the injector's seeded RNG.
+///   * shots: total number of fires allowed (default 1 = one-shot;
+///     negative = unlimited). An exhausted site stops firing but keeps
+///     counting hits.
+///
+/// Actions:
+///   * kError — the site returns Status(code, ...); the engine treats it as
+///     a real transient/IO failure (statement fails, commit aborts, ...).
+///   * kCrash — latches the process-wide *crashed* state and returns an
+///     error. Every WalWriter freezes instantly (appends/flushes rejected,
+///     close discards the userspace buffer instead of flushing), so the log
+///     files end up byte-identical to a SIGKILL at that point. The harness
+///     then drops the engine, calls ClearCrash()/Reset(), and recovers.
+///   * kShortWrite — consulted by WalWriter::Append via TornWriteLen: a
+///     prefix of the framed record reaches the file, then the crash state
+///     latches (a torn tail, exactly what a mid-write power cut leaves).
+///
+/// ForceCrash() is the same latch exposed as a panic switch: the engine
+/// calls it when a commit-record or decision-record force-write fails,
+/// because after a failed flush the durable state of that record is
+/// unknowable — aborting in memory could contradict a record that did reach
+/// the device (the classical fsync-failure rule). Stopping cold and letting
+/// recovery decide is the only sound move, real fault or injected.
+///
+/// Thread-safe. Tests must Reset() when done so later tests (and the
+/// process exit path) see a clean, unarmed injector.
+class FaultInjector {
+ public:
+  enum class Action {
+    kError,       ///< return Status(code) from the site
+    kCrash,       ///< latch crashed state; WALs freeze; return error
+    kShortWrite,  ///< torn WAL append: write a prefix, then crash
+  };
+
+  /// Marks "tear at a seeded-random byte within the frame".
+  static constexpr size_t kRandomTear = static_cast<size_t>(-1);
+
+  struct SiteConfig {
+    Action action = Action::kError;
+    /// Code returned by kError sites (kCrash always returns kInternal).
+    StatusCode code = StatusCode::kInternal;
+    /// Fire on exactly the nth hit since arming (1-based). 0 = fire per
+    /// hit with `probability` instead.
+    uint64_t nth = 0;
+    double probability = 1.0;
+    /// Fires allowed in total; negative = unlimited.
+    int shots = 1;
+    /// kShortWrite: bytes of the frame that reach the file. Clamped to
+    /// [1, frame-1]; kRandomTear picks uniformly in that interval.
+    size_t keep_bytes = kRandomTear;
+  };
+
+  /// The process-wide instance every engine site probes.
+  static FaultInjector* Global();
+
+  /// Arms (or re-arms, resetting its hit count) one site.
+  void Arm(const std::string& site, SiteConfig config);
+  void Disarm(const std::string& site);
+  /// Disarms every site, clears the crash latch and all counters — the
+  /// clean slate every test should leave behind.
+  void Reset();
+  /// Seeds the probability / random-tear RNG (torture reproducibility).
+  void Seed(uint64_t seed);
+
+  /// Fast probe guard: any site armed, or the crash latch set. Engine code
+  /// checks this before calling Hit() so the unarmed cost is one load.
+  bool enabled() const {
+    return armed_.load(std::memory_order_relaxed) != 0 ||
+           crashed_.load(std::memory_order_relaxed);
+  }
+
+  /// Probes `site`: Ok unless an armed config fires. kCrash fires latch
+  /// the crash state before returning.
+  Status Hit(const char* site);
+
+  /// Probes a kShortWrite site: returns `frame_len` normally, or (on fire)
+  /// the prefix length to write before dying — the crash state is latched
+  /// so the caller's writer freezes right after the torn bytes.
+  size_t TornWriteLen(const char* site, size_t frame_len);
+
+  /// Latches the crash state directly (engine panic on ambiguous
+  /// commit-record write failures, harness end-of-cycle kill).
+  void ForceCrash(const std::string& why);
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  /// The site (or ForceCrash reason) that latched the crash.
+  std::string crash_site() const;
+  void ClearCrash();
+
+  /// Probe / fire counts since a site was last armed (observability; a
+  /// disarmed site reports 0).
+  uint64_t HitCount(const std::string& site) const;
+  uint64_t FireCount(const std::string& site) const;
+
+ private:
+  struct SiteState {
+    SiteConfig config;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  FaultInjector() = default;
+
+  /// Applies the trigger policy; true = this hit fires (consumes a shot).
+  bool ShouldFire(SiteState* st);
+  void LatchCrash(const std::string& site);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, SiteState> sites_;  // guarded by mu_
+  std::mt19937_64 rng_{0x746f727475726521ull};        // guarded by mu_
+  std::atomic<size_t> armed_{0};
+  std::atomic<bool> crashed_{false};
+  std::string crash_site_;  // guarded by mu_
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_COMMON_FAULT_H_

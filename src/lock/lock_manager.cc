@@ -3,9 +3,24 @@
 #include <algorithm>
 #include <chrono>
 
+#include "src/common/fault.h"
+
 namespace youtopia {
 
 namespace {
+
+/// Probes the "lock.acquire" fault site (spurious timeout injection —
+/// torture runs prove callers survive lock waits that fail for no real
+/// reason). Returns non-Ok when a fault fires.
+Status ProbeAcquireFault(LockStats* stats) {
+  FaultInjector* fi = FaultInjector::Global();
+  if (!fi->enabled()) return Status::Ok();
+  Status s = fi->Hit("lock.acquire");
+  if (s.code() == StatusCode::kTimedOut) {
+    stats->timeouts.fetch_add(1, std::memory_order_relaxed);
+  }
+  return s;
+}
 
 /// A request is "fully granted" when it holds the mode it asked for.
 bool FullyGranted(const LockManager* /*unused*/, bool granted, LockMode held,
@@ -17,6 +32,7 @@ bool FullyGranted(const LockManager* /*unused*/, bool granted, LockMode held,
 
 Status LockManager::Acquire(TxnId txn, LockKey key, LockMode mode,
                             int64_t timeout_micros) {
+  YT_RETURN_IF_ERROR(ProbeAcquireFault(&stats_));
   std::unique_lock<std::mutex> g(mu_);
   KeyState& st = keys_[key];
 
@@ -129,6 +145,7 @@ Status LockManager::Acquire(TxnId txn, LockKey key, LockMode mode,
 Status LockManager::AcquireRange(TxnId txn, RangeSpaceKey space,
                                  const IndexRange& range, LockMode mode,
                                  int64_t timeout_micros) {
+  YT_RETURN_IF_ERROR(ProbeAcquireFault(&stats_));
   std::unique_lock<std::mutex> g(mu_);
   RangeSpaceState& st = ranges_[space];
 

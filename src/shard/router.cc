@@ -5,6 +5,7 @@
 #include <iterator>
 #include <thread>
 
+#include "src/common/fault.h"
 #include "src/common/strings.h"
 #include "src/shard/merged_cursor.h"
 #include "src/wal/recovery.h"
@@ -179,6 +180,20 @@ StatusOr<std::unique_ptr<Router>> Router::Recover(Options options,
   GroupId max_gtid = 0;
   YT_ASSIGN_OR_RETURN(WalReader::Result coord,
                       WalReader::ReadAll(r->coord_wal_path()));
+  if (coord.torn_tail) {
+    // Same repair RecoveryManager applies to shard logs: drop the partial
+    // trailing record so the append-mode reopen below lands new records
+    // where readers can reach them.
+    std::error_code ec;
+    uint64_t size = std::filesystem::file_size(r->coord_wal_path(), ec);
+    if (!ec && size > coord.valid_bytes) {
+      std::filesystem::resize_file(r->coord_wal_path(), coord.valid_bytes, ec);
+      if (ec) {
+        return Status::Corruption("cannot truncate torn coordinator log " +
+                                  r->coord_wal_path());
+      }
+    }
+  }
   for (const WalRecord& rec : coord.records) {
     switch (rec.type) {
       case WalRecordType::kCommitDecision:
@@ -217,6 +232,19 @@ StatusOr<std::unique_ptr<Router>> Router::Recover(Options options,
     YT_RETURN_IF_ERROR(sh.wal->Open(r->shard_wal_path(s), wo,
                                     /*truncate=*/false));
     sh.wal->set_next_lsn(res.max_lsn + 1);
+    // A branch resolved *committed* purely through the coordinator's
+    // decision has no durable local record of its own. Write one now (and
+    // flush): the shard log becomes self-resolving, which is what lets
+    // decision-log GC eventually prune the coordinator entry — and what a
+    // GC that already ran relies on.
+    bool appended = false;
+    for (const auto& [t, g] : res.in_doubt_gtid) {
+      if (!res.committed.count(t)) continue;
+      YT_RETURN_IF_ERROR(
+          sh.wal->Append(WalRecord::CommitDecision(t, g)).status());
+      appended = true;
+    }
+    if (appended) YT_RETURN_IF_ERROR(sh.wal->Flush());
     TransactionManager::Options to;
     to.default_isolation = r->options_.default_isolation;
     to.lock_timeout_micros = r->options_.lock_timeout_micros;
@@ -801,12 +829,6 @@ void Router::SplitBranches(
   }
 }
 
-Status Router::SimulatedCrash(const char* where, bool* crashed) {
-  *crashed = true;
-  crash_point_.store(CrashPoint::kNone, std::memory_order_relaxed);
-  return Status::Internal(std::string("simulated crash ") + where);
-}
-
 void Router::AbortBranches(Dtxn* dt) {
   for (size_t s = 0; s < dt->branches.size(); ++s) {
     Transaction* b = dt->branches[s].get();
@@ -819,31 +841,63 @@ Status Router::TwoPhaseCommit(
     const std::vector<std::pair<size_t, Transaction*>>& writers,
     const std::vector<std::pair<size_t, Transaction*>>& readers,
     bool* crashed) {
-  // The one crash point (if any) armed for this commit attempt.
-  const CrashPoint cp = crash_point_.load(std::memory_order_relaxed);
+  FaultInjector* fi = FaultInjector::Global();
+  // Pre-decision probe: a fired kError aborts the attempt (presumed abort
+  // is still correct — no decision exists); a fired kCrash additionally
+  // latches the process, and `*crashed` tells the caller to leave state
+  // exactly as the kill would.
+  auto probe = [&](const char* site) -> Status {
+    if (!fi->enabled()) return Status::Ok();
+    Status s = fi->Hit(site);
+    if (!s.ok() && fi->crashed()) *crashed = true;
+    return s;
+  };
+  // Any engine failure while the process-wide crash latch is set is part
+  // of the crash, not an abortable error.
+  auto check = [&](Status s) -> Status {
+    if (!s.ok() && fi->enabled() && fi->crashed()) *crashed = true;
+    return s;
+  };
+  // Post-decision probe: the decision is durable, so an in-memory abort
+  // would contradict what recovery replays — every fired fault past the
+  // commit point escalates to a full crash.
+  auto post = [&](const char* site) -> Status {
+    if (!fi->enabled()) return Status::Ok();
+    Status s = fi->Hit(site);
+    if (!s.ok()) {
+      if (!fi->crashed()) fi->ForceCrash(site);
+      *crashed = true;
+    }
+    return s;
+  };
+
   // Phase 1: every write branch force-writes PREPARE (its buffered redo
   // records flush with it) and votes yes by returning Ok.
-  if (cp == CrashPoint::kBeforePrepare) {
-    return SimulatedCrash("before prepare", crashed);
-  }
-  size_t prepared = 0;
+  YT_RETURN_IF_ERROR(probe("2pc.before_prepare"));
   for (const auto& [s, b] : writers) {
-    YT_RETURN_IF_ERROR(shards_[s].tm->Prepare(b, gtid));
-    if (++prepared == 1 && cp == CrashPoint::kAfterFirstPrepare) {
-      return SimulatedCrash("after first prepare", crashed);
-    }
+    YT_RETURN_IF_ERROR(check(shards_[s].tm->Prepare(b, gtid)));
+    YT_RETURN_IF_ERROR(probe("2pc.after_prepare"));
   }
-  if (cp == CrashPoint::kAfterAllPrepares) {
-    return SimulatedCrash("after prepares, before decision", crashed);
-  }
+  YT_RETURN_IF_ERROR(probe("2pc.before_decision"));
   // The commit point: the decision is durable in the coordinator's log.
   if (coord_wal_ != nullptr) {
+    std::lock_guard<std::mutex> g(coord_mu_);
     auto lsn = coord_wal_->AppendAndFlush(WalRecord::CommitDecision(0, gtid));
-    if (!lsn.ok()) return lsn.status();
+    if (!lsn.ok()) {
+      // Ambiguous outcome: the record may or may not have reached the
+      // device. Aborting in memory could contradict a decision recovery
+      // will read, so stop cold and let recovery arbitrate.
+      fi->ForceCrash("coordinator decision write failed: " +
+                     lsn.status().message());
+      *crashed = true;
+      return lsn.status();
+    }
+    // Until every branch holds its own (lazily appended) local decision,
+    // this coordinator record is what resolves the transaction — GC must
+    // retain it.
+    undelivered_.insert(gtid);
   }
-  if (cp == CrashPoint::kAfterDecision) {
-    return SimulatedCrash("after decision", crashed);
-  }
+  YT_RETURN_IF_ERROR(post("2pc.after_decision"));
   // One commit timestamp for every write branch, stamped and published
   // before any participant commits: a distributed transaction becomes
   // visible to snapshot readers atomically, never shard by shard as
@@ -856,20 +910,103 @@ Status Router::TwoPhaseCommit(
     }
     clock_->Publish(ts);
   }
+  YT_RETURN_IF_ERROR(post("2pc.after_stamp"));
   // Read-only branches never voted; release them with a local commit.
   for (const auto& [s, b] : readers) {
     (void)shards_[s].tm->Commit(b);
   }
-  // Phase 2: tell every participant. Failures past the commit point are
-  // ignored — recovery resolves from the decision log.
-  size_t told = 0;
+  // Phase 2: tell every participant. Append failures past the commit
+  // point never abort — recovery resolves from the decision log — but
+  // they do keep the gtid in `undelivered_` so GC retains its record.
+  bool delivered_all = true;
   for (const auto& [s, b] : writers) {
-    (void)shards_[s].tm->CommitPrepared(b, gtid);
-    if (++told == 1 && cp == CrashPoint::kAfterFirstShardDecision) {
-      return SimulatedCrash("after first shard decision", crashed);
+    if (!shards_[s].tm->CommitPrepared(b, gtid).ok()) delivered_all = false;
+    YT_RETURN_IF_ERROR(post("2pc.after_shard_decision"));
+  }
+  if (fi->enabled() && fi->crashed()) {
+    // A WAL-layer fault (torn write, frozen log) latched the crash while
+    // phase 2 ran; surface it as one.
+    *crashed = true;
+    return Status::Internal("simulated crash at " + fi->crash_site());
+  }
+  if (coord_wal_ != nullptr) {
+    bool run_gc = false;
+    {
+      std::lock_guard<std::mutex> g(coord_mu_);
+      if (delivered_all) undelivered_.erase(gtid);
+      if (++commits_since_decision_gc_ >= kDecisionGcInterval) {
+        commits_since_decision_gc_ = 0;
+        run_gc = true;
+      }
     }
+    // Periodic GC outside coord_mu_ (GcDecisionLog takes it); best
+    // effort — a failed GC never fails the commit that triggered it.
+    if (run_gc) (void)GcDecisionLog();
   }
   return Status::Ok();
+}
+
+StatusOr<size_t> Router::GcDecisionLog() {
+  if (coord_wal_ == nullptr) return static_cast<size_t>(0);
+  FaultInjector* fi = FaultInjector::Global();
+  if (fi->enabled() && fi->crashed()) {
+    return Status::Internal("decision-log GC refused under crash latch");
+  }
+  std::lock_guard<std::mutex> g(coord_mu_);
+  // A decision is prunable only once every branch can resolve from its own
+  // shard log. Phase 2 appends those local records lazily (unflushed), so
+  // flush every shard WAL first — turning "appended" into "durable", the
+  // property pruning actually requires.
+  for (Shard& sh : shards_) {
+    if (sh.wal != nullptr) YT_RETURN_IF_ERROR(sh.wal->Flush());
+  }
+  YT_RETURN_IF_ERROR(coord_wal_->Flush());
+  YT_ASSIGN_OR_RETURN(WalReader::Result log,
+                      WalReader::ReadAll(coord_wal_path()));
+  std::vector<WalRecord> keep;
+  size_t pruned = 0;
+  for (WalRecord& rec : log.records) {
+    if (rec.type == WalRecordType::kCommitDecision &&
+        undelivered_.count(rec.group) == 0) {
+      ++pruned;
+      continue;
+    }
+    keep.push_back(std::move(rec));
+  }
+  if (pruned == 0) return static_cast<size_t>(0);
+  // Rewrite through a sibling file + atomic rename: a crash mid-GC leaves
+  // either the old complete log or the new complete log, never half of
+  // one.
+  const std::string tmp = coord_wal_path() + ".gc";
+  {
+    WalWriter w;
+    WalWriter::Options wo;
+    wo.sync_on_flush = options_.sync_on_flush;
+    YT_RETURN_IF_ERROR(w.Open(tmp, wo, /*truncate=*/true));
+    for (WalRecord& rec : keep) {
+      YT_RETURN_IF_ERROR(w.Append(std::move(rec)).status());
+    }
+    YT_RETURN_IF_ERROR(w.Flush());
+    YT_RETURN_IF_ERROR(w.Close());
+  }
+  YT_RETURN_IF_ERROR(coord_wal_->Close());
+  std::error_code ec;
+  std::filesystem::rename(tmp, coord_wal_path(), ec);
+  if (ec) {
+    return Status::Corruption("decision-log GC rename failed for " +
+                              coord_wal_path());
+  }
+  WalWriter::Options wo;
+  wo.sync_on_flush = options_.sync_on_flush;
+  YT_RETURN_IF_ERROR(coord_wal_->Open(coord_wal_path(), wo,
+                                      /*truncate=*/false));
+  coord_wal_->set_next_lsn(keep.size() + 1);
+  return pruned;
+}
+
+size_t Router::undelivered_decisions() const {
+  std::lock_guard<std::mutex> g(coord_mu_);
+  return undelivered_.size();
 }
 
 Status Router::Commit(Transaction* txn) {
@@ -1020,8 +1157,10 @@ Status Router::LogEntangle(EntanglementId eid,
   }
   // Durable narration only: commit-time atomicity of the group comes from
   // the single-shard ENTANGLE+GROUP_COMMIT path or the 2PC decision record,
-  // both written by CommitGroup.
+  // both written by CommitGroup. coord_mu_ keeps the append out of a
+  // concurrent decision-log GC rewrite.
   if (coord_wal_ != nullptr) {
+    std::lock_guard<std::mutex> g(coord_mu_);
     auto lsn = coord_wal_->AppendAndFlush(WalRecord::Entangle(eid, ids));
     if (!lsn.ok()) return lsn.status();
   }
@@ -1087,6 +1226,7 @@ StatusOr<Table*> Router::CreateTable(const std::string& name,
   }
   map_.SetPartitioning(cat->name(), pcols);
   if (coord_wal_ != nullptr) {
+    std::lock_guard<std::mutex> g(coord_mu_);
     WalRecord rec = WalRecord::CreateTable(cat->name(), schema);
     rec.aux = PartitionAux(pcols);
     auto lsn = coord_wal_->AppendAndFlush(std::move(rec));

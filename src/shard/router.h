@@ -208,22 +208,45 @@ class Router : public TxnEngine {
     return rid & ((1ull << kShardTagShift) - 1);
   }
 
-  // --- Crash injection (2PC recovery tests). ---
+  // --- Fault injection (2PC crash windows; see src/common/fault.h). ---
+  //
+  // The commit path probes these FaultInjector sites. Arming one with
+  // Action::kCrash reproduces the classical 2PC crash windows — state and
+  // logs are left exactly as a process kill would leave them (the caller
+  // must then drop the router and FaultInjector::Global()->Reset() before
+  // Recover):
+  //
+  //   2pc.before_prepare        no prepare written anywhere
+  //   2pc.after_prepare         after each participant's yes-vote
+  //                             (nth=1: one voted, the rest did not)
+  //   2pc.before_decision       all voted, no decision logged
+  //   2pc.after_decision        decision durable, no branch stamped/told
+  //   2pc.after_stamp           decision durable and visible to snapshot
+  //                             readers, no branch's locks released
+  //   2pc.after_shard_decision  after each phase-2 delivery (nth=1: one
+  //                             shard told, the rest resolve from the
+  //                             coordinator's log)
+  //
+  // Faults at or past 2pc.after_decision always escalate to a full crash
+  // latch: the decision is durable, so an in-memory abort would contradict
+  // what recovery replays.
 
-  /// Makes the next Commit/CommitGroup stop dead at the given point (state
-  /// and logs left exactly as a crash would leave them) and return an
-  /// error. One-shot: consumed by the commit that hits it.
-  enum class CrashPoint {
-    kNone,
-    kBeforePrepare,           ///< no prepare written anywhere
-    kAfterFirstPrepare,       ///< one participant voted, the rest did not
-    kAfterAllPrepares,        ///< all voted, no decision logged
-    kAfterDecision,           ///< decision durable, no shard told
-    kAfterFirstShardDecision, ///< decision durable, one shard told
-  };
-  void set_commit_crash_point(CrashPoint p) {
-    crash_point_.store(p, std::memory_order_relaxed);
-  }
+  // --- Decision-log GC. ---
+
+  /// Prunes coordinator decision records whose branches can all resolve
+  /// from their own shard logs. Phase-2 per-shard decisions are appended
+  /// lazily (unflushed), so GC first flushes every shard WAL — turning
+  /// "appended" into "durable", which is what pruning actually requires —
+  /// then rewrites the coordinator log (temp file + rename) keeping DDL,
+  /// ENTANGLE, and the decisions of gtids with an undelivered branch.
+  /// Runs automatically every kDecisionGcInterval cross-shard commits;
+  /// callable directly (tests / operators). Returns records pruned.
+  StatusOr<size_t> GcDecisionLog();
+
+  /// Decided gtids at least one of whose branches lacks an appended local
+  /// decision record — GC retains these until delivery (or recovery)
+  /// repairs them.
+  size_t undelivered_decisions() const;
 
  private:
   struct Shard {
@@ -283,16 +306,16 @@ class Router : public TxnEngine {
       Dtxn* dt, const Transaction* txn, size_t lo, size_t hi,
       PerShard&& per_shard);
   /// The 2PC core shared by Commit and CommitGroup. `writers` span >= 2
-  /// shards. A hit crash point sets `*crashed` and returns an error with
-  /// state and logs left exactly as a crash would leave them — the caller
-  /// must skip abort cleanup then.
+  /// shards. A fired crash fault (or any failure while the process-wide
+  /// crash latch is set) sets `*crashed` and returns an error with state
+  /// and logs left exactly as a crash would leave them — the caller must
+  /// skip abort cleanup then.
   Status TwoPhaseCommit(GroupId gtid,
                         const std::vector<std::pair<size_t, Transaction*>>&
                             writers,
                         const std::vector<std::pair<size_t, Transaction*>>&
                             readers,
                         bool* crashed);
-  Status SimulatedCrash(const char* where, bool* crashed);
   /// Aborts every branch (best effort) — failure/abort cleanup.
   void AbortBranches(Dtxn* dt);
   /// Opens one fanned-out plan: per-shard cursors, parallel drain, merge.
@@ -325,10 +348,15 @@ class Router : public TxnEngine {
   /// Versioned snapshot reads when true (default); false = locking-read
   /// ablation (mirrored into every shard manager).
   std::atomic<bool> mvcc_reads_{true};
-  /// Test-only crash injection (atomic: armed from a test thread, read by
-  /// committing threads; whether THIS commit crashed is tracked per
-  /// attempt, not here).
-  std::atomic<CrashPoint> crash_point_{CrashPoint::kNone};
+
+  /// Guards the coordinator log (decision writes, DDL/ENTANGLE appends,
+  /// the GC rewrite) plus `undelivered_` and the GC cadence counter.
+  mutable std::mutex coord_mu_;
+  /// Decided gtids with a branch whose local decision append failed (or
+  /// has not happened yet): their coordinator records are not GC-eligible.
+  std::set<GroupId> undelivered_;
+  size_t commits_since_decision_gc_ = 0;
+  static constexpr size_t kDecisionGcInterval = 128;
 };
 
 }  // namespace youtopia::shard

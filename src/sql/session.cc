@@ -1,6 +1,27 @@
 #include "src/sql/session.h"
 
+#include <chrono>
+#include <thread>
+
+#include "src/common/fault.h"
+
 namespace youtopia::sql {
+
+namespace {
+
+/// Transient = the engine killed this attempt to break a conflict, and an
+/// identical rerun can win: deadlock victim / first-updater-wins
+/// (kAborted) and lock-wait timeout (kTimedOut). Never retry once the
+/// crash latch is set — every operation is doomed until recovery, and
+/// spinning on it would just burn the backoff budget.
+bool RetryableAbort(const Status& s) {
+  if (s.code() != StatusCode::kAborted && s.code() != StatusCode::kTimedOut) {
+    return false;
+  }
+  return !FaultInjector::Global()->crashed();
+}
+
+}  // namespace
 
 Session::~Session() {
   if (txn_ != nullptr && txn_->active()) {
@@ -69,14 +90,36 @@ StatusOr<QueryResult> Session::ExecuteParsed(const ParsedStatement& stmt) {
     return result;
   }
 
-  // Autocommit path.
+  // Autocommit path: the statement is its whole transaction, so a
+  // transient abort (deadlock victim, lock timeout, first-updater-wins)
+  // reruns it under bounded exponential backoff.
+  int64_t backoff = retry_policy_.initial_backoff_micros;
+  for (int attempt = 1;; ++attempt) {
+    auto result = AutocommitOnce(stmt);
+    if (result.ok() || !RetryableAbort(result.status()) ||
+        attempt >= retry_policy_.max_attempts) {
+      return result;
+    }
+    ++statement_retries_;
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+    backoff = std::min(backoff * 2, retry_policy_.max_backoff_micros);
+  }
+}
+
+StatusOr<QueryResult> Session::AutocommitOnce(const ParsedStatement& stmt) {
   std::unique_ptr<Transaction> txn = tm_->Begin();
   auto result = exec_.Execute(stmt, txn.get(), &vars_);
   if (!result.ok()) {
     (void)tm_->Abort(txn.get());
     return result;
   }
-  YT_RETURN_IF_ERROR(tm_->Commit(txn.get()));
+  Status cs = tm_->Commit(txn.get());
+  if (!cs.ok()) {
+    // A failed Commit aborted (or crashed) the transaction itself; no
+    // cleanup here. Commit-time conflicts are retryable like execution
+    // ones.
+    return cs;
+  }
   return result;
 }
 

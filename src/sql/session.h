@@ -1,6 +1,7 @@
 #ifndef YOUTOPIA_SQL_SESSION_H_
 #define YOUTOPIA_SQL_SESSION_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -14,10 +15,26 @@ namespace youtopia::sql {
 /// explicit BEGIN ... COMMIT block. One session == one connection == at most
 /// one open transaction, matching the paper's MySQL setup.
 ///
+/// Autocommitted statements transparently retry *transient* aborts —
+/// deadlock victims, lock-wait timeouts, first-updater-wins conflicts —
+/// under a bounded exponential backoff (RetryPolicy): the statement is its
+/// whole transaction, so a clean rerun is always safe. Statements inside
+/// an explicit BEGIN are never retried (the application owns the
+/// transaction's history and must rerun it itself), and nothing retries
+/// once the fault injector's crash latch is set.
+///
 /// Entangled queries are rejected here: they require the run-based engine
 /// (etxn::EntangledTransactionEngine).
 class Session {
  public:
+  /// Backoff schedule for autocommit retries. Defaults: 4 attempts total,
+  /// 200us first backoff, doubling to at most 10ms.
+  struct RetryPolicy {
+    int max_attempts = 4;
+    int64_t initial_backoff_micros = 200;
+    int64_t max_backoff_micros = 10'000;
+  };
+
   explicit Session(TxnEngine* tm) : tm_(tm), exec_(tm) {}
   ~Session();
 
@@ -32,13 +49,22 @@ class Session {
   Transaction* current_txn() { return txn_.get(); }
   bool in_transaction() const { return txn_ != nullptr; }
 
+  void set_retry_policy(RetryPolicy p) { retry_policy_ = p; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+  /// Transient-abort reruns performed by this session's autocommit path.
+  uint64_t statement_retries() const { return statement_retries_; }
+
  private:
   StatusOr<QueryResult> ExecuteParsed(const ParsedStatement& stmt);
+  /// One autocommit attempt: Begin, execute, Commit (abort on failure).
+  StatusOr<QueryResult> AutocommitOnce(const ParsedStatement& stmt);
 
   TxnEngine* tm_;
   Executor exec_;
   std::unique_ptr<Transaction> txn_;
   VarEnv vars_;
+  RetryPolicy retry_policy_;
+  uint64_t statement_retries_ = 0;
 };
 
 }  // namespace youtopia::sql

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <fstream>
 
+#include "src/common/fault.h"
+
 namespace youtopia {
 
 namespace {
@@ -710,7 +712,12 @@ StatusOr<RowId> TransactionManager::Insert(Transaction* txn,
       {UndoEntry::Kind::kInsert, t->name(), rid, Row()});
   txn->count_write();
   if (wal_ != nullptr) {
-    (void)wal_->Append(WalRecord::Insert(txn->id(), t->name(), rid, row));
+    // A failed redo append dooms the statement — ignoring it would let a
+    // later durable COMMIT replay a transaction missing this write. The
+    // undo entry above rolls the in-memory insert back on abort.
+    YT_RETURN_IF_ERROR(
+        wal_->Append(WalRecord::Insert(txn->id(), t->name(), rid, row))
+            .status());
   }
   if (options_.observer != nullptr) {
     options_.observer->OnWrite(txn->id(), {t->name(), rid});
@@ -800,8 +807,10 @@ Status TransactionManager::Update(Transaction* txn, const std::string& table,
       {UndoEntry::Kind::kUpdate, t->name(), rid, before});
   txn->count_write();
   if (wal_ != nullptr) {
-    (void)wal_->Append(
-        WalRecord::Update(txn->id(), t->name(), rid, before, row));
+    // As in Insert: a lost redo record must fail the statement.
+    YT_RETURN_IF_ERROR(
+        wal_->Append(WalRecord::Update(txn->id(), t->name(), rid, before, row))
+            .status());
   }
   if (options_.observer != nullptr) {
     options_.observer->OnWrite(txn->id(), {t->name(), rid});
@@ -841,7 +850,10 @@ Status TransactionManager::Delete(Transaction* txn, const std::string& table,
       {UndoEntry::Kind::kDelete, t->name(), rid, before});
   txn->count_write();
   if (wal_ != nullptr) {
-    (void)wal_->Append(WalRecord::Delete(txn->id(), t->name(), rid, before));
+    // As in Insert: a lost redo record must fail the statement.
+    YT_RETURN_IF_ERROR(
+        wal_->Append(WalRecord::Delete(txn->id(), t->name(), rid, before))
+            .status());
   }
   if (options_.observer != nullptr) {
     options_.observer->OnWrite(txn->id(), {t->name(), rid});
@@ -1159,7 +1171,16 @@ Status TransactionManager::Commit(Transaction* txn) {
   if (!txn->active()) return Status::Aborted("transaction not active");
   if (wal_ != nullptr) {
     auto lsn = wal_->AppendAndFlush(WalRecord::Commit(txn->id()));
-    if (!lsn.ok()) return lsn.status();
+    if (!lsn.ok()) {
+      // A failed commit-record force-write is unresolvable in place: the
+      // record may or may not have reached the device, so aborting in
+      // memory could contradict a COMMIT that recovery will replay. Stop
+      // cold (every WAL freezes) and let recovery decide — the classical
+      // fsync-failure rule.
+      FaultInjector::Global()->ForceCrash("commit-record write failed: " +
+                                          lsn.status().message());
+      return lsn.status();
+    }
   }
   // Stamp while the row X locks are still held; only then release.
   StampWrites(txn);
@@ -1198,7 +1219,10 @@ Status TransactionManager::Prepare(Transaction* txn, GroupId gtid) {
   if (wal_ != nullptr) {
     // Force-write: the yes-vote is durable (and with it, this
     // transaction's buffered redo records) before the coordinator may
-    // decide commit.
+    // decide commit. Unlike a commit record, a failed prepare write needs
+    // no crash escalation: even if the PREPARE did reach the device,
+    // recovery resolves it presumed-abort (no decision exists yet), which
+    // matches the in-memory abort the coordinator performs.
     auto lsn = wal_->AppendAndFlush(WalRecord::Prepare(txn->id(), gtid));
     if (!lsn.ok()) return lsn.status();
   }
@@ -1209,11 +1233,20 @@ Status TransactionManager::Prepare(Transaction* txn, GroupId gtid) {
 
 Status TransactionManager::CommitPrepared(Transaction* txn, GroupId gtid) {
   if (!txn->active()) return Status::Aborted("transaction not active");
+  // The local decision record is advisory — the coordinator's log already
+  // holds the durable decision, so phase 2 completes in memory even when
+  // the append fails (or the "txn.phase2.append" fault swallows it). The
+  // returned status only tells the coordinator whether this participant's
+  // own log now resolves the branch: decision-log GC must keep the
+  // coordinator record until that is true everywhere.
+  Status append_st;
   if (wal_ != nullptr) {
-    // No flush: the commit decision is already durable in the
-    // coordinator's log; recovery resolves an in-doubt PREPARE from there
-    // when this record did not make it out.
-    (void)wal_->Append(WalRecord::CommitDecision(txn->id(), gtid));
+    FaultInjector* fi = FaultInjector::Global();
+    if (fi->enabled()) append_st = fi->Hit("txn.phase2.append");
+    if (append_st.ok()) {
+      append_st =
+          wal_->Append(WalRecord::CommitDecision(txn->id(), gtid)).status();
+    }
   }
   StampWrites(txn);
   txn->set_state(TxnState::kCommitted);
@@ -1221,7 +1254,7 @@ Status TransactionManager::CommitPrepared(Transaction* txn, GroupId gtid) {
   locks_->ReleaseAll(txn->id());
   stats_.commits.fetch_add(1, std::memory_order_relaxed);
   if (options_.observer != nullptr) options_.observer->OnCommit(txn->id());
-  return Status::Ok();
+  return append_st;
 }
 
 Status TransactionManager::CommitGroup(
@@ -1238,7 +1271,10 @@ Status TransactionManager::CommitGroup(
   for (Transaction* t : members) ids.push_back(t->id());
   if (wal_ != nullptr) {
     for (TxnId id : ids) {
-      (void)wal_->Append(WalRecord::Commit(id));
+      // Losing a member COMMIT makes the later GROUP_COMMIT unreplayable
+      // for that member; fail before the group record is force-written —
+      // every member is still undoable at this point.
+      YT_RETURN_IF_ERROR(wal_->Append(WalRecord::Commit(id)).status());
     }
     auto lsn = wal_->AppendAndFlush(WalRecord::GroupCommit(gid, ids));
     if (!lsn.ok()) return lsn.status();

@@ -176,6 +176,13 @@ class TransactionManager : public TxnEngine {
   /// (unflushed — the decision is already durable in the coordinator's
   /// log; the local record just lets recovery resolve without consulting
   /// it) and releases locks. Abort-after-prepare is plain Abort().
+  ///
+  /// The in-memory commit always completes; the returned status reports
+  /// only whether the advisory local record was appended. A non-OK return
+  /// means this participant still depends on the coordinator's decision
+  /// log to resolve its branch after a crash — the coordinator's
+  /// decision-log GC must keep the gtid until every branch reports OK.
+  /// Fault site: "txn.phase2.append".
   Status CommitPrepared(Transaction* txn, GroupId gtid);
 
   // --- DDL (system transaction 0, autocommitted). ---

@@ -1,9 +1,35 @@
 #include "src/wal/recovery.h"
 
+#include <filesystem>
 #include <fstream>
 #include <map>
 
+#include "src/common/fault.h"
+
 namespace youtopia {
+
+namespace {
+
+/// Repairs a torn log tail in place: truncates the file to the last intact
+/// record boundary. Without this, the writer's append-mode reopen would
+/// place new records *after* the garbage bytes, where no reader can ever
+/// reach them — every post-recovery commit would be silently unrecoverable.
+/// Idempotent: a re-run recovery sees a clean tail.
+Status TruncateTornTail(const std::string& wal_path,
+                        const WalReader::Result& log,
+                        uint64_t* truncated_bytes) {
+  std::error_code ec;
+  uint64_t size = std::filesystem::file_size(wal_path, ec);
+  if (ec || size <= log.valid_bytes) return Status::Ok();
+  *truncated_bytes = size - log.valid_bytes;
+  std::filesystem::resize_file(wal_path, log.valid_bytes, ec);
+  if (ec) {
+    return Status::Corruption("cannot truncate torn WAL tail of " + wal_path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 StatusOr<RecoveryManager::Result> RecoveryManager::Recover(
     const std::string& wal_path) {
@@ -17,6 +43,10 @@ StatusOr<RecoveryManager::Result> RecoveryManager::Recover(
   Result result;
   result.torn_tail = log.torn_tail;
   result.max_lsn = log.max_lsn;
+  if (log.torn_tail) {
+    YT_RETURN_IF_ERROR(
+        TruncateTornTail(wal_path, log, &result.truncated_bytes));
+  }
 
   // --- Load checkpoint base image if the log starts with a reference.
   if (!log.records.empty() &&
@@ -79,6 +109,7 @@ StatusOr<RecoveryManager::Result> RecoveryManager::Recover(
   for (const auto& [t, gtid] : prepared) {
     if (has_commit.count(t) || has_abort.count(t)) continue;
     result.in_doubt.insert(t);
+    result.in_doubt_gtid.emplace(t, gtid);
     if (options.committed_gtids != nullptr &&
         options.committed_gtids->count(gtid)) {
       has_commit.insert(t);
@@ -100,7 +131,13 @@ StatusOr<RecoveryManager::Result> RecoveryManager::Recover(
   }
 
   // --- Redo pass: DDL always (system txn 0), DML only for winners.
+  FaultInjector* fi = FaultInjector::Global();
   for (const WalRecord& r : log.records) {
+    // "recovery.redo" fires per replayed record: a kCrash here kills the
+    // replay mid-pass, and a re-run must reach the same final state
+    // (recovery idempotence — the log is never mutated by redo, only the
+    // rebuilt in-memory image, which a failed attempt discards).
+    if (fi->enabled()) YT_RETURN_IF_ERROR(fi->Hit("recovery.redo"));
     switch (r.type) {
       case WalRecordType::kCreateTable: {
         if (!result.db->GetTable(r.table).ok()) {

@@ -1,6 +1,7 @@
 #ifndef YOUTOPIA_WAL_RECOVERY_H_
 #define YOUTOPIA_WAL_RECOVERY_H_
 
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -48,6 +49,10 @@ class RecoveryManager {
     std::set<TxnId> in_doubt;        ///< prepared, resolved only through the
                                      ///< coordinator's decisions (members of
                                      ///< committed or discarded too)
+    /// The coordinator gtid of each in-doubt branch — the coordinator
+    /// writes a durable shard-local decision for the committed ones after
+    /// recovery, so its own decision log can be GC'd safely.
+    std::map<TxnId, GroupId> in_doubt_gtid;
     uint64_t max_lsn = 0;
     TxnId max_txn_id = 0;
     /// Highest 2PC global transaction id seen in PREPARE / COMMIT_DECISION
@@ -55,6 +60,9 @@ class RecoveryManager {
     /// so a presumed-aborted gtid can never be reused (and later decided).
     GroupId max_gtid = 0;
     bool torn_tail = false;
+    /// Torn-tail bytes removed from the log file (the partial trailing
+    /// record a crash mid-write left); 0 when the tail was clean.
+    uint64_t truncated_bytes = 0;
   };
 
   /// Runs recovery from `wal_path`. Checkpoints are located through the

@@ -40,6 +40,7 @@ StatusOr<WalReader::Result> WalReader::ReadAll(const std::string& path) {
     }
     result.max_lsn = std::max(result.max_lsn, rec.value().lsn);
     result.records.push_back(std::move(rec).value());
+    result.valid_bytes = static_cast<uint64_t>(p - data.data());
   }
   return result;
 }

@@ -18,6 +18,10 @@ class WalReader {
     std::vector<WalRecord> records;
     bool torn_tail = false;
     uint64_t max_lsn = 0;
+    /// Byte offset just past the last intact record — where a torn tail
+    /// starts. Recovery truncates the file here before reopening it for
+    /// append (new records written after garbage would be unreachable).
+    uint64_t valid_bytes = 0;
   };
 
   /// Missing file yields an empty Result (fresh database).

@@ -1,16 +1,39 @@
 #include "src/wal/wal_writer.h"
 
 #include <unistd.h>
+#if __has_include(<stdio_ext.h>)
+#include <stdio_ext.h>  // __fpurge: drop the stdio userspace buffer (glibc)
+#define YOUTOPIA_HAVE_FPURGE 1
+#endif
 
+#include "src/common/fault.h"
 #include "src/common/serde.h"
 
 namespace youtopia {
 
+namespace {
+
+/// Closes a FILE* the way a killed process leaves it: whatever sits in the
+/// stdio userspace buffer never reaches the file. Used whenever the fault
+/// injector's crash state is latched — flushing on close would leak records
+/// a real crash loses, hiding exactly the bugs the torture harness hunts.
+void CloseDiscardingBuffer(std::FILE* f) {
+#if defined(YOUTOPIA_HAVE_FPURGE)
+  __fpurge(f);
+#endif
+  std::fclose(f);
+}
+
+}  // namespace
+
 WalWriter::~WalWriter() {
-  if (file_ != nullptr) {
-    std::fflush(file_);
-    std::fclose(file_);
+  if (file_ == nullptr) return;
+  if (FaultInjector::Global()->crashed()) {
+    CloseDiscardingBuffer(file_);
+    return;
   }
+  std::fflush(file_);
+  std::fclose(file_);
 }
 
 Status WalWriter::Open(const std::string& path, Options options,
@@ -29,6 +52,17 @@ Status WalWriter::Open(const std::string& path, Options options,
 StatusOr<uint64_t> WalWriter::Append(WalRecord rec) {
   std::lock_guard<std::mutex> g(mu_);
   if (file_ == nullptr) return Status::Internal("WAL not open");
+  FaultInjector* fi = FaultInjector::Global();
+  if (fi->enabled()) {
+    // Once the crash state is latched, every log freezes: a dead process
+    // appends nothing, so the files must read back exactly as a kill at
+    // the crash site would leave them.
+    if (fi->crashed()) {
+      return Status::Internal("WAL frozen by simulated crash at " +
+                              fi->crash_site());
+    }
+    YT_RETURN_IF_ERROR(fi->Hit("wal.append"));
+  }
   rec.lsn = next_lsn_++;
   std::string payload;
   rec.EncodeTo(&payload);
@@ -36,6 +70,17 @@ StatusOr<uint64_t> WalWriter::Append(WalRecord rec) {
   EncodeU32(&frame, static_cast<uint32_t>(payload.size()));
   EncodeU32(&frame, Crc32(payload));
   frame += payload;
+  if (fi->enabled()) {
+    size_t keep = fi->TornWriteLen("wal.append.torn", frame.size());
+    if (keep < frame.size()) {
+      // Torn write: a prefix of the frame reaches the OS (it must survive
+      // the buffer purge on close — the bytes did hit the device), then
+      // the process dies mid-write. Recovery must truncate this tail.
+      (void)std::fwrite(frame.data(), 1, keep, file_);
+      (void)std::fflush(file_);
+      return Status::Internal("simulated crash: torn WAL write at " + path_);
+    }
+  }
   if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
     return Status::Corruption("WAL append failed");
   }
@@ -51,6 +96,14 @@ StatusOr<uint64_t> WalWriter::AppendAndFlush(WalRecord rec) {
 Status WalWriter::Flush() {
   std::lock_guard<std::mutex> g(mu_);
   if (file_ == nullptr) return Status::Internal("WAL not open");
+  FaultInjector* fi = FaultInjector::Global();
+  if (fi->enabled()) {
+    if (fi->crashed()) {
+      return Status::Internal("WAL frozen by simulated crash at " +
+                              fi->crash_site());
+    }
+    YT_RETURN_IF_ERROR(fi->Hit("wal.flush"));
+  }
   if (std::fflush(file_) != 0) return Status::Corruption("WAL flush failed");
   if (options_.sync_on_flush) {
     if (fsync(fileno(file_)) != 0) {
@@ -63,6 +116,11 @@ Status WalWriter::Flush() {
 Status WalWriter::Close() {
   std::lock_guard<std::mutex> g(mu_);
   if (file_ == nullptr) return Status::Ok();
+  if (FaultInjector::Global()->crashed()) {
+    CloseDiscardingBuffer(file_);
+    file_ = nullptr;
+    return Status::Ok();
+  }
   std::fflush(file_);
   if (options_.sync_on_flush) fsync(fileno(file_));
   std::fclose(file_);

@@ -13,6 +13,14 @@ namespace youtopia {
 /// [u32 payload_len][u32 crc32(payload)][payload]. Appends buffer in
 /// userspace; Flush() pushes to the OS (and fsyncs when `sync_on_flush`).
 /// Thread-safe: the transaction manager appends from many connections.
+///
+/// Fault-injection sites (src/common/fault.h): "wal.append" (append
+/// failure before any byte is written), "wal.append.torn" (short write — a
+/// prefix of the frame reaches the file, then the crash state latches),
+/// "wal.flush" (failed flush/fsync). Once the injector's crash state is
+/// latched, every writer freezes: appends and flushes are rejected, and
+/// close discards the userspace buffer instead of flushing it, so the file
+/// reads back exactly as a process kill at the crash point would leave it.
 class WalWriter {
  public:
   struct Options {

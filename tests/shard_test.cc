@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/fault.h"
 #include "src/common/rng.h"
 #include "src/eq/compiler.h"
 #include "src/eq/grounder.h"
@@ -501,10 +502,13 @@ TEST(RouterTest, CommitWorksAfterASimulatedCrashOnAnotherTransaction) {
                       Row({Value::Int(other), Value::Int(2),
                            Value::Str("b")}))
                 .status());
-  r->set_commit_crash_point(Router::CrashPoint::kAfterAllPrepares);
+  FaultInjector::SiteConfig crash;
+  crash.action = FaultInjector::Action::kCrash;
+  FaultInjector::Global()->Arm("2pc.before_decision", crash);
   EXPECT_FALSE(r->Commit(doomed.get()).ok());
-  // The crash marker is scoped to that commit attempt: a fresh
-  // cross-shard transaction (disjoint keys) commits normally.
+  // Clearing the injector ends the simulated crash: a fresh cross-shard
+  // transaction (disjoint keys) on the same engine commits normally.
+  FaultInjector::Global()->Reset();
   auto txn = r->Begin();
   ASSERT_OK(r->Insert(txn.get(), "Acct",
                       Row({Value::Int(1000), Value::Int(3), Value::Str("c")}))
@@ -798,19 +802,32 @@ class ShardRecoveryTest : public ::testing::Test {
 };
 
 TEST_F(ShardRecoveryTest, CrashMatrixResolvesInDoubtFromDecisionLog) {
+  // The five legacy CrashPoints, re-expressed as injector sites (see the
+  // site table in router.h). nth picks which hit of a per-participant site
+  // fires; -1 report expectations are unchecked.
   struct Case {
-    Router::CrashPoint point;
+    const char* name;
+    const char* site;
+    uint64_t nth;
     bool expect_committed;
+    int in_doubt;
+    int in_doubt_committed;
+    int in_doubt_aborted;
   };
   const std::vector<Case> cases = {
-      {Router::CrashPoint::kBeforePrepare, false},
-      {Router::CrashPoint::kAfterFirstPrepare, false},
-      {Router::CrashPoint::kAfterAllPrepares, false},
-      {Router::CrashPoint::kAfterDecision, true},
-      {Router::CrashPoint::kAfterFirstShardDecision, true},
+      {"kBeforePrepare", "2pc.before_prepare", 0, false, 0, 0, 0},
+      {"kAfterFirstPrepare", "2pc.after_prepare", 1, false, 1, 0, 1},
+      {"kAfterAllPrepares", "2pc.before_decision", 0, false, 2, 0, 2},
+      {"kAfterDecision", "2pc.after_decision", 0, true, 2, 2, 0},
+      // The crash latch discards the first shard's lazily appended local
+      // decision along with the rest of its stdio buffer (a killed process
+      // flushes nothing), so BOTH branches are in doubt — and both resolve
+      // commit from the coordinator's log.
+      {"kAfterFirstShardDecision", "2pc.after_shard_decision", 1, true, 2, 2,
+       0},
   };
   for (const Case& c : cases) {
-    SCOPED_TRACE(static_cast<int>(c.point));
+    SCOPED_TRACE(c.name);
     std::filesystem::remove_all(dir_);
     int64_t k1 = 0, k2 = 0;
     {
@@ -834,13 +851,18 @@ TEST_F(ShardRecoveryTest, CrashMatrixResolvesInDoubtFromDecisionLog) {
                           Row({Value::Int(k2), Value::Int(22),
                                Value::Str("b")}))
                     .status());
-      r->set_commit_crash_point(c.point);
+      FaultInjector::SiteConfig crash;
+      crash.action = FaultInjector::Action::kCrash;
+      crash.nth = c.nth;
+      FaultInjector::Global()->Arm(c.site, crash);
       Status st = r->Commit(txn.get());
       ASSERT_FALSE(st.ok());
-      // The router is dropped here — like a crash, except destructors
-      // flush buffered (not yet forced) records, which recovery must
-      // ignore without a terminal record either way.
+      ASSERT_TRUE(FaultInjector::Global()->crashed());
+      // The router is dropped here with the crash latch set: every WAL
+      // discards its userspace buffer on close, so the files read back
+      // exactly as a SIGKILL at the fired site would leave them.
     }
+    FaultInjector::Global()->Reset();
     Router::RecoveryReport report;
     ASSERT_OK_AND_ASSIGN(auto r,
                          Router::Recover(DurableOptions(), &report));
@@ -855,19 +877,12 @@ TEST_F(ShardRecoveryTest, CrashMatrixResolvesInDoubtFromDecisionLog) {
     EXPECT_EQ(has_key(k2), c.expect_committed);
     // Atomicity: never one side without the other.
     EXPECT_EQ(has_key(k1), has_key(k2));
-    if (c.point == Router::CrashPoint::kAfterAllPrepares) {
-      EXPECT_EQ(report.in_doubt_branches, 2u);
-      EXPECT_EQ(report.in_doubt_aborted, 2u);
-    }
-    if (c.point == Router::CrashPoint::kAfterDecision) {
-      EXPECT_EQ(report.in_doubt_branches, 2u);
-      EXPECT_EQ(report.in_doubt_committed, 2u);
-    }
-    if (c.point == Router::CrashPoint::kAfterFirstShardDecision) {
-      // One shard already wrote its local decision; only the other is in
-      // doubt — and resolves commit.
-      EXPECT_EQ(report.in_doubt_branches, 1u);
-      EXPECT_EQ(report.in_doubt_committed, 1u);
+    if (c.in_doubt >= 0) {
+      EXPECT_EQ(report.in_doubt_branches, static_cast<size_t>(c.in_doubt));
+      EXPECT_EQ(report.in_doubt_committed,
+                static_cast<size_t>(c.in_doubt_committed));
+      EXPECT_EQ(report.in_doubt_aborted,
+                static_cast<size_t>(c.in_doubt_aborted));
     }
     // The recovered router keeps working: a fresh cross-shard commit.
     auto txn = r->Begin();
