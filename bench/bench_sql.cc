@@ -3,17 +3,20 @@
 // DML, and entangled-query compilation + grounding.
 
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <thread>
 
 #include "src/eq/compiler.h"
 #include "src/eq/grounder.h"
 #include "src/shard/router.h"
 #include "src/sql/session.h"
+#include "src/sql/session_server.h"
 #include "src/txn/transaction_manager.h"
 #include "src/workload/travel_data.h"
 
@@ -770,6 +773,150 @@ void BM_GroundEntangledSnapshot(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GroundEntangledSnapshot)->Unit(benchmark::kMicrosecond);
+
+/// Durable 4-shard stack for the commit-path benches: WAL-backed router in a
+/// scratch dir; keys come from one atomic counter so every insert is a fresh
+/// row regardless of thread or rerun.
+struct GroupCommitStack {
+  std::string dir;
+  std::unique_ptr<shard::Router> router;
+  std::atomic<int64_t> next_key{1};
+  uint64_t commits0 = 0, flushes0 = 0;
+
+  explicit GroupCommitStack(bool group_commit) {
+    static std::atomic<int> seq{0};
+    dir = (std::filesystem::temp_directory_path() /
+           ("yt_bench_gc_" + std::to_string(::getpid()) + "_" +
+            std::to_string(seq.fetch_add(1))))
+              .string();
+    std::filesystem::remove_all(dir);
+    shard::Router::Options opts;
+    opts.num_shards = 4;
+    opts.dir = dir;
+    router = shard::Router::Open(opts).value();
+    Schema schema({{"id", TypeId::kInt64}, {"v", TypeId::kInt64}});
+    schema.set_primary_key({0});
+    (void)router->CreateTable("acct", schema).value();
+    router->set_group_commit_enabled(group_commit);
+    commits0 = router->stats().commits.load();
+    flushes0 = router->stats().wal_flushes.load();
+  }
+  ~GroupCommitStack() {
+    router.reset();
+    std::filesystem::remove_all(dir);
+  }
+};
+
+std::unique_ptr<GroupCommitStack> g_gc_stack;  // NOLINT
+
+/// N threads each run autocommit single-row inserts against the durable
+/// router. With group commit on, concurrent committers ride one WAL flush
+/// — leader pacing (100 us) holds the batch window open, so throughput
+/// scales with committers while flushes_per_commit falls toward 1/N. The
+/// Solo ablation performs a flush per commit at any thread count. (The
+/// smoke tree runs fflush-only; under sync_on_flush the flush dominates
+/// and the counter gap becomes the wall-clock gap.)
+void GroupCommitBody(benchmark::State& state, bool group_commit) {
+  if (state.thread_index() == 0) {
+    g_gc_stack = std::make_unique<GroupCommitStack>(group_commit);
+    if (group_commit) g_gc_stack->router->set_group_commit_delay_micros(100);
+  }
+  for (auto _ : state) {
+    GroupCommitStack& s = *g_gc_stack;
+    int64_t key = s.next_key.fetch_add(1);
+    auto txn = s.router->Begin();
+    Status st =
+        s.router
+            ->Insert(txn.get(), "acct", Row({Value::Int(key), Value::Int(0)}))
+            .status();
+    if (st.ok()) st = s.router->Commit(txn.get());
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    const double commits = static_cast<double>(
+        g_gc_stack->router->stats().commits.load() - g_gc_stack->commits0);
+    const double flushes = static_cast<double>(
+        g_gc_stack->router->stats().wal_flushes.load() - g_gc_stack->flushes0);
+    state.counters["commits"] = commits;
+    state.counters["wal_flushes"] = flushes;
+    state.counters["flushes_per_commit"] =
+        commits > 0 ? flushes / commits : 0.0;
+    g_gc_stack.reset();
+  }
+}
+
+void BM_GroupCommit(benchmark::State& state) {
+  GroupCommitBody(state, /*group_commit=*/true);
+}
+BENCHMARK(BM_GroupCommit)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GroupCommitSolo(benchmark::State& state) {
+  GroupCommitBody(state, /*group_commit=*/false);
+}
+BENCHMARK(BM_GroupCommitSolo)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+/// Arg(0) sessions of autocommit inserts through the SessionServer. The
+/// multiplexed variant serves them all on 2 worker threads (a blocked commit
+/// parks its ticket and the worker drives another session); the ThreadPer
+/// baseline spends one thread per session. Leader pacing is on (100 us) so
+/// the batch window is real in both.
+void ManySessionsBody(benchmark::State& state, bool thread_per_session) {
+  const size_t sessions = static_cast<size_t>(state.range(0));
+  GroupCommitStack s(/*group_commit=*/true);
+  s.router->set_group_commit_delay_micros(100);
+  sql::SessionServer server(
+      s.router.get(),
+      sql::SessionServer::Options{thread_per_session ? sessions : 2});
+  std::vector<sql::SessionServer::SessionId> ids;
+  ids.reserve(sessions);
+  for (size_t i = 0; i < sessions; ++i) ids.push_back(server.OpenSession());
+  for (auto _ : state) {
+    for (size_t i = 0; i < sessions; ++i) {
+      server.Submit(ids[i],
+                    "INSERT INTO acct VALUES (" +
+                        std::to_string(s.next_key.fetch_add(1)) + ", 0)");
+    }
+    server.Drain();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(sessions));
+  state.counters["server_threads"] = static_cast<double>(server.num_threads());
+  state.counters["parked_runs"] = static_cast<double>(server.parked_runs());
+  state.counters["wal_flushes"] =
+      static_cast<double>(s.router->stats().wal_flushes.load() - s.flushes0);
+}
+
+void BM_ManySessions(benchmark::State& state) {
+  ManySessionsBody(state, /*thread_per_session=*/false);
+}
+BENCHMARK(BM_ManySessions)
+    ->Arg(8)
+    ->Arg(32)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ManySessionsThreadPer(benchmark::State& state) {
+  ManySessionsBody(state, /*thread_per_session=*/true);
+}
+BENCHMARK(BM_ManySessionsThreadPer)
+    ->Arg(8)
+    ->Arg(32)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace youtopia::bench

@@ -81,7 +81,7 @@ if [[ "${bench_smoke}" == 1 ]]; then
   git show HEAD:BENCH_sql.json > "${bench_baseline}" 2>/dev/null || \
     : > "${bench_baseline}"
   ./build-bench/bench_sql \
-    --benchmark_filter='BM_PointSelect|BM_PointSelectScan|BM_PointUpdate|BM_ThreeWayJoin|BM_ThreeWayJoinSnapshot|BM_GroundEntangled|BM_GroundEntangledSnapshot|BM_RangeSelect|BM_RangeSelectScan|BM_OrderByLimit|BM_OrderByLimitScan|BM_ConcurrentScans|BM_ShardedPointSelect|BM_ShardedScan|BM_ShardedScanFanout|BM_ShardedScanBatchSweep|BM_GroupByAggregate|BM_ReadMostlyMixed|BM_SnapshotScanUnderWriters' \
+    --benchmark_filter='BM_PointSelect|BM_PointSelectScan|BM_PointUpdate|BM_ThreeWayJoin|BM_ThreeWayJoinSnapshot|BM_GroundEntangled|BM_GroundEntangledSnapshot|BM_RangeSelect|BM_RangeSelectScan|BM_OrderByLimit|BM_OrderByLimitScan|BM_ConcurrentScans|BM_ShardedPointSelect|BM_ShardedScan|BM_ShardedScanFanout|BM_ShardedScanBatchSweep|BM_GroupByAggregate|BM_ReadMostlyMixed|BM_SnapshotScanUnderWriters|BM_GroupCommit|BM_ManySessions' \
     --benchmark_min_time=0.1 \
     --benchmark_out=BENCH_sql.json \
     --benchmark_out_format=json
@@ -186,6 +186,23 @@ if [[ "${torture}" == 1 ]]; then
        ./build/torture_test --gtest_filter='TortureTest.*'; then
     echo "TORTURE FAILED — reproduce with:" \
          "scripts/check.sh --torture-seed ${torture_seed}" >&2
+    exit 1
+  fi
+  # Ablation differential: the same gate with WAL group commit forced off
+  # (flush-per-commit baseline). The main run's per-cycle coin flip covers
+  # the mixed regime; this slice pins the ablation so a group-commit-only
+  # bug cannot hide behind lucky flips.
+  echo "== torture gate (group commit off): seed=${torture_seed}"
+  if ! YT_TORTURE_SEED="${torture_seed}" \
+       YT_TORTURE_CYCLES=12 \
+       YT_TORTURE_THREADS=4 \
+       YT_TORTURE_TXNS=80 \
+       YT_TORTURE_BUDGET_S=180 \
+       YT_TORTURE_GROUP_COMMIT=0 \
+       ./build/torture_test --gtest_filter='TortureTest.*'; then
+    echo "TORTURE (group commit off) FAILED — reproduce with:" \
+         "YT_TORTURE_GROUP_COMMIT=0 scripts/check.sh --torture-seed" \
+         "${torture_seed}" >&2
     exit 1
   fi
   echo "torture gate passed (seed=${torture_seed})"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <unordered_set>
 
 #include "src/common/fault.h"
 
@@ -139,6 +140,135 @@ Status LockManager::Acquire(TxnId txn, LockKey key, LockMode mode,
   }
   stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
   (void)was_upgrade;
+  return Status::Ok();
+}
+
+Status LockManager::AcquireBatch(TxnId txn, const std::vector<LockKey>& keys,
+                                 LockMode mode, int64_t timeout_micros) {
+  if (keys.empty()) return Status::Ok();
+  if (keys.size() == 1) return Acquire(txn, keys[0], mode, timeout_micros);
+  YT_RETURN_IF_ERROR(ProbeAcquireFault(&stats_));
+  std::unique_lock<std::mutex> g(mu_);
+
+  // Enqueue every request in one pass. Re-entrant keys (already granted
+  // covering `mode`) drop out of the batch immediately; duplicates collapse.
+  std::unordered_set<LockKey, LockKeyHash> seen;
+  std::vector<LockKey> batch;
+  batch.reserve(keys.size());
+  for (const LockKey& key : keys) {
+    if (!seen.insert(key).second) continue;
+    KeyState& st = keys_[key];
+    Request* mine = nullptr;
+    for (Request& r : st.requests) {
+      if (r.txn == txn) {
+        mine = &r;
+        break;
+      }
+    }
+    if (mine != nullptr) {
+      if (mine->granted && Covers(mine->held, mode)) continue;  // re-entrant
+      LockMode joined = Join(mine->granted ? mine->held : mine->wanted, mode);
+      if (mine->granted && joined != mine->held) {
+        stats_.upgrades.fetch_add(1, std::memory_order_relaxed);
+      }
+      mine->wanted = joined;
+    } else {
+      Request r;
+      r.txn = txn;
+      r.wanted = mode;
+      r.held = mode;  // meaningful once granted
+      r.granted = false;
+      r.seq = next_seq_++;
+      st.requests.push_back(r);
+    }
+    batch.push_back(key);
+  }
+  if (batch.empty()) return Status::Ok();
+
+  auto find_mine = [&](const LockKey& key) -> Request* {
+    auto it = keys_.find(key);
+    if (it == keys_.end()) return nullptr;
+    for (Request& r : it->second.requests) {
+      if (r.txn == txn) return &r;
+    }
+    return nullptr;
+  };
+  auto settle = [&]() {
+    for (const LockKey& key : batch) GrantPendingLocked(key);
+  };
+  auto all_granted = [&]() {
+    for (const LockKey& key : batch) {
+      Request* mine = find_mine(key);
+      if (mine == nullptr ||
+          !FullyGranted(this, mine->granted, mine->held, mine->wanted)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  // Failure cleanup: still-waiting requests are dropped (upgrades reverted),
+  // and whatever was already granted is recorded so Strict-2PL ReleaseAll
+  // finds it when the caller aborts.
+  auto rollback_waiting = [&]() {
+    for (const LockKey& key : batch) {
+      Request* mine = find_mine(key);
+      if (mine == nullptr) continue;
+      if (mine->granted) {
+        mine->wanted = mine->held;
+      } else {
+        auto& reqs = keys_[key].requests;
+        reqs.erase(
+            std::remove_if(reqs.begin(), reqs.end(),
+                           [&](const Request& r) { return r.txn == txn; }),
+            reqs.end());
+      }
+      GrantPendingLocked(key);
+    }
+  };
+  auto record_granted = [&]() {
+    auto& keys_held = held_[txn];
+    for (const LockKey& key : batch) {
+      Request* mine = find_mine(key);
+      if (mine == nullptr || !mine->granted) continue;
+      if (std::find(keys_held.begin(), keys_held.end(), key) ==
+          keys_held.end()) {
+        keys_held.push_back(key);
+      }
+      stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  settle();
+  bool waited = false;
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(
+                      timeout_micros < 0 ? int64_t{1} << 40 : timeout_micros);
+  while (!all_granted()) {
+    if (!waited) {
+      waited = true;
+      stats_.waits.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (DeadlockedLocked(txn)) {
+      stats_.deadlocks.fetch_add(1, std::memory_order_relaxed);
+      rollback_waiting();
+      record_granted();
+      cv_.notify_all();
+      return Status::Aborted("deadlock detected; transaction " +
+                             std::to_string(txn) + " chosen as victim");
+    }
+    if (cv_.wait_until(g, deadline) == std::cv_status::timeout) {
+      settle();
+      if (all_granted()) break;  // granted exactly at the deadline
+      stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      rollback_waiting();
+      record_granted();
+      cv_.notify_all();
+      return Status::TimedOut("batch lock wait timeout (" +
+                              std::to_string(batch.size()) + " keys)");
+    }
+    settle();
+  }
+  record_granted();
   return Status::Ok();
 }
 

@@ -103,6 +103,18 @@ class LockManager {
   /// `timeout_micros` (<0 means wait forever).
   Status Acquire(TxnId txn, LockKey key, LockMode mode, int64_t timeout_micros);
 
+  /// Acquires (or upgrades to) `mode` on every key in `keys` for `txn` in
+  /// one mutex round: all requests enqueue together (FIFO seats assigned in
+  /// `keys` order), then one wait loop blocks until ALL are fully granted.
+  /// Semantically equivalent to acquiring each key in order — including on
+  /// failure: a deadlock/timeout victim drops its still-waiting requests,
+  /// but keys already granted stay held (recorded for ReleaseAll), exactly
+  /// the partial-hold state a sequential loop leaves when key k fails.
+  /// Duplicate keys are acquired once. One "lock.acquire" fault probe per
+  /// call (per statement, not per row).
+  Status AcquireBatch(TxnId txn, const std::vector<LockKey>& keys,
+                      LockMode mode, int64_t timeout_micros);
+
   /// Releases every lock held by `txn` (commit/abort under Strict 2PL).
   void ReleaseAll(TxnId txn);
 

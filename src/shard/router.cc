@@ -153,11 +153,15 @@ StatusOr<std::unique_ptr<Router>> Router::Open(Options options) {
     to.snapshots = r->snapshots_.get();
     sh.tm = std::make_unique<TransactionManager>(sh.db.get(), sh.locks.get(),
                                                  sh.wal.get(), to);
+    // Physical flushes of every shard WAL count into the router's aggregate
+    // (the TM constructor pointed the counter at its own per-shard stats).
+    if (sh.wal != nullptr) sh.wal->set_flush_counter(&r->stats_.wal_flushes);
   }
   if (durable) {
     r->coord_wal_ = std::make_unique<WalWriter>();
     YT_RETURN_IF_ERROR(r->coord_wal_->Open(r->coord_wal_path(), wo,
                                            /*truncate=*/true));
+    r->coord_wal_->set_flush_counter(&r->stats_.wal_flushes);
   }
   return r;
 }
@@ -253,6 +257,7 @@ StatusOr<std::unique_ptr<Router>> Router::Recover(Options options,
     sh.tm = std::make_unique<TransactionManager>(sh.db.get(), sh.locks.get(),
                                                  sh.wal.get(), to);
     sh.tm->set_next_txn_id(res.max_txn_id + 1);
+    sh.wal->set_flush_counter(&r->stats_.wal_flushes);
     max_gtid = std::max(max_gtid, res.max_gtid);
   }
 
@@ -265,6 +270,7 @@ StatusOr<std::unique_ptr<Router>> Router::Recover(Options options,
   YT_RETURN_IF_ERROR(r->coord_wal_->Open(r->coord_wal_path(), wo,
                                          /*truncate=*/false));
   r->coord_wal_->set_next_lsn(coord.max_lsn + 1);
+  r->coord_wal_->set_flush_counter(&r->stats_.wal_flushes);
   // Never reuse a gtid: a presumed-aborted prepare must not be revived by
   // a later decision under the same id.
   r->next_txn_id_.store(max_gtid + 1);
@@ -304,6 +310,32 @@ std::unique_ptr<Transaction> Router::Begin(IsolationLevel level) {
 void Router::set_mvcc_reads_enabled(bool on) {
   mvcc_reads_.store(on, std::memory_order_relaxed);
   for (Shard& sh : shards_) sh.tm->set_mvcc_reads_enabled(on);
+}
+
+void Router::set_group_commit_enabled(bool on) {
+  for (Shard& sh : shards_) {
+    if (sh.wal != nullptr) sh.wal->set_group_commit_enabled(on);
+  }
+  if (coord_wal_ != nullptr) coord_wal_->set_group_commit_enabled(on);
+}
+
+void Router::set_group_commit_delay_micros(int64_t micros) {
+  for (Shard& sh : shards_) {
+    if (sh.wal != nullptr) {
+      sh.wal->group_commit()->set_max_batch_delay_micros(micros);
+    }
+  }
+  if (coord_wal_ != nullptr) {
+    coord_wal_->group_commit()->set_max_batch_delay_micros(micros);
+  }
+}
+
+bool Router::group_commit_enabled() const {
+  if (coord_wal_ != nullptr) return coord_wal_->group_commit_enabled();
+  for (const Shard& sh : shards_) {
+    if (sh.wal != nullptr) return sh.wal->group_commit_enabled();
+  }
+  return true;  // volatile mode: nothing to flush either way
 }
 
 void Router::RefreshCoordinatorSnapshot(Transaction* txn, bool grounding) {
@@ -880,22 +912,30 @@ Status Router::TwoPhaseCommit(
   }
   YT_RETURN_IF_ERROR(probe("2pc.before_decision"));
   // The commit point: the decision is durable in the coordinator's log.
+  // The append serializes under coord_mu_, but the durability wait happens
+  // OUTSIDE it, through the decision log's group-commit queue — concurrent
+  // cross-shard commits stack their decision records into one flush instead
+  // of serializing one fsync each behind the mutex.
   if (coord_wal_ != nullptr) {
-    std::lock_guard<std::mutex> g(coord_mu_);
-    auto lsn = coord_wal_->AppendAndFlush(WalRecord::CommitDecision(0, gtid));
-    if (!lsn.ok()) {
+    StatusOr<uint64_t> lsn = 0;
+    {
+      std::lock_guard<std::mutex> g(coord_mu_);
+      lsn = coord_wal_->Append(WalRecord::CommitDecision(0, gtid));
+      // Until every branch holds its own (lazily appended) local decision,
+      // this coordinator record is what resolves the transaction — GC must
+      // retain it. Inserting before the flush settles is conservative: if
+      // the flush fails we crash below, and recovery rebuilds the set.
+      if (lsn.ok()) undelivered_.insert(gtid);
+    }
+    Status st = lsn.ok() ? coord_wal_->SyncToLsn(lsn.value()) : lsn.status();
+    if (!st.ok()) {
       // Ambiguous outcome: the record may or may not have reached the
       // device. Aborting in memory could contradict a decision recovery
       // will read, so stop cold and let recovery arbitrate.
-      fi->ForceCrash("coordinator decision write failed: " +
-                     lsn.status().message());
+      fi->ForceCrash("coordinator decision write failed: " + st.message());
       *crashed = true;
-      return lsn.status();
+      return st;
     }
-    // Until every branch holds its own (lazily appended) local decision,
-    // this coordinator record is what resolves the transaction — GC must
-    // retain it.
-    undelivered_.insert(gtid);
   }
   YT_RETURN_IF_ERROR(post("2pc.after_decision"));
   // One commit timestamp for every write branch, stamped and published

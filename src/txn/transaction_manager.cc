@@ -542,11 +542,20 @@ TransactionManager::TransactionManager(Database* db, LockManager* locks,
     owned_snapshots_ = std::make_unique<SnapshotRegistry>();
     snapshots_ = owned_snapshots_.get();
   }
+  // Count physical flushes into our stats; shard::Router re-points every
+  // shard's counter at its own aggregate after construction.
+  if (wal_ != nullptr) wal_->set_flush_counter(&stats_.wal_flushes);
 }
 
 TransactionManager::TransactionManager(Database* db, LockManager* locks,
                                        WalWriter* wal)
     : TransactionManager(db, locks, wal, Options()) {}
+
+TransactionManager::~TransactionManager() {
+  // The WalWriter is caller-owned and may outlive us — detach the counter
+  // before our stats go away.
+  if (wal_ != nullptr) wal_->set_flush_counter(nullptr);
+}
 
 std::unique_ptr<Transaction> TransactionManager::Begin() {
   return Begin(options_.default_isolation);
@@ -649,13 +658,11 @@ Status TransactionManager::AcquireIndexKeyLocks(Transaction* txn,
                                                 std::vector<uint64_t> hashes) {
   std::sort(hashes.begin(), hashes.end());
   hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
-  for (uint64_t h : hashes) {
-    YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(),
-                                       LockKey::IndexKey(t->id(), h),
-                                       LockMode::kX,
-                                       txn->lock_timeout_micros()));
-  }
-  return Status::Ok();
+  std::vector<LockKey> keys;
+  keys.reserve(hashes.size());
+  for (uint64_t h : hashes) keys.push_back(LockKey::IndexKey(t->id(), h));
+  return locks_->AcquireBatch(txn->id(), keys, LockMode::kX,
+                              txn->lock_timeout_micros());
 }
 
 Status TransactionManager::AcquireOrderedKeyLocks(
@@ -1101,13 +1108,16 @@ TransactionManager::LockRowsForWriteRange(Transaction* txn,
       txn->id(), RangeSpaceKey{t->id(), Table::IndexColumnsHash(spec.columns)},
       spec.range, LockMode::kX, txn->lock_timeout_micros()));
   YT_ASSIGN_OR_RETURN(std::vector<RowId> rids, t->RangeLookup(spec));
+  // The whole statement's row set locks in ONE lock-manager round — one
+  // mutex acquisition and one wait instead of one per row.
+  std::vector<LockKey> row_keys;
+  row_keys.reserve(rids.size());
+  for (RowId rid : rids) row_keys.push_back(LockKey::RowOf(t->id(), rid));
+  YT_RETURN_IF_ERROR(locks_->AcquireBatch(txn->id(), row_keys, LockMode::kX,
+                                          txn->lock_timeout_micros()));
   std::vector<std::pair<RowId, Row>> out;
   out.reserve(rids.size());
   for (RowId rid : rids) {
-    YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(),
-                                       LockKey::RowOf(t->id(), rid),
-                                       LockMode::kX,
-                                       txn->lock_timeout_micros()));
     YT_ASSIGN_OR_RETURN(Row row, t->Get(rid));
     out.emplace_back(rid, std::move(row));
   }
@@ -1132,13 +1142,15 @@ TransactionManager::LockRowsForWrite(Transaction* txn,
       LockMode::kX, txn->lock_timeout_micros()));
   YT_ASSIGN_OR_RETURN(std::vector<RowId> rids, t->IndexLookup(columns, key));
   std::sort(rids.begin(), rids.end());
+  // One lock-manager round for the statement's whole row set.
+  std::vector<LockKey> row_keys;
+  row_keys.reserve(rids.size());
+  for (RowId rid : rids) row_keys.push_back(LockKey::RowOf(t->id(), rid));
+  YT_RETURN_IF_ERROR(locks_->AcquireBatch(txn->id(), row_keys, LockMode::kX,
+                                          txn->lock_timeout_micros()));
   std::vector<std::pair<RowId, Row>> out;
   out.reserve(rids.size());
   for (RowId rid : rids) {
-    YT_RETURN_IF_ERROR(locks_->Acquire(txn->id(),
-                                       LockKey::RowOf(t->id(), rid),
-                                       LockMode::kX,
-                                       txn->lock_timeout_micros()));
     YT_ASSIGN_OR_RETURN(Row row, t->Get(rid));
     out.emplace_back(rid, std::move(row));
   }
@@ -1169,7 +1181,12 @@ Status TransactionManager::ApplyUndo(Transaction* txn) {
 
 Status TransactionManager::Commit(Transaction* txn) {
   if (!txn->active()) return Status::Aborted("transaction not active");
-  if (wal_ != nullptr) {
+  // Read-only commit: nothing was written (every Insert/Update/Delete pushes
+  // an undo entry, and undo clears only on abort), so there is no redo to
+  // make durable — skip the commit record AND the flush. This covers
+  // read-only autocommit statements and the read-only branches of a
+  // cross-shard transaction, which the Router commits locally through here.
+  if (wal_ != nullptr && !txn->undo_log().empty()) {
     auto lsn = wal_->AppendAndFlush(WalRecord::Commit(txn->id()));
     if (!lsn.ok()) {
       // A failed commit-record force-write is unresolvable in place: the

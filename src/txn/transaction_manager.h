@@ -52,9 +52,11 @@ class TransactionManager : public TxnEngine {
   TransactionManager(Database* db, LockManager* locks, WalWriter* wal,
                      Options options);
   TransactionManager(Database* db, LockManager* locks, WalWriter* wal);
+  ~TransactionManager() override;
 
   Database* db() const override { return db_; }
   LockManager* locks() const { return locks_; }
+  WalWriter* wal() const { return wal_; }
   TxnStats& stats() override { return stats_; }
   void set_observer(OpObserver* obs) { options_.observer = obs; }
   OpObserver* observer() const { return options_.observer; }

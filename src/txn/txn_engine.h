@@ -69,6 +69,12 @@ struct TxnStats {
   std::atomic<uint64_t> versions_created{0};
   std::atomic<uint64_t> versions_pruned{0};
   std::atomic<uint64_t> snapshot_reads{0};
+  /// Physical WAL flushes (one per group-commit batch, not per committer).
+  /// With group commit, wal_flushes << commits under concurrency; read-only
+  /// commits contribute zero (they write no commit record at all). On a
+  /// shard::Router this aggregates every shard WAL plus the coordinator
+  /// decision log.
+  std::atomic<uint64_t> wal_flushes{0};
 };
 
 /// How a read is counted and recorded by the schedule observer — the one

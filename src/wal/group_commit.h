@@ -1,0 +1,111 @@
+#ifndef YOUTOPIA_WAL_GROUP_COMMIT_H_
+#define YOUTOPIA_WAL_GROUP_COMMIT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "src/common/status.h"
+
+namespace youtopia {
+
+class WalWriter;
+
+/// Group-commit queue for one WalWriter: committers append their records,
+/// enqueue their end-LSN, and block on a ticket; whoever arrives while no
+/// flush is in flight becomes the leader, performs ONE flush covering every
+/// record appended so far, and wakes everyone at-or-below the flushed LSN.
+/// Followers that pile up during a flush share the next one — batching is
+/// driven by contention, so the idle-path latency stays one flush deep.
+///
+/// Pacing knobs: `set_max_batch_delay_micros` makes the leader linger that
+/// long (or until `max_batch_size` tickets queue up) before flushing, trading
+/// latency for larger batches. The default delay is 0: no waiting, natural
+/// batching only.
+///
+/// Park-don't-block: a serving thread (sql::SessionServer) can install a
+/// thread-local park-work hook. A follower whose ticket is not yet durable
+/// runs the hook — e.g. executes another session's statement — instead of
+/// sleeping on the condition variable, and a PACING leader does the same
+/// while it lingers, so one thread keeps many sessions moving while their
+/// commits ride the same fsync. Parked work may itself commit, possibly on a
+/// different queue, and block there — so a thread NEVER holds leadership
+/// while parked: the lingering leader hands the token back before running
+/// the hook and re-elects (or follows the new leader) afterwards. A blocked
+/// thread holding the flush token is the one shape that deadlocks.
+///
+/// Failure semantics: a failed batch flush (including the injected
+/// "wal.group_flush" fault site) marks every LSN the attempt covered as
+/// failed — those waiters get the error, since their durability is unknowable
+/// — but later appends may still succeed. Commit paths escalate a failed
+/// commit-record flush to FaultInjector::ForceCrash, same as before. Once the
+/// crash latch is set, waiters drain with an error instead of hanging.
+class GroupCommitQueue {
+ public:
+  explicit GroupCommitQueue(WalWriter* wal) : wal_(wal) {}
+
+  GroupCommitQueue(const GroupCommitQueue&) = delete;
+  GroupCommitQueue& operator=(const GroupCommitQueue&) = delete;
+
+  /// Blocks until every record with LSN <= `lsn` is durably flushed (or the
+  /// flush that covered `lsn` failed). The calling thread may be elected
+  /// leader and perform the flush itself.
+  Status WaitForDurable(uint64_t lsn);
+
+  /// Forgets everything flushed so far and opens a new ticket epoch. MUST be
+  /// called whenever the log's LSN sequence is re-anchored (truncation, GC
+  /// rewrite, recovery reopen): a regressed LSN must never test at-or-below
+  /// a stale durable horizon. Contract for callers with waiters in flight
+  /// (decision-log GC): the OLD log must be made durable before the
+  /// re-anchor — stale-epoch tickets are released as durable, because their
+  /// LSNs mean nothing in the new sequence and can never be flushed again.
+  void ResetHorizon();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void set_max_batch_delay_micros(int64_t micros) {
+    max_delay_micros_.store(micros, std::memory_order_relaxed);
+  }
+  int64_t max_batch_delay_micros() const {
+    return max_delay_micros_.load(std::memory_order_relaxed);
+  }
+  void set_max_batch_size(uint64_t n) {
+    max_batch_.store(n, std::memory_order_relaxed);
+  }
+
+  /// Leader flushes performed / tickets served — batching visibility
+  /// (batches() << waits() means the fsync is being shared).
+  uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
+  uint64_t waits() const { return waits_.load(std::memory_order_relaxed); }
+
+  /// Installs (or clears, with nullptr) the calling thread's park-work hook.
+  /// The hook should run one unit of useful work and return true, or return
+  /// false immediately when none is available. It is invoked without any
+  /// queue lock held and may itself commit (re-entering WaitForDurable).
+  static void SetThreadParkWork(std::function<bool()>* work);
+
+ private:
+  Status FlushBatch();
+
+  WalWriter* wal_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t durable_lsn_ = 0;  ///< everything at-or-below is on disk
+  uint64_t failed_lsn_ = 0;   ///< highest LSN covered by a failed flush
+  Status failed_status_ = Status::Ok();
+  uint64_t epoch_ = 0;  ///< bumped by ResetHorizon; horizons don't cross it
+  bool leader_active_ = false;  ///< a leader is lingering or flushing
+  uint64_t waiters_ = 0;
+  std::atomic<bool> enabled_{true};
+  std::atomic<int64_t> max_delay_micros_{0};
+  std::atomic<uint64_t> max_batch_{64};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> waits_{0};
+};
+
+}  // namespace youtopia
+
+#endif  // YOUTOPIA_WAL_GROUP_COMMIT_H_

@@ -38,14 +38,19 @@ WalWriter::~WalWriter() {
 
 Status WalWriter::Open(const std::string& path, Options options,
                        bool truncate) {
-  std::lock_guard<std::mutex> g(mu_);
-  if (file_ != nullptr) return Status::Internal("WAL already open");
-  file_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
-  if (file_ == nullptr) {
-    return Status::Corruption("cannot open WAL file " + path);
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (file_ != nullptr) return Status::Internal("WAL already open");
+    file_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+    if (file_ == nullptr) {
+      return Status::Corruption("cannot open WAL file " + path);
+    }
+    path_ = path;
+    options_ = options;
   }
-  path_ = path;
-  options_ = options;
+  // Outside mu_: the queue's leader path holds its own mutex while reading
+  // last_lsn() (queue -> wal order); never take them the other way around.
+  group_.ResetHorizon();
   return Status::Ok();
 }
 
@@ -89,8 +94,18 @@ StatusOr<uint64_t> WalWriter::Append(WalRecord rec) {
 
 StatusOr<uint64_t> WalWriter::AppendAndFlush(WalRecord rec) {
   YT_ASSIGN_OR_RETURN(uint64_t lsn, Append(std::move(rec)));
-  YT_RETURN_IF_ERROR(Flush());
+  YT_RETURN_IF_ERROR(SyncToLsn(lsn));
   return lsn;
+}
+
+Status WalWriter::SyncToLsn(uint64_t lsn) {
+  if (group_.enabled()) return group_.WaitForDurable(lsn);
+  return Flush();
+}
+
+uint64_t WalWriter::last_lsn() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return next_lsn_ - 1;
 }
 
 Status WalWriter::Flush() {
@@ -109,6 +124,9 @@ Status WalWriter::Flush() {
     if (fsync(fileno(file_)) != 0) {
       return Status::Corruption("WAL fsync failed");
     }
+  }
+  if (auto* counter = flush_counter_.load(std::memory_order_acquire)) {
+    counter->fetch_add(1, std::memory_order_relaxed);
   }
   return Status::Ok();
 }

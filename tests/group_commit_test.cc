@@ -1,0 +1,378 @@
+// WAL group commit: ticket/leader protocol, pacing, park-work, the
+// read-only flush skip, fault-site coverage, and the durability contract —
+// an acked commit survives a crash latch dropped immediately after the ack.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/fault.h"
+#include "src/shard/router.h"
+#include "src/sql/session.h"
+#include "src/txn/transaction_manager.h"
+#include "src/wal/group_commit.h"
+#include "src/wal/wal_reader.h"
+#include "src/wal/wal_writer.h"
+#include "tests/test_util.h"
+
+namespace youtopia {
+namespace {
+
+using shard::Router;
+
+Schema AcctSchema() {
+  Schema s({{"id", TypeId::kInt64}, {"bal", TypeId::kInt64}});
+  s.set_primary_key({0});
+  return s;
+}
+
+std::vector<Row> AllRows(Router* r, const std::string& table) {
+  std::vector<Row> rows;
+  for (size_t s = 0; s < r->num_shards(); ++s) {
+    Table* t = r->shard_db(s)->GetTable(table).value();
+    t->Scan([&](RowId, const Row& row) {
+      rows.push_back(row);
+      return true;
+    });
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::pair<int64_t, int64_t> CrossShardPair(Router* r, int64_t base) {
+  size_t home = r->shard_map().ShardOfKey(Row({Value::Int(base)}));
+  for (int64_t k = base + 1;; ++k) {
+    if (r->shard_map().ShardOfKey(Row({Value::Int(k)})) != home) {
+      return {base, k};
+    }
+  }
+}
+
+class GroupCommitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global()->Reset();
+    dir_ = ::testing::TempDir() + "yt_gc_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    FaultInjector::Global()->Reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  Router::Options DurableOptions(size_t shards = 4) {
+    Router::Options opts;
+    opts.num_shards = shards;
+    opts.dir = dir_ + "/router";
+    return opts;
+  }
+
+  std::string dir_;
+};
+
+// --- Queue-level protocol. ------------------------------------------------
+
+TEST_F(GroupCommitTest, PacedLeaderCoversConcurrentAppendsWithOneFlush) {
+  WalWriter wal;
+  ASSERT_OK(wal.Open(dir_ + "/wal.log", WalWriter::Options{},
+                     /*truncate=*/true));
+  GroupCommitQueue* q = wal.group_commit();
+  q->set_max_batch_delay_micros(500'000);  // generous: never flaky, only slow
+  q->set_max_batch_size(4);
+
+  // All four append BEFORE anyone waits, so the elected leader's one flush
+  // must cover every ticket (pacing holds it until all 4 are queued).
+  constexpr int kThreads = 4;
+  std::vector<uint64_t> lsns(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_OK_AND_ASSIGN(lsns[i], wal.Append(WalRecord::Commit(i + 1)));
+  }
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      if (!wal.SyncToLsn(lsns[i]).ok()) failures.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(q->batches(), 1u);
+  EXPECT_EQ(q->waits(), 4u);
+
+  ASSERT_OK(wal.Close());
+  ASSERT_OK_AND_ASSIGN(WalReader::Result log,
+                       WalReader::ReadAll(dir_ + "/wal.log"));
+  EXPECT_EQ(log.records.size(), 4u);
+}
+
+TEST_F(GroupCommitTest, ManyCommittersAllDurableFlushesShared) {
+  WalWriter wal;
+  ASSERT_OK(wal.Open(dir_ + "/wal.log", WalWriter::Options{},
+                     /*truncate=*/true));
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TxnId id = static_cast<TxnId>(t * kPerThread + i + 1);
+        if (!wal.AppendAndFlush(WalRecord::Commit(id)).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  GroupCommitQueue* q = wal.group_commit();
+  EXPECT_EQ(q->waits(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_LE(q->batches(), q->waits());
+  ASSERT_OK(wal.Close());
+  ASSERT_OK_AND_ASSIGN(WalReader::Result log,
+                       WalReader::ReadAll(dir_ + "/wal.log"));
+  EXPECT_EQ(log.records.size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST_F(GroupCommitTest, FollowerRunsParkWorkInsteadOfSleeping) {
+  WalWriter wal;
+  ASSERT_OK(wal.Open(dir_ + "/wal.log", WalWriter::Options{},
+                     /*truncate=*/true));
+  GroupCommitQueue* q = wal.group_commit();
+  q->set_max_batch_delay_micros(300'000);
+  q->set_max_batch_size(1000);  // only the delay ends the leader's pacing
+
+  ASSERT_OK_AND_ASSIGN(uint64_t lsn1, wal.Append(WalRecord::Commit(1)));
+  std::thread leader([&] { ASSERT_OK(wal.SyncToLsn(lsn1)); });
+  // Give the leader time to take leadership and start pacing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::atomic<uint64_t> park_calls{0};
+  std::thread follower([&] {
+    std::function<bool()> park = [&] {
+      park_calls.fetch_add(1);
+      return false;  // "no ready work": the follower falls back to waiting
+    };
+    GroupCommitQueue::SetThreadParkWork(&park);
+    auto lsn2 = wal.Append(WalRecord::Commit(2));
+    ASSERT_OK(lsn2.status());
+    ASSERT_OK(wal.SyncToLsn(lsn2.value()));
+    GroupCommitQueue::SetThreadParkWork(nullptr);
+  });
+  leader.join();
+  follower.join();
+  // The follower was blocked behind the pacing leader and offered its
+  // cycles to the park hook instead of only sleeping.
+  EXPECT_GE(park_calls.load(), 1u);
+}
+
+// --- Fault site + failure semantics. --------------------------------------
+
+TEST_F(GroupCommitTest, GroupFlushFaultFailsCommitAndEscalatesToCrash) {
+  FaultInjector* fi = FaultInjector::Global();
+  {
+    Database db;
+    LockManager locks;
+    WalWriter wal;
+    ASSERT_OK(wal.Open(dir_ + "/wal.log", WalWriter::Options{},
+                       /*truncate=*/true));
+    TransactionManager tm(&db, &locks, &wal);
+    ASSERT_OK(tm.CreateTable("acct", AcctSchema()).status());
+
+    FaultInjector::SiteConfig err;
+    err.action = FaultInjector::Action::kError;
+    err.nth = 1;
+    fi->Arm("wal.group_flush", err);
+    auto txn = tm.Begin();
+    ASSERT_OK(
+        tm.Insert(txn.get(), "acct", Row({Value::Int(1), Value::Int(10)}))
+            .status());
+    // The batch flush covering the commit record fails: the commit must NOT
+    // be acked, and the engine must stop cold (ambiguous durability).
+    EXPECT_FALSE(tm.Commit(txn.get()).ok());
+    EXPECT_TRUE(fi->crashed());
+    EXPECT_EQ(fi->FireCount("wal.group_flush"), 1u);
+  }
+  fi->Reset();
+}
+
+// --- Read-only flush skip. ------------------------------------------------
+
+TEST_F(GroupCommitTest, ReadOnlyCommitsFlushNothing) {
+  Database db;
+  LockManager locks;
+  WalWriter wal;
+  ASSERT_OK(wal.Open(dir_ + "/wal.log", WalWriter::Options{},
+                     /*truncate=*/true));
+  TransactionManager tm(&db, &locks, &wal);
+  ASSERT_OK(tm.CreateTable("acct", AcctSchema()).status());
+  sql::Session setup(&tm);
+  ASSERT_OK(setup.Execute("INSERT INTO acct VALUES (1, 10)").status());
+  ASSERT_OK(setup.Execute("INSERT INTO acct VALUES (2, 20)").status());
+
+  uint64_t flushes_before = tm.stats().wal_flushes.load();
+  ASSERT_GT(flushes_before, 0u);  // DDL + two write commits flushed
+
+  sql::Session s(&tm);
+  // Read-only autocommit, then an explicit read-only transaction: neither
+  // writes a commit record, so neither may flush.
+  ASSERT_OK_AND_ASSIGN(auto res, s.Execute("SELECT id, bal FROM acct"));
+  EXPECT_EQ(res.rows.size(), 2u);
+  ASSERT_OK(s.Execute("BEGIN").status());
+  ASSERT_OK(s.Execute("SELECT bal FROM acct WHERE id = 1").status());
+  ASSERT_OK(s.Execute("COMMIT").status());
+  EXPECT_EQ(tm.stats().wal_flushes.load(), flushes_before);
+}
+
+TEST_F(GroupCommitTest, ReadOnlyCrossShardBranchesFlushNothing) {
+  ASSERT_OK_AND_ASSIGN(auto r, Router::Open(DurableOptions()));
+  ASSERT_OK(r->CreateTable("acct", AcctSchema()).status());
+  sql::Session setup(r.get());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_OK(setup
+                  .Execute("INSERT INTO acct VALUES (" + std::to_string(i) +
+                           ", " + std::to_string(i * 10) + ")")
+                  .status());
+  }
+
+  // Exercise the locking read path too: its branches enlist on every shard
+  // with read locks, and their 2PC-side commits must still skip the flush.
+  for (bool mvcc : {true, false}) {
+    r->set_mvcc_reads_enabled(mvcc);
+    uint64_t flushes_before = r->stats().wal_flushes.load();
+    sql::Session s(r.get());
+    ASSERT_OK(s.Execute("BEGIN").status());
+    ASSERT_OK_AND_ASSIGN(auto res, s.Execute("SELECT id, bal FROM acct"));
+    EXPECT_EQ(res.rows.size(), 8u);
+    ASSERT_OK(s.Execute("COMMIT").status());
+    EXPECT_EQ(r->stats().wal_flushes.load(), flushes_before)
+        << "mvcc=" << mvcc;
+  }
+}
+
+// --- Durability: ack then immediate crash latch. --------------------------
+
+TEST_F(GroupCommitTest, AckedCommitSurvivesImmediateCrashLatch) {
+  FaultInjector* fi = FaultInjector::Global();
+  {
+    ASSERT_OK_AND_ASSIGN(auto r, Router::Open(DurableOptions()));
+    ASSERT_OK(r->CreateTable("acct", AcctSchema()).status());
+
+    // One single-shard commit (one-phase fast path) and one cross-shard
+    // commit (2PC decision through the coordinator's group queue).
+    auto t1 = r->Begin();
+    ASSERT_OK(
+        r->Insert(t1.get(), "acct", Row({Value::Int(7), Value::Int(70)}))
+            .status());
+    ASSERT_OK(r->Commit(t1.get()));
+
+    auto [k1, k2] = CrossShardPair(r.get(), 100);
+    auto t2 = r->Begin();
+    ASSERT_OK(
+        r->Insert(t2.get(), "acct", Row({Value::Int(k1), Value::Int(1)}))
+            .status());
+    ASSERT_OK(
+        r->Insert(t2.get(), "acct", Row({Value::Int(k2), Value::Int(2)}))
+            .status());
+    ASSERT_OK(r->Commit(t2.get()));
+
+    // The instant the ack is observable, the process "dies". Everything
+    // acked must already be covered by a durable flush — the buffered-
+    // bytes discard on close is exactly what a SIGKILL loses.
+    fi->ForceCrash("post-ack kill");
+  }
+  fi->Reset();
+
+  ASSERT_OK_AND_ASSIGN(auto r, Router::Recover(DurableOptions()));
+  std::vector<Row> rows = AllRows(r.get(), "acct");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], Row({Value::Int(7), Value::Int(70)}));
+}
+
+// --- Ablation differential. -----------------------------------------------
+
+TEST_F(GroupCommitTest, AblationDisabledFlushesOncePerWriteCommit) {
+  ASSERT_OK_AND_ASSIGN(auto r, Router::Open(DurableOptions()));
+  ASSERT_OK(r->CreateTable("acct", AcctSchema()).status());
+  r->set_group_commit_enabled(false);
+  EXPECT_FALSE(r->group_commit_enabled());
+
+  uint64_t flushes_before = r->stats().wal_flushes.load();
+  constexpr int kCommits = 5;
+  for (int i = 0; i < kCommits; ++i) {
+    auto txn = r->Begin();
+    ASSERT_OK(
+        r->Insert(txn.get(), "acct", Row({Value::Int(i), Value::Int(i)}))
+            .status());
+    ASSERT_OK(r->Commit(txn.get()));
+  }
+  // Single-threaded, no batching possible: every write commit is exactly
+  // one flush on its home shard.
+  EXPECT_EQ(r->stats().wal_flushes.load(), flushes_before + kCommits);
+  r->set_group_commit_enabled(true);
+}
+
+TEST_F(GroupCommitTest, DifferentialOnVsOffIdenticalFinalHeaps) {
+  // The same deterministic concurrent workload against two durable engines,
+  // group commit on vs off: identical final heaps, and recovery of each
+  // lands on that same heap again.
+  auto run = [&](const std::string& sub, bool group_commit) {
+    Router::Options opts;
+    opts.num_shards = 4;
+    opts.dir = dir_ + "/" + sub;
+    auto r = Router::Open(opts).value();
+    EXPECT_OK(r->CreateTable("acct", AcctSchema()).status());
+    r->set_group_commit_enabled(group_commit);
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 32;
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          // Disjoint key ranges: outcomes commute, so the final heap is
+          // schedule-independent. Every 4th commit spans two shards.
+          int64_t base = t * 10'000 + i * 10;
+          auto txn = r->Begin();
+          Status st = r->Insert(txn.get(), "acct",
+                                Row({Value::Int(base), Value::Int(t)}))
+                          .status();
+          if (st.ok() && i % 4 == 0) {
+            auto [k1, k2] = CrossShardPair(r.get(), base + 1);
+            (void)k1;
+            st = r->Insert(txn.get(), "acct",
+                           Row({Value::Int(k2), Value::Int(t)}))
+                     .status();
+          }
+          if (st.ok()) st = r->Commit(txn.get());
+          if (!st.ok()) failures.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(failures.load(), 0) << sub;
+    uint64_t commits = r->stats().commits.load();
+    uint64_t flushes = r->stats().wal_flushes.load();
+    std::vector<Row> rows = AllRows(r.get(), "acct");
+    r.reset();
+    auto recovered = Router::Recover(opts).value();
+    EXPECT_EQ(AllRows(recovered.get(), "acct"), rows) << sub;
+    return std::make_tuple(rows, commits, flushes);
+  };
+
+  auto [rows_on, commits_on, flushes_on] = run("gc_on", true);
+  auto [rows_off, commits_off, flushes_off] = run("gc_off", false);
+  EXPECT_EQ(rows_on, rows_off);
+  EXPECT_EQ(commits_on, commits_off);
+  // Group commit can only merge flushes, never add them.
+  EXPECT_LE(flushes_on, flushes_off);
+}
+
+}  // namespace
+}  // namespace youtopia

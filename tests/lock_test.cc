@@ -328,6 +328,100 @@ TEST(RangeLockTest, FifoOnlyBlocksOverlappingWaiters) {
   EXPECT_OK(reader.get());
 }
 
+TEST(LockManagerTest, AcquireBatchGrantsAllInOneCall) {
+  LockManager lm;
+  std::vector<LockKey> keys = {LockKey::RowOf(1, 1), LockKey::RowOf(1, 2),
+                               LockKey::RowOf(1, 3), LockKey::RowOf(1, 2)};
+  ASSERT_OK(lm.AcquireBatch(1, keys, LockMode::kX, kNoWait));
+  // The duplicate collapses: three distinct keys held.
+  EXPECT_EQ(lm.HeldCount(1), 3u);
+  EXPECT_TRUE(lm.Holds(1, LockKey::RowOf(1, 2), LockMode::kX));
+  // Re-entrant: a second batch over already-held keys is a no-op success.
+  ASSERT_OK(lm.AcquireBatch(1, keys, LockMode::kX, kNoWait));
+  EXPECT_EQ(lm.HeldCount(1), 3u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.HeldCount(1), 0u);
+}
+
+TEST(LockManagerTest, AcquireBatchTimeoutKeepsGrantedKeysHeld) {
+  LockManager lm;
+  ASSERT_OK(lm.Acquire(1, LockKey::RowOf(1, 2), LockMode::kX, kNoWait));
+  std::vector<LockKey> keys = {LockKey::RowOf(1, 1), LockKey::RowOf(1, 2),
+                               LockKey::RowOf(1, 3)};
+  Status s = lm.AcquireBatch(2, keys, LockMode::kX, kShortWait);
+  EXPECT_EQ(s.code(), StatusCode::kTimedOut);
+  // Same partial-hold state as a sequential loop stopping at the conflict:
+  // the granted keys stay held and are released by ReleaseAll.
+  EXPECT_EQ(lm.HeldCount(2), 2u);
+  EXPECT_TRUE(lm.Holds(2, LockKey::RowOf(1, 1), LockMode::kX));
+  EXPECT_FALSE(lm.Holds(2, LockKey::RowOf(1, 2), LockMode::kX));
+  lm.ReleaseAll(2);
+  // The dropped waiter must not wedge the queue for later requesters.
+  lm.ReleaseAll(1);
+  ASSERT_OK(lm.Acquire(3, LockKey::RowOf(1, 2), LockMode::kX, kNoWait));
+  lm.ReleaseAll(3);
+}
+
+TEST(LockManagerTest, AcquireBatchUpgradesSharedHold) {
+  LockManager lm;
+  ASSERT_OK(lm.Acquire(1, LockKey::RowOf(1, 5), LockMode::kS, kNoWait));
+  std::vector<LockKey> keys = {LockKey::RowOf(1, 4), LockKey::RowOf(1, 5)};
+  ASSERT_OK(lm.AcquireBatch(1, keys, LockMode::kX, kNoWait));
+  EXPECT_TRUE(lm.Holds(1, LockKey::RowOf(1, 5), LockMode::kX));
+  lm.ReleaseAll(1);
+}
+
+TEST(LockManagerTest, AcquireBatchDeadlockNamesVictim) {
+  LockManager lm;
+  ASSERT_OK(lm.Acquire(1, LockKey::RowOf(1, 1), LockMode::kX, kNoWait));
+  ASSERT_OK(lm.Acquire(2, LockKey::RowOf(1, 2), LockMode::kX, kNoWait));
+  // 1 batches toward {3, 2} and blocks on 2's hold...
+  auto fut = std::async(std::launch::async, [&] {
+    std::vector<LockKey> keys = {LockKey::RowOf(1, 3), LockKey::RowOf(1, 2)};
+    Status s = lm.AcquireBatch(1, keys, LockMode::kX, kLongWait);
+    if (s.ok()) lm.ReleaseAll(1);
+    return s;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // ...and 2 closing the cycle through 1's hold trips the detector: one of
+  // the two is aborted, the other's wait unblocks.
+  std::vector<LockKey> keys = {LockKey::RowOf(1, 1)};
+  Status s2 = lm.AcquireBatch(2, keys, LockMode::kX, kLongWait);
+  if (!s2.ok()) lm.ReleaseAll(2);  // unblock the other side promptly
+  Status s1 = fut.get();
+  EXPECT_TRUE(s1.code() == StatusCode::kAborted ||
+              s2.code() == StatusCode::kAborted);
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+  EXPECT_GE(lm.stats().deadlocks.load(), 1u);
+}
+
+TEST(LockManagerTest, AcquireBatchConcurrentDisjointBatches) {
+  LockManager lm;
+  constexpr int kThreads = 8;
+  constexpr int kBatches = 100;
+  constexpr int kBatchSize = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kBatches; ++i) {
+        TxnId txn = static_cast<TxnId>(t * kBatches + i + 1);
+        std::vector<LockKey> keys;
+        for (int k = 0; k < kBatchSize; ++k) {
+          keys.push_back(LockKey::RowOf(1, txn * 100 + k));
+        }
+        if (!lm.AcquireBatch(txn, keys, LockMode::kX, kLongWait).ok()) {
+          failures.fetch_add(1);
+        }
+        lm.ReleaseAll(txn);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 TEST(LockManagerTest, ManyConcurrentDisjointAcquisitions) {
   LockManager lm;
   constexpr int kThreads = 8;

@@ -19,6 +19,10 @@
 //   YT_TORTURE_THREADS   worker threads per cycle (default 3)
 //   YT_TORTURE_TXNS      transfer attempts per worker per cycle (default 40)
 //   YT_TORTURE_BUDGET_S  wall-clock budget; the cycle loop stops early
+//   YT_TORTURE_GROUP_COMMIT  1/0 forces WAL group commit on/off for every
+//                        cycle; unset = per-cycle coin flip (both paths get
+//                        torn/killed in a default run), with random leader
+//                        pacing delays layered on the enabled cycles
 
 #include <gtest/gtest.h>
 
@@ -475,7 +479,7 @@ class TortureHarness {
     fi->Seed(rng_.Uniform(1, 1 << 30));
     FaultInjector::SiteConfig cfg;
     cfg.action = FaultInjector::Action::kCrash;
-    switch (rng_.Index(10)) {
+    switch (rng_.Index(11)) {
       case 0:
         cfg.nth = rng_.Uniform(1, 30);
         fi->Arm("2pc.before_prepare", cfg);
@@ -524,6 +528,16 @@ class TortureHarness {
         cfg.nth = rng_.Uniform(1, 40);
         cfg.shots = -1;
         fi->Arm("txn.phase2.append", cfg);
+        break;
+      case 10:
+        // A group-commit batch flush fails: every committer the batch
+        // covered must see the error and none of them may have been acked.
+        // (On ablation cycles the site never fires; the end-of-cycle
+        // ForceCrash still kills the process.)
+        cfg.action = FaultInjector::Action::kError;
+        cfg.code = StatusCode::kCorruption;
+        cfg.nth = rng_.Uniform(1, 120);
+        fi->Arm("wal.group_flush", cfg);
         break;
     }
     if (rng_.Bernoulli(0.25)) {
@@ -715,10 +729,13 @@ TEST(TortureTest, RandomizedCrashRecoverCycles) {
   const int threads = static_cast<int>(EnvInt("YT_TORTURE_THREADS", 3));
   const int txns = static_cast<int>(EnvInt("YT_TORTURE_TXNS", 40));
   const int budget_s = static_cast<int>(EnvInt("YT_TORTURE_BUDGET_S", 120));
+  const int group_commit = static_cast<int>(EnvInt("YT_TORTURE_GROUP_COMMIT",
+                                                   -1));
   std::printf(
       "torture: seed=%llu cycles=%d threads=%d txns=%d budget=%ds "
-      "(repro: YT_TORTURE_SEED=%llu)\n",
+      "group_commit=%s (repro: YT_TORTURE_SEED=%llu)\n",
       static_cast<unsigned long long>(seed), cycles, threads, txns, budget_s,
+      group_commit < 0 ? "coin-flip" : (group_commit != 0 ? "on" : "off"),
       static_cast<unsigned long long>(seed));
   std::fflush(stdout);
 
@@ -741,6 +758,16 @@ TEST(TortureTest, RandomizedCrashRecoverCycles) {
                   cycles);
       break;
     }
+
+    // Group commit on/off per cycle (forced via env, coin flip otherwise):
+    // both the batched and the flush-per-commit path take every fault and
+    // every kill. Enabled cycles sometimes add leader pacing so the
+    // multi-waiter batch window is actually open when the crash lands.
+    const bool gc_on =
+        group_commit < 0 ? h.rng().Bernoulli(0.5) : group_commit != 0;
+    r->set_group_commit_enabled(gc_on);
+    r->set_group_commit_delay_micros(
+        gc_on && h.rng().Bernoulli(0.5) ? h.rng().Uniform(50, 500) : 0);
 
     h.ArmCycleFault();
     h.RunWorkers(r.get());
