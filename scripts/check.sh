@@ -7,7 +7,9 @@
 # With --bench-smoke, additionally runs a short bench_sql pass plus a
 # fig6a concurrency point from a dedicated Release tree (build-bench) and
 # emits BENCH_sql.json / BENCH_fig6a.json trajectory points in the repo
-# root. Debug binaries are never benched: the configuration is checked,
+# root. bench_sql prints a MetricsRegistry::DumpText() snapshot to stderr
+# on exit, and the *MetricsOff ablation pair is diffed into an
+# instrumentation-overhead table (budget: <= 5%). Debug binaries are never benched: the configuration is checked,
 # bench_sql refuses to run without NDEBUG, and the emitted JSON is grepped
 # for the release marker. Adding --bench-strict turns the regression diff
 # into a gate: any benchmark more than 1.5x slower than the committed
@@ -21,7 +23,8 @@
 # With --torture, runs the long crash-recover torture gate: >= 50 seeded
 # randomized kill/recover cycles under a wall-clock budget. The seed is
 # printed on entry and repeated on failure; --torture-seed N reruns a
-# reported seed bit-exactly.
+# reported seed bit-exactly. The torture binary dumps the global metrics
+# snapshot on exit and again (alongside the seed) on failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -141,6 +144,30 @@ if strict and failed:
     sys.exit(1)
 PYEOF
   rm -f "${bench_baseline}"
+  # Instrumentation overhead: each *MetricsOff ablation against its
+  # metrics-on twin. Informational — the enabled path's budget is <= 5%,
+  # but smoke boxes are too noisy to hard-gate single-digit percentages.
+  python3 - BENCH_sql.json <<'PYEOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+times = {b["name"]: b["real_time"] for b in doc.get("benchmarks", [])
+         if b.get("run_type") == "iteration"}
+pairs = []
+for name, t in times.items():
+    if "MetricsOff" in name:
+        on = name.replace("MetricsOff", "")
+        if on in times:
+            pairs.append((on, times[on], t))
+if pairs:
+    print("== instrumentation overhead (metrics on vs off)")
+    for on, t_on, t_off in sorted(pairs):
+        pct = (t_on / t_off - 1.0) * 100.0 if t_off > 0 else float("inf")
+        flag = "  <-- WARN >5%" if pct > 5.0 else ""
+        print(f"{on}: on={t_on:.2f}us off={t_off:.2f}us "
+              f"overhead={pct:+.1f}%{flag}")
+PYEOF
   # One fig6a point per workload extreme: many connections hammering the
   # same tables — the regime scan sharing is for (watch the
   # shared_scan_attaches counter) — plus the MVCC read-path ablation pair

@@ -4,11 +4,65 @@
 #include <chrono>
 #include <unordered_set>
 
+#include "src/common/clock.h"
 #include "src/common/fault.h"
+#include "src/common/metrics.h"
 
 namespace youtopia {
 
 namespace {
+
+/// Registry handles resolved once: the acquire paths bump through raw
+/// pointers, never through the name map.
+struct LockMetricHandles {
+  Histogram* wait_micros;
+  Counter* waits;
+  Counter* deadlocks;
+  Counter* timeouts;
+};
+
+const LockMetricHandles& LockMetrics() {
+  static const LockMetricHandles h = [] {
+    MetricsRegistry* r = MetricsRegistry::Global();
+    return LockMetricHandles{r->histogram("lock.wait_micros"),
+                             r->counter("lock.waits"),
+                             r->counter("lock.deadlocks"),
+                             r->counter("lock.timeouts")};
+  }();
+  return h;
+}
+
+/// Measures one acquire's total blocked time. Declared BEFORE the manager
+/// mutex is taken so the destructor (clock read, histogram record, possible
+/// trace span) runs after it is released. OnFirstWait arms it from inside
+/// the wait loop; nothing is recorded for the uncontended fast path.
+class LockWaitRecorder {
+ public:
+  ~LockWaitRecorder() {
+    if (start_ < 0) return;
+    const int64_t waited = SystemClock::Default()->NowMicros() - start_;
+    CurrentThreadOpStats().lock_wait_micros += waited;
+    LockMetrics().wait_micros->Record(waited);
+    LockMetrics().waits->Add();
+    TraceContext& ctx = CurrentTraceContext();
+    if (ctx.trace_id != 0) {
+      Tracer::Span span;
+      span.trace_id = ctx.trace_id;
+      span.parent_id = ctx.span_id;
+      span.span_id = Tracer::Global()->NewSpanId();
+      span.name = "lock.wait";
+      span.start_micros = start_;
+      span.duration_micros = waited;
+      Tracer::Global()->Record(std::move(span));
+    }
+  }
+  void OnFirstWait() {
+    if (metrics_enabled()) start_ = SystemClock::Default()->NowMicros();
+  }
+
+ private:
+  int64_t start_ = -1;
+};
 
 /// Probes the "lock.acquire" fault site (spurious timeout injection —
 /// torture runs prove callers survive lock waits that fail for no real
@@ -34,6 +88,7 @@ bool FullyGranted(const LockManager* /*unused*/, bool granted, LockMode held,
 Status LockManager::Acquire(TxnId txn, LockKey key, LockMode mode,
                             int64_t timeout_micros) {
   YT_RETURN_IF_ERROR(ProbeAcquireFault(&stats_));
+  LockWaitRecorder wait_recorder;
   std::unique_lock<std::mutex> g(mu_);
   KeyState& st = keys_[key];
 
@@ -86,9 +141,11 @@ Status LockManager::Acquire(TxnId txn, LockKey key, LockMode mode,
     if (!waited) {
       waited = true;
       stats_.waits.fetch_add(1, std::memory_order_relaxed);
+      wait_recorder.OnFirstWait();
     }
     if (DeadlockedLocked(txn)) {
       stats_.deadlocks.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_enabled()) LockMetrics().deadlocks->Add();
       // Roll back the request: revert an upgrade, drop a fresh request.
       if (mine->granted) {
         mine->wanted = mine->held;
@@ -110,6 +167,7 @@ Status LockManager::Acquire(TxnId txn, LockKey key, LockMode mode,
         break;  // granted exactly at the deadline
       }
       stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_enabled()) LockMetrics().timeouts->Add();
       if (mine != nullptr) {
         if (mine->granted) {
           mine->wanted = mine->held;
@@ -148,6 +206,7 @@ Status LockManager::AcquireBatch(TxnId txn, const std::vector<LockKey>& keys,
   if (keys.empty()) return Status::Ok();
   if (keys.size() == 1) return Acquire(txn, keys[0], mode, timeout_micros);
   YT_RETURN_IF_ERROR(ProbeAcquireFault(&stats_));
+  LockWaitRecorder wait_recorder;
   std::unique_lock<std::mutex> g(mu_);
 
   // Enqueue every request in one pass. Re-entrant keys (already granted
@@ -247,9 +306,11 @@ Status LockManager::AcquireBatch(TxnId txn, const std::vector<LockKey>& keys,
     if (!waited) {
       waited = true;
       stats_.waits.fetch_add(1, std::memory_order_relaxed);
+      wait_recorder.OnFirstWait();
     }
     if (DeadlockedLocked(txn)) {
       stats_.deadlocks.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_enabled()) LockMetrics().deadlocks->Add();
       rollback_waiting();
       record_granted();
       cv_.notify_all();
@@ -260,6 +321,7 @@ Status LockManager::AcquireBatch(TxnId txn, const std::vector<LockKey>& keys,
       settle();
       if (all_granted()) break;  // granted exactly at the deadline
       stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_enabled()) LockMetrics().timeouts->Add();
       rollback_waiting();
       record_granted();
       cv_.notify_all();
@@ -276,6 +338,7 @@ Status LockManager::AcquireRange(TxnId txn, RangeSpaceKey space,
                                  const IndexRange& range, LockMode mode,
                                  int64_t timeout_micros) {
   YT_RETURN_IF_ERROR(ProbeAcquireFault(&stats_));
+  LockWaitRecorder wait_recorder;
   std::unique_lock<std::mutex> g(mu_);
   RangeSpaceState& st = ranges_[space];
 
@@ -340,9 +403,11 @@ Status LockManager::AcquireRange(TxnId txn, RangeSpaceKey space,
     if (!waited) {
       waited = true;
       stats_.waits.fetch_add(1, std::memory_order_relaxed);
+      wait_recorder.OnFirstWait();
     }
     if (DeadlockedLocked(txn)) {
       stats_.deadlocks.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_enabled()) LockMetrics().deadlocks->Add();
       if (mine->granted) {
         mine->wanted = mine->held;
       } else {
@@ -359,6 +424,7 @@ Status LockManager::AcquireRange(TxnId txn, RangeSpaceKey space,
         break;  // granted exactly at the deadline
       }
       stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_enabled()) LockMetrics().timeouts->Add();
       if (mine != nullptr) {
         if (mine->granted) {
           mine->wanted = mine->held;

@@ -5,7 +5,9 @@
 #include <iterator>
 #include <thread>
 
+#include "src/common/clock.h"
 #include "src/common/fault.h"
+#include "src/common/metrics.h"
 #include "src/common/strings.h"
 #include "src/shard/merged_cursor.h"
 #include "src/wal/recovery.h"
@@ -14,6 +16,25 @@
 namespace youtopia::shard {
 
 namespace {
+
+/// Registry handles for the 2PC phases and the fan-out drain, resolved once.
+struct ShardMetricHandles {
+  Histogram* prepare_micros;   ///< phase 1: all write branches voted
+  Histogram* decision_micros;  ///< decision append + durability wait
+  Histogram* phase2_micros;    ///< all participants told
+  Histogram* fanout_drain_micros;
+};
+
+const ShardMetricHandles& ShardMetrics() {
+  static const ShardMetricHandles h = [] {
+    MetricsRegistry* r = MetricsRegistry::Global();
+    return ShardMetricHandles{r->histogram("2pc.prepare_micros"),
+                              r->histogram("2pc.decision_micros"),
+                              r->histogram("2pc.phase2_micros"),
+                              r->histogram("shard.fanout_drain_micros")};
+  }();
+  return h;
+}
 
 /// Streams a single routed shard's cursor, tagging every RowId with the
 /// owning shard so Update/Delete by RowId can route back. DrainRef/Drain
@@ -289,6 +310,18 @@ std::unique_ptr<Transaction> Router::Begin(IsolationLevel level) {
   stats_.begins.fetch_add(1, std::memory_order_relaxed);
   auto txn = std::make_unique<Transaction>(id, level,
                                            options_.lock_timeout_micros);
+  // Sampled tracing (see TransactionManager::Begin): the coordinator's
+  // trace id threads through the 2PC spans so coordinator and branch spans
+  // assemble into one trace; an ambient traced statement is joined rather
+  // than re-drawn.
+  if (metrics_enabled()) {
+    const TraceContext& ctx = CurrentTraceContext();
+    if (ctx.trace_id != 0) {
+      txn->set_trace_id(ctx.trace_id);
+    } else if (Tracer::Global()->ShouldSample()) {
+      txn->set_trace_id(Tracer::Global()->NewTraceId());
+    }
+  }
   // kSnapshot pins one engine-wide cut for the whole transaction; every
   // branch it later enlists adopts this timestamp, so a cross-shard scan
   // reads the same point in commit order on every shard.
@@ -671,13 +704,16 @@ StatusOr<std::unique_ptr<TableCursor>> Router::OpenFanout(
     }
     cursors[s].reset();  // close (isolation-level early release) here
   };
-  if (options_.parallel_fanout && n > 1) {
-    std::vector<std::thread> threads;
-    threads.reserve(n);
-    for (size_t s = 0; s < n; ++s) threads.emplace_back(drain, s);
-    for (std::thread& th : threads) th.join();
-  } else {
-    for (size_t s = 0; s < n; ++s) drain(s);
+  {
+    LatencyTimer drain_timer(ShardMetrics().fanout_drain_micros);
+    if (options_.parallel_fanout && n > 1) {
+      std::vector<std::thread> threads;
+      threads.reserve(n);
+      for (size_t s = 0; s < n; ++s) threads.emplace_back(drain, s);
+      for (std::thread& th : threads) th.join();
+    } else {
+      for (size_t s = 0; s < n; ++s) drain(s);
+    }
   }
   for (const Status& st : drained) {
     if (!st.ok()) return st;
@@ -752,13 +788,16 @@ StatusOr<AggregateGroups> Router::AggregateTable(Transaction* txn, Table* t,
     }
     cursors[s].reset();  // close (isolation-level early release) here
   };
-  if (options_.parallel_fanout && n > 1) {
-    std::vector<std::thread> threads;
-    threads.reserve(n);
-    for (size_t s = 0; s < n; ++s) threads.emplace_back(drain, s);
-    for (std::thread& th : threads) th.join();
-  } else {
-    for (size_t s = 0; s < n; ++s) drain(s);
+  {
+    LatencyTimer drain_timer(ShardMetrics().fanout_drain_micros);
+    if (options_.parallel_fanout && n > 1) {
+      std::vector<std::thread> threads;
+      threads.reserve(n);
+      for (size_t s = 0; s < n; ++s) threads.emplace_back(drain, s);
+      for (std::thread& th : threads) th.join();
+    } else {
+      for (size_t s = 0; s < n; ++s) drain(s);
+    }
   }
   for (const Status& st : drained) {
     if (!st.ok()) return st;
@@ -906,9 +945,13 @@ Status Router::TwoPhaseCommit(
   // Phase 1: every write branch force-writes PREPARE (its buffered redo
   // records flush with it) and votes yes by returning Ok.
   YT_RETURN_IF_ERROR(probe("2pc.before_prepare"));
-  for (const auto& [s, b] : writers) {
-    YT_RETURN_IF_ERROR(check(shards_[s].tm->Prepare(b, gtid)));
-    YT_RETURN_IF_ERROR(probe("2pc.after_prepare"));
+  {
+    ScopedTraceSpan span("2pc.prepare");
+    LatencyTimer timer(ShardMetrics().prepare_micros);
+    for (const auto& [s, b] : writers) {
+      YT_RETURN_IF_ERROR(check(shards_[s].tm->Prepare(b, gtid)));
+      YT_RETURN_IF_ERROR(probe("2pc.after_prepare"));
+    }
   }
   YT_RETURN_IF_ERROR(probe("2pc.before_decision"));
   // The commit point: the decision is durable in the coordinator's log.
@@ -917,6 +960,8 @@ Status Router::TwoPhaseCommit(
   // cross-shard commits stack their decision records into one flush instead
   // of serializing one fsync each behind the mutex.
   if (coord_wal_ != nullptr) {
+    ScopedTraceSpan span("2pc.decision");
+    LatencyTimer timer(ShardMetrics().decision_micros);
     StatusOr<uint64_t> lsn = 0;
     {
       std::lock_guard<std::mutex> g(coord_mu_);
@@ -959,9 +1004,13 @@ Status Router::TwoPhaseCommit(
   // point never abort — recovery resolves from the decision log — but
   // they do keep the gtid in `undelivered_` so GC retains its record.
   bool delivered_all = true;
-  for (const auto& [s, b] : writers) {
-    if (!shards_[s].tm->CommitPrepared(b, gtid).ok()) delivered_all = false;
-    YT_RETURN_IF_ERROR(post("2pc.after_shard_decision"));
+  {
+    ScopedTraceSpan span("2pc.phase2");
+    LatencyTimer timer(ShardMetrics().phase2_micros);
+    for (const auto& [s, b] : writers) {
+      if (!shards_[s].tm->CommitPrepared(b, gtid).ok()) delivered_all = false;
+      YT_RETURN_IF_ERROR(post("2pc.after_shard_decision"));
+    }
   }
   if (fi->enabled() && fi->crashed()) {
     // A WAL-layer fault (torn write, frozen log) latched the crash while
@@ -1072,6 +1121,10 @@ Status Router::Commit(Transaction* txn) {
     stats_.single_shard_txns.fetch_add(1, std::memory_order_relaxed);
   } else {
     stats_.two_phase_commits.fetch_add(1, std::memory_order_relaxed);
+    // The coordinator's root span: phase spans and every branch's spans
+    // (prepare force-writes, group-commit waits) nest under it, giving one
+    // trace across coordinator and branches.
+    ScopedTraceSpan span("2pc.commit", txn->trace_id());
     bool crashed = false;
     Status st = TwoPhaseCommit(txn->id(), writers, readers, &crashed);
     if (!st.ok()) {

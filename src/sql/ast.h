@@ -123,6 +123,14 @@ struct SetStmt {
   ExprPtr value;
 };
 
+/// Observability surface: SHOW STATS (curated engine counters + commit
+/// latency percentiles), SHOW METRICS (every registered metric), SHOW SLOW
+/// QUERIES (slow-query ring, slowest first).
+struct ShowStmt {
+  enum class What { kStats, kMetrics, kSlowQueries };
+  What what = What::kStats;
+};
+
 enum class StatementKind {
   kSelect,
   kEntangledSelect,
@@ -135,6 +143,7 @@ enum class StatementKind {
   kCommit,
   kRollback,
   kSet,
+  kShow,
 };
 
 /// A parsed statement (tagged union).
@@ -149,6 +158,7 @@ struct ParsedStatement {
   std::unique_ptr<CreateIndexStmt> create_index;
   std::unique_ptr<BeginStmt> begin;
   std::unique_ptr<SetStmt> set;
+  std::unique_ptr<ShowStmt> show;
 };
 
 }  // namespace youtopia::sql

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/metrics.h"
 #include "src/common/strings.h"
 #include "src/sql/planner.h"
 
@@ -32,6 +33,8 @@ StatusOr<QueryResult> Executor::Execute(const ParsedStatement& stmt,
       return ExecuteDelete(*stmt.del, txn, vars);
     case StatementKind::kSet:
       return ExecuteSet(*stmt.set, vars);
+    case StatementKind::kShow:
+      return ExecuteShow(*stmt.show);
     case StatementKind::kCreateTable: {
       YT_ASSIGN_OR_RETURN(Table * t,
                           tm_->CreateTable(stmt.create_table->table,
@@ -878,6 +881,85 @@ StatusOr<QueryResult> Executor::ExecuteSet(const SetStmt& set, VarEnv* vars) {
   YT_ASSIGN_OR_RETURN(Value v, EvalScalar(*set.value, env));
   (*vars)[ToLower(set.var)] = std::move(v);
   return QueryResult{};
+}
+
+namespace {
+
+void PushStat(QueryResult* out, const std::string& name, Value v) {
+  Row r;
+  r.Append(Value::Str(name));
+  r.Append(std::move(v));
+  out->rows.push_back(std::move(r));
+}
+
+/// The three latency rows SHOW STATS derives from one merged snapshot.
+void PushPercentiles(QueryResult* out, const std::string& prefix,
+                     const HistogramSnapshot& snap) {
+  PushStat(out, prefix + "_p50_micros", Value::Double(snap.p50()));
+  PushStat(out, prefix + "_p95_micros", Value::Double(snap.p95()));
+  PushStat(out, prefix + "_p99_micros", Value::Double(snap.p99()));
+}
+
+}  // namespace
+
+StatusOr<QueryResult> Executor::ExecuteShow(const ShowStmt& show) {
+  MetricsRegistry* reg = MetricsRegistry::Global();
+  QueryResult out;
+  switch (show.what) {
+    case ShowStmt::What::kStats: {
+      // Curated engine health: headline counters plus commit / statement
+      // latency percentiles merged across isolation levels (the per-level
+      // histograms share the "txn.commit_micros." prefix — the same merge a
+      // cross-shard deployment would do per shard).
+      out.column_names = {"stat", "value"};
+      for (const char* name :
+           {"txn.commits", "txn.aborts", "sql.statements", "lock.waits",
+            "lock.deadlocks", "lock.timeouts", "wal.flushes"}) {
+        PushStat(&out, name,
+                 Value::Int(static_cast<int64_t>(reg->counter(name)->value())));
+      }
+      PushPercentiles(&out, "commit_latency",
+                      reg->MergedHistogram("txn.commit_micros."));
+      PushPercentiles(&out, "statement_latency",
+                      reg->MergedHistogram("sql.statement_micros"));
+      return out;
+    }
+    case ShowStmt::What::kMetrics: {
+      // Everything registered, name-sorted; histograms expand like DumpText.
+      out.column_names = {"metric", "value"};
+      for (const auto& [name, v] : reg->Counters()) {
+        PushStat(&out, name, Value::Int(static_cast<int64_t>(v)));
+      }
+      for (const auto& [name, v] : reg->Gauges()) {
+        PushStat(&out, name, Value::Int(v));
+      }
+      for (const auto& [name, snap] : reg->Histograms()) {
+        PushStat(&out, name + ".count",
+                 Value::Int(static_cast<int64_t>(snap.count)));
+        PushStat(&out, name + ".sum",
+                 Value::Int(static_cast<int64_t>(snap.sum)));
+        PushStat(&out, name + ".p50", Value::Double(snap.p50()));
+        PushStat(&out, name + ".p95", Value::Double(snap.p95()));
+        PushStat(&out, name + ".p99", Value::Double(snap.p99()));
+      }
+      return out;
+    }
+    case ShowStmt::What::kSlowQueries: {
+      out.column_names = {"sql", "total_micros", "lock_wait_micros",
+                          "flush_wait_micros", "trace_id"};
+      for (const SlowQueryLog::Entry& e : SlowQueryLog::Global()->Snapshot()) {
+        Row r;
+        r.Append(Value::Str(e.sql));
+        r.Append(Value::Int(e.total_micros));
+        r.Append(Value::Int(e.lock_wait_micros));
+        r.Append(Value::Int(e.flush_wait_micros));
+        r.Append(Value::Int(static_cast<int64_t>(e.trace_id)));
+        out.rows.push_back(std::move(r));
+      }
+      return out;
+    }
+  }
+  return Status::Internal("bad SHOW target");
 }
 
 }  // namespace youtopia::sql

@@ -75,6 +75,9 @@ class Executor {
   StatusOr<QueryResult> ExecuteDelete(const DeleteStmt& del, Transaction* txn,
                                       VarEnv* vars);
   StatusOr<QueryResult> ExecuteSet(const SetStmt& set, VarEnv* vars);
+  /// SHOW STATS / METRICS / SLOW QUERIES over the process-global
+  /// MetricsRegistry — no transaction involved, reads are racy snapshots.
+  StatusOr<QueryResult> ExecuteShow(const ShowStmt& show);
 
   /// Runs every IN (SELECT...) in `where` and materializes its row set.
   Status MaterializeSubqueries(

@@ -146,6 +146,7 @@ StatusOr<ParsedStatement> Parser::ParseOne() {
   if (PeekIdent("CREATE")) return ParseCreate();
   if (PeekIdent("BEGIN")) return ParseBegin();
   if (PeekIdent("SET")) return ParseSet();
+  if (PeekIdent("SHOW")) return ParseShow();
   if (MatchIdent("COMMIT")) {
     ParsedStatement s;
     s.kind = StatementKind::kCommit;
@@ -527,6 +528,25 @@ StatusOr<ParsedStatement> Parser::ParseSet() {
   ParsedStatement s;
   s.kind = StatementKind::kSet;
   s.set = std::move(set);
+  return s;
+}
+
+StatusOr<ParsedStatement> Parser::ParseShow() {
+  YT_RETURN_IF_ERROR(ExpectIdent("SHOW"));
+  auto show = std::make_unique<ShowStmt>();
+  if (MatchIdent("STATS")) {
+    show->what = ShowStmt::What::kStats;
+  } else if (MatchIdent("METRICS")) {
+    show->what = ShowStmt::What::kMetrics;
+  } else if (MatchIdent("SLOW")) {
+    YT_RETURN_IF_ERROR(ExpectIdent("QUERIES"));
+    show->what = ShowStmt::What::kSlowQueries;
+  } else {
+    return ErrorHere("expected STATS, METRICS, or SLOW QUERIES after SHOW");
+  }
+  ParsedStatement s;
+  s.kind = StatementKind::kShow;
+  s.show = std::move(show);
   return s;
 }
 

@@ -61,6 +61,7 @@ class Parser {
   StatusOr<ParsedStatement> ParseCreate();
   StatusOr<ParsedStatement> ParseBegin();
   StatusOr<ParsedStatement> ParseSet();
+  StatusOr<ParsedStatement> ParseShow();
 
   StatusOr<std::vector<SelectItem>> ParseSelectItems();
   StatusOr<std::vector<TableRef>> ParseFromList();

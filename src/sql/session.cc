@@ -2,12 +2,31 @@
 
 #include <chrono>
 #include <thread>
+#include <utility>
 
+#include "src/common/clock.h"
 #include "src/common/fault.h"
+#include "src/common/metrics.h"
 
 namespace youtopia::sql {
 
 namespace {
+
+struct SqlMetricHandles {
+  Histogram* statement_micros;
+  Counter* statements;
+  Counter* retries;
+};
+
+const SqlMetricHandles& SqlMetrics() {
+  static const SqlMetricHandles h = [] {
+    MetricsRegistry* r = MetricsRegistry::Global();
+    return SqlMetricHandles{r->histogram("sql.statement_micros"),
+                            r->counter("sql.statements"),
+                            r->counter("sql.statement_retries")};
+  }();
+  return h;
+}
 
 /// Transient = the engine killed this attempt to break a conflict, and an
 /// identical rerun can win: deadlock victim / first-updater-wins
@@ -30,8 +49,37 @@ Session::~Session() {
 }
 
 StatusOr<QueryResult> Session::Execute(const std::string& text) {
-  YT_ASSIGN_OR_RETURN(ParsedStatement stmt, Parser::ParseStatement(text));
-  return ExecuteParsed(stmt);
+  if (!metrics_enabled()) {
+    YT_ASSIGN_OR_RETURN(ParsedStatement stmt, Parser::ParseStatement(text));
+    return ExecuteParsed(stmt);
+  }
+  // Statement envelope: total latency histogram, sampled root span (child
+  // spans — txn.commit, 2pc.*, lock.wait, wal.group_commit_wait — nest under
+  // it), and wait-attribution deltas for the slow-query log.
+  const int64_t start = SystemClock::Default()->NowMicros();
+  const ThreadOpStats before = CurrentThreadOpStats();
+  Tracer* tracer = Tracer::Global();
+  ScopedTraceSpan span("sql.statement",
+                       tracer->ShouldSample() ? tracer->NewTraceId() : 0);
+  StatusOr<QueryResult> result = [&]() -> StatusOr<QueryResult> {
+    YT_ASSIGN_OR_RETURN(ParsedStatement stmt, Parser::ParseStatement(text));
+    return ExecuteParsed(stmt);
+  }();
+  const int64_t total = SystemClock::Default()->NowMicros() - start;
+  SqlMetrics().statement_micros->Record(total);
+  SqlMetrics().statements->Add();
+  if (SlowQueryLog::Global()->WouldAdmit(total)) {
+    const ThreadOpStats& after = CurrentThreadOpStats();
+    SlowQueryLog::Entry e;
+    e.sql = text;
+    e.total_micros = total;
+    e.lock_wait_micros = after.lock_wait_micros - before.lock_wait_micros;
+    e.flush_wait_micros = after.flush_wait_micros - before.flush_wait_micros;
+    e.trace_id = span.trace_id();
+    e.when_micros = start + total;
+    SlowQueryLog::Global()->Record(std::move(e));
+  }
+  return result;
 }
 
 StatusOr<QueryResult> Session::ExecuteScript(const std::string& text) {
@@ -100,7 +148,8 @@ StatusOr<QueryResult> Session::ExecuteParsed(const ParsedStatement& stmt) {
         attempt >= retry_policy_.max_attempts) {
       return result;
     }
-    ++statement_retries_;
+    statement_retries_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_enabled()) SqlMetrics().retries->Add();
     std::this_thread::sleep_for(std::chrono::microseconds(backoff));
     backoff = std::min(backoff * 2, retry_policy_.max_backoff_micros);
   }

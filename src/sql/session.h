@@ -1,6 +1,7 @@
 #ifndef YOUTOPIA_SQL_SESSION_H_
 #define YOUTOPIA_SQL_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -52,7 +53,11 @@ class Session {
   void set_retry_policy(RetryPolicy p) { retry_policy_ = p; }
   const RetryPolicy& retry_policy() const { return retry_policy_; }
   /// Transient-abort reruns performed by this session's autocommit path.
-  uint64_t statement_retries() const { return statement_retries_; }
+  /// Atomic: monitoring threads (SHOW STATS, tests) read it while the
+  /// session's worker is mid-retry.
+  uint64_t statement_retries() const {
+    return statement_retries_.load(std::memory_order_relaxed);
+  }
 
  private:
   StatusOr<QueryResult> ExecuteParsed(const ParsedStatement& stmt);
@@ -64,7 +69,7 @@ class Session {
   std::unique_ptr<Transaction> txn_;
   VarEnv vars_;
   RetryPolicy retry_policy_;
-  uint64_t statement_retries_ = 0;
+  std::atomic<uint64_t> statement_retries_{0};
 };
 
 }  // namespace youtopia::sql

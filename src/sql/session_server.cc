@@ -2,11 +2,28 @@
 
 #include <algorithm>
 
+#include "src/common/metrics.h"
 #include "src/wal/group_commit.h"
 
 namespace youtopia::sql {
 
 namespace {
+
+struct ServerMetricHandles {
+  Gauge* queue_depth;  ///< submitted-not-finished statements (+ high water)
+  Counter* park_runs;
+  Counter* served;
+};
+
+const ServerMetricHandles& ServerMetrics() {
+  static const ServerMetricHandles h = [] {
+    MetricsRegistry* r = MetricsRegistry::Global();
+    return ServerMetricHandles{r->gauge("sql.server.queue_depth"),
+                               r->counter("sql.server.park_runs"),
+                               r->counter("sql.server.statements_served")};
+  }();
+  return h;
+}
 
 /// Re-entrancy bound for park work: a parked commit may run a statement
 /// whose own commit parks again. Each level pins a suspended statement's
@@ -70,6 +87,11 @@ void SessionServer::Submit(SessionId id, std::string sql,
     SessionState* st = it->second.get();
     st->queue.emplace_back(std::move(sql), std::move(done));
     ++pending_;
+    if (metrics_enabled()) {
+      Gauge* depth = ServerMetrics().queue_depth;
+      depth->Set(static_cast<int64_t>(pending_));
+      depth->SetMaxHint(static_cast<int64_t>(pending_));
+    }
     if (!st->scheduled) {
       st->scheduled = true;
       ready_.push_back(id);
@@ -111,12 +133,16 @@ void SessionServer::RunNext(std::unique_lock<std::mutex>& g) {
   if (cb) cb(result);
   g.lock();
   served_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_enabled()) ServerMetrics().served->Add();
   if (!st->queue.empty()) {
     // Re-queue at the back: round-robin fairness across busy sessions.
     ready_.push_back(id);
     cv_.notify_one();
   } else {
     st->scheduled = false;
+  }
+  if (metrics_enabled()) {
+    ServerMetrics().queue_depth->Set(static_cast<int64_t>(pending_ - 1));
   }
   if (--pending_ == 0) drain_cv_.notify_all();
 }
@@ -129,6 +155,7 @@ bool SessionServer::ParkWork() {
   if (!g.owns_lock() || stop_ || ready_.empty()) return false;
   ++park_depth;
   parked_runs_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_enabled()) ServerMetrics().park_runs->Add();
   RunNext(g);
   --park_depth;
   return true;

@@ -93,6 +93,12 @@ class Transaction {
   bool commit_stamped() const { return commit_stamped_; }
   void set_commit_stamped(bool v) { commit_stamped_ = v; }
 
+  /// Trace id this transaction's spans belong to (0 = untraced). Stamped at
+  /// Begin when metrics are on; a 2PC coordinator re-uses it so coordinator
+  /// and branch spans assemble into one trace.
+  uint64_t trace_id() const { return trace_id_; }
+  void set_trace_id(uint64_t id) { trace_id_ = id; }
+
   /// Open read cursors of this transaction (transactions are
   /// single-threaded, so plain bookkeeping suffices). A closing cursor may
   /// perform kReadCommitted early lock release only when it is the last
@@ -116,6 +122,7 @@ class Transaction {
   bool external_read_ts_ = false;
   bool snapshot_registered_ = false;
   bool commit_stamped_ = false;
+  uint64_t trace_id_ = 0;
   int open_cursors_ = 0;
   bool entangled_ = false;
   std::vector<TxnId> partners_;

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "src/common/fault.h"
+#include "src/common/metrics.h"
 
 namespace youtopia {
 
@@ -12,6 +13,43 @@ namespace {
 bool IsGroundingOrigin(ReadOrigin origin) {
   return origin == ReadOrigin::kGrounding ||
          origin == ReadOrigin::kGroundingJoin;
+}
+
+/// Per-isolation-level commit/abort latency histograms plus the engine-wide
+/// termination counters, resolved against the registry once.
+struct TxnMetricHandles {
+  Counter* commits;
+  Counter* aborts;
+  Histogram* commit_by_level[5];
+  Histogram* abort_by_level[5];
+};
+
+const TxnMetricHandles& TxnMetrics() {
+  static const TxnMetricHandles h = [] {
+    MetricsRegistry* r = MetricsRegistry::Global();
+    static constexpr const char* kLevels[5] = {
+        "full_entangled", "serializable", "read_committed",
+        "read_uncommitted", "snapshot"};
+    TxnMetricHandles out;
+    out.commits = r->counter("txn.commits");
+    out.aborts = r->counter("txn.aborts");
+    for (int i = 0; i < 5; ++i) {
+      out.commit_by_level[i] = r->histogram(
+          std::string("txn.commit_micros.") + kLevels[i]);
+      out.abort_by_level[i] = r->histogram(
+          std::string("txn.abort_micros.") + kLevels[i]);
+    }
+    return out;
+  }();
+  return h;
+}
+
+Histogram* CommitLatencyHist(IsolationLevel l) {
+  return TxnMetrics().commit_by_level[static_cast<int>(l)];
+}
+
+Histogram* AbortLatencyHist(IsolationLevel l) {
+  return TxnMetrics().abort_by_level[static_cast<int>(l)];
 }
 
 /// The kReadCommitted early-release rule, shared by every cursor type:
@@ -566,6 +604,20 @@ std::unique_ptr<Transaction> TransactionManager::Begin(IsolationLevel level) {
   stats_.begins.fetch_add(1, std::memory_order_relaxed);
   auto txn = std::make_unique<Transaction>(id, level,
                                            options_.lock_timeout_micros);
+  // Sampled tracing: 1 in N transactions carries a trace id, so the
+  // commit-path spans (lock waits, group-commit waits, 2PC phases) assemble
+  // into a trace without taxing every transaction with ring pushes. A
+  // transaction begun inside an already-sampled span (a traced SQL
+  // statement) joins that trace instead of drawing again — its commit
+  // spans then parent under the statement's tree.
+  if (metrics_enabled()) {
+    const TraceContext& ctx = CurrentTraceContext();
+    if (ctx.trace_id != 0) {
+      txn->set_trace_id(ctx.trace_id);
+    } else if (Tracer::Global()->ShouldSample()) {
+      txn->set_trace_id(Tracer::Global()->NewTraceId());
+    }
+  }
   if (wal_ != nullptr) {
     (void)wal_->Append(WalRecord::Begin(id));
   }
@@ -1181,6 +1233,8 @@ Status TransactionManager::ApplyUndo(Transaction* txn) {
 
 Status TransactionManager::Commit(Transaction* txn) {
   if (!txn->active()) return Status::Aborted("transaction not active");
+  ScopedTraceSpan span("txn.commit", txn->trace_id());
+  LatencyTimer timer(CommitLatencyHist(txn->isolation_level()));
   // Read-only commit: nothing was written (every Insert/Update/Delete pushes
   // an undo entry, and undo clears only on abort), so there is no redo to
   // make durable — skip the commit record AND the flush. This covers
@@ -1205,6 +1259,7 @@ Status TransactionManager::Commit(Transaction* txn) {
   ReleaseSnapshot(txn);
   locks_->ReleaseAll(txn->id());
   stats_.commits.fetch_add(1, std::memory_order_relaxed);
+  if (timer.active()) TxnMetrics().commits->Add();
   if (options_.observer != nullptr) options_.observer->OnCommit(txn->id());
   if (commits_since_gc_.fetch_add(1, std::memory_order_relaxed) + 1 >=
       kGcCommitInterval) {
@@ -1219,6 +1274,7 @@ Status TransactionManager::Abort(Transaction* txn) {
   if (txn->state() == TxnState::kCommitted) {
     return Status::Internal("cannot abort a committed transaction");
   }
+  LatencyTimer timer(AbortLatencyHist(txn->isolation_level()));
   YT_RETURN_IF_ERROR(ApplyUndo(txn));
   if (wal_ != nullptr) {
     (void)wal_->Append(WalRecord::Abort(txn->id()));
@@ -1227,12 +1283,14 @@ Status TransactionManager::Abort(Transaction* txn) {
   ReleaseSnapshot(txn);
   locks_->ReleaseAll(txn->id());
   stats_.aborts.fetch_add(1, std::memory_order_relaxed);
+  if (timer.active()) TxnMetrics().aborts->Add();
   if (options_.observer != nullptr) options_.observer->OnAbort(txn->id());
   return Status::Ok();
 }
 
 Status TransactionManager::Prepare(Transaction* txn, GroupId gtid) {
   if (!txn->active()) return Status::Aborted("transaction not active");
+  ScopedTraceSpan span("txn.prepare");
   if (wal_ != nullptr) {
     // Force-write: the yes-vote is durable (and with it, this
     // transaction's buffered redo records) before the coordinator may
@@ -1270,6 +1328,7 @@ Status TransactionManager::CommitPrepared(Transaction* txn, GroupId gtid) {
   ReleaseSnapshot(txn);
   locks_->ReleaseAll(txn->id());
   stats_.commits.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_enabled()) TxnMetrics().commits->Add();
   if (options_.observer != nullptr) options_.observer->OnCommit(txn->id());
   return append_st;
 }
@@ -1316,6 +1375,7 @@ Status TransactionManager::CommitGroup(
     ReleaseSnapshot(t);
     locks_->ReleaseAll(t->id());
     stats_.commits.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_enabled()) TxnMetrics().commits->Add();
     if (options_.observer != nullptr) options_.observer->OnCommit(t->id());
   }
   stats_.group_commits.fetch_add(1, std::memory_order_relaxed);

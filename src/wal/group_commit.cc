@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 
+#include "src/common/clock.h"
 #include "src/common/fault.h"
+#include "src/common/metrics.h"
 #include "src/wal/wal_writer.h"
 
 namespace youtopia {
@@ -14,6 +16,54 @@ namespace {
 /// its own closure on entry and clears it on exit, so a follower blocked in
 /// WaitForDurable on THIS thread can drive other sessions of the same server.
 thread_local std::function<bool()>* tls_park_work = nullptr;
+
+struct GroupCommitMetricHandles {
+  Histogram* wait_micros;     ///< full WaitForDurable (ticket to resolution)
+  Histogram* batch_records;   ///< LSNs covered per leader flush
+  Histogram* linger_micros;   ///< pacing leader's linger before flushing
+};
+
+const GroupCommitMetricHandles& GcMetrics() {
+  static const GroupCommitMetricHandles h = [] {
+    MetricsRegistry* r = MetricsRegistry::Global();
+    return GroupCommitMetricHandles{
+        r->histogram("wal.group_commit_wait_micros"),
+        r->histogram("wal.batch_records"),
+        r->histogram("wal.leader_linger_micros")};
+  }();
+  return h;
+}
+
+/// Times one WaitForDurable call end to end: flush-wait attribution for the
+/// calling statement plus the wait histogram and (when a trace is active) a
+/// "wal.group_commit_wait" span. Declared before the queue mutex so the
+/// destructor runs unlocked.
+class FlushWaitRecorder {
+ public:
+  FlushWaitRecorder() {
+    if (metrics_enabled()) start_ = SystemClock::Default()->NowMicros();
+  }
+  ~FlushWaitRecorder() {
+    if (start_ < 0) return;
+    const int64_t waited = SystemClock::Default()->NowMicros() - start_;
+    CurrentThreadOpStats().flush_wait_micros += waited;
+    GcMetrics().wait_micros->Record(waited);
+    TraceContext& ctx = CurrentTraceContext();
+    if (ctx.trace_id != 0) {
+      Tracer::Span span;
+      span.trace_id = ctx.trace_id;
+      span.parent_id = ctx.span_id;
+      span.span_id = Tracer::Global()->NewSpanId();
+      span.name = "wal.group_commit_wait";
+      span.start_micros = start_;
+      span.duration_micros = waited;
+      Tracer::Global()->Record(std::move(span));
+    }
+  }
+
+ private:
+  int64_t start_ = -1;
+};
 
 }  // namespace
 
@@ -46,6 +96,7 @@ Status GroupCommitQueue::FlushBatch() {
 
 Status GroupCommitQueue::WaitForDurable(uint64_t lsn) {
   waits_.fetch_add(1, std::memory_order_relaxed);
+  FlushWaitRecorder wait_recorder;
   std::function<bool()>* park = tls_park_work;
   std::unique_lock<std::mutex> g(mu_);
   const uint64_t entry_epoch = epoch_;
@@ -78,7 +129,11 @@ Status GroupCommitQueue::WaitForDurable(uint64_t lsn) {
       leader_active_ = true;
       int64_t delay = max_delay_micros_.load(std::memory_order_relaxed);
       bool lost_leadership = false;
+      int64_t linger_start = -1;
       if (delay > 0) {
+        if (metrics_enabled()) {
+          linger_start = SystemClock::Default()->NowMicros();
+        }
         // Pacing: linger so concurrent committers can append and enqueue —
         // their records ride this flush instead of forcing their own. The
         // lingering leader is idle capacity: run park work while waiting —
@@ -110,6 +165,10 @@ Status GroupCommitQueue::WaitForDurable(uint64_t lsn) {
         }
       }
       if (lost_leadership) continue;  // outer loop rechecks our ticket
+      if (linger_start >= 0) {
+        GcMetrics().linger_micros->Record(
+            SystemClock::Default()->NowMicros() - linger_start);
+      }
       // Everything appended up to here is in the stdio buffer; one flush
       // covers it all. Read the target before unlocking so we never claim
       // durability for records appended during the flush itself.
@@ -125,6 +184,10 @@ Status GroupCommitQueue::WaitForDurable(uint64_t lsn) {
         // new LSN sequence — recording it would mark unflushed new-epoch
         // records durable. Discard; stale tickets resolve via the epoch.
         if (st.ok()) {
+          if (metrics_enabled() && target > durable_lsn_) {
+            GcMetrics().batch_records->Record(
+                static_cast<int64_t>(target - durable_lsn_));
+          }
           durable_lsn_ = std::max(durable_lsn_, target);
         } else {
           failed_lsn_ = std::max(failed_lsn_, target);

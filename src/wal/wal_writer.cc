@@ -7,11 +7,23 @@
 #endif
 
 #include "src/common/fault.h"
+#include "src/common/metrics.h"
 #include "src/common/serde.h"
 
 namespace youtopia {
 
 namespace {
+
+Histogram* FlushLatencyHist() {
+  static Histogram* h =
+      MetricsRegistry::Global()->histogram("wal.flush_micros");
+  return h;
+}
+
+Counter* FlushesCounter() {
+  static Counter* c = MetricsRegistry::Global()->counter("wal.flushes");
+  return c;
+}
 
 /// Closes a FILE* the way a killed process leaves it: whatever sits in the
 /// stdio userspace buffer never reaches the file. Used whenever the fault
@@ -119,12 +131,14 @@ Status WalWriter::Flush() {
     }
     YT_RETURN_IF_ERROR(fi->Hit("wal.flush"));
   }
+  LatencyTimer timer(FlushLatencyHist());
   if (std::fflush(file_) != 0) return Status::Corruption("WAL flush failed");
   if (options_.sync_on_flush) {
     if (fsync(fileno(file_)) != 0) {
       return Status::Corruption("WAL fsync failed");
     }
   }
+  if (timer.active()) FlushesCounter()->Add();
   if (auto* counter = flush_counter_.load(std::memory_order_acquire)) {
     counter->fetch_add(1, std::memory_order_relaxed);
   }

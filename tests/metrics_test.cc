@@ -1,0 +1,388 @@
+// The observability layer: histogram bucketing and cross-shard merge
+// equivalence, counter striping, the slow-query log's keep-the-slowest
+// policy, trace span parenting across a cross-shard 2PC commit, metric
+// survival across Router::Recover, and the SHOW STATS / METRICS / SLOW
+// QUERIES SQL surface.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/shard/router.h"
+#include "src/sql/session.h"
+#include "src/sql/session_server.h"
+#include "tests/test_util.h"
+
+namespace youtopia {
+namespace {
+
+using shard::Router;
+using testing::EngineFixture;
+
+// --- Histogram bucketing. ---------------------------------------------------
+
+TEST(HistogramTest, BucketsByBitWidth) {
+  EXPECT_EQ(Histogram::BucketOf(0), 0);
+  EXPECT_EQ(Histogram::BucketOf(-5), 0);
+  EXPECT_EQ(Histogram::BucketOf(1), 1);
+  EXPECT_EQ(Histogram::BucketOf(2), 2);
+  EXPECT_EQ(Histogram::BucketOf(3), 2);
+  EXPECT_EQ(Histogram::BucketOf(4), 3);
+  EXPECT_EQ(Histogram::BucketOf(1023), 10);
+  EXPECT_EQ(Histogram::BucketOf(1024), 11);
+
+  // Bounds partition the value space: BucketOf(v) covers v in [lo, hi).
+  for (int b = 1; b < 20; ++b) {
+    uint64_t lo = 0, hi = 0;
+    Histogram::BucketBounds(b, &lo, &hi);
+    EXPECT_EQ(Histogram::BucketOf(static_cast<int64_t>(lo)), b);
+    EXPECT_EQ(Histogram::BucketOf(static_cast<int64_t>(hi - 1)), b);
+  }
+}
+
+TEST(HistogramTest, CountSumAndQuantiles) {
+  Histogram h;
+  EXPECT_EQ(h.snapshot().Quantile(0.5), 0.0);  // empty
+  for (int i = 0; i < 100; ++i) h.Record(100);
+  HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum, 100u * 100u);
+  EXPECT_EQ(s.mean(), 100.0);
+  // Every sample sits in bucket 7 = [64, 128): quantiles stay inside it.
+  EXPECT_GE(s.p50(), 64.0);
+  EXPECT_LE(s.p99(), 128.0);
+  EXPECT_LE(s.p50(), s.p95());
+  EXPECT_LE(s.p95(), s.p99());
+}
+
+TEST(HistogramTest, MergeEqualsSingleStream) {
+  // The cross-shard property SHOW STATS relies on: per-shard histograms
+  // merged are EXACTLY the histogram of the combined stream.
+  const std::vector<int64_t> stream = {0,  1,   2,    3,      5,     8,
+                                       13, 100, 1000, 123456, 7,     64,
+                                       65, 127, 128,  1 << 20, 42,   9999};
+  Histogram all, shard_a, shard_b;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    all.Record(stream[i]);
+    (i % 2 == 0 ? shard_a : shard_b).Record(stream[i]);
+  }
+  HistogramSnapshot merged = shard_a.snapshot();
+  merged.Merge(shard_b.snapshot());
+  HistogramSnapshot single = all.snapshot();
+  EXPECT_EQ(merged.count, single.count);
+  EXPECT_EQ(merged.sum, single.sum);
+  EXPECT_EQ(merged.buckets, single.buckets);
+  EXPECT_EQ(merged.p50(), single.p50());
+  EXPECT_EQ(merged.p95(), single.p95());
+  EXPECT_EQ(merged.p99(), single.p99());
+}
+
+TEST(MetricsRegistryTest, MergedHistogramMergesByPrefix) {
+  MetricsRegistry* reg = MetricsRegistry::Global();
+  Histogram* a = reg->histogram("mergetest.shard0");
+  Histogram* b = reg->histogram("mergetest.shard1");
+  Histogram* other = reg->histogram("unrelated.metric");
+  a->Reset();
+  b->Reset();
+  other->Reset();
+  a->Record(10);
+  a->Record(20);
+  b->Record(30);
+  other->Record(40);
+  HistogramSnapshot merged = reg->MergedHistogram("mergetest.");
+  EXPECT_EQ(merged.count, 3u);
+  EXPECT_EQ(merged.sum, 60u);
+}
+
+TEST(CounterTest, StripedAddsSumAcrossThreads) {
+  Counter c;
+  constexpr int kThreads = 8, kAdds = 10000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.Add();
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kAdds);
+}
+
+// --- Slow-query log. --------------------------------------------------------
+
+TEST(SlowQueryLogTest, KeepsTheSlowestAndHonorsThreshold) {
+  SlowQueryLog log;
+  log.set_capacity(3);
+  log.set_threshold_micros(10);
+  auto entry = [](int64_t micros) {
+    SlowQueryLog::Entry e;
+    e.sql = "q" + std::to_string(micros);
+    e.total_micros = micros;
+    return e;
+  };
+  log.Record(entry(5));  // below threshold: dropped
+  EXPECT_TRUE(log.Snapshot().empty());
+  log.Record(entry(20));
+  log.Record(entry(40));
+  log.Record(entry(30));
+  log.Record(entry(25));   // full, slower than the current fastest (20)
+  log.Record(entry(15));   // full, faster than every entry: dropped
+  std::vector<SlowQueryLog::Entry> snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].total_micros, 40);  // slowest first
+  EXPECT_EQ(snap[1].total_micros, 30);
+  EXPECT_EQ(snap[2].total_micros, 25);
+  EXPECT_FALSE(log.WouldAdmit(5));   // threshold
+  EXPECT_FALSE(log.WouldAdmit(20));  // below the admission floor (25)
+  EXPECT_TRUE(log.WouldAdmit(100));
+}
+
+// --- Trace span parenting across a cross-shard 2PC commit. ------------------
+
+class MetricsRouterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "yt_metrics_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  Router::Options DurableOptions() {
+    Router::Options opts;
+    opts.num_shards = 4;
+    opts.dir = dir_;
+    return opts;
+  }
+
+  static Schema AcctSchema() {
+    Schema s({{"id", TypeId::kInt64},
+              {"bal", TypeId::kInt64},
+              {"city", TypeId::kString}});
+    s.set_primary_key({0});
+    return s;
+  }
+
+  /// Two keys guaranteed to live on different shards of a 4-shard map.
+  static std::pair<int64_t, int64_t> CrossShardKeys(Router* r) {
+    size_t home = r->shard_map().ShardOfKey(Row({Value::Int(0)}));
+    for (int64_t k = 1;; ++k) {
+      if (r->shard_map().ShardOfKey(Row({Value::Int(k)})) != home) {
+        return {0, k};
+      }
+    }
+  }
+
+  std::string dir_;
+};
+
+TEST_F(MetricsRouterTest, CrossShard2pcCommitProducesOneParentedTrace) {
+  Tracer* tracer = Tracer::Global();
+  tracer->set_sample_every(1);  // trace every Begin
+  ASSERT_OK_AND_ASSIGN(auto r, Router::Open(DurableOptions()));
+  ASSERT_OK(r->CreateTable("Acct", AcctSchema()).status());
+  auto [k1, k2] = CrossShardKeys(r.get());
+
+  auto txn = r->Begin();
+  const uint64_t trace_id = txn->trace_id();
+  ASSERT_NE(trace_id, 0u) << "Begin must stamp a sampled trace id";
+  ASSERT_OK(
+      r->Insert(txn.get(), "Acct",
+                Row({Value::Int(k1), Value::Int(1), Value::Str("a")}))
+          .status());
+  ASSERT_OK(
+      r->Insert(txn.get(), "Acct",
+                Row({Value::Int(k2), Value::Int(2), Value::Str("b")}))
+          .status());
+  ASSERT_OK(r->Commit(txn.get()));
+  tracer->set_sample_every(64);
+
+  std::vector<Tracer::Span> spans = tracer->Trace(trace_id);
+  ASSERT_FALSE(spans.empty());
+  auto find_one = [&](const std::string& name) -> const Tracer::Span* {
+    const Tracer::Span* found = nullptr;
+    for (const Tracer::Span& s : spans) {
+      if (s.name == name) {
+        EXPECT_EQ(found, nullptr) << "duplicate span " << name;
+        found = &s;
+      }
+    }
+    return found;
+  };
+  // One root: the coordinator's commit span.
+  const Tracer::Span* root = find_one("2pc.commit");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->parent_id, 0u);
+  // The three phases parent directly under it.
+  for (const char* phase : {"2pc.prepare", "2pc.decision", "2pc.phase2"}) {
+    const Tracer::Span* s = find_one(phase);
+    ASSERT_NE(s, nullptr) << phase;
+    EXPECT_EQ(s->parent_id, root->span_id) << phase;
+  }
+  // Each written branch's prepare nests under the coordinator's prepare
+  // phase — one trace spans coordinator AND branches.
+  const Tracer::Span* prepare = find_one("2pc.prepare");
+  size_t branch_prepares = 0;
+  for (const Tracer::Span& s : spans) {
+    if (s.name == "txn.prepare") {
+      EXPECT_EQ(s.parent_id, prepare->span_id);
+      ++branch_prepares;
+    }
+  }
+  EXPECT_EQ(branch_prepares, 2u);
+  // Every span belongs to the one trace (the Trace() filter guarantees it;
+  // this asserts nothing leaked into a second trace mid-commit).
+  for (const Tracer::Span& s : spans) EXPECT_EQ(s.trace_id, trace_id);
+}
+
+TEST_F(MetricsRouterTest, MetricsSurviveRecover) {
+  MetricsRegistry* reg = MetricsRegistry::Global();
+  Counter* commits = reg->counter("txn.commits");
+  int64_t k1 = 0, k2 = 0;
+  {
+    ASSERT_OK_AND_ASSIGN(auto r, Router::Open(DurableOptions()));
+    ASSERT_OK(r->CreateTable("Acct", AcctSchema()).status());
+    std::tie(k1, k2) = CrossShardKeys(r.get());
+    auto txn = r->Begin();
+    ASSERT_OK(
+        r->Insert(txn.get(), "Acct",
+                  Row({Value::Int(k1), Value::Int(1), Value::Str("a")}))
+            .status());
+    ASSERT_OK(
+        r->Insert(txn.get(), "Acct",
+                  Row({Value::Int(k2), Value::Int(2), Value::Str("b")}))
+            .status());
+    ASSERT_OK(r->Commit(txn.get()));
+  }
+  const uint64_t commits_before = commits->value();
+  const uint64_t hist_before = reg->MergedHistogram("txn.commit_micros.").count;
+  EXPECT_GT(commits_before, 0u);
+
+  ASSERT_OK_AND_ASSIGN(auto r, Router::Recover(DurableOptions()));
+  // Recovery neither resets nor double-counts: the registry is process
+  // lifetime, not engine lifetime.
+  EXPECT_GE(commits->value(), commits_before);
+  // The recovered engine keeps feeding the same metrics.
+  auto txn = r->Begin();
+  ASSERT_OK(
+      r->Insert(txn.get(), "Acct",
+                Row({Value::Int(k1 + 100), Value::Int(3), Value::Str("c")}))
+          .status());
+  ASSERT_OK(r->Commit(txn.get()));
+  EXPECT_GT(commits->value(), commits_before);
+  EXPECT_GT(reg->MergedHistogram("txn.commit_micros.").count, hist_before);
+}
+
+// --- SHOW statements. -------------------------------------------------------
+
+const Value* FindStat(const sql::QueryResult& res, const std::string& name) {
+  for (const Row& r : res.rows) {
+    if (r[0].as_string() == name) return &r[1];
+  }
+  return nullptr;
+}
+
+TEST(ShowStatsTest, SessionServerReportsLiveCountersAndPercentiles) {
+  EngineFixture fix;
+  sql::SessionServer server(fix.tm.get(), {.num_threads = 2});
+  auto sid = server.OpenSession();
+  ASSERT_OK(
+      server.ExecuteSync(sid, "CREATE TABLE T (k INT PRIMARY KEY, v INT)")
+          .status());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK(server
+                  .ExecuteSync(sid, "INSERT INTO T VALUES (" +
+                                        std::to_string(i) + ", 1)")
+                  .status());
+  }
+  ASSERT_OK_AND_ASSIGN(sql::QueryResult res,
+                       server.ExecuteSync(sid, "SHOW STATS"));
+  ASSERT_EQ(res.column_names, (std::vector<std::string>{"stat", "value"}));
+  const Value* commits = FindStat(res, "txn.commits");
+  ASSERT_NE(commits, nullptr);
+  EXPECT_GE(commits->as_int(), 6);  // DDL + 5 inserts, autocommitted
+  const Value* statements = FindStat(res, "sql.statements");
+  ASSERT_NE(statements, nullptr);
+  EXPECT_GE(statements->as_int(), 6);
+  for (const char* pct :
+       {"commit_latency_p50_micros", "commit_latency_p95_micros",
+        "commit_latency_p99_micros"}) {
+    const Value* v = FindStat(res, pct);
+    ASSERT_NE(v, nullptr) << pct;
+    EXPECT_GE(v->as_double(), 0.0) << pct;
+  }
+  // Percentiles are monotone.
+  EXPECT_LE(FindStat(res, "commit_latency_p50_micros")->as_double(),
+            FindStat(res, "commit_latency_p99_micros")->as_double());
+}
+
+TEST(ShowStatsTest, ShowMetricsListsEveryRegisteredMetric) {
+  EngineFixture fix;
+  sql::Session session(fix.tm.get());
+  ASSERT_OK(session.Execute("CREATE TABLE M (k INT)").status());
+  ASSERT_OK(session.Execute("INSERT INTO M VALUES (1)").status());
+  ASSERT_OK_AND_ASSIGN(sql::QueryResult res, session.Execute("SHOW METRICS"));
+  ASSERT_EQ(res.column_names,
+            (std::vector<std::string>{"metric", "value"}));
+  // Histograms expand to five derived rows each.
+  bool saw_commit_count = false, saw_commit_p99 = false;
+  for (const Row& r : res.rows) {
+    if (r[0].as_string() == "txn.commits") {
+      EXPECT_GE(r[1].as_int(), 2);
+    }
+    if (r[0].as_string() == "sql.statement_micros.count") {
+      saw_commit_count = true;
+    }
+    if (r[0].as_string() == "sql.statement_micros.p99") saw_commit_p99 = true;
+  }
+  EXPECT_TRUE(saw_commit_count);
+  EXPECT_TRUE(saw_commit_p99);
+}
+
+TEST(ShowStatsTest, ShowSlowQueriesSurfacesThresholdedStatements) {
+  EngineFixture fix;
+  sql::Session session(fix.tm.get());
+  SlowQueryLog::Global()->Clear();
+  set_slow_query_micros(0);  // admit everything
+  ASSERT_OK(session.Execute("CREATE TABLE S (k INT)").status());
+  ASSERT_OK(session.Execute("INSERT INTO S VALUES (42)").status());
+  ASSERT_OK_AND_ASSIGN(sql::QueryResult res,
+                       session.Execute("SHOW SLOW QUERIES"));
+  ASSERT_EQ(res.column_names,
+            (std::vector<std::string>{"sql", "total_micros",
+                                      "lock_wait_micros", "flush_wait_micros",
+                                      "trace_id"}));
+  ASSERT_GE(res.rows.size(), 2u);
+  bool saw_insert = false;
+  int64_t prev = res.rows[0][1].as_int();
+  for (const Row& r : res.rows) {
+    saw_insert = saw_insert ||
+                 r[0].as_string().find("INSERT INTO S") != std::string::npos;
+    EXPECT_LE(r[1].as_int(), prev);  // slowest first
+    prev = r[1].as_int();
+  }
+  EXPECT_TRUE(saw_insert);
+
+  // A sky-high threshold silences the log.
+  set_slow_query_micros(1'000'000'000);
+  SlowQueryLog::Global()->Clear();
+  ASSERT_OK(session.Execute("INSERT INTO S VALUES (43)").status());
+  ASSERT_OK_AND_ASSIGN(sql::QueryResult quiet,
+                       session.Execute("SHOW SLOW QUERIES"));
+  EXPECT_TRUE(quiet.rows.empty());
+  set_slow_query_micros(0);
+}
+
+TEST(ShowStatsTest, RejectsUnknownShowTarget) {
+  EngineFixture fix;
+  sql::Session session(fix.tm.get());
+  EXPECT_FALSE(session.Execute("SHOW NONSENSE").ok());
+  EXPECT_FALSE(session.Execute("SHOW SLOW").ok());
+}
+
+}  // namespace
+}  // namespace youtopia

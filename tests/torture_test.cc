@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "src/common/fault.h"
+#include "src/common/metrics.h"
 #include "src/common/rng.h"
 #include "src/shard/router.h"
 #include "src/sql/session.h"
@@ -676,10 +677,21 @@ class TortureHarness {
       }
       ASSERT_OK(oracle->Commit(txn.get()));
     }
+    // Fault-free metrics sanity: the oracle replay is single-threaded with
+    // no faults armed, and every replayed transfer is exactly one Commit on
+    // the 1-shard router — so the global commits counter must advance by
+    // exactly ledger.size(). Catches lost or double-counted commit bumps.
+    Counter* commit_counter =
+        MetricsRegistry::Global()->counter("txn.commits");
+    const uint64_t commits_before_replay = commit_counter->value();
     for (const Row& row : ledger) {
       ASSERT_OK(Transfer(oracle.get(), row[1].as_int(), row[2].as_int(),
                          row[3].as_int(), row[0].as_int(),
                          IsolationLevel::kSnapshot));
+    }
+    if (metrics_enabled()) {
+      EXPECT_EQ(commit_counter->value() - commits_before_replay, ledger.size())
+          << "commits counter drifted from oracle-observed commits";
     }
     EXPECT_EQ(AllRows(oracle.get(), "acct"), accts);
     EXPECT_EQ(AllRows(oracle.get(), "ledger"), ledger);
@@ -798,6 +810,8 @@ TEST(TortureTest, RandomizedCrashRecoverCycles) {
       std::printf(
           "torture: FAILED at cycle %d — rerun with YT_TORTURE_SEED=%llu\n",
           cycle, static_cast<unsigned long long>(seed));
+      std::printf("torture: metrics at failure:\n%s",
+                  MetricsRegistry::Global()->DumpText().c_str());
       break;
     }
     done = cycle + 1;
@@ -805,6 +819,8 @@ TEST(TortureTest, RandomizedCrashRecoverCycles) {
   std::printf("torture: %d cycle(s) clean — %zu committed, %zu aborted, "
               "%zu ledger rows\n",
               done, h.committed_count(), h.aborted_count(), h.ledger_size());
+  std::printf("torture: final metrics snapshot:\n%s",
+              MetricsRegistry::Global()->DumpText().c_str());
   // A harness that never commits anything proves nothing: require real
   // traffic to have survived.
   if (done > 0) EXPECT_GT(h.committed_count(), 0u);
